@@ -1,0 +1,106 @@
+//! Homomorphism-engine microbenchmarks: the inner loop of tgd satisfaction,
+//! locality embeddings, and chase trigger search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Duration;
+use tgdkit_hom::{find_hom, find_instance_hom, Cq, InstanceIndex};
+use tgdkit_instance::InstanceGen;
+use tgdkit_logic::{parse_tgd, Schema};
+
+fn bench_body_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/body_match");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let mut schema = Schema::default();
+    let path2 = parse_tgd(&mut schema, "E(x,y), E(y,z) -> T(x)").unwrap();
+    let triangle = parse_tgd(&mut schema, "E(x,y), E(y,z), E(z,x) -> T(x)").unwrap();
+    for size in [16usize, 64, 256] {
+        let inst = InstanceGen::new(schema.clone(), 3).generate_sparse(size, size * 2);
+        group.bench_with_input(BenchmarkId::new("path2", size), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(find_hom(
+                    path2.body(),
+                    path2.var_count(),
+                    inst,
+                    &vec![None; path2.var_count()],
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("triangle", size), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(find_hom(
+                    triangle.body(),
+                    triangle.var_count(),
+                    inst,
+                    &vec![None; triangle.var_count()],
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cq_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/cq_eval");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let mut schema = Schema::default();
+    let probe = parse_tgd(&mut schema, "E(x,y), E(y,z) -> Ans(x,z)").unwrap();
+    let q = Cq::new(probe.body().to_vec(), vec![tgdkit_logic::Var(0), tgdkit_logic::Var(2)])
+        .unwrap();
+    for size in [16usize, 64, 256] {
+        let inst = InstanceGen::new(schema.clone(), 3).generate_sparse(size, size * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
+            b.iter(|| black_box(q.eval(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/index_build");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let schema = Schema::builder().pred("E", 2).pred("T", 1).build();
+    for size in [64usize, 256, 1024] {
+        let inst = InstanceGen::new(schema.clone(), 3).generate_sparse(size, size * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
+            b.iter(|| black_box(InstanceIndex::new(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_instance_hom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/instance_embedding");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let schema = Schema::builder().pred("E", 2).build();
+    for size in [8usize, 16, 32] {
+        let small = InstanceGen::new(schema.clone(), 7).generate(size / 2, 0.3);
+        let big = InstanceGen::new(schema.clone(), 7).generate(size, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &(small, big),
+            |b, (small, big)| {
+                b.iter(|| black_box(find_instance_hom(small, big, &BTreeMap::new())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_body_match,
+    bench_cq_eval,
+    bench_index_build,
+    bench_instance_hom
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E2: instance-algebra operation costs — direct products (Lemma 3.4),
+//! critical instances (Lemma 3.2), intersections, duplicating extensions
+//! and isomorphism checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tgdkit_hom::are_isomorphic;
+use tgdkit_instance::{
+    critical_instance, direct_product, intersection, non_oblivious_duplicating_extension,
+    Elem, InstanceGen,
+};
+use tgdkit_logic::Schema;
+
+fn schema() -> Schema {
+    Schema::builder().pred("R", 2).pred("S", 2).pred("T", 1).build()
+}
+
+fn bench_direct_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/direct_product");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let s = schema();
+    for size in [4usize, 8, 16] {
+        let i = InstanceGen::new(s.clone(), 1).generate(size, 0.3);
+        let j = InstanceGen::new(s.clone(), 2).generate(size, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &(i, j), |b, (i, j)| {
+            b.iter(|| black_box(direct_product(i, j)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_critical_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/critical");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let s = schema();
+    for k in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(critical_instance(&s, k, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/intersection");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let s = schema();
+    for size in [8usize, 32, 128] {
+        let i = InstanceGen::new(s.clone(), 1).generate_sparse(size, size * 2);
+        let j = InstanceGen::new(s.clone(), 2).generate_sparse(size, size * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &(i, j), |b, (i, j)| {
+            b.iter(|| black_box(intersection(i, j)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_duplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/non_oblivious_duplication");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let s = schema();
+    for size in [4usize, 8, 16] {
+        let i = InstanceGen::new(s.clone(), 1).generate(size, 0.3);
+        let fresh = i.fresh_elem();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &i, |b, i| {
+            b.iter(|| black_box(non_oblivious_duplicating_extension(i, Elem(0), fresh)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_isomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/isomorphism");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let s = schema();
+    for size in [4usize, 6, 8] {
+        let i = InstanceGen::new(s.clone(), 1).generate(size, 0.3);
+        let renamed = i.map_elements(|e| Elem(e.0 + 100));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &(i, renamed),
+            |b, (i, renamed)| b.iter(|| black_box(are_isomorphic(i, renamed))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_product,
+    bench_critical_instances,
+    bench_intersection,
+    bench_duplication,
+    bench_isomorphism
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E10: the Theorem 4.1 synthesis pipeline — recovering axiomatizations
+//! from oracles, and the edd enumeration of Step 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tgdkit_chase::ChaseBudget;
+use tgdkit_core::characterize::{enumerate_edds, recover_tgds, EddEnumOptions};
+use tgdkit_core::enumerate::EnumOptions;
+use tgdkit_logic::{parse_tgds, Schema, TgdSet};
+
+fn hidden(text: &str) -> TgdSet {
+    let mut schema = Schema::default();
+    let tgds = parse_tgds(&mut schema, text).unwrap();
+    TgdSet::new(schema, tgds).unwrap()
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/recover");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let cases = [
+        ("linear", "P(x) -> Q(x)."),
+        ("symmetric", "E(x,y) -> E(y,x)."),
+        ("existential", "P(x) -> exists z : E(x,z)."),
+        ("two_rules", "E(x,y) -> E(y,x). P(x), E(x,y) -> P(y)."),
+    ];
+    let opts = EnumOptions {
+        max_body_atoms: 2,
+        max_head_atoms: 2,
+        max_candidates: 500_000,
+    };
+    for (label, text) in cases {
+        let set = hidden(text);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &set, |b, set| {
+            b.iter(|| black_box(recover_tgds(set, &opts, ChaseBudget::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edd_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/edd_enumeration");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    for preds in [1usize, 2] {
+        let mut schema = Schema::default();
+        for i in 0..preds {
+            schema.add_pred(&format!("P{i}"), 1).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(preds), &schema, |b, schema| {
+            b.iter(|| {
+                black_box(enumerate_edds(schema, 1, 0, &EddEnumOptions::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery, bench_edd_enumeration);
+criterion_main!(benches);

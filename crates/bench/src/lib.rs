@@ -1,0 +1,129 @@
+//! # tgdkit-bench
+//!
+//! Benchmark support for tgdkit: plain-text table rendering and wall-clock
+//! measurement helpers shared by the criterion benches and the
+//! `experiments` binary that regenerates the tables recorded in
+//! EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-width plain-text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$} | "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Measures the wall-clock time of `f`, returning its result and the
+/// duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration compactly (µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros} µs")
+    } else if micros < 1_000_000 {
+        format!("{:.2} ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", micros as f64 / 1_000_000.0)
+    }
+}
+
+/// Formats a (possibly astronomically large) count in scientific notation
+/// when it exceeds six digits.
+pub fn fmt_count(x: f64) -> String {
+    if x < 1e6 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "222".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("| name      | value |"));
+        assert!(rendered.contains("| long-name | 222   |"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00 s");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(42.0), "42");
+        assert_eq!(fmt_count(2.5e9), "2.50e9");
+    }
+}

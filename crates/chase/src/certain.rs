@@ -1,0 +1,163 @@
+//! Ontology-mediated query answering: certain answers via the chase.
+//!
+//! The data-intensive application motivating tgd-ontologies in the paper's
+//! introduction: given a database `D`, an ontology `Σ` (tgds) and a
+//! conjunctive query `q(x̄)`, the **certain answers** are the tuples of
+//! database constants in `q`'s answer over *every* model of `Σ` containing
+//! `D`. By chase universality these are exactly the null-free answers of
+//! `q` over `chase(D, Σ)`.
+
+use crate::chase::{chase, ChaseBudget, ChaseResult, ChaseVariant};
+use std::collections::BTreeSet;
+use tgdkit_hom::Cq;
+use tgdkit_instance::{Elem, Instance};
+use tgdkit_logic::Tgd;
+
+/// The result of a certain-answer computation.
+#[derive(Debug, Clone)]
+pub struct CertainAnswers {
+    /// The certain answer tuples (over the database's elements only).
+    pub answers: BTreeSet<Vec<Elem>>,
+    /// `true` when the chase terminated: the answer set is then complete.
+    /// Otherwise the answers are sound (each is certain) but more may
+    /// exist.
+    pub complete: bool,
+    /// The chase run used (universal model when `complete`).
+    pub chase: ChaseResult,
+}
+
+/// Computes the certain answers of `query` over `data` under the ontology
+/// `sigma`.
+///
+/// Soundness is unconditional: every returned tuple is a certain answer
+/// (null-free matches in a — possibly partial — chase map into every
+/// model). Completeness requires the chase to terminate, reported via
+/// [`CertainAnswers::complete`].
+///
+/// ```
+/// use tgdkit_logic::{parse_tgd, parse_tgds, Schema, Var};
+/// use tgdkit_instance::parse_instance;
+/// use tgdkit_hom::Cq;
+/// use tgdkit_chase::{certain_answers, ChaseBudget};
+/// let mut schema = Schema::default();
+/// let sigma = parse_tgds(&mut schema, "
+///     Emp(x) -> exists d : In(x, d).
+///     In(x, d) -> Dept(d).
+/// ").unwrap();
+/// let data = parse_instance(&mut schema, "Emp(ann), In(bob, sales)").unwrap();
+/// // q(x) :- In(x, d), Dept(d)
+/// let probe = parse_tgd(&mut schema, "In(x, d), Dept(d) -> Ans(x)").unwrap();
+/// let q = Cq::new(probe.body().to_vec(), vec![Var(0)]).unwrap();
+/// let result = certain_answers(&data, &sigma, &q, ChaseBudget::default());
+/// assert!(result.complete);
+/// // Both ann (via her invented department) and bob are certain.
+/// assert_eq!(result.answers.len(), 2);
+/// ```
+pub fn certain_answers(
+    data: &Instance,
+    sigma: &[Tgd],
+    query: &Cq,
+    budget: ChaseBudget,
+) -> CertainAnswers {
+    let result = chase(data, sigma, ChaseVariant::Restricted, budget);
+    let answers = query
+        .eval(&result.instance)
+        .into_iter()
+        .filter(|tuple| tuple.iter().all(|e| !result.nulls.contains(e)))
+        .collect();
+    CertainAnswers {
+        answers,
+        complete: result.terminated(),
+        chase: result,
+    }
+}
+
+/// Boolean certain answering: `true` when the Boolean query holds in every
+/// model of `sigma` containing `data` (decided via the chase; `None` when
+/// the budget ran out *and* no match was found).
+pub fn certainly_holds(
+    data: &Instance,
+    sigma: &[Tgd],
+    query: &Cq,
+    budget: ChaseBudget,
+) -> Option<bool> {
+    let result = chase(data, sigma, ChaseVariant::Restricted, budget);
+    if query.holds_in(&result.instance) {
+        // Boolean queries have no answer tuple to leak nulls through; a
+        // match in the (partial) chase maps into every model.
+        Some(true)
+    } else if result.terminated() {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_tgd, parse_tgds, Schema, Var};
+
+    #[test]
+    fn nulls_are_excluded_from_answers() {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, "Emp(x) -> exists d : In(x, d).").unwrap();
+        let data = parse_instance(&mut s, "Emp(ann)").unwrap();
+        // q(x, d) :- In(x, d): the department is a null, so no certain
+        // answer mentions it.
+        let probe = parse_tgd(&mut s, "In(x, d) -> Ans(x, d)").unwrap();
+        let q = Cq::new(probe.body().to_vec(), vec![Var(0), Var(1)]).unwrap();
+        let result = certain_answers(&data, &sigma, &q, ChaseBudget::default());
+        assert!(result.complete);
+        assert!(result.answers.is_empty());
+        // Projecting the null away, ann is certain.
+        let q2 = Cq::new(probe.body().to_vec(), vec![Var(0)]).unwrap();
+        let result2 = certain_answers(&data, &sigma, &q2, ChaseBudget::default());
+        assert_eq!(result2.answers.len(), 1);
+    }
+
+    #[test]
+    fn boolean_certainty_from_partial_chase() {
+        let mut s = Schema::default();
+        // Divergent ontology; the query is matched early.
+        let sigma = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+        let data = parse_instance(&mut s, "E(a,b)").unwrap();
+        let probe = parse_tgd(&mut s, "E(x,y), E(y,z) -> T(x)").unwrap();
+        let q = Cq::boolean(probe.body().to_vec());
+        assert_eq!(
+            certainly_holds(&data, &sigma, &q, ChaseBudget { max_facts: 50, max_rounds: 8 }),
+            Some(true)
+        );
+        // An unmatched query under a truncated chase is undetermined.
+        let probe2 = parse_tgd(&mut s, "E(x,x) -> T(x)").unwrap();
+        let q2 = Cq::boolean(probe2.body().to_vec());
+        assert_eq!(
+            certainly_holds(&data, &sigma, &q2, ChaseBudget { max_facts: 50, max_rounds: 8 }),
+            None
+        );
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let data = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let probe = parse_tgd(&mut s, "E(x,y) -> Ans(x,y)").unwrap();
+        let q = Cq::new(probe.body().to_vec(), vec![Var(0), Var(1)]).unwrap();
+        let result = certain_answers(&data, &sigma, &q, ChaseBudget::default());
+        assert!(result.complete);
+        assert_eq!(result.answers.len(), 6); // transitive closure of a 3-path
+    }
+
+    #[test]
+    fn empty_ontology_is_plain_evaluation() {
+        let mut s = Schema::default();
+        let data = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let probe = parse_tgd(&mut s, "E(x,y), E(y,z) -> Ans(x,z)").unwrap();
+        let q = Cq::new(probe.body().to_vec(), vec![Var(0), Var(2)]).unwrap();
+        let result = certain_answers(&data, &[], &q, ChaseBudget::default());
+        assert!(result.complete);
+        assert_eq!(result.answers.len(), 1);
+    }
+}

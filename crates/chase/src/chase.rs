@@ -1,0 +1,738 @@
+//! The chase procedure (restricted and oblivious variants) with labeled
+//! nulls and explicit budgets.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use tgdkit_hom::{for_each_hom, for_each_hom_indexed, Binding, Cq, InstanceIndex};
+use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_logic::{Egd, Tgd};
+
+/// Which chase variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseVariant {
+    /// The restricted (standard) chase: a trigger fires only if the head is
+    /// not already satisfied with the trigger's frontier image.
+    #[default]
+    Restricted,
+    /// The oblivious chase: every trigger fires exactly once, regardless of
+    /// head satisfaction. Produces larger, more regular results.
+    Oblivious,
+}
+
+/// Resource budget for a chase run.
+///
+/// The chase of tgds with existential variables may not terminate; budgets
+/// turn divergence into an explicit [`ChaseOutcome::BudgetExceeded`] result
+/// that downstream reasoning treats conservatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseBudget {
+    /// Maximum number of facts in the chased instance.
+    pub max_facts: usize,
+    /// Maximum number of chase rounds (each round fires all triggers found
+    /// at its start).
+    pub max_rounds: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_facts: 20_000,
+            max_rounds: 128,
+        }
+    }
+}
+
+impl ChaseBudget {
+    /// A small budget for quick probes.
+    pub fn small() -> Self {
+        ChaseBudget {
+            max_facts: 2_000,
+            max_rounds: 32,
+        }
+    }
+
+    /// A generous budget for stubborn inputs.
+    pub fn large() -> Self {
+        ChaseBudget {
+            max_facts: 200_000,
+            max_rounds: 512,
+        }
+    }
+}
+
+/// Whether the chase reached a fixpoint or was cut off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// A fixpoint: the result satisfies every tgd of the input set.
+    Terminated,
+    /// The budget ran out; the result is a *partial* chase (sound for
+    /// positive entailment, useless for refutation).
+    BudgetExceeded,
+}
+
+/// One recorded chase step: a trigger that fired and the facts it added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// Index of the tgd in the input set.
+    pub tgd_index: usize,
+    /// Images of the tgd's universal variables.
+    pub universal: Vec<Elem>,
+    /// Nulls invented for the existential variables (in variable order).
+    pub witnesses: Vec<Elem>,
+    /// Facts newly added by this step.
+    pub added: Vec<Fact>,
+}
+
+/// A derivation log for a chase run; see [`chase_with_provenance`].
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    /// The steps, in firing order.
+    pub steps: Vec<DerivationStep>,
+}
+
+impl Provenance {
+    /// The step that first derived `fact`, if any (facts of the input
+    /// instance have no step).
+    pub fn explain(&self, fact: &Fact) -> Option<&DerivationStep> {
+        self.steps.iter().find(|s| s.added.contains(fact))
+    }
+}
+
+/// The result of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The chased instance (extends the input instance).
+    pub instance: Instance,
+    /// Fixpoint or budget cutoff.
+    pub outcome: ChaseOutcome,
+    /// The labeled nulls invented by the chase.
+    pub nulls: BTreeSet<Elem>,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+impl ChaseResult {
+    /// `true` when the chase reached a fixpoint.
+    pub fn terminated(&self) -> bool {
+        self.outcome == ChaseOutcome::Terminated
+    }
+}
+
+/// Runs the chase of `start` with `tgds` (paper notation:
+/// `chase(I, Σ)`).
+///
+/// The result extends `start`; when the outcome is
+/// [`ChaseOutcome::Terminated`] it is a model of `Σ` that maps
+/// homomorphically into every model of `Σ` containing `start` while fixing
+/// `start`'s elements (hom-universality) — the property exploited by
+/// Claims C.2/D.3/E.2 of the paper.
+///
+/// ```
+/// use tgdkit_logic::{parse_tgds, Schema};
+/// use tgdkit_instance::parse_instance;
+/// use tgdkit_chase::{chase, ChaseBudget, ChaseVariant};
+/// let mut schema = Schema::default();
+/// let tgds = parse_tgds(&mut schema, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+/// let path = parse_instance(&mut schema, "E(a,b), E(b,c), E(c,d)").unwrap();
+/// let result = chase(&path, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+/// assert!(result.terminated());
+/// assert_eq!(result.instance.fact_count(), 6); // transitive closure of a 3-path
+/// ```
+pub fn chase(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+) -> ChaseResult {
+    chase_impl(start, tgds, variant, budget, None)
+}
+
+/// [`chase`] with a derivation log: every fired trigger is recorded with
+/// the facts it added, so results can be *explained*
+/// ([`Provenance::explain`]).
+pub fn chase_with_provenance(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+) -> (ChaseResult, Provenance) {
+    let mut provenance = Provenance::default();
+    let result = chase_impl(start, tgds, variant, budget, Some(&mut provenance));
+    (result, provenance)
+}
+
+fn chase_impl(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    mut log: Option<&mut Provenance>,
+) -> ChaseResult {
+    let mut instance = start.clone();
+    let mut nulls: BTreeSet<Elem> = BTreeSet::new();
+    let mut next_null = instance.fresh_elem().0;
+    // For the oblivious chase: triggers already fired, per tgd.
+    let mut fired: Vec<BTreeSet<Vec<Elem>>> = vec![BTreeSet::new(); tgds.len()];
+    let head_cqs: Vec<Cq> = tgds.iter().map(|t| Cq::boolean(t.head().to_vec())).collect();
+    // Facts added in the previous round (None = first round: full search).
+    let mut delta: Option<Vec<Fact>> = None;
+
+    let mut rounds = 0usize;
+    loop {
+        if rounds >= budget.max_rounds {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::BudgetExceeded,
+                nulls,
+                rounds,
+            };
+        }
+        rounds += 1;
+
+        // Snapshot this round's triggers against the instance as of the
+        // start of the round (fair, breadth-first scheduling). The index is
+        // built once per round for trigger search, and refreshed lazily for
+        // the restricted-variant head checks as the instance grows.
+        //
+        // Trigger search is semi-naive: from the second round on, a new
+        // trigger must use at least one fact added in the previous round
+        // (anchoring each body atom at the delta in turn; duplicates are
+        // removed by the trigger set). Older triggers were found — and
+        // either fired or found satisfied, both monotone — in an earlier
+        // round.
+        let round_index = InstanceIndex::new(&instance);
+        let mut triggers: BTreeSet<(usize, Vec<Elem>)> = BTreeSet::new();
+        for (ti, tgd) in tgds.iter().enumerate() {
+            let n = tgd.universal_count();
+            match &delta {
+                None => {
+                    let fixed: Binding = vec![None; tgd.var_count()];
+                    for_each_hom_indexed(tgd.body(), n, &round_index, &fixed, &mut |binding| {
+                        let universal: Vec<Elem> = (0..n)
+                            .map(|v| binding[v].expect("universal bound"))
+                            .collect();
+                        triggers.insert((ti, universal));
+                        ControlFlow::Continue(())
+                    });
+                }
+                Some(delta_facts) => {
+                    for (anchor, atom) in tgd.body().iter().enumerate() {
+                        for fact in delta_facts {
+                            if fact.pred != atom.pred {
+                                continue;
+                            }
+                            // Bind the anchor atom to the delta fact.
+                            let mut fixed: Binding = vec![None; tgd.var_count()];
+                            let mut ok = true;
+                            for (&v, &e) in atom.args.iter().zip(&fact.args) {
+                                match fixed[v.index()] {
+                                    Some(prev) if prev != e => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    _ => fixed[v.index()] = Some(e),
+                                }
+                            }
+                            if !ok {
+                                continue;
+                            }
+                            let rest: Vec<_> = tgd
+                                .body()
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| i != anchor)
+                                .map(|(_, a)| a.clone())
+                                .collect();
+                            for_each_hom_indexed(&rest, n, &round_index, &fixed, &mut |binding| {
+                                let universal: Vec<Elem> = (0..n)
+                                    .map(|v| binding[v].expect("universal bound"))
+                                    .collect();
+                                triggers.insert((ti, universal));
+                                ControlFlow::Continue(())
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut added_this_round: Vec<Fact> = Vec::new();
+        let mut fired_this_round = false;
+        let mut check_index = round_index;
+        let mut index_dirty = false;
+        for (ti, universal) in triggers {
+            let tgd = &tgds[ti];
+            if tgd.is_full() {
+                // Full tgds invent no nulls: firing is an idempotent set
+                // insertion, cheaper than any satisfaction check.
+                let mut changed = false;
+                let mut step_added: Vec<Fact> = Vec::new();
+                for atom in tgd.head() {
+                    let args: Vec<Elem> =
+                        atom.args.iter().map(|v| universal[v.index()]).collect();
+                    if instance.add_fact(atom.pred, args.clone()) {
+                        let fact = Fact::new(atom.pred, args);
+                        added_this_round.push(fact.clone());
+                        step_added.push(fact);
+                        changed = true;
+                    }
+                }
+                if changed {
+                    if let Some(prov) = log.as_deref_mut() {
+                        prov.steps.push(DerivationStep {
+                            tgd_index: ti,
+                            universal: universal.clone(),
+                            witnesses: Vec::new(),
+                            added: step_added,
+                        });
+                    }
+                    fired_this_round = true;
+                    index_dirty = true;
+                    if instance.fact_count() > budget.max_facts {
+                        return ChaseResult {
+                            instance,
+                            outcome: ChaseOutcome::BudgetExceeded,
+                            nulls,
+                            rounds,
+                        };
+                    }
+                }
+                continue;
+            }
+            match variant {
+                ChaseVariant::Restricted => {
+                    // Re-check satisfaction against the *current* instance.
+                    if index_dirty {
+                        check_index = InstanceIndex::new(&instance);
+                        index_dirty = false;
+                    }
+                    let mut head_fixed: Binding = vec![None; tgd.var_count()];
+                    for (v, &e) in universal.iter().enumerate() {
+                        head_fixed[v] = Some(e);
+                    }
+                    if head_cqs[ti].holds_with_indexed(&check_index, &head_fixed) {
+                        continue;
+                    }
+                }
+                ChaseVariant::Oblivious => {
+                    if !fired[ti].insert(universal.clone()) {
+                        continue;
+                    }
+                }
+            }
+            // Fire: fresh nulls for the existential variables.
+            let n = tgd.universal_count();
+            let mut assignment: Vec<Elem> = Vec::with_capacity(tgd.var_count());
+            assignment.extend(universal.iter().copied());
+            let mut witnesses: Vec<Elem> = Vec::new();
+            for _ in tgd.existential_vars() {
+                let e = Elem(next_null);
+                next_null += 1;
+                nulls.insert(e);
+                witnesses.push(e);
+                assignment.push(e);
+            }
+            let mut step_added: Vec<Fact> = Vec::new();
+            for atom in tgd.head() {
+                let args: Vec<Elem> = atom.args.iter().map(|v| assignment[v.index()]).collect();
+                if instance.add_fact(atom.pred, args.clone()) {
+                    let fact = Fact::new(atom.pred, args);
+                    added_this_round.push(fact.clone());
+                    step_added.push(fact);
+                }
+            }
+            if let Some(prov) = log.as_deref_mut() {
+                prov.steps.push(DerivationStep {
+                    tgd_index: ti,
+                    universal: universal.clone(),
+                    witnesses,
+                    added: step_added,
+                });
+            }
+            fired_this_round = true;
+            index_dirty = true;
+            let _ = n;
+            if instance.fact_count() > budget.max_facts {
+                return ChaseResult {
+                    instance,
+                    outcome: ChaseOutcome::BudgetExceeded,
+                    nulls,
+                    rounds,
+                };
+            }
+        }
+
+        if !fired_this_round {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::Terminated,
+                nulls,
+                rounds,
+            };
+        }
+        delta = Some(added_this_round);
+    }
+}
+
+/// The **core chase**: a restricted chase followed by core minimization
+/// relative to the input's elements, yielding the *minimal* universal model
+/// containing `start` (when the chase terminates).
+///
+/// The core chase is the canonical-model construction of the data-exchange
+/// literature; tgdkit uses it to produce small witnesses (e.g. the `J_K` of
+/// the locality checks are hom-equivalent to core-chase results). Core
+/// minimization is exponential in the worst case — reserve for small
+/// results.
+pub fn core_chase(
+    start: &Instance,
+    tgds: &[Tgd],
+    budget: ChaseBudget,
+) -> ChaseResult {
+    let result = chase(start, tgds, ChaseVariant::Restricted, budget);
+    if !result.terminated() {
+        return result;
+    }
+    let frozen = start.active_domain();
+    let minimized = tgdkit_hom::core_preserving(&result.instance, &frozen);
+    let nulls: BTreeSet<Elem> = result
+        .nulls
+        .iter()
+        .copied()
+        .filter(|n| minimized.active_domain().contains(n))
+        .collect();
+    ChaseResult {
+        instance: minimized,
+        outcome: result.outcome,
+        nulls,
+        rounds: result.rounds,
+    }
+}
+
+/// An egd chase failure: the egd forced two *original* (non-null) elements
+/// to be equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgdFailure {
+    /// The two original elements that the egd tried to merge.
+    pub elements: (Elem, Elem),
+}
+
+impl std::fmt::Display for EgdFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "egd chase failure: cannot equate original elements {:?} and {:?}",
+            self.elements.0, self.elements.1
+        )
+    }
+}
+
+impl std::error::Error for EgdFailure {}
+
+/// Runs the chase with both tgds and egds: tgd rounds as in [`chase`],
+/// interleaved with egd steps that merge a labeled null into the other
+/// element of a violated equality (failing if both elements are original).
+pub fn chase_with_egds(
+    start: &Instance,
+    tgds: &[Tgd],
+    egds: &[Egd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+) -> Result<ChaseResult, EgdFailure> {
+    let mut current = start.clone();
+    let mut all_nulls: BTreeSet<Elem> = BTreeSet::new();
+    let mut rounds_total = 0usize;
+    loop {
+        let mut result = chase(&current, tgds, variant, budget);
+        all_nulls.extend(result.nulls.iter().copied());
+        rounds_total += result.rounds;
+        // Apply egds to a fixpoint.
+        let mut merged_any = false;
+        'egds: loop {
+            for egd in egds {
+                if let Some((a, b)) = egd_violation(&result.instance, egd) {
+                    let (keep, drop) = match (all_nulls.contains(&a), all_nulls.contains(&b)) {
+                        (_, true) => (a, b),
+                        (true, false) => (b, a),
+                        (false, false) => return Err(EgdFailure { elements: (a, b) }),
+                    };
+                    result.instance = result
+                        .instance
+                        .map_elements(|e| if e == drop { keep } else { e });
+                    all_nulls.remove(&drop);
+                    merged_any = true;
+                    continue 'egds;
+                }
+            }
+            break;
+        }
+        if !merged_any {
+            return Ok(ChaseResult {
+                instance: result.instance,
+                outcome: result.outcome,
+                nulls: all_nulls,
+                rounds: rounds_total,
+            });
+        }
+        if result.outcome == ChaseOutcome::BudgetExceeded || rounds_total >= budget.max_rounds {
+            return Ok(ChaseResult {
+                instance: result.instance,
+                outcome: ChaseOutcome::BudgetExceeded,
+                nulls: all_nulls,
+                rounds: rounds_total,
+            });
+        }
+        // Merging may enable new tgd triggers: chase again.
+        current = result.instance;
+    }
+}
+
+fn egd_violation(instance: &Instance, egd: &Egd) -> Option<(Elem, Elem)> {
+    let n = egd.var_count();
+    let fixed: Binding = vec![None; n];
+    let mut found = None;
+    for_each_hom(egd.body(), n, instance, &fixed, &mut |binding| {
+        let a = binding[egd.lhs().index()].expect("bound");
+        let b = binding[egd.rhs().index()].expect("bound");
+        if a == b {
+            ControlFlow::Continue(())
+        } else {
+            found = Some((a, b));
+            ControlFlow::Break(())
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfy::satisfies_tgds;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_dependencies, parse_tgds, Schema};
+
+    #[test]
+    fn full_tgds_reach_fixpoint() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let mut path = Instance::new(s.clone());
+        let e = s.pred_id("E").unwrap();
+        for i in 0..6u32 {
+            path.add_fact(e, vec![Elem(i), Elem(i + 1)]);
+        }
+        let result = chase(&path, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+        assert!(result.nulls.is_empty());
+        // Transitive closure of a 6-edge path: 7*6/2 pairs.
+        assert_eq!(result.instance.fact_count(), 21);
+        assert!(satisfies_tgds(&result.instance, &tgds));
+    }
+
+    #[test]
+    fn existential_chase_invents_nulls() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "P(a)").unwrap();
+        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+        assert_eq!(result.nulls.len(), 1);
+        assert_eq!(result.instance.fact_count(), 2);
+    }
+
+    #[test]
+    fn restricted_chase_reuses_witnesses() {
+        let mut s = Schema::default();
+        // E(x,y) -> exists z : E(y,z) on a cycle: already satisfied, no
+        // firing.
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z).").unwrap();
+        let cycle = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        let result = chase(&cycle, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+        assert_eq!(result.instance.fact_count(), 2);
+        assert!(result.nulls.is_empty());
+    }
+
+    #[test]
+    fn oblivious_chase_fires_every_trigger() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z).").unwrap();
+        let cycle = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        // Oblivious chase on a cycle diverges: every new edge spawns another.
+        let result = chase(&cycle, &tgds, ChaseVariant::Oblivious, ChaseBudget::small());
+        assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+        assert!(result.instance.fact_count() > 2);
+    }
+
+    #[test]
+    fn divergent_restricted_chase_hits_budget() {
+        let mut s = Schema::default();
+        // The classic non-terminating rule: every node has a successor,
+        // and successors are fresh because of the P marker asymmetry.
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget { max_facts: 500, max_rounds: 1_000 },
+        );
+        assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn chase_extends_start() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(start.is_contained_in(&result.instance));
+        assert_eq!(result.instance.fact_count(), 2);
+    }
+
+    #[test]
+    fn empty_body_rule_fires_once() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "true -> exists x : P(x).").unwrap();
+        let start = parse_instance(&mut s, "").unwrap();
+        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+        assert_eq!(result.instance.fact_count(), 1);
+        // Already satisfied: no second null.
+        let again = chase(
+            &result.instance,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert_eq!(again.instance.fact_count(), 1);
+    }
+
+    #[test]
+    fn provenance_explains_derived_facts() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(
+            &mut s,
+            "E(x,y), E(y,z) -> E(x,z). P(x) -> exists w : E(x,w).",
+        )
+        .unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), P(c)").unwrap();
+        let (result, provenance) =
+            chase_with_provenance(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+        // Every derived fact has an explanation; input facts have none.
+        for fact in result.instance.facts() {
+            let explained = provenance.explain(&fact).is_some();
+            let is_input = start.contains_fact(fact.pred, &fact.args);
+            assert_eq!(explained, !is_input, "fact {fact:?}");
+        }
+        // The transitive edge E(a,c) is explained by rule 0 with (a,b,c).
+        let e = s.pred_id("E").unwrap();
+        let a = start.elem_by_name("a").unwrap();
+        let c = start.elem_by_name("c").unwrap();
+        let step = provenance
+            .explain(&Fact::new(e, vec![a, c]))
+            .expect("derived fact explained");
+        assert_eq!(step.tgd_index, 0);
+        assert!(step.witnesses.is_empty());
+        // The existential edge records its invented witness.
+        let exist_step = provenance
+            .steps
+            .iter()
+            .find(|st| st.tgd_index == 1)
+            .expect("existential rule fired");
+        assert_eq!(exist_step.witnesses.len(), 1);
+        assert!(result.nulls.contains(&exist_step.witnesses[0]));
+    }
+
+    #[test]
+    fn provenance_free_chase_matches_logged_chase() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(c,d)").unwrap();
+        let plain = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let (logged, provenance) =
+            chase_with_provenance(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        assert_eq!(plain.instance, logged.instance);
+        assert_eq!(provenance.steps.len(), 2);
+    }
+
+    #[test]
+    fn core_chase_minimizes_redundant_witnesses() {
+        let mut s = Schema::default();
+        // Oblivious-style redundancy through two rules deriving the same
+        // witness need: the restricted chase of E(a,b) under
+        // "E(x,y) -> exists z : E(y,z)" with an extra loop-closing fact.
+        let tgds = parse_tgds(
+            &mut s,
+            "P(x) -> exists z : E(x,z). Q(x) -> exists z : E(x,z).",
+        )
+        .unwrap();
+        let start = parse_instance(&mut s, "P(a), Q(a)").unwrap();
+        let plain = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let cored = core_chase(&start, &tgds, ChaseBudget::default());
+        assert!(cored.terminated());
+        // Both rules share one witness after minimization.
+        assert!(cored.instance.fact_count() <= plain.instance.fact_count());
+        assert_eq!(cored.instance.fact_count(), 3); // P(a), Q(a), E(a,n)
+        assert_eq!(cored.nulls.len(), 1);
+        // The result is still a model containing the input.
+        assert!(crate::satisfy::satisfies_tgds(&cored.instance, &tgds));
+        assert!(start.is_contained_in(&cored.instance));
+    }
+
+    #[test]
+    fn core_chase_preserves_input_elements() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,a), E(a,b), E(b,a)").unwrap();
+        let cored = core_chase(&start, &tgds, ChaseBudget::default());
+        assert!(cored.terminated());
+        for e in start.active_domain() {
+            assert!(
+                cored.instance.active_domain().contains(&e),
+                "input element {e:?} dropped"
+            );
+        }
+        assert!(start.is_contained_in(&cored.instance));
+    }
+
+    #[test]
+    fn egd_chase_merges_nulls() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
+        let deps = parse_dependencies(&mut s, "E(x,y), E(x,z) -> y = z.").unwrap();
+        let egd = deps[0].as_egd().unwrap().clone();
+        // Start with E(a,b) and P(a): the chase adds E(a,n) for a null n,
+        // and the key egd merges n into b.
+        let start = parse_instance(&mut s, "P(a), E(a,b)").unwrap();
+        // With the restricted chase nothing fires (E(a,b) witnesses the
+        // head); use oblivious to force the null and exercise the merge.
+        let result = chase_with_egds(
+            &start,
+            &tgds,
+            &[egd],
+            ChaseVariant::Oblivious,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(result.instance.fact_count(), 2);
+        assert!(result.nulls.is_empty());
+    }
+
+    #[test]
+    fn egd_chase_fails_on_original_elements() {
+        let mut s = Schema::default();
+        let deps = parse_dependencies(&mut s, "E(x,y), E(x,z) -> y = z.").unwrap();
+        let egd = deps[0].as_egd().unwrap().clone();
+        let start = parse_instance(&mut s, "E(a,b), E(a,c)").unwrap();
+        let err = chase_with_egds(
+            &start,
+            &[],
+            &[egd],
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap_err();
+        let (x, y) = err.elements;
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hom-universality of chase results.
+//!
+//! A terminated chase `chase(I, Σ)` maps homomorphically into **every**
+//! model `M ⊨ Σ` with `facts(I) ⊆ facts(M)`, by a homomorphism that is the
+//! identity on `adom(I)`. The paper's Claims C.2, D.3 and E.2 rest on this
+//! property; the locality checker uses it to justify choosing the chase as
+//! the witness instance `J_K`.
+
+use std::collections::BTreeMap;
+use tgdkit_hom::find_instance_hom;
+use tgdkit_instance::{Elem, Instance};
+
+/// Finds the universal homomorphism from a chase result into a model,
+/// fixing the `frozen` elements (normally `adom` of the chase input).
+///
+/// Returns the mapping on the chase's active domain, or `None` — which for
+/// a *terminated* chase and a genuine model containing the chase input
+/// would contradict universality (tests use this as an oracle).
+pub fn universal_hom_into(
+    chased: &Instance,
+    frozen: &[Elem],
+    model: &Instance,
+) -> Option<BTreeMap<Elem, Elem>> {
+    let fixed: BTreeMap<Elem, Elem> = frozen.iter().map(|&e| (e, e)).collect();
+    find_instance_hom(chased, model, &fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseBudget, ChaseVariant};
+    use crate::satisfy::satisfies_tgds;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_tgds, Schema};
+
+    #[test]
+    fn chase_maps_into_every_model() {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, "P(x) -> exists z : E(x,z). E(x,y) -> Q(y).").unwrap();
+        let start = parse_instance(&mut s, "P(a)").unwrap();
+        let result = chase(&start, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        assert!(result.terminated());
+
+        // Build a few models of Σ containing P(a).
+        let models = [
+            parse_instance(&mut s, "P(a), E(a,b), Q(b)").unwrap(),
+            parse_instance(&mut s, "P(a), E(a,a), Q(a)").unwrap(),
+            parse_instance(&mut s, "P(a), E(a,b), Q(b), E(c,b), Q(a)").unwrap(),
+        ];
+        let frozen: Vec<_> = start.active_domain().into_iter().collect();
+        for model in &models {
+            assert!(satisfies_tgds(model, &sigma), "not a model: {model}");
+            let hom = universal_hom_into(&result.instance, &frozen, model);
+            assert!(hom.is_some(), "universality failed into {model}");
+        }
+    }
+
+    #[test]
+    fn no_hom_into_non_models_of_the_head() {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "P(a)").unwrap();
+        let result = chase(&start, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        // An instance with P(a) but no outgoing E-edge from a.
+        let non_model = parse_instance(&mut s, "P(a), E(b,b)").unwrap();
+        let frozen: Vec<_> = start.active_domain().into_iter().collect();
+        assert!(universal_hom_into(&result.instance, &frozen, &non_model).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! The Makowsky–Vardi correction (paper §5).
+//!
+//! Lemma 7 of Makowsky–Vardi 1986 claimed tgds are preserved by duplicating
+//! extensions; paper Example 5.2 refutes it with the full tgd
+//! `R(x,y), S(y,z) → T(x,z)`, and Def. 5.3 repairs the notion
+//! (non-oblivious duplicating extensions), leading to the corrected
+//! characterization of FTGD-ontologies (Theorem 5.6). This module packages
+//! the counterexample as a checkable artifact and the §5 property bundle.
+
+use crate::ontology::{Ontology, TgdOntology};
+use crate::properties::{
+    check_criticality, check_domain_independence, check_duplication_closure,
+    check_intersection_closure, check_modularity, member_pairs, sample_members,
+};
+use crate::verdict::Verdict;
+use tgdkit_chase::satisfies_tgd;
+use tgdkit_instance::{
+    non_oblivious_duplicating_extension, oblivious_duplicating_extension, parse_instance,
+    Instance,
+};
+use tgdkit_logic::{parse_tgd, Schema, Tgd, TgdSet};
+
+/// The reproduction of paper Example 5.2.
+#[derive(Debug, Clone)]
+pub struct Example52 {
+    /// The schema `{R/2, S/2, T/2}`.
+    pub schema: Schema,
+    /// The full tgd `R(x,y), S(y,z) → T(x,z)`.
+    pub tgd: Tgd,
+    /// The model `I = {R(a,b), S(b,a), T(a,a)}`.
+    pub model: Instance,
+    /// The **oblivious** duplicating extension of `I` at `a` — *not* a
+    /// model, refuting Makowsky–Vardi's Lemma 7.
+    pub oblivious_extension: Instance,
+    /// The **non-oblivious** duplicating extension of `I` at `a` — a model,
+    /// as Def. 5.3 guarantees.
+    pub non_oblivious_extension: Instance,
+}
+
+/// Builds and verifies Example 5.2; panics if the paper's claims fail (they
+/// are also asserted in tests — this function exists so examples and the
+/// experiment harness can display the artifact).
+pub fn example_5_2() -> Example52 {
+    let mut schema = Schema::default();
+    let tgd = parse_tgd(&mut schema, "R(x,y), S(y,z) -> T(x,z)").expect("valid tgd");
+    let model = parse_instance(&mut schema, "R(a,b), S(b,a), T(a,a)").expect("valid instance");
+    let a = model.elem_by_name("a").expect("constant a");
+    let fresh = model.fresh_elem();
+    let oblivious_extension = oblivious_duplicating_extension(&model, a, fresh);
+    let non_oblivious_extension = non_oblivious_duplicating_extension(&model, a, fresh);
+    assert!(satisfies_tgd(&model, &tgd), "I must be a model");
+    assert!(
+        !satisfies_tgd(&oblivious_extension, &tgd),
+        "Example 5.2: the oblivious extension must violate the tgd"
+    );
+    assert!(
+        satisfies_tgd(&non_oblivious_extension, &tgd),
+        "Def. 5.3: the non-oblivious extension must remain a model"
+    );
+    Example52 {
+        schema,
+        tgd,
+        model,
+        oblivious_extension,
+        non_oblivious_extension,
+    }
+}
+
+/// The property bundle of Theorem 5.6 direction (1) ⇒ (2) for a set of
+/// **full** tgds: 1-criticality, domain independence, n-modularity,
+/// ∩-closure, and closure under non-oblivious duplicating extensions —
+/// each checked constructively or on seeded samples.
+#[derive(Debug, Clone)]
+pub struct FullTgdPropertyReport {
+    /// 1-criticality (exact).
+    pub one_critical: Verdict,
+    /// Domain independence over sampled members.
+    pub domain_independent: Verdict,
+    /// n-modularity over sampled non-members, with the n used.
+    pub modular: Verdict,
+    /// The modularity bound n = max body variables of Σ.
+    pub modularity_n: usize,
+    /// ∩-closure over sampled member pairs.
+    pub intersection_closed: Verdict,
+    /// Closure under non-oblivious duplicating extensions over samples.
+    pub non_oblivious_dup_closed: Verdict,
+    /// Closure under *oblivious* duplicating extensions over samples —
+    /// expected to FAIL for sets like Example 5.2's.
+    pub oblivious_dup_closed: Verdict,
+}
+
+/// Runs the Theorem 5.6 suite on a set of full tgds.
+///
+/// # Panics
+/// Panics if `set` is not full.
+pub fn full_tgd_property_report(set: &TgdSet, seed: u64) -> FullTgdPropertyReport {
+    assert!(set.is_full(), "Theorem 5.6 concerns full tgds");
+    let ontology = TgdOntology::new(set.clone());
+    let members = sample_members(set.schema(), set.tgds(), 8, 4, 0.35, seed);
+    let pairs = member_pairs(&members, 16);
+    let non_members: Vec<Instance> = {
+        // Mutate members by dropping one fact; keep the genuine non-members.
+        let mut out = Vec::new();
+        for m in &members {
+            if let Some(fact) = m.facts().next() {
+                let mut broken = m.clone();
+                broken.remove_fact(fact.pred, &fact.args);
+                if !ontology.contains(&broken) {
+                    out.push(broken);
+                }
+            }
+        }
+        out
+    };
+    let (n, _) = set.profile();
+    FullTgdPropertyReport {
+        one_critical: Verdict::from_bool(check_criticality(&ontology, 1).is_ok()),
+        domain_independent: Verdict::from_bool(
+            check_domain_independence(&ontology, &members).is_ok(),
+        ),
+        modular: Verdict::from_bool(check_modularity(&ontology, &non_members, n).is_ok()),
+        modularity_n: n,
+        intersection_closed: Verdict::from_bool(
+            check_intersection_closure(&ontology, &pairs).is_ok(),
+        ),
+        non_oblivious_dup_closed: Verdict::from_bool(
+            check_duplication_closure(&ontology, &members, false).is_ok(),
+        ),
+        oblivious_dup_closed: Verdict::from_bool(
+            check_duplication_closure(&ontology, &members, true).is_ok(),
+        ),
+    }
+}
+
+/// The counterexample packaged as a duplication-closure failure: the
+/// ontology of Example 5.2's tgd is **not** closed under oblivious
+/// duplicating extensions (but is closed under non-oblivious ones on the
+/// same witness).
+pub fn oblivious_closure_fails_on_example_5_2() -> (Verdict, Verdict) {
+    let ex = example_5_2();
+    let set = TgdSet::new(ex.schema.clone(), vec![ex.tgd.clone()]).expect("valid set");
+    let ontology = TgdOntology::new(set);
+    let samples = vec![ex.model.clone()];
+    let oblivious = Verdict::from_bool(
+        check_duplication_closure(&ontology, &samples, true).is_ok(),
+    );
+    let non_oblivious = Verdict::from_bool(
+        check_duplication_closure(&ontology, &samples, false).is_ok(),
+    );
+    (oblivious, non_oblivious)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::Elem;
+    use tgdkit_logic::parse_tgds;
+
+    #[test]
+    fn example_5_2_reproduces() {
+        let ex = example_5_2();
+        // The oblivious extension misses T(a,c)/T(c,a); the non-oblivious
+        // one has them.
+        let t = ex.schema.pred_id("T").unwrap();
+        let a = ex.model.elem_by_name("a").unwrap();
+        let c = Elem(ex.model.fresh_elem().0);
+        assert!(!ex.oblivious_extension.contains_fact(t, &[a, c]));
+        assert!(ex.non_oblivious_extension.contains_fact(t, &[a, c]));
+        assert!(ex.non_oblivious_extension.contains_fact(t, &[c, a]));
+    }
+
+    #[test]
+    fn closure_checks_split_as_the_paper_says() {
+        let (oblivious, non_oblivious) = oblivious_closure_fails_on_example_5_2();
+        assert_eq!(oblivious, Verdict::No, "MV Lemma 7 should be refuted");
+        assert_eq!(non_oblivious, Verdict::Yes, "Def. 5.3 closure should hold");
+    }
+
+    #[test]
+    fn theorem_5_6_suite_on_a_full_set() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "R(x,y), S(y,z) -> T(x,z). T(x,y) -> T(y,x).").unwrap();
+        let set = TgdSet::new(s, tgds).unwrap();
+        let report = full_tgd_property_report(&set, 3);
+        assert_eq!(report.one_critical, Verdict::Yes);
+        assert_eq!(report.domain_independent, Verdict::Yes);
+        assert_eq!(report.modular, Verdict::Yes);
+        assert_eq!(report.intersection_closed, Verdict::Yes);
+        assert_eq!(report.non_oblivious_dup_closed, Verdict::Yes);
+        assert_eq!(report.modularity_n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn non_full_sets_are_rejected() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
+        let set = TgdSet::new(s, tgds).unwrap();
+        full_tgd_property_report(&set, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! m-neighbourhoods of a set of elements in an instance (paper §3.3).
+//!
+//! The m-neighbourhood of `F ⊆ adom(J)` in `J` is the set of subinstances
+//! `J' ≤ J` with `F ⊆ adom(J')` and `|adom(J')| ≤ |F| + m`. For the
+//! locality checks only the **maximal** neighbours matter: every neighbour's
+//! facts are contained in some restriction `J|_{F ∪ extra}` with
+//! `|extra| = m`, and an identity-on-`F` embedding of the restriction
+//! restricts to one of the neighbour. This module therefore enumerates the
+//! maximal restrictions.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use tgdkit_instance::{Elem, Instance};
+
+/// Enumerates all subsets of `elems` of size at most `k`, in deterministic
+/// order, invoking `visit` for each (including the empty set).
+pub fn for_each_subset_up_to(
+    elems: &[Elem],
+    k: usize,
+    visit: &mut dyn FnMut(&[Elem]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    fn go(
+        elems: &[Elem],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<Elem>,
+        visit: &mut dyn FnMut(&[Elem]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        visit(acc)?;
+        if acc.len() == k {
+            return ControlFlow::Continue(());
+        }
+        for i in start..elems.len() {
+            acc.push(elems[i]);
+            go(elems, k, i + 1, acc, visit)?;
+            acc.pop();
+        }
+        ControlFlow::Continue(())
+    }
+    let mut acc = Vec::with_capacity(k);
+    go(elems, k, 0, &mut acc, visit)
+}
+
+/// Enumerates all subsets of `elems` of size exactly `k` (or the single
+/// full set if `|elems| < k`), invoking `visit` for each.
+pub fn for_each_subset_exact(
+    elems: &[Elem],
+    k: usize,
+    visit: &mut dyn FnMut(&[Elem]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if elems.len() <= k {
+        return visit(elems);
+    }
+    fn go(
+        elems: &[Elem],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<Elem>,
+        visit: &mut dyn FnMut(&[Elem]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if acc.len() == k {
+            return visit(acc);
+        }
+        let needed = k - acc.len();
+        for i in start..=elems.len().saturating_sub(needed) {
+            acc.push(elems[i]);
+            go(elems, k, i + 1, acc, visit)?;
+            acc.pop();
+        }
+        ControlFlow::Continue(())
+    }
+    let mut acc = Vec::with_capacity(k);
+    go(elems, k, 0, &mut acc, visit)
+}
+
+/// Number of maximal m-neighbourhood restrictions of `F` in `J`
+/// (`C(|adom(J) \ F|, m)`, capped at `usize::MAX`).
+pub fn maximal_neighbourhood_count(j: &Instance, f: &BTreeSet<Elem>, m: usize) -> usize {
+    let avail = j.active_domain().difference(f).count();
+    if avail <= m {
+        return 1;
+    }
+    // C(avail, m) with saturation.
+    let mut acc: usize = 1;
+    for i in 0..m {
+        acc = acc.saturating_mul(avail - i) / (i + 1);
+    }
+    acc
+}
+
+/// Enumerates the maximal m-neighbourhood restrictions of `F` in `J`:
+/// the instances `J|_{F ∪ extra}` for each `extra ⊆ adom(J) \ F` of size
+/// `min(m, |adom(J) \ F|)`.
+///
+/// Restrictions in which some element of `F` is inactive are skipped: the
+/// paper's neighbourhood requires `F ⊆ adom(J')`, and no neighbour exists
+/// below such a restriction either.
+pub fn for_each_maximal_neighbourhood(
+    j: &Instance,
+    f: &BTreeSet<Elem>,
+    m: usize,
+    visit: &mut dyn FnMut(&Instance) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let adom = j.active_domain();
+    let extras: Vec<Elem> = adom.difference(f).copied().collect();
+    let size = m.min(extras.len());
+    for_each_subset_exact(&extras, size, &mut |extra| {
+        let mut d: BTreeSet<Elem> = f.clone();
+        d.extend(extra.iter().copied());
+        let restriction = j.restrict(&d);
+        let r_adom = restriction.active_domain();
+        if f.iter().all(|e| r_adom.contains(e)) {
+            visit(&restriction)
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::Schema;
+
+    fn collect_subsets(elems: &[Elem], k: usize) -> Vec<Vec<Elem>> {
+        let mut out = Vec::new();
+        let _ = for_each_subset_up_to(elems, k, &mut |s| {
+            out.push(s.to_vec());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn subsets_up_to_two() {
+        let elems = [Elem(0), Elem(1), Elem(2)];
+        let subsets = collect_subsets(&elems, 2);
+        // {}, {0}, {0,1}, {0,2}, {1}, {1,2}, {2}
+        assert_eq!(subsets.len(), 7);
+        assert!(subsets.iter().all(|s| s.len() <= 2));
+    }
+
+    #[test]
+    fn subsets_exact() {
+        let elems = [Elem(0), Elem(1), Elem(2), Elem(3)];
+        let mut count = 0;
+        let _ = for_each_subset_exact(&elems, 2, &mut |s| {
+            assert_eq!(s.len(), 2);
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 6);
+        // Fewer elements than k: the full set once.
+        let mut whole = Vec::new();
+        let _ = for_each_subset_exact(&elems[..1], 3, &mut |s| {
+            whole.push(s.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(whole, vec![vec![Elem(0)]]);
+    }
+
+    #[test]
+    fn neighbourhood_counts() {
+        let mut s = Schema::default();
+        let j = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let a = j.elem_by_name("a").unwrap();
+        let f: BTreeSet<Elem> = [a].into_iter().collect();
+        // adom \ F = {b, c, d}; C(3,1) = 3, C(3,2) = 3, C(3,5) -> 1 (all).
+        assert_eq!(maximal_neighbourhood_count(&j, &f, 1), 3);
+        assert_eq!(maximal_neighbourhood_count(&j, &f, 2), 3);
+        assert_eq!(maximal_neighbourhood_count(&j, &f, 5), 1);
+    }
+
+    #[test]
+    fn maximal_neighbourhoods_keep_f_active() {
+        let mut s = Schema::default();
+        // a is only active together with b.
+        let j = parse_instance(&mut s, "E(a,b), E(c,c)").unwrap();
+        let a = j.elem_by_name("a").unwrap();
+        let b = j.elem_by_name("b").unwrap();
+        let f: BTreeSet<Elem> = [a].into_iter().collect();
+        let mut seen = Vec::new();
+        let _ = for_each_maximal_neighbourhood(&j, &f, 1, &mut |n| {
+            seen.push(n.clone());
+            ControlFlow::Continue(())
+        });
+        // extras {b} keeps a active; extras {c} leaves a isolated: skipped.
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].active_domain().contains(&b));
+    }
+
+    #[test]
+    fn zero_m_neighbourhood_is_the_restriction_to_f() {
+        let mut s = Schema::default();
+        let j = parse_instance(&mut s, "E(a,b), E(a,a)").unwrap();
+        let a = j.elem_by_name("a").unwrap();
+        let f: BTreeSet<Elem> = [a].into_iter().collect();
+        let mut seen = Vec::new();
+        let _ = for_each_maximal_neighbourhood(&j, &f, 0, &mut |n| {
+            seen.push(n.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].fact_count(), 1); // E(a,a) only
+    }
+}

@@ -1,0 +1,186 @@
+//! Ontologies as membership oracles (paper §2).
+//!
+//! Semantically, an ontology is an isomorphism-closed class of instances
+//! over a fixed schema. The paper's constructions only ever consult an
+//! ontology through *membership* of specific instances, so the library
+//! models ontologies as oracles implementing [`Ontology`].
+
+use tgdkit_chase::{satisfies_edd, satisfies_egd, satisfies_tgds};
+use tgdkit_hom::are_isomorphic;
+use tgdkit_instance::Instance;
+use tgdkit_logic::{Dependency, Schema, Tgd, TgdSet};
+
+/// A membership oracle for an isomorphism-closed class of instances.
+pub trait Ontology {
+    /// The schema the ontology is over.
+    fn schema(&self) -> &Schema;
+
+    /// `true` when `instance` belongs to the ontology.
+    ///
+    /// Implementations must be isomorphism-invariant: `contains(I)` must
+    /// agree on isomorphic instances.
+    fn contains(&self, instance: &Instance) -> bool;
+}
+
+/// The ontology `{ I | I ⊨ Σ }` of a finite set of tgds — a TGD-ontology in
+/// the paper's sense.
+///
+/// ```
+/// use tgdkit_logic::{parse_tgds, Schema, TgdSet};
+/// use tgdkit_instance::parse_instance;
+/// use tgdkit_core::{Ontology, TgdOntology};
+/// let mut schema = Schema::default();
+/// let tgds = parse_tgds(&mut schema, "E(x,y) -> E(y,x).").unwrap();
+/// let inst_yes = parse_instance(&mut schema, "E(a,b), E(b,a)").unwrap();
+/// let inst_no = parse_instance(&mut schema, "E(a,b)").unwrap();
+/// let ont = TgdOntology::new(TgdSet::new(schema, tgds).unwrap());
+/// assert!(ont.contains(&inst_yes));
+/// assert!(!ont.contains(&inst_no));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TgdOntology {
+    set: TgdSet,
+}
+
+impl TgdOntology {
+    /// Wraps a set of tgds as an ontology.
+    pub fn new(set: TgdSet) -> TgdOntology {
+        TgdOntology { set }
+    }
+
+    /// The specifying set of tgds.
+    pub fn tgd_set(&self) -> &TgdSet {
+        &self.set
+    }
+
+    /// The tgds.
+    pub fn tgds(&self) -> &[Tgd] {
+        self.set.tgds()
+    }
+}
+
+impl Ontology for TgdOntology {
+    fn schema(&self) -> &Schema {
+        self.set.schema()
+    }
+
+    fn contains(&self, instance: &Instance) -> bool {
+        satisfies_tgds(instance, self.set.tgds())
+    }
+}
+
+/// The ontology of a finite set of arbitrary dependencies (tgds, egds,
+/// edds) — the intermediate objects `Σ^∨` and `Σ^∃,=` of paper §4.2.
+#[derive(Debug, Clone)]
+pub struct DependencyOntology {
+    schema: Schema,
+    dependencies: Vec<Dependency>,
+}
+
+impl DependencyOntology {
+    /// Wraps a set of dependencies as an ontology.
+    pub fn new(schema: Schema, dependencies: Vec<Dependency>) -> DependencyOntology {
+        DependencyOntology {
+            schema,
+            dependencies,
+        }
+    }
+
+    /// The specifying dependencies.
+    pub fn dependencies(&self) -> &[Dependency] {
+        &self.dependencies
+    }
+}
+
+impl Ontology for DependencyOntology {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn contains(&self, instance: &Instance) -> bool {
+        self.dependencies.iter().all(|d| match d {
+            Dependency::Tgd(t) => satisfies_tgds(instance, std::slice::from_ref(t)),
+            Dependency::Egd(e) => satisfies_egd(instance, e),
+            Dependency::Edd(e) => satisfies_edd(instance, e),
+        })
+    }
+}
+
+/// The isomorphism closure of an explicit finite family of instances.
+///
+/// Membership is decided by isomorphism against the listed members; such
+/// ontologies are the natural input to the synthesis pipeline of
+/// Theorem 4.1 when the class is given extensionally.
+#[derive(Debug, Clone)]
+pub struct FiniteOntology {
+    schema: Schema,
+    members: Vec<Instance>,
+}
+
+impl FiniteOntology {
+    /// Builds the isomorphism closure of `members`.
+    pub fn new(schema: Schema, members: Vec<Instance>) -> FiniteOntology {
+        FiniteOntology { schema, members }
+    }
+
+    /// The listed members (one per isomorphism class is enough).
+    pub fn members(&self) -> &[Instance] {
+        &self.members
+    }
+}
+
+impl Ontology for FiniteOntology {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn contains(&self, instance: &Instance) -> bool {
+        self.members.iter().any(|m| are_isomorphic(m, instance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_dependencies, parse_tgds};
+
+    #[test]
+    fn dependency_ontology_with_egd() {
+        let mut s = Schema::default();
+        let deps = parse_dependencies(
+            &mut s,
+            "R(x,y), R(x,z) -> y = z. R(x,y) -> x = y | T(x).",
+        )
+        .unwrap();
+        let ont = DependencyOntology::new(s.clone(), deps);
+        let good = parse_instance(&mut s, "R(a,b), T(a)").unwrap();
+        let bad_key = parse_instance(&mut s, "R(a,b), R(a,c), T(a)").unwrap();
+        let bad_edd = parse_instance(&mut s, "R(a,b)").unwrap();
+        assert!(ont.contains(&good));
+        assert!(!ont.contains(&bad_key));
+        assert!(!ont.contains(&bad_edd));
+    }
+
+    #[test]
+    fn finite_ontology_is_iso_closed() {
+        let mut s = Schema::default();
+        let member = parse_instance(&mut s, "E(a,b)").unwrap();
+        let ont = FiniteOntology::new(s.clone(), vec![member]);
+        let renamed = parse_instance(&mut s, "E(u,v)").unwrap();
+        let different = parse_instance(&mut s, "E(u,u)").unwrap();
+        assert!(ont.contains(&renamed));
+        assert!(!ont.contains(&different));
+    }
+
+    #[test]
+    fn tgd_ontology_membership_matches_satisfaction() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
+        let ont = TgdOntology::new(TgdSet::new(s.clone(), tgds).unwrap());
+        assert!(ont.contains(&parse_instance(&mut s, "P(a), E(a,b)").unwrap()));
+        assert!(!ont.contains(&parse_instance(&mut s, "P(a)").unwrap()));
+        // The empty instance vacuously satisfies this Σ.
+        assert!(ont.contains(&parse_instance(&mut s, "").unwrap()));
+    }
+}

@@ -1,0 +1,454 @@
+//! Model-theoretic closure properties of ontologies (paper §3 and §5).
+//!
+//! The definitions quantify over all instances; the checkers here operate in
+//! two regimes:
+//!
+//! - **construction checks** that are exact (e.g. criticality: build the
+//!   k-critical instance, ask the oracle);
+//! - **sampled checks** over caller-supplied or seeded-random members
+//!   (products, intersections, unions, duplicating extensions, domain
+//!   independence). A `No` from a sampled check is a definitive refutation
+//!   with a concrete witness; a `Yes` means "no counterexample found in the
+//!   sample" — which is exactly how the paper's negative results are used
+//!   (a single witness kills a closure property), while the positive
+//!   directions are theorems (Lemmas 3.2, 3.4, 3.6) whose *implementations*
+//!   these checks validate.
+
+// The witness-carrying Err variants are large (they hold an Instance) but
+// are constructed only on refutation paths, never in hot loops.
+#![allow(clippy::result_large_err)]
+
+use crate::ontology::Ontology;
+use crate::verdict::Verdict;
+use tgdkit_chase::{chase, ChaseBudget, ChaseVariant};
+use tgdkit_instance::{
+    critical_instance, direct_product, intersection, non_oblivious_duplicating_extension,
+    oblivious_duplicating_extension, union, Elem, Instance, InstanceGen,
+};
+use tgdkit_logic::Tgd;
+
+/// A failed closure check: which inputs produced a non-member.
+#[derive(Debug, Clone)]
+pub struct ClosureWitness {
+    /// The instance that unexpectedly fell outside the ontology.
+    pub output: Instance,
+    /// Human-readable description of the construction that produced it.
+    pub construction: String,
+}
+
+/// Checks k-criticality for `k = 1 ..= max_k` (paper Def. 3.1 / Lemma 3.2):
+/// every k-critical instance must belong to the ontology.
+///
+/// Exact: the k-critical instance over a schema is unique up to isomorphism.
+pub fn check_criticality<O: Ontology>(ontology: &O, max_k: usize) -> Result<(), ClosureWitness> {
+    for k in 1..=max_k {
+        let crit = critical_instance(ontology.schema(), k, 0);
+        if !ontology.contains(&crit) {
+            return Err(ClosureWitness {
+                output: crit,
+                construction: format!("{k}-critical instance"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks closure under direct products on the given member pairs
+/// (paper Def. 3.3 / Lemma 3.4). Pairs whose components are not members are
+/// skipped.
+pub fn check_product_closure<O: Ontology>(
+    ontology: &O,
+    pairs: &[(Instance, Instance)],
+) -> Result<usize, ClosureWitness> {
+    let mut checked = 0;
+    for (i, j) in pairs {
+        if !ontology.contains(i) || !ontology.contains(j) {
+            continue;
+        }
+        let (prod, _) = direct_product(i, j);
+        if !ontology.contains(&prod) {
+            return Err(ClosureWitness {
+                output: prod,
+                construction: format!("direct product of {i} and {j}"),
+            });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks closure under intersections on member pairs (paper Def. 5.5).
+pub fn check_intersection_closure<O: Ontology>(
+    ontology: &O,
+    pairs: &[(Instance, Instance)],
+) -> Result<usize, ClosureWitness> {
+    let mut checked = 0;
+    for (i, j) in pairs {
+        if !ontology.contains(i) || !ontology.contains(j) {
+            continue;
+        }
+        let meet = intersection(i, j);
+        if !ontology.contains(&meet) {
+            return Err(ClosureWitness {
+                output: meet,
+                construction: format!("intersection of {i} and {j}"),
+            });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks closure under unions on member pairs (linear tgds are closed under
+/// unions — used implicitly in Appendix C and explicitly in the Appendix F
+/// reduction arguments).
+pub fn check_union_closure<O: Ontology>(
+    ontology: &O,
+    pairs: &[(Instance, Instance)],
+) -> Result<usize, ClosureWitness> {
+    let mut checked = 0;
+    for (i, j) in pairs {
+        if !ontology.contains(i) || !ontology.contains(j) {
+            continue;
+        }
+        let join = union(i, j);
+        if !ontology.contains(&join) {
+            return Err(ClosureWitness {
+                output: join,
+                construction: format!("union of {i} and {j}"),
+            });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks domain independence on the given instances (paper Def. 3.7):
+/// adding an isolated domain element must not change membership.
+pub fn check_domain_independence<O: Ontology>(
+    ontology: &O,
+    samples: &[Instance],
+) -> Result<usize, ClosureWitness> {
+    let mut checked = 0;
+    for i in samples {
+        let mut padded = i.clone();
+        padded.add_dom_elem(padded.fresh_elem());
+        if ontology.contains(i) != ontology.contains(&padded) {
+            return Err(ClosureWitness {
+                output: padded,
+                construction: format!("isolated-element padding of {i}"),
+            });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks n-modularity on the given *non-members* (paper Def. 5.4): for
+/// each `I ∉ O` there must be a subinstance `J ≤ I` with `|dom(J)| ≤ n` and
+/// `J ∉ O`. Returns the found witnesses (one per input).
+pub fn check_modularity<O: Ontology>(
+    ontology: &O,
+    non_members: &[Instance],
+    n: usize,
+) -> Result<Vec<Instance>, ClosureWitness> {
+    let mut witnesses = Vec::with_capacity(non_members.len());
+    'outer: for i in non_members {
+        if ontology.contains(i) {
+            continue;
+        }
+        let adom: Vec<Elem> = i.active_domain().into_iter().collect();
+        let mut found = None;
+        let _ = crate::neighbourhood::for_each_subset_up_to(&adom, n, &mut |d| {
+            let sub = i.restrict(&d.iter().copied().collect());
+            if !ontology.contains(&sub) {
+                found = Some(sub);
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        });
+        match found {
+            Some(w) => {
+                witnesses.push(w);
+                continue 'outer;
+            }
+            None => {
+                return Err(ClosureWitness {
+                    output: i.clone(),
+                    construction: format!("no ≤{n}-element refuting subinstance of {i}"),
+                })
+            }
+        }
+    }
+    Ok(witnesses)
+}
+
+/// Checks closure under duplicating extensions — non-oblivious (paper
+/// Def. 5.3) when `oblivious` is false, Makowsky–Vardi oblivious (§5.1)
+/// when true — over every member in `samples` and every choice of
+/// duplicated element.
+pub fn check_duplication_closure<O: Ontology>(
+    ontology: &O,
+    samples: &[Instance],
+    oblivious: bool,
+) -> Result<usize, ClosureWitness> {
+    let mut checked = 0;
+    for i in samples {
+        if !ontology.contains(i) {
+            continue;
+        }
+        let fresh = i.fresh_elem();
+        for &c in i.dom() {
+            let ext = if oblivious {
+                oblivious_duplicating_extension(i, c, fresh)
+            } else {
+                non_oblivious_duplicating_extension(i, c, fresh)
+            };
+            if !ontology.contains(&ext) {
+                return Err(ClosureWitness {
+                    output: ext,
+                    construction: format!(
+                        "{} duplicating extension of {i} at {c:?}",
+                        if oblivious { "oblivious" } else { "non-oblivious" }
+                    ),
+                });
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// Generates sample **members** of a TGD-ontology by chasing seeded random
+/// instances with `sigma`; instances whose chase does not terminate within
+/// budget are skipped. Returns up to `count` members.
+pub fn sample_members(
+    schema: &tgdkit_logic::Schema,
+    sigma: &[Tgd],
+    count: usize,
+    size: usize,
+    density: f64,
+    seed: u64,
+) -> Vec<Instance> {
+    let mut generator = InstanceGen::new(schema.clone(), seed);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 4 {
+        attempts += 1;
+        let start = generator.generate(size, density);
+        let result = chase(&start, sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        if result.terminated() {
+            out.push(result.instance);
+        }
+    }
+    out
+}
+
+/// Convenience: all distinct unordered pairs (with repetition) of a slice of
+/// instances, up to `limit` pairs.
+pub fn member_pairs(members: &[Instance], limit: usize) -> Vec<(Instance, Instance)> {
+    let mut out = Vec::new();
+    'outer: for (a, i) in members.iter().enumerate() {
+        for j in members.iter().skip(a) {
+            if out.len() >= limit {
+                break 'outer;
+            }
+            out.push((i.clone(), j.clone()));
+        }
+    }
+    out
+}
+
+/// A compact report of the §3 property suite for a TGD-ontology, used by the
+/// experiment harness.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Criticality verdict up to the checked k.
+    pub critical: Verdict,
+    /// Product closure over the sampled member pairs.
+    pub product_closed: Verdict,
+    /// Intersection closure over the sampled member pairs.
+    pub intersection_closed: Verdict,
+    /// Union closure over the sampled member pairs.
+    pub union_closed: Verdict,
+    /// Domain independence over the samples.
+    pub domain_independent: Verdict,
+    /// Number of member instances sampled.
+    pub sampled_members: usize,
+}
+
+/// Runs the §3 suite on the ontology of `sigma` with seeded sampling.
+pub fn property_report<O: Ontology>(
+    ontology: &O,
+    sigma: &[Tgd],
+    max_k: usize,
+    seed: u64,
+) -> PropertyReport {
+    let members = sample_members(ontology.schema(), sigma, 8, 4, 0.35, seed);
+    let pairs = member_pairs(&members, 16);
+    PropertyReport {
+        critical: Verdict::from_bool(check_criticality(ontology, max_k).is_ok()),
+        product_closed: Verdict::from_bool(check_product_closure(ontology, &pairs).is_ok()),
+        intersection_closed: Verdict::from_bool(
+            check_intersection_closure(ontology, &pairs).is_ok(),
+        ),
+        union_closed: Verdict::from_bool(check_union_closure(ontology, &pairs).is_ok()),
+        domain_independent: Verdict::from_bool(
+            check_domain_independence(ontology, &members).is_ok(),
+        ),
+        sampled_members: members.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::TgdOntology;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_tgds, Schema, TgdSet};
+
+    fn ontology(s: &mut Schema, text: &str) -> TgdOntology {
+        let tgds = parse_tgds(s, text).unwrap();
+        TgdOntology::new(TgdSet::new(s.clone(), tgds).unwrap())
+    }
+
+    #[test]
+    fn lemma_3_2_criticality() {
+        let mut s = Schema::default();
+        let ont = ontology(
+            &mut s,
+            "E(x,y), E(y,z) -> E(x,z). P(x) -> exists w : E(x,w). true -> exists u : P(u).",
+        );
+        assert!(check_criticality(&ont, 4).is_ok());
+    }
+
+    #[test]
+    fn lemma_3_4_product_closure() {
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "E(x,y) -> E(y,x). P(x), E(x,y) -> P(y).");
+        let members = sample_members(ont.schema(), ont.tgds(), 6, 4, 0.4, 11);
+        assert!(!members.is_empty());
+        let pairs = member_pairs(&members, 12);
+        let checked = check_product_closure(&ont, &pairs).expect("Lemma 3.4 must hold");
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn product_closure_fails_for_disjunctive_like_ontologies() {
+        // An ontology given by an edd with real disjunction is not product-
+        // closed: pick O = models of R(x) -> P(x) | Q(x) (as an edd).
+        use crate::ontology::DependencyOntology;
+        let mut s = Schema::default();
+        let deps =
+            tgdkit_logic::parse_dependencies(&mut s, "R(x) -> P(x) | Q(x).").unwrap();
+        let ont = DependencyOntology::new(s.clone(), deps);
+        let i = parse_instance(&mut s, "R(a), P(a)").unwrap();
+        let j = parse_instance(&mut s, "R(b), Q(b)").unwrap();
+        let pairs = vec![(i, j)];
+        let err = check_product_closure(&ont, &pairs).unwrap_err();
+        // The product has R((a,b)) but neither P nor Q on it.
+        assert!(err.construction.contains("direct product"));
+    }
+
+    #[test]
+    fn full_sets_are_intersection_closed() {
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "E(x,y), E(y,z) -> E(x,z).");
+        let members = sample_members(ont.schema(), ont.tgds(), 6, 4, 0.4, 5);
+        let pairs = member_pairs(&members, 12);
+        assert!(check_intersection_closure(&ont, &pairs).is_ok());
+    }
+
+    #[test]
+    fn existential_sets_can_fail_intersection_closure() {
+        // P(x) -> exists z : E(x,z) is not ∩-closed: two members with
+        // different witnesses intersect to a non-member.
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "P(x) -> exists z : E(x,z).");
+        let i = parse_instance(&mut s, "P(a), E(a,b)").unwrap();
+        // Same elements a, c vs b: build manually to control element ids.
+        let e = s.pred_id("E").unwrap();
+        let p = s.pred_id("P").unwrap();
+        let mut j = Instance::new(s.clone());
+        let a = i.elem_by_name("a").unwrap();
+        j.add_fact(p, vec![a]);
+        j.add_fact(e, vec![a, Elem(99)]);
+        assert!(ont.contains(&i) && ont.contains(&j));
+        let err = check_intersection_closure(&ont, &[(i, j)]).unwrap_err();
+        assert!(err.construction.contains("intersection"));
+    }
+
+    #[test]
+    fn linear_sets_are_union_closed_but_guarded_ones_need_not_be() {
+        let mut s = Schema::default();
+        let linear = ontology(&mut s, "R(x) -> T(x).");
+        let i = parse_instance(&mut s, "R(a), T(a)").unwrap();
+        let j = parse_instance(&mut s, "R(b), T(b)").unwrap();
+        assert!(check_union_closure(&linear, &[(i, j)]).is_ok());
+
+        // Σ_G = {R(x), P(x) -> T(x)} (the §9.1 gadget): members {R(c)} and
+        // {P(c)} union to a violation.
+        let guarded = ontology(&mut s, "R(x), P(x) -> T(x).");
+        let i2 = parse_instance(&mut s, "R(c)").unwrap();
+        let mut j2 = Instance::new(s.clone());
+        j2.add_fact(s.pred_id("P").unwrap(), vec![i2.elem_by_name("c").unwrap()]);
+        let err = check_union_closure(&guarded, &[(i2, j2)]).unwrap_err();
+        assert!(err.construction.contains("union"));
+    }
+
+    #[test]
+    fn tgd_ontologies_are_domain_independent() {
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "E(x,y) -> E(y,x).");
+        let samples = vec![
+            parse_instance(&mut s, "E(a,b), E(b,a)").unwrap(),
+            parse_instance(&mut s, "E(a,b)").unwrap(),
+        ];
+        assert_eq!(check_domain_independence(&ont, &samples).unwrap(), 2);
+    }
+
+    #[test]
+    fn full_sets_are_modular() {
+        // Theorem 5.6 direction (1) ⇒ (2): an FTGD-ontology is n-modular
+        // for n = max body variables.
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "E(x,y), E(y,z) -> E(x,z).");
+        let non_members = vec![
+            parse_instance(&mut s, "E(a,b), E(b,c)").unwrap(),
+            parse_instance(&mut s, "E(a,b), E(b,c), E(c,d), E(a,c), E(b,d)").unwrap(),
+        ];
+        let witnesses = check_modularity(&ont, &non_members, 3).expect("modularity");
+        assert_eq!(witnesses.len(), 2);
+        for w in &witnesses {
+            assert!(w.dom().len() <= 3);
+            assert!(!ont.contains(w));
+        }
+    }
+
+    #[test]
+    fn existential_sets_are_not_modular() {
+        // P(x) -> exists z : E(x,z) is not n-modular for small n against an
+        // instance where... actually every non-member has a 1-element
+        // refuting subinstance {P(a)}. Use a genuinely non-modular example:
+        // the violation needs the full instance. Take n = 0: the empty
+        // subinstance is a member, so modularity at 0 fails for any
+        // non-member.
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "P(x) -> exists z : E(x,z).");
+        let non_members = vec![parse_instance(&mut s, "P(a)").unwrap()];
+        assert!(check_modularity(&ont, &non_members, 0).is_err());
+        assert!(check_modularity(&ont, &non_members, 1).is_ok());
+    }
+
+    #[test]
+    fn property_report_runs() {
+        let mut s = Schema::default();
+        let ont = ontology(&mut s, "E(x,y) -> E(y,x).");
+        let report = property_report(&ont, ont.tgds().to_vec().as_slice(), 3, 7);
+        assert_eq!(report.critical, Verdict::Yes);
+        assert_eq!(report.product_closed, Verdict::Yes);
+        assert_eq!(report.domain_independent, Verdict::Yes);
+        assert!(report.sampled_members > 0);
+    }
+}

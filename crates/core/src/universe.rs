@@ -1,0 +1,148 @@
+//! Exhaustive bounded universes: every instance over a fixed tiny domain.
+//!
+//! The paper's definitions quantify over *all* instances; most checkers in
+//! this crate sample. For small schemas and domains the universe is small
+//! enough to enumerate outright (`2^{Σ_R k^{ar(R)}}` fact subsets over `k`
+//! elements), turning sampled checks into **exhaustive** ones — used by the
+//! integration tests to verify Lemma 3.6, Theorem 4.1 and Theorem 5.6 with
+//! no sampling gap at domain sizes 0–2.
+
+use std::ops::ControlFlow;
+use tgdkit_instance::{Elem, Instance};
+use tgdkit_logic::Schema;
+
+/// Number of instances over exactly the domain `{Elem(0..k)}` (including
+/// all fact subsets), saturating at `usize::MAX`.
+pub fn universe_size(schema: &Schema, domain_size: usize) -> usize {
+    let mut positions = 0u32;
+    for pred in schema.preds() {
+        let tuples = (domain_size as u64).pow(schema.arity(pred) as u32);
+        positions = positions.saturating_add(tuples.min(u32::MAX as u64) as u32);
+        if positions > 62 {
+            return usize::MAX;
+        }
+    }
+    1usize << positions
+}
+
+/// Enumerates every instance with domain exactly `{Elem(0), ..,
+/// Elem(domain_size - 1)}` (all subsets of all possible facts), invoking
+/// `visit` for each.
+///
+/// The caller is responsible for keeping `universe_size` manageable;
+/// enumeration stops early on [`ControlFlow::Break`].
+pub fn for_each_instance(
+    schema: &Schema,
+    domain_size: usize,
+    visit: &mut dyn FnMut(&Instance) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    // Materialize the fact universe.
+    let mut facts: Vec<(tgdkit_logic::PredId, Vec<Elem>)> = Vec::new();
+    for pred in schema.preds() {
+        let arity = schema.arity(pred);
+        if arity == 0 {
+            facts.push((pred, Vec::new()));
+            continue;
+        }
+        if domain_size == 0 {
+            continue;
+        }
+        let mut idx = vec![0usize; arity];
+        'tuples: loop {
+            facts.push((pred, idx.iter().map(|&i| Elem(i as u32)).collect()));
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break 'tuples;
+                }
+                idx[pos] += 1;
+                if idx[pos] < domain_size {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+    assert!(
+        facts.len() <= 24,
+        "bounded universe too large to enumerate ({} fact positions)",
+        facts.len()
+    );
+    let total: u64 = 1 << facts.len();
+    for mask in 0..total {
+        let mut instance = Instance::new(schema.clone());
+        for e in 0..domain_size as u32 {
+            instance.add_dom_elem(Elem(e));
+        }
+        for (bit, (pred, args)) in facts.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                instance.add_fact(*pred, args.clone());
+            }
+        }
+        visit(&instance)?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Collects every instance over domains of size `0 ..= max_domain`.
+pub fn all_instances_up_to(schema: &Schema, max_domain: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for k in 0..=max_domain {
+        let _ = for_each_instance(schema, k, &mut |i| {
+            out.push(i.clone());
+            ControlFlow::Continue(())
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_chase::satisfies_tgds;
+    use tgdkit_logic::parse_tgds;
+
+    #[test]
+    fn universe_counts() {
+        let s = Schema::builder().pred("P", 1).pred("Q", 1).build();
+        assert_eq!(universe_size(&s, 0), 1);
+        assert_eq!(universe_size(&s, 1), 4);
+        assert_eq!(universe_size(&s, 2), 16);
+        let binary = Schema::builder().pred("R", 2).build();
+        assert_eq!(universe_size(&binary, 2), 16);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let s = Schema::builder().pred("P", 1).pred("R", 2).build();
+        for k in 0..3usize {
+            let mut n = 0usize;
+            let _ = for_each_instance(&s, k, &mut |i| {
+                assert_eq!(i.dom().len(), k);
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            assert_eq!(n, universe_size(&s, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn all_instances_include_models_and_non_models() {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, "P(x) -> Q(x).").unwrap();
+        let universe = all_instances_up_to(&s, 2);
+        let members = universe.iter().filter(|i| satisfies_tgds(i, &sigma)).count();
+        assert!(members > 0 && members < universe.len());
+        // Hand count over domain {0,1}: P,Q subsets with P ⊆ Q: 3^2 = 9 of
+        // 16; domain {0}: 3 of 4; domain {}: 1.
+        assert_eq!(members, 9 + 3 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_universes_are_rejected() {
+        let s = Schema::builder().pred("R", 3).build();
+        let _ = for_each_instance(&s, 3, &mut |_| ControlFlow::Continue(()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Three-valued verdicts for semi-decidable property checks.
+
+use tgdkit_chase::Entailment;
+
+/// The answer of a property check that may be cut short by a resource
+/// budget.
+///
+/// `Unknown` arises only when a chase budget was exhausted (possible only
+/// for non-terminating tgd sets); `Yes`/`No` are definitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds.
+    Yes,
+    /// The property fails (a witness was constructed).
+    No,
+    /// The budget ran out before the question was settled.
+    Unknown,
+}
+
+impl Verdict {
+    /// Three-valued conjunction.
+    pub fn and(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (No, _) | (_, No) => No,
+            (Yes, Yes) => Yes,
+            _ => Unknown,
+        }
+    }
+
+    /// `true` for [`Verdict::Yes`].
+    pub fn is_yes(self) -> bool {
+        self == Verdict::Yes
+    }
+
+    /// `true` for [`Verdict::No`].
+    pub fn is_no(self) -> bool {
+        self == Verdict::No
+    }
+
+    /// Converts from a boolean (always definitive).
+    pub fn from_bool(b: bool) -> Verdict {
+        if b {
+            Verdict::Yes
+        } else {
+            Verdict::No
+        }
+    }
+}
+
+impl From<Entailment> for Verdict {
+    fn from(e: Entailment) -> Verdict {
+        match e {
+            Entailment::Proved => Verdict::Yes,
+            Entailment::Disproved => Verdict::No,
+            Entailment::Unknown => Verdict::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_truth_table() {
+        use Verdict::*;
+        assert_eq!(Yes.and(Yes), Yes);
+        assert_eq!(Yes.and(No), No);
+        assert_eq!(No.and(Unknown), No);
+        assert_eq!(Yes.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Verdict::from_bool(true), Verdict::Yes);
+        assert_eq!(Verdict::from(Entailment::Proved), Verdict::Yes);
+        assert_eq!(Verdict::from(Entailment::Disproved), Verdict::No);
+        assert_eq!(Verdict::from(Entailment::Unknown), Verdict::Unknown);
+        assert!(Verdict::Yes.is_yes() && Verdict::No.is_no());
+    }
+}

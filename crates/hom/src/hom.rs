@@ -1,0 +1,379 @@
+//! Backtracking homomorphism search.
+
+use crate::index::InstanceIndex;
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use tgdkit_instance::{Elem, Instance};
+use tgdkit_logic::{Atom, Var};
+
+/// A partial assignment of variables to elements (`None` = unassigned).
+pub type Binding = Vec<Option<Elem>>;
+
+/// Finds one homomorphism from the conjunction `atoms` (over variables
+/// `Var(0..num_vars)`) into `target`, extending the partial binding `fixed`.
+///
+/// Returns the total-on-atom-variables binding, or `None` if no
+/// homomorphism exists. Unconstrained variables not occurring in any atom
+/// keep their `fixed` value (possibly `None`).
+///
+/// ```
+/// use tgdkit_logic::{parse_tgd, Schema};
+/// use tgdkit_instance::{parse_instance, Elem};
+/// use tgdkit_hom::find_hom;
+/// let mut schema = Schema::default();
+/// let tgd = parse_tgd(&mut schema, "E(x,y), E(y,z) -> E(x,z)").unwrap();
+/// let inst = parse_instance(&mut schema, "E(a,b), E(b,c)").unwrap();
+/// let hom = find_hom(tgd.body(), tgd.var_count(), &inst, &vec![None; 3]);
+/// assert!(hom.is_some());
+/// ```
+pub fn find_hom(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    target: &Instance,
+    fixed: &Binding,
+) -> Option<Binding> {
+    let index = InstanceIndex::new(target);
+    find_hom_indexed(atoms, num_vars, &index, fixed)
+}
+
+/// [`find_hom`] against a prebuilt [`InstanceIndex`] (reuse the index when
+/// probing many conjunctions against the same instance).
+pub fn find_hom_indexed(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    fixed: &Binding,
+) -> Option<Binding> {
+    let mut result = None;
+    search(atoms, num_vars, index, fixed, &mut |binding| {
+        result = Some(binding.clone());
+        ControlFlow::Break(())
+    });
+    result
+}
+
+/// [`for_each_hom`] against a prebuilt [`InstanceIndex`].
+pub fn for_each_hom_indexed(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    fixed: &Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) {
+    search(atoms, num_vars, index, fixed, visit);
+}
+
+/// Enumerates homomorphisms from `atoms` into `target`, invoking `visit` for
+/// each; the callback can stop the enumeration early by returning
+/// [`ControlFlow::Break`].
+///
+/// Distinct homomorphisms may agree on the variables of `atoms` only if the
+/// search found them along different atom-match paths; callers needing
+/// set-semantics answers should project and deduplicate (as [`crate::Cq`]
+/// does).
+pub fn for_each_hom(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    target: &Instance,
+    fixed: &Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) {
+    let index = InstanceIndex::new(target);
+    search(atoms, num_vars, &index, fixed, visit);
+}
+
+/// The recursive most-constrained-first search behind the public entry
+/// points.
+fn search(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    fixed: &Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) {
+    let mut binding: Binding = fixed.clone();
+    binding.resize(num_vars.max(fixed.len()), None);
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let _ = recurse(atoms, index, &mut binding, &mut remaining, visit);
+}
+
+/// Estimated number of candidate tuples for `atom` under `binding`.
+fn candidate_count(atom: &Atom<Var>, index: &InstanceIndex, binding: &Binding) -> usize {
+    let mut best = index.count(atom.pred);
+    for (pos, &v) in atom.args.iter().enumerate() {
+        if let Some(e) = binding[v.index()] {
+            best = best.min(index.postings(atom.pred, pos, e).len());
+        }
+    }
+    best
+}
+
+fn recurse(
+    atoms: &[Atom<Var>],
+    index: &InstanceIndex,
+    binding: &mut Binding,
+    remaining: &mut Vec<usize>,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if remaining.is_empty() {
+        return visit(binding);
+    }
+    // Most-constrained atom first.
+    let (slot, &atom_idx) = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &i)| candidate_count(&atoms[i], index, binding))
+        .expect("remaining is non-empty");
+    remaining.swap_remove(slot);
+    let atom = &atoms[atom_idx];
+
+    // Choose the candidate source: the shortest posting list among bound
+    // positions, or the full relation.
+    let mut source: Option<&[u32]> = None;
+    for (pos, &v) in atom.args.iter().enumerate() {
+        if let Some(e) = binding[v.index()] {
+            let postings = index.postings(atom.pred, pos, e);
+            if source.is_none_or(|s| postings.len() < s.len()) {
+                source = Some(postings);
+            }
+        }
+    }
+
+    let try_tuple = |tuple: &[Elem],
+                     binding: &mut Binding,
+                     remaining: &mut Vec<usize>,
+                     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>|
+     -> ControlFlow<()> {
+        // Unify the atom's variables with the tuple.
+        let mut newly_bound: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (pos, &v) in atom.args.iter().enumerate() {
+            match binding[v.index()] {
+                Some(e) if e == tuple[pos] => {}
+                Some(_) => {
+                    ok = false;
+                    break;
+                }
+                None => {
+                    binding[v.index()] = Some(tuple[pos]);
+                    newly_bound.push(v);
+                }
+            }
+        }
+        let flow = if ok {
+            recurse(atoms, index, binding, remaining, visit)
+        } else {
+            ControlFlow::Continue(())
+        };
+        for v in newly_bound {
+            binding[v.index()] = None;
+        }
+        flow
+    };
+
+    let flow = match source {
+        Some(postings) => {
+            let tuples = index.tuples(atom.pred);
+            let mut flow = ControlFlow::Continue(());
+            for &t in postings {
+                flow = try_tuple(&tuples[t as usize], binding, remaining, visit);
+                if flow.is_break() {
+                    break;
+                }
+            }
+            flow
+        }
+        None => {
+            let mut flow = ControlFlow::Continue(());
+            for tuple in index.tuples(atom.pred) {
+                flow = try_tuple(tuple, binding, remaining, visit);
+                if flow.is_break() {
+                    break;
+                }
+            }
+            flow
+        }
+    };
+    remaining.push(atom_idx);
+    flow
+}
+
+/// Finds a homomorphism `h : adom(src) → dom(dst)` with
+/// `h(facts(src)) ⊆ facts(dst)`, extending the partial element map `fixed`.
+///
+/// Returns the mapping on `adom(src)`, or `None`. This is the paper's notion
+/// of an embedding of one instance's facts into another; with `fixed` set to
+/// the identity on a set `F` it is exactly the mapping required by the
+/// locality definitions (§3.3, §6.1, §7.1, §8.1).
+pub fn find_instance_hom(
+    src: &Instance,
+    dst: &Instance,
+    fixed: &BTreeMap<Elem, Elem>,
+) -> Option<BTreeMap<Elem, Elem>> {
+    // Convert src's facts to a conjunction with one variable per active
+    // element.
+    let adom: Vec<Elem> = src.active_domain().into_iter().collect();
+    let var_of: BTreeMap<Elem, Var> = adom
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, Var(i as u32)))
+        .collect();
+    let atoms: Vec<Atom<Var>> = src
+        .facts()
+        .map(|f| Atom::new(f.pred, f.args.iter().map(|e| var_of[e]).collect()))
+        .collect();
+    let mut fixed_binding: Binding = vec![None; adom.len()];
+    for (e, v) in &var_of {
+        if let Some(target) = fixed.get(e) {
+            fixed_binding[v.index()] = Some(*target);
+        }
+    }
+    let binding = find_hom(&atoms, adom.len(), dst, &fixed_binding)?;
+    Some(
+        adom.iter()
+            .enumerate()
+            .map(|(i, &e)| (e, binding[i].expect("active element is bound")))
+            .collect(),
+    )
+}
+
+/// `true` when there is a homomorphism from `src` into `dst` that is the
+/// identity on `fixed` (which need not be a subset of `adom(src)`; elements
+/// of `fixed` not active in `src` are unconstrained).
+pub fn embeds_fixing(src: &Instance, dst: &Instance, fixed: &[Elem]) -> bool {
+    let map: BTreeMap<Elem, Elem> = fixed.iter().map(|&e| (e, e)).collect();
+    find_instance_hom(src, dst, &map).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::{parse_tgd, Schema};
+
+    #[test]
+    fn path_into_cycle() {
+        let mut s = Schema::default();
+        let path = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let cycle = parse_instance(&mut s, "E(p,q), E(q,p)").unwrap();
+        // A path maps into a cycle, not vice versa (cycle of odd length 2?
+        // E(p,q),E(q,p) is a 2-cycle; a 3-path maps onto it).
+        assert!(find_instance_hom(&path, &cycle, &BTreeMap::new()).is_some());
+        // The 2-cycle does not map into the path (no cycle in the path).
+        assert!(find_instance_hom(&cycle, &path, &BTreeMap::new()).is_none());
+    }
+
+    #[test]
+    fn hom_respects_fixed_elements() {
+        let mut s = Schema::default();
+        let src = parse_instance(&mut s, "E(a,b)").unwrap();
+        let dst = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        let a_src = src.elem_by_name("a").unwrap();
+        let b_dst = dst.elem_by_name("b").unwrap();
+        // Pin a ↦ b: the only extension maps b ↦ a.
+        let fixed: BTreeMap<Elem, Elem> = [(a_src, b_dst)].into_iter().collect();
+        let hom = find_instance_hom(&src, &dst, &fixed).unwrap();
+        assert_eq!(hom[&a_src], b_dst);
+        let b_src = src.elem_by_name("b").unwrap();
+        assert_eq!(hom[&b_src], dst.elem_by_name("a").unwrap());
+    }
+
+    #[test]
+    fn embeds_fixing_identity() {
+        let mut s = Schema::default();
+        // dst extends src: identity embedding exists.
+        let src = parse_instance(&mut s, "E(a,b)").unwrap();
+        let mut dst = src.clone();
+        let e = s.pred_id("E").unwrap();
+        dst.add_fact(e, vec![Elem(1), Elem(0)]);
+        assert!(embeds_fixing(&src, &dst, &[Elem(0), Elem(1)]));
+        // But src does not embed into a *disjoint* copy while fixing its
+        // elements.
+        let mut disjoint = tgdkit_instance::Instance::new(src.schema().clone());
+        disjoint.add_fact(e, vec![Elem(10), Elem(11)]);
+        assert!(!embeds_fixing(&src, &disjoint, &[Elem(0), Elem(1)]));
+        assert!(find_instance_hom(&src, &disjoint, &BTreeMap::new()).is_some());
+    }
+
+    #[test]
+    fn repeated_variables_constrain_matches() {
+        let mut s = Schema::default();
+        let tgd = parse_tgd(&mut s, "E(x,x) -> T(x)").unwrap();
+        let no_loop = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        assert!(find_hom(tgd.body(), tgd.var_count(), &no_loop, &vec![None; 1]).is_none());
+        let with_loop = parse_instance(&mut s, "E(a,a)").unwrap();
+        assert!(find_hom(tgd.body(), tgd.var_count(), &with_loop, &vec![None; 1]).is_some());
+    }
+
+    #[test]
+    fn enumeration_visits_all_matches() {
+        let mut s = Schema::default();
+        let tgd = parse_tgd(&mut s, "E(x,y) -> T(x)").unwrap();
+        let inst = parse_instance(&mut s, "E(a,b), E(b,c), E(a,c)").unwrap();
+        let mut seen = Vec::new();
+        for_each_hom(
+            tgd.body(),
+            tgd.var_count(),
+            &inst,
+            &vec![None; 2],
+            &mut |b| {
+                seen.push((b[0].unwrap(), b[1].unwrap()));
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn early_break_stops_enumeration() {
+        let mut s = Schema::default();
+        let tgd = parse_tgd(&mut s, "E(x,y) -> T(x)").unwrap();
+        let inst = parse_instance(&mut s, "E(a,b), E(b,c), E(a,c)").unwrap();
+        let mut count = 0;
+        for_each_hom(
+            tgd.body(),
+            tgd.var_count(),
+            &inst,
+            &vec![None; 2],
+            &mut |_| {
+                count += 1;
+                ControlFlow::Break(())
+            },
+        );
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_conjunction_has_trivial_hom() {
+        let mut s = Schema::default();
+        let inst = parse_instance(&mut s, "E(a,b)").unwrap();
+        let hom = find_hom(&[], 0, &inst, &Binding::new());
+        assert!(hom.is_some());
+    }
+
+    #[test]
+    fn cross_predicate_join() {
+        let mut s = Schema::default();
+        let tgd = parse_tgd(&mut s, "R(x,y), S(y,z) -> T(x,z)").unwrap();
+        let inst = parse_instance(&mut s, "R(a,b), S(c,d)").unwrap();
+        // b ≠ c: no join.
+        assert!(find_hom(tgd.body(), tgd.var_count(), &inst, &vec![None; 3]).is_none());
+        let inst2 = parse_instance(&mut s, "R(a,b), S(b,d)").unwrap();
+        let hom = find_hom(tgd.body(), tgd.var_count(), &inst2, &vec![None; 3]).unwrap();
+        assert_eq!(hom[1], hom[1]);
+        assert!(hom.iter().take(3).all(Option::is_some));
+    }
+
+    #[test]
+    fn fixed_binding_prunes_search() {
+        let mut s = Schema::default();
+        let tgd = parse_tgd(&mut s, "E(x,y) -> T(x)").unwrap();
+        let inst = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let b = inst.elem_by_name("b").unwrap();
+        let mut fixed: Binding = vec![None; 2];
+        fixed[0] = Some(b);
+        let hom = find_hom(tgd.body(), tgd.var_count(), &inst, &fixed).unwrap();
+        assert_eq!(hom[0], Some(b));
+        assert_eq!(hom[1], Some(inst.elem_by_name("c").unwrap()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Positional indexes over instances, accelerating homomorphism search.
+
+use std::collections::HashMap;
+use tgdkit_instance::{Elem, Instance};
+use tgdkit_logic::PredId;
+
+/// A per-predicate, per-position index of an instance's tuples.
+///
+/// For each predicate the tuples are materialized in a dense `Vec` (in the
+/// instance's deterministic order) and, for each argument position, a map
+/// from element to the list of tuple indices having that element at that
+/// position. Join-style candidate lookups during homomorphism search then
+/// cost a hash lookup instead of a relation scan.
+#[derive(Debug)]
+pub struct InstanceIndex {
+    tuples: Vec<Vec<Vec<Elem>>>,
+    postings: Vec<Vec<HashMap<Elem, Vec<u32>>>>,
+}
+
+impl InstanceIndex {
+    /// Builds the index for `instance`.
+    pub fn new(instance: &Instance) -> InstanceIndex {
+        let schema = instance.schema();
+        let mut tuples: Vec<Vec<Vec<Elem>>> = Vec::with_capacity(schema.len());
+        let mut postings: Vec<Vec<HashMap<Elem, Vec<u32>>>> = Vec::with_capacity(schema.len());
+        for pred in schema.preds() {
+            let rel: Vec<Vec<Elem>> = instance.relation(pred).iter().cloned().collect();
+            let arity = schema.arity(pred);
+            let mut maps: Vec<HashMap<Elem, Vec<u32>>> = vec![HashMap::new(); arity];
+            for (i, tuple) in rel.iter().enumerate() {
+                for (pos, &e) in tuple.iter().enumerate() {
+                    maps[pos].entry(e).or_default().push(i as u32);
+                }
+            }
+            tuples.push(rel);
+            postings.push(maps);
+        }
+        InstanceIndex { tuples, postings }
+    }
+
+    /// All tuples of `pred`, in deterministic order. Predicates beyond the
+    /// indexed instance's schema (e.g. added to a shared schema after the
+    /// instance was built) read as empty relations.
+    #[inline]
+    pub fn tuples(&self, pred: PredId) -> &[Vec<Elem>] {
+        self.tuples.get(pred.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Tuple indices of `pred` having `elem` at `position` (empty slice if
+    /// none, or if the predicate/position is beyond the indexed schema).
+    #[inline]
+    pub fn postings(&self, pred: PredId, position: usize, elem: Elem) -> &[u32] {
+        self.postings
+            .get(pred.index())
+            .and_then(|positions| positions.get(position))
+            .and_then(|map| map.get(&elem))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of tuples of `pred` (zero beyond the indexed schema).
+    #[inline]
+    pub fn count(&self, pred: PredId) -> usize {
+        self.tuples.get(pred.index()).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_logic::Schema;
+
+    #[test]
+    fn postings_locate_tuples() {
+        let s = Schema::builder().pred("R", 2).build();
+        let r = s.pred_id("R").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0), Elem(1)]);
+        i.add_fact(r, vec![Elem(1), Elem(1)]);
+        i.add_fact(r, vec![Elem(2), Elem(0)]);
+        let idx = InstanceIndex::new(&i);
+        assert_eq!(idx.count(r), 3);
+        // Elem(1) at position 1 appears in two tuples.
+        let hits = idx.postings(r, 1, Elem(1));
+        assert_eq!(hits.len(), 2);
+        for &h in hits {
+            assert_eq!(idx.tuples(r)[h as usize][1], Elem(1));
+        }
+        assert!(idx.postings(r, 0, Elem(9)).is_empty());
+    }
+
+    #[test]
+    fn unknown_predicates_read_as_empty() {
+        let s = Schema::builder().pred("R", 2).build();
+        let i = Instance::new(s);
+        let idx = InstanceIndex::new(&i);
+        // A predicate added to a shared schema after the instance was built.
+        let ghost = tgdkit_logic::PredId(7);
+        assert_eq!(idx.count(ghost), 0);
+        assert!(idx.tuples(ghost).is_empty());
+        assert!(idx.postings(ghost, 0, Elem(0)).is_empty());
+    }
+}

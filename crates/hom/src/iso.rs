@@ -1,0 +1,209 @@
+//! Instance isomorphism (paper §2: a 1-1 homomorphism whose inverse is also
+//! a homomorphism).
+
+use std::collections::BTreeMap;
+use tgdkit_instance::{Elem, Instance};
+
+/// A cheap invariant of an element: for each (predicate, position), how
+/// often the element occurs there.
+fn profile(instance: &Instance, e: Elem) -> Vec<usize> {
+    let schema = instance.schema();
+    let mut out = Vec::new();
+    for pred in schema.preds() {
+        for pos in 0..schema.arity(pred) {
+            out.push(
+                instance
+                    .relation(pred)
+                    .iter()
+                    .filter(|t| t[pos] == e)
+                    .count(),
+            );
+        }
+    }
+    out
+}
+
+/// Decides whether `a ≃ b`: a bijection `dom(a) → dom(b)` mapping
+/// `facts(a)` exactly onto `facts(b)`.
+///
+/// Uses per-relation cardinalities and element profiles for pruning, then a
+/// backtracking bijection search.
+pub fn are_isomorphic(a: &Instance, b: &Instance) -> bool {
+    if a.schema() != b.schema() || a.dom().len() != b.dom().len() {
+        return false;
+    }
+    let schema = a.schema();
+    for pred in schema.preds() {
+        if a.relation(pred).len() != b.relation(pred).len() {
+            return false;
+        }
+    }
+    let a_elems: Vec<Elem> = a.dom().iter().copied().collect();
+    let b_elems: Vec<Elem> = b.dom().iter().copied().collect();
+    let a_profiles: Vec<Vec<usize>> = a_elems.iter().map(|&e| profile(a, e)).collect();
+    let b_profiles: Vec<Vec<usize>> = b_elems.iter().map(|&e| profile(b, e)).collect();
+
+    // Multiset of profiles must agree.
+    {
+        let mut pa = a_profiles.clone();
+        let mut pb = b_profiles.clone();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        if pa != pb {
+            return false;
+        }
+    }
+
+    // Backtracking: assign a-elements (most constrained profile first) to
+    // b-elements with the same profile.
+    let mut order: Vec<usize> = (0..a_elems.len()).collect();
+    order.sort_by_key(|&i| {
+        // Rarer profiles first.
+        a_profiles
+            .iter()
+            .filter(|p| **p == a_profiles[i])
+            .count()
+    });
+
+    let mut mapping: BTreeMap<Elem, Elem> = BTreeMap::new();
+    let mut used = vec![false; b_elems.len()];
+    assign(
+        a,
+        b,
+        &a_elems,
+        &b_elems,
+        &a_profiles,
+        &b_profiles,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    a: &Instance,
+    b: &Instance,
+    a_elems: &[Elem],
+    b_elems: &[Elem],
+    a_profiles: &[Vec<usize>],
+    b_profiles: &[Vec<usize>],
+    order: &[usize],
+    depth: usize,
+    mapping: &mut BTreeMap<Elem, Elem>,
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return check_full(a, b, mapping);
+    }
+    let ai = order[depth];
+    for (bi, &be) in b_elems.iter().enumerate() {
+        if used[bi] || a_profiles[ai] != b_profiles[bi] {
+            continue;
+        }
+        mapping.insert(a_elems[ai], be);
+        used[bi] = true;
+        // Partial consistency: every fully-mapped fact of a must be a fact
+        // of b.
+        if partial_consistent(a, b, mapping)
+            && assign(
+                a, b, a_elems, b_elems, a_profiles, b_profiles, order, depth + 1, mapping, used,
+            )
+        {
+            return true;
+        }
+        used[bi] = false;
+        mapping.remove(&a_elems[ai]);
+    }
+    false
+}
+
+fn partial_consistent(a: &Instance, b: &Instance, mapping: &BTreeMap<Elem, Elem>) -> bool {
+    for fact in a.facts() {
+        if let Some(args) = fact
+            .args
+            .iter()
+            .map(|e| mapping.get(e).copied())
+            .collect::<Option<Vec<Elem>>>()
+        {
+            if !b.contains_fact(fact.pred, &args) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn check_full(a: &Instance, b: &Instance, mapping: &BTreeMap<Elem, Elem>) -> bool {
+    // Forward direction.
+    for fact in a.facts() {
+        let args: Vec<Elem> = fact.args.iter().map(|e| mapping[e]).collect();
+        if !b.contains_fact(fact.pred, &args) {
+            return false;
+        }
+    }
+    // Since |facts(a)| = |facts(b)| per relation and the mapping is a
+    // bijection, the forward inclusion is an equality; the inverse is then
+    // automatically a homomorphism.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::parse_instance;
+    use tgdkit_logic::Schema;
+
+    #[test]
+    fn renamed_instances_are_isomorphic() {
+        let mut s = Schema::default();
+        let a = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let b = parse_instance(&mut s, "E(x,y), E(y,z)").unwrap();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_shapes_are_not() {
+        let mut s = Schema::default();
+        let path = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let fork = parse_instance(&mut s, "E(a,b), E(a,c)").unwrap();
+        assert!(!are_isomorphic(&path, &fork));
+    }
+
+    #[test]
+    fn loops_matter() {
+        let mut s = Schema::default();
+        let l = parse_instance(&mut s, "E(a,a), E(a,b)").unwrap();
+        let nl = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        assert!(!are_isomorphic(&l, &nl));
+    }
+
+    #[test]
+    fn isolated_domain_elements_count() {
+        let mut s = Schema::default();
+        let a = parse_instance(&mut s, "E(a,b)").unwrap();
+        let mut b = parse_instance(&mut s, "E(p,q)").unwrap();
+        assert!(are_isomorphic(&a, &b));
+        b.add_dom_elem(tgdkit_instance::Elem(99));
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn cycle_automorphisms_found() {
+        let mut s = Schema::default();
+        let c1 = parse_instance(&mut s, "E(a,b), E(b,c), E(c,a)").unwrap();
+        let c2 = parse_instance(&mut s, "E(q,r), E(r,p), E(p,q)").unwrap();
+        assert!(are_isomorphic(&c1, &c2));
+    }
+
+    #[test]
+    fn multi_predicate_instances() {
+        let mut s = Schema::default();
+        let a = parse_instance(&mut s, "E(a,b), T(a)").unwrap();
+        let b = parse_instance(&mut s, "E(x,y), T(x)").unwrap();
+        let c = parse_instance(&mut s, "E(x,y), T(y)").unwrap();
+        assert!(are_isomorphic(&a, &b));
+        assert!(!are_isomorphic(&a, &c));
+    }
+}

@@ -1,0 +1,32 @@
+//! # tgdkit-hom
+//!
+//! Homomorphism machinery for tgdkit:
+//!
+//! - [`find_hom`]/[`for_each_hom`]: backtracking search for homomorphisms
+//!   from a conjunction of atoms into an instance, with positional indexes
+//!   and most-constrained-first atom ordering;
+//! - [`find_instance_hom`]/[`embeds_fixing`]: instance-to-instance
+//!   homomorphisms, optionally pinned to be the identity on a set of
+//!   elements — the exact shape of mapping required by the paper's locality
+//!   definitions (§3.3: "a function h : adom(J') → adom(I), which is the
+//!   identity on adom(K)");
+//! - [`Cq`]: conjunctive queries with answer variables;
+//! - [`are_isomorphic`]: instance isomorphism (paper §2);
+//! - [`core_of`]: the core of an instance (smallest retract).
+//!
+//! Homomorphisms are the semantic workhorse of the paper: tgd satisfaction,
+//! local embeddings, diagrams and chase universality are all phrased through
+//! them.
+
+pub mod cq;
+pub mod hom;
+pub mod index;
+pub mod iso;
+pub mod retract;
+
+pub use cq::Cq;
+pub use hom::{embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed, Binding};
+pub use hom::find_hom_indexed;
+pub use index::InstanceIndex;
+pub use iso::are_isomorphic;
+pub use retract::{core_of, core_preserving};

@@ -1,0 +1,244 @@
+//! Instance algebra: direct products, intersections, unions and disjoint
+//! unions (paper §3.2, §5, Appendix C/D).
+
+use crate::instance::{Elem, Instance};
+use std::collections::BTreeMap;
+
+/// The direct product `I ⊗ J` (paper §3.2).
+///
+/// Returns the product instance together with the map from product elements
+/// back to their component pairs. The product domain is the full cartesian
+/// product `dom(I) × dom(J)`, exactly as in the paper; the relations pair up
+/// tuples position-wise:
+///
+/// `((a_1,b_1), ..., (a_k,b_k)) ∈ R^{I⊗J}` iff `ā ∈ R^I` and `b̄ ∈ R^J`.
+///
+/// ```
+/// use tgdkit_logic::Schema;
+/// use tgdkit_instance::{direct_product, Elem, Instance};
+/// let schema = Schema::builder().pred("R", 1).build();
+/// let r = schema.pred_id("R").unwrap();
+/// let mut i = Instance::new(schema.clone());
+/// i.add_fact(r, vec![Elem(0)]);
+/// let mut j = Instance::new(schema.clone());
+/// j.add_fact(r, vec![Elem(1)]);
+/// j.add_dom_elem(Elem(2));
+/// let (prod, pairs) = direct_product(&i, &j);
+/// assert_eq!(prod.dom().len(), 2);       // {0}×{1,2}
+/// assert_eq!(prod.fact_count(), 1);      // R((0,1))
+/// assert_eq!(pairs.len(), 2);
+/// ```
+pub fn direct_product(i: &Instance, j: &Instance) -> (Instance, BTreeMap<Elem, (Elem, Elem)>) {
+    assert_eq!(
+        i.schema(),
+        j.schema(),
+        "direct product requires a common schema"
+    );
+    let schema = i.schema().clone();
+    let mut out = Instance::new(schema.clone());
+    // Pair (a, b) -> fresh product element, allocated in deterministic
+    // (a, b)-lexicographic order.
+    let mut pair_to_elem: BTreeMap<(Elem, Elem), Elem> = BTreeMap::new();
+    let mut next = 0u32;
+    for &a in i.dom() {
+        for &b in j.dom() {
+            pair_to_elem.insert((a, b), Elem(next));
+            next += 1;
+        }
+    }
+    for (&(a, b), &e) in &pair_to_elem {
+        out.add_dom_elem(e);
+        let _ = (a, b);
+    }
+    for pred in schema.preds() {
+        for ta in i.relation(pred) {
+            for tb in j.relation(pred) {
+                let tuple: Vec<Elem> = ta
+                    .iter()
+                    .zip(tb.iter())
+                    .map(|(&a, &b)| pair_to_elem[&(a, b)])
+                    .collect();
+                out.add_fact(pred, tuple);
+            }
+        }
+    }
+    let back = pair_to_elem.into_iter().map(|(p, e)| (e, p)).collect();
+    (out, back)
+}
+
+/// The iterated direct product `I_1 ⊗ ... ⊗ I_k` (left-associated), used in
+/// paper §4.2 Step 2. Returns `None` for an empty list.
+pub fn direct_product_many(instances: &[Instance]) -> Option<Instance> {
+    let mut iter = instances.iter();
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |acc, next| direct_product(&acc, next).0))
+}
+
+/// The intersection `I ∩ J` (paper §5): domain `dom(I) ∩ dom(J)`,
+/// relations `R^I ∩ R^J`.
+pub fn intersection(i: &Instance, j: &Instance) -> Instance {
+    assert_eq!(i.schema(), j.schema(), "intersection requires a common schema");
+    let schema = i.schema().clone();
+    let mut out = Instance::new(schema.clone());
+    for e in i.dom().intersection(j.dom()) {
+        out.add_dom_elem(*e);
+    }
+    for pred in schema.preds() {
+        for tuple in i.relation(pred) {
+            if j.relation(pred).contains(tuple) {
+                out.add_fact(pred, tuple.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The union `I ∪ J` over shared elements: domain `dom(I) ∪ dom(J)`,
+/// relations `R^I ∪ R^J` (used in the Appendix C/D constructions and the
+/// Appendix F closure arguments).
+pub fn union(i: &Instance, j: &Instance) -> Instance {
+    assert_eq!(i.schema(), j.schema(), "union requires a common schema");
+    let mut out = i.clone();
+    for e in j.dom() {
+        out.add_dom_elem(*e);
+    }
+    for fact in j.facts() {
+        out.add_fact(fact.pred, fact.args);
+    }
+    out
+}
+
+/// The disjoint union `I ⊎ J`: `J`'s elements are shifted past `I`'s
+/// largest element so the two domains cannot overlap. Returns the union and
+/// the shift applied to `J`'s elements.
+pub fn disjoint_union(i: &Instance, j: &Instance) -> (Instance, u32) {
+    assert_eq!(
+        i.schema(),
+        j.schema(),
+        "disjoint union requires a common schema"
+    );
+    let shift = i.fresh_elem().0;
+    let shifted = j.map_elements(|e| Elem(e.0 + shift));
+    (union(i, &shifted), shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_logic::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    fn inst(s: &Schema, rs: &[(u32, u32)], ts: &[u32]) -> Instance {
+        let mut i = Instance::new(s.clone());
+        let r = s.pred_id("R").unwrap();
+        let t = s.pred_id("T").unwrap();
+        for &(a, b) in rs {
+            i.add_fact(r, vec![Elem(a), Elem(b)]);
+        }
+        for &a in ts {
+            i.add_fact(t, vec![Elem(a)]);
+        }
+        i
+    }
+
+    #[test]
+    fn product_pairs_tuples_positionwise() {
+        let s = schema();
+        let i = inst(&s, &[(0, 1)], &[0]);
+        let j = inst(&s, &[(5, 5), (5, 6)], &[5]);
+        let (prod, back) = direct_product(&i, &j);
+        // dom: {0,1} × {5,6} = 4 elements; R: 1×2 tuples; T: 1×1.
+        assert_eq!(prod.dom().len(), 4);
+        let r = s.pred_id("R").unwrap();
+        let t = s.pred_id("T").unwrap();
+        assert_eq!(prod.relation(r).len(), 2);
+        assert_eq!(prod.relation(t).len(), 1);
+        // Every product fact projects to component facts.
+        for fact in prod.facts() {
+            let proj_i: Vec<Elem> = fact.args.iter().map(|e| back[e].0).collect();
+            let proj_j: Vec<Elem> = fact.args.iter().map(|e| back[e].1).collect();
+            assert!(i.contains_fact(fact.pred, &proj_i));
+            assert!(j.contains_fact(fact.pred, &proj_j));
+        }
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let s = schema();
+        let i = inst(&s, &[(0, 1)], &[]);
+        let empty = Instance::new(s.clone());
+        let (prod, _) = direct_product(&i, &empty);
+        assert!(prod.is_empty());
+        assert!(prod.dom().is_empty());
+    }
+
+    #[test]
+    fn iterated_product() {
+        let s = schema();
+        let i = inst(&s, &[], &[0, 1]);
+        let j = inst(&s, &[], &[2]);
+        let k = inst(&s, &[], &[3, 4]);
+        let prod = direct_product_many(&[i, j, k]).unwrap();
+        let t = s.pred_id("T").unwrap();
+        assert_eq!(prod.relation(t).len(), 4);
+        assert!(direct_product_many(&[]).is_none());
+    }
+
+    #[test]
+    fn intersection_meets_domains_and_relations() {
+        let s = schema();
+        let i = inst(&s, &[(0, 1), (1, 2)], &[0]);
+        let j = inst(&s, &[(1, 2), (2, 3)], &[0]);
+        let m = intersection(&i, &j);
+        let r = s.pred_id("R").unwrap();
+        let t = s.pred_id("T").unwrap();
+        assert_eq!(m.relation(r).len(), 1);
+        assert!(m.contains_fact(r, &[Elem(1), Elem(2)]));
+        assert!(m.contains_fact(t, &[Elem(0)]));
+        // dom is the intersection of the domains, not of the active domains.
+        assert_eq!(m.dom().len(), 3); // {0,1,2}
+    }
+
+    #[test]
+    fn union_merges_facts() {
+        let s = schema();
+        let i = inst(&s, &[(0, 1)], &[]);
+        let j = inst(&s, &[(1, 2)], &[9]);
+        let u = union(&i, &j);
+        assert_eq!(u.fact_count(), 3);
+        assert_eq!(u.dom().len(), 4);
+    }
+
+    #[test]
+    fn disjoint_union_separates_elements() {
+        let s = schema();
+        let i = inst(&s, &[(0, 1)], &[]);
+        let j = inst(&s, &[(0, 1)], &[]);
+        let (u, shift) = disjoint_union(&i, &j);
+        assert_eq!(shift, 2);
+        assert_eq!(u.fact_count(), 2);
+        assert_eq!(u.dom().len(), 4);
+        let r = s.pred_id("R").unwrap();
+        assert!(u.contains_fact(r, &[Elem(2), Elem(3)]));
+    }
+
+    #[test]
+    fn product_of_models_is_model_shape() {
+        // Sanity on Lemma 3.4's mechanics: a fact holds in the product iff
+        // its projections hold in the components (checked by construction in
+        // product_pairs_tuples_positionwise); here check the converse: every
+        // pair of component facts appears.
+        let s = schema();
+        let i = inst(&s, &[(0, 0)], &[]);
+        let j = inst(&s, &[(1, 2)], &[]);
+        let (prod, back) = direct_product(&i, &j);
+        let r = s.pred_id("R").unwrap();
+        assert_eq!(prod.relation(r).len(), 1);
+        let tuple = prod.relation(r).iter().next().unwrap().clone();
+        assert_eq!(back[&tuple[0]], (Elem(0), Elem(1)));
+        assert_eq!(back[&tuple[1]], (Elem(0), Elem(2)));
+    }
+}

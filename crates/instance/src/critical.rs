@@ -1,0 +1,133 @@
+//! k-critical instances (paper §3.1).
+
+use crate::instance::{Elem, Instance};
+use tgdkit_logic::Schema;
+
+/// Builds the k-critical instance over `schema` with domain
+/// `{Elem(base), ..., Elem(base + k - 1)}`: every relation contains **all**
+/// tuples over the domain (paper §3.1).
+///
+/// The element base is a parameter so callers can build critical instances
+/// sharing (or avoiding) elements of other instances.
+///
+/// ```
+/// use tgdkit_logic::Schema;
+/// use tgdkit_instance::{critical_instance, is_critical};
+/// let schema = Schema::builder().pred("R", 2).build();
+/// let crit = critical_instance(&schema, 2, 0);
+/// assert_eq!(crit.fact_count(), 4); // R over {0,1}^2
+/// assert!(is_critical(&crit));
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0` (criticality is defined for `k > 0`).
+pub fn critical_instance(schema: &Schema, k: usize, base: u32) -> Instance {
+    assert!(k > 0, "criticality is defined for k > 0");
+    let mut out = Instance::new(schema.clone());
+    let elems: Vec<Elem> = (0..k as u32).map(|i| Elem(base + i)).collect();
+    for &e in &elems {
+        out.add_dom_elem(e);
+    }
+    for pred in schema.preds() {
+        let arity = schema.arity(pred);
+        // Enumerate all k^arity tuples via counting in base k.
+        let mut idx = vec![0usize; arity];
+        'tuples: loop {
+            out.add_fact(pred, idx.iter().map(|&i| elems[i]).collect());
+            // Increment.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break 'tuples;
+                }
+                idx[pos] += 1;
+                if idx[pos] < k {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the instance is k-critical for `k = |dom(I)|`: every relation
+/// contains all tuples over the domain, and the domain is non-empty.
+pub fn is_critical(instance: &Instance) -> bool {
+    let k = instance.dom().len();
+    if k == 0 {
+        return false;
+    }
+    let schema = instance.schema();
+    schema.preds().all(|pred| {
+        instance.relation(pred).len() == k.pow(schema.arity(pred) as u32)
+            && instance
+                .relation(pred)
+                .iter()
+                .all(|t| t.iter().all(|e| instance.dom().contains(e)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_logic::Schema;
+
+    #[test]
+    fn counts_match_k_to_the_arity() {
+        let s = Schema::builder().pred("R", 2).pred("S", 3).pred("T", 1).build();
+        for k in 1..4 {
+            let c = critical_instance(&s, k, 0);
+            assert_eq!(c.dom().len(), k);
+            assert_eq!(
+                c.fact_count(),
+                k * k + k * k * k + k,
+                "wrong count for k={k}"
+            );
+            assert!(is_critical(&c));
+        }
+    }
+
+    #[test]
+    fn base_offsets_elements() {
+        let s = Schema::builder().pred("T", 1).build();
+        let c = critical_instance(&s, 2, 10);
+        assert!(c.dom().contains(&Elem(10)) && c.dom().contains(&Elem(11)));
+    }
+
+    #[test]
+    fn paper_example_2_critical() {
+        // The example of §3.1: schema {R/2}, dom {c, d}: all four R-facts.
+        let s = Schema::builder().pred("R", 2).build();
+        let c = critical_instance(&s, 2, 0);
+        let r = s.pred_id("R").unwrap();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                assert!(c.contains_fact(r, &[Elem(a), Elem(b)]));
+            }
+        }
+    }
+
+    #[test]
+    fn non_critical_instances_detected() {
+        let s = Schema::builder().pred("R", 2).build();
+        let r = s.pred_id("R").unwrap();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r, vec![Elem(0), Elem(1)]);
+        assert!(!is_critical(&i));
+        // Missing one diagonal fact.
+        let mut j = critical_instance(&s, 2, 0);
+        j.remove_fact(r, &[Elem(0), Elem(0)]);
+        assert!(!is_critical(&j));
+        // Empty instance is not critical (k > 0 required).
+        assert!(!is_critical(&Instance::new(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        let s = Schema::builder().pred("R", 2).build();
+        critical_instance(&s, 0, 0);
+    }
+}

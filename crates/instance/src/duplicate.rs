@@ -1,0 +1,186 @@
+//! Duplicating extensions (paper §5).
+//!
+//! Makowsky–Vardi's (oblivious) duplicating extension is *not* preserved by
+//! full tgds — paper Example 5.2 gives the counterexample — which is why the
+//! paper introduces the **non-oblivious** variant (Def. 5.3) that
+//! distinguishes the occurrences of the duplicated constant.
+
+use crate::instance::{Elem, Instance};
+
+/// The **oblivious** duplicating extension of `I` at `c` with fresh element
+/// `d` (the original Makowsky–Vardi notion, paper §5.1):
+///
+/// `dom(J) = dom(I) ∪ {d}` and `facts(J) = facts(I) ∪ h(facts(I))` where
+/// `h` is the identity except `h(c) = d`.
+///
+/// Every occurrence of `c` inside a fact is renamed at once — which is
+/// exactly what makes the notion fail to be preserved by full tgds
+/// (Example 5.2).
+///
+/// # Panics
+/// Panics if `c ∉ dom(I)` or `d ∈ dom(I)`.
+pub fn oblivious_duplicating_extension(i: &Instance, c: Elem, d: Elem) -> Instance {
+    assert!(i.dom().contains(&c), "c must be a domain element");
+    assert!(!i.dom().contains(&d), "d must be fresh");
+    let mut out = i.clone();
+    out.add_dom_elem(d);
+    for fact in i.facts() {
+        let renamed: Vec<Elem> = fact
+            .args
+            .iter()
+            .map(|&e| if e == c { d } else { e })
+            .collect();
+        out.add_fact(fact.pred, renamed);
+    }
+    out
+}
+
+/// The **non-oblivious** duplicating extension of `I` at `c` with fresh
+/// element `d` (paper Def. 5.3):
+///
+/// for every predicate `R` and tuple `t̄` over `dom(I) ∪ {d}`,
+/// `R(t̄) ∈ J` iff `h(R(t̄)) ∈ I`, where `h` is the identity on `dom(I)`
+/// and `h(d) = c`.
+///
+/// Equivalently: each fact of `I` is expanded by replacing every *subset* of
+/// its `c`-occurrences with `d` (so `T(c,c)` contributes `T(c,c)`, `T(c,d)`,
+/// `T(d,c)`, `T(d,d)` — the occurrences are distinguished, hence the name).
+///
+/// # Panics
+/// Panics if `c ∉ dom(I)` or `d ∈ dom(I)`.
+pub fn non_oblivious_duplicating_extension(i: &Instance, c: Elem, d: Elem) -> Instance {
+    assert!(i.dom().contains(&c), "c must be a domain element");
+    assert!(!i.dom().contains(&d), "d must be fresh");
+    let mut out = i.clone();
+    out.add_dom_elem(d);
+    for fact in i.facts() {
+        let c_positions: Vec<usize> = fact
+            .args
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e == c)
+            .map(|(p, _)| p)
+            .collect();
+        // All 2^{occurrences} replacement patterns (the empty pattern
+        // reproduces the original fact, already present).
+        for mask in 1u64..(1u64 << c_positions.len()) {
+            let mut args = fact.args.clone();
+            for (bit, &pos) in c_positions.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    args[pos] = d;
+                }
+            }
+            out.add_fact(fact.pred, args);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_logic::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .pred("R", 2)
+            .pred("S", 2)
+            .pred("T", 2)
+            .build()
+    }
+
+    /// The instance of paper Example 5.2:
+    /// dom = {a, b}, facts = {R(a,b), S(b,a), T(a,a)} with a=0, b=1.
+    fn example_5_2(s: &Schema) -> Instance {
+        let mut i = Instance::new(s.clone());
+        let r = s.pred_id("R").unwrap();
+        let sp = s.pred_id("S").unwrap();
+        let t = s.pred_id("T").unwrap();
+        i.add_fact(r, vec![Elem(0), Elem(1)]);
+        i.add_fact(sp, vec![Elem(1), Elem(0)]);
+        i.add_fact(t, vec![Elem(0), Elem(0)]);
+        i
+    }
+
+    #[test]
+    fn oblivious_matches_example_5_2() {
+        // Duplicating a=0 to c=2 must yield facts(I) ∪ {R(c,b), S(b,c),
+        // T(c,c)} — and crucially NOT T(a,c)/T(c,a).
+        let s = schema();
+        let i = example_5_2(&s);
+        let j = oblivious_duplicating_extension(&i, Elem(0), Elem(2));
+        let r = s.pred_id("R").unwrap();
+        let sp = s.pred_id("S").unwrap();
+        let t = s.pred_id("T").unwrap();
+        assert_eq!(j.fact_count(), 6);
+        assert!(j.contains_fact(r, &[Elem(2), Elem(1)]));
+        assert!(j.contains_fact(sp, &[Elem(1), Elem(2)]));
+        assert!(j.contains_fact(t, &[Elem(2), Elem(2)]));
+        assert!(!j.contains_fact(t, &[Elem(0), Elem(2)]));
+        assert!(!j.contains_fact(t, &[Elem(2), Elem(0)]));
+    }
+
+    #[test]
+    fn non_oblivious_matches_example_5_2_fix() {
+        // The paper's "valid duplicating extension": additionally T(a,c),
+        // T(c,a).
+        let s = schema();
+        let i = example_5_2(&s);
+        let j = non_oblivious_duplicating_extension(&i, Elem(0), Elem(2));
+        let t = s.pred_id("T").unwrap();
+        assert_eq!(j.fact_count(), 8);
+        assert!(j.contains_fact(t, &[Elem(0), Elem(2)]));
+        assert!(j.contains_fact(t, &[Elem(2), Elem(0)]));
+        assert!(j.contains_fact(t, &[Elem(2), Elem(2)]));
+    }
+
+    #[test]
+    fn non_oblivious_definition_check() {
+        // Defining property: R(t̄) ∈ J iff h(R(t̄)) ∈ I with h(d) = c.
+        let s = schema();
+        let i = example_5_2(&s);
+        let (c, d) = (Elem(0), Elem(2));
+        let j = non_oblivious_duplicating_extension(&i, c, d);
+        let h = |e: Elem| if e == d { c } else { e };
+        // Forward: every fact of J collapses into I.
+        for fact in j.facts() {
+            let collapsed: Vec<Elem> = fact.args.iter().map(|&e| h(e)).collect();
+            assert!(i.contains_fact(fact.pred, &collapsed));
+        }
+        // Backward: every tuple over dom(I) ∪ {d} that collapses into I is
+        // in J (schema is binary; enumerate).
+        let dom: Vec<Elem> = j.dom().iter().copied().collect();
+        for pred in s.preds() {
+            for &a in &dom {
+                for &b in &dom {
+                    let collapsed = [h(a), h(b)];
+                    assert_eq!(
+                        j.contains_fact(pred, &[a, b]),
+                        i.contains_fact(pred, &collapsed),
+                        "mismatch at {pred:?}({a:?},{b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn facts_without_c_are_unchanged() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        let r = s.pred_id("R").unwrap();
+        i.add_fact(r, vec![Elem(1), Elem(1)]);
+        i.add_dom_elem(Elem(0));
+        let j = non_oblivious_duplicating_extension(&i, Elem(0), Elem(5));
+        assert_eq!(j.fact_count(), 1);
+        assert!(j.dom().contains(&Elem(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh")]
+    fn duplicating_to_existing_element_panics() {
+        let s = schema();
+        let i = example_5_2(&s);
+        non_oblivious_duplicating_extension(&i, Elem(0), Elem(1));
+    }
+}

@@ -1,0 +1,450 @@
+//! Finite relational instances (paper §2).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use tgdkit_logic::{PredId, Schema};
+
+/// A domain element of an instance.
+///
+/// Elements are opaque integers shared across instances: two instances over
+/// the same schema may (and, for the subinstance-sensitive constructions of
+/// the paper, must) refer to the same elements. The chase allocates fresh
+/// elements as labeled nulls from the same space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Elem(pub u32);
+
+impl Elem {
+    /// The element id as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A fact `R(c_1, ..., c_k)` of an instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Predicate symbol.
+    pub pred: PredId,
+    /// Argument tuple.
+    pub args: Vec<Elem>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(pred: PredId, args: Vec<Elem>) -> Self {
+        Fact { pred, args }
+    }
+}
+
+/// A finite relational instance `I = (dom(I), R_1^I, ..., R_n^I)` over a
+/// schema (paper §2).
+///
+/// The **domain** may strictly contain the **active domain** (the elements
+/// occurring in facts); the paper's Def. 3.7 (domain independence) and the
+/// normalization `dom(I) = adom(I)` used throughout §4 depend on this
+/// distinction being representable.
+///
+/// Relations are stored as ordered sets of tuples, so iteration is
+/// deterministic.
+///
+/// ```
+/// use tgdkit_logic::Schema;
+/// use tgdkit_instance::{Elem, Instance};
+/// let schema = Schema::builder().pred("R", 2).build();
+/// let r = schema.pred_id("R").unwrap();
+/// let mut inst = Instance::new(schema);
+/// inst.add_fact(r, vec![Elem(0), Elem(1)]);
+/// inst.add_dom_elem(Elem(7)); // isolated element: in dom, not in adom
+/// assert_eq!(inst.dom().len(), 3);
+/// assert_eq!(inst.active_domain().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    schema: Schema,
+    dom: BTreeSet<Elem>,
+    rels: Vec<BTreeSet<Vec<Elem>>>,
+    /// Optional display names for elements (populated by the parser).
+    names: BTreeMap<Elem, String>,
+}
+
+impl Instance {
+    /// Creates an empty instance over `schema`.
+    pub fn new(schema: Schema) -> Instance {
+        let rels = (0..schema.len()).map(|_| BTreeSet::new()).collect();
+        Instance {
+            schema,
+            dom: BTreeSet::new(),
+            rels,
+            names: BTreeMap::new(),
+        }
+    }
+
+    /// The schema of the instance.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The domain `dom(I)`.
+    #[inline]
+    pub fn dom(&self) -> &BTreeSet<Elem> {
+        &self.dom
+    }
+
+    /// The active domain `adom(I)`: elements occurring in at least one fact.
+    pub fn active_domain(&self) -> BTreeSet<Elem> {
+        let mut adom = BTreeSet::new();
+        for rel in &self.rels {
+            for tuple in rel {
+                adom.extend(tuple.iter().copied());
+            }
+        }
+        adom
+    }
+
+    /// Adds an element to the domain without adding any fact.
+    pub fn add_dom_elem(&mut self, e: Elem) {
+        self.dom.insert(e);
+    }
+
+    /// Removes isolated elements so that `dom(I) = adom(I)` (the
+    /// normalization used throughout paper §4, justified by domain
+    /// independence).
+    pub fn shrink_dom_to_active(&mut self) {
+        self.dom = self.active_domain();
+    }
+
+    /// Adds the fact `pred(args)`, extending the domain with its elements.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the predicate arity.
+    pub fn add_fact(&mut self, pred: PredId, args: Vec<Elem>) -> bool {
+        assert_eq!(
+            args.len(),
+            self.schema.arity(pred),
+            "arity mismatch for {}",
+            self.schema.name(pred)
+        );
+        self.dom.extend(args.iter().copied());
+        self.rels[pred.index()].insert(args)
+    }
+
+    /// Adds a [`Fact`].
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.add_fact(fact.pred, fact.args)
+    }
+
+    /// Removes a fact (the domain is left unchanged).
+    pub fn remove_fact(&mut self, pred: PredId, args: &[Elem]) -> bool {
+        self.rels[pred.index()].remove(args)
+    }
+
+    /// `true` when the instance contains `pred(args)`.
+    pub fn contains_fact(&self, pred: PredId, args: &[Elem]) -> bool {
+        self.rels[pred.index()].contains(args)
+    }
+
+    /// The relation of `pred`.
+    pub fn relation(&self, pred: PredId) -> &BTreeSet<Vec<Elem>> {
+        &self.rels[pred.index()]
+    }
+
+    /// Iterates over all facts in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.schema.preds().flat_map(move |pred| {
+            self.rels[pred.index()]
+                .iter()
+                .map(move |tuple| Fact::new(pred, tuple.clone()))
+        })
+    }
+
+    /// Total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.rels.iter().map(|r| r.len()).sum()
+    }
+
+    /// `true` when the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(|r| r.is_empty())
+    }
+
+    /// Set-inclusion of facts: `facts(self) ⊆ facts(other)` (the paper's
+    /// `J ⊆ I`). The domains are not compared.
+    pub fn is_contained_in(&self, other: &Instance) -> bool {
+        self.rels
+            .iter()
+            .zip(&other.rels)
+            .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// Subinstance test `self ≤ other` (paper §2): `dom(self) ⊆ dom(other)`
+    /// and each relation of `self` is the restriction of the corresponding
+    /// relation of `other` to `dom(self)`.
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        if !self.dom.is_subset(&other.dom) {
+            return false;
+        }
+        self.rels.iter().zip(&other.rels).all(|(a, b)| {
+            // a must equal { t ∈ b | t ⊆ dom(self) }.
+            a.iter().all(|t| b.contains(t))
+                && b.iter()
+                    .filter(|t| t.iter().all(|e| self.dom.contains(e)))
+                    .all(|t| a.contains(t))
+        })
+    }
+
+    /// The restriction `I|_D` (paper §2): the subinstance with domain
+    /// `dom(I) ∩ D` whose relations keep exactly the tuples over `D`.
+    pub fn restrict(&self, d: &BTreeSet<Elem>) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        out.dom = self.dom.intersection(d).copied().collect();
+        for (i, rel) in self.rels.iter().enumerate() {
+            for tuple in rel {
+                if tuple.iter().all(|e| out.dom.contains(e)) {
+                    out.rels[i].insert(tuple.clone());
+                }
+            }
+        }
+        out.names = self
+            .names
+            .iter()
+            .filter(|(e, _)| out.dom.contains(e))
+            .map(|(e, n)| (*e, n.clone()))
+            .collect();
+        out
+    }
+
+    /// The restriction of `self` to the elements occurring in `facts`,
+    /// i.e. `I|_{adom(F)}`.
+    pub fn restrict_to_facts(&self, facts: &[Fact]) -> Instance {
+        let d: BTreeSet<Elem> = facts.iter().flat_map(|f| f.args.iter().copied()).collect();
+        self.restrict(&d)
+    }
+
+    /// Smallest element id not used in the domain, for allocating fresh
+    /// elements (chase nulls, disjoint copies).
+    pub fn fresh_elem(&self) -> Elem {
+        Elem(self.dom.iter().next_back().map_or(0, |e| e.0 + 1))
+    }
+
+    /// Applies a function to every element, producing the homomorphic image
+    /// `h(facts(I))` as a new instance (domain = image of the domain).
+    pub fn map_elements(&self, mut h: impl FnMut(Elem) -> Elem) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for e in &self.dom {
+            out.add_dom_elem(h(*e));
+        }
+        for (i, rel) in self.rels.iter().enumerate() {
+            for tuple in rel {
+                let mapped: Vec<Elem> = tuple.iter().map(|&e| h(e)).collect();
+                out.dom.extend(mapped.iter().copied());
+                out.rels[i].insert(mapped);
+            }
+        }
+        out
+    }
+
+    /// Assigns a display name to an element.
+    pub fn set_name(&mut self, e: Elem, name: impl Into<String>) {
+        self.names.insert(e, name.into());
+    }
+
+    /// The display name of an element, if one was assigned.
+    pub fn name_of(&self, e: Elem) -> Option<&str> {
+        self.names.get(&e).map(String::as_str)
+    }
+
+    /// Looks up an element by display name.
+    pub fn elem_by_name(&self, name: &str) -> Option<Elem> {
+        self.names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(e, _)| *e)
+    }
+
+    fn render_elem(&self, e: Elem) -> String {
+        self.names
+            .get(&e)
+            .cloned()
+            .unwrap_or_else(|| format!("e{}", e.0))
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for fact in self.facts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}(", self.schema.name(fact.pred))?;
+            for (i, &e) in fact.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.render_elem(e))?;
+            }
+            write!(f, ")")?;
+        }
+        // Isolated elements, if any, are listed after the facts.
+        let adom = self.active_domain();
+        for e in self.dom.difference(&adom) {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}", self.render_elem(*e))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    fn r(s: &Schema) -> PredId {
+        s.pred_id("R").unwrap()
+    }
+
+    fn t(s: &Schema) -> PredId {
+        s.pred_id("T").unwrap()
+    }
+
+    #[test]
+    fn add_and_query_facts() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        assert!(i.add_fact(r(&s), vec![Elem(0), Elem(1)]));
+        assert!(!i.add_fact(r(&s), vec![Elem(0), Elem(1)]));
+        assert!(i.contains_fact(r(&s), &[Elem(0), Elem(1)]));
+        assert!(!i.contains_fact(r(&s), &[Elem(1), Elem(0)]));
+        assert_eq!(i.fact_count(), 1);
+        assert_eq!(i.facts().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(0)]);
+    }
+
+    #[test]
+    fn dom_vs_adom() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(t(&s), vec![Elem(3)]);
+        i.add_dom_elem(Elem(9));
+        assert_eq!(i.dom().len(), 2);
+        assert_eq!(i.active_domain().len(), 1);
+        i.shrink_dom_to_active();
+        assert_eq!(i.dom().len(), 1);
+    }
+
+    #[test]
+    fn containment_vs_subinstance() {
+        // The paper stresses J ≤ I implies J ⊆ I but not conversely.
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(0), Elem(1)]);
+        i.add_fact(r(&s), vec![Elem(0), Elem(0)]);
+
+        // J has both elements but misses R(0,0): contained, not a
+        // subinstance.
+        let mut j = Instance::new(s.clone());
+        j.add_fact(r(&s), vec![Elem(0), Elem(1)]);
+        assert!(j.is_contained_in(&i));
+        assert!(!j.is_subinstance_of(&i));
+
+        // The restriction to {0} is a subinstance.
+        let k = i.restrict(&[Elem(0)].into_iter().collect());
+        assert!(k.is_subinstance_of(&i));
+        assert!(k.is_contained_in(&i));
+        assert_eq!(k.fact_count(), 1);
+        assert!(k.contains_fact(r(&s), &[Elem(0), Elem(0)]));
+    }
+
+    #[test]
+    fn restriction_keeps_only_inner_tuples() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(0), Elem(1)]);
+        i.add_fact(r(&s), vec![Elem(1), Elem(2)]);
+        i.add_fact(t(&s), vec![Elem(2)]);
+        let d: BTreeSet<Elem> = [Elem(1), Elem(2)].into_iter().collect();
+        let sub = i.restrict(&d);
+        assert_eq!(sub.fact_count(), 2);
+        assert!(sub.contains_fact(r(&s), &[Elem(1), Elem(2)]));
+        assert!(sub.contains_fact(t(&s), &[Elem(2)]));
+    }
+
+    #[test]
+    fn map_elements_builds_hom_image() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(0), Elem(1)]);
+        let img = i.map_elements(|_| Elem(5));
+        assert!(img.contains_fact(r(&s), &[Elem(5), Elem(5)]));
+        assert_eq!(img.fact_count(), 1);
+        assert_eq!(img.dom().len(), 1);
+    }
+
+    #[test]
+    fn fresh_elem_is_unused() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        assert_eq!(i.fresh_elem(), Elem(0));
+        i.add_fact(r(&s), vec![Elem(0), Elem(7)]);
+        assert_eq!(i.fresh_elem(), Elem(8));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(0), Elem(1)]);
+        i.set_name(Elem(0), "a");
+        i.set_name(Elem(1), "b");
+        i.add_dom_elem(Elem(2));
+        assert_eq!(i.to_string(), "{R(a, b), e2}");
+        assert_eq!(i.elem_by_name("b"), Some(Elem(1)));
+    }
+
+    #[test]
+    fn facts_iterate_deterministically() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(t(&s), vec![Elem(5)]);
+        i.add_fact(r(&s), vec![Elem(2), Elem(0)]);
+        i.add_fact(r(&s), vec![Elem(0), Elem(2)]);
+        let listed: Vec<Fact> = i.facts().collect();
+        assert_eq!(
+            listed,
+            vec![
+                Fact::new(r(&s), vec![Elem(0), Elem(2)]),
+                Fact::new(r(&s), vec![Elem(2), Elem(0)]),
+                Fact::new(t(&s), vec![Elem(5)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_fact_keeps_domain() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(t(&s), vec![Elem(1)]);
+        assert!(i.remove_fact(t(&s), &[Elem(1)]));
+        assert!(!i.remove_fact(t(&s), &[Elem(1)]));
+        assert!(i.dom().contains(&Elem(1)));
+        assert!(i.active_domain().is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! A tiny parser for instance literals, e.g. `{ R(a,b), S(b,c), T(a) }`.
+//!
+//! Constant names map to fresh elements in order of first occurrence; the
+//! names are remembered on the instance for display. Predicates are added to
+//! the schema on first use (like the dependency parser).
+
+use crate::instance::{Elem, Instance};
+use std::collections::HashMap;
+use tgdkit_logic::{ParseError, Schema};
+
+/// Parses an instance literal against (and extending) `schema`.
+///
+/// The surrounding braces are optional; an empty string yields the empty
+/// instance. `,`-separated facts of the form `Pred(name, ...)`.
+///
+/// ```
+/// use tgdkit_logic::Schema;
+/// use tgdkit_instance::parse_instance;
+/// let mut schema = Schema::default();
+/// let inst = parse_instance(&mut schema, "{ R(a,b), S(b,a), T(a,a) }").unwrap();
+/// assert_eq!(inst.fact_count(), 3);
+/// assert_eq!(inst.dom().len(), 2);
+/// assert!(inst.elem_by_name("a").is_some());
+/// ```
+pub fn parse_instance(schema: &mut Schema, text: &str) -> Result<Instance, ParseError> {
+    let mut names: HashMap<String, Elem> = HashMap::new();
+    // Two-pass: first collect raw facts (extending the schema), then build.
+    let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+
+    let mut chars = text.char_indices().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let err = |msg: &str, line: usize, col: usize| ParseError::new(msg, line, col);
+
+    // Simple tokenizer inline: identifiers, '(', ')', ',', '{', '}'.
+    #[derive(PartialEq, Debug)]
+    enum T {
+        Ident(String),
+        LP,
+        RP,
+        Comma,
+        LB,
+        RB,
+    }
+    let mut toks: Vec<(T, usize, usize)> = Vec::new();
+    while let Some(&(_, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '(' => {
+                toks.push((T::LP, line, col));
+                chars.next();
+                col += 1;
+            }
+            ')' => {
+                toks.push((T::RP, line, col));
+                chars.next();
+                col += 1;
+            }
+            ',' => {
+                toks.push((T::Comma, line, col));
+                chars.next();
+                col += 1;
+            }
+            '{' => {
+                toks.push((T::LB, line, col));
+                chars.next();
+                col += 1;
+            }
+            '}' => {
+                toks.push((T::RB, line, col));
+                chars.next();
+                col += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = col;
+                let mut ident = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        ident.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((T::Ident(ident), line, start));
+            }
+            other => {
+                return Err(err(&format!("unexpected character {other:?}"), line, col));
+            }
+        }
+    }
+
+    let mut pos = 0usize;
+    // Optional opening brace.
+    if matches!(toks.first(), Some((T::LB, ..))) {
+        pos += 1;
+    }
+    loop {
+        match toks.get(pos) {
+            None => break,
+            Some((T::RB, ..)) => {
+                pos += 1;
+                if pos != toks.len() {
+                    let (_, l, c) = &toks[pos];
+                    return Err(err("unexpected input after '}'", *l, *c));
+                }
+                break;
+            }
+            Some((T::Ident(name), l, c)) => {
+                let pred_name = name.clone();
+                let (pl, pc) = (*l, *c);
+                pos += 1;
+                match toks.get(pos) {
+                    Some((T::LP, ..)) => pos += 1,
+                    _ => return Err(err("expected '(' after predicate name", pl, pc)),
+                }
+                let mut args = Vec::new();
+                if matches!(toks.get(pos), Some((T::RP, ..))) {
+                    // 0-ary fact `Aux()`.
+                    pos += 1;
+                } else {
+                    loop {
+                        match toks.get(pos) {
+                            Some((T::Ident(arg), ..)) => {
+                                args.push(arg.clone());
+                                pos += 1;
+                            }
+                            Some((_, l, c)) => return Err(err("expected constant name", *l, *c)),
+                            None => return Err(err("unexpected end of input", line, col)),
+                        }
+                        match toks.get(pos) {
+                            Some((T::Comma, ..)) => pos += 1,
+                            Some((T::RP, ..)) => {
+                                pos += 1;
+                                break;
+                            }
+                            Some((_, l, c)) => return Err(err("expected ',' or ')'", *l, *c)),
+                            None => return Err(err("unexpected end of input", line, col)),
+                        }
+                    }
+                }
+                schema
+                    .add_pred(&pred_name, args.len())
+                    .map_err(|e| ParseError::new(e.to_string(), pl, pc))?;
+                raw.push((pred_name, args));
+                // Optional fact separator.
+                if matches!(toks.get(pos), Some((T::Comma, ..))) {
+                    pos += 1;
+                }
+            }
+            Some((_, l, c)) => return Err(err("expected a fact", *l, *c)),
+        }
+    }
+
+    let mut out = Instance::new(schema.clone());
+    for (pred_name, args) in raw {
+        let pred = schema.pred_id(&pred_name).expect("just added");
+        let elems: Vec<Elem> = args
+            .iter()
+            .map(|a| {
+                let next = Elem(names.len() as u32);
+                *names.entry(a.clone()).or_insert(next)
+            })
+            .collect();
+        out.add_fact(pred, elems);
+    }
+    for (name, elem) in names {
+        out.set_name(elem, name);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_braced_and_unbraced() {
+        let mut s = Schema::default();
+        let a = parse_instance(&mut s, "{ R(a,b), T(a) }").unwrap();
+        let b = parse_instance(&mut s, "R(a,b), T(a)").unwrap();
+        assert_eq!(a.fact_count(), b.fact_count());
+        assert_eq!(a.dom().len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut s = Schema::default();
+        assert!(parse_instance(&mut s, "").unwrap().is_empty());
+        assert!(parse_instance(&mut s, "{}").unwrap().is_empty());
+        assert!(parse_instance(&mut s, "  {  }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn constants_are_shared_across_facts() {
+        let mut s = Schema::default();
+        let i = parse_instance(&mut s, "R(a,b), R(b,c), R(c,a)").unwrap();
+        assert_eq!(i.dom().len(), 3);
+        assert_eq!(i.fact_count(), 3);
+        let a = i.elem_by_name("a").unwrap();
+        let b = i.elem_by_name("b").unwrap();
+        let r = s.pred_id("R").unwrap();
+        assert!(i.contains_fact(r, &[a, b]));
+    }
+
+    #[test]
+    fn numeric_constants_allowed() {
+        let mut s = Schema::default();
+        let i = parse_instance(&mut s, "R(1, 2)").unwrap();
+        assert_eq!(i.dom().len(), 2);
+        assert!(i.elem_by_name("1").is_some());
+    }
+
+    #[test]
+    fn arity_conflict_is_error() {
+        let mut s = Schema::default();
+        assert!(parse_instance(&mut s, "R(a,b), R(a)").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        let mut s = Schema::default();
+        assert!(parse_instance(&mut s, "R(a,b").is_err());
+        assert!(parse_instance(&mut s, "R a,b)").is_err());
+        assert!(parse_instance(&mut s, "{ R(a) } extra").is_err());
+        assert!(parse_instance(&mut s, "R(").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut s = Schema::default();
+        let i = parse_instance(&mut s, "{ R(a,b), T(a) }").unwrap();
+        let rendered = i.to_string();
+        let j = parse_instance(&mut s, &rendered).unwrap();
+        assert_eq!(i.fact_count(), j.fact_count());
+    }
+}

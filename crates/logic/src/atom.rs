@@ -1,0 +1,173 @@
+//! Atoms over a schema, generic in the kind of term filling the positions.
+
+use crate::schema::{PredId, Schema};
+use crate::error::LogicError;
+
+/// A variable inside a dependency.
+///
+/// Variables are dense indices local to a single dependency: a dependency
+/// with `k` distinct variables uses exactly `Var(0), ..., Var(k-1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable index as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An atom `R(t_1, ..., t_k)` whose terms are of type `T`.
+///
+/// With `T = Var` this is a rule atom (dependencies are constant-free, paper
+/// §2); the instance layer uses `Atom<Elem>` for facts and mixed term types
+/// for freezing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom<T> {
+    /// Predicate symbol.
+    pub pred: PredId,
+    /// Argument terms; length must equal the predicate arity.
+    pub args: Vec<T>,
+}
+
+impl<T> Atom<T> {
+    /// Creates an atom.
+    pub fn new(pred: PredId, args: Vec<T>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Maps the terms of the atom through `f`, keeping the predicate.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Atom<U> {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(f).collect(),
+        }
+    }
+
+    /// Checks predicate existence and arity against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), LogicError> {
+        if self.pred.index() >= schema.len() {
+            return Err(LogicError::UnknownPredicate(format!("{:?}", self.pred)));
+        }
+        let expected = schema.arity(self.pred);
+        if self.args.len() != expected {
+            return Err(LogicError::ArityMismatch {
+                pred: schema.name(self.pred).to_string(),
+                expected,
+                actual: self.args.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Atom<Var> {
+    /// Iterates over the variables of the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().copied()
+    }
+
+    /// Collects the distinct variables of the atom in order of first
+    /// occurrence.
+    pub fn distinct_vars(&self) -> Vec<Var> {
+        let mut out = Vec::with_capacity(self.args.len());
+        for &v in &self.args {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Applies a variable renaming given as a dense table.
+    pub fn rename(&self, table: &[Var]) -> Atom<Var> {
+        self.map(|v| table[v.index()])
+    }
+}
+
+/// Collects the distinct variables of a conjunction of atoms, in order of
+/// first occurrence.
+pub fn conjunction_vars(atoms: &[Atom<Var>]) -> Vec<Var> {
+    let mut out = Vec::new();
+    for atom in atoms {
+        for &v in &atom.args {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    #[test]
+    fn validate_checks_arity() {
+        let s = schema();
+        let r = s.pred_id("R").unwrap();
+        assert!(Atom::new(r, vec![Var(0), Var(1)]).validate(&s).is_ok());
+        let bad = Atom::new(r, vec![Var(0)]);
+        assert!(matches!(
+            bad.validate(&s),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_checks_predicate_bounds() {
+        let s = schema();
+        let bogus = Atom::new(PredId(9), vec![Var(0)]);
+        assert!(matches!(
+            bogus.validate(&s),
+            Err(LogicError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_vars_keeps_first_occurrence_order() {
+        let s = schema();
+        let r = s.pred_id("R").unwrap();
+        let a = Atom::new(r, vec![Var(3), Var(3)]);
+        assert_eq!(a.distinct_vars(), vec![Var(3)]);
+        let b = Atom::new(r, vec![Var(1), Var(0)]);
+        assert_eq!(b.distinct_vars(), vec![Var(1), Var(0)]);
+    }
+
+    #[test]
+    fn conjunction_vars_spans_atoms() {
+        let s = schema();
+        let r = s.pred_id("R").unwrap();
+        let t = s.pred_id("T").unwrap();
+        let atoms = vec![
+            Atom::new(r, vec![Var(2), Var(0)]),
+            Atom::new(t, vec![Var(1)]),
+        ];
+        assert_eq!(conjunction_vars(&atoms), vec![Var(2), Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn rename_applies_table() {
+        let s = schema();
+        let r = s.pred_id("R").unwrap();
+        let a = Atom::new(r, vec![Var(0), Var(1)]);
+        let renamed = a.rename(&[Var(5), Var(5)]);
+        assert_eq!(renamed.args, vec![Var(5), Var(5)]);
+    }
+
+    #[test]
+    fn map_changes_term_type() {
+        let s = schema();
+        let r = s.pred_id("R").unwrap();
+        let a = Atom::new(r, vec![Var(0), Var(1)]);
+        let grounded: Atom<u64> = a.map(|v| v.0 as u64 + 10);
+        assert_eq!(grounded.args, vec![10, 11]);
+    }
+}

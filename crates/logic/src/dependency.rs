@@ -1,0 +1,178 @@
+//! Unions of dependency kinds and validated sets of tgds.
+
+use crate::edd::Edd;
+use crate::egd::Egd;
+use crate::error::LogicError;
+use crate::schema::Schema;
+use crate::tgd::{set_profile, Tgd};
+
+/// Any dependency of the paper: a tgd, an egd, or an edd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dependency {
+    /// A tuple-generating dependency.
+    Tgd(Tgd),
+    /// An equality-generating dependency.
+    Egd(Egd),
+    /// An existential disjunctive dependency that is neither a tgd nor an
+    /// egd (at least two disjuncts).
+    Edd(Edd),
+}
+
+impl Dependency {
+    /// Validates the dependency against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), LogicError> {
+        match self {
+            Dependency::Tgd(t) => t.validate(schema),
+            Dependency::Egd(e) => e.validate(schema),
+            Dependency::Edd(e) => e.validate(schema),
+        }
+    }
+
+    /// Returns the tgd if this is one.
+    pub fn as_tgd(&self) -> Option<&Tgd> {
+        match self {
+            Dependency::Tgd(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the egd if this is one.
+    pub fn as_egd(&self) -> Option<&Egd> {
+        match self {
+            Dependency::Egd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A finite set of tgds over a fixed schema — the syntactic form of an
+/// ontology specification (paper §2, "Ontologies").
+///
+/// The set remembers its schema so that downstream layers (instances, chase,
+/// locality) can interpret predicate ids without extra plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TgdSet {
+    schema: Schema,
+    tgds: Vec<Tgd>,
+}
+
+impl TgdSet {
+    /// Builds a validated set of tgds.
+    pub fn new(schema: Schema, tgds: Vec<Tgd>) -> Result<TgdSet, LogicError> {
+        for tgd in &tgds {
+            tgd.validate(&schema)?;
+        }
+        Ok(TgdSet { schema, tgds })
+    }
+
+    /// The schema the set is over.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tgds in the set.
+    #[inline]
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// Number of tgds.
+    pub fn len(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// The least `(n, m)` such that this set belongs to `TGD_{n,m}`.
+    pub fn profile(&self) -> (usize, usize) {
+        set_profile(&self.tgds)
+    }
+
+    /// `true` when every tgd is full (`Σ ∈ FTGD`).
+    pub fn is_full(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_full)
+    }
+
+    /// `true` when every tgd is linear (`Σ ∈ LTGD`).
+    pub fn is_linear(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_linear)
+    }
+
+    /// `true` when every tgd is guarded (`Σ ∈ GTGD`).
+    pub fn is_guarded(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_guarded)
+    }
+
+    /// `true` when every tgd is frontier-guarded (`Σ ∈ FGTGD`).
+    pub fn is_frontier_guarded(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_frontier_guarded)
+    }
+
+    /// Iterates over the tgds.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tgd> {
+        self.tgds.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TgdSet {
+    type Item = &'a Tgd;
+    type IntoIter = std::slice::Iter<'a, Tgd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tgds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Var};
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
+        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn class_predicates_over_set() {
+        let s = schema();
+        let linear = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "T", &[0])]).unwrap();
+        let nonlinear = Tgd::new(
+            vec![atom(&s, "R", &[0, 1]), atom(&s, "R", &[1, 2])],
+            vec![atom(&s, "R", &[0, 2])],
+        )
+        .unwrap();
+        let set = TgdSet::new(s.clone(), vec![linear.clone(), nonlinear]).unwrap();
+        assert!(!set.is_linear());
+        assert!(set.is_full());
+        // The transitivity rule's frontier {x0, x2} is not covered by any
+        // single body atom, so the set is not frontier-guarded.
+        assert!(!set.is_frontier_guarded());
+        assert_eq!(set.profile(), (3, 0));
+
+        let only_linear = TgdSet::new(s, vec![linear]).unwrap();
+        assert!(only_linear.is_linear() && only_linear.is_guarded());
+    }
+
+    #[test]
+    fn validation_rejects_foreign_predicates() {
+        let s = schema();
+        let tgd = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "T", &[0])]).unwrap();
+        let wrong = Schema::builder().pred("R", 2).build();
+        assert!(TgdSet::new(wrong, vec![tgd]).is_err());
+    }
+
+    #[test]
+    fn empty_set_profile() {
+        let set = TgdSet::new(schema(), vec![]).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.profile(), (0, 0));
+        assert!(set.is_full() && set.is_linear() && set.is_guarded());
+    }
+}

@@ -1,0 +1,273 @@
+//! Pretty printers for dependencies.
+//!
+//! Atoms store interned predicate ids, so printing needs the schema; the
+//! `display` methods return lightweight adapter values implementing
+//! [`std::fmt::Display`]. The output round-trips through the parser:
+//! `parse_tgd(schema, &tgd.display(schema).to_string())` reproduces the tgd.
+//!
+//! Naming convention: universal variables print as `x0, x1, ...` and
+//! existential variables as `z0, z1, ...`.
+
+use crate::atom::{Atom, Var};
+use crate::dependency::Dependency;
+use crate::edd::{Edd, EddDisjunct};
+use crate::egd::Egd;
+use crate::schema::Schema;
+use crate::tgd::Tgd;
+use std::fmt;
+
+fn var_name(v: Var, universal_count: usize) -> String {
+    if v.index() < universal_count {
+        format!("x{}", v.index())
+    } else {
+        format!("z{}", v.index() - universal_count)
+    }
+}
+
+fn write_atom(
+    f: &mut fmt::Formatter<'_>,
+    schema: &Schema,
+    atom: &Atom<Var>,
+    universal_count: usize,
+) -> fmt::Result {
+    write!(f, "{}(", schema.name(atom.pred))?;
+    for (i, &v) in atom.args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", var_name(v, universal_count))?;
+    }
+    write!(f, ")")
+}
+
+fn write_conjunction(
+    f: &mut fmt::Formatter<'_>,
+    schema: &Schema,
+    atoms: &[Atom<Var>],
+    universal_count: usize,
+) -> fmt::Result {
+    for (i, atom) in atoms.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write_atom(f, schema, atom, universal_count)?;
+    }
+    Ok(())
+}
+
+fn write_exists_prefix(
+    f: &mut fmt::Formatter<'_>,
+    atoms: &[Atom<Var>],
+    universal_count: usize,
+) -> fmt::Result {
+    let mut existentials: Vec<Var> = crate::atom::conjunction_vars(atoms)
+        .into_iter()
+        .filter(|v| v.index() >= universal_count)
+        .collect();
+    existentials.sort_unstable();
+    if !existentials.is_empty() {
+        write!(f, "exists ")?;
+        for (i, v) in existentials.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", var_name(*v, universal_count))?;
+        }
+        write!(f, " : ")?;
+    }
+    Ok(())
+}
+
+/// Display adapter for a [`Tgd`]; see [`Tgd::display`].
+pub struct DisplayTgd<'a> {
+    schema: &'a Schema,
+    tgd: &'a Tgd,
+}
+
+impl fmt::Display for DisplayTgd<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.tgd.universal_count();
+        if self.tgd.body().is_empty() {
+            write!(f, "true")?;
+        } else {
+            write_conjunction(f, self.schema, self.tgd.body(), n)?;
+        }
+        write!(f, " -> ")?;
+        write_exists_prefix(f, self.tgd.head(), n)?;
+        write_conjunction(f, self.schema, self.tgd.head(), n)
+    }
+}
+
+impl Tgd {
+    /// Renders the tgd in the surface syntax, e.g.
+    /// `R(x0, x1) -> exists z0 : S(x1, z0)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayTgd<'a> {
+        DisplayTgd { schema, tgd: self }
+    }
+}
+
+/// Display adapter for an [`Egd`]; see [`Egd::display`].
+pub struct DisplayEgd<'a> {
+    schema: &'a Schema,
+    egd: &'a Egd,
+}
+
+impl fmt::Display for DisplayEgd<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.egd.var_count();
+        write_conjunction(f, self.schema, self.egd.body(), n)?;
+        write!(
+            f,
+            " -> {} = {}",
+            var_name(self.egd.lhs(), n),
+            var_name(self.egd.rhs(), n)
+        )
+    }
+}
+
+impl Egd {
+    /// Renders the egd in the surface syntax, e.g.
+    /// `R(x0, x1), R(x0, x2) -> x1 = x2`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayEgd<'a> {
+        DisplayEgd { schema, egd: self }
+    }
+}
+
+/// Display adapter for an [`Edd`]; see [`Edd::display`].
+pub struct DisplayEdd<'a> {
+    schema: &'a Schema,
+    edd: &'a Edd,
+}
+
+impl fmt::Display for DisplayEdd<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.edd.universal_count();
+        if self.edd.body().is_empty() {
+            write!(f, "true")?;
+        } else {
+            write_conjunction(f, self.schema, self.edd.body(), n)?;
+        }
+        write!(f, " -> ")?;
+        for (i, d) in self.edd.disjuncts().iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            match d {
+                EddDisjunct::Eq(a, b) => {
+                    write!(f, "{} = {}", var_name(*a, n), var_name(*b, n))?;
+                }
+                EddDisjunct::Exists(atoms) => {
+                    write_exists_prefix(f, atoms, n)?;
+                    write_conjunction(f, self.schema, atoms, n)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Edd {
+    /// Renders the edd in the surface syntax, e.g.
+    /// `R(x0, x1) -> x0 = x1 | exists z0 : R(x1, z0)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayEdd<'a> {
+        DisplayEdd { schema, edd: self }
+    }
+}
+
+/// Display adapter for a [`Dependency`]; see [`Dependency::display`].
+pub struct DisplayDependency<'a> {
+    schema: &'a Schema,
+    dep: &'a Dependency,
+}
+
+impl fmt::Display for DisplayDependency<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dep {
+            Dependency::Tgd(t) => t.display(self.schema).fmt(f),
+            Dependency::Egd(e) => e.display(self.schema).fmt(f),
+            Dependency::Edd(e) => e.display(self.schema).fmt(f),
+        }
+    }
+}
+
+impl Dependency {
+    /// Renders the dependency in the surface syntax.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayDependency<'a> {
+        DisplayDependency { schema, dep: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::edd::EddDisjunct;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
+        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn tgd_rendering() {
+        let s = schema();
+        let tgd = Tgd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![atom(&s, "R", &[1, 2]), atom(&s, "T", &[2])],
+        )
+        .unwrap();
+        assert_eq!(
+            tgd.display(&s).to_string(),
+            "R(x0, x1) -> exists z0 : R(x1, z0), T(z0)"
+        );
+    }
+
+    #[test]
+    fn empty_body_renders_true() {
+        let s = schema();
+        let tgd = Tgd::new(vec![], vec![atom(&s, "T", &[0])]).unwrap();
+        assert_eq!(tgd.display(&s).to_string(), "true -> exists z0 : T(z0)");
+    }
+
+    #[test]
+    fn full_tgd_has_no_exists_prefix() {
+        let s = schema();
+        let tgd = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "R", &[1, 0])]).unwrap();
+        assert_eq!(tgd.display(&s).to_string(), "R(x0, x1) -> R(x1, x0)");
+    }
+
+    #[test]
+    fn egd_rendering() {
+        let s = schema();
+        let egd = Egd::new(
+            vec![atom(&s, "R", &[0, 1]), atom(&s, "R", &[0, 2])],
+            Var(1),
+            Var(2),
+        )
+        .unwrap();
+        assert_eq!(
+            egd.display(&s).to_string(),
+            "R(x0, x1), R(x0, x2) -> x1 = x2"
+        );
+    }
+
+    #[test]
+    fn edd_rendering() {
+        let s = schema();
+        let edd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![
+                EddDisjunct::Eq(Var(0), Var(1)),
+                EddDisjunct::Exists(vec![atom(&s, "R", &[1, 5])]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            edd.display(&s).to_string(),
+            "R(x0, x1) -> x0 = x1 | exists z0 : R(x1, z0)"
+        );
+    }
+}

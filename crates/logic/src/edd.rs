@@ -1,0 +1,366 @@
+//! Existential disjunctive dependencies (paper §4.1) and disjunctive
+//! dependencies (paper Appendix B).
+
+use crate::atom::{conjunction_vars, Atom, Var};
+use crate::egd::Egd;
+use crate::error::LogicError;
+use crate::schema::Schema;
+use crate::tgd::Tgd;
+
+/// One disjunct `ψ_i(x̄_i)` of an [`Edd`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EddDisjunct {
+    /// An equality expression `y = z` between two body variables.
+    Eq(Var, Var),
+    /// An existentially quantified conjunction `∃ȳ_i χ_i(x̄_i, ȳ_i)`.
+    ///
+    /// Variables `< universal_count` of the owning [`Edd`] refer to body
+    /// variables; the remaining variables are the local existential
+    /// variables of this disjunct.
+    Exists(Vec<Atom<Var>>),
+}
+
+impl EddDisjunct {
+    /// Number of existential variables of this disjunct relative to an edd
+    /// with `universal_count` body variables.
+    pub fn existential_count(&self, universal_count: usize) -> usize {
+        match self {
+            EddDisjunct::Eq(..) => 0,
+            EddDisjunct::Exists(atoms) => conjunction_vars(atoms)
+                .into_iter()
+                .filter(|v| v.index() >= universal_count)
+                .count(),
+        }
+    }
+}
+
+/// An existential disjunctive dependency (edd, paper §4.1):
+/// `∀x̄ (φ(x̄) → ⋁_{i=1..k} ψ_i(x̄_i))`, where each disjunct is either an
+/// equality between body variables or an existentially quantified
+/// conjunction of atoms.
+///
+/// Invariants maintained by [`Edd::new`]: variables are densely renumbered
+/// with the body variables first (`Var(0) .. Var(universal_count)`); each
+/// disjunct's existential variables are renumbered locally starting at
+/// `universal_count`; the disjunct list is non-empty; equality disjuncts
+/// equate body variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edd {
+    body: Vec<Atom<Var>>,
+    disjuncts: Vec<EddDisjunct>,
+    universal_count: u32,
+}
+
+impl Edd {
+    /// Builds an edd, renumbering variables densely (body variables first,
+    /// each disjunct's existential variables locally after them).
+    pub fn new(body: Vec<Atom<Var>>, disjuncts: Vec<EddDisjunct>) -> Result<Edd, LogicError> {
+        if disjuncts.is_empty() {
+            return Err(LogicError::EmptyHead);
+        }
+        let order = conjunction_vars(&body);
+        let universal_count = order.len();
+        let body_index = |v: Var| order.iter().position(|&w| w == v);
+        let new_body: Vec<Atom<Var>> = body
+            .iter()
+            .map(|a| a.map(|&v| Var(body_index(v).unwrap() as u32)))
+            .collect();
+        let mut new_disjuncts = Vec::with_capacity(disjuncts.len());
+        for d in &disjuncts {
+            match d {
+                EddDisjunct::Eq(a, b) => {
+                    let a = body_index(*a)
+                        .map(|i| Var(i as u32))
+                        .ok_or(LogicError::UnsafeEqualityVariable(*a))?;
+                    let b = body_index(*b)
+                        .map(|i| Var(i as u32))
+                        .ok_or(LogicError::UnsafeEqualityVariable(*b))?;
+                    new_disjuncts.push(EddDisjunct::Eq(a, b));
+                }
+                EddDisjunct::Exists(atoms) => {
+                    if atoms.is_empty() {
+                        return Err(LogicError::EmptyHead);
+                    }
+                    // Existential variables are local to the disjunct.
+                    let mut locals: Vec<Var> = Vec::new();
+                    let mut mapped = Vec::with_capacity(atoms.len());
+                    for atom in atoms {
+                        mapped.push(atom.map(|&v| {
+                            if let Some(i) = body_index(v) {
+                                Var(i as u32)
+                            } else if let Some(i) = locals.iter().position(|&w| w == v) {
+                                Var((universal_count + i) as u32)
+                            } else {
+                                locals.push(v);
+                                Var((universal_count + locals.len() - 1) as u32)
+                            }
+                        }));
+                    }
+                    new_disjuncts.push(EddDisjunct::Exists(mapped));
+                }
+            }
+        }
+        if universal_count == 0
+            && new_disjuncts.iter().all(|d| match d {
+                EddDisjunct::Eq(..) => true,
+                EddDisjunct::Exists(atoms) => conjunction_vars(atoms).is_empty(),
+            })
+        {
+            return Err(LogicError::NoVariables);
+        }
+        Ok(Edd {
+            body: new_body,
+            disjuncts: new_disjuncts,
+            universal_count: universal_count as u32,
+        })
+    }
+
+    /// The body conjunction `φ(x̄)` (possibly empty).
+    #[inline]
+    pub fn body(&self) -> &[Atom<Var>] {
+        &self.body
+    }
+
+    /// The disjuncts `ψ_1, ..., ψ_k` (non-empty).
+    #[inline]
+    pub fn disjuncts(&self) -> &[EddDisjunct] {
+        &self.disjuncts
+    }
+
+    /// Number of distinct universally quantified variables.
+    #[inline]
+    pub fn universal_count(&self) -> usize {
+        self.universal_count as usize
+    }
+
+    /// Maximum number of existential variables across disjuncts (the `m`
+    /// bound of the family `E_{n,m}`, paper §4.2 Step 1).
+    pub fn max_existential_count(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(|d| d.existential_count(self.universal_count()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` when the edd is a **disjunctive dependency** (dd, Appendix B):
+    /// no existential variables, and every non-equality disjunct is a single
+    /// atom.
+    pub fn is_dd(&self) -> bool {
+        self.disjuncts.iter().all(|d| match d {
+            EddDisjunct::Eq(..) => true,
+            EddDisjunct::Exists(atoms) => {
+                atoms.len() == 1 && self.disjunct_existential_free(d)
+            }
+        })
+    }
+
+    fn disjunct_existential_free(&self, d: &EddDisjunct) -> bool {
+        d.existential_count(self.universal_count()) == 0
+    }
+
+    /// `true` when the edd is (syntactically) a tgd: a single
+    /// existential-conjunction disjunct.
+    pub fn is_tgd(&self) -> bool {
+        self.disjuncts.len() == 1 && matches!(self.disjuncts[0], EddDisjunct::Exists(_))
+    }
+
+    /// `true` when the edd is (syntactically) an egd: a single equality
+    /// disjunct with a non-empty body.
+    pub fn is_egd(&self) -> bool {
+        self.disjuncts.len() == 1
+            && matches!(self.disjuncts[0], EddDisjunct::Eq(..))
+            && !self.body.is_empty()
+    }
+
+    /// Converts to a [`Tgd`] when [`Edd::is_tgd`] holds.
+    pub fn to_tgd(&self) -> Option<Tgd> {
+        if let [EddDisjunct::Exists(atoms)] = self.disjuncts.as_slice() {
+            Tgd::new(self.body.clone(), atoms.clone()).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Converts to an [`Egd`] when [`Edd::is_egd`] holds.
+    pub fn to_egd(&self) -> Option<Egd> {
+        if let [EddDisjunct::Eq(a, b)] = self.disjuncts.as_slice() {
+            Egd::new(self.body.clone(), *a, *b).ok()
+        } else {
+            None
+        }
+    }
+
+    /// The tgd `∀x̄ (φ(x̄) → ψ_i(x̄_i))` selecting the `i`-th disjunct
+    /// (used in paper §4.2 Step 2 and Appendix B), or `None` for equality
+    /// disjuncts or when the selection would be variable-free.
+    pub fn select_disjunct_as_tgd(&self, i: usize) -> Option<Tgd> {
+        match self.disjuncts.get(i)? {
+            EddDisjunct::Eq(..) => None,
+            EddDisjunct::Exists(atoms) => Tgd::new(self.body.clone(), atoms.clone()).ok(),
+        }
+    }
+
+    /// The egd `∀x̄ (φ(x̄) → y = z)` selecting the `i`-th disjunct, or
+    /// `None` for non-equality disjuncts.
+    pub fn select_disjunct_as_egd(&self, i: usize) -> Option<Egd> {
+        match self.disjuncts.get(i)? {
+            EddDisjunct::Eq(a, b) => Egd::new(self.body.clone(), *a, *b).ok(),
+            EddDisjunct::Exists(_) => None,
+        }
+    }
+
+    /// Validates all atoms against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), LogicError> {
+        for atom in &self.body {
+            atom.validate(schema)?;
+        }
+        for d in &self.disjuncts {
+            if let EddDisjunct::Exists(atoms) = d {
+                for atom in atoms {
+                    atom.validate(schema)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).pred("T", 1).build()
+    }
+
+    fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
+        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn mixed_disjuncts() {
+        let s = schema();
+        // R(x,y) -> x = y  |  exists z : R(y,z)  |  T(x).
+        let edd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![
+                EddDisjunct::Eq(Var(0), Var(1)),
+                EddDisjunct::Exists(vec![atom(&s, "R", &[1, 7])]),
+                EddDisjunct::Exists(vec![atom(&s, "T", &[0])]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(edd.universal_count(), 2);
+        assert_eq!(edd.max_existential_count(), 1);
+        assert!(!edd.is_dd());
+        assert!(!edd.is_tgd());
+        assert!(!edd.is_egd());
+        assert!(edd.validate(&s).is_ok());
+        // Existential var renumbered to 2 (locals start after universals).
+        match &edd.disjuncts()[1] {
+            EddDisjunct::Exists(atoms) => assert_eq!(atoms[0].args, vec![Var(1), Var(2)]),
+            _ => panic!("expected exists"),
+        }
+    }
+
+    #[test]
+    fn local_existential_numbering_per_disjunct() {
+        let s = schema();
+        // Two disjuncts with their own existential z; both renumber to Var(1).
+        let edd = Edd::new(
+            vec![atom(&s, "T", &[0])],
+            vec![
+                EddDisjunct::Exists(vec![atom(&s, "R", &[0, 9])]),
+                EddDisjunct::Exists(vec![atom(&s, "R", &[8, 0])]),
+            ],
+        )
+        .unwrap();
+        for d in edd.disjuncts() {
+            if let EddDisjunct::Exists(atoms) = d {
+                assert!(atoms[0].args.contains(&Var(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn tgd_and_egd_views() {
+        let s = schema();
+        let as_tgd = Edd::new(
+            vec![atom(&s, "T", &[0])],
+            vec![EddDisjunct::Exists(vec![atom(&s, "R", &[0, 1])])],
+        )
+        .unwrap();
+        assert!(as_tgd.is_tgd());
+        let tgd = as_tgd.to_tgd().unwrap();
+        assert_eq!(tgd.universal_count(), 1);
+        assert_eq!(tgd.existential_count(), 1);
+
+        let as_egd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![EddDisjunct::Eq(Var(0), Var(1))],
+        )
+        .unwrap();
+        assert!(as_egd.is_egd());
+        assert!(as_egd.to_egd().is_some());
+        assert!(as_egd.to_tgd().is_none());
+    }
+
+    #[test]
+    fn dd_detection() {
+        let s = schema();
+        // R(x,y) -> T(x) | x = y is a dd.
+        let dd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![
+                EddDisjunct::Exists(vec![atom(&s, "T", &[0])]),
+                EddDisjunct::Eq(Var(0), Var(1)),
+            ],
+        )
+        .unwrap();
+        assert!(dd.is_dd());
+        // With an existential it is not a dd.
+        let not_dd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![EddDisjunct::Exists(vec![atom(&s, "R", &[0, 5])])],
+        )
+        .unwrap();
+        assert!(!not_dd.is_dd());
+    }
+
+    #[test]
+    fn equality_requires_body_variables() {
+        let s = schema();
+        let err = Edd::new(
+            vec![atom(&s, "T", &[0])],
+            vec![EddDisjunct::Eq(Var(0), Var(3))],
+        )
+        .unwrap_err();
+        assert_eq!(err, LogicError::UnsafeEqualityVariable(Var(3)));
+    }
+
+    #[test]
+    fn disjunct_selection() {
+        let s = schema();
+        let edd = Edd::new(
+            vec![atom(&s, "R", &[0, 1])],
+            vec![
+                EddDisjunct::Eq(Var(0), Var(1)),
+                EddDisjunct::Exists(vec![atom(&s, "T", &[0])]),
+            ],
+        )
+        .unwrap();
+        assert!(edd.select_disjunct_as_egd(0).is_some());
+        assert!(edd.select_disjunct_as_tgd(0).is_none());
+        assert!(edd.select_disjunct_as_tgd(1).is_some());
+        assert!(edd.select_disjunct_as_egd(1).is_none());
+        assert!(edd.select_disjunct_as_tgd(2).is_none());
+    }
+
+    #[test]
+    fn no_disjuncts_rejected() {
+        let s = schema();
+        assert!(Edd::new(vec![atom(&s, "T", &[0])], vec![]).is_err());
+    }
+}

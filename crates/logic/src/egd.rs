@@ -1,0 +1,139 @@
+//! Equality-generating dependencies (paper §1–§2, §4.1).
+
+use crate::atom::{conjunction_vars, Atom, Var};
+use crate::error::LogicError;
+use crate::schema::Schema;
+
+/// An equality-generating dependency (egd)
+/// `∀x̄ (φ(x̄) → x_i = x_j)` with a non-empty body.
+///
+/// Invariants maintained by [`Egd::new`]: variables are densely renumbered
+/// in order of first body occurrence, the body is non-empty, and both
+/// equated variables occur in the body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Egd {
+    body: Vec<Atom<Var>>,
+    lhs: Var,
+    rhs: Var,
+    num_vars: u32,
+}
+
+impl Egd {
+    /// Builds an egd, renumbering variables densely.
+    pub fn new(body: Vec<Atom<Var>>, lhs: Var, rhs: Var) -> Result<Egd, LogicError> {
+        if body.is_empty() {
+            // An egd with an empty body has no variables to equate.
+            return Err(LogicError::NoVariables);
+        }
+        let order = conjunction_vars(&body);
+        let renumber = |v: Var| -> Result<Var, LogicError> {
+            order
+                .iter()
+                .position(|&w| w == v)
+                .map(|i| Var(i as u32))
+                .ok_or(LogicError::UnsafeEqualityVariable(v))
+        };
+        let new_body: Vec<Atom<Var>> = body
+            .iter()
+            .map(|a| a.map(|&v| Var(order.iter().position(|&w| w == v).unwrap() as u32)))
+            .collect();
+        let lhs = renumber(lhs)?;
+        let rhs = renumber(rhs)?;
+        Ok(Egd {
+            body: new_body,
+            lhs,
+            rhs,
+            num_vars: order.len() as u32,
+        })
+    }
+
+    /// The body conjunction.
+    #[inline]
+    pub fn body(&self) -> &[Atom<Var>] {
+        &self.body
+    }
+
+    /// The left variable of the equality.
+    #[inline]
+    pub fn lhs(&self) -> Var {
+        self.lhs
+    }
+
+    /// The right variable of the equality.
+    #[inline]
+    pub fn rhs(&self) -> Var {
+        self.rhs
+    }
+
+    /// Number of distinct (universally quantified) variables.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// `true` when the equality is trivially satisfied (`x = x`).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// Validates all atoms against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), LogicError> {
+        for atom in &self.body {
+            atom.validate(schema)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder().pred("R", 2).build()
+    }
+
+    fn r(s: &Schema, a: u32, b: u32) -> Atom<Var> {
+        Atom::new(s.pred_id("R").unwrap(), vec![Var(a), Var(b)])
+    }
+
+    #[test]
+    fn key_constraint() {
+        let s = schema();
+        // R(x,y), R(x,z) -> y = z.
+        let egd = Egd::new(vec![r(&s, 0, 1), r(&s, 0, 2)], Var(1), Var(2)).unwrap();
+        assert_eq!(egd.var_count(), 3);
+        assert_eq!(egd.lhs(), Var(1));
+        assert_eq!(egd.rhs(), Var(2));
+        assert!(!egd.is_trivial());
+        assert!(egd.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn renumbering_is_dense() {
+        let s = schema();
+        let egd = Egd::new(vec![r(&s, 10, 20)], Var(20), Var(10)).unwrap();
+        assert_eq!(egd.body()[0].args, vec![Var(0), Var(1)]);
+        assert_eq!((egd.lhs(), egd.rhs()), (Var(1), Var(0)));
+    }
+
+    #[test]
+    fn unsafe_equality_rejected() {
+        let s = schema();
+        let err = Egd::new(vec![r(&s, 0, 1)], Var(0), Var(5)).unwrap_err();
+        assert_eq!(err, LogicError::UnsafeEqualityVariable(Var(5)));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert!(Egd::new(vec![], Var(0), Var(0)).is_err());
+    }
+
+    #[test]
+    fn trivial_equality_detected() {
+        let s = schema();
+        let egd = Egd::new(vec![r(&s, 0, 0)], Var(0), Var(0)).unwrap();
+        assert!(egd.is_trivial());
+    }
+}

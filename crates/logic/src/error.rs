@@ -1,0 +1,108 @@
+//! Error types for the syntax layer.
+
+use std::fmt;
+
+/// An error raised while constructing or validating a dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A dependency head was empty (the paper requires a non-empty head).
+    EmptyHead,
+    /// A head variable of a tgd neither occurs in the body nor is
+    /// existentially quantified (violated safety).
+    UnsafeHeadVariable(crate::Var),
+    /// An egd equated a variable that does not occur in its body.
+    UnsafeEqualityVariable(crate::Var),
+    /// An atom used a predicate with the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate whose declared arity was violated.
+        pred: String,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// An atom referred to a predicate that is not part of the schema.
+    UnknownPredicate(String),
+    /// A dependency mentioned no variable at all (the paper stipulates that
+    /// a tgd has at least one variable; see §2, footnote 2).
+    NoVariables,
+    /// A predicate was declared twice with different arities.
+    ConflictingArity {
+        /// Name of the predicate declared twice.
+        pred: String,
+        /// Previously declared arity.
+        first: usize,
+        /// Conflicting arity of the second declaration.
+        second: usize,
+    },
+    /// A predicate arity of zero or an arity beyond the supported maximum.
+    InvalidArity(usize),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::EmptyHead => write!(f, "dependency head must be non-empty"),
+            LogicError::UnsafeHeadVariable(v) => write!(
+                f,
+                "head variable {v:?} is marked universal but does not occur in the body"
+            ),
+            LogicError::UnsafeEqualityVariable(v) => {
+                write!(f, "equated variable {v:?} does not occur in the body")
+            }
+            LogicError::ArityMismatch {
+                pred,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "predicate {pred} has arity {expected} but was used with {actual} arguments"
+            ),
+            LogicError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            LogicError::NoVariables => write!(f, "a dependency must mention at least one variable"),
+            LogicError::ConflictingArity { pred, first, second } => write!(
+                f,
+                "predicate {pred} declared with conflicting arities {first} and {second}"
+            ),
+            LogicError::InvalidArity(a) => write!(f, "invalid predicate arity {a}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// A parse error with a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given 1-based position.
+    pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LogicError> for ParseError {
+    fn from(err: LogicError) -> Self {
+        ParseError::new(err.to_string(), 0, 0)
+    }
+}

@@ -1,0 +1,44 @@
+//! # tgdkit-logic
+//!
+//! Syntax layer for tgdkit: relational schemas, atoms, and the dependency
+//! languages studied in *Model-theoretic Characterizations of Rule-based
+//! Ontologies* (Console, Kolaitis, Pieris; PODS 2021):
+//!
+//! - **tgds** (tuple-generating dependencies) `φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)`,
+//!   together with the syntactic classes *full*, *linear*, *guarded* and
+//!   *frontier-guarded* (paper §2);
+//! - **egds** (equality-generating dependencies) `φ(x̄) → x_i = x_j`;
+//! - **edds** (existential disjunctive dependencies, paper §4.1) and their
+//!   existential-free special case, **dds** (paper Appendix B).
+//!
+//! The crate also provides a Datalog±-style surface syntax with a
+//! span-reporting parser ([`parse`]), pretty printers that round-trip through
+//! the parser, and canonicalization utilities used by the candidate
+//! enumeration inside the rewriting algorithms of paper §9.
+//!
+//! Variables are dense per-dependency indices ([`Var`]); predicates are
+//! interned in a [`Schema`]. Dependencies are constant-free, exactly as in
+//! the paper.
+
+pub mod atom;
+pub mod canon;
+pub mod dependency;
+pub mod display;
+pub mod edd;
+pub mod egd;
+pub mod error;
+pub mod normalize;
+pub mod parse;
+pub mod schema;
+pub mod tgd;
+
+pub use atom::{conjunction_vars, Atom, Var};
+pub use canon::{canonical_tgd, same_up_to_renaming, simplify_tgd, tgd_variant_key, TgdVariantKey};
+pub use dependency::{Dependency, TgdSet};
+pub use edd::{Edd, EddDisjunct};
+pub use egd::Egd;
+pub use error::{LogicError, ParseError};
+pub use normalize::{single_head, SingleHead};
+pub use parse::{parse_dependencies, parse_program, parse_tgd, parse_tgds, Program};
+pub use schema::{PredId, Schema, SchemaBuilder};
+pub use tgd::{Tgd, TgdClass};

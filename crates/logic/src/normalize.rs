@@ -1,0 +1,153 @@
+//! Normal forms for tgd sets.
+//!
+//! [`single_head`] rewrites a set into **single-atom-head normal form**: a
+//! tgd `φ(x̄,ȳ) → ∃z̄ (α₁ ∧ … ∧ α_k)` with `k > 1` becomes
+//!
+//! ```text
+//! φ(x̄,ȳ)      → ∃z̄ Auxᵢ(x̄', z̄)      (x̄' = the head's frontier)
+//! Auxᵢ(x̄',z̄) → αⱼ                    (one per head atom)
+//! ```
+//!
+//! over a schema extended with one fresh predicate per rewritten rule. The
+//! transformation is a *conservative extension*: models of the normalized
+//! set restricted to the original schema are exactly the models of the
+//! original set expanded with (some) `Auxᵢ` facts, so certain answers and
+//! entailment of original-schema tgds are preserved. It does **not**
+//! preserve membership in the syntactic classes in general (the `Auxᵢ` atom
+//! guards its rule, so guarded/linear inputs stay guarded/linear; full
+//! inputs stay full).
+//!
+//! Single-head form is the standard preprocessing step for chase engines
+//! and rewriting systems; tgdkit itself handles multi-atom heads natively,
+//! so this module exists for interoperability and for testing the engine
+//! against normalized variants.
+
+use crate::atom::{conjunction_vars, Atom, Var};
+use crate::error::LogicError;
+use crate::tgd::Tgd;
+use crate::dependency::TgdSet;
+
+/// The result of single-head normalization.
+#[derive(Debug, Clone)]
+pub struct SingleHead {
+    /// The normalized set, over the extended schema.
+    pub set: TgdSet,
+    /// Names of the auxiliary predicates introduced (empty if the input was
+    /// already in single-head form).
+    pub auxiliaries: Vec<String>,
+}
+
+/// Rewrites `set` into single-atom-head normal form (see the module docs).
+pub fn single_head(set: &TgdSet) -> Result<SingleHead, LogicError> {
+    let mut schema = set.schema().clone();
+    let mut out: Vec<Tgd> = Vec::new();
+    let mut auxiliaries = Vec::new();
+    let mut counter = 0usize;
+    for tgd in set.tgds() {
+        if tgd.head().len() <= 1 {
+            out.push(tgd.clone());
+            continue;
+        }
+        // The auxiliary predicate carries the head's frontier plus the
+        // existential variables, in ascending order.
+        let mut carried: Vec<Var> = conjunction_vars(tgd.head());
+        carried.sort_unstable();
+        carried.dedup();
+        let aux_name = loop {
+            let candidate = format!("HeadAux{counter}");
+            counter += 1;
+            if schema.pred_id(&candidate).is_none() {
+                break candidate;
+            }
+        };
+        let aux = schema.add_pred(&aux_name, carried.len())?;
+        auxiliaries.push(aux_name);
+        // φ → ∃z̄ Aux(carried).
+        out.push(Tgd::new(
+            tgd.body().to_vec(),
+            vec![Atom::new(aux, carried.clone())],
+        )?);
+        // Aux(carried) → αⱼ for each head atom.
+        for atom in tgd.head() {
+            out.push(Tgd::new(
+                vec![Atom::new(aux, carried.clone())],
+                vec![atom.clone()],
+            )?);
+        }
+    }
+    Ok(SingleHead {
+        set: TgdSet::new(schema, out)?,
+        auxiliaries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tgds;
+    use crate::schema::Schema;
+
+    fn set(text: &str) -> TgdSet {
+        let mut schema = Schema::default();
+        let tgds = parse_tgds(&mut schema, text).unwrap();
+        TgdSet::new(schema, tgds).unwrap()
+    }
+
+    #[test]
+    fn single_head_inputs_pass_through() {
+        let s = set("R(x,y) -> exists z : S(y,z). P(x) -> Q(x).");
+        let normalized = single_head(&s).unwrap();
+        assert!(normalized.auxiliaries.is_empty());
+        assert_eq!(normalized.set.tgds(), s.tgds());
+    }
+
+    #[test]
+    fn multi_head_rules_are_split() {
+        let s = set("P(x) -> exists z : R(x,z), S(z,x).");
+        let normalized = single_head(&s).unwrap();
+        assert_eq!(normalized.auxiliaries.len(), 1);
+        assert_eq!(normalized.set.len(), 3); // φ→Aux + 2 projections
+        assert!(normalized.set.tgds().iter().all(|t| t.head().len() == 1));
+        // The auxiliary carries x and z.
+        let aux = normalized.set.schema().pred_id("HeadAux0").unwrap();
+        assert_eq!(normalized.set.schema().arity(aux), 2);
+    }
+
+    #[test]
+    fn class_preservation() {
+        // Guarded input stays guarded; linear stays linear; full stays full.
+        let guarded = set("G(x,y), P(x) -> exists z : R(x,z), S(z,y).");
+        let ng = single_head(&guarded).unwrap();
+        assert!(ng.set.is_guarded());
+
+        let linear = set("G(x,y) -> exists z : R(x,z), S(z,y).");
+        let nl = single_head(&linear).unwrap();
+        assert!(nl.set.is_linear());
+
+        let full = set("G(x,y), G(y,z) -> R(x,y), R(y,z).");
+        let nf = single_head(&full).unwrap();
+        assert!(nf.set.is_full());
+    }
+
+    #[test]
+    fn normalization_shape() {
+        // The semantic conservative-extension check lives in
+        // tests/extensions.rs (normalization_preserves_entailment /
+        // _certain_answers); here check the structural shape.
+        let s = set("P(x) -> exists z, w : R(x,z), S(z,w).");
+        let normalized = single_head(&s).unwrap();
+        let intro = &normalized.set.tgds()[0];
+        assert_eq!(intro.existential_count(), 2);
+        for projection in &normalized.set.tgds()[1..] {
+            assert!(projection.is_full());
+            assert_eq!(projection.body().len(), 1);
+        }
+    }
+
+    #[test]
+    fn aux_names_avoid_collisions() {
+        let s = set("HeadAux0(x) -> exists z : R(x,z), S(x,z).");
+        let normalized = single_head(&s).unwrap();
+        assert_eq!(normalized.auxiliaries, vec!["HeadAux1".to_string()]);
+    }
+}

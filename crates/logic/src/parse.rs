@@ -1,0 +1,744 @@
+//! Parser for the Datalog±-style surface syntax.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program    := item*
+//! item       := schema-decl | dependency "."
+//! schema-decl:= "schema" "{" pred-decl ("," pred-decl)* "}"
+//! pred-decl  := IDENT "/" NAT
+//! dependency := body "->" rhs
+//! body       := "true" | atoms | ε        (ε only when followed by "->")
+//! atoms      := atom ("," atom)*
+//! atom       := IDENT "(" IDENT ("," IDENT)* ")"
+//! rhs        := disjunct ("|" disjunct)*
+//! disjunct   := IDENT "=" IDENT
+//!             | ("exists" IDENT ("," IDENT)* ":")? atoms
+//! ```
+//!
+//! Comments run from `//` to end of line. Identifiers match
+//! `[A-Za-z_][A-Za-z0-9_']*`. Predicates not declared in a `schema` block
+//! are added to the schema with the arity of their first use; later uses
+//! with a different arity are errors.
+//!
+//! ```
+//! use tgdkit_logic::{parse_program, Dependency};
+//! let program = parse_program(
+//!     "schema { R/2, T/1 }
+//!      R(x,y) -> exists z : R(y,z).
+//!      R(x,y) -> x = y | T(x).",
+//! ).unwrap();
+//! assert_eq!(program.schema.len(), 2);
+//! assert_eq!(program.dependencies.len(), 2);
+//! assert!(matches!(program.dependencies[0], Dependency::Tgd(_)));
+//! assert!(matches!(program.dependencies[1], Dependency::Edd(_)));
+//! ```
+
+use crate::atom::{Atom, Var};
+use crate::dependency::Dependency;
+use crate::edd::{Edd, EddDisjunct};
+use crate::egd::Egd;
+use crate::error::{LogicError, ParseError};
+use crate::schema::Schema;
+use crate::tgd::Tgd;
+use std::collections::HashMap;
+
+/// A parsed program: the (possibly inferred) schema and the dependencies.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Schema declared by `schema { ... }` blocks and/or inferred from use.
+    pub schema: Schema,
+    /// Parsed dependencies in source order.
+    pub dependencies: Vec<Dependency>,
+}
+
+impl Program {
+    /// The tgds of the program, in source order, ignoring egds/edds.
+    pub fn tgds(&self) -> Vec<Tgd> {
+        self.dependencies
+            .iter()
+            .filter_map(|d| d.as_tgd().cloned())
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Nat(usize),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Arrow,
+    Pipe,
+    Eq,
+    Slash,
+    Colon,
+    Dot,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn lex(text: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                column,
+            });
+            column += $len;
+        }};
+    }
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '/' => {
+                // Either a comment `//...` or the arity separator `/`.
+                let start_col = column;
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        column += 1;
+                    }
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Slash,
+                        line,
+                        column: start_col,
+                    });
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen, 1);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma, 1);
+            }
+            '|' => {
+                chars.next();
+                push!(Tok::Pipe, 1);
+            }
+            '=' => {
+                chars.next();
+                push!(Tok::Eq, 1);
+            }
+            ':' => {
+                chars.next();
+                push!(Tok::Colon, 1);
+            }
+            '.' => {
+                chars.next();
+                push!(Tok::Dot, 1);
+            }
+            '-' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        line,
+                        column: column - 1,
+                    });
+                    column += 1;
+                } else {
+                    return Err(ParseError::new("expected '->' after '-'", line, column - 1));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start_col = column;
+                let mut n = 0usize;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n * 10 + digit as usize;
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Nat(n),
+                    line,
+                    column: start_col,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start_col = column;
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        ident.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line,
+                    column: start_col,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {other:?}"),
+                    line,
+                    column,
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        column,
+    });
+    Ok(out)
+}
+
+struct Parser<'s> {
+    toks: Vec<Spanned>,
+    pos: usize,
+    schema: &'s mut Schema,
+}
+
+/// An atom whose argument terms are still variable *names*.
+type RawAtom = (crate::schema::PredId, Vec<String>);
+
+#[derive(Debug)]
+enum RawDisjunct {
+    Eq(String, String),
+    Exists(Vec<String>, Vec<RawAtom>),
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(msg, t.line, t.column)
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(name) => {
+                self.next();
+                Ok(name)
+            }
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    fn schema_decl(&mut self) -> Result<(), ParseError> {
+        // "schema" already consumed by caller.
+        self.expect(Tok::LBrace, "'{'")?;
+        loop {
+            let (line, column) = {
+                let t = self.peek();
+                (t.line, t.column)
+            };
+            let name = self.ident("predicate name")?;
+            self.expect(Tok::Slash, "'/' and arity")?;
+            let arity = match self.peek().tok {
+                Tok::Nat(n) => {
+                    self.next();
+                    n
+                }
+                _ => return Err(self.err_here("expected arity")),
+            };
+            self.schema
+                .add_pred(&name, arity)
+                .map_err(|e| ParseError::new(e.to_string(), line, column))?;
+            match self.peek().tok {
+                Tok::Comma => {
+                    self.next();
+                }
+                Tok::RBrace => {
+                    self.next();
+                    return Ok(());
+                }
+                _ => return Err(self.err_here("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<RawAtom, ParseError> {
+        let (line, column) = {
+            let t = self.peek();
+            (t.line, t.column)
+        };
+        let name = self.ident("predicate name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek().tok == Tok::RParen {
+            // 0-ary atom `Aux()`.
+            self.next();
+        } else {
+            loop {
+                args.push(self.ident("variable name")?);
+                match self.peek().tok {
+                    Tok::Comma => {
+                        self.next();
+                    }
+                    Tok::RParen => {
+                        self.next();
+                        break;
+                    }
+                    _ => return Err(self.err_here("expected ',' or ')'")),
+                }
+            }
+        }
+        let pred = self
+            .schema
+            .add_pred(&name, args.len())
+            .map_err(|e| ParseError::new(e.to_string(), line, column))?;
+        Ok((pred, args))
+    }
+
+    fn atoms(&mut self) -> Result<Vec<RawAtom>, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek().tok == Tok::Comma {
+            self.next();
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// Parses one disjunct of the right-hand side.
+    fn disjunct(&mut self) -> Result<RawDisjunct, ParseError> {
+        // Equality: IDENT '=' IDENT (the next token after an identifier
+        // decides).
+        if let Tok::Ident(first) = self.peek().tok.clone() {
+            if first == "exists" {
+                self.next();
+                let mut bound = vec![self.ident("existential variable")?];
+                while self.peek().tok == Tok::Comma {
+                    self.next();
+                    bound.push(self.ident("existential variable")?);
+                }
+                self.expect(Tok::Colon, "':' after existential variables")?;
+                let atoms = self.atoms()?;
+                return Ok(RawDisjunct::Exists(bound, atoms));
+            }
+            if self.toks[self.pos + 1].tok == Tok::Eq {
+                self.next();
+                self.next();
+                let rhs = self.ident("variable after '='")?;
+                return Ok(RawDisjunct::Eq(first, rhs));
+            }
+        }
+        let atoms = self.atoms()?;
+        Ok(RawDisjunct::Exists(Vec::new(), atoms))
+    }
+
+    fn dependency(&mut self) -> Result<Dependency, ParseError> {
+        let start = self.peek().clone();
+        // Body: "true", ε (when the next token is "->"), or a conjunction.
+        let body: Vec<RawAtom> = match &self.peek().tok {
+            Tok::Arrow => Vec::new(),
+            Tok::Ident(name) if name == "true" => {
+                self.next();
+                Vec::new()
+            }
+            _ => self.atoms()?,
+        };
+        self.expect(Tok::Arrow, "'->'")?;
+        let mut disjuncts = vec![self.disjunct()?];
+        while self.peek().tok == Tok::Pipe {
+            self.next();
+            disjuncts.push(self.disjunct()?);
+        }
+        build_dependency(body, disjuncts)
+            .map_err(|e| ParseError::new(e.to_string(), start.line, start.column))
+    }
+
+    fn program(&mut self) -> Result<Vec<Dependency>, ParseError> {
+        let mut deps = Vec::new();
+        loop {
+            match self.peek().tok.clone() {
+                Tok::Eof => return Ok(deps),
+                Tok::Ident(name) if name == "schema" => {
+                    self.next();
+                    self.schema_decl()?;
+                }
+                Tok::Dot => {
+                    // Stray terminator; skip.
+                    self.next();
+                }
+                _ => {
+                    deps.push(self.dependency()?);
+                    match self.peek().tok {
+                        Tok::Dot => {
+                            self.next();
+                        }
+                        Tok::Eof => {}
+                        _ => return Err(self.err_here("expected '.' after dependency")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the typed dependency from raw named atoms, assigning dense
+/// variable indices per dependency (body variables first, then per-disjunct
+/// existential variables).
+fn build_dependency(
+    body: Vec<RawAtom>,
+    disjuncts: Vec<RawDisjunct>,
+) -> Result<Dependency, LogicError> {
+    let mut names: HashMap<String, Var> = HashMap::new();
+    let var_of = |names: &mut HashMap<String, Var>, name: &str| -> Var {
+        let next = Var(names.len() as u32);
+        *names.entry(name.to_string()).or_insert(next)
+    };
+    let body_atoms: Vec<Atom<Var>> = body
+        .iter()
+        .map(|(pred, args)| {
+            Atom::new(
+                *pred,
+                args.iter().map(|a| var_of(&mut names, a)).collect(),
+            )
+        })
+        .collect();
+    let body_vars: HashMap<String, Var> = names.clone();
+
+    // Explicitly declared existentials must not clash with body variables;
+    // undeclared head-only variables are implicitly existential (tgd
+    // convention) but are an error inside multi-disjunct edds unless they
+    // are declared, to avoid silent scoping surprises.
+    let single = disjuncts.len() == 1;
+    let mut typed: Vec<EddDisjunct> = Vec::with_capacity(disjuncts.len());
+    for d in disjuncts {
+        match d {
+            RawDisjunct::Eq(a, b) => {
+                let va = *body_vars
+                    .get(&a)
+                    .ok_or(LogicError::UnsafeEqualityVariable(Var(u32::MAX)))?;
+                let vb = *body_vars
+                    .get(&b)
+                    .ok_or(LogicError::UnsafeEqualityVariable(Var(u32::MAX)))?;
+                typed.push(EddDisjunct::Eq(va, vb));
+            }
+            RawDisjunct::Exists(bound, atoms) => {
+                // Per-disjunct scope: body vars plus this disjunct's locals.
+                let mut local: HashMap<String, Var> = body_vars.clone();
+                let mut next = body_vars.len() as u32;
+                for b in &bound {
+                    if !local.contains_key(b) {
+                        local.insert(b.clone(), Var(next));
+                        next += 1;
+                    }
+                }
+                let mut typed_atoms = Vec::with_capacity(atoms.len());
+                for (pred, args) in &atoms {
+                    let mut vars = Vec::with_capacity(args.len());
+                    for a in args {
+                        if let Some(&v) = local.get(a) {
+                            vars.push(v);
+                        } else if single {
+                            // Implicit existential in plain tgd syntax.
+                            local.insert(a.clone(), Var(next));
+                            vars.push(Var(next));
+                            next += 1;
+                        } else {
+                            return Err(LogicError::UnsafeHeadVariable(Var(u32::MAX)));
+                        }
+                    }
+                    typed_atoms.push(Atom::new(*pred, vars));
+                }
+                typed.push(EddDisjunct::Exists(typed_atoms));
+            }
+        }
+    }
+
+    // Classify: one disjunct -> tgd or egd; otherwise edd.
+    if single {
+        match typed.pop().unwrap() {
+            EddDisjunct::Eq(a, b) => Ok(Dependency::Egd(Egd::new(body_atoms, a, b)?)),
+            EddDisjunct::Exists(atoms) => Ok(Dependency::Tgd(Tgd::new(body_atoms, atoms)?)),
+        }
+    } else {
+        Ok(Dependency::Edd(Edd::new(body_atoms, typed)?))
+    }
+}
+
+/// Parses a whole program (schema declarations plus `.`-terminated
+/// dependencies).
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut schema = Schema::default();
+    let toks = lex(text)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        schema: &mut schema,
+    };
+    let dependencies = parser.program()?;
+    Ok(Program {
+        schema,
+        dependencies,
+    })
+}
+
+/// Parses a sequence of dependencies against (and extending) `schema`.
+pub fn parse_dependencies(schema: &mut Schema, text: &str) -> Result<Vec<Dependency>, ParseError> {
+    let toks = lex(text)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
+    parser.program()
+}
+
+/// Parses a single tgd against (and extending) `schema`.
+pub fn parse_tgd(schema: &mut Schema, text: &str) -> Result<Tgd, ParseError> {
+    let deps = parse_dependencies(schema, text)?;
+    match deps.as_slice() {
+        [Dependency::Tgd(t)] => Ok(t.clone()),
+        [other] => Err(ParseError::new(
+            format!("expected a tgd, found {:?}", kind_name(other)),
+            1,
+            1,
+        )),
+        _ => Err(ParseError::new(
+            format!("expected exactly one tgd, found {} dependencies", deps.len()),
+            1,
+            1,
+        )),
+    }
+}
+
+/// Parses a sequence of tgds against (and extending) `schema`; errors if any
+/// dependency is not a tgd.
+pub fn parse_tgds(schema: &mut Schema, text: &str) -> Result<Vec<Tgd>, ParseError> {
+    let deps = parse_dependencies(schema, text)?;
+    deps.into_iter()
+        .map(|d| match d {
+            Dependency::Tgd(t) => Ok(t),
+            other => Err(ParseError::new(
+                format!("expected only tgds, found {}", kind_name(&other)),
+                1,
+                1,
+            )),
+        })
+        .collect()
+}
+
+fn kind_name(dep: &Dependency) -> &'static str {
+    match dep {
+        Dependency::Tgd(_) => "tgd",
+        Dependency::Egd(_) => "egd",
+        Dependency::Edd(_) => "edd",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_tgd() {
+        let mut schema = Schema::default();
+        let tgd = parse_tgd(&mut schema, "R(x,y) -> exists z : S(y,z)").unwrap();
+        assert_eq!(tgd.universal_count(), 2);
+        assert_eq!(tgd.existential_count(), 1);
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.arity(schema.pred_id("R").unwrap()), 2);
+    }
+
+    #[test]
+    fn implicit_existentials_in_tgd() {
+        let mut schema = Schema::default();
+        // z never declared: implicitly existential in single-head syntax.
+        let tgd = parse_tgd(&mut schema, "R(x,y) -> S(y,z)").unwrap();
+        assert_eq!(tgd.existential_count(), 1);
+    }
+
+    #[test]
+    fn parse_full_tgd_and_classes() {
+        let mut schema = Schema::default();
+        let tgd = parse_tgd(&mut schema, "R(x,y), S(y,z) -> T(x,z)").unwrap();
+        assert!(tgd.is_full());
+        assert!(!tgd.is_guarded());
+        // Frontier {x, z} spans two body atoms: not frontier-guarded.
+        assert!(!tgd.is_frontier_guarded());
+        let fg = parse_tgd(&mut schema, "R(x,y), S(y,z) -> T(x,x)").unwrap();
+        assert!(fg.is_frontier_guarded());
+    }
+
+    #[test]
+    fn parse_empty_body() {
+        let mut schema = Schema::default();
+        let t1 = parse_tgd(&mut schema, "true -> exists x : P(x)").unwrap();
+        assert_eq!(t1.universal_count(), 0);
+        let t2 = parse_tgd(&mut schema, "-> exists x : P(x)").unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parse_egd() {
+        let mut schema = Schema::default();
+        let deps = parse_dependencies(&mut schema, "R(x,y), R(x,z) -> y = z.").unwrap();
+        assert!(matches!(deps.as_slice(), [Dependency::Egd(_)]));
+    }
+
+    #[test]
+    fn parse_edd() {
+        let mut schema = Schema::default();
+        let deps =
+            parse_dependencies(&mut schema, "R(x,y) -> x = y | exists z : R(y,z) | T(x).")
+                .unwrap();
+        match deps.as_slice() {
+            [Dependency::Edd(edd)] => {
+                assert_eq!(edd.disjuncts().len(), 3);
+                assert_eq!(edd.universal_count(), 2);
+            }
+            other => panic!("expected edd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_existential_in_edd_is_error() {
+        let mut schema = Schema::default();
+        let res = parse_dependencies(&mut schema, "R(x,y) -> S(y,z) | T(x).");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn schema_block_and_arity_check() {
+        let program = parse_program("schema { R/2 }  R(x,y) -> R(y,x).").unwrap();
+        assert_eq!(program.schema.len(), 1);
+        // Arity violation against the declared schema is a parse error.
+        assert!(parse_program("schema { R/2 }  R(x) -> R(x,x).").is_err());
+    }
+
+    #[test]
+    fn multiple_rules_require_terminators() {
+        let mut schema = Schema::default();
+        let tgds = parse_tgds(&mut schema, "R(x,y) -> R(y,x). R(x,y) -> T(x).").unwrap();
+        assert_eq!(tgds.len(), 2);
+        assert!(parse_tgds(&mut schema, "R(x,y) -> R(y,x) R(x,y) -> T(x)").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let mut schema = Schema::default();
+        let tgds = parse_tgds(
+            &mut schema,
+            "// transitive closure step\nE(x,y), E(y,z) -> E(x,z). // full tgd",
+        )
+        .unwrap();
+        assert_eq!(tgds.len(), 1);
+        assert!(tgds[0].is_full());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let mut schema = Schema::default();
+        let err = parse_tgds(&mut schema, "R(x,y) ->").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err2 = parse_tgds(&mut schema, "R(x,\n  %").unwrap_err();
+        assert_eq!(err2.line, 2);
+    }
+
+    #[test]
+    fn parse_tgd_rejects_egd() {
+        let mut schema = Schema::default();
+        assert!(parse_tgd(&mut schema, "R(x,y) -> x = y").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let mut schema = Schema::default();
+        let texts = [
+            "R(x,y), S(y,z) -> T(x,z)",
+            "R(x,y) -> exists z : S(y,z), T(y,z)",
+            "true -> exists x : P(x)",
+            "R(x,x) -> T(x,x)",
+        ];
+        for text in texts {
+            let tgd = parse_tgd(&mut schema, text).unwrap();
+            let rendered = tgd.display(&schema).to_string();
+            let reparsed = parse_tgd(&mut schema, &rendered).unwrap();
+            assert_eq!(tgd, reparsed, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn equality_with_unknown_variable_is_error() {
+        let mut schema = Schema::default();
+        assert!(parse_dependencies(&mut schema, "R(x,y) -> x = w.").is_err());
+    }
+
+    #[test]
+    fn exists_sharing_body_variable_names_is_shadowed() {
+        let mut schema = Schema::default();
+        // "exists y" where y is also a body variable: the declaration refers
+        // to the body variable (no shadowing is introduced); the head reuses
+        // the body's y.
+        let tgd = parse_tgd(&mut schema, "R(x,y) -> exists y : S(x,y)").unwrap();
+        assert_eq!(tgd.existential_count(), 0);
+    }
+}

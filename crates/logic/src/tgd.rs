@@ -1,0 +1,391 @@
+//! Tuple-generating dependencies and their syntactic classes (paper §2).
+
+use crate::atom::{conjunction_vars, Atom, Var};
+use crate::error::LogicError;
+use crate::schema::Schema;
+
+/// A tuple-generating dependency (tgd)
+/// `∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄))` over some schema (paper §2).
+///
+/// Invariants maintained by [`Tgd::new`]:
+///
+/// - variables are densely renumbered so that the **universal** variables
+///   (those occurring in the body) are `Var(0) .. Var(universal_count)` in
+///   order of first occurrence in the body, followed by the **existential**
+///   variables in order of first occurrence in the head;
+/// - the head is non-empty;
+/// - at least one variable occurs (paper §2, footnote 2).
+///
+/// The body may be empty, in which case every variable is existential.
+///
+/// ```
+/// use tgdkit_logic::{parse_tgd, Schema};
+/// let mut schema = Schema::default();
+/// let tgd = parse_tgd(&mut schema, "R(x,y) -> exists z : S(y,z)").unwrap();
+/// assert_eq!(tgd.universal_count(), 2);
+/// assert_eq!(tgd.existential_count(), 1);
+/// assert!(tgd.is_linear() && tgd.is_guarded() && tgd.is_frontier_guarded());
+/// assert!(!tgd.is_full());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tgd {
+    body: Vec<Atom<Var>>,
+    head: Vec<Atom<Var>>,
+    universal_count: u32,
+    num_vars: u32,
+}
+
+impl Tgd {
+    /// Builds a tgd from body and head conjunctions, renumbering variables
+    /// into the canonical dense layout.
+    ///
+    /// Input variables may use arbitrary indices; variables occurring only
+    /// in the head become existential.
+    pub fn new(body: Vec<Atom<Var>>, head: Vec<Atom<Var>>) -> Result<Tgd, LogicError> {
+        if head.is_empty() {
+            return Err(LogicError::EmptyHead);
+        }
+        // Dense renumbering: body vars first (universal), then head-only vars
+        // (existential).
+        let mut table: Vec<(Var, Var)> = Vec::new();
+        let lookup = |table: &mut Vec<(Var, Var)>, v: Var| -> Var {
+            if let Some(&(_, w)) = table.iter().find(|&&(orig, _)| orig == v) {
+                w
+            } else {
+                let w = Var(table.len() as u32);
+                table.push((v, w));
+                w
+            }
+        };
+        let mut new_body = Vec::with_capacity(body.len());
+        for atom in &body {
+            new_body.push(atom.map(|&v| lookup(&mut table, v)));
+        }
+        let universal_count = table.len() as u32;
+        let mut new_head = Vec::with_capacity(head.len());
+        for atom in &head {
+            new_head.push(atom.map(|&v| lookup(&mut table, v)));
+        }
+        let num_vars = table.len() as u32;
+        if num_vars == 0 {
+            return Err(LogicError::NoVariables);
+        }
+        Ok(Tgd {
+            body: new_body,
+            head: new_head,
+            universal_count,
+            num_vars,
+        })
+    }
+
+    /// The body conjunction `φ(x̄,ȳ)` (possibly empty).
+    #[inline]
+    pub fn body(&self) -> &[Atom<Var>] {
+        &self.body
+    }
+
+    /// The head conjunction `ψ(x̄,z̄)` (non-empty).
+    #[inline]
+    pub fn head(&self) -> &[Atom<Var>] {
+        &self.head
+    }
+
+    /// Number of distinct universally quantified variables (the `n` of
+    /// `TGD_{n,m}`).
+    #[inline]
+    pub fn universal_count(&self) -> usize {
+        self.universal_count as usize
+    }
+
+    /// Number of distinct existentially quantified variables (the `m` of
+    /// `TGD_{n,m}`).
+    #[inline]
+    pub fn existential_count(&self) -> usize {
+        (self.num_vars - self.universal_count) as usize
+    }
+
+    /// Total number of distinct variables.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// `true` if `v` is existentially quantified.
+    #[inline]
+    pub fn is_existential(&self, v: Var) -> bool {
+        v.0 >= self.universal_count
+    }
+
+    /// The frontier `fr(σ)`: universally quantified variables occurring in
+    /// the head, in ascending order.
+    pub fn frontier(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = conjunction_vars(&self.head)
+            .into_iter()
+            .filter(|v| !self.is_existential(*v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` if the tgd has no existentially quantified variable (class
+    /// `FTGD`).
+    pub fn is_full(&self) -> bool {
+        self.universal_count == self.num_vars
+    }
+
+    /// `true` if the body has at most one atom (class `LTGD`).
+    pub fn is_linear(&self) -> bool {
+        self.body.len() <= 1
+    }
+
+    /// `true` if the body is empty or some body atom contains all the
+    /// universally quantified variables (class `GTGD`).
+    pub fn is_guarded(&self) -> bool {
+        self.guard_index().is_some() || self.body.is_empty()
+    }
+
+    /// Index of a guard atom (a body atom containing every universal
+    /// variable), if any. Empty-body tgds have no guard atom but are still
+    /// guarded.
+    pub fn guard_index(&self) -> Option<usize> {
+        let universals = self.universal_count;
+        self.body.iter().position(|atom| {
+            (0..universals).all(|v| atom.args.contains(&Var(v)))
+        })
+    }
+
+    /// `true` if the body is empty or some body atom contains all frontier
+    /// variables (class `FGTGD`).
+    pub fn is_frontier_guarded(&self) -> bool {
+        self.frontier_guard_index().is_some() || self.body.is_empty()
+    }
+
+    /// Index of a frontier-guard atom (a body atom containing every frontier
+    /// variable), if any.
+    pub fn frontier_guard_index(&self) -> Option<usize> {
+        let frontier = self.frontier();
+        self.body
+            .iter()
+            .position(|atom| frontier.iter().all(|v| atom.args.contains(v)))
+    }
+
+    /// Classifies the tgd into the (overlapping) classes of paper §2.
+    pub fn class(&self) -> TgdClass {
+        TgdClass {
+            full: self.is_full(),
+            linear: self.is_linear(),
+            guarded: self.is_guarded(),
+            frontier_guarded: self.is_frontier_guarded(),
+        }
+    }
+
+    /// Validates all atoms against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), LogicError> {
+        for atom in self.body.iter().chain(self.head.iter()) {
+            atom.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// The existential variables, in ascending order.
+    pub fn existential_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (self.universal_count..self.num_vars).map(Var)
+    }
+
+    /// The universal variables, in ascending order.
+    pub fn universal_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.universal_count).map(Var)
+    }
+}
+
+/// Membership of a tgd in the syntactic classes of paper §2. The classes
+/// properly nest: `LTGD ⊊ GTGD ⊊ FGTGD`, and `FTGD` is incomparable with all
+/// three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TgdClass {
+    /// No existential variables (`FTGD`).
+    pub full: bool,
+    /// At most one body atom (`LTGD`).
+    pub linear: bool,
+    /// Guard atom covering all universal variables (`GTGD`).
+    pub guarded: bool,
+    /// Guard atom covering the frontier (`FGTGD`).
+    pub frontier_guarded: bool,
+}
+
+impl TgdClass {
+    /// Name of the most specific class among linear/guarded/frontier-guarded,
+    /// or `"tgd"` if none applies.
+    pub fn most_specific(&self) -> &'static str {
+        if self.linear {
+            "linear"
+        } else if self.guarded {
+            "guarded"
+        } else if self.frontier_guarded {
+            "frontier-guarded"
+        } else {
+            "tgd"
+        }
+    }
+}
+
+/// The `(n, m)` profile of a set of tgds: the maximum number of universal
+/// and existential variables across the set, i.e. the least `(n, m)` with
+/// `Σ ∈ TGD_{n,m}`.
+pub fn set_profile(tgds: &[Tgd]) -> (usize, usize) {
+    let n = tgds.iter().map(|t| t.universal_count()).max().unwrap_or(0);
+    let m = tgds.iter().map(|t| t.existential_count()).max().unwrap_or(0);
+    (n, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .pred("R", 2)
+            .pred("S", 2)
+            .pred("T", 1)
+            .pred("P", 1)
+            .build()
+    }
+
+    fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
+        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn renumbering_orders_universals_first() {
+        let s = schema();
+        // body uses vars 7, 3; head introduces 9 (existential).
+        let tgd = Tgd::new(
+            vec![atom(&s, "R", &[7, 3])],
+            vec![atom(&s, "S", &[3, 9])],
+        )
+        .unwrap();
+        assert_eq!(tgd.universal_count(), 2);
+        assert_eq!(tgd.existential_count(), 1);
+        assert_eq!(tgd.body()[0].args, vec![Var(0), Var(1)]);
+        assert_eq!(tgd.head()[0].args, vec![Var(1), Var(2)]);
+        assert!(tgd.is_existential(Var(2)));
+        assert!(!tgd.is_existential(Var(1)));
+    }
+
+    #[test]
+    fn empty_head_rejected() {
+        let s = schema();
+        let err = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![]).unwrap_err();
+        assert_eq!(err, LogicError::EmptyHead);
+    }
+
+    #[test]
+    fn variable_free_rejected() {
+        // No way to build a variable-free tgd since atoms have positive
+        // arity, but an empty body with an empty head must fail.
+        let s = schema();
+        assert!(Tgd::new(vec![], vec![]).is_err());
+        // Empty body with a head is fine; all vars existential.
+        let tgd = Tgd::new(vec![], vec![atom(&s, "T", &[0])]).unwrap();
+        assert_eq!(tgd.universal_count(), 0);
+        assert_eq!(tgd.existential_count(), 1);
+        assert!(tgd.is_linear() && tgd.is_guarded() && tgd.is_frontier_guarded());
+    }
+
+    #[test]
+    fn frontier_and_guards() {
+        let s = schema();
+        // R(x,y), S(y,z) -> T(x): frontier {x}; frontier-guarded via R(x,y);
+        // not guarded (no atom contains x,y,z); not linear; full.
+        let tgd = Tgd::new(
+            vec![atom(&s, "R", &[0, 1]), atom(&s, "S", &[1, 2])],
+            vec![atom(&s, "T", &[0])],
+        )
+        .unwrap();
+        assert_eq!(tgd.frontier(), vec![Var(0)]);
+        assert!(tgd.is_full());
+        assert!(!tgd.is_linear());
+        assert!(!tgd.is_guarded());
+        assert!(tgd.is_frontier_guarded());
+        assert_eq!(tgd.frontier_guard_index(), Some(0));
+        assert_eq!(tgd.guard_index(), None);
+        assert_eq!(tgd.class().most_specific(), "frontier-guarded");
+    }
+
+    #[test]
+    fn guarded_but_not_linear() {
+        let s = schema();
+        // R(x,y), T(x) -> S(x,y): guard R(x,y).
+        let tgd = Tgd::new(
+            vec![atom(&s, "R", &[0, 1]), atom(&s, "T", &[0])],
+            vec![atom(&s, "S", &[0, 1])],
+        )
+        .unwrap();
+        assert!(tgd.is_guarded());
+        assert_eq!(tgd.guard_index(), Some(0));
+        assert!(!tgd.is_linear());
+        assert!(tgd.is_frontier_guarded());
+    }
+
+    #[test]
+    fn separation_gadgets_classify_as_in_section_9() {
+        let s = Schema::builder().pred("R", 1).pred("P", 1).pred("T", 1).build();
+        // Σ_G = { R(x), P(x) -> T(x) } is guarded but not linear (§9.1).
+        let sigma_g = Tgd::new(
+            vec![atom(&s, "R", &[0]), atom(&s, "P", &[0])],
+            vec![atom(&s, "T", &[0])],
+        )
+        .unwrap();
+        assert!(sigma_g.is_guarded());
+        assert!(!sigma_g.is_linear());
+        // Σ_F = { R(x), P(y) -> T(x) } is frontier-guarded but not guarded.
+        let sigma_f = Tgd::new(
+            vec![atom(&s, "R", &[0]), atom(&s, "P", &[1])],
+            vec![atom(&s, "T", &[0])],
+        )
+        .unwrap();
+        assert!(!sigma_f.is_guarded());
+        assert!(sigma_f.is_frontier_guarded());
+    }
+
+    #[test]
+    fn full_tgd_has_empty_existentials() {
+        let s = schema();
+        let tgd = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "S", &[1, 0])]).unwrap();
+        assert!(tgd.is_full());
+        assert_eq!(tgd.existential_vars().count(), 0);
+        assert_eq!(tgd.universal_vars().count(), 2);
+    }
+
+    #[test]
+    fn profile_of_set() {
+        let s = schema();
+        let t1 = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "S", &[0, 2])]).unwrap();
+        let t2 = Tgd::new(
+            vec![atom(&s, "R", &[0, 1]), atom(&s, "S", &[1, 2])],
+            vec![atom(&s, "T", &[0])],
+        )
+        .unwrap();
+        assert_eq!(set_profile(&[t1, t2]), (3, 1));
+        assert_eq!(set_profile(&[]), (0, 0));
+    }
+
+    #[test]
+    fn repeated_variables_in_guard() {
+        let s = schema();
+        // R(x,x) -> T(x): guarded, linear, full.
+        let tgd = Tgd::new(vec![atom(&s, "R", &[0, 0])], vec![atom(&s, "T", &[0])]).unwrap();
+        assert_eq!(tgd.universal_count(), 1);
+        assert!(tgd.is_guarded() && tgd.is_linear() && tgd.is_full());
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let s = schema();
+        let tgd = Tgd::new(vec![atom(&s, "R", &[0, 1])], vec![atom(&s, "T", &[0])]).unwrap();
+        assert!(tgd.validate(&s).is_ok());
+        let small = Schema::builder().pred("R", 2).build();
+        assert!(tgd.validate(&small).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: parse an ontology, chase a database, ask queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tgdkit::prelude::*;
+
+fn main() {
+    // An ontology in the Datalog± surface syntax. Predicates are declared
+    // implicitly by use; `exists` introduces existential variables.
+    let mut schema = Schema::default();
+    let sigma = parse_tgds(
+        &mut schema,
+        "
+        // Every employee works in some department.
+        Employee(x) -> exists d : WorksIn(x, d).
+        // Whatever someone works in is a department.
+        WorksIn(x, d) -> Dept(d).
+        // Managers are employees.
+        Manages(x, d) -> Employee(x).
+        // Managing a department means working in it.
+        Manages(x, d) -> WorksIn(x, d).
+        ",
+    )
+    .expect("ontology parses");
+    println!("schema: {schema}");
+    for tgd in &sigma {
+        println!(
+            "  [{}] {}",
+            tgd.class().most_specific(),
+            tgd.display(&schema)
+        );
+    }
+
+    // A database.
+    let data = parse_instance(&mut schema, "Employee(ann), Manages(bob, sales)")
+        .expect("data parses");
+    println!("\ndatabase: {data}");
+    println!("data satisfies the ontology already? {}", satisfies_tgds(&data, &sigma));
+
+    // Chase to a universal model. Weak acyclicity certifies termination
+    // before we even start.
+    println!("weakly acyclic: {}", is_weakly_acyclic(&schema, &sigma));
+    let result = chase(&data, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+    assert!(result.terminated());
+    println!(
+        "chase: {} facts, {} invented nulls, {} rounds",
+        result.instance.fact_count(),
+        result.nulls.len(),
+        result.rounds
+    );
+    println!("universal model: {}", result.instance);
+
+    // Certain answers: a Boolean CQ evaluated on the universal model.
+    let mut query_schema = schema.clone();
+    let probe = parse_tgd(&mut query_schema, "Employee(x) -> exists d : WorksIn(x,d), Dept(d)")
+        .expect("query parses");
+    let q = Cq::boolean(probe.head().to_vec());
+    println!(
+        "\n∃d WorksIn(_, d) ∧ Dept(d) certain? {}",
+        q.holds_in(&result.instance)
+    );
+
+    // Entailment between dependencies: does the ontology entail that
+    // managers' departments are departments?
+    let derived = parse_tgd(&mut query_schema, "Manages(x, d) -> Dept(d)").unwrap();
+    println!(
+        "Σ ⊨ (Manages(x,d) -> Dept(d))? {:?}",
+        entails(&query_schema, &sigma, &derived, ChaseBudget::default())
+    );
+}

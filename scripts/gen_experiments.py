@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerates EXPERIMENTS.md from the experiments binary output.
+
+Usage: cargo run -p tgdkit-bench --bin experiments --release > /tmp/exp.txt
+       python3 scripts/gen_experiments.py /tmp/exp.txt
+"""
+import sys
+
+body = open(sys.argv[1]).read()
+doc = f"""# EXPERIMENTS — paper vs. measured
+
+The paper (PODS 2021, theory track) contains **no empirical tables**; its
+two figures are illustrations of the locality definitions and its two
+algorithms are pseudocode. Deliverable (d) therefore reproduces every
+*constructive artifact*: for each experiment E1–E14 (index: DESIGN.md §5)
+the table below records the paper's claim and what tgdkit measures. Tables
+are regenerated verbatim by
+
+```sh
+cargo run -p tgdkit-bench --bin experiments --release
+```
+
+and the per-operation scaling behind them by `cargo bench --workspace`
+(criterion targets `bench_chase`, `bench_hom`, `bench_locality`,
+`bench_rewrite`, `bench_products`, `bench_synthesis`, `bench_decision`).
+
+## Reading guide: paper claim → expected shape → measured
+
+| Exp | Paper artifact | Expected shape | Measured (see tables below) |
+|---|---|---|---|
+| E1 | Lemma 3.6, Fig. 1 | zero locality counterexamples at the set's (n,m) profile | 0 counterexamples on all sampled instances |
+| E2 | Lemmas 3.2, 3.4 | criticality and ⊗-closure hold for every family | `true` across full/linear/guarded seeds |
+| E3 | Example 5.2 | oblivious extension breaks the tgd, non-oblivious doesn't | exactly the paper's fact sets, verdicts No / Yes |
+| E4 | Theorem 5.6 (1)⇒(2) | the five-property bundle holds for full sets; *oblivious* closure may fail | all Yes; oblivious closure fails on some seeds (e.g. seed 1), as the paper's counterexample predicts |
+| E5/E6 | §9.1 separations | both gadgets violate their refined locality; Algorithms 1–2 agree (`NotRewritable`) | Yes / Yes for both |
+| E7/E8 | Thms 9.1/9.2 | candidates ≤ paper bounds; cost explodes with ar(S) (double-exponential) and grows with \\|S\\| | bounds respected with large headroom; runtime rises orders of magnitude from ar 1 → 2 |
+| E9 | Appendix F | Σ ⊨ ∃x Q(x) iff Σ′ rewritable | agreement on positive and negative instances for both reductions |
+| E10 | Theorem 4.1 | synthesis from the oracle is chase-verified equivalent to the hidden set | `Proved` for every case |
+| E11 | substrate | chase cost grows with instance size; weak acyclicity certifies termination | see scaling table |
+| E12 | Algorithm 1 at scale | rewritings are verified equivalent; negatives coincide with union-closure witnesses | every `rewritten` row verifies `Proved`; every `inconclusive` row has a union witness (so is in fact not rewritable, by the Appendix F closure argument) |
+| E13 | Claims 4.5/4.6 | the extracted separating edd is violated by the non-member and entailed by Σ | `true` / `Proved` on all cases; the third case recovers `P(x) -> Q(x)` itself as the separating dependency |
+| E14 | Lemmas 3.6 / 3.8, exhaustive | zero violations over EVERY instance with ≤ 2 elements | 0 violations across all bounded universes |
+
+Notes on honest deviations:
+
+- The `G(x,y) -> exists z : G(y,z)`-style row in E7 reports
+  **inconclusive**: that input's chase diverges and the candidate space is
+  budget-truncated, so the procedure refuses to guess. This is the
+  documented three-valued discipline, not a wrong answer.
+- The Appendix F reduction keeps the original rules inside Σ′ (the paper's
+  text drops their non-guard atoms, which breaks its own `I ⊨ Σ` proof
+  step); see `core::reductions` docs and DESIGN.md §3.
+- Absolute times are from this machine (release build) and matter only for
+  the *shape* comparisons (growth in \\|S\\|, ar(S), n, m, instance size).
+
+## Regenerated tables
+
+```
+{body}```
+"""
+open('EXPERIMENTS.md','w').write(doc)
+print("EXPERIMENTS.md written")

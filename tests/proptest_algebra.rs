@@ -1,0 +1,171 @@
+//! Property-based tests of the instance algebra (paper §2, §3.1–3.2, §5).
+
+use proptest::prelude::*;
+use tgdkit::core::workload::{generate_set, Family, WorkloadParams};
+use tgdkit::prelude::*;
+
+fn schema() -> Schema {
+    Schema::builder().pred("R", 2).pred("T", 1).build()
+}
+
+fn instance(seed: u64, size: usize, density: f64) -> Instance {
+    InstanceGen::new(schema(), seed).generate(size, density)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `I ⊗ J ≃ J ⊗ I`.
+    #[test]
+    fn product_is_commutative_up_to_iso(a in 0u64..500, b in 0u64..500, size in 1usize..4) {
+        let i = instance(a, size, 0.4);
+        let j = instance(b, size, 0.4);
+        let (ij, _) = direct_product(&i, &j);
+        let (ji, _) = direct_product(&j, &i);
+        prop_assert!(are_isomorphic(&ij, &ji));
+    }
+
+    /// `(I ⊗ J) ⊗ K ≃ I ⊗ (J ⊗ K)`.
+    #[test]
+    fn product_is_associative_up_to_iso(a in 0u64..200, b in 0u64..200, c in 0u64..200) {
+        let i = instance(a, 2, 0.5);
+        let j = instance(b, 2, 0.5);
+        let k = instance(c, 2, 0.5);
+        let left = direct_product(&direct_product(&i, &j).0, &k).0;
+        let right = direct_product(&i, &direct_product(&j, &k).0).0;
+        prop_assert!(are_isomorphic(&left, &right));
+    }
+
+    /// Product facts are exactly the pairs of component facts.
+    #[test]
+    fn product_fact_count_is_the_product(a in 0u64..500, b in 0u64..500, size in 1usize..4) {
+        let s = schema();
+        let i = instance(a, size, 0.4);
+        let j = instance(b, size, 0.4);
+        let (prod, _) = direct_product(&i, &j);
+        for pred in s.preds() {
+            prop_assert_eq!(
+                prod.relation(pred).len(),
+                i.relation(pred).len() * j.relation(pred).len()
+            );
+        }
+    }
+
+    /// Intersection is idempotent, commutative, and below both arguments.
+    #[test]
+    fn intersection_laws(a in 0u64..500, b in 0u64..500, size in 0usize..5) {
+        let i = instance(a, size, 0.4);
+        let j = instance(b, size, 0.4);
+        prop_assert_eq!(intersection(&i, &i), i.clone());
+        prop_assert_eq!(intersection(&i, &j), intersection(&j, &i));
+        let meet = intersection(&i, &j);
+        prop_assert!(meet.is_contained_in(&i) && meet.is_contained_in(&j));
+    }
+
+    /// Union is idempotent, commutative, and above both arguments.
+    #[test]
+    fn union_laws(a in 0u64..500, b in 0u64..500, size in 0usize..5) {
+        let i = instance(a, size, 0.4);
+        let j = instance(b, size, 0.4);
+        prop_assert_eq!(union(&i, &i), i.clone());
+        prop_assert_eq!(union(&i, &j), union(&j, &i));
+        let join = union(&i, &j);
+        prop_assert!(i.is_contained_in(&join) && j.is_contained_in(&join));
+    }
+
+    /// Restriction to the active domain preserves all facts and yields a
+    /// subinstance.
+    #[test]
+    fn restriction_to_adom_is_a_subinstance(a in 0u64..500, size in 0usize..5) {
+        let i = instance(a, size, 0.4);
+        let r = i.restrict(&i.active_domain());
+        prop_assert_eq!(r.fact_count(), i.fact_count());
+        prop_assert!(r.is_subinstance_of(&i));
+    }
+
+    /// Lemma 3.2 as a property: critical instances satisfy random tgd sets.
+    #[test]
+    fn critical_instances_satisfy_random_tgds(seed in 0u64..300, k in 1usize..4) {
+        let set = generate_set(
+            &WorkloadParams { existentials: (seed % 2) as usize, ..Default::default() },
+            Family::Unrestricted,
+            seed,
+        );
+        let crit = critical_instance(set.schema(), k, 0);
+        prop_assert!(satisfies_tgds(&crit, set.tgds()));
+        prop_assert!(is_critical(&crit));
+    }
+
+    /// The defining property of non-oblivious duplicating extensions
+    /// (Def. 5.3): R(t̄) ∈ J iff h(R(t̄)) ∈ I with h(d) = c.
+    #[test]
+    fn non_oblivious_duplication_definition(a in 0u64..500, size in 1usize..4) {
+        let s = schema();
+        let i = instance(a, size, 0.4);
+        let c = *i.dom().iter().next().unwrap();
+        let d = i.fresh_elem();
+        let j = non_oblivious_duplicating_extension(&i, c, d);
+        let h = |e: Elem| if e == d { c } else { e };
+        // Forward: every J-fact collapses into I.
+        for fact in j.facts() {
+            let collapsed: Vec<Elem> = fact.args.iter().map(|&e| h(e)).collect();
+            prop_assert!(i.contains_fact(fact.pred, &collapsed));
+        }
+        // Backward over the (small) tuple space.
+        let dom: Vec<Elem> = j.dom().iter().copied().collect();
+        for pred in s.preds() {
+            let arity = s.arity(pred);
+            if arity == 1 {
+                for &x in &dom {
+                    prop_assert_eq!(
+                        j.contains_fact(pred, &[x]),
+                        i.contains_fact(pred, &[h(x)])
+                    );
+                }
+            } else {
+                for &x in &dom {
+                    for &y in &dom {
+                        prop_assert_eq!(
+                            j.contains_fact(pred, &[x, y]),
+                            i.contains_fact(pred, &[h(x), h(y)])
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Oblivious extensions are contained in non-oblivious ones.
+    #[test]
+    fn oblivious_is_contained_in_non_oblivious(a in 0u64..500, size in 1usize..4) {
+        let i = instance(a, size, 0.5);
+        let c = *i.dom().iter().next().unwrap();
+        let d = i.fresh_elem();
+        let oblivious = oblivious_duplicating_extension(&i, c, d);
+        let non_oblivious = non_oblivious_duplicating_extension(&i, c, d);
+        prop_assert!(oblivious.is_contained_in(&non_oblivious));
+    }
+
+    /// Isomorphism is invariant under element renaming.
+    #[test]
+    fn renaming_preserves_isomorphism(a in 0u64..500, size in 0usize..5, shift in 1u32..50) {
+        let i = instance(a, size, 0.4);
+        let renamed = i.map_elements(|e| Elem(e.0 + shift));
+        prop_assert!(are_isomorphic(&i, &renamed));
+    }
+
+    /// Cores are hom-equivalent retracts: the core embeds into the instance
+    /// and vice versa.
+    #[test]
+    fn core_is_hom_equivalent(a in 0u64..300, size in 0usize..4) {
+        let i = instance(a, size, 0.4);
+        let core = core_of(&i);
+        prop_assert!(core.fact_count() <= i.fact_count());
+        prop_assert!(
+            find_instance_hom(&core, &i, &Default::default()).is_some()
+        );
+        prop_assert!(
+            find_instance_hom(&i, &core, &Default::default()).is_some()
+        );
+    }
+}

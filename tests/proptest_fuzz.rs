@@ -1,0 +1,78 @@
+//! Robustness fuzzing: arbitrary input text must never panic the parsers —
+//! they either parse or return a positioned error.
+
+use proptest::prelude::*;
+use tgdkit::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The dependency parser is total on arbitrary strings.
+    #[test]
+    fn dependency_parser_never_panics(text in ".{0,80}") {
+        let mut schema = Schema::default();
+        let _ = tgdkit::logic::parse_dependencies(&mut schema, &text);
+    }
+
+    /// The instance parser is total on arbitrary strings.
+    #[test]
+    fn instance_parser_never_panics(text in ".{0,80}") {
+        let mut schema = Schema::default();
+        let _ = parse_instance(&mut schema, &text);
+    }
+
+    /// Syntax-shaped fuzz: near-miss rule strings built from grammar
+    /// fragments never panic, and successful parses round-trip.
+    #[test]
+    fn near_miss_rules_are_handled(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("R(x,y)".to_string()),
+                Just("P(x)".to_string()),
+                Just("->".to_string()),
+                Just("exists z :".to_string()),
+                Just("|".to_string()),
+                Just("x = y".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just("true".to_string()),
+                Just("schema { R/2 }".to_string()),
+            ],
+            0..8,
+        )
+    ) {
+        let text = parts.join(" ");
+        let mut schema = Schema::default();
+        if let Ok(deps) = tgdkit::logic::parse_dependencies(&mut schema, &text) {
+            for dep in &deps {
+                prop_assert!(dep.validate(&schema).is_ok());
+                // Display output must re-parse.
+                let rendered = dep.display(&schema).to_string();
+                let mut schema2 = schema.clone();
+                prop_assert!(
+                    tgdkit::logic::parse_dependencies(&mut schema2, &format!("{rendered}."))
+                        .is_ok(),
+                    "display output failed to reparse: {rendered}"
+                );
+            }
+        }
+    }
+
+    /// Schema mutations through repeated parses stay consistent: arities
+    /// never silently change.
+    #[test]
+    fn schema_arity_stability(seed in 0u64..1000) {
+        use tgdkit::core::workload::{generate_set, Family, WorkloadParams};
+        let set = generate_set(&WorkloadParams::default(), Family::Unrestricted, seed);
+        let mut schema = set.schema().clone();
+        let before: Vec<usize> = schema.preds().map(|p| schema.arity(p)).collect();
+        // Reparse every rule's rendering against the same schema.
+        for tgd in set.tgds() {
+            let rendered = tgd.display(&schema).to_string();
+            let reparsed = parse_tgd(&mut schema, &rendered).unwrap();
+            prop_assert_eq!(tgd, &reparsed);
+        }
+        let after: Vec<usize> = schema.preds().map(|p| schema.arity(p)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

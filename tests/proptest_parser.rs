@@ -1,0 +1,145 @@
+//! Property-based tests of the surface syntax and canonicalization.
+
+use proptest::prelude::*;
+use tgdkit::core::workload::{generate_set, Family, WorkloadParams};
+use tgdkit::logic::{canonical_tgd, same_up_to_renaming, simplify_tgd, tgd_variant_key};
+use tgdkit::prelude::*;
+
+fn random_set(seed: u64, existentials: usize) -> TgdSet {
+    generate_set(
+        &WorkloadParams {
+            predicates: 3,
+            max_arity: 3,
+            rules: 3,
+            body_atoms: 2,
+            head_atoms: 2,
+            universals: 3,
+            existentials,
+        },
+        Family::Unrestricted,
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display output reparses to the identical tgd.
+    #[test]
+    fn display_parse_roundtrip(seed in 0u64..2000, existentials in 0usize..3) {
+        let set = random_set(seed, existentials);
+        let mut schema = set.schema().clone();
+        for tgd in set.tgds() {
+            let rendered = tgd.display(&schema).to_string();
+            let reparsed = parse_tgd(&mut schema, &rendered)
+                .unwrap_or_else(|e| panic!("reparse of {rendered:?} failed: {e}"));
+            prop_assert_eq!(tgd, &reparsed, "roundtrip changed {}", rendered);
+        }
+    }
+
+    /// Canonicalization is idempotent and identifies shuffled variants.
+    #[test]
+    fn canonicalization_identifies_variants(seed in 0u64..2000, perm_seed in 0u64..64) {
+        let set = random_set(seed, 1);
+        for tgd in set.tgds() {
+            let canon = canonical_tgd(tgd);
+            prop_assert_eq!(&canon, &canonical_tgd(&canon));
+            prop_assert!(same_up_to_renaming(tgd, &canon));
+
+            // Shuffle atoms deterministically from perm_seed and rename
+            // variables by an offset permutation.
+            let rotate = |atoms: &[tgdkit::logic::Atom<Var>]| -> Vec<tgdkit::logic::Atom<Var>> {
+                let mut v = atoms.to_vec();
+                let len = v.len();
+                if len > 0 {
+                    v.rotate_left((perm_seed as usize) % len);
+                }
+                v
+            };
+            let n = tgd.var_count() as u32;
+            let renamed_body: Vec<_> = rotate(tgd.body())
+                .iter()
+                .map(|a| a.map(|v| Var((v.0 + perm_seed as u32) % n + n)))
+                .collect();
+            let renamed_head: Vec<_> = rotate(tgd.head())
+                .iter()
+                .map(|a| a.map(|v| Var((v.0 + perm_seed as u32) % n + n)))
+                .collect();
+            if let Ok(variant) = Tgd::new(renamed_body, renamed_head) {
+                // Only a true variant when the renaming respected the
+                // universal/existential split; `Tgd::new` re-derives the
+                // split from the shuffled body, so check classes first.
+                if variant.universal_count() == tgd.universal_count() {
+                    prop_assert!(
+                        same_up_to_renaming(tgd, &variant),
+                        "variant not identified:\n  {:?}\n  {:?}",
+                        tgd,
+                        variant
+                    );
+                }
+            }
+        }
+    }
+
+    /// Variant keys agree exactly with `same_up_to_renaming` on pairs from
+    /// the same generator (no false merges).
+    #[test]
+    fn variant_keys_are_injective_on_distinct_classes(a in 0u64..500, b in 0u64..500) {
+        let set_a = random_set(a, 1);
+        let set_b = random_set(b, 1);
+        for ta in set_a.tgds() {
+            for tb in set_b.tgds() {
+                let same_key = tgd_variant_key(ta) == tgd_variant_key(tb);
+                prop_assert_eq!(
+                    same_key,
+                    same_up_to_renaming(ta, tb),
+                    "key/variant disagreement on {:?} vs {:?}", ta, tb
+                );
+            }
+        }
+    }
+
+    /// Simplification preserves logical equivalence. Divergent chases are
+    /// cut short by a small budget: equivalence may then come back Unknown,
+    /// but must never be Disproved.
+    #[test]
+    fn simplify_preserves_equivalence(seed in 0u64..500) {
+        let set = random_set(seed, 1);
+        let schema = set.schema();
+        let budget = ChaseBudget { max_facts: 400, max_rounds: 12 };
+        for tgd in set.tgds() {
+            match simplify_tgd(tgd) {
+                Some(simplified) => {
+                    prop_assert_ne!(
+                        equivalent(schema, std::slice::from_ref(tgd), &[simplified], budget),
+                        Entailment::Disproved
+                    );
+                }
+                None => {
+                    // A tautology: entailed by the empty set.
+                    prop_assert_eq!(
+                        entails(schema, &[], tgd, budget),
+                        Entailment::Proved
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parsing instance literals roundtrips through Display.
+    #[test]
+    fn instance_display_roundtrip(seed in 0u64..1000, size in 0usize..5) {
+        let schema = Schema::builder().pred("R", 2).pred("T", 1).build();
+        let i = InstanceGen::new(schema.clone(), seed).generate(size, 0.4);
+        // Name every active element so Display output is parseable.
+        let mut named = i.clone();
+        named.shrink_dom_to_active();
+        for e in named.active_domain() {
+            named.set_name(e, format!("c{}", e.0));
+        }
+        let rendered = named.to_string();
+        let mut reparse_schema = schema.clone();
+        let reparsed = parse_instance(&mut reparse_schema, &rendered).unwrap();
+        prop_assert!(are_isomorphic(&named, &reparsed));
+    }
+}
