@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use tgdkit_chase::{chase, entails, is_weakly_acyclic, ChaseBudget, ChaseVariant};
+use tgdkit_chase::{
+    chase, chase_configured, entails, is_weakly_acyclic, ChaseBudget, ChaseVariant, TriggerSearch,
+};
 use tgdkit_core::workload::{generate_set, Family, WorkloadParams};
 use tgdkit_instance::InstanceGen;
 
@@ -65,9 +67,7 @@ fn bench_oblivious_vs_restricted(c: &mut Criterion) {
         (ChaseVariant::Oblivious, "oblivious"),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(chase(&start, set.tgds(), variant, ChaseBudget::default()))
-            })
+            b.iter(|| black_box(chase(&start, set.tgds(), variant, ChaseBudget::default())))
         });
     }
     group.finish();
@@ -138,11 +138,61 @@ fn bench_entailment(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-round runs: the regime where the incremental index pays off. A
+/// recursive full set forces many rounds over a growing instance; the
+/// per-round cost is now O(|Δ|) index maintenance instead of an O(|I|)
+/// rebuild. `ChaseStats` asserts the invariant (exactly one full build per
+/// run) while the wall time quantifies the win; the serial/parallel split
+/// isolates the trigger-search fan-out.
+fn bench_incremental_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/incremental");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let set = generate_set(
+        &WorkloadParams {
+            rules: 6,
+            predicates: 4,
+            universals: 3,
+            ..Default::default()
+        },
+        Family::Full,
+        41,
+    );
+    for size in [16usize, 32, 64] {
+        let start = InstanceGen::new(set.schema().clone(), 7).generate(size, 0.25);
+        for (search, label) in [
+            (TriggerSearch::Serial, "serial"),
+            (TriggerSearch::Parallel(0), "parallel"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &(set.clone(), start.clone()),
+                |b, (set, start)| {
+                    b.iter(|| {
+                        let result = chase_configured(
+                            start,
+                            set.tgds(),
+                            ChaseVariant::Restricted,
+                            ChaseBudget::large(),
+                            search,
+                        );
+                        assert_eq!(result.stats.index_rebuilds, 1, "incremental path regressed");
+                        black_box(result)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_chase_families,
     bench_oblivious_vs_restricted,
     bench_weak_acyclicity,
-    bench_entailment
+    bench_entailment,
+    bench_incremental_rounds
 );
 criterion_main!(benches);

@@ -53,10 +53,8 @@ fn bench_countermodel(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(12);
-    let (schema, sigma, candidate) = fixture(
-        "E(x,y) -> exists z : E(y,z), D(y,z).",
-        "E(x,y) -> P(x)",
-    );
+    let (schema, sigma, candidate) =
+        fixture("E(x,y) -> exists z : E(y,z), D(y,z).", "E(x,y) -> P(x)");
     for extra in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(extra), &extra, |b, &extra| {
             b.iter(|| {

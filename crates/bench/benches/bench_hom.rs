@@ -50,8 +50,11 @@ fn bench_cq_eval(c: &mut Criterion) {
     group.sample_size(12);
     let mut schema = Schema::default();
     let probe = parse_tgd(&mut schema, "E(x,y), E(y,z) -> Ans(x,z)").unwrap();
-    let q = Cq::new(probe.body().to_vec(), vec![tgdkit_logic::Var(0), tgdkit_logic::Var(2)])
-        .unwrap();
+    let q = Cq::new(
+        probe.body().to_vec(),
+        vec![tgdkit_logic::Var(0), tgdkit_logic::Var(2)],
+    )
+    .unwrap();
     for size in [16usize, 64, 256] {
         let inst = InstanceGen::new(schema.clone(), 3).generate_sparse(size, size * 2);
         group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
@@ -88,9 +91,7 @@ fn bench_instance_hom(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(size),
             &(small, big),
-            |b, (small, big)| {
-                b.iter(|| black_box(find_instance_hom(small, big, &BTreeMap::new())))
-            },
+            |b, (small, big)| b.iter(|| black_box(find_instance_hom(small, big, &BTreeMap::new()))),
         );
     }
     group.finish();

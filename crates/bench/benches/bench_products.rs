@@ -7,13 +7,17 @@ use std::hint::black_box;
 use std::time::Duration;
 use tgdkit_hom::are_isomorphic;
 use tgdkit_instance::{
-    critical_instance, direct_product, intersection, non_oblivious_duplicating_extension,
-    Elem, InstanceGen,
+    critical_instance, direct_product, intersection, non_oblivious_duplicating_extension, Elem,
+    InstanceGen,
 };
 use tgdkit_logic::Schema;
 
 fn schema() -> Schema {
-    Schema::builder().pred("R", 2).pred("S", 2).pred("T", 1).build()
+    Schema::builder()
+        .pred("R", 2)
+        .pred("S", 2)
+        .pred("T", 1)
+        .build()
 }
 
 fn bench_direct_product(c: &mut Criterion) {

@@ -25,24 +25,12 @@ fn bench_candidate_enumeration(c: &mut Criterion) {
                 ..Default::default()
             });
             let label = format!("S{preds}_ar{arity}");
-            group.bench_with_input(
-                BenchmarkId::new("linear", &label),
-                &schema,
-                |b, schema| {
-                    b.iter(|| {
-                        black_box(linear_candidates(schema, 2, 1, &EnumOptions::default()))
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("guarded", &label),
-                &schema,
-                |b, schema| {
-                    b.iter(|| {
-                        black_box(guarded_candidates(schema, 2, 1, &EnumOptions::default()))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("linear", &label), &schema, |b, schema| {
+                b.iter(|| black_box(linear_candidates(schema, 2, 1, &EnumOptions::default())))
+            });
+            group.bench_with_input(BenchmarkId::new("guarded", &label), &schema, |b, schema| {
+                b.iter(|| black_box(guarded_candidates(schema, 2, 1, &EnumOptions::default())))
+            });
         }
     }
     group.finish();

@@ -51,9 +51,7 @@ fn bench_edd_enumeration(c: &mut Criterion) {
             schema.add_pred(&format!("P{i}"), 1).unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(preds), &schema, |b, schema| {
-            b.iter(|| {
-                black_box(enumerate_edds(schema, 1, 0, &EddEnumOptions::default()))
-            })
+            b.iter(|| black_box(enumerate_edds(schema, 1, 0, &EddEnumOptions::default())))
         });
     }
     group.finish();

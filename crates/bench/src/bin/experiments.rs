@@ -19,8 +19,12 @@ use tgdkit_core::enumerate::{
     guarded_candidates, linear_candidates, paper_bound_guarded, paper_bound_linear, EnumOptions,
 };
 use tgdkit_core::locality::{local_on_samples, LocalityFlavor, LocalityOptions};
-use tgdkit_core::mv::{example_5_2, full_tgd_property_report, oblivious_closure_fails_on_example_5_2};
-use tgdkit_core::properties::{check_criticality, check_product_closure, member_pairs, sample_members};
+use tgdkit_core::mv::{
+    example_5_2, full_tgd_property_report, oblivious_closure_fails_on_example_5_2,
+};
+use tgdkit_core::properties::{
+    check_criticality, check_product_closure, member_pairs, sample_members,
+};
 use tgdkit_core::reductions::{
     fg_entailment_to_guarded_rewritability, guarded_entailment_to_linear_rewritability,
 };
@@ -61,7 +65,14 @@ fn e1_locality() {
         "(n,m)-locality of TGD-ontologies (Fig. 1, Def. 3.5, Lemma 3.6)",
         "no instance is (n,m)-locally embeddable yet a non-member, for (n,m) = the set's profile",
     );
-    let mut table = Table::new(&["sigma", "(n,m)", "samples", "members", "counterexamples", "time"]);
+    let mut table = Table::new(&[
+        "sigma",
+        "(n,m)",
+        "samples",
+        "members",
+        "counterexamples",
+        "time",
+    ]);
     let sets = [
         "E(x,y) -> E(y,x).",
         "E(x,y) -> E(y,x). P(x), E(x,y) -> P(y).",
@@ -79,7 +90,14 @@ fn e1_locality() {
             .filter(|i| satisfies_tgds(i, set.tgds()))
             .count();
         let ((vdt, witness), time) = timed(|| {
-            local_on_samples(&set, &samples, n, m, LocalityFlavor::Plain, &LocalityOptions::default())
+            local_on_samples(
+                &set,
+                &samples,
+                n,
+                m,
+                LocalityFlavor::Plain,
+                &LocalityOptions::default(),
+            )
         });
         let counterexamples = match vdt {
             Verdict::Yes => "0".to_string(),
@@ -105,7 +123,14 @@ fn e2_closure() {
         "criticality and product closure (Lemmas 3.2, 3.4)",
         "every k-critical instance is a member; products of members are members",
     );
-    let mut table = Table::new(&["family", "seed", "critical k<=4", "product pairs", "closed", "time"]);
+    let mut table = Table::new(&[
+        "family",
+        "seed",
+        "critical k<=4",
+        "product pairs",
+        "closed",
+        "time",
+    ]);
     for (family, label) in [
         (Family::Full, "full"),
         (Family::Linear, "linear"),
@@ -179,11 +204,20 @@ fn e4_ftgd_properties() {
         "1-critical, domain independent, n-modular, cap-closed, non-obliviously-duplication-closed",
     );
     let mut table = Table::new(&[
-        "seed", "1-critical", "dom-indep", "modular(n)", "cap-closed", "non-obl dup", "obl dup",
+        "seed",
+        "1-critical",
+        "dom-indep",
+        "modular(n)",
+        "cap-closed",
+        "non-obl dup",
+        "obl dup",
     ]);
     for seed in 0..4u64 {
         let set = generate_set(
-            &WorkloadParams { rules: 3, ..Default::default() },
+            &WorkloadParams {
+                rules: 3,
+                ..Default::default()
+            },
             Family::Full,
             seed,
         );
@@ -192,7 +226,11 @@ fn e4_ftgd_properties() {
             seed.to_string(),
             verdict_str(report.one_critical),
             verdict_str(report.domain_independent),
-            format!("{} (n={})", verdict_str(report.modular), report.modularity_n),
+            format!(
+                "{} (n={})",
+                verdict_str(report.modular),
+                report.modularity_n
+            ),
             verdict_str(report.intersection_closed),
             verdict_str(report.non_oblivious_dup_closed),
             verdict_str(report.oblivious_dup_closed),
@@ -210,7 +248,13 @@ fn e5_e6_separations() {
         "each gadget violates the refined locality at the stated (n,m); cross-checked by Algorithms 1/2",
     );
     let mut table = Table::new(&[
-        "separation", "gadget", "witness", "(n,m)", "locality violated", "rewrite agrees", "time",
+        "separation",
+        "gadget",
+        "witness",
+        "(n,m)",
+        "locality violated",
+        "rewrite agrees",
+        "time",
     ]);
     for sep in [linear_vs_guarded(), guarded_vs_frontier_guarded()] {
         let (violated, t1) = timed(|| verify(&sep));
@@ -237,7 +281,15 @@ fn e7_e8_rewriting() {
          2^(|S|n^ar)*2^(|S|(n+m)^ar) (guarded) bounds; cost grows with |S| and ar(S)",
     );
     let mut table = Table::new(&[
-        "algorithm", "input", "|S|", "ar", "(n,m)", "candidates", "paper bound", "outcome", "time",
+        "algorithm",
+        "input",
+        "|S|",
+        "ar",
+        "(n,m)",
+        "candidates",
+        "paper bound",
+        "outcome",
+        "time",
     ]);
     let opts = RewriteOptions {
         parallel: true,
@@ -257,7 +309,10 @@ fn e7_e8_rewriting() {
     let linear_inputs = [
         ("R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).", &opts),
         ("R(x), P(x) -> T(x).", &exhaustive),
-        ("G(x,y) -> exists z : G(y,z). G(x,y), G(x,x) -> T(x,y).", &opts),
+        (
+            "G(x,y) -> exists z : G(y,z). G(x,y), G(x,x) -> T(x,y).",
+            &opts,
+        ),
     ];
     for (text, run_opts) in linear_inputs {
         let (name, set) = named_set(text);
@@ -301,7 +356,13 @@ fn e7_e8_rewriting() {
     // Candidate-space growth vs the paper bound, by schema size and arity.
     println!("\ncandidate-space growth (enumerated, head/body budget 2 atoms, vs paper bound):");
     let mut growth = Table::new(&[
-        "|S|", "ar", "(n,m)", "linear cand.", "linear bound", "guarded cand.", "guarded bound",
+        "|S|",
+        "ar",
+        "(n,m)",
+        "linear cand.",
+        "linear bound",
+        "guarded cand.",
+        "guarded bound",
     ]);
     for preds in [1usize, 2, 3] {
         for arity in [1usize, 2] {
@@ -344,7 +405,14 @@ fn e9_reductions() {
         "Appendix F reductions (hardness of Thms 9.1/9.2)",
         "Sigma |= exists x Q(x) iff the constructed Sigma' is rewritable into the weaker class",
     );
-    let mut table = Table::new(&["reduction", "instance", "entailment", "rewrite outcome", "agrees", "time"]);
+    let mut table = Table::new(&[
+        "reduction",
+        "instance",
+        "entailment",
+        "rewrite outcome",
+        "agrees",
+        "time",
+    ]);
     let cases = [
         ("positive", "true -> exists u : P(u). P(x) -> Q(x).", true),
         ("negative", "P(x) -> Q(x).", false),
@@ -398,7 +466,14 @@ fn e10_synthesis() {
         "Theorem 4.1 constructive synthesis",
         "a TGD_{n,m} axiomatization is recoverable from the entailment oracle and is equivalent to the hidden set",
     );
-    let mut table = Table::new(&["hidden sigma", "(n,m)", "candidates", "synthesized", "equivalent", "time"]);
+    let mut table = Table::new(&[
+        "hidden sigma",
+        "(n,m)",
+        "candidates",
+        "synthesized",
+        "equivalent",
+        "time",
+    ]);
     let cases = [
         "P(x) -> Q(x).",
         "E(x,y) -> E(y,x).",
@@ -439,7 +514,14 @@ fn e11_chase_scaling() {
         "restricted chase cost across rule families and instance sizes; weak acyclicity certifies termination",
     );
     let mut table = Table::new(&[
-        "family", "rules", "instance size", "weakly acyclic", "chase facts", "rounds", "terminated", "time",
+        "family",
+        "rules",
+        "instance size",
+        "weakly acyclic",
+        "chase facts",
+        "rounds",
+        "terminated",
+        "time",
     ]);
     for (family, label, existentials) in [
         (Family::Full, "full", 0usize),
@@ -457,7 +539,12 @@ fn e11_chase_scaling() {
             let start = InstanceGen::new(set.schema().clone(), 5).generate(size, 0.15);
             let wa = is_weakly_acyclic(set.schema(), set.tgds());
             let (result, time) = timed(|| {
-                chase(&start, set.tgds(), ChaseVariant::Restricted, ChaseBudget::default())
+                chase(
+                    &start,
+                    set.tgds(),
+                    ChaseVariant::Restricted,
+                    ChaseBudget::default(),
+                )
             });
             table.row(&[
                 label.into(),
@@ -478,12 +565,18 @@ fn e11_chase_scaling() {
     let mut micro = Table::new(&["sigma rules", "avg time over 50 candidates"]);
     for rules in [2usize, 4, 8] {
         let set = generate_set(
-            &WorkloadParams { rules, ..Default::default() },
+            &WorkloadParams {
+                rules,
+                ..Default::default()
+            },
             Family::Full,
             23,
         );
         let candidates = generate_set(
-            &WorkloadParams { rules: 50, ..Default::default() },
+            &WorkloadParams {
+                rules: 50,
+                ..Default::default()
+            },
             Family::Full,
             29,
         );
@@ -511,7 +604,14 @@ fn e12_rewriting_at_scale() {
     );
     use tgdkit_chase::equivalent;
     use tgdkit_core::expressibility::union_closure_witness;
-    let mut table = Table::new(&["seed", "rules", "outcome", "union witness", "verified", "time"]);
+    let mut table = Table::new(&[
+        "seed",
+        "rules",
+        "outcome",
+        "union witness",
+        "verified",
+        "time",
+    ]);
     let params = WorkloadParams {
         predicates: 2,
         max_arity: 2,
@@ -561,7 +661,14 @@ fn e13_separating_edds() {
     );
     use tgdkit_chase::{entails_edd_under_tgds, satisfies_edd};
     use tgdkit_core::diagram::{separating_edd, DiagramOptions};
-    let mut table = Table::new(&["sigma", "non-member I", "separating edd", "I violates", "Σ entails", "time"]);
+    let mut table = Table::new(&[
+        "sigma",
+        "non-member I",
+        "separating edd",
+        "I violates",
+        "Σ entails",
+        "time",
+    ]);
     let cases = [
         ("E(x,y) -> E(y,x).", "E(a,b)", 2usize, 0usize),
         ("P(x) -> exists z : E(x,z).", "P(a)", 1, 1),
@@ -576,12 +683,8 @@ fn e13_separating_edds() {
         match edd {
             Some(edd) => {
                 let violated = !satisfies_edd(&i, &edd);
-                let entailed = entails_edd_under_tgds(
-                    set.schema(),
-                    set.tgds(),
-                    &edd,
-                    ChaseBudget::default(),
-                );
+                let entailed =
+                    entails_edd_under_tgds(set.schema(), set.tgds(), &edd, ChaseBudget::default());
                 table.row(&[
                     sigma_text.into(),
                     witness_text.into(),
@@ -634,7 +737,12 @@ fn e14_exhaustive_bounded() {
                 let _ = for_each_instance(set.schema(), k, &mut |i| {
                     checked += 1;
                     let embeddable = locally_embeddable(
-                        &set, i, n, m, LocalityFlavor::Plain, &LocalityOptions::default(),
+                        &set,
+                        i,
+                        n,
+                        m,
+                        LocalityFlavor::Plain,
+                        &LocalityOptions::default(),
                     );
                     let member = satisfies_tgds(i, set.tgds());
                     if embeddable == tgdkit_core::Verdict::Yes && !member {
@@ -664,7 +772,9 @@ fn e14_exhaustive_bounded() {
 fn main() {
     println!("# tgdkit experiment tables");
     println!("(reproduces the constructive artifacts of PODS 2021 \"Model-theoretic");
-    println!("Characterizations of Rule-based Ontologies\"; see DESIGN.md section 5 for the index)");
+    println!(
+        "Characterizations of Rule-based Ontologies\"; see DESIGN.md section 5 for the index)"
+    );
     let (_, total) = timed(|| {
         e1_locality();
         e2_closure();

@@ -126,14 +126,30 @@ mod tests {
         let probe = parse_tgd(&mut s, "E(x,y), E(y,z) -> T(x)").unwrap();
         let q = Cq::boolean(probe.body().to_vec());
         assert_eq!(
-            certainly_holds(&data, &sigma, &q, ChaseBudget { max_facts: 50, max_rounds: 8 }),
+            certainly_holds(
+                &data,
+                &sigma,
+                &q,
+                ChaseBudget {
+                    max_facts: 50,
+                    max_rounds: 8
+                }
+            ),
             Some(true)
         );
         // An unmatched query under a truncated chase is undetermined.
         let probe2 = parse_tgd(&mut s, "E(x,x) -> T(x)").unwrap();
         let q2 = Cq::boolean(probe2.body().to_vec());
         assert_eq!(
-            certainly_holds(&data, &sigma, &q2, ChaseBudget { max_facts: 50, max_rounds: 8 }),
+            certainly_holds(
+                &data,
+                &sigma,
+                &q2,
+                ChaseBudget {
+                    max_facts: 50,
+                    max_rounds: 8
+                }
+            ),
             None
         );
     }

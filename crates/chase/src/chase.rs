@@ -1,9 +1,13 @@
 //! The chase procedure (restricted and oblivious variants) with labeled
 //! nulls and explicit budgets.
 
+use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
-use tgdkit_hom::{for_each_hom, for_each_hom_indexed, Binding, Cq, InstanceIndex};
+use std::time::Instant;
+use tgdkit_hom::{
+    for_each_hom, for_each_hom_indexed, for_each_hom_seminaive, Binding, Cq, InstanceIndex,
+};
 use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::{Egd, Tgd};
 
@@ -109,6 +113,8 @@ pub struct ChaseResult {
     pub nulls: BTreeSet<Elem>,
     /// Number of rounds executed.
     pub rounds: usize,
+    /// Engine counters and phase timings for this run.
+    pub stats: ChaseStats,
 }
 
 impl ChaseResult {
@@ -144,7 +150,26 @@ pub fn chase(
     variant: ChaseVariant,
     budget: ChaseBudget,
 ) -> ChaseResult {
-    chase_impl(start, tgds, variant, budget, None)
+    chase_impl(start, tgds, variant, budget, TriggerSearch::Auto, None)
+}
+
+/// [`chase`] with an explicit [`TriggerSearch`] policy.
+///
+/// Chase output is *byte-identical* across policies: the trigger phase
+/// merges per-worker trigger sets into one ordered set before any firing,
+/// so serial and parallel runs fire the same triggers in the same order and
+/// invent identically-numbered nulls. Use [`TriggerSearch::Serial`] /
+/// [`TriggerSearch::Parallel`] to pin the policy (e.g. in determinism tests
+/// or benches); [`TriggerSearch::Auto`] parallelizes only when a round's
+/// estimated probe work amortizes thread spawn.
+pub fn chase_configured(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    search: TriggerSearch,
+) -> ChaseResult {
+    chase_impl(start, tgds, variant, budget, search, None)
 }
 
 /// [`chase`] with a derivation log: every fired trigger is recorded with
@@ -157,8 +182,131 @@ pub fn chase_with_provenance(
     budget: ChaseBudget,
 ) -> (ChaseResult, Provenance) {
     let mut provenance = Provenance::default();
-    let result = chase_impl(start, tgds, variant, budget, Some(&mut provenance));
+    let result = chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Auto,
+        Some(&mut provenance),
+    );
     (result, provenance)
+}
+
+/// A trigger: tgd index and the images of its universal variables.
+type Trigger = (usize, Vec<Elem>);
+
+/// Collects `tgd`'s triggers against `index` into `out` — a full body
+/// search on the first round (`delta` = `None`), semi-naive afterwards (a
+/// new trigger must use at least one fact added in the previous round;
+/// older triggers were found — and either fired or found satisfied, both
+/// monotone — in an earlier round).
+fn triggers_into(
+    ti: usize,
+    tgd: &Tgd,
+    index: &InstanceIndex,
+    delta: Option<&[Fact]>,
+    out: &mut BTreeSet<Trigger>,
+) {
+    let n = tgd.universal_count();
+    let fixed: Binding = vec![None; tgd.var_count()];
+    let mut visit = |binding: &Binding| {
+        let universal: Vec<Elem> = (0..n)
+            .map(|v| binding[v].expect("universal bound"))
+            .collect();
+        out.insert((ti, universal));
+        ControlFlow::Continue(())
+    };
+    match delta {
+        None => for_each_hom_indexed(tgd.body(), tgd.var_count(), index, &fixed, &mut visit),
+        Some(delta_facts) => for_each_hom_seminaive(
+            tgd.body(),
+            tgd.var_count(),
+            index,
+            delta_facts,
+            &fixed,
+            &mut visit,
+        ),
+    }
+}
+
+/// Below this many estimated index probes, thread spawn costs more than the
+/// round's whole trigger search.
+const PARALLEL_WORK_FLOOR: usize = 512;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One round's trigger set: every tgd's body matches against `index`.
+///
+/// With more than one worker the per-tgd searches run on scoped threads,
+/// each into a private set; the sets are merged into one `BTreeSet`, whose
+/// ordering is independent of merge order — so the firing phase (and hence
+/// the chase output, null numbering included) is byte-identical to a serial
+/// search.
+fn find_triggers(
+    tgds: &[Tgd],
+    index: &InstanceIndex,
+    delta: Option<&[Fact]>,
+    search: TriggerSearch,
+    stats: &mut ChaseStats,
+) -> BTreeSet<Trigger> {
+    let workers = match search {
+        TriggerSearch::Serial => 1,
+        TriggerSearch::Parallel(0) => worker_count(),
+        TriggerSearch::Parallel(n) => n,
+        TriggerSearch::Auto => {
+            let probe_work = match delta {
+                None => index.total_count(),
+                Some(delta_facts) => delta_facts.len().saturating_mul(tgds.len()),
+            };
+            if probe_work >= PARALLEL_WORK_FLOOR {
+                worker_count()
+            } else {
+                1
+            }
+        }
+    }
+    .min(tgds.len())
+    .max(1);
+
+    if workers <= 1 {
+        let mut out = BTreeSet::new();
+        for (ti, tgd) in tgds.iter().enumerate() {
+            triggers_into(ti, tgd, index, delta, &mut out);
+        }
+        return out;
+    }
+
+    stats.parallel_rounds += 1;
+    let chunk = tgds.len().div_ceil(workers);
+    let locals: Vec<BTreeSet<Trigger>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tgds
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, part)| {
+                scope.spawn(move || {
+                    let mut local = BTreeSet::new();
+                    for (j, tgd) in part.iter().enumerate() {
+                        triggers_into(ci * chunk + j, tgd, index, delta, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trigger search worker panicked"))
+            .collect()
+    });
+    let mut out = BTreeSet::new();
+    for local in locals {
+        out.extend(local);
+    }
+    out
 }
 
 fn chase_impl(
@@ -166,100 +314,49 @@ fn chase_impl(
     tgds: &[Tgd],
     variant: ChaseVariant,
     budget: ChaseBudget,
+    search: TriggerSearch,
     mut log: Option<&mut Provenance>,
 ) -> ChaseResult {
+    let run_started = Instant::now();
+    let mut stats = ChaseStats::default();
     let mut instance = start.clone();
     let mut nulls: BTreeSet<Elem> = BTreeSet::new();
     let mut next_null = instance.fresh_elem().0;
     // For the oblivious chase: triggers already fired, per tgd.
     let mut fired: Vec<BTreeSet<Vec<Elem>>> = vec![BTreeSet::new(); tgds.len()];
-    let head_cqs: Vec<Cq> = tgds.iter().map(|t| Cq::boolean(t.head().to_vec())).collect();
+    let head_cqs: Vec<Cq> = tgds
+        .iter()
+        .map(|t| Cq::boolean(t.head().to_vec()))
+        .collect();
     // Facts added in the previous round (None = first round: full search).
     let mut delta: Option<Vec<Fact>> = None;
 
+    // ONE index lives across the whole run: built here, then grown with
+    // O(|Δ|) `extend` calls as triggers fire, instead of the former O(|I|)
+    // rebuild per round (quadratic over a run). At every head check and at
+    // every round start the index covers exactly the current instance.
+    let mut index = InstanceIndex::new(&instance);
+    stats.index_rebuilds += 1;
+
     let mut rounds = 0usize;
-    loop {
+    let outcome = 'run: loop {
         if rounds >= budget.max_rounds {
-            return ChaseResult {
-                instance,
-                outcome: ChaseOutcome::BudgetExceeded,
-                nulls,
-                rounds,
-            };
+            break 'run ChaseOutcome::BudgetExceeded;
         }
         rounds += 1;
 
         // Snapshot this round's triggers against the instance as of the
-        // start of the round (fair, breadth-first scheduling). The index is
-        // built once per round for trigger search, and refreshed lazily for
-        // the restricted-variant head checks as the instance grows.
-        //
-        // Trigger search is semi-naive: from the second round on, a new
-        // trigger must use at least one fact added in the previous round
-        // (anchoring each body atom at the delta in turn; duplicates are
-        // removed by the trigger set). Older triggers were found — and
-        // either fired or found satisfied, both monotone — in an earlier
-        // round.
-        let round_index = InstanceIndex::new(&instance);
-        let mut triggers: BTreeSet<(usize, Vec<Elem>)> = BTreeSet::new();
-        for (ti, tgd) in tgds.iter().enumerate() {
-            let n = tgd.universal_count();
-            match &delta {
-                None => {
-                    let fixed: Binding = vec![None; tgd.var_count()];
-                    for_each_hom_indexed(tgd.body(), n, &round_index, &fixed, &mut |binding| {
-                        let universal: Vec<Elem> = (0..n)
-                            .map(|v| binding[v].expect("universal bound"))
-                            .collect();
-                        triggers.insert((ti, universal));
-                        ControlFlow::Continue(())
-                    });
-                }
-                Some(delta_facts) => {
-                    for (anchor, atom) in tgd.body().iter().enumerate() {
-                        for fact in delta_facts {
-                            if fact.pred != atom.pred {
-                                continue;
-                            }
-                            // Bind the anchor atom to the delta fact.
-                            let mut fixed: Binding = vec![None; tgd.var_count()];
-                            let mut ok = true;
-                            for (&v, &e) in atom.args.iter().zip(&fact.args) {
-                                match fixed[v.index()] {
-                                    Some(prev) if prev != e => {
-                                        ok = false;
-                                        break;
-                                    }
-                                    _ => fixed[v.index()] = Some(e),
-                                }
-                            }
-                            if !ok {
-                                continue;
-                            }
-                            let rest: Vec<_> = tgd
-                                .body()
-                                .iter()
-                                .enumerate()
-                                .filter(|&(i, _)| i != anchor)
-                                .map(|(_, a)| a.clone())
-                                .collect();
-                            for_each_hom_indexed(&rest, n, &round_index, &fixed, &mut |binding| {
-                                let universal: Vec<Elem> = (0..n)
-                                    .map(|v| binding[v].expect("universal bound"))
-                                    .collect();
-                                triggers.insert((ti, universal));
-                                ControlFlow::Continue(())
-                            });
-                        }
-                    }
-                }
-            }
-        }
+        // start of the round (fair, breadth-first scheduling).
+        let search_started = Instant::now();
+        let triggers = find_triggers(tgds, &index, delta.as_deref(), search, &mut stats);
+        stats.trigger_search_time += search_started.elapsed();
+        stats.triggers_found += triggers.len();
 
+        let apply_started = Instant::now();
         let mut added_this_round: Vec<Fact> = Vec::new();
+        // Prefix of `added_this_round` already folded into the index.
+        let mut folded = 0usize;
         let mut fired_this_round = false;
-        let mut check_index = round_index;
-        let mut index_dirty = false;
         for (ti, universal) in triggers {
             let tgd = &tgds[ti];
             if tgd.is_full() {
@@ -268,8 +365,7 @@ fn chase_impl(
                 let mut changed = false;
                 let mut step_added: Vec<Fact> = Vec::new();
                 for atom in tgd.head() {
-                    let args: Vec<Elem> =
-                        atom.args.iter().map(|v| universal[v.index()]).collect();
+                    let args: Vec<Elem> = atom.args.iter().map(|v| universal[v.index()]).collect();
                     if instance.add_fact(atom.pred, args.clone()) {
                         let fact = Fact::new(atom.pred, args);
                         added_this_round.push(fact.clone());
@@ -287,30 +383,30 @@ fn chase_impl(
                         });
                     }
                     fired_this_round = true;
-                    index_dirty = true;
+                    stats.triggers_fired += 1;
                     if instance.fact_count() > budget.max_facts {
-                        return ChaseResult {
-                            instance,
-                            outcome: ChaseOutcome::BudgetExceeded,
-                            nulls,
-                            rounds,
-                        };
+                        stats.apply_time += apply_started.elapsed();
+                        break 'run ChaseOutcome::BudgetExceeded;
                     }
                 }
                 continue;
             }
             match variant {
                 ChaseVariant::Restricted => {
-                    // Re-check satisfaction against the *current* instance.
-                    if index_dirty {
-                        check_index = InstanceIndex::new(&instance);
-                        index_dirty = false;
+                    // Re-check satisfaction against the *current* instance:
+                    // fold any facts added since the last check into the
+                    // live index (amortized O(|Δ|), replacing the former
+                    // full rebuild whenever the instance had grown).
+                    if folded < added_this_round.len() {
+                        index.extend(&added_this_round[folded..]);
+                        stats.index_extends += 1;
+                        folded = added_this_round.len();
                     }
                     let mut head_fixed: Binding = vec![None; tgd.var_count()];
                     for (v, &e) in universal.iter().enumerate() {
                         head_fixed[v] = Some(e);
                     }
-                    if head_cqs[ti].holds_with_indexed(&check_index, &head_fixed) {
+                    if head_cqs[ti].holds_with_indexed(&index, &head_fixed) {
                         continue;
                     }
                 }
@@ -321,7 +417,6 @@ fn chase_impl(
                 }
             }
             // Fire: fresh nulls for the existential variables.
-            let n = tgd.universal_count();
             let mut assignment: Vec<Elem> = Vec::with_capacity(tgd.var_count());
             assignment.extend(universal.iter().copied());
             let mut witnesses: Vec<Elem> = Vec::new();
@@ -350,27 +445,35 @@ fn chase_impl(
                 });
             }
             fired_this_round = true;
-            index_dirty = true;
-            let _ = n;
+            stats.triggers_fired += 1;
             if instance.fact_count() > budget.max_facts {
-                return ChaseResult {
-                    instance,
-                    outcome: ChaseOutcome::BudgetExceeded,
-                    nulls,
-                    rounds,
-                };
+                stats.apply_time += apply_started.elapsed();
+                break 'run ChaseOutcome::BudgetExceeded;
             }
         }
 
         if !fired_this_round {
-            return ChaseResult {
-                instance,
-                outcome: ChaseOutcome::Terminated,
-                nulls,
-                rounds,
-            };
+            stats.apply_time += apply_started.elapsed();
+            break 'run ChaseOutcome::Terminated;
         }
+        // Fold the round's tail so the next round's search sees I ∪ Δ.
+        if folded < added_this_round.len() {
+            index.extend(&added_this_round[folded..]);
+            stats.index_extends += 1;
+        }
+        stats.facts_added += added_this_round.len();
+        stats.apply_time += apply_started.elapsed();
         delta = Some(added_this_round);
+    };
+
+    stats.rounds = rounds;
+    stats.total_time = run_started.elapsed();
+    ChaseResult {
+        instance,
+        outcome,
+        nulls,
+        rounds,
+        stats,
     }
 }
 
@@ -383,11 +486,7 @@ fn chase_impl(
 /// the locality checks are hom-equivalent to core-chase results). Core
 /// minimization is exponential in the worst case — reserve for small
 /// results.
-pub fn core_chase(
-    start: &Instance,
-    tgds: &[Tgd],
-    budget: ChaseBudget,
-) -> ChaseResult {
+pub fn core_chase(start: &Instance, tgds: &[Tgd], budget: ChaseBudget) -> ChaseResult {
     let result = chase(start, tgds, ChaseVariant::Restricted, budget);
     if !result.terminated() {
         return result;
@@ -405,6 +504,7 @@ pub fn core_chase(
         outcome: result.outcome,
         nulls,
         rounds: result.rounds,
+        stats: result.stats,
     }
 }
 
@@ -441,10 +541,12 @@ pub fn chase_with_egds(
     let mut current = start.clone();
     let mut all_nulls: BTreeSet<Elem> = BTreeSet::new();
     let mut rounds_total = 0usize;
+    let mut stats_total = ChaseStats::default();
     loop {
         let mut result = chase(&current, tgds, variant, budget);
         all_nulls.extend(result.nulls.iter().copied());
         rounds_total += result.rounds;
+        stats_total.absorb(&result.stats);
         // Apply egds to a fixpoint.
         let mut merged_any = false;
         'egds: loop {
@@ -455,9 +557,10 @@ pub fn chase_with_egds(
                         (true, false) => (b, a),
                         (false, false) => return Err(EgdFailure { elements: (a, b) }),
                     };
-                    result.instance = result
-                        .instance
-                        .map_elements(|e| if e == drop { keep } else { e });
+                    result.instance =
+                        result
+                            .instance
+                            .map_elements(|e| if e == drop { keep } else { e });
                     all_nulls.remove(&drop);
                     merged_any = true;
                     continue 'egds;
@@ -471,6 +574,7 @@ pub fn chase_with_egds(
                 outcome: result.outcome,
                 nulls: all_nulls,
                 rounds: rounds_total,
+                stats: stats_total,
             });
         }
         if result.outcome == ChaseOutcome::BudgetExceeded || rounds_total >= budget.max_rounds {
@@ -479,6 +583,7 @@ pub fn chase_with_egds(
                 outcome: ChaseOutcome::BudgetExceeded,
                 nulls: all_nulls,
                 rounds: rounds_total,
+                stats: stats_total,
             });
         }
         // Merging may enable new tgd triggers: chase again.
@@ -519,7 +624,12 @@ mod tests {
         for i in 0..6u32 {
             path.add_fact(e, vec![Elem(i), Elem(i + 1)]);
         }
-        let result = chase(&path, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &path,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
         assert!(result.nulls.is_empty());
         // Transitive closure of a 6-edge path: 7*6/2 pairs.
@@ -532,7 +642,12 @@ mod tests {
         let mut s = Schema::default();
         let tgds = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
         let start = parse_instance(&mut s, "P(a)").unwrap();
-        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
         assert_eq!(result.nulls.len(), 1);
         assert_eq!(result.instance.fact_count(), 2);
@@ -545,7 +660,12 @@ mod tests {
         // firing.
         let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z).").unwrap();
         let cycle = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
-        let result = chase(&cycle, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &cycle,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
         assert_eq!(result.instance.fact_count(), 2);
         assert!(result.nulls.is_empty());
@@ -573,7 +693,10 @@ mod tests {
             &start,
             &tgds,
             ChaseVariant::Restricted,
-            ChaseBudget { max_facts: 500, max_rounds: 1_000 },
+            ChaseBudget {
+                max_facts: 500,
+                max_rounds: 1_000,
+            },
         );
         assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
     }
@@ -583,7 +706,12 @@ mod tests {
         let mut s = Schema::default();
         let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
         let start = parse_instance(&mut s, "E(a,b)").unwrap();
-        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(start.is_contained_in(&result.instance));
         assert_eq!(result.instance.fact_count(), 2);
     }
@@ -593,7 +721,12 @@ mod tests {
         let mut s = Schema::default();
         let tgds = parse_tgds(&mut s, "true -> exists x : P(x).").unwrap();
         let start = parse_instance(&mut s, "").unwrap();
-        let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
         assert_eq!(result.instance.fact_count(), 1);
         // Already satisfied: no second null.
@@ -615,8 +748,12 @@ mod tests {
         )
         .unwrap();
         let start = parse_instance(&mut s, "E(a,b), E(b,c), P(c)").unwrap();
-        let (result, provenance) =
-            chase_with_provenance(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let (result, provenance) = chase_with_provenance(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
         // Every derived fact has an explanation; input facts have none.
         for fact in result.instance.facts() {
@@ -648,9 +785,18 @@ mod tests {
         let mut s = Schema::default();
         let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
         let start = parse_instance(&mut s, "E(a,b), E(c,d)").unwrap();
-        let plain = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
-        let (logged, provenance) =
-            chase_with_provenance(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let plain = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        let (logged, provenance) = chase_with_provenance(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert_eq!(plain.instance, logged.instance);
         assert_eq!(provenance.steps.len(), 2);
     }
@@ -667,7 +813,12 @@ mod tests {
         )
         .unwrap();
         let start = parse_instance(&mut s, "P(a), Q(a)").unwrap();
-        let plain = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+        let plain = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         let cored = core_chase(&start, &tgds, ChaseBudget::default());
         assert!(cored.terminated());
         // Both rules share one witness after minimization.

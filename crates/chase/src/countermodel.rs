@@ -178,7 +178,11 @@ pub fn refute_by_countermodel(
     let frozen = freeze_body(schema, candidate);
     let head_cq = Cq::boolean(candidate.head().to_vec());
     let mut fixed: Binding = vec![None; candidate.var_count()];
-    for (v, slot) in fixed.iter_mut().enumerate().take(candidate.universal_count()) {
+    for (v, slot) in fixed
+        .iter_mut()
+        .enumerate()
+        .take(candidate.universal_count())
+    {
         *slot = Some(Elem(v as u32));
     }
     match search(sigma, &frozen, &head_cq, &fixed, budget) {
@@ -190,16 +194,18 @@ pub fn refute_by_countermodel(
 /// Searches for any finite model of `sigma` containing `base` within the
 /// budget (no forbidden query) — a small finite-model finder, useful on its
 /// own for satisfiability-style probing.
-pub fn finite_model(
-    sigma: &[Tgd],
-    base: &Instance,
-    budget: &SearchBudget,
-) -> Option<Instance> {
+pub fn finite_model(sigma: &[Tgd], base: &Instance, budget: &SearchBudget) -> Option<Instance> {
     let mut states_left = budget.max_states;
     let mut visited: BTreeSet<Vec<Fact>> = BTreeSet::new();
     let first_fresh = base.fresh_elem().0;
     let max_elem = first_fresh + budget.max_extra_elems as u32;
-    dfs_unforbidden(sigma, base.clone(), max_elem, &mut states_left, &mut visited)
+    dfs_unforbidden(
+        sigma,
+        base.clone(),
+        max_elem,
+        &mut states_left,
+        &mut visited,
+    )
 }
 
 fn dfs_unforbidden(
@@ -282,7 +288,15 @@ mod tests {
         let candidate = parse_tgd(&mut s, "E(x,y) -> P(x)").unwrap();
         // The chase is Unknown here (divergence)...
         assert_eq!(
-            entails(&s, &sigma, &candidate, ChaseBudget { max_facts: 200, max_rounds: 20 }),
+            entails(
+                &s,
+                &sigma,
+                &candidate,
+                ChaseBudget {
+                    max_facts: 200,
+                    max_rounds: 20
+                }
+            ),
             Entailment::Unknown
         );
         // ... but a tiny loop model refutes.
@@ -331,7 +345,10 @@ mod tests {
         )
         .unwrap();
         let base = parse_instance(&mut s, "P(a)").unwrap();
-        let tight = SearchBudget { max_extra_elems: 0, max_states: 10_000 };
+        let tight = SearchBudget {
+            max_extra_elems: 0,
+            max_states: 10_000,
+        };
         // With no fresh elements allowed, witnesses must reuse `a`.
         let model = finite_model(&sigma, &base, &tight).expect("reuse-only model");
         assert_eq!(model.dom().len(), 1);

@@ -3,6 +3,7 @@
 //! conjunctive query answering).
 
 use crate::chase::{chase, ChaseBudget, ChaseOutcome, ChaseVariant};
+use crate::stats::ChaseStats;
 use tgdkit_hom::{Binding, Cq};
 use tgdkit_instance::{Elem, Instance};
 use tgdkit_logic::{Edd, EddDisjunct, Egd, Schema, Tgd};
@@ -76,20 +77,36 @@ pub fn freeze_body(schema: &Schema, tgd: &Tgd) -> Instance {
 /// assert_eq!(entails(&schema, &sigma, &wrong, ChaseBudget::default()), Entailment::Disproved);
 /// ```
 pub fn entails(schema: &Schema, sigma: &[Tgd], candidate: &Tgd, budget: ChaseBudget) -> Entailment {
+    entails_with_stats(schema, sigma, candidate, budget).0
+}
+
+/// As [`entails`], additionally reporting the inner chase's [`ChaseStats`]
+/// (so callers sweeping many candidates can aggregate engine work).
+pub fn entails_with_stats(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: ChaseBudget,
+) -> (Entailment, ChaseStats) {
     let frozen = freeze_body(schema, candidate);
     let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
     let head_cq = Cq::boolean(candidate.head().to_vec());
     let mut fixed: Binding = vec![None; candidate.var_count()];
-    for (v, slot) in fixed.iter_mut().enumerate().take(candidate.universal_count()) {
+    for (v, slot) in fixed
+        .iter_mut()
+        .enumerate()
+        .take(candidate.universal_count())
+    {
         *slot = Some(Elem(v as u32));
     }
-    if head_cq.holds_with(&result.instance, &fixed) {
+    let verdict = if head_cq.holds_with(&result.instance, &fixed) {
         Entailment::Proved
     } else if result.outcome == ChaseOutcome::Terminated {
         Entailment::Disproved
     } else {
         Entailment::Unknown
-    }
+    };
+    (verdict, result.stats)
 }
 
 /// Decides `Σ ⊨ ε` for an egd under a set of *tgds*: a chase with tgds never
@@ -252,11 +269,7 @@ mod tests {
     #[test]
     fn existential_entailment() {
         let mut s = Schema::default();
-        let sigma = parse_tgds(
-            &mut s,
-            "P(x) -> exists z : E(x,z). E(x,y) -> Q(y).",
-        )
-        .unwrap();
+        let sigma = parse_tgds(&mut s, "P(x) -> exists z : E(x,z). E(x,y) -> Q(y).").unwrap();
         let derived = parse_tgd(&mut s, "P(x) -> exists w : E(x,w), Q(w)").unwrap();
         assert_eq!(
             entails(&s, &sigma, &derived, ChaseBudget::default()),
@@ -299,7 +312,10 @@ mod tests {
             &s,
             &sigma,
             &candidate,
-            ChaseBudget { max_facts: 200, max_rounds: 50 },
+            ChaseBudget {
+                max_facts: 200,
+                max_rounds: 50,
+            },
         );
         assert_eq!(verdict, Entailment::Unknown);
     }
@@ -328,7 +344,10 @@ mod tests {
         let a = parse_tgds(&mut s, "E(x,y) -> E(y,x). E(x,y), E(y,z) -> E(x,z).").unwrap();
         // Same theory, transitivity stated through the symmetric flip.
         let b = parse_tgds(&mut s, "E(x,y) -> E(y,x). E(y,x), E(y,z) -> E(x,z).").unwrap();
-        assert_eq!(equivalent(&s, &a, &b, ChaseBudget::default()), Entailment::Proved);
+        assert_eq!(
+            equivalent(&s, &a, &b, ChaseBudget::default()),
+            Entailment::Proved
+        );
         let c = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
         assert_eq!(
             equivalent(&s, &a, &c, ChaseBudget::default()),
@@ -340,7 +359,10 @@ mod tests {
     fn empty_sigma_entails_only_tautologies() {
         let mut s = Schema::default();
         let taut = parse_tgd(&mut s, "E(x,y) -> E(x,y)").unwrap();
-        assert_eq!(entails(&s, &[], &taut, ChaseBudget::default()), Entailment::Proved);
+        assert_eq!(
+            entails(&s, &[], &taut, ChaseBudget::default()),
+            Entailment::Proved
+        );
         let nontaut = parse_tgd(&mut s, "E(x,y) -> E(y,x)").unwrap();
         assert_eq!(
             entails(&s, &[], &nontaut, ChaseBudget::default()),

@@ -24,19 +24,30 @@
 //! non-entailment) — otherwise `Unknown`.
 
 pub mod certain;
-pub mod countermodel;
 pub mod chase;
+pub mod countermodel;
 pub mod entail;
 pub mod linear;
 pub mod satisfy;
+pub mod stats;
 pub mod termination;
 pub mod universal;
 
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
-pub use chase::{chase, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome, ChaseResult, ChaseVariant, DerivationStep, Provenance};
+pub use chase::{
+    chase, chase_configured, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,
+    ChaseResult, ChaseVariant, DerivationStep, Provenance,
+};
 pub use countermodel::{finite_model, refute_by_countermodel, SearchBudget};
-pub use entail::{entails, entails_all, entails_auto, entails_edd_under_tgds, equivalent, Entailment};
-pub use linear::{certainly_holds_by_rewriting, entails_linear};
+pub use entail::{
+    entails, entails_all, entails_auto, entails_edd_under_tgds, entails_with_stats, equivalent,
+    Entailment,
+};
+pub use linear::{
+    certainly_holds_by_rewriting, certainly_holds_by_rewriting_with_stats, entails_linear,
+    entails_linear_with_stats,
+};
 pub use satisfy::{satisfies_edd, satisfies_egd, satisfies_tgd, satisfies_tgds, violation};
+pub use stats::{ChaseStats, TriggerSearch};
 pub use termination::{is_weakly_acyclic, PositionGraph};
 pub use universal::universal_hom_into;

@@ -21,8 +21,10 @@
 //! candidate sizes of Algorithms 1–2).
 
 use crate::entail::Entailment;
+use crate::stats::ChaseStats;
 use std::collections::BTreeSet;
-use tgdkit_hom::{find_hom, Binding};
+use std::time::Instant;
+use tgdkit_hom::{find_hom_indexed, Binding, InstanceIndex};
 use tgdkit_instance::{Elem, Instance};
 use tgdkit_logic::{Atom, PredId, Schema, Tgd, Var};
 
@@ -93,9 +95,11 @@ impl Query {
             .unwrap_or(0)
     }
 
-    /// Evaluates the query over an instance, treating constants as
-    /// themselves.
-    fn holds_in(&self, instance: &Instance) -> bool {
+    /// Evaluates the query over an indexed instance, treating constants as
+    /// themselves. Taking the index (rather than the instance) lets the
+    /// saturation loop probe thousands of rewritings against one shared
+    /// index instead of rebuilding it per query.
+    fn holds_in(&self, index: &InstanceIndex) -> bool {
         // Convert to a Var-conjunction: constants become pinned variables.
         let num_qvars = self.max_qvar();
         let mut consts: Vec<u32> = Vec::new();
@@ -123,7 +127,7 @@ impl Query {
         for (i, &c) in consts.iter().enumerate() {
             fixed[num_qvars as usize + i] = Some(Elem(c));
         }
-        find_hom(&atoms, total, instance, &fixed).is_some()
+        find_hom_indexed(&atoms, total, index, &fixed).is_some()
     }
 }
 
@@ -308,10 +312,7 @@ fn rewrite_step(
         if piece_set.contains(&i) {
             continue;
         }
-        atoms.push((
-            *pred,
-            args.iter().map(|&t| subst_term(t, &reprs)).collect(),
-        ));
+        atoms.push((*pred, args.iter().map(|&t| subst_term(t, &reprs)).collect()));
     }
     // A single body variable can occur several times; memoize its fresh
     // assignment across positions by pre-binding all body vars.
@@ -423,6 +424,17 @@ pub fn entails_linear(
     candidate: &Tgd,
     max_queries: usize,
 ) -> Entailment {
+    entails_linear_with_stats(schema, sigma, candidate, max_queries).0
+}
+
+/// As [`entails_linear`], additionally reporting saturation statistics (see
+/// [`saturate`] for how the chase vocabulary maps onto rewriting).
+pub fn entails_linear_with_stats(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    max_queries: usize,
+) -> (Entailment, ChaseStats) {
     assert!(
         sigma.iter().all(Tgd::is_linear),
         "entails_linear requires linear tgds"
@@ -458,44 +470,69 @@ pub fn entails_linear(
     }
     .canonical();
 
-    match saturate(sigma, initial, &frozen, max_queries) {
+    let mut stats = ChaseStats::default();
+    let verdict = match saturate(sigma, initial, &frozen, max_queries, &mut stats) {
         Some(true) => Entailment::Proved,
         Some(false) => Entailment::Disproved,
         None => Entailment::Unknown,
-    }
+    };
+    (verdict, stats)
 }
 
 /// Saturates the rewriting set of `initial` under `sigma`, testing each
 /// query against `database` as it is generated. `Some(true)` on the first
 /// match, `Some(false)` when the saturation completed without one, `None`
 /// when the cap was hit first.
+///
+/// The database is indexed **once** up front; every generated rewriting is
+/// then probed against the shared index. Stats reuse the chase vocabulary:
+/// a "round" is one query popped off the frontier, a "trigger found" is one
+/// rewriting generated, a "trigger fired" is one *new* (not seen before)
+/// rewriting admitted to the frontier; probe time lands in
+/// `trigger_search_time` and rewriting time in `apply_time`.
 fn saturate(
     sigma: &[Tgd],
     initial: Query,
     database: &Instance,
     max_queries: usize,
+    stats: &mut ChaseStats,
 ) -> Option<bool> {
+    let run_started = Instant::now();
+    let index = InstanceIndex::new(database);
+    stats.index_rebuilds += 1;
     let mut seen: BTreeSet<Query> = BTreeSet::new();
     let mut frontier: Vec<Query> = vec![initial.clone()];
     seen.insert(initial);
-    while let Some(query) = frontier.pop() {
-        if query.holds_in(database) {
-            return Some(true);
+    let outcome = 'run: loop {
+        let Some(query) = frontier.pop() else {
+            break 'run Some(false);
+        };
+        stats.rounds += 1;
+        let probe_started = Instant::now();
+        let matched = query.holds_in(&index);
+        stats.trigger_search_time += probe_started.elapsed();
+        if matched {
+            break 'run Some(true);
         }
         if seen.len() > max_queries {
-            return None;
+            break 'run None;
         }
+        let rewrite_started = Instant::now();
         let mut new_queries = Vec::new();
         for rule in sigma {
             rewritings_into(&query, rule, &mut new_queries);
         }
+        stats.triggers_found += new_queries.len();
         for q in new_queries {
             if seen.insert(q.clone()) {
+                stats.triggers_fired += 1;
                 frontier.push(q);
             }
         }
-    }
-    Some(false)
+        stats.apply_time += rewrite_started.elapsed();
+    };
+    stats.total_time += run_started.elapsed();
+    outcome
 }
 
 /// Decides Boolean certain answering under **linear** tgds by first-order
@@ -526,6 +563,17 @@ pub fn certainly_holds_by_rewriting(
     query: &tgdkit_hom::Cq,
     max_queries: usize,
 ) -> Option<bool> {
+    certainly_holds_by_rewriting_with_stats(data, sigma, query, max_queries).0
+}
+
+/// As [`certainly_holds_by_rewriting`], additionally reporting saturation
+/// statistics.
+pub fn certainly_holds_by_rewriting_with_stats(
+    data: &Instance,
+    sigma: &[Tgd],
+    query: &tgdkit_hom::Cq,
+    max_queries: usize,
+) -> (Option<bool>, ChaseStats) {
     assert!(
         sigma.iter().all(Tgd::is_linear),
         "rewriting-based certain answering requires linear tgds"
@@ -543,7 +591,9 @@ pub fn certainly_holds_by_rewriting(
             .collect(),
     }
     .canonical();
-    saturate(sigma, initial, data, max_queries)
+    let mut stats = ChaseStats::default();
+    let verdict = saturate(sigma, initial, data, max_queries, &mut stats);
+    (verdict, stats)
 }
 
 #[cfg(test)]
@@ -575,9 +625,15 @@ mod tests {
             ("P(x) -> Q(x).", "Q(x) -> P(x)"),
             ("E(x,y) -> E(y,x).", "E(x,y) -> E(y,x)"),
             ("E(x,y) -> E(y,x).", "E(x,y) -> E(x,x)"),
-            ("P(x) -> exists z : E(x,z). E(x,y) -> Q(y).", "P(x) -> exists w : E(x,w), Q(w)"),
+            (
+                "P(x) -> exists z : E(x,z). E(x,y) -> Q(y).",
+                "P(x) -> exists w : E(x,w), Q(w)",
+            ),
             ("P(x) -> exists z : E(x,z).", "P(x) -> E(x,x)"),
-            ("true -> exists x : P(x). P(x) -> Q(x).", "true -> exists x : Q(x)"),
+            (
+                "true -> exists x : P(x). P(x) -> Q(x).",
+                "true -> exists x : Q(x)",
+            ),
         ];
         for (sigma, candidate) in cases {
             check_against_chase(sigma, candidate);
@@ -594,16 +650,28 @@ mod tests {
             "E(x,y) -> exists z, w, u : E(y,z), E(z,w), E(w,u)",
         )
         .unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &three, 100_000), Entailment::Proved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &three, 100_000),
+            Entailment::Proved
+        );
         // E(x,y) -> exists z : E(z,y) is trivially entailed (z = x) ...
         let into_y = parse_tgd(&mut schema, "E(x,y) -> exists z : E(z,y)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &into_y, 100_000), Entailment::Proved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &into_y, 100_000),
+            Entailment::Proved
+        );
         // ... but nothing flows backwards into x.
         let back = parse_tgd(&mut schema, "E(x,y) -> exists z : E(z,x)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &back, 100_000), Entailment::Disproved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &back, 100_000),
+            Entailment::Disproved
+        );
         // And nothing forces a loop.
         let looped = parse_tgd(&mut schema, "E(x,y) -> exists z : E(z,z)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &looped, 100_000), Entailment::Disproved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &looped, 100_000),
+            Entailment::Disproved
+        );
     }
 
     #[test]
@@ -613,10 +681,16 @@ mod tests {
         // shared pattern must rewrite as one piece.
         let sigma = parse_tgds(&mut schema, "P(x) -> exists z : R(x,z), S(x,z).").unwrap();
         let shared = parse_tgd(&mut schema, "P(x) -> exists w : R(x,w), S(x,w)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &shared, 100_000), Entailment::Proved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &shared, 100_000),
+            Entailment::Proved
+        );
         // Distinct witnesses are also entailed (weaker) ...
         let split = parse_tgd(&mut schema, "P(x) -> exists w, u : R(x,w), S(x,u)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &split, 100_000), Entailment::Proved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &split, 100_000),
+            Entailment::Proved
+        );
         // ... but a *joined-the-other-way* pattern is not.
         let crossed = parse_tgd(&mut schema, "P(x) -> exists w : R(x,w), S(w,x)").unwrap();
         assert_eq!(
@@ -633,7 +707,10 @@ mod tests {
         // head, so entailment fails.
         let sigma = parse_tgds(&mut schema, "P(x) -> exists z : R(x,z).").unwrap();
         let q = parse_tgd(&mut schema, "P(x) -> exists w : R(x,w), S(w,x)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &q, 100_000), Entailment::Disproved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &q, 100_000),
+            Entailment::Disproved
+        );
     }
 
     #[test]
@@ -642,7 +719,10 @@ mod tests {
         // The frontier constant x cannot be the existential witness.
         let sigma = parse_tgds(&mut schema, "P(x) -> exists z : E(x,z).").unwrap();
         let q = parse_tgd(&mut schema, "P(x) -> E(x,x)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &q, 100_000), Entailment::Disproved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &q, 100_000),
+            Entailment::Disproved
+        );
     }
 
     #[test]
@@ -654,7 +734,10 @@ mod tests {
         )
         .unwrap();
         let q = parse_tgd(&mut schema, "true -> exists x, z : P(x), E(x,z)").unwrap();
-        assert_eq!(entails_linear(&schema, &sigma, &q, 100_000), Entailment::Proved);
+        assert_eq!(
+            entails_linear(&schema, &sigma, &q, 100_000),
+            Entailment::Proved
+        );
     }
 
     #[test]
@@ -697,18 +780,24 @@ mod tests {
         // Any forward path is certain; a backward edge into a is not.
         let forward = parse_tgd(&mut schema, "E(u,v), E(v,w) -> T(u)").unwrap();
         let q1 = Cq::boolean(forward.body().to_vec());
-        assert_eq!(certainly_holds_by_rewriting(&data, &sigma, &q1, 100_000), Some(true));
+        assert_eq!(
+            certainly_holds_by_rewriting(&data, &sigma, &q1, 100_000),
+            Some(true)
+        );
         let self_loop = parse_tgd(&mut schema, "E(u,u) -> T(u)").unwrap();
         let q2 = Cq::boolean(self_loop.body().to_vec());
-        assert_eq!(certainly_holds_by_rewriting(&data, &sigma, &q2, 100_000), Some(false));
+        assert_eq!(
+            certainly_holds_by_rewriting(&data, &sigma, &q2, 100_000),
+            Some(false)
+        );
     }
 
     #[test]
     fn randomized_agreement_with_chase() {
         use tgdkit_instance::InstanceGen;
         let _ = InstanceGen::new(Schema::default(), 0); // keep dep used
-        // Cross-validate on generated linear sets where the chase
-        // terminates.
+                                                        // Cross-validate on generated linear sets where the chase
+                                                        // terminates.
         for seed in 0..40u64 {
             let mut schema = Schema::default();
             let sigma = parse_tgds(

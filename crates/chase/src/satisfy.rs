@@ -102,7 +102,9 @@ pub fn satisfies_edd(instance: &Instance, edd: &Edd) -> bool {
             EddDisjunct::Exists(_) => {
                 let mut head_fixed: Binding = vec![None; max_vars];
                 head_fixed[..n].copy_from_slice(&binding[..n]);
-                cq.as_ref().expect("exists disjunct has a CQ").holds_with(instance, &head_fixed)
+                cq.as_ref()
+                    .expect("exists disjunct has a CQ")
+                    .holds_with(instance, &head_fixed)
             }
         });
         if satisfied {
@@ -175,8 +177,7 @@ mod tests {
     #[test]
     fn edd_satisfaction_picks_any_disjunct() {
         let mut s = Schema::default();
-        let deps =
-            parse_dependencies(&mut s, "R(x,y) -> x = y | exists z : R(y,z).").unwrap();
+        let deps = parse_dependencies(&mut s, "R(x,y) -> x = y | exists z : R(y,z).").unwrap();
         let edd = match &deps[0] {
             Dependency::Edd(e) => e.clone(),
             other => panic!("expected edd, got {other:?}"),

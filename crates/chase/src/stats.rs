@@ -1,0 +1,106 @@
+//! Observability for the chase engine.
+//!
+//! Every chase entry point ([`crate::chase`], [`crate::chase_with_provenance`],
+//! [`crate::core_chase`], [`crate::chase_with_egds`]) populates a
+//! [`ChaseStats`] on its [`crate::ChaseResult`], so regressions in the hot
+//! loop — extra index rebuilds, runaway trigger counts, a serial trigger
+//! phase where a parallel one was expected — are observable from tests and
+//! benches instead of only from wall time.
+
+use std::time::Duration;
+
+/// Counters and phase timings for one chase run.
+///
+/// Populated by every chase entry point. For [`crate::chase_with_egds`] the
+/// counters accumulate over all inner tgd-chase passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Chase rounds executed (mirrors [`crate::ChaseResult::rounds`]).
+    pub rounds: usize,
+    /// Triggers found by the (semi-naive) trigger search, summed over
+    /// rounds; deduplicated per round, so a trigger re-found in a later
+    /// round counts again.
+    pub triggers_found: usize,
+    /// Triggers that actually fired (restricted-variant satisfied triggers
+    /// and oblivious repeats are found but not fired).
+    pub triggers_fired: usize,
+    /// Facts added across all rounds.
+    pub facts_added: usize,
+    /// Incremental [`tgdkit_hom::InstanceIndex::extend`] calls.
+    pub index_extends: usize,
+    /// Full [`tgdkit_hom::InstanceIndex::new`] builds (one per chase pass;
+    /// more would mean the incremental path regressed).
+    pub index_rebuilds: usize,
+    /// Rounds whose trigger search ran on multiple worker threads.
+    pub parallel_rounds: usize,
+    /// Wall time spent finding triggers.
+    pub trigger_search_time: Duration,
+    /// Wall time spent checking/firing triggers and extending the index.
+    pub apply_time: Duration,
+    /// Total wall time of the chase pass.
+    pub total_time: Duration,
+}
+
+impl ChaseStats {
+    /// Folds another pass's stats into `self` (used by the egd chase, whose
+    /// runs interleave several tgd chase passes).
+    pub fn absorb(&mut self, other: &ChaseStats) {
+        self.rounds += other.rounds;
+        self.triggers_found += other.triggers_found;
+        self.triggers_fired += other.triggers_fired;
+        self.facts_added += other.facts_added;
+        self.index_extends += other.index_extends;
+        self.index_rebuilds += other.index_rebuilds;
+        self.parallel_rounds += other.parallel_rounds;
+        self.trigger_search_time += other.trigger_search_time;
+        self.apply_time += other.apply_time;
+        self.total_time += other.total_time;
+    }
+}
+
+/// How the chase searches for triggers each round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TriggerSearch {
+    /// Parallelize across tgds when the round's estimated probe work is
+    /// large enough to amortize thread spawn (the default).
+    #[default]
+    Auto,
+    /// Always single-threaded.
+    Serial,
+    /// Always parallel with up to the given number of workers (clamped to
+    /// the tgd count; `0` means use all available cores). The trigger *set*
+    /// is merged deterministically, so results are identical to
+    /// [`TriggerSearch::Serial`].
+    Parallel(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = ChaseStats {
+            rounds: 2,
+            triggers_found: 10,
+            triggers_fired: 4,
+            facts_added: 6,
+            index_extends: 3,
+            index_rebuilds: 1,
+            parallel_rounds: 1,
+            trigger_search_time: Duration::from_millis(5),
+            apply_time: Duration::from_millis(7),
+            total_time: Duration::from_millis(20),
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.triggers_found, 20);
+        assert_eq!(a.triggers_fired, 8);
+        assert_eq!(a.facts_added, 12);
+        assert_eq!(a.index_extends, 6);
+        assert_eq!(a.index_rebuilds, 2);
+        assert_eq!(a.parallel_rounds, 2);
+        assert_eq!(a.total_time, Duration::from_millis(40));
+    }
+}

@@ -174,8 +174,7 @@ mod tests {
     #[test]
     fn two_rule_special_cycle() {
         let mut s = Schema::default();
-        let tgds =
-            parse_tgds(&mut s, "P(x) -> exists z : Q(x,z). Q(x,y) -> P(y).").unwrap();
+        let tgds = parse_tgds(&mut s, "P(x) -> exists z : Q(x,z). Q(x,y) -> P(y).").unwrap();
         assert!(!is_weakly_acyclic(&s, &tgds));
     }
 
@@ -199,7 +198,12 @@ mod tests {
         let mut generator = InstanceGen::new(s.clone(), 99);
         for size in [3, 5, 8] {
             let start = generator.generate(size, 0.3);
-            let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+            let result = chase(
+                &start,
+                &tgds,
+                ChaseVariant::Restricted,
+                ChaseBudget::default(),
+            );
             assert!(result.terminated(), "size {size} did not terminate");
         }
     }

@@ -38,7 +38,12 @@ mod tests {
         let mut s = Schema::default();
         let sigma = parse_tgds(&mut s, "P(x) -> exists z : E(x,z). E(x,y) -> Q(y).").unwrap();
         let start = parse_instance(&mut s, "P(a)").unwrap();
-        let result = chase(&start, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            &sigma,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(result.terminated());
 
         // Build a few models of Σ containing P(a).
@@ -60,7 +65,12 @@ mod tests {
         let mut s = Schema::default();
         let sigma = parse_tgds(&mut s, "P(x) -> exists z : E(x,z).").unwrap();
         let start = parse_instance(&mut s, "P(a)").unwrap();
-        let result = chase(&start, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            &sigma,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         // An instance with P(a) but no outgoing E-edge from a.
         let non_model = parse_instance(&mut s, "P(a), E(b,b)").unwrap();
         let frozen: Vec<_> = start.active_domain().into_iter().collect();

@@ -120,7 +120,13 @@ pub fn enumerate_edds(
 }
 
 fn subsets_into<T: Clone>(universe: &[T], cap: usize, out: &mut Vec<Vec<T>>) {
-    fn go<T: Clone>(universe: &[T], start: usize, cap: usize, acc: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+    fn go<T: Clone>(
+        universe: &[T],
+        start: usize,
+        cap: usize,
+        acc: &mut Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
         if acc.len() == cap {
             return;
         }
@@ -134,7 +140,6 @@ fn subsets_into<T: Clone>(universe: &[T], cap: usize, out: &mut Vec<Vec<T>>) {
     let mut acc = Vec::new();
     go(universe, 0, cap, &mut acc, out);
 }
-
 
 /// The Theorem 5.6 / Appendix B pipeline for **full** tgds: enumerate
 /// (budgeted) **disjunctive dependencies** (dds — edds without existential
@@ -346,8 +351,7 @@ pub fn characterize_bounded_family(
         }
         out
     };
-    let product_closed =
-        Verdict::from_bool(check_product_closure(family, &fitting_pairs).is_ok());
+    let product_closed = Verdict::from_bool(check_product_closure(family, &fitting_pairs).is_ok());
 
     let pipeline = edd_pipeline(family, n, m, opts);
     let universe = all_instances_up_to(family.schema(), max_domain);
@@ -587,8 +591,7 @@ mod tests {
         // Members = ≤2-element models of the edd P(x) -> Q(x) | R(x): not
         // ⊗-closed, hence not a TGD-ontology; synthesis cannot agree.
         let mut s = Schema::default();
-        let deps =
-            tgdkit_logic::parse_dependencies(&mut s, "P(x) -> Q(x) | R(x).").unwrap();
+        let deps = tgdkit_logic::parse_dependencies(&mut s, "P(x) -> Q(x) | R(x).").unwrap();
         let ont = crate::ontology::DependencyOntology::new(s.clone(), deps);
         let members: Vec<_> = crate::universe::all_instances_up_to(&s, 2)
             .into_iter()
@@ -596,7 +599,11 @@ mod tests {
             .collect();
         let family = FiniteOntology::new(s.clone(), members);
         let report = characterize_bounded_family(&family, 1, 0, 2, &EddEnumOptions::default());
-        assert_eq!(report.agrees, crate::Verdict::No, "a disjunctive family is not tgd-definable");
+        assert_eq!(
+            report.agrees,
+            crate::Verdict::No,
+            "a disjunctive family is not tgd-definable"
+        );
     }
 
     #[test]
@@ -606,8 +613,14 @@ mod tests {
         s.add_pred("P", 1).unwrap();
         s.add_pred("Q", 1).unwrap();
         let mut members = Vec::new();
-        for text in ["", "Q(a)", "P(a), Q(a)", "Q(a), Q(b)", "P(a), Q(a), Q(b)",
-                     "P(a), Q(a), P(b), Q(b)"] {
+        for text in [
+            "",
+            "Q(a)",
+            "P(a), Q(a)",
+            "Q(a), Q(b)",
+            "P(a), Q(a), Q(b)",
+            "P(a), Q(a), P(b), Q(b)",
+        ] {
             members.push(parse_instance(&mut s, text).unwrap());
         }
         let ont = FiniteOntology::new(s.clone(), members);

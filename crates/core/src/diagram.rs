@@ -83,9 +83,8 @@ pub fn counterexample_edd(
 ) -> Option<Edd> {
     let k_elems: Vec<Elem> = k.active_domain().into_iter().collect();
     let nk = k_elems.len();
-    let var_of = |e: Elem| -> Var {
-        Var(k_elems.iter().position(|&x| x == e).expect("K element") as u32)
-    };
+    let var_of =
+        |e: Elem| -> Var { Var(k_elems.iter().position(|&x| x == e).expect("K element") as u32) };
     // Body: the facts of K with elements as variables.
     let body: Vec<Atom<Var>> = k
         .facts()
@@ -135,10 +134,9 @@ pub fn counterexample_edd(
     // Keep ⊆-minimal failing conjunctions.
     for gamma in &failing {
         let gamma_set: BTreeSet<&Atom<Var>> = gamma.iter().collect();
-        let minimal = !failing.iter().any(|other| {
-            other.len() < gamma.len()
-                && other.iter().all(|a| gamma_set.contains(a))
-        });
+        let minimal = !failing
+            .iter()
+            .any(|other| other.len() < gamma.len() && other.iter().all(|a| gamma_set.contains(a)));
         if minimal {
             minimal_failing.push(gamma.clone());
         }

@@ -132,11 +132,7 @@ pub fn linear_bodies(schema: &Schema, n: usize) -> Vec<(Atom<Var>, usize)> {
     for pred in schema.preds() {
         let arity = schema.arity(pred);
         for pattern in atom_patterns(arity, n) {
-            let distinct = pattern
-                .iter()
-                .copied()
-                .collect::<BTreeSet<Var>>()
-                .len();
+            let distinct = pattern.iter().copied().collect::<BTreeSet<Var>>().len();
             out.push((Atom::new(pred, pattern), distinct));
         }
     }
@@ -202,8 +198,7 @@ pub fn linear_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions
     let mut tgds = Vec::new();
     let mut exhaustive = true;
     'outer: for (body_atom, distinct) in linear_bodies(schema, n) {
-        let (heads, heads_exhaustive) =
-            head_conjunctions(schema, distinct, m, opts.max_head_atoms);
+        let (heads, heads_exhaustive) = head_conjunctions(schema, distinct, m, opts.max_head_atoms);
         exhaustive &= heads_exhaustive;
         for head in heads {
             if let Ok(tgd) = Tgd::new(vec![body_atom.clone()], head) {
@@ -267,8 +262,7 @@ pub fn guarded_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOption
             }
             go(&side_universe, 0, side_cap, &mut acc, &mut sides);
         }
-        let (heads, heads_exhaustive) =
-            head_conjunctions(schema, distinct, m, opts.max_head_atoms);
+        let (heads, heads_exhaustive) = head_conjunctions(schema, distinct, m, opts.max_head_atoms);
         exhaustive &= heads_exhaustive;
         for side in &sides {
             let mut body = vec![guard.clone()];
@@ -333,8 +327,7 @@ pub fn all_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions) -
     let mut tgds = Vec::new();
     'outer: for body in &bodies {
         let distinct = tgdkit_logic::conjunction_vars(body).len();
-        let (heads, heads_exhaustive) =
-            head_conjunctions(schema, distinct, m, opts.max_head_atoms);
+        let (heads, heads_exhaustive) = head_conjunctions(schema, distinct, m, opts.max_head_atoms);
         exhaustive &= heads_exhaustive;
         for head in heads {
             // Heads over body vars + m fresh; `Tgd::new` classifies the
@@ -420,8 +413,7 @@ mod tests {
             assert!(tgd.validate(&s).is_ok());
         }
         // No duplicates up to renaming.
-        let keys: BTreeSet<TgdVariantKey> =
-            e.tgds.iter().map(tgd_variant_key).collect();
+        let keys: BTreeSet<TgdVariantKey> = e.tgds.iter().map(tgd_variant_key).collect();
         assert_eq!(keys.len(), e.tgds.len());
     }
 

@@ -38,14 +38,17 @@ fn atomic_members(set: &TgdSet) -> Vec<Instance> {
     for pred in schema.preds() {
         let arity = schema.arity(pred);
         // Two element patterns per predicate: all-same and all-distinct.
-        let patterns: Vec<Vec<Elem>> = vec![
-            vec![Elem(0); arity],
-            (0..arity as u32).map(Elem).collect(),
-        ];
+        let patterns: Vec<Vec<Elem>> =
+            vec![vec![Elem(0); arity], (0..arity as u32).map(Elem).collect()];
         for args in patterns {
             let mut inst = Instance::new(schema.clone());
             inst.add_fact(pred, args);
-            let result = chase(&inst, set.tgds(), ChaseVariant::Restricted, ChaseBudget::small());
+            let result = chase(
+                &inst,
+                set.tgds(),
+                ChaseVariant::Restricted,
+                ChaseBudget::small(),
+            );
             if result.terminated() {
                 out.push(result.instance);
             }
@@ -72,7 +75,14 @@ pub struct UnionWitness {
 /// linear expressibility when found).
 pub fn union_closure_witness(set: &TgdSet, samples: usize, seed: u64) -> Option<UnionWitness> {
     let mut members = atomic_members(set);
-    members.extend(sample_members(set.schema(), set.tgds(), samples, 4, 0.35, seed));
+    members.extend(sample_members(
+        set.schema(),
+        set.tgds(),
+        samples,
+        4,
+        0.35,
+        seed,
+    ));
     for (i, left) in members.iter().enumerate() {
         for right in members.iter().skip(i) {
             let joined = union(left, right);
@@ -97,7 +107,14 @@ pub fn disjoint_union_closure_witness(
     seed: u64,
 ) -> Option<UnionWitness> {
     let mut members = atomic_members(set);
-    members.extend(sample_members(set.schema(), set.tgds(), samples, 4, 0.35, seed));
+    members.extend(sample_members(
+        set.schema(),
+        set.tgds(),
+        samples,
+        4,
+        0.35,
+        seed,
+    ));
     for (i, left) in members.iter().enumerate() {
         for right in members.iter().skip(i) {
             let (joined, _) = disjoint_union(left, right);

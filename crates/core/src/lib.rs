@@ -42,10 +42,9 @@ pub mod verdict;
 pub mod workload;
 
 pub use locality::{
-    locally_embeddable, locality_counterexample, LocalityFlavor, LocalityOptions,
+    locality_counterexample, locally_embeddable, locally_embeddable_with_stats, LocalityFlavor,
+    LocalityOptions,
 };
 pub use ontology::{DependencyOntology, FiniteOntology, Ontology, TgdOntology};
-pub use rewrite::{
-    frontier_guarded_to_guarded, guarded_to_linear, RewriteOptions, RewriteOutcome,
-};
+pub use rewrite::{frontier_guarded_to_guarded, guarded_to_linear, RewriteOptions, RewriteOutcome};
 pub use verdict::Verdict;

@@ -32,7 +32,7 @@ use crate::neighbourhood::{
 use crate::verdict::Verdict;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
-use tgdkit_chase::{chase, satisfies_tgds, ChaseBudget, ChaseVariant};
+use tgdkit_chase::{chase, satisfies_tgds, ChaseBudget, ChaseStats, ChaseVariant};
 use tgdkit_hom::find_instance_hom;
 use tgdkit_instance::{Elem, Instance};
 use tgdkit_logic::TgdSet;
@@ -157,8 +157,7 @@ pub fn is_guarded_instance(k: &Instance) -> bool {
         return true;
     }
     let adom = k.active_domain();
-    k.facts()
-        .any(|f| adom.iter().all(|e| f.args.contains(e)))
+    k.facts().any(|f| adom.iter().all(|e| f.args.contains(e)))
 }
 
 /// An instance is `F`-guarded when it is empty or some fact contains all of
@@ -167,7 +166,8 @@ pub fn is_relative_guarded(k: &Instance, f: &BTreeSet<Elem>) -> bool {
     if k.is_empty() {
         return true;
     }
-    k.facts().any(|fact| f.iter().all(|e| fact.args.contains(e)))
+    k.facts()
+        .any(|fact| f.iter().all(|e| fact.args.contains(e)))
 }
 
 /// The outcome of one locality case (a single small subinstance `K`).
@@ -185,6 +185,7 @@ enum CaseOutcome {
 /// Checks one case: chase `K`, then try to embed every maximal
 /// m-neighbourhood of `fix` in the chase back into `i` fixing `fix`.
 /// `sentinel` keeps chase nulls disjoint from `i`'s elements.
+#[allow(clippy::too_many_arguments)] // internal helper threading two accumulators
 fn check_case(
     sigma: &TgdSet,
     i: &Instance,
@@ -193,10 +194,17 @@ fn check_case(
     sentinel: Elem,
     opts: &LocalityOptions,
     cases_used: &mut usize,
+    stats: &mut ChaseStats,
 ) -> CaseOutcome {
     let mut k = case.k.clone();
     k.add_dom_elem(sentinel);
-    let result = chase(&k, sigma.tgds(), ChaseVariant::Restricted, opts.chase_budget);
+    let result = chase(
+        &k,
+        sigma.tgds(),
+        ChaseVariant::Restricted,
+        opts.chase_budget,
+    );
+    stats.absorb(&result.stats);
     if !result.terminated() {
         return CaseOutcome::Unknown;
     }
@@ -235,28 +243,53 @@ pub fn locally_embeddable(
     flavor: LocalityFlavor,
     opts: &LocalityOptions,
 ) -> Verdict {
+    locally_embeddable_with_stats(sigma, i, n, m, flavor, opts).0
+}
+
+/// As [`locally_embeddable`], additionally reporting the engine work
+/// aggregated over every per-`K` witness chase ([`ChaseStats::absorb`]ed
+/// across cases).
+pub fn locally_embeddable_with_stats(
+    sigma: &TgdSet,
+    i: &Instance,
+    n: usize,
+    m: usize,
+    flavor: LocalityFlavor,
+    opts: &LocalityOptions,
+) -> (Verdict, ChaseStats) {
+    let mut stats = ChaseStats::default();
     let mut unknown = false;
     let mut cases_used = 0usize;
     // Fresh chase nulls must not collide with I's elements: seed each K's
     // domain with a sentinel above I's maximum element.
     let sentinel = i.fresh_elem();
     for case in cases(sigma, i, n, flavor) {
-        match check_case(sigma, i, &case, m, sentinel, opts, &mut cases_used) {
+        match check_case(
+            sigma,
+            i,
+            &case,
+            m,
+            sentinel,
+            opts,
+            &mut cases_used,
+            &mut stats,
+        ) {
             CaseOutcome::Embeds => {}
             // The chase was a member of O containing K; by witness
             // optimality no other member can do better: definitive No.
-            CaseOutcome::Fails => return Verdict::No,
+            CaseOutcome::Fails => return (Verdict::No, stats),
             CaseOutcome::Unknown => unknown = true,
         }
         if cases_used > opts.max_cases {
-            return Verdict::Unknown;
+            return (Verdict::Unknown, stats);
         }
     }
-    if unknown {
+    let verdict = if unknown {
         Verdict::Unknown
     } else {
         Verdict::Yes
-    }
+    };
+    (verdict, stats)
 }
 
 /// Finds a small subinstance `K ≤ I` (with the element set embeddings must
@@ -273,8 +306,19 @@ pub fn failing_case(
 ) -> Option<(Instance, BTreeSet<Elem>)> {
     let sentinel = i.fresh_elem();
     let mut cases_used = 0usize;
+    let mut stats = ChaseStats::default();
     for case in cases(sigma, i, n, flavor) {
-        if check_case(sigma, i, &case, m, sentinel, opts, &mut cases_used) == CaseOutcome::Fails {
+        if check_case(
+            sigma,
+            i,
+            &case,
+            m,
+            sentinel,
+            opts,
+            &mut cases_used,
+            &mut stats,
+        ) == CaseOutcome::Fails
+        {
             return Some((case.k, case.fix));
         }
         if cases_used > opts.max_cases {
@@ -379,8 +423,14 @@ mod tests {
             parse_instance(&mut s, "P(a), E(a,b), E(b,a)").unwrap(),
             parse_instance(&mut s, "").unwrap(),
         ];
-        let (verdict, witness) =
-            local_on_samples(&sigma, &samples, 3, 0, LocalityFlavor::Plain, &Default::default());
+        let (verdict, witness) = local_on_samples(
+            &sigma,
+            &samples,
+            3,
+            0,
+            LocalityFlavor::Plain,
+            &Default::default(),
+        );
         assert_eq!(verdict, Verdict::Yes, "witness: {witness:?}");
     }
 
@@ -392,11 +442,25 @@ mod tests {
         let sigma = set(&mut s, "R(x), P(x) -> T(x).");
         let i = parse_instance(&mut s, "R(c), P(c)").unwrap();
         assert_eq!(
-            locally_embeddable(&sigma, &i, 1, 0, LocalityFlavor::Linear, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &i,
+                1,
+                0,
+                LocalityFlavor::Linear,
+                &Default::default()
+            ),
             Verdict::Yes
         );
         assert_eq!(
-            locality_counterexample(&sigma, &i, 1, 0, LocalityFlavor::Linear, &Default::default()),
+            locality_counterexample(
+                &sigma,
+                &i,
+                1,
+                0,
+                LocalityFlavor::Linear,
+                &Default::default()
+            ),
             Verdict::Yes
         );
         // But Σ_G is NOT plainly (1,0)-locally embeddable... in fact for
@@ -416,7 +480,14 @@ mod tests {
         let sigma = set(&mut s, "R(x), P(y) -> T(x).");
         let i = parse_instance(&mut s, "R(c), P(d)").unwrap();
         assert_eq!(
-            locally_embeddable(&sigma, &i, 2, 0, LocalityFlavor::Guarded, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &i,
+                2,
+                0,
+                LocalityFlavor::Guarded,
+                &Default::default()
+            ),
             Verdict::Yes
         );
         assert_eq!(
@@ -469,14 +540,28 @@ mod tests {
         // I provides a witness edge: embeddable and a member.
         let good = parse_instance(&mut s, "P(a), E(a,b)").unwrap();
         assert_eq!(
-            locally_embeddable(&sigma, &good, 1, 1, LocalityFlavor::Plain, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &good,
+                1,
+                1,
+                LocalityFlavor::Plain,
+                &Default::default()
+            ),
             Verdict::Yes
         );
         // I without the edge: chase of K = {P(a)} yields E(a, null) whose
         // 1-neighbourhood cannot embed fixing a.
         let bad = parse_instance(&mut s, "P(a)").unwrap();
         assert_eq!(
-            locally_embeddable(&sigma, &bad, 1, 1, LocalityFlavor::Plain, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &bad,
+                1,
+                1,
+                LocalityFlavor::Plain,
+                &Default::default()
+            ),
             Verdict::No
         );
     }
@@ -490,11 +575,25 @@ mod tests {
         let sigma = set(&mut s, "P(x) -> exists z : E(x,z).");
         let bad = parse_instance(&mut s, "P(a)").unwrap();
         assert_eq!(
-            locally_embeddable(&sigma, &bad, 1, 0, LocalityFlavor::Plain, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &bad,
+                1,
+                0,
+                LocalityFlavor::Plain,
+                &Default::default()
+            ),
             Verdict::Yes
         );
         assert_eq!(
-            locally_embeddable(&sigma, &bad, 1, 1, LocalityFlavor::Plain, &Default::default()),
+            locally_embeddable(
+                &sigma,
+                &bad,
+                1,
+                1,
+                LocalityFlavor::Plain,
+                &Default::default()
+            ),
             Verdict::No
         );
     }
@@ -505,7 +604,10 @@ mod tests {
         let sigma = set(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).");
         let i = parse_instance(&mut s, "E(a,b)").unwrap();
         let opts = LocalityOptions {
-            chase_budget: ChaseBudget { max_facts: 50, max_rounds: 10 },
+            chase_budget: ChaseBudget {
+                max_facts: 50,
+                max_rounds: 10,
+            },
             max_cases: 1_000_000,
         };
         let v = locally_embeddable(&sigma, &i, 2, 1, LocalityFlavor::Plain, &opts);

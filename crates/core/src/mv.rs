@@ -15,8 +15,7 @@ use crate::properties::{
 use crate::verdict::Verdict;
 use tgdkit_chase::satisfies_tgd;
 use tgdkit_instance::{
-    non_oblivious_duplicating_extension, oblivious_duplicating_extension, parse_instance,
-    Instance,
+    non_oblivious_duplicating_extension, oblivious_duplicating_extension, parse_instance, Instance,
 };
 use tgdkit_logic::{parse_tgd, Schema, Tgd, TgdSet};
 
@@ -141,12 +140,10 @@ pub fn oblivious_closure_fails_on_example_5_2() -> (Verdict, Verdict) {
     let set = TgdSet::new(ex.schema.clone(), vec![ex.tgd.clone()]).expect("valid set");
     let ontology = TgdOntology::new(set);
     let samples = vec![ex.model.clone()];
-    let oblivious = Verdict::from_bool(
-        check_duplication_closure(&ontology, &samples, true).is_ok(),
-    );
-    let non_oblivious = Verdict::from_bool(
-        check_duplication_closure(&ontology, &samples, false).is_ok(),
-    );
+    let oblivious =
+        Verdict::from_bool(check_duplication_closure(&ontology, &samples, true).is_ok());
+    let non_oblivious =
+        Verdict::from_bool(check_duplication_closure(&ontology, &samples, false).is_ok());
     (oblivious, non_oblivious)
 }
 

@@ -148,11 +148,8 @@ mod tests {
     #[test]
     fn dependency_ontology_with_egd() {
         let mut s = Schema::default();
-        let deps = parse_dependencies(
-            &mut s,
-            "R(x,y), R(x,z) -> y = z. R(x,y) -> x = y | T(x).",
-        )
-        .unwrap();
+        let deps =
+            parse_dependencies(&mut s, "R(x,y), R(x,z) -> y = z. R(x,y) -> x = y | T(x).").unwrap();
         let ont = DependencyOntology::new(s.clone(), deps);
         let good = parse_instance(&mut s, "R(a,b), T(a)").unwrap();
         let bad_key = parse_instance(&mut s, "R(a,b), R(a,c), T(a)").unwrap();

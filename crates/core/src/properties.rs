@@ -210,7 +210,11 @@ pub fn check_duplication_closure<O: Ontology>(
                     output: ext,
                     construction: format!(
                         "{} duplicating extension of {i} at {c:?}",
-                        if oblivious { "oblivious" } else { "non-oblivious" }
+                        if oblivious {
+                            "oblivious"
+                        } else {
+                            "non-oblivious"
+                        }
                     ),
                 });
             }
@@ -237,7 +241,12 @@ pub fn sample_members(
     while out.len() < count && attempts < count * 4 {
         attempts += 1;
         let start = generator.generate(size, density);
-        let result = chase(&start, sigma, ChaseVariant::Restricted, ChaseBudget::default());
+        let result = chase(
+            &start,
+            sigma,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         if result.terminated() {
             out.push(result.instance);
         }
@@ -340,8 +349,7 @@ mod tests {
         // closed: pick O = models of R(x) -> P(x) | Q(x) (as an edd).
         use crate::ontology::DependencyOntology;
         let mut s = Schema::default();
-        let deps =
-            tgdkit_logic::parse_dependencies(&mut s, "R(x) -> P(x) | Q(x).").unwrap();
+        let deps = tgdkit_logic::parse_dependencies(&mut s, "R(x) -> P(x) | Q(x).").unwrap();
         let ont = DependencyOntology::new(s.clone(), deps);
         let i = parse_instance(&mut s, "R(a), P(a)").unwrap();
         let j = parse_instance(&mut s, "R(b), Q(b)").unwrap();

@@ -55,11 +55,7 @@ fn fresh_name(schema: &Schema, base: &str) -> String {
     }
 }
 
-fn build(
-    sigma: &TgdSet,
-    query: PredId,
-    guarded_target: bool,
-) -> Result<Reduction, LogicError> {
+fn build(sigma: &TgdSet, query: PredId, guarded_target: bool) -> Result<Reduction, LogicError> {
     let mut schema = sigma.schema().clone();
     let aux = schema.add_pred(&fresh_name(&schema, "Aux"), 0)?;
     let r = schema.add_pred(&fresh_name(&schema, "Rf"), 1)?;
@@ -124,7 +120,10 @@ pub fn guarded_entailment_to_linear_rewritability(
     sigma: &TgdSet,
     query: PredId,
 ) -> Result<Reduction, LogicError> {
-    assert!(sigma.is_guarded(), "the Theorem 9.1 reduction expects guarded tgds");
+    assert!(
+        sigma.is_guarded(),
+        "the Theorem 9.1 reduction expects guarded tgds"
+    );
     let reduction = build(sigma, query, true)?;
     debug_assert!(reduction.sigma_prime.is_guarded());
     Ok(reduction)
@@ -189,7 +188,12 @@ mod tests {
         let mut probe_schema = s1.clone();
         let probe = parse_tgd(&mut probe_schema, "true -> exists u : Q(u)").unwrap();
         assert_eq!(
-            entails(&probe_schema, positive.tgds(), &probe, ChaseBudget::default()),
+            entails(
+                &probe_schema,
+                positive.tgds(),
+                &probe,
+                ChaseBudget::default()
+            ),
             Entailment::Proved
         );
         let reduction = guarded_entailment_to_linear_rewritability(&positive, q).unwrap();

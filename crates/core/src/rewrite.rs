@@ -121,7 +121,13 @@ enum Target {
     Guarded,
 }
 
-fn enumerate(schema: &Schema, n: usize, m: usize, opts: &RewriteOptions, target: Target) -> Enumeration {
+fn enumerate(
+    schema: &Schema,
+    n: usize,
+    m: usize,
+    opts: &RewriteOptions,
+    target: Target,
+) -> Enumeration {
     match target {
         Target::Linear => linear_candidates(schema, n, m, &opts.enumeration),
         Target::Guarded => guarded_candidates(schema, n, m, &opts.enumeration),
@@ -185,10 +191,7 @@ fn negative(stats: &RewriteStats, enumeration: &Enumeration) -> RewriteOutcome {
 /// earlier, syntactically smaller candidates).
 fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget) -> Vec<Tgd> {
     // Drop tautologies and redundant head atoms first.
-    let mut tgds: Vec<Tgd> = tgds
-        .iter()
-        .filter_map(tgdkit_logic::simplify_tgd)
-        .collect();
+    let mut tgds: Vec<Tgd> = tgds.iter().filter_map(tgdkit_logic::simplify_tgd).collect();
     // Try to drop from the back (larger candidates were generated later).
     let mut i = tgds.len();
     while i > 0 {
@@ -227,16 +230,15 @@ fn parallel_entailment(
     }
     let mut verdicts = vec![Entailment::Unknown; candidates.len()];
     let chunk = candidates.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, cands) in verdicts.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (v, c) in slot.iter_mut().zip(cands) {
                     *v = entails_auto(schema, sigma, c, budget);
                 }
             });
         }
-    })
-    .expect("entailment workers do not panic");
+    });
     verdicts
 }
 
@@ -350,8 +352,7 @@ mod tests {
     fn stats_are_populated() {
         let mut s = Schema::default();
         let sigma = set(&mut s, "R(x,y) -> T(x).");
-        let (outcome, stats) =
-            guarded_to_linear_with_stats(&sigma, &RewriteOptions::default());
+        let (outcome, stats) = guarded_to_linear_with_stats(&sigma, &RewriteOptions::default());
         assert!(matches!(outcome, RewriteOutcome::Rewritten(_)));
         assert!(stats.candidates > 0);
         assert!(stats.entailed > 0);

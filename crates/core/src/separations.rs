@@ -2,7 +2,9 @@
 //! witnessed by a one-rule gadget and a machine-checked locality violation.
 
 use crate::locality::{locality_counterexample, LocalityFlavor, LocalityOptions};
-use crate::rewrite::{guarded_to_linear, frontier_guarded_to_guarded, RewriteOptions, RewriteOutcome};
+use crate::rewrite::{
+    frontier_guarded_to_guarded, guarded_to_linear, RewriteOptions, RewriteOutcome,
+};
 use crate::verdict::Verdict;
 use tgdkit_instance::{parse_instance, Instance};
 use tgdkit_logic::{parse_tgds, Schema, TgdSet};

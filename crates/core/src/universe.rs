@@ -132,7 +132,10 @@ mod tests {
         let mut s = Schema::default();
         let sigma = parse_tgds(&mut s, "P(x) -> Q(x).").unwrap();
         let universe = all_instances_up_to(&s, 2);
-        let members = universe.iter().filter(|i| satisfies_tgds(i, &sigma)).count();
+        let members = universe
+            .iter()
+            .filter(|i| satisfies_tgds(i, &sigma))
+            .count();
         assert!(members > 0 && members < universe.len());
         // Hand count over domain {0,1}: P,Q subsets with P ⊆ Q: 3^2 = 9 of
         // 16; domain {0}: 3 of 4; domain {}: 1.

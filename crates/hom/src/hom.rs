@@ -3,7 +3,7 @@
 use crate::index::InstanceIndex;
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
-use tgdkit_instance::{Elem, Instance};
+use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::{Atom, Var};
 
 /// A partial assignment of variables to elements (`None` = unassigned).
@@ -80,6 +80,65 @@ pub fn for_each_hom(
 ) {
     let index = InstanceIndex::new(target);
     search(atoms, num_vars, &index, fixed, visit);
+}
+
+/// Semi-naive enumeration: visits homomorphisms from `atoms` into the
+/// indexed instance that use at least one `delta` fact, by anchoring each
+/// atom at each delta fact in turn and searching the remaining atoms
+/// against the full index.
+///
+/// This is the incremental-evaluation step of Datalog engines, applied to
+/// trigger search: if the index covers `I ∪ Δ` and `delta = Δ`, the visited
+/// bindings are exactly the homomorphisms into `I ∪ Δ` that are not
+/// homomorphisms into `I`, **plus possible duplicates** when a match uses
+/// several delta facts (one visit per anchoring); callers needing set
+/// semantics must deduplicate (as the chase's trigger set does).
+pub fn for_each_hom_seminaive(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    delta: &[Fact],
+    fixed: &Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) {
+    for (anchor, atom) in atoms.iter().enumerate() {
+        for fact in delta {
+            if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
+                continue;
+            }
+            // Bind the anchor atom to the delta fact.
+            let mut bound = fixed.clone();
+            bound.resize(num_vars.max(fixed.len()), None);
+            let mut ok = true;
+            for (&v, &e) in atom.args.iter().zip(&fact.args) {
+                match bound[v.index()] {
+                    Some(prev) if prev != e => {
+                        ok = false;
+                        break;
+                    }
+                    _ => bound[v.index()] = Some(e),
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let rest: Vec<Atom<Var>> = atoms
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != anchor)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let mut stop = false;
+            search(&rest, num_vars, index, &bound, &mut |binding| {
+                let flow = visit(binding);
+                stop = flow.is_break();
+                flow
+            });
+            if stop {
+                return;
+            }
+        }
+    }
 }
 
 /// The recursive most-constrained-first search behind the public entry

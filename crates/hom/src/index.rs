@@ -1,7 +1,7 @@
 //! Positional indexes over instances, accelerating homomorphism search.
 
 use std::collections::HashMap;
-use tgdkit_instance::{Elem, Instance};
+use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::PredId;
 
 /// A per-predicate, per-position index of an instance's tuples.
@@ -62,6 +62,57 @@ impl InstanceIndex {
     pub fn count(&self, pred: PredId) -> usize {
         self.tuples.get(pred.index()).map_or(0, Vec::len)
     }
+
+    /// Total number of indexed tuples across all predicates.
+    pub fn total_count(&self) -> usize {
+        self.tuples.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if the tuple `args` of `pred` is already indexed.
+    pub fn contains(&self, pred: PredId, args: &[Elem]) -> bool {
+        match args.first() {
+            // Zero-arity predicate: present iff the (only possible) empty
+            // tuple has been indexed.
+            None => self.count(pred) > 0,
+            Some(&e) => self
+                .postings(pred, 0, e)
+                .iter()
+                .any(|&t| self.tuples[pred.index()][t as usize] == args),
+        }
+    }
+
+    /// Appends `delta` to the index, growing it in place.
+    ///
+    /// Observationally equivalent to rebuilding with [`InstanceIndex::new`]
+    /// on the extended instance — same tuple *sets* and consistent postings
+    /// — except that new tuples are appended in `delta` order instead of
+    /// the instance's sorted order, so [`InstanceIndex::tuples`] may
+    /// enumerate in a different order. Facts already indexed (and
+    /// duplicates within `delta`) are skipped, and predicates beyond the
+    /// original schema grow the index as needed, so repeated `extend`s from
+    /// any source converge to the same fact set. Cost is O(|delta|) amortized
+    /// — this is what keeps multi-round chases from paying a full O(|I|)
+    /// rebuild per round.
+    pub fn extend(&mut self, delta: &[Fact]) {
+        for fact in delta {
+            let p = fact.pred.index();
+            if p >= self.tuples.len() {
+                self.tuples.resize_with(p + 1, Vec::new);
+                self.postings.resize_with(p + 1, Vec::new);
+            }
+            if self.postings[p].len() < fact.args.len() {
+                self.postings[p].resize_with(fact.args.len(), HashMap::new);
+            }
+            if self.contains(fact.pred, &fact.args) {
+                continue;
+            }
+            let t = self.tuples[p].len() as u32;
+            for (pos, &e) in fact.args.iter().enumerate() {
+                self.postings[p][pos].entry(e).or_default().push(t);
+            }
+            self.tuples[p].push(fact.args.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +137,61 @@ mod tests {
             assert_eq!(idx.tuples(r)[h as usize][1], Elem(1));
         }
         assert!(idx.postings(r, 0, Elem(9)).is_empty());
+    }
+
+    #[test]
+    fn extend_matches_fresh_build() {
+        let s = Schema::builder().pred("R", 2).pred("P", 1).build();
+        let r = s.pred_id("R").unwrap();
+        let p = s.pred_id("P").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0), Elem(1)]);
+        let mut idx = InstanceIndex::new(&i);
+        let delta = [
+            Fact::new(r, vec![Elem(1), Elem(2)]),
+            Fact::new(p, vec![Elem(0)]),
+            Fact::new(r, vec![Elem(0), Elem(1)]), // already indexed: skipped
+            Fact::new(p, vec![Elem(0)]),          // duplicate in delta: skipped
+        ];
+        idx.extend(&delta);
+        for fact in &delta {
+            i.add_fact(fact.pred, fact.args.clone());
+        }
+        let fresh = InstanceIndex::new(&i);
+        for pred in [r, p] {
+            assert_eq!(idx.count(pred), fresh.count(pred));
+            let mut a: Vec<_> = idx.tuples(pred).to_vec();
+            let mut b: Vec<_> = fresh.tuples(pred).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        assert_eq!(idx.total_count(), fresh.total_count());
+        // Postings stay consistent: every hit dereferences to a matching
+        // tuple, and every tuple is reachable from each of its positions.
+        let hits = idx.postings(r, 0, Elem(1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(idx.tuples(r)[hits[0] as usize], vec![Elem(1), Elem(2)]);
+    }
+
+    #[test]
+    fn extend_grows_past_indexed_schema() {
+        let s = Schema::builder().pred("R", 2).build();
+        let i = Instance::new(s);
+        let mut idx = InstanceIndex::new(&i);
+        // A predicate the indexed instance never saw, plus a zero-arity one.
+        let ghost = tgdkit_logic::PredId(3);
+        let zero = tgdkit_logic::PredId(5);
+        idx.extend(&[
+            Fact::new(ghost, vec![Elem(4), Elem(5)]),
+            Fact::new(zero, vec![]),
+            Fact::new(zero, vec![]),
+        ]);
+        assert_eq!(idx.count(ghost), 1);
+        assert_eq!(idx.postings(ghost, 1, Elem(5)), &[0]);
+        assert_eq!(idx.count(zero), 1);
+        assert!(idx.contains(zero, &[]));
+        assert!(!idx.contains(tgdkit_logic::PredId(9), &[]));
     }
 
     #[test]

@@ -59,10 +59,7 @@ pub fn are_isomorphic(a: &Instance, b: &Instance) -> bool {
     let mut order: Vec<usize> = (0..a_elems.len()).collect();
     order.sort_by_key(|&i| {
         // Rarer profiles first.
-        a_profiles
-            .iter()
-            .filter(|p| **p == a_profiles[i])
-            .count()
+        a_profiles.iter().filter(|p| **p == a_profiles[i]).count()
     });
 
     let mut mapping: BTreeMap<Elem, Elem> = BTreeMap::new();
@@ -108,7 +105,16 @@ fn assign(
         // of b.
         if partial_consistent(a, b, mapping)
             && assign(
-                a, b, a_elems, b_elems, a_profiles, b_profiles, order, depth + 1, mapping, used,
+                a,
+                b,
+                a_elems,
+                b_elems,
+                a_profiles,
+                b_profiles,
+                order,
+                depth + 1,
+                mapping,
+                used,
             )
         {
             return true;

@@ -25,8 +25,10 @@ pub mod iso;
 pub mod retract;
 
 pub use cq::Cq;
-pub use hom::{embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed, Binding};
-pub use hom::find_hom_indexed;
+pub use hom::{
+    embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed, Binding,
+};
+pub use hom::{find_hom_indexed, for_each_hom_seminaive};
 pub use index::InstanceIndex;
 pub use iso::are_isomorphic;
 pub use retract::{core_of, core_preserving};

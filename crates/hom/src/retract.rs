@@ -69,11 +69,7 @@ pub fn core_preserving(instance: &Instance, frozen: &BTreeSet<Elem>) -> Instance
 /// Searches for an endomorphism of `instance` with `h(u) = h(v)`, by
 /// building the canonical conjunction of `instance` with `u` and `v` sharing
 /// one variable.
-fn merging_endomorphism(
-    instance: &Instance,
-    u: Elem,
-    v: Elem,
-) -> Option<BTreeMap<Elem, Elem>> {
+fn merging_endomorphism(instance: &Instance, u: Elem, v: Elem) -> Option<BTreeMap<Elem, Elem>> {
     merging_endomorphism_fixing(instance, u, v, &BTreeSet::new())
 }
 

@@ -77,7 +77,11 @@ pub fn direct_product_many(instances: &[Instance]) -> Option<Instance> {
 /// The intersection `I ∩ J` (paper §5): domain `dom(I) ∩ dom(J)`,
 /// relations `R^I ∩ R^J`.
 pub fn intersection(i: &Instance, j: &Instance) -> Instance {
-    assert_eq!(i.schema(), j.schema(), "intersection requires a common schema");
+    assert_eq!(
+        i.schema(),
+        j.schema(),
+        "intersection requires a common schema"
+    );
     let schema = i.schema().clone();
     let mut out = Instance::new(schema.clone());
     for e in i.dom().intersection(j.dom()) {

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn counts_match_k_to_the_arity() {
-        let s = Schema::builder().pred("R", 2).pred("S", 3).pred("T", 1).build();
+        let s = Schema::builder()
+            .pred("R", 2)
+            .pred("S", 3)
+            .pred("T", 1)
+            .build();
         for k in 1..4 {
             let c = critical_instance(&s, k, 0);
             assert_eq!(c.dom().len(), k);

@@ -1,7 +1,7 @@
 //! Atoms over a schema, generic in the kind of term filling the positions.
 
-use crate::schema::{PredId, Schema};
 use crate::error::LogicError;
+use crate::schema::{PredId, Schema};
 
 /// A variable inside a dependency.
 ///

@@ -197,10 +197,17 @@ pub fn tgd_variant_key(tgd: &Tgd) -> TgdVariantKey {
 /// (exactly, up to [`EXACT_LIMIT`] atoms per conjunction).
 pub fn canonical_tgd(tgd: &Tgd) -> Tgd {
     let st = canonical_state(tgd);
-    let rename =
-        |atom: &Atom<Var>| -> Atom<Var> { atom.map(|v| Var(st.renaming[v.index()])) };
-    let body: Vec<Atom<Var>> = st.body_order.iter().map(|&i| rename(&tgd.body()[i])).collect();
-    let head: Vec<Atom<Var>> = st.head_order.iter().map(|&i| rename(&tgd.head()[i])).collect();
+    let rename = |atom: &Atom<Var>| -> Atom<Var> { atom.map(|v| Var(st.renaming[v.index()])) };
+    let body: Vec<Atom<Var>> = st
+        .body_order
+        .iter()
+        .map(|&i| rename(&tgd.body()[i]))
+        .collect();
+    let head: Vec<Atom<Var>> = st
+        .head_order
+        .iter()
+        .map(|&i| rename(&tgd.head()[i]))
+        .collect();
     Tgd::new(body, head).expect("canonical form of a valid tgd is valid")
 }
 

@@ -136,7 +136,10 @@ mod tests {
     }
 
     fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
-        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+        Atom::new(
+            s.pred_id(name).unwrap(),
+            vars.iter().map(|&v| Var(v)).collect(),
+        )
     }
 
     #[test]

@@ -149,9 +149,7 @@ impl Edd {
     pub fn is_dd(&self) -> bool {
         self.disjuncts.iter().all(|d| match d {
             EddDisjunct::Eq(..) => true,
-            EddDisjunct::Exists(atoms) => {
-                atoms.len() == 1 && self.disjunct_existential_free(d)
-            }
+            EddDisjunct::Exists(atoms) => atoms.len() == 1 && self.disjunct_existential_free(d),
         })
     }
 
@@ -236,7 +234,10 @@ mod tests {
     }
 
     fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
-        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+        Atom::new(
+            s.pred_id(name).unwrap(),
+            vars.iter().map(|&v| Var(v)).collect(),
+        )
     }
 
     #[test]

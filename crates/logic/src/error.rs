@@ -60,7 +60,11 @@ impl fmt::Display for LogicError {
             ),
             LogicError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
             LogicError::NoVariables => write!(f, "a dependency must mention at least one variable"),
-            LogicError::ConflictingArity { pred, first, second } => write!(
+            LogicError::ConflictingArity {
+                pred,
+                first,
+                second,
+            } => write!(
                 f,
                 "predicate {pred} declared with conflicting arities {first} and {second}"
             ),
@@ -95,7 +99,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

@@ -23,9 +23,9 @@
 //! against normalized variants.
 
 use crate::atom::{conjunction_vars, Atom, Var};
+use crate::dependency::TgdSet;
 use crate::error::LogicError;
 use crate::tgd::Tgd;
-use crate::dependency::TgdSet;
 
 /// The result of single-head normalization.
 #[derive(Debug, Clone)]

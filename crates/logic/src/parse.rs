@@ -455,12 +455,7 @@ fn build_dependency(
     };
     let body_atoms: Vec<Atom<Var>> = body
         .iter()
-        .map(|(pred, args)| {
-            Atom::new(
-                *pred,
-                args.iter().map(|a| var_of(&mut names, a)).collect(),
-            )
-        })
+        .map(|(pred, args)| Atom::new(*pred, args.iter().map(|a| var_of(&mut names, a)).collect()))
         .collect();
     let body_vars: HashMap<String, Var> = names.clone();
 
@@ -563,7 +558,10 @@ pub fn parse_tgd(schema: &mut Schema, text: &str) -> Result<Tgd, ParseError> {
             1,
         )),
         _ => Err(ParseError::new(
-            format!("expected exactly one tgd, found {} dependencies", deps.len()),
+            format!(
+                "expected exactly one tgd, found {} dependencies",
+                deps.len()
+            ),
             1,
             1,
         )),
@@ -648,8 +646,7 @@ mod tests {
     fn parse_edd() {
         let mut schema = Schema::default();
         let deps =
-            parse_dependencies(&mut schema, "R(x,y) -> x = y | exists z : R(y,z) | T(x).")
-                .unwrap();
+            parse_dependencies(&mut schema, "R(x,y) -> x = y | exists z : R(y,z) | T(x).").unwrap();
         match deps.as_slice() {
             [Dependency::Edd(edd)] => {
                 assert_eq!(edd.disjuncts().len(), 3);

@@ -174,7 +174,11 @@ mod tests {
 
     #[test]
     fn builder_assigns_dense_ids() {
-        let s = Schema::builder().pred("R", 2).pred("S", 3).pred("T", 1).build();
+        let s = Schema::builder()
+            .pred("R", 2)
+            .pred("S", 3)
+            .pred("T", 1)
+            .build();
         assert_eq!(s.len(), 3);
         assert_eq!(s.pred_id("R"), Some(PredId(0)));
         assert_eq!(s.pred_id("S"), Some(PredId(1)));

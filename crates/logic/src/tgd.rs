@@ -149,9 +149,9 @@ impl Tgd {
     /// guarded.
     pub fn guard_index(&self) -> Option<usize> {
         let universals = self.universal_count;
-        self.body.iter().position(|atom| {
-            (0..universals).all(|v| atom.args.contains(&Var(v)))
-        })
+        self.body
+            .iter()
+            .position(|atom| (0..universals).all(|v| atom.args.contains(&Var(v))))
     }
 
     /// `true` if the body is empty or some body atom contains all frontier
@@ -234,7 +234,11 @@ impl TgdClass {
 /// `Σ ∈ TGD_{n,m}`.
 pub fn set_profile(tgds: &[Tgd]) -> (usize, usize) {
     let n = tgds.iter().map(|t| t.universal_count()).max().unwrap_or(0);
-    let m = tgds.iter().map(|t| t.existential_count()).max().unwrap_or(0);
+    let m = tgds
+        .iter()
+        .map(|t| t.existential_count())
+        .max()
+        .unwrap_or(0);
     (n, m)
 }
 
@@ -253,18 +257,17 @@ mod tests {
     }
 
     fn atom(s: &Schema, name: &str, vars: &[u32]) -> Atom<Var> {
-        Atom::new(s.pred_id(name).unwrap(), vars.iter().map(|&v| Var(v)).collect())
+        Atom::new(
+            s.pred_id(name).unwrap(),
+            vars.iter().map(|&v| Var(v)).collect(),
+        )
     }
 
     #[test]
     fn renumbering_orders_universals_first() {
         let s = schema();
         // body uses vars 7, 3; head introduces 9 (existential).
-        let tgd = Tgd::new(
-            vec![atom(&s, "R", &[7, 3])],
-            vec![atom(&s, "S", &[3, 9])],
-        )
-        .unwrap();
+        let tgd = Tgd::new(vec![atom(&s, "R", &[7, 3])], vec![atom(&s, "S", &[3, 9])]).unwrap();
         assert_eq!(tgd.universal_count(), 2);
         assert_eq!(tgd.existential_count(), 1);
         assert_eq!(tgd.body()[0].args, vec![Var(0), Var(1)]);
@@ -330,7 +333,11 @@ mod tests {
 
     #[test]
     fn separation_gadgets_classify_as_in_section_9() {
-        let s = Schema::builder().pred("R", 1).pred("P", 1).pred("T", 1).build();
+        let s = Schema::builder()
+            .pred("R", 1)
+            .pred("P", 1)
+            .pred("T", 1)
+            .build();
         // Σ_G = { R(x), P(x) -> T(x) } is guarded but not linear (§9.1).
         let sigma_g = Tgd::new(
             vec![atom(&s, "R", &[0]), atom(&s, "P", &[0])],

@@ -43,10 +43,7 @@ fn main() {
     // existential: not weakly acyclic, so certify nothing — but the
     // restricted chase still terminates here because compositions reuse
     // existing witnesses only when present; budget-bound it.
-    println!(
-        "weakly acyclic: {}",
-        is_weakly_acyclic(&schema, &mapping)
-    );
+    println!("weakly acyclic: {}", is_weakly_acyclic(&schema, &mapping));
     let solution = chase(
         &source,
         &mapping,

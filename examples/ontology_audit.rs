@@ -18,9 +18,15 @@ fn audit(name: &str, schema: &Schema, sigma: &[Tgd]) {
     }
     println!("   critical (k ≤ 3):        {:?}", report.critical);
     println!("   ⊗-closed (sampled):      {:?}", report.product_closed);
-    println!("   ∩-closed (sampled):      {:?}", report.intersection_closed);
+    println!(
+        "   ∩-closed (sampled):      {:?}",
+        report.intersection_closed
+    );
     println!("   ∪-closed (sampled):      {:?}", report.union_closed);
-    println!("   domain independent:      {:?}", report.domain_independent);
+    println!(
+        "   domain independent:      {:?}",
+        report.domain_independent
+    );
     println!("   members sampled:         {}", report.sampled_members);
 }
 
@@ -71,8 +77,14 @@ fn main() {
         println!("── Example 5.2 (Makowsky–Vardi Lemma 7 refutation)");
         println!("   σ:  {}", ex.tgd.display(&ex.schema));
         println!("   I:  {}", ex.model);
-        println!("   oblivious extension:     {} (violates σ)", ex.oblivious_extension);
-        println!("   non-oblivious extension: {} (model of σ)", ex.non_oblivious_extension);
+        println!(
+            "   oblivious extension:     {} (violates σ)",
+            ex.oblivious_extension
+        );
+        println!(
+            "   non-oblivious extension: {} (model of σ)",
+            ex.non_oblivious_extension
+        );
         let (oblivious, non_oblivious) = oblivious_closure_fails_on_example_5_2();
         println!("   closed under oblivious duplication:     {oblivious:?}");
         println!("   closed under non-oblivious duplication: {non_oblivious:?}");

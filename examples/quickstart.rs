@@ -32,15 +32,23 @@ fn main() {
     }
 
     // A database.
-    let data = parse_instance(&mut schema, "Employee(ann), Manages(bob, sales)")
-        .expect("data parses");
+    let data =
+        parse_instance(&mut schema, "Employee(ann), Manages(bob, sales)").expect("data parses");
     println!("\ndatabase: {data}");
-    println!("data satisfies the ontology already? {}", satisfies_tgds(&data, &sigma));
+    println!(
+        "data satisfies the ontology already? {}",
+        satisfies_tgds(&data, &sigma)
+    );
 
     // Chase to a universal model. Weak acyclicity certifies termination
     // before we even start.
     println!("weakly acyclic: {}", is_weakly_acyclic(&schema, &sigma));
-    let result = chase(&data, &sigma, ChaseVariant::Restricted, ChaseBudget::default());
+    let result = chase(
+        &data,
+        &sigma,
+        ChaseVariant::Restricted,
+        ChaseBudget::default(),
+    );
     assert!(result.terminated());
     println!(
         "chase: {} facts, {} invented nulls, {} rounds",
@@ -52,8 +60,11 @@ fn main() {
 
     // Certain answers: a Boolean CQ evaluated on the universal model.
     let mut query_schema = schema.clone();
-    let probe = parse_tgd(&mut query_schema, "Employee(x) -> exists d : WorksIn(x,d), Dept(d)")
-        .expect("query parses");
+    let probe = parse_tgd(
+        &mut query_schema,
+        "Employee(x) -> exists d : WorksIn(x,d), Dept(d)",
+    )
+    .expect("query parses");
     let q = Cq::boolean(probe.head().to_vec());
     println!(
         "\n∃d WorksIn(_, d) ∧ Dept(d) certain? {}",

@@ -43,8 +43,7 @@ fn main() {
     // finds the linear equivalent.
     {
         let mut s = Schema::default();
-        let tgds =
-            parse_tgds(&mut s, "R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).").unwrap();
+        let tgds = parse_tgds(&mut s, "R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).").unwrap();
         let set = TgdSet::new(s.clone(), tgds).unwrap();
         println!("── guarded -> linear: redundant side atom");
         for t in set.tgds() {
@@ -103,6 +102,9 @@ fn main() {
             parallel: true,
             ..Default::default()
         };
-        show(&guarded_to_linear(&reduction.sigma_prime, &small), reduction.sigma_prime.schema());
+        show(
+            &guarded_to_linear(&reduction.sigma_prime, &small),
+            reduction.sigma_prime.schema(),
+        );
     }
 }

@@ -69,11 +69,7 @@ fn main() {
     // Certain answers: which students certainly attend a course that is
     // offered by some department?
     let mut qschema = schema.clone();
-    let probe = parse_tgd(
-        &mut qschema,
-        "Enrolled(s, c), OfferedBy(c, d) -> Ans(s)",
-    )
-    .unwrap();
+    let probe = parse_tgd(&mut qschema, "Enrolled(s, c), OfferedBy(c, d) -> Ans(s)").unwrap();
     let q = Cq::new(probe.body().to_vec(), vec![Var(0)]).unwrap();
     let result = certain_answers(&data, set.tgds(), &q, ChaseBudget::default());
     let names: Vec<&str> = result
@@ -83,7 +79,11 @@ fn main() {
         .collect();
     println!(
         "\ncertain students in department-offered courses ({}): {names:?}",
-        if result.complete { "complete" } else { "partial" }
+        if result.complete {
+            "complete"
+        } else {
+            "partial"
+        }
     );
 
     // Explain a derived fact: why is ada a member of some department?
@@ -109,7 +109,12 @@ fn main() {
     );
 
     // Expressibility: is this (linear) fragment really linear-expressible?
-    let linear_rules: Vec<Tgd> = set.tgds().iter().filter(|t| t.is_linear()).cloned().collect();
+    let linear_rules: Vec<Tgd> = set
+        .tgds()
+        .iter()
+        .filter(|t| t.is_linear())
+        .cloned()
+        .collect();
     let linear_set = TgdSet::new(schema.clone(), linear_rules).unwrap();
     println!(
         "linear fragment linear-expressible: {:?} (union witness: {})",

@@ -74,7 +74,12 @@ fn cmd_chase(rules_path: &str, data_path: &str) -> Result<String, String> {
     let data = load_data(&mut schema, data_path)?;
     // Re-validate the rules against the (possibly extended) schema.
     let set = TgdSet::new(schema, tgds).map_err(|e| e.to_string())?;
-    let result = chase(&data, set.tgds(), ChaseVariant::Restricted, ChaseBudget::default());
+    let result = chase(
+        &data,
+        set.tgds(),
+        ChaseVariant::Restricted,
+        ChaseBudget::default(),
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -96,8 +101,7 @@ fn cmd_certain(rules_path: &str, data_path: &str, query_text: &str) -> Result<St
     let mut schema = Schema::default();
     let tgds = load_rules(&mut schema, rules_path)?;
     let data = load_data(&mut schema, data_path)?;
-    let query_tgd =
-        tgdkit::logic::parse_tgd(&mut schema, query_text).map_err(|e| e.to_string())?;
+    let query_tgd = tgdkit::logic::parse_tgd(&mut schema, query_text).map_err(|e| e.to_string())?;
     let set = TgdSet::new(schema, tgds).map_err(|e| e.to_string())?;
     let answer_vars: Vec<Var> = query_tgd.head()[0].args.to_vec();
     let q = Cq::new(query_tgd.body().to_vec(), answer_vars).map_err(|e| e.to_string())?;
@@ -107,7 +111,11 @@ fn cmd_certain(rules_path: &str, data_path: &str, query_text: &str) -> Result<St
         out,
         "{} certain answers ({}):",
         result.answers.len(),
-        if result.complete { "complete" } else { "sound but possibly incomplete" }
+        if result.complete {
+            "complete"
+        } else {
+            "sound but possibly incomplete"
+        }
     );
     for tuple in &result.answers {
         let rendered: Vec<String> = tuple
@@ -129,8 +137,7 @@ fn cmd_certain(rules_path: &str, data_path: &str, query_text: &str) -> Result<St
 fn cmd_entail(rules_path: &str, tgd_text: &str) -> Result<String, String> {
     let mut schema = Schema::default();
     let tgds = load_rules(&mut schema, rules_path)?;
-    let candidate =
-        tgdkit::logic::parse_tgd(&mut schema, tgd_text).map_err(|e| e.to_string())?;
+    let candidate = tgdkit::logic::parse_tgd(&mut schema, tgd_text).map_err(|e| e.to_string())?;
     let set = TgdSet::new(schema.clone(), tgds).map_err(|e| e.to_string())?;
     let verdict = entails_auto(&schema, set.tgds(), &candidate, ChaseBudget::default());
     Ok(format!(
@@ -219,9 +226,17 @@ fn cmd_audit(rules_path: &str) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "critical (k ≤ 3):        {:?}", report.critical);
     let _ = writeln!(out, "⊗-closed (sampled):      {:?}", report.product_closed);
-    let _ = writeln!(out, "∩-closed (sampled):      {:?}", report.intersection_closed);
+    let _ = writeln!(
+        out,
+        "∩-closed (sampled):      {:?}",
+        report.intersection_closed
+    );
     let _ = writeln!(out, "∪-closed (sampled):      {:?}", report.union_closed);
-    let _ = writeln!(out, "domain independent:      {:?}", report.domain_independent);
+    let _ = writeln!(
+        out,
+        "domain independent:      {:?}",
+        report.domain_independent
+    );
     let _ = writeln!(out, "members sampled:         {}", report.sampled_members);
     Ok(out)
 }

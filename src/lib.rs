@@ -45,14 +45,15 @@ pub use tgdkit_logic as logic;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use tgdkit_chase::{
-        certain_answers, certainly_holds, chase, entails, entails_all, entails_auto,
-        entails_linear, equivalent, is_weakly_acyclic, satisfies_tgd, satisfies_tgds,
-        CertainAnswers, ChaseBudget, ChaseOutcome, ChaseVariant, Entailment,
+        certain_answers, certainly_holds, chase, chase_configured, entails, entails_all,
+        entails_auto, entails_linear, equivalent, is_weakly_acyclic, satisfies_tgd, satisfies_tgds,
+        CertainAnswers, ChaseBudget, ChaseOutcome, ChaseStats, ChaseVariant, Entailment,
+        TriggerSearch,
     };
     pub use tgdkit_core::{
         frontier_guarded_to_guarded, guarded_to_linear, locality_counterexample,
-        locally_embeddable, DependencyOntology, FiniteOntology, LocalityFlavor,
-        LocalityOptions, Ontology, RewriteOptions, RewriteOutcome, TgdOntology, Verdict,
+        locally_embeddable, DependencyOntology, FiniteOntology, LocalityFlavor, LocalityOptions,
+        Ontology, RewriteOptions, RewriteOutcome, TgdOntology, Verdict,
     };
     pub use tgdkit_hom::{are_isomorphic, core_of, embeds_fixing, find_instance_hom, Cq};
     pub use tgdkit_instance::{
@@ -61,7 +62,7 @@ pub mod prelude {
         union, Elem, Instance, InstanceGen,
     };
     pub use tgdkit_logic::{
-        parse_dependencies, parse_program, parse_tgd, parse_tgds, Dependency, Schema, Tgd,
-        TgdSet, Var,
+        parse_dependencies, parse_program, parse_tgd, parse_tgds, Dependency, Schema, Tgd, TgdSet,
+        Var,
     };
 }

@@ -2,11 +2,10 @@
 //! paper-focused suites: error rendering, parser diagnostics, the greedy
 //! canonicalization fallback, display adapters, and budget edge cases.
 
-use tgdkit::logic::{
-    canonical_tgd, parse_dependencies, same_up_to_renaming, tgd_variant_key, Dependency,
-    LogicError,
-};
 use tgdkit::logic::canon::EXACT_LIMIT;
+use tgdkit::logic::{
+    canonical_tgd, parse_dependencies, same_up_to_renaming, tgd_variant_key, Dependency, LogicError,
+};
 use tgdkit::prelude::*;
 
 #[test]
@@ -30,8 +29,8 @@ fn logic_errors_render_helpfully() {
 fn parse_errors_carry_positions() {
     let mut s = Schema::default();
     // Error on line 3.
-    let err = tgdkit::logic::parse_tgds(&mut s, "R(x,y) -> R(y,x).\n// fine\nR(x -> T(x).")
-        .unwrap_err();
+    let err =
+        tgdkit::logic::parse_tgds(&mut s, "R(x,y) -> R(y,x).\n// fine\nR(x -> T(x).").unwrap_err();
     assert_eq!(err.line, 3);
     assert!(err.to_string().contains("3:"));
     // Column information for a mid-line error.
@@ -72,7 +71,11 @@ fn canonicalization_greedy_fallback_beyond_exact_limit() {
     let tgd_a = parse_tgd(&mut s, &text_a).unwrap();
     assert!(tgd_a.body().len() > EXACT_LIMIT);
     let canon = canonical_tgd(&tgd_a);
-    assert_eq!(canon, canonical_tgd(&canon), "greedy canonical not idempotent");
+    assert_eq!(
+        canon,
+        canonical_tgd(&canon),
+        "greedy canonical not idempotent"
+    );
     assert_eq!(tgd_variant_key(&tgd_a), tgd_variant_key(&canon));
     assert!(same_up_to_renaming(&tgd_a, &canon));
 }
@@ -87,10 +90,7 @@ fn instance_name_bookkeeping_through_operations() {
     assert_eq!(r.name_of(alice), Some("alice"));
     assert_eq!(r.elem_by_name("bob"), None);
     // restrict_to_facts keeps exactly the fact-touched elements.
-    let t_fact: Vec<_> = i
-        .facts()
-        .filter(|f| s.name(f.pred) == "T")
-        .collect();
+    let t_fact: Vec<_> = i.facts().filter(|f| s.name(f.pred) == "T").collect();
     let rt = i.restrict_to_facts(&t_fact);
     assert_eq!(rt.fact_count(), 1);
     assert!(rt.dom().contains(&alice));

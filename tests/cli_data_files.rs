@@ -16,7 +16,12 @@ fn university_rules_parse_and_terminate() {
     assert_eq!(rules.len(), 11);
     let data = parse_instance(&mut schema, &load("examples/data/university.db")).unwrap();
     assert!(is_weakly_acyclic(&schema, &rules));
-    let result = chase(&data, &rules, ChaseVariant::Restricted, ChaseBudget::default());
+    let result = chase(
+        &data,
+        &rules,
+        ChaseVariant::Restricted,
+        ChaseBudget::default(),
+    );
     assert!(result.terminated());
     assert!(satisfies_tgds(&result.instance, &rules));
 }
@@ -47,9 +52,7 @@ fn gadget_file_is_the_paper_gadget() {
     let set = TgdSet::new(schema, rules).unwrap();
     assert!(set.is_guarded() && !set.is_linear());
     // Provably not linearizable via the union-closure witness.
-    assert!(
-        tgdkit::core::expressibility::union_closure_witness(&set, 4, 0).is_some()
-    );
+    assert!(tgdkit::core::expressibility::union_closure_witness(&set, 4, 0).is_some());
 }
 
 #[test]

@@ -21,10 +21,7 @@ fn tgd_set(s: &mut Schema, text: &str) -> TgdSet {
 #[test]
 fn normalization_preserves_entailment() {
     let mut s = Schema::default();
-    let original = tgd_set(
-        &mut s,
-        "P(x) -> exists z : R(x,z), S(z,x). R(x,y) -> Q(y).",
-    );
+    let original = tgd_set(&mut s, "P(x) -> exists z : R(x,z), S(z,x). R(x,y) -> Q(y).");
     let normalized = single_head(&original).unwrap();
     assert!(normalized.set.tgds().iter().all(|t| t.head().len() == 1));
 
@@ -239,7 +236,12 @@ fn linear_sets_entailment_is_total() {
     for (text, expected) in candidates {
         let candidate = parse_tgd(&mut probe_schema, text).unwrap();
         assert_eq!(
-            entails_auto(&probe_schema, sigma.tgds(), &candidate, ChaseBudget::default()),
+            entails_auto(
+                &probe_schema,
+                sigma.tgds(),
+                &candidate,
+                ChaseBudget::default()
+            ),
             expected,
             "wrong verdict on {text}"
         );

@@ -8,7 +8,9 @@
 use tgdkit::core::characterize::recover_tgds;
 use tgdkit::core::enumerate::EnumOptions;
 use tgdkit::core::locality::local_on_samples;
-use tgdkit::core::mv::{example_5_2, full_tgd_property_report, oblivious_closure_fails_on_example_5_2};
+use tgdkit::core::mv::{
+    example_5_2, full_tgd_property_report, oblivious_closure_fails_on_example_5_2,
+};
 use tgdkit::core::properties::{
     check_criticality, check_product_closure, member_pairs, sample_members,
 };
@@ -79,7 +81,11 @@ fn lemma_3_6_tgd_ontologies_are_local() {
         LocalityFlavor::Plain,
         &LocalityOptions::default(),
     );
-    assert_ne!(verdict, Verdict::No, "locality violated at sample {witness:?}");
+    assert_ne!(
+        verdict,
+        Verdict::No,
+        "locality violated at sample {witness:?}"
+    );
 }
 
 /// Lemma 3.8: every local ontology is domain independent — for
@@ -330,11 +336,12 @@ fn appendix_f_reduction_to_guarded_rewritability() {
 #[test]
 fn lemma_6_3_profile_preservation() {
     let mut s = Schema::default();
-    let set = tgd_set(&mut s, "R(x,y), R(x,x) -> exists z : S(x,z). R(x,y) -> exists z : S(x,z).");
+    let set = tgd_set(
+        &mut s,
+        "R(x,y), R(x,x) -> exists z : S(x,z). R(x,y) -> exists z : S(x,z).",
+    );
     let (n, m) = set.profile();
-    if let RewriteOutcome::Rewritten(linear) =
-        guarded_to_linear(&set, &RewriteOptions::default())
-    {
+    if let RewriteOutcome::Rewritten(linear) = guarded_to_linear(&set, &RewriteOptions::default()) {
         for tgd in &linear {
             assert!(tgd.universal_count() <= n);
             assert!(tgd.existential_count() <= m);
@@ -352,7 +359,12 @@ fn members_are_locally_embeddable() {
     let set = tgd_set(&mut s, "E(x,y) -> E(y,x).");
     for seed in 0..6 {
         let start = InstanceGen::new(s.clone(), seed).generate(4, 0.3);
-        let model = chase(&start, set.tgds(), ChaseVariant::Restricted, ChaseBudget::default());
+        let model = chase(
+            &start,
+            set.tgds(),
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
         assert!(model.terminated());
         let v = locally_embeddable(
             &set,

@@ -36,7 +36,12 @@ fn chase_fires_propositional_heads_once() {
     let mut s = Schema::default();
     let tgds = parse_tgds(&mut s, "P(x) -> Aux(). Aux(), P(x) -> Q(x).").unwrap();
     let start = parse_instance(&mut s, "P(a), P(b)").unwrap();
-    let result = chase(&start, &tgds, ChaseVariant::Restricted, ChaseBudget::default());
+    let result = chase(
+        &start,
+        &tgds,
+        ChaseVariant::Restricted,
+        ChaseBudget::default(),
+    );
     assert!(result.terminated());
     // Aux once, Q(a), Q(b).
     assert_eq!(result.instance.fact_count(), 5);

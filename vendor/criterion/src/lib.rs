@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` with `warm_up_time` / `measurement_time` /
+//! `sample_size`, `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then takes `sample_size` samples (auto-scaled iteration batches)
+//! within the measurement time and reports min / mean / max per-iteration
+//! wall time on stdout. There are no plots, no statistics beyond the three
+//! summary numbers, and no baseline comparisons — enough to observe
+//! relative speedups locally, not a criterion replacement.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs timed iterations of one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            std::hint::black_box(routine());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / iters_done.max(1) as u32;
+        // Batch size so one sample costs ~ measurement_time / sample_size.
+        let budget_per_sample = self.measurement / self.sample_size.max(1) as u32;
+        let batch = if per_iter.is_zero() {
+            64
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    full_label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        warm_up,
+        measurement,
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{full_label:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{full_label:<48} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+    );
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stand-in accepts and ignores
+    /// them (so `cargo bench -- <filter>` does not error out).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            warm_up: None,
+            measurement: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        run_one(
+            &id.label,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            f,
+        );
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up time for the group.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up = Some(dur);
+        self
+    }
+
+    /// Sets the measurement time for the group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement = Some(dur);
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.warm_up.unwrap_or(self.criterion.warm_up),
+            self.measurement.unwrap_or(self.criterion.measurement),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            f,
+        );
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (a no-op in the stand-in; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (criterion API subset: the plain
+/// `criterion_group!(name, target, ...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("id", 7), |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| std::hint::black_box(0)));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the proptest 1.x API the test suite uses: the
+//! [`proptest!`] macro over `ident in strategy` arguments, the
+//! `prop_assert*` / [`prop_assume!`] macros, integer-range / string /
+//! [`strategy::Just`] / [`prop_oneof!`] / [`collection::vec`] strategies,
+//! and [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics: each test runs `cases` deterministic pseudo-random cases
+//! (seeded from the test's name, so failures reproduce across runs);
+//! `prop_assume!` rejections are retried without counting toward the case
+//! budget. There is **no shrinking** — a failing case reports its inputs'
+//! case index instead.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformInt};
+
+    /// The deterministic RNG handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// The next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            if lo >= hi {
+                lo
+            } else {
+                self.0.random_range(lo..hi)
+            }
+        }
+    }
+
+    /// A value generator. Unlike upstream proptest there is no shrinking:
+    /// `generate` produces the final value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: UniformInt> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_u64(rng.below(self.start.to_u64(), self.end.to_u64()))
+        }
+    }
+
+    /// A strategy producing clones of one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the [`crate::prop_oneof!`]
+    /// expansion).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(0, self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// String strategy from a regex-shaped pattern. Only the `.{lo,hi}`
+    /// shape the test suite uses is interpreted (arbitrary characters,
+    /// length in `[lo, hi]`); any other pattern falls back to length 0–32.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+            let len = rng.below(lo as u64, hi as u64 + 1) as usize;
+            (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII, sprinkled with whitespace and
+                    // multi-byte characters to stress the parsers.
+                    match rng.below(0, 20) {
+                        0 => '\n',
+                        1 => '\t',
+                        2 => '→',
+                        3 => 'λ',
+                        _ => (rng.below(0x20, 0x7f) as u8) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hash::{DefaultHasher, Hash, Hasher};
+
+    /// Test-loop configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition failed — the case is retried.
+        Reject(String),
+    }
+
+    /// Drives the case loop for one `proptest!`-generated test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner seeded deterministically from the test name.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            name.hash(&mut hasher);
+            TestRunner {
+                config,
+                name,
+                rng: TestRng(StdRng::seed_from_u64(hasher.finish())),
+            }
+        }
+
+        /// Runs `case` until `cases` cases pass; panics on the first
+        /// failure. Rejections retry with fresh inputs, with a global cap.
+        pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let max_rejects = 64 * u64::from(self.config.cases.max(16));
+            while passed < self.config.cases {
+                match case(&mut self.rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections \
+                                 ({rejected} rejects for {passed} passes)",
+                                self.name
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (after {rejected} rejects): {msg}",
+                            self.name,
+                            passed + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format_args!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} (both: {:?})",
+                format_args!($($fmt)*), l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..9, b in 0usize..2) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < 2);
+        }
+
+        #[test]
+        fn assume_retries(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_vec(parts in crate::collection::vec(
+            prop_oneof![Just("a".to_string()), Just("b".to_string())],
+            0..5,
+        )) {
+            prop_assert!(parts.len() < 5);
+            prop_assert!(parts.iter().all(|p| p == "a" || p == "b"));
+        }
+
+        #[test]
+        fn string_pattern_lengths(text in ".{0,10}") {
+            prop_assert!(text.chars().count() <= 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(a in 0u64..10) {
+                prop_assert!(a > 100, "impossible: {}", a);
+            }
+        }
+        inner();
+    }
+}
