@@ -7,8 +7,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+use tgdkit_chase::EntailCache;
 use tgdkit_core::enumerate::{guarded_candidates, linear_candidates, EnumOptions};
-use tgdkit_core::rewrite::{frontier_guarded_to_guarded, guarded_to_linear, RewriteOptions};
+use tgdkit_core::rewrite::{
+    frontier_guarded_to_guarded, guarded_to_linear, guarded_to_linear_cached, RewriteOptions,
+};
 use tgdkit_core::workload::{schema_for, WorkloadParams};
 use tgdkit_logic::{parse_tgds, Schema, TgdSet};
 
@@ -114,11 +117,38 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_entail_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite/entail_cache");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(12);
+    let set = set_from("R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).");
+    let opts = RewriteOptions {
+        parallel: true,
+        ..Default::default()
+    };
+    // Cold: every iteration pays grouping, chasing and probing afresh.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = EntailCache::new();
+            black_box(guarded_to_linear_cached(&set, &opts, &cache))
+        })
+    });
+    // Warm: the shared cache answers every candidate after the first run.
+    let warm_cache = EntailCache::new();
+    let _ = guarded_to_linear_cached(&set, &opts, &warm_cache);
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(guarded_to_linear_cached(&set, &opts, &warm_cache)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_candidate_enumeration,
     bench_algorithm_1,
     bench_algorithm_2,
-    bench_parallel_speedup
+    bench_parallel_speedup,
+    bench_entail_cache
 );
 criterion_main!(benches);

@@ -12,7 +12,8 @@
 
 use tgdkit_bench::{fmt_count, fmt_duration, timed, Table};
 use tgdkit_chase::{
-    chase, entails, is_weakly_acyclic, satisfies_tgds, ChaseBudget, ChaseVariant, Entailment,
+    chase, entails, entails_auto, is_weakly_acyclic, satisfies_tgds, ChaseBudget, ChaseVariant,
+    EntailCache, Entailment,
 };
 use tgdkit_core::characterize::recover_tgds;
 use tgdkit_core::enumerate::{
@@ -29,8 +30,8 @@ use tgdkit_core::reductions::{
     fg_entailment_to_guarded_rewritability, guarded_entailment_to_linear_rewritability,
 };
 use tgdkit_core::rewrite::{
-    frontier_guarded_to_guarded_with_stats, guarded_to_linear_with_stats, RewriteOptions,
-    RewriteOutcome,
+    evaluate_pool, frontier_guarded_to_guarded_cached, frontier_guarded_to_guarded_with_stats,
+    guarded_to_linear_cached, guarded_to_linear_with_stats, RewriteOptions, RewriteOutcome,
 };
 use tgdkit_core::separations::{
     cross_check_with_rewriting, guarded_vs_frontier_guarded, linear_vs_guarded, verify,
@@ -38,7 +39,7 @@ use tgdkit_core::separations::{
 use tgdkit_core::workload::{generate_set, Family, WorkloadParams};
 use tgdkit_core::{TgdOntology, Verdict};
 use tgdkit_instance::InstanceGen;
-use tgdkit_logic::{parse_tgds, Schema, TgdSet};
+use tgdkit_logic::{parse_tgds, Schema, Tgd, TgdSet};
 
 fn section(id: &str, title: &str, claim: &str) {
     println!("\n## {id}: {title}");
@@ -288,9 +289,14 @@ fn e7_e8_rewriting() {
         "(n,m)",
         "candidates",
         "paper bound",
+        "groups/chased",
+        "cache h/m",
         "outcome",
         "time",
     ]);
+    // One entailment cache shared across every rewrite in this section, so
+    // candidates recurring between inputs (up to renaming) are decided once.
+    let cache = EntailCache::new();
     let opts = RewriteOptions {
         parallel: true,
         ..Default::default()
@@ -317,7 +323,7 @@ fn e7_e8_rewriting() {
     for (text, run_opts) in linear_inputs {
         let (name, set) = named_set(text);
         let (n, m) = set.profile();
-        let ((outcome, stats), time) = timed(|| guarded_to_linear_with_stats(&set, run_opts));
+        let ((outcome, stats), time) = timed(|| guarded_to_linear_cached(&set, run_opts, &cache));
         table.row(&[
             "G-to-L".into(),
             name,
@@ -326,6 +332,8 @@ fn e7_e8_rewriting() {
             format!("({n},{m})"),
             stats.candidates.to_string(),
             fmt_count(paper_bound_linear(set.schema(), n, m)),
+            format!("{}/{}", stats.body_groups, stats.bodies_chased),
+            format!("{}/{}", stats.cache_hits, stats.cache_misses),
             outcome_str(&outcome),
             fmt_duration(time),
         ]);
@@ -338,7 +346,7 @@ fn e7_e8_rewriting() {
         let (name, set) = named_set(text);
         let (n, m) = set.profile();
         let ((outcome, stats), time) =
-            timed(|| frontier_guarded_to_guarded_with_stats(&set, run_opts));
+            timed(|| frontier_guarded_to_guarded_cached(&set, run_opts, &cache));
         table.row(&[
             "FG-to-G".into(),
             name,
@@ -347,11 +355,20 @@ fn e7_e8_rewriting() {
             format!("({n},{m})"),
             stats.candidates.to_string(),
             fmt_count(paper_bound_guarded(set.schema(), n, m)),
+            format!("{}/{}", stats.body_groups, stats.bodies_chased),
+            format!("{}/{}", stats.cache_hits, stats.cache_misses),
             outcome_str(&outcome),
             fmt_duration(time),
         ]);
     }
     print!("{}", table.render());
+    println!(
+        "shared entailment cache after E7/E8: {} entries, {} hits / {} misses ({:.1}% hit rate)",
+        cache.len(),
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate() * 100.0
+    );
 
     // Candidate-space growth vs the paper bound, by schema size and arity.
     println!("\ncandidate-space growth (enumerated, head/body budget 2 atoms, vs paper bound):");
@@ -769,7 +786,184 @@ fn e14_exhaustive_bounded() {
     print!("{}", table.render());
 }
 
+/// The candidate evaluator the cache/grouping work replaced, reconstructed
+/// as the benchmark baseline: fixed contiguous chunks of the candidate
+/// list, one scoped thread per chunk, and a full `entails_auto`
+/// (freeze + chase + CQ probe) paid by every candidate individually.
+fn baseline_evaluate(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+) -> Vec<Entailment> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(candidates.len().max(1));
+    if workers <= 1 {
+        return candidates
+            .iter()
+            .map(|c| entails_auto(schema, sigma, c, budget))
+            .collect();
+    }
+    let chunk = candidates.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(candidates.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|c| entails_auto(schema, sigma, c, budget))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("baseline worker panicked"));
+        }
+    });
+    out
+}
+
+/// A guarded, weakly-acyclic "branching chain" set: every level-`i` fact
+/// spawns two existential children at level `i+1`, so the chase of any
+/// frozen candidate body does `levels` rounds of real work — the regime
+/// the body-grouped evaluator shares. The two-atom guarded rule keeps the
+/// set off the all-linear saturation fast path.
+fn branching_chain_set(levels: usize) -> TgdSet {
+    let mut text = String::new();
+    for i in 1..=levels {
+        let p = i - 1;
+        text.push_str(&format!("L{p}(x) -> exists y : E{i}(x,y). "));
+        text.push_str(&format!("E{i}(x,y) -> L{i}(y). "));
+        text.push_str(&format!("L{p}(x) -> exists y : F{i}(x,y). "));
+        text.push_str(&format!("F{i}(x,y) -> L{i}(y). "));
+    }
+    text.push_str("E1(x,y), L1(y) -> D(x).");
+    named_set(&text).1
+}
+
+/// The guarded→linear rewriting benchmark, written to `BENCH_rewrite.json`
+/// so the trajectory is machine-trackable across PRs.
+///
+/// Headline comparison: the per-candidate fixed-chunk evaluator
+/// ([`baseline_evaluate`]) vs the body-grouped, cached, work-stealing
+/// evaluator ([`evaluate_pool`]) over the same Algorithm 1 candidate pool
+/// for a branching-chain set. Full `guarded_to_linear_cached` wall times
+/// (cold and warm) are recorded on the §9.1 gadget, whose Σ' stays small
+/// enough for minimization not to drown the evaluator signal. `smoke`
+/// shrinks the chain and the pool cap for CI.
+fn bench_rewrite_json(smoke: bool) {
+    section(
+        "BENCH",
+        "guarded-to-linear candidate evaluation (emits BENCH_rewrite.json)",
+        "body-grouped chase sharing + entailment caching beat per-candidate evaluation",
+    );
+    let (levels, cap) = if smoke { (3, 1_200) } else { (5, 6_000) };
+    let scenario = format!("branching chain, {levels} levels, pool cap {cap}");
+    let set = branching_chain_set(levels);
+    let schema = set.schema();
+    let sigma = set.tgds();
+    let (n, m) = set.profile();
+    let pool = linear_candidates(
+        schema,
+        n,
+        m,
+        &EnumOptions {
+            max_candidates: cap,
+            ..Default::default()
+        },
+    );
+    let budget = ChaseBudget::default();
+
+    let (baseline, baseline_time) = timed(|| baseline_evaluate(schema, sigma, &pool.tgds, budget));
+    let cache = EntailCache::new();
+    let ((grouped, batch, steals), grouped_time) =
+        timed(|| evaluate_pool(schema, sigma, &pool.tgds, budget, true, &cache));
+    assert_eq!(
+        baseline, grouped,
+        "grouped evaluator diverged from baseline"
+    );
+    let ((_, warm_batch, _), warm_time) =
+        timed(|| evaluate_pool(schema, sigma, &pool.tgds, budget, true, &cache));
+
+    let (_, gadget) = named_set("R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).");
+    let opts = RewriteOptions {
+        parallel: true,
+        ..Default::default()
+    };
+    let rewrite_cache = EntailCache::new();
+    let ((outcome, _), rewrite_cold) =
+        timed(|| guarded_to_linear_cached(&gadget, &opts, &rewrite_cache));
+    let (_, rewrite_warm) = timed(|| guarded_to_linear_cached(&gadget, &opts, &rewrite_cache));
+
+    let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
+    let hit_rate = |hits: usize, misses: usize| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    let ms = |t: std::time::Duration| t.as_secs_f64() * 1e3;
+    let speedup = baseline_time.as_secs_f64() / grouped_time.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"smoke\": {},\n  \"candidates\": {},\n  \
+         \"body_groups\": {},\n  \"bodies_chased\": {},\n  \"heads_probed\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"warm_cache_hit_rate\": {:.4},\n  \"steals\": {},\n  \
+         \"baseline_wall_time_ms\": {:.3},\n  \"wall_time_ms\": {:.3},\n  \
+         \"warm_wall_time_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
+         \"baseline_candidates_per_sec\": {:.0},\n  \"candidates_per_sec\": {:.0},\n  \
+         \"rewrite_cold_ms\": {:.3},\n  \"rewrite_warm_ms\": {:.3},\n  \
+         \"rewrite_outcome\": \"{}\"\n}}\n",
+        scenario,
+        smoke,
+        pool.tgds.len(),
+        batch.body_groups,
+        batch.bodies_chased,
+        batch.heads_probed,
+        batch.cache_hits,
+        batch.cache_misses,
+        hit_rate(batch.cache_hits, batch.cache_misses),
+        hit_rate(warm_batch.cache_hits, warm_batch.cache_misses),
+        steals,
+        ms(baseline_time),
+        ms(grouped_time),
+        ms(warm_time),
+        speedup,
+        rate(pool.tgds.len(), baseline_time),
+        rate(pool.tgds.len(), grouped_time),
+        ms(rewrite_cold),
+        ms(rewrite_warm),
+        outcome_str(&outcome),
+    );
+    std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
+    println!(
+        "{} candidates in {} body groups; baseline {} vs grouped {} ({:.2}x), warm {}",
+        pool.tgds.len(),
+        batch.body_groups,
+        fmt_duration(baseline_time),
+        fmt_duration(grouped_time),
+        speedup,
+        fmt_duration(warm_time),
+    );
+    println!(
+        "full rewrite: cold {} / warm {}; wrote BENCH_rewrite.json",
+        fmt_duration(rewrite_cold),
+        fmt_duration(rewrite_warm),
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI smoke: only the JSON benchmark, on the tiny §9.1 gadget.
+        println!("# tgdkit bench smoke (--smoke)");
+        bench_rewrite_json(true);
+        return;
+    }
     println!("# tgdkit experiment tables");
     println!("(reproduces the constructive artifacts of PODS 2021 \"Model-theoretic");
     println!(
@@ -788,6 +982,7 @@ fn main() {
         e12_rewriting_at_scale();
         e13_separating_edds();
         e14_exhaustive_bounded();
+        bench_rewrite_json(false);
     });
     println!("\ntotal: {}", fmt_duration(total));
 }

@@ -1,0 +1,482 @@
+//! Entailment memoization and body-grouped chase sharing.
+//!
+//! The rewriting procedures of paper §9.2 and the locality checkers spend
+//! almost all their time deciding `Σ ⊨ σ` over the enumerated candidate
+//! space `C_{n,m}`. Two structural facts make most of that work redundant:
+//!
+//! 1. **Entailment is renaming-invariant.** `Σ ⊨ σ` depends on `σ` only up
+//!    to variable renaming and atom reordering, so a verdict can be keyed by
+//!    the candidate's [`tgd_variant_key`] together with a fingerprint of `Σ`
+//!    and the chase budget, and reused across repeated procedures
+//!    ([`EntailCache`]).
+//! 2. **Candidates cluster by body.** `C_{n,m}` pairs every admissible body
+//!    with every admissible head, so thousands of candidates share a body
+//!    modulo renaming — and the chase of the frozen body depends on the body
+//!    alone. Grouping candidates by canonical body ([`group_by_body`]),
+//!    chasing each distinct body once, and deciding every head in the group
+//!    by an indexed hom probe into the shared chase result
+//!    ([`evaluate_group`]) turns `O(candidates)` chases into
+//!    `O(distinct bodies)` chases.
+//!
+//! Both layers are exact: the canonical form produced by
+//! [`canonical_tgd`] is identical for renaming-variants (for conjunctions of
+//! at most [`tgdkit_logic::canon::EXACT_LIMIT`] atoms; beyond that the
+//! greedy form merely splits groups, which costs speed, never soundness),
+//! and [`evaluate_group`] runs the same decision pipeline as
+//! [`crate::entails_auto`] — linear fast path, budgeted chase, finite
+//! countermodel search on `Unknown` — so verdicts agree bit-for-bit with the
+//! unshared, uncached path.
+
+use crate::chase::{chase, ChaseBudget, ChaseOutcome, ChaseVariant};
+use crate::countermodel::{refute_by_countermodel, SearchBudget};
+use crate::entail::{entails_auto, freeze_body, Entailment};
+use crate::linear::entails_linear;
+use crate::stats::ChaseStats;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+use tgdkit_hom::{Binding, Cq, InstanceIndex};
+use tgdkit_instance::Elem;
+use tgdkit_logic::{canonical_tgd, tgd_variant_key, Atom, Schema, Tgd, TgdVariantKey, Var};
+
+/// Cache key: candidate modulo renaming, `Σ` fingerprint, chase budget.
+type Key = (TgdVariantKey, u64, ChaseBudget);
+
+/// A renaming-invariant fingerprint of a tgd set, for use as the `Σ`
+/// component of an [`EntailCache`] key.
+///
+/// Two sets with the same members up to variable renaming, atom reordering,
+/// member reordering and duplication get the same fingerprint. (A 64-bit
+/// hash collision between *different* sets is possible in principle; at the
+/// cache's working-set sizes — thousands of entries — the probability is
+/// negligible, and the cache is an accelerator, not a proof store.)
+pub fn sigma_fingerprint(sigma: &[Tgd]) -> u64 {
+    let mut keys: Vec<TgdVariantKey> = sigma.iter().map(tgd_variant_key).collect();
+    keys.sort();
+    keys.dedup();
+    let mut hasher = DefaultHasher::new();
+    keys.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A concurrent memo of entailment verdicts keyed by
+/// (candidate [`tgd_variant_key`], [`sigma_fingerprint`], [`ChaseBudget`]).
+///
+/// Shared by reference across rewriting / expressibility / characterization
+/// calls (and across worker threads within one call); all methods take
+/// `&self`. Hit/miss counters are cumulative over the cache's lifetime;
+/// per-run accounting lives in [`EntailBatchStats`].
+#[derive(Debug, Default)]
+pub struct EntailCache {
+    map: RwLock<HashMap<Key, Entailment>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl EntailCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("entail cache poisoned").len()
+    }
+
+    /// `true` when no verdict has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative lookup hits.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lookup misses.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative hit rate in `[0, 1]`; `0.0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Looks up the verdict for `candidate` under a set with the given
+    /// fingerprint and budget.
+    pub fn lookup(
+        &self,
+        candidate: &Tgd,
+        fingerprint: u64,
+        budget: ChaseBudget,
+    ) -> Option<Entailment> {
+        self.lookup_key(&(tgd_variant_key(candidate), fingerprint, budget))
+    }
+
+    /// Stores a verdict for `candidate` under the given fingerprint/budget.
+    pub fn store(&self, candidate: &Tgd, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
+        self.store_key((tgd_variant_key(candidate), fingerprint, budget), v);
+    }
+
+    fn lookup_key(&self, key: &Key) -> Option<Entailment> {
+        let v = self
+            .map
+            .read()
+            .expect("entail cache poisoned")
+            .get(key)
+            .copied();
+        let counter = if v.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    fn store_key(&self, key: Key, v: Entailment) {
+        self.map
+            .write()
+            .expect("entail cache poisoned")
+            .insert(key, v);
+    }
+}
+
+/// Candidates sharing one canonical body (hence one frozen instance, hence
+/// one chase). Produced by [`group_by_body`].
+#[derive(Debug, Clone)]
+pub struct BodyGroup {
+    /// `(index into the original slice, canonical representative)` for each
+    /// member. The canonical form is what gets evaluated; verdicts are
+    /// renaming-invariant, so they hold for the original candidate too.
+    pub members: Vec<(usize, Tgd)>,
+}
+
+/// Groups candidates by the body of their canonical form
+/// ([`canonical_tgd`]), preserving first-occurrence order of both groups and
+/// members (so downstream evaluation order is deterministic).
+pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup> {
+    let mut groups: Vec<BodyGroup> = Vec::new();
+    let mut by_body: HashMap<Vec<Atom<Var>>, usize> = HashMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let canon = canonical_tgd(c);
+        let slot = *by_body.entry(canon.body().to_vec()).or_insert_with(|| {
+            groups.push(BodyGroup {
+                members: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[slot].members.push((i, canon));
+    }
+    groups
+}
+
+/// Per-batch accounting for [`entails_batch`] / [`evaluate_group`].
+///
+/// Unlike the cumulative counters on [`EntailCache`], these cover exactly
+/// one batch, so callers can report per-run sharing even with a cache shared
+/// across many runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EntailBatchStats {
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Distinct canonical bodies among them.
+    pub body_groups: usize,
+    /// Frozen bodies actually chased (≤ `body_groups`: a group whose members
+    /// are all settled by the cache or the linear fast path never chases).
+    pub bodies_chased: usize,
+    /// Heads decided by a hom probe into a shared chase result.
+    pub heads_probed: usize,
+    /// Verdicts served from the [`EntailCache`].
+    pub cache_hits: usize,
+    /// Lookups that missed and forced an evaluation.
+    pub cache_misses: usize,
+    /// Aggregated engine stats of the body chases.
+    pub chase: ChaseStats,
+}
+
+impl EntailBatchStats {
+    /// Folds another batch's counters into `self`.
+    pub fn absorb(&mut self, other: &EntailBatchStats) {
+        self.candidates += other.candidates;
+        self.body_groups += other.body_groups;
+        self.bodies_chased += other.bodies_chased;
+        self.heads_probed += other.heads_probed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.chase.absorb(&other.chase);
+    }
+}
+
+/// Decides `Σ ⊨ σ` for every member of one body group, chasing the shared
+/// frozen body at most once.
+///
+/// Runs the [`crate::entails_auto`] pipeline per member — linear
+/// backward-rewriting fast path when `Σ` is all-linear, then the budgeted
+/// chase (shared across the group), then finite countermodel search on
+/// `Unknown` — so verdicts agree with per-candidate [`crate::entails_auto`].
+/// The chase is lazy: if every member is settled by the cache or the linear
+/// fast path, the body is never chased.
+///
+/// Returns `(original index, verdict)` pairs in member order.
+pub fn evaluate_group(
+    schema: &Schema,
+    sigma: &[Tgd],
+    group: &BodyGroup,
+    budget: ChaseBudget,
+    cache: Option<(&EntailCache, u64)>,
+    stats: &mut EntailBatchStats,
+) -> Vec<(usize, Entailment)> {
+    let sigma_linear = !sigma.is_empty() && sigma.iter().all(Tgd::is_linear);
+    let mut shared: Option<(InstanceIndex, ChaseOutcome)> = None;
+    let mut verdicts = Vec::with_capacity(group.members.len());
+    for (idx, cand) in &group.members {
+        let key = cache.map(|(_, fp)| (tgd_variant_key(cand), fp, budget));
+        if let (Some((c, _)), Some(k)) = (cache, key.as_ref()) {
+            if let Some(v) = c.lookup_key(k) {
+                stats.cache_hits += 1;
+                verdicts.push((*idx, v));
+                continue;
+            }
+            stats.cache_misses += 1;
+        }
+        let mut verdict = Entailment::Unknown;
+        if sigma_linear {
+            // Saturation cap proportional to the chase budget's appetite
+            // (mirrors `entails_auto`).
+            verdict = entails_linear(schema, sigma, cand, budget.max_facts.max(10_000));
+        }
+        if verdict == Entailment::Unknown {
+            let (index, outcome) = shared.get_or_insert_with(|| {
+                let frozen = freeze_body(schema, cand);
+                let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
+                stats.bodies_chased += 1;
+                stats.chase.absorb(&result.stats);
+                (InstanceIndex::new(&result.instance), result.outcome)
+            });
+            stats.heads_probed += 1;
+            let head_cq = Cq::boolean(cand.head().to_vec());
+            let mut fixed: Binding = vec![None; cand.var_count()];
+            for (v, slot) in fixed.iter_mut().enumerate().take(cand.universal_count()) {
+                *slot = Some(Elem(v as u32));
+            }
+            verdict = if head_cq.holds_with_indexed(index, &fixed) {
+                Entailment::Proved
+            } else if *outcome == ChaseOutcome::Terminated {
+                Entailment::Disproved
+            } else {
+                refute_by_countermodel(schema, sigma, cand, &SearchBudget::default())
+            };
+        }
+        if let (Some((c, _)), Some(k)) = (cache, key) {
+            c.store_key(k, verdict);
+        }
+        verdicts.push((*idx, verdict));
+    }
+    verdicts
+}
+
+/// Batch entailment `{ Σ ⊨ σ | σ ∈ candidates }` with body-grouped chase
+/// sharing and optional memoization.
+///
+/// Returns one verdict per candidate (in input order) plus the batch's
+/// sharing/caching counters. Verdicts agree with calling
+/// [`crate::entails_auto`] per candidate.
+pub fn entails_batch(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: Option<&EntailCache>,
+) -> (Vec<Entailment>, EntailBatchStats) {
+    let mut stats = EntailBatchStats {
+        candidates: candidates.len(),
+        ..Default::default()
+    };
+    let groups = group_by_body(candidates);
+    stats.body_groups = groups.len();
+    let keyed = cache.map(|c| (c, sigma_fingerprint(sigma)));
+    let mut verdicts = vec![Entailment::Unknown; candidates.len()];
+    for group in &groups {
+        for (idx, v) in evaluate_group(schema, sigma, group, budget, keyed, &mut stats) {
+            verdicts[idx] = v;
+        }
+    }
+    (verdicts, stats)
+}
+
+/// [`crate::entails_auto`] through an [`EntailCache`].
+pub fn entails_auto_cached(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: ChaseBudget,
+    cache: &EntailCache,
+) -> Entailment {
+    let key = (tgd_variant_key(candidate), sigma_fingerprint(sigma), budget);
+    if let Some(v) = cache.lookup_key(&key) {
+        return v;
+    }
+    let v = entails_auto(schema, sigma, candidate, budget);
+    cache.store_key(key, v);
+    v
+}
+
+/// [`crate::entails_all`] through an [`EntailCache`] (three-valued
+/// conjunction, early exit on `Disproved`).
+pub fn entails_all_cached(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: &EntailCache,
+) -> Entailment {
+    let mut acc = Entailment::Proved;
+    for c in candidates {
+        acc = acc.and(entails_auto_cached(schema, sigma, c, budget, cache));
+        if acc == Entailment::Disproved {
+            return acc;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_logic::{parse_tgd, parse_tgds};
+
+    fn schema_and_sigma(text: &str) -> (Schema, Vec<Tgd>) {
+        let mut s = Schema::default();
+        let sigma = parse_tgds(&mut s, text).unwrap();
+        (s, sigma)
+    }
+
+    #[test]
+    fn fingerprint_is_renaming_and_order_invariant() {
+        let (_, a) = schema_and_sigma("E(x,y) -> E(y,x). E(x,y), E(y,z) -> E(x,z).");
+        let (_, b) = schema_and_sigma("E(u,v), E(v,w) -> E(u,w). E(p,q) -> E(q,p).");
+        assert_eq!(sigma_fingerprint(&a), sigma_fingerprint(&b));
+        let (_, c) = schema_and_sigma("E(x,y) -> E(y,x).");
+        assert_ne!(sigma_fingerprint(&a), sigma_fingerprint(&c));
+    }
+
+    #[test]
+    fn grouping_merges_renaming_variant_bodies() {
+        let mut s = Schema::default();
+        let candidates = vec![
+            parse_tgd(&mut s, "R(x,y) -> T(x)").unwrap(),
+            parse_tgd(&mut s, "R(u,v) -> T(v)").unwrap(),
+            parse_tgd(&mut s, "R(x,x) -> T(x)").unwrap(),
+        ];
+        let groups = group_by_body(&candidates);
+        assert_eq!(groups.len(), 2, "R(x,y) variants share a group");
+        assert_eq!(groups[0].members.len(), 2);
+        assert_eq!(groups[0].members[0].0, 0);
+        assert_eq!(groups[0].members[1].0, 1);
+        assert_eq!(groups[1].members.len(), 1);
+    }
+
+    #[test]
+    fn batch_agrees_with_entails_auto() {
+        let (s, sigma) = schema_and_sigma(
+            "E(x,y) -> E(y,x). E(x,y), E(y,z) -> E(x,z). P(x) -> exists z : E(x,z).",
+        );
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "E(x,y) -> E(x,x)").unwrap(),
+            parse_tgd(&mut s2, "E(u,v) -> E(v,v)").unwrap(),
+            parse_tgd(&mut s2, "E(x,y) -> P(x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> exists w : E(w,x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> E(x,x)").unwrap(),
+        ];
+        let budget = ChaseBudget::default();
+        let expected: Vec<Entailment> = candidates
+            .iter()
+            .map(|c| entails_auto(&s, &sigma, c, budget))
+            .collect();
+        let (got, stats) = entails_batch(&s, &sigma, &candidates, budget, None);
+        assert_eq!(got, expected);
+        assert_eq!(stats.candidates, 5);
+        assert!(stats.body_groups < stats.candidates, "bodies were shared");
+        assert!(stats.bodies_chased <= stats.body_groups);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_on_renaming_variants() {
+        let (s, sigma) = schema_and_sigma("E(x,y) -> E(y,x).");
+        let mut s2 = s.clone();
+        let candidate = parse_tgd(&mut s2, "E(x,y) -> E(x,x)").unwrap();
+        let variant = parse_tgd(&mut s2, "E(a,b) -> E(a,a)").unwrap();
+        let cache = EntailCache::new();
+        let budget = ChaseBudget::default();
+        let v1 = entails_auto_cached(&s, &sigma, &candidate, budget, &cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+        let v2 = entails_auto_cached(&s, &sigma, &variant, budget, &cache);
+        assert_eq!(v1, v2);
+        assert_eq!(cache.hits(), 1, "renaming variant hits the same entry");
+        assert_eq!(cache.len(), 1);
+        // A different Σ fingerprint misses.
+        let (s3, other) = schema_and_sigma("E(x,y) -> E(y,x). E(x,y) -> E(x,x).");
+        let _ = entails_auto_cached(&s3, &other, &candidate, budget, &cache);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_batch_skips_chase_entirely_on_full_hit() {
+        let (s, sigma) = schema_and_sigma("R(x,y) -> T(x).");
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "R(x,y) -> T(x)").unwrap(),
+            parse_tgd(&mut s2, "R(x,y) -> T(y)").unwrap(),
+        ];
+        let cache = EntailCache::new();
+        let budget = ChaseBudget::default();
+        let (cold, cold_stats) = entails_batch(&s, &sigma, &candidates, budget, Some(&cache));
+        assert_eq!(cold_stats.cache_misses, 2);
+        let (warm, warm_stats) = entails_batch(&s, &sigma, &candidates, budget, Some(&cache));
+        assert_eq!(cold, warm);
+        assert_eq!(warm_stats.cache_hits, 2);
+        assert_eq!(warm_stats.bodies_chased, 0, "warm batch never chases");
+        assert_eq!(warm_stats.heads_probed, 0);
+    }
+
+    #[test]
+    fn budget_is_part_of_the_key() {
+        let (s, sigma) = schema_and_sigma("R(x,y) -> T(x).");
+        let mut s2 = s.clone();
+        let candidate = parse_tgd(&mut s2, "R(x,y) -> T(x)").unwrap();
+        let cache = EntailCache::new();
+        let _ = entails_auto_cached(&s, &sigma, &candidate, ChaseBudget::default(), &cache);
+        let _ = entails_auto_cached(&s, &sigma, &candidate, ChaseBudget::small(), &cache);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn empty_body_candidates_group_and_evaluate() {
+        // Non-linear Σ (two-atom body), so the chase route — not the linear
+        // fast path — decides the group.
+        let (s, sigma) = schema_and_sigma("true -> exists x : P(x). P(x), P(y) -> Q(x).");
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "true -> exists x : Q(x)").unwrap(),
+            parse_tgd(&mut s2, "true -> exists x : P(x)").unwrap(),
+        ];
+        let (verdicts, stats) =
+            entails_batch(&s, &sigma, &candidates, ChaseBudget::default(), None);
+        assert_eq!(verdicts, vec![Entailment::Proved; 2]);
+        assert_eq!(stats.body_groups, 1);
+        assert_eq!(stats.bodies_chased, 1);
+    }
+}

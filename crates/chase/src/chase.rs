@@ -28,7 +28,7 @@ pub enum ChaseVariant {
 /// The chase of tgds with existential variables may not terminate; budgets
 /// turn divergence into an explicit [`ChaseOutcome::BudgetExceeded`] result
 /// that downstream reasoning treats conservatively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChaseBudget {
     /// Maximum number of facts in the chased instance.
     pub max_facts: usize,

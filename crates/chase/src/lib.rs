@@ -23,6 +23,7 @@
 //! *terminated* (its result is then a model of `Σ` witnessing
 //! non-entailment) — otherwise `Unknown`.
 
+pub mod cache;
 pub mod certain;
 pub mod chase;
 pub mod countermodel;
@@ -33,6 +34,10 @@ pub mod stats;
 pub mod termination;
 pub mod universal;
 
+pub use cache::{
+    entails_all_cached, entails_auto_cached, entails_batch, evaluate_group, group_by_body,
+    sigma_fingerprint, BodyGroup, EntailBatchStats, EntailCache,
+};
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{
     chase, chase_configured, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,

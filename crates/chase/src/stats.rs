@@ -33,6 +33,12 @@ pub struct ChaseStats {
     pub index_rebuilds: usize,
     /// Rounds whose trigger search ran on multiple worker threads.
     pub parallel_rounds: usize,
+    /// Chase/entailment results served from a memoization layer instead of
+    /// being recomputed (witness-chase memo in the locality checkers,
+    /// [`crate::EntailCache`] in batch entailment).
+    pub cache_hits: usize,
+    /// Cache lookups that missed and forced a recomputation.
+    pub cache_misses: usize,
     /// Wall time spent finding triggers.
     pub trigger_search_time: Duration,
     /// Wall time spent checking/firing triggers and extending the index.
@@ -52,6 +58,8 @@ impl ChaseStats {
         self.index_extends += other.index_extends;
         self.index_rebuilds += other.index_rebuilds;
         self.parallel_rounds += other.parallel_rounds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.trigger_search_time += other.trigger_search_time;
         self.apply_time += other.apply_time;
         self.total_time += other.total_time;
@@ -88,6 +96,8 @@ mod tests {
             index_extends: 3,
             index_rebuilds: 1,
             parallel_rounds: 1,
+            cache_hits: 5,
+            cache_misses: 3,
             trigger_search_time: Duration::from_millis(5),
             apply_time: Duration::from_millis(7),
             total_time: Duration::from_millis(20),
@@ -101,6 +111,8 @@ mod tests {
         assert_eq!(a.index_extends, 6);
         assert_eq!(a.index_rebuilds, 2);
         assert_eq!(a.parallel_rounds, 2);
+        assert_eq!(a.cache_hits, 10);
+        assert_eq!(a.cache_misses, 6);
         assert_eq!(a.total_time, Duration::from_millis(40));
     }
 }

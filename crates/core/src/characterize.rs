@@ -27,8 +27,8 @@
 use crate::enumerate::{all_candidates, atom_universe, EnumOptions};
 use crate::ontology::{FiniteOntology, Ontology};
 use tgdkit_chase::{
-    entails, entails_edd_under_tgds, equivalent, satisfies_edd, satisfies_egd, satisfies_tgd,
-    ChaseBudget, Entailment,
+    entails, entails_batch, entails_edd_under_tgds, equivalent, satisfies_edd, satisfies_egd,
+    satisfies_tgd, ChaseBudget, Entailment,
 };
 use tgdkit_logic::{conjunction_vars, Atom, Edd, EddDisjunct, Egd, Tgd, TgdSet, Var};
 
@@ -263,12 +263,24 @@ pub struct Recovery {
 pub fn recover_tgds(hidden: &TgdSet, opts: &EnumOptions, budget: ChaseBudget) -> Recovery {
     let (n, m) = hidden.profile();
     let enumeration = all_candidates(hidden.schema(), n, m, opts);
-    let mut kept: Vec<Tgd> = Vec::new();
-    for candidate in &enumeration.tgds {
-        if entails(hidden.schema(), hidden.tgds(), candidate, budget) == Entailment::Proved {
-            kept.push(candidate.clone());
-        }
-    }
+    // Candidates in TGD_{n,m} share bodies massively (every admissible body
+    // is paired with every admissible head), so filter them through the
+    // body-grouped batch evaluator: one chase per distinct canonical body
+    // instead of one per candidate.
+    let (verdicts, _batch) = entails_batch(
+        hidden.schema(),
+        hidden.tgds(),
+        &enumeration.tgds,
+        budget,
+        None,
+    );
+    let kept: Vec<Tgd> = enumeration
+        .tgds
+        .iter()
+        .zip(&verdicts)
+        .filter(|&(_, v)| *v == Entailment::Proved)
+        .map(|(c, _)| c.clone())
+        .collect();
     let candidates = enumeration.tgds.len();
     // Minimize: simplify heads, drop tautologies, then drop members
     // entailed by the rest (from the back).

@@ -42,9 +42,12 @@ pub mod verdict;
 pub mod workload;
 
 pub use locality::{
-    locality_counterexample, locally_embeddable, locally_embeddable_with_stats, LocalityFlavor,
-    LocalityOptions,
+    locality_counterexample, locality_counterexample_with_stats, locally_embeddable,
+    locally_embeddable_with_stats, LocalityFlavor, LocalityOptions,
 };
 pub use ontology::{DependencyOntology, FiniteOntology, Ontology, TgdOntology};
-pub use rewrite::{frontier_guarded_to_guarded, guarded_to_linear, RewriteOptions, RewriteOutcome};
+pub use rewrite::{
+    frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached, guarded_to_linear,
+    guarded_to_linear_cached, RewriteOptions, RewriteOutcome, RewriteStats,
+};
 pub use verdict::Verdict;

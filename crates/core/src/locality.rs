@@ -30,11 +30,12 @@ use crate::neighbourhood::{
     for_each_maximal_neighbourhood, for_each_subset_up_to, maximal_neighbourhood_count,
 };
 use crate::verdict::Verdict;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::ControlFlow;
+use std::rc::Rc;
 use tgdkit_chase::{chase, satisfies_tgds, ChaseBudget, ChaseStats, ChaseVariant};
 use tgdkit_hom::find_instance_hom;
-use tgdkit_instance::{Elem, Instance};
+use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::TgdSet;
 
 /// Which locality refinement to check.
@@ -182,10 +183,22 @@ enum CaseOutcome {
     Unknown,
 }
 
-/// Checks one case: chase `K`, then try to embed every maximal
-/// m-neighbourhood of `fix` in the chase back into `i` fixing `fix`.
+/// Memo of witness chases within one locality check, keyed by `K`'s fact
+/// set (`None` = the chase did not terminate within budget).
+///
+/// The chase of `K + sentinel` depends only on `K`'s facts (isolated domain
+/// elements create no triggers, and null numbering starts above the shared
+/// sentinel either way), and every downstream consumer — neighbourhood
+/// enumeration, embedding probes — reads only active-domain structure. The
+/// [`LocalityFlavor::FrontierGuarded`] enumeration re-visits one `K` under
+/// many fix sets, and [`LocalityFlavor::Plain`]/[`LocalityFlavor::Guarded`]
+/// revisit one fact set under many domains, so most cases hit.
+type WitnessMemo = HashMap<Vec<Fact>, Option<Rc<Instance>>>;
+
+/// Checks one case: chase `K` (through the memo), then try to embed every
+/// maximal m-neighbourhood of `fix` in the chase back into `i` fixing `fix`.
 /// `sentinel` keeps chase nulls disjoint from `i`'s elements.
-#[allow(clippy::too_many_arguments)] // internal helper threading two accumulators
+#[allow(clippy::too_many_arguments)] // internal helper threading accumulators
 fn check_case(
     sigma: &TgdSet,
     i: &Instance,
@@ -195,27 +208,41 @@ fn check_case(
     opts: &LocalityOptions,
     cases_used: &mut usize,
     stats: &mut ChaseStats,
+    memo: &mut WitnessMemo,
 ) -> CaseOutcome {
-    let mut k = case.k.clone();
-    k.add_dom_elem(sentinel);
-    let result = chase(
-        &k,
-        sigma.tgds(),
-        ChaseVariant::Restricted,
-        opts.chase_budget,
-    );
-    stats.absorb(&result.stats);
-    if !result.terminated() {
+    let key: Vec<Fact> = case.k.facts().collect();
+    let witness = match memo.get(&key) {
+        Some(cached) => {
+            stats.cache_hits += 1;
+            cached.clone()
+        }
+        None => {
+            stats.cache_misses += 1;
+            let mut k = case.k.clone();
+            k.add_dom_elem(sentinel);
+            let result = chase(
+                &k,
+                sigma.tgds(),
+                ChaseVariant::Restricted,
+                opts.chase_budget,
+            );
+            stats.absorb(&result.stats);
+            let entry = result.terminated().then(|| Rc::new(result.instance));
+            memo.insert(key, entry.clone());
+            entry
+        }
+    };
+    let Some(j_k) = witness else {
         return CaseOutcome::Unknown;
-    }
-    let j_k = result.instance;
-    *cases_used += maximal_neighbourhood_count(&j_k, &case.fix, m);
+    };
+    let j_k = j_k.as_ref();
+    *cases_used += maximal_neighbourhood_count(j_k, &case.fix, m);
     if *cases_used > opts.max_cases {
         return CaseOutcome::Unknown;
     }
     let fixed: BTreeMap<Elem, Elem> = case.fix.iter().map(|&e| (e, e)).collect();
     let mut failed = false;
-    let _ = for_each_maximal_neighbourhood(&j_k, &case.fix, m, &mut |neighbour| {
+    let _ = for_each_maximal_neighbourhood(j_k, &case.fix, m, &mut |neighbour| {
         if find_instance_hom(neighbour, i, &fixed).is_none() {
             failed = true;
             ControlFlow::Break(())
@@ -260,6 +287,7 @@ pub fn locally_embeddable_with_stats(
     let mut stats = ChaseStats::default();
     let mut unknown = false;
     let mut cases_used = 0usize;
+    let mut memo = WitnessMemo::new();
     // Fresh chase nulls must not collide with I's elements: seed each K's
     // domain with a sentinel above I's maximum element.
     let sentinel = i.fresh_elem();
@@ -273,6 +301,7 @@ pub fn locally_embeddable_with_stats(
             opts,
             &mut cases_used,
             &mut stats,
+            &mut memo,
         ) {
             CaseOutcome::Embeds => {}
             // The chase was a member of O containing K; by witness
@@ -307,6 +336,7 @@ pub fn failing_case(
     let sentinel = i.fresh_elem();
     let mut cases_used = 0usize;
     let mut stats = ChaseStats::default();
+    let mut memo = WitnessMemo::new();
     for case in cases(sigma, i, n, flavor) {
         if check_case(
             sigma,
@@ -317,6 +347,7 @@ pub fn failing_case(
             opts,
             &mut cases_used,
             &mut stats,
+            &mut memo,
         ) == CaseOutcome::Fails
         {
             return Some((case.k, case.fix));
@@ -339,10 +370,25 @@ pub fn locality_counterexample(
     flavor: LocalityFlavor,
     opts: &LocalityOptions,
 ) -> Verdict {
+    locality_counterexample_with_stats(sigma, i, n, m, flavor, opts).0
+}
+
+/// As [`locality_counterexample`], additionally reporting the aggregated
+/// engine work — including the witness-memo hit/miss counters
+/// ([`ChaseStats::cache_hits`] / [`ChaseStats::cache_misses`]), so the §9.1
+/// separation experiments can show how much re-chasing the memo avoided.
+pub fn locality_counterexample_with_stats(
+    sigma: &TgdSet,
+    i: &Instance,
+    n: usize,
+    m: usize,
+    flavor: LocalityFlavor,
+    opts: &LocalityOptions,
+) -> (Verdict, ChaseStats) {
     if satisfies_tgds(i, sigma.tgds()) {
-        return Verdict::No; // I ∈ O: cannot witness non-locality
+        return (Verdict::No, ChaseStats::default()); // I ∈ O: cannot witness non-locality
     }
-    locally_embeddable(sigma, i, n, m, flavor, opts)
+    locally_embeddable_with_stats(sigma, i, n, m, flavor, opts)
 }
 
 /// Samples the Lemma 3.6 direction on given instances: for each `I`, if `O`
@@ -596,6 +642,53 @@ mod tests {
             ),
             Verdict::No
         );
+    }
+
+    #[test]
+    fn witness_memo_avoids_rechasing() {
+        // The frontier-guarded enumeration pairs each K with many fix sets;
+        // the witness chase of K must run once per distinct fact set, with
+        // the remaining cases served from the memo.
+        let mut s = Schema::default();
+        let sigma = set(&mut s, "R(x,y) -> exists z : S(x,z).");
+        let i = parse_instance(&mut s, "R(a,b), S(a,c)").unwrap();
+        let (verdict, stats) = locally_embeddable_with_stats(
+            &sigma,
+            &i,
+            2,
+            1,
+            LocalityFlavor::FrontierGuarded,
+            &Default::default(),
+        );
+        assert_eq!(verdict, Verdict::Yes);
+        assert!(
+            stats.cache_hits > 0,
+            "repeated fix sets over one K should hit the memo"
+        );
+        assert!(stats.cache_misses > 0);
+        // Same verdict and same counters surface through the
+        // counterexample entry point on a non-member.
+        let bad = parse_instance(&mut s, "R(a,b)").unwrap();
+        let (v2, stats2) = locality_counterexample_with_stats(
+            &sigma,
+            &bad,
+            2,
+            1,
+            LocalityFlavor::FrontierGuarded,
+            &Default::default(),
+        );
+        assert_eq!(
+            v2,
+            locality_counterexample(
+                &sigma,
+                &bad,
+                2,
+                1,
+                LocalityFlavor::FrontierGuarded,
+                &Default::default()
+            )
+        );
+        assert!(stats2.cache_hits + stats2.cache_misses > 0);
     }
 
     #[test]

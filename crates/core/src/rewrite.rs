@@ -21,7 +21,11 @@
 //! definitive [`RewriteOutcome::NotRewritable`].
 
 use crate::enumerate::{guarded_candidates, linear_candidates, EnumOptions, Enumeration};
-use tgdkit_chase::{entails_all, entails_auto, ChaseBudget, Entailment};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use tgdkit_chase::{
+    entails_all_cached, entails_auto_cached, evaluate_group, group_by_body, sigma_fingerprint,
+    ChaseBudget, EntailBatchStats, EntailCache, Entailment,
+};
 use tgdkit_logic::{Schema, Tgd, TgdSet};
 
 /// Options for the rewriting procedures.
@@ -72,6 +76,22 @@ pub struct RewriteStats {
     pub exhaustive: bool,
     /// Size of the minimized rewriting (0 if none).
     pub rewriting_size: usize,
+    /// Distinct canonical bodies among the candidates.
+    pub body_groups: usize,
+    /// Frozen bodies actually chased during candidate filtering (the rest
+    /// were shared, cached, or settled by the linear fast path).
+    pub bodies_chased: usize,
+    /// Heads decided by an indexed hom probe into a shared chase result.
+    pub heads_probed: usize,
+    /// Candidate verdicts served from the [`EntailCache`] during filtering.
+    pub cache_hits: usize,
+    /// Cache lookups that missed during filtering.
+    pub cache_misses: usize,
+    /// Work-stealing imbalance: body groups claimed by workers beyond an
+    /// even static split (`Σ_w max(0, claimed_w − ⌈groups/workers⌉)`).
+    /// Non-zero means the dynamic scheduler absorbed skew that a
+    /// fixed-chunk split would have serialized.
+    pub steals: usize,
 }
 
 /// Algorithm 1 (paper §9.2, `G-to-L`): rewrites a set of **guarded** tgds
@@ -115,6 +135,44 @@ pub fn frontier_guarded_to_guarded_with_stats(
     rewrite(set, opts, Target::Guarded)
 }
 
+/// [`guarded_to_linear_with_stats`] against a caller-provided
+/// [`EntailCache`], so repeated rewrites (equivalent inputs, warm reruns,
+/// expressibility sweeps) reuse entailment verdicts across calls.
+pub fn guarded_to_linear_cached(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite_cached(set, opts, Target::Linear, cache)
+}
+
+/// [`frontier_guarded_to_guarded_with_stats`] against a caller-provided
+/// [`EntailCache`].
+pub fn frontier_guarded_to_guarded_cached(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite_cached(set, opts, Target::Guarded, cache)
+}
+
+/// Filters an explicit candidate pool through the evaluator the rewriting
+/// procedures use internally: body-grouped chase sharing, the entailment
+/// cache, and (when `parallel`) work stealing over the body groups.
+///
+/// Exposed for bulk entailment filtering and benchmarking; returns
+/// `(verdicts in candidate order, batch stats, steals)`.
+pub fn evaluate_pool(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    parallel: bool,
+    cache: &EntailCache,
+) -> (Vec<Entailment>, EntailBatchStats, usize) {
+    evaluate_candidates(schema, sigma, candidates, budget, parallel, cache)
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Target {
     Linear,
@@ -135,6 +193,19 @@ fn enumerate(
 }
 
 fn rewrite(set: &TgdSet, opts: &RewriteOptions, target: Target) -> (RewriteOutcome, RewriteStats) {
+    // Fresh per-run cache: within one run it still pays (minimization and
+    // the Σ' ⊨ Σ check revisit filtered candidates); callers wanting
+    // cross-run reuse pass their own via the `_cached` entry points.
+    let cache = EntailCache::new();
+    rewrite_cached(set, opts, target, &cache)
+}
+
+fn rewrite_cached(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    target: Target,
+    cache: &EntailCache,
+) -> (RewriteOutcome, RewriteStats) {
     let schema = set.schema();
     let (n, m) = set.profile();
     let enumeration = enumerate(schema, n, m, opts, target);
@@ -145,15 +216,20 @@ fn rewrite(set: &TgdSet, opts: &RewriteOptions, target: Target) -> (RewriteOutco
     };
 
     // Σ' := { σ ∈ C_{n,m} | Σ ⊨ σ }.
-    let verdicts: Vec<Entailment> = if opts.parallel {
-        parallel_entailment(schema, set.tgds(), &enumeration.tgds, opts.budget)
-    } else {
-        enumeration
-            .tgds
-            .iter()
-            .map(|c| entails_auto(schema, set.tgds(), c, opts.budget))
-            .collect()
-    };
+    let (verdicts, batch, steals) = evaluate_candidates(
+        schema,
+        set.tgds(),
+        &enumeration.tgds,
+        opts.budget,
+        opts.parallel,
+        cache,
+    );
+    stats.body_groups = batch.body_groups;
+    stats.bodies_chased = batch.bodies_chased;
+    stats.heads_probed = batch.heads_probed;
+    stats.cache_hits = batch.cache_hits;
+    stats.cache_misses = batch.cache_misses;
+    stats.steals = steals;
     let mut sigma_prime: Vec<Tgd> = Vec::new();
     for (candidate, verdict) in enumeration.tgds.iter().zip(&verdicts) {
         match verdict {
@@ -168,9 +244,9 @@ fn rewrite(set: &TgdSet, opts: &RewriteOptions, target: Target) -> (RewriteOutco
     if sigma_prime.is_empty() {
         return (negative(&stats, &enumeration), stats);
     }
-    match entails_all(schema, &sigma_prime, set.tgds(), opts.budget) {
+    match entails_all_cached(schema, &sigma_prime, set.tgds(), opts.budget, cache) {
         Entailment::Proved => {
-            let minimized = minimize(schema, sigma_prime, opts.budget);
+            let minimized = minimize(schema, sigma_prime, opts.budget, cache);
             stats.rewriting_size = minimized.len();
             (RewriteOutcome::Rewritten(minimized), stats)
         }
@@ -189,7 +265,7 @@ fn negative(stats: &RewriteStats, enumeration: &Enumeration) -> RewriteOutcome {
 
 /// Removes candidates entailed by the remaining ones (greedy, keeping the
 /// earlier, syntactically smaller candidates).
-fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget) -> Vec<Tgd> {
+fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget, cache: &EntailCache) -> Vec<Tgd> {
     // Drop tautologies and redundant head atoms first.
     let mut tgds: Vec<Tgd> = tgds.iter().filter_map(tgdkit_logic::simplify_tgd).collect();
     // Try to drop from the back (larger candidates were generated later).
@@ -203,43 +279,139 @@ fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget) -> Vec<Tgd> {
             .filter(|&(j, _)| j != i)
             .map(|(_, t)| t.clone())
             .collect();
-        if entails_auto(schema, &rest, &candidate, budget) == Entailment::Proved {
+        if entails_auto_cached(schema, &rest, &candidate, budget, cache) == Entailment::Proved {
             tgds.remove(i);
         }
     }
     tgds
 }
 
-/// Filters candidates in parallel using scoped threads (the candidate space
-/// dominates the cost of Algorithms 1–2 and the checks are independent).
-fn parallel_entailment(
+/// `Entailment` packed into a byte, so parallel workers can publish
+/// verdicts into pre-sized atomic slots without locks.
+fn encode_verdict(v: Entailment) -> u8 {
+    match v {
+        Entailment::Proved => 0,
+        Entailment::Disproved => 1,
+        Entailment::Unknown => 2,
+    }
+}
+
+fn decode_verdict(b: u8) -> Entailment {
+    match b {
+        0 => Entailment::Proved,
+        1 => Entailment::Disproved,
+        _ => Entailment::Unknown,
+    }
+}
+
+/// Filters candidates through the body-grouped, cache-aware evaluator
+/// ([`evaluate_group`]): serially, or — when `parallel` — on all available
+/// cores with **work stealing**.
+///
+/// The parallel scheduler is an atomic claim index over the body groups:
+/// each worker repeatedly claims the next unevaluated group, so a worker
+/// that drew cheap groups keeps pulling work while another grinds through an
+/// expensive chase (the fixed-chunk split this replaces would have left it
+/// idle). Verdicts are published into pre-sized per-candidate slots, so the
+/// output vector — and therefore the rewriting built from it — is
+/// byte-identical to the serial evaluation regardless of claim order.
+///
+/// Returns `(verdicts in candidate order, batch stats, steals)` where
+/// `steals` counts group claims beyond an even static split
+/// (see [`RewriteStats::steals`]).
+fn evaluate_candidates(
     schema: &Schema,
     sigma: &[Tgd],
     candidates: &[Tgd],
     budget: ChaseBudget,
-) -> Vec<Entailment> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(candidates.len().max(1));
+    parallel: bool,
+    cache: &EntailCache,
+) -> (Vec<Entailment>, EntailBatchStats, usize) {
+    let groups = group_by_body(candidates);
+    let fingerprint = sigma_fingerprint(sigma);
+    let mut stats = EntailBatchStats {
+        candidates: candidates.len(),
+        body_groups: groups.len(),
+        ..Default::default()
+    };
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(groups.len().max(1))
+    } else {
+        1
+    };
     if workers <= 1 {
-        return candidates
-            .iter()
-            .map(|c| entails_auto(schema, sigma, c, budget))
-            .collect();
+        let mut verdicts = vec![Entailment::Unknown; candidates.len()];
+        for group in &groups {
+            for (idx, v) in evaluate_group(
+                schema,
+                sigma,
+                group,
+                budget,
+                Some((cache, fingerprint)),
+                &mut stats,
+            ) {
+                verdicts[idx] = v;
+            }
+        }
+        return (verdicts, stats, 0);
     }
-    let mut verdicts = vec![Entailment::Unknown; candidates.len()];
-    let chunk = candidates.len().div_ceil(workers);
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<AtomicU8> = (0..candidates.len())
+        .map(|_| AtomicU8::new(encode_verdict(Entailment::Unknown)))
+        .collect();
+    let mut claims: Vec<usize> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        for (slot, cands) in verdicts.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-            scope.spawn(move || {
-                for (v, c) in slot.iter_mut().zip(cands) {
-                    *v = entails_auto(schema, sigma, c, budget);
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, slots, groups) = (&next, &slots, &groups);
+                scope.spawn(move || {
+                    let mut local = EntailBatchStats::default();
+                    let mut claimed = 0usize;
+                    loop {
+                        let gi = next.fetch_add(1, Ordering::Relaxed);
+                        if gi >= groups.len() {
+                            break;
+                        }
+                        claimed += 1;
+                        for (idx, v) in evaluate_group(
+                            schema,
+                            sigma,
+                            &groups[gi],
+                            budget,
+                            Some((cache, fingerprint)),
+                            &mut local,
+                        ) {
+                            slots[idx].store(encode_verdict(v), Ordering::Release);
+                        }
+                    }
+                    (local, claimed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, claimed) = handle.join().expect("entailment worker panicked");
+            stats.absorb(&local);
+            claims.push(claimed);
         }
     });
-    verdicts
+    // `absorb` also summed the workers' zeroed candidates/body_groups;
+    // restore the batch-level figures.
+    stats.candidates = candidates.len();
+    stats.body_groups = groups.len();
+    let fair_share = groups.len().div_ceil(workers);
+    let steals = claims
+        .iter()
+        .map(|&c| c.saturating_sub(fair_share))
+        .sum::<usize>();
+    let verdicts = slots
+        .iter()
+        .map(|s| decode_verdict(s.load(Ordering::Acquire)))
+        .collect();
+    (verdicts, stats, steals)
 }
 
 #[cfg(test)]
@@ -340,12 +512,49 @@ mod tests {
                 ..Default::default()
             },
         );
-        match (seq, par) {
-            (RewriteOutcome::Rewritten(a), RewriteOutcome::Rewritten(b)) => {
-                assert_equivalent(&s, &a, &b)
-            }
-            (a, b) => panic!("outcomes differ: {a:?} vs {b:?}"),
-        }
+        // The work-stealing evaluator publishes verdicts into per-candidate
+        // slots, so the rewriting must be *identical* to the serial one, not
+        // merely equivalent.
+        assert_eq!(seq, par, "work-stealing output diverged from serial");
+        let rewriting = seq.rewriting().expect("rewritable");
+        assert_equivalent(&s, sigma.tgds(), rewriting);
+    }
+
+    #[test]
+    fn sharing_and_cache_counters_are_populated() {
+        let mut s = Schema::default();
+        let sigma = set(&mut s, "R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).");
+        let (outcome, stats) = guarded_to_linear_with_stats(
+            &sigma,
+            &RewriteOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(outcome, RewriteOutcome::Rewritten(_)));
+        assert!(
+            stats.body_groups > 0 && stats.body_groups < stats.candidates,
+            "candidates share bodies: {} groups / {} candidates",
+            stats.body_groups,
+            stats.candidates
+        );
+        assert_eq!(stats.cache_misses, stats.candidates, "cold filtering pass");
+        // The per-run cache pays off inside the Σ' ⊨ Σ check + minimization.
+        assert!(stats.bodies_chased <= stats.body_groups);
+    }
+
+    #[test]
+    fn shared_cache_warms_across_calls() {
+        let mut s = Schema::default();
+        let sigma = set(&mut s, "R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).");
+        let cache = tgdkit_chase::EntailCache::new();
+        let opts = RewriteOptions::default();
+        let (cold_outcome, cold) = guarded_to_linear_cached(&sigma, &opts, &cache);
+        let (warm_outcome, warm) = guarded_to_linear_cached(&sigma, &opts, &cache);
+        assert_eq!(cold_outcome, warm_outcome);
+        assert_eq!(warm.cache_hits, warm.candidates, "fully warm second run");
+        assert_eq!(warm.bodies_chased, 0);
+        assert!(cold.cache_misses > 0);
     }
 
     #[test]
@@ -397,7 +606,7 @@ mod tests {
                 .map(|(_, t)| t.clone())
                 .collect();
             assert_ne!(
-                entails_auto(&s, &rest, tgd, ChaseBudget::default()),
+                tgdkit_chase::entails_auto(&s, &rest, tgd, ChaseBudget::default()),
                 Entailment::Proved,
                 "redundant member survived minimization: {tgd:?}"
             );

@@ -102,6 +102,14 @@ pub fn for_each_hom_seminaive(
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) {
     for (anchor, atom) in atoms.iter().enumerate() {
+        // The non-anchor conjunction is the same for every delta fact at
+        // this anchor; build it once instead of once per fact.
+        let rest: Vec<Atom<Var>> = atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != anchor)
+            .map(|(_, a)| a.clone())
+            .collect();
         for fact in delta {
             if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
                 continue;
@@ -122,12 +130,6 @@ pub fn for_each_hom_seminaive(
             if !ok {
                 continue;
             }
-            let rest: Vec<Atom<Var>> = atoms
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != anchor)
-                .map(|(_, a)| a.clone())
-                .collect();
             let mut stop = false;
             search(&rest, num_vars, index, &bound, &mut |binding| {
                 let flow = visit(binding);
@@ -419,8 +421,11 @@ mod tests {
         assert!(find_hom(tgd.body(), tgd.var_count(), &inst, &vec![None; 3]).is_none());
         let inst2 = parse_instance(&mut s, "R(a,b), S(b,d)").unwrap();
         let hom = find_hom(tgd.body(), tgd.var_count(), &inst2, &vec![None; 3]).unwrap();
-        assert_eq!(hom[1], hom[1]);
-        assert!(hom.iter().take(3).all(Option::is_some));
+        // The join variable y must be bound to the one element occurring in
+        // both R (2nd position) and S (1st position).
+        assert_eq!(hom[0], inst2.elem_by_name("a"));
+        assert_eq!(hom[1], inst2.elem_by_name("b"));
+        assert_eq!(hom[2], inst2.elem_by_name("d"));
     }
 
     #[test]
