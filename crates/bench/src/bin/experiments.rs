@@ -12,8 +12,8 @@
 
 use tgdkit_bench::{fmt_count, fmt_duration, timed, Table};
 use tgdkit_chase::{
-    chase, entails, entails_auto, is_weakly_acyclic, satisfies_tgds, ChaseBudget, ChaseVariant,
-    EntailCache, Entailment,
+    chase, entails, entails_auto, is_weakly_acyclic, satisfies_tgds, CancelToken, ChaseBudget,
+    ChaseVariant, EntailCache, Entailment,
 };
 use tgdkit_core::characterize::recover_tgds;
 use tgdkit_core::enumerate::{
@@ -31,7 +31,8 @@ use tgdkit_core::reductions::{
 };
 use tgdkit_core::rewrite::{
     evaluate_pool, frontier_guarded_to_guarded_cached, frontier_guarded_to_guarded_with_stats,
-    guarded_to_linear_cached, guarded_to_linear_with_stats, RewriteOptions, RewriteOutcome,
+    guarded_to_linear_cached, guarded_to_linear_governed, guarded_to_linear_with_stats,
+    RewriteOptions, RewriteOutcome,
 };
 use tgdkit_core::separations::{
     cross_check_with_rewriting, guarded_vs_frontier_guarded, linear_vs_guarded, verify,
@@ -412,6 +413,7 @@ fn outcome_str(outcome: &RewriteOutcome) -> String {
         RewriteOutcome::Rewritten(tgds) => format!("rewritten ({} tgds)", tgds.len()),
         RewriteOutcome::NotRewritable => "not rewritable".into(),
         RewriteOutcome::Inconclusive => "inconclusive".into(),
+        RewriteOutcome::Cancelled => "cancelled".into(),
     }
 }
 
@@ -898,6 +900,28 @@ fn bench_rewrite_json(smoke: bool) {
         timed(|| guarded_to_linear_cached(&gadget, &opts, &rewrite_cache));
     let (_, rewrite_warm) = timed(|| guarded_to_linear_cached(&gadget, &opts, &rewrite_cache));
 
+    // Robustness probe: the same Algorithm-1 run over the branching-chain
+    // workload under a deliberately tight wall-clock deadline. It must come
+    // back (no hang, no panic) as `Cancelled` with coherent partial stats —
+    // the evaluation above takes far longer than the deadline.
+    let deadline_ms = 50u64;
+    // The probe set is deliberately oversized (an ungoverned run takes
+    // hundreds of ms to minutes): the point is that the deadline fires
+    // mid-evaluation and the pipeline returns `Cancelled` with coherent
+    // partial stats instead of hanging or panicking.
+    let probe_set = branching_chain_set(13);
+    let deadline_opts = RewriteOptions {
+        parallel: true,
+        enumeration: EnumOptions {
+            max_candidates: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let token = CancelToken::with_deadline(std::time::Duration::from_millis(deadline_ms));
+    let ((deadline_outcome, deadline_stats), deadline_time) =
+        timed(|| guarded_to_linear_governed(&probe_set, &deadline_opts, &token));
+
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
         let total = hits + misses;
@@ -918,7 +942,9 @@ fn bench_rewrite_json(smoke: bool) {
          \"warm_wall_time_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
          \"baseline_candidates_per_sec\": {:.0},\n  \"candidates_per_sec\": {:.0},\n  \
          \"rewrite_cold_ms\": {:.3},\n  \"rewrite_warm_ms\": {:.3},\n  \
-         \"rewrite_outcome\": \"{}\"\n}}\n",
+         \"rewrite_outcome\": \"{}\",\n  \"deadline_ms\": {},\n  \
+         \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
+         \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
         smoke,
         pool.tgds.len(),
@@ -939,6 +965,11 @@ fn bench_rewrite_json(smoke: bool) {
         ms(rewrite_cold),
         ms(rewrite_warm),
         outcome_str(&outcome),
+        deadline_ms,
+        outcome_str(&deadline_outcome),
+        ms(deadline_time),
+        deadline_stats.cancelled,
+        deadline_stats.panics_contained,
     );
     std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
     println!(
@@ -954,6 +985,13 @@ fn bench_rewrite_json(smoke: bool) {
         "full rewrite: cold {} / warm {}; wrote BENCH_rewrite.json",
         fmt_duration(rewrite_cold),
         fmt_duration(rewrite_warm),
+    );
+    println!(
+        "deadline probe ({deadline_ms} ms): {} after {} ({} groups evaluated, {} unknown)",
+        outcome_str(&deadline_outcome),
+        fmt_duration(deadline_time),
+        deadline_stats.body_groups,
+        deadline_stats.unknown_checks,
     );
 }
 

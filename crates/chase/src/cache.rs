@@ -27,11 +27,12 @@
 //! countermodel search on `Unknown` — so verdicts agree bit-for-bit with the
 //! unshared, uncached path.
 
-use crate::chase::{chase, ChaseBudget, ChaseOutcome, ChaseVariant};
-use crate::countermodel::{refute_by_countermodel, SearchBudget};
-use crate::entail::{entails_auto, freeze_body, Entailment};
-use crate::linear::entails_linear;
-use crate::stats::ChaseStats;
+use crate::chase::{chase_governed, ChaseBudget, ChaseOutcome, ChaseVariant};
+use crate::countermodel::{refute_by_countermodel_governed, SearchBudget};
+use crate::entail::{entails_auto_governed, freeze_body, Entailment};
+use crate::govern::CancelToken;
+use crate::linear::entails_linear_governed;
+use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -228,6 +229,14 @@ impl EntailBatchStats {
 /// fast path, the body is never chased.
 ///
 /// Returns `(original index, verdict)` pairs in member order.
+///
+/// The [`CancelToken`] is checked per member: once cancelled, remaining
+/// members settle as `Unknown` without chasing or searching. `Unknown`
+/// verdicts reached under a *tainted* token (cancelled or fault-injected;
+/// see [`CancelToken::is_tainted`]) are **not** stored in the cache — the
+/// cache is keyed by budget alone, and a deadline-induced `Unknown` must
+/// not shadow the verdict an unhurried rerun would reach. `Proved` /
+/// `Disproved` stay storable: both are sound regardless of truncation.
 pub fn evaluate_group(
     schema: &Schema,
     sigma: &[Tgd],
@@ -235,11 +244,16 @@ pub fn evaluate_group(
     budget: ChaseBudget,
     cache: Option<(&EntailCache, u64)>,
     stats: &mut EntailBatchStats,
+    token: &CancelToken,
 ) -> Vec<(usize, Entailment)> {
     let sigma_linear = !sigma.is_empty() && sigma.iter().all(Tgd::is_linear);
     let mut shared: Option<(InstanceIndex, ChaseOutcome)> = None;
     let mut verdicts = Vec::with_capacity(group.members.len());
     for (idx, cand) in &group.members {
+        if token.is_cancelled() {
+            verdicts.push((*idx, Entailment::Unknown));
+            continue;
+        }
         let key = cache.map(|(_, fp)| (tgd_variant_key(cand), fp, budget));
         if let (Some((c, _)), Some(k)) = (cache, key.as_ref()) {
             if let Some(v) = c.lookup_key(k) {
@@ -253,12 +267,20 @@ pub fn evaluate_group(
         if sigma_linear {
             // Saturation cap proportional to the chase budget's appetite
             // (mirrors `entails_auto`).
-            verdict = entails_linear(schema, sigma, cand, budget.max_facts.max(10_000));
+            verdict =
+                entails_linear_governed(schema, sigma, cand, budget.max_facts.max(10_000), token);
         }
-        if verdict == Entailment::Unknown {
+        if verdict == Entailment::Unknown && !token.is_cancelled() {
             let (index, outcome) = shared.get_or_insert_with(|| {
                 let frozen = freeze_body(schema, cand);
-                let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
+                let result = chase_governed(
+                    &frozen,
+                    sigma,
+                    ChaseVariant::Restricted,
+                    budget,
+                    TriggerSearch::Auto,
+                    token,
+                );
                 stats.bodies_chased += 1;
                 stats.chase.absorb(&result.stats);
                 (InstanceIndex::new(&result.instance), result.outcome)
@@ -273,11 +295,20 @@ pub fn evaluate_group(
                 Entailment::Proved
             } else if *outcome == ChaseOutcome::Terminated {
                 Entailment::Disproved
+            } else if token.is_cancelled() {
+                Entailment::Unknown
             } else {
-                refute_by_countermodel(schema, sigma, cand, &SearchBudget::default())
+                refute_by_countermodel_governed(
+                    schema,
+                    sigma,
+                    cand,
+                    &SearchBudget::default(),
+                    token,
+                )
             };
         }
-        if let (Some((c, _)), Some(k)) = (cache, key) {
+        let storable = verdict != Entailment::Unknown || !token.is_tainted();
+        if let (Some((c, _)), Some(k), true) = (cache, key, storable) {
             c.store_key(k, verdict);
         }
         verdicts.push((*idx, verdict));
@@ -298,6 +329,28 @@ pub fn entails_batch(
     budget: ChaseBudget,
     cache: Option<&EntailCache>,
 ) -> (Vec<Entailment>, EntailBatchStats) {
+    entails_batch_governed(
+        schema,
+        sigma,
+        candidates,
+        budget,
+        cache,
+        &CancelToken::new(),
+    )
+}
+
+/// [`entails_batch`] under a [`CancelToken`]: once the token reports
+/// cancellation, remaining groups are skipped and their candidates settle
+/// as `Unknown` (pre-initialized below), so the returned vector is always
+/// full-length and sound.
+pub fn entails_batch_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: Option<&EntailCache>,
+    token: &CancelToken,
+) -> (Vec<Entailment>, EntailBatchStats) {
     let mut stats = EntailBatchStats {
         candidates: candidates.len(),
         ..Default::default()
@@ -307,7 +360,10 @@ pub fn entails_batch(
     let keyed = cache.map(|c| (c, sigma_fingerprint(sigma)));
     let mut verdicts = vec![Entailment::Unknown; candidates.len()];
     for group in &groups {
-        for (idx, v) in evaluate_group(schema, sigma, group, budget, keyed, &mut stats) {
+        if token.is_cancelled() {
+            break;
+        }
+        for (idx, v) in evaluate_group(schema, sigma, group, budget, keyed, &mut stats, token) {
             verdicts[idx] = v;
         }
     }
@@ -322,12 +378,29 @@ pub fn entails_auto_cached(
     budget: ChaseBudget,
     cache: &EntailCache,
 ) -> Entailment {
+    entails_auto_cached_governed(schema, sigma, candidate, budget, cache, &CancelToken::new())
+}
+
+/// [`entails_auto_cached`] under a [`CancelToken`]. Cache stores are
+/// taint-gated the same way as [`evaluate_group`]: an `Unknown` produced
+/// while the token is cancelled or fault-injected is returned but not
+/// memoized.
+pub fn entails_auto_cached_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: ChaseBudget,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> Entailment {
     let key = (tgd_variant_key(candidate), sigma_fingerprint(sigma), budget);
     if let Some(v) = cache.lookup_key(&key) {
         return v;
     }
-    let v = entails_auto(schema, sigma, candidate, budget);
-    cache.store_key(key, v);
+    let v = entails_auto_governed(schema, sigma, candidate, budget, token);
+    if v != Entailment::Unknown || !token.is_tainted() {
+        cache.store_key(key, v);
+    }
     v
 }
 
@@ -340,9 +413,36 @@ pub fn entails_all_cached(
     budget: ChaseBudget,
     cache: &EntailCache,
 ) -> Entailment {
+    entails_all_cached_governed(
+        schema,
+        sigma,
+        candidates,
+        budget,
+        cache,
+        &CancelToken::new(),
+    )
+}
+
+/// [`entails_all_cached`] under a [`CancelToken`]: a cancellation observed
+/// between candidates degrades the conjunction to `Unknown` (never a false
+/// `Proved` from an unfinished sweep) unless some candidate already
+/// disproved it.
+pub fn entails_all_cached_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> Entailment {
     let mut acc = Entailment::Proved;
     for c in candidates {
-        acc = acc.and(entails_auto_cached(schema, sigma, c, budget, cache));
+        if token.is_cancelled() {
+            return acc.and(Entailment::Unknown);
+        }
+        acc = acc.and(entails_auto_cached_governed(
+            schema, sigma, c, budget, cache, token,
+        ));
         if acc == Entailment::Disproved {
             return acc;
         }
@@ -353,6 +453,7 @@ pub fn entails_all_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entail::entails_auto;
     use tgdkit_logic::{parse_tgd, parse_tgds};
 
     fn schema_and_sigma(text: &str) -> (Schema, Vec<Tgd>) {

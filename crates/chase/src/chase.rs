@@ -1,9 +1,12 @@
 //! The chase procedure (restricted and oblivious variants) with labeled
 //! nulls and explicit budgets.
 
+use crate::faults::{FaultSite, INJECTED_PANIC};
+use crate::govern::CancelToken;
 use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tgdkit_hom::{
     for_each_hom, for_each_hom_indexed, for_each_hom_seminaive, Binding, Cq, InstanceIndex,
@@ -72,6 +75,13 @@ pub enum ChaseOutcome {
     /// The budget ran out; the result is a *partial* chase (sound for
     /// positive entailment, useless for refutation).
     BudgetExceeded,
+    /// The run was cut off by a [`CancelToken`] — explicit cancellation,
+    /// deadline expiry, or a contained worker panic. The result is the
+    /// partial chase *as of the last completed round* (the aborted round's
+    /// trigger set is discarded before any firing), so like
+    /// [`ChaseOutcome::BudgetExceeded`] it is sound for positive entailment
+    /// and useless for refutation.
+    Cancelled,
 }
 
 /// One recorded chase step: a trigger that fired and the facts it added.
@@ -122,6 +132,11 @@ impl ChaseResult {
     pub fn terminated(&self) -> bool {
         self.outcome == ChaseOutcome::Terminated
     }
+
+    /// `true` when the run was cut off by a [`CancelToken`].
+    pub fn cancelled(&self) -> bool {
+        self.outcome == ChaseOutcome::Cancelled
+    }
 }
 
 /// Runs the chase of `start` with `tgds` (paper notation:
@@ -150,7 +165,15 @@ pub fn chase(
     variant: ChaseVariant,
     budget: ChaseBudget,
 ) -> ChaseResult {
-    chase_impl(start, tgds, variant, budget, TriggerSearch::Auto, None)
+    chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Auto,
+        &CancelToken::new(),
+        None,
+    )
 }
 
 /// [`chase`] with an explicit [`TriggerSearch`] policy.
@@ -169,7 +192,36 @@ pub fn chase_configured(
     budget: ChaseBudget,
     search: TriggerSearch,
 ) -> ChaseResult {
-    chase_impl(start, tgds, variant, budget, search, None)
+    chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        search,
+        &CancelToken::new(),
+        None,
+    )
+}
+
+/// [`chase_configured`] under a [`CancelToken`]: the token is checked at
+/// every round start and observed by the trigger-search workers, so a
+/// cancelled run stops within one round and reports
+/// [`ChaseOutcome::Cancelled`] with the instance *as of the last completed
+/// round* and coherent [`ChaseStats`] for the work actually done.
+///
+/// Worker panics (real or injected via [`crate::faults`]) are contained
+/// with `catch_unwind`: the round's partial trigger set is discarded, the
+/// panic is counted in [`ChaseStats::panics_contained`], and the run
+/// reports `Cancelled` instead of unwinding the caller.
+pub fn chase_governed(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    search: TriggerSearch,
+    token: &CancelToken,
+) -> ChaseResult {
+    chase_impl(start, tgds, variant, budget, search, token, None)
 }
 
 /// [`chase`] with a derivation log: every fired trigger is recorded with
@@ -188,6 +240,7 @@ pub fn chase_with_provenance(
         variant,
         budget,
         TriggerSearch::Auto,
+        &CancelToken::new(),
         Some(&mut provenance),
     );
     (result, provenance)
@@ -230,6 +283,37 @@ fn triggers_into(
     }
 }
 
+/// Runs one tgd's trigger search with panic containment and the
+/// [`FaultSite::TriggerWorkerPanic`] injection point. Returns `false` when
+/// the search panicked; `out` may then hold a partial set for this tgd,
+/// which is safe because the caller discards the whole round on any panic.
+fn guarded_triggers_into(
+    ti: usize,
+    tgd: &Tgd,
+    index: &InstanceIndex,
+    delta: Option<&[Fact]>,
+    out: &mut BTreeSet<Trigger>,
+    token: &CancelToken,
+) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        if token.fault(FaultSite::TriggerWorkerPanic) {
+            panic!("{INJECTED_PANIC}: trigger worker for tgd {ti}");
+        }
+        triggers_into(ti, tgd, index, delta, out);
+    }))
+    .is_ok()
+}
+
+/// One round's trigger search result: the merged trigger set, plus whether
+/// the round must be discarded (cancellation observed mid-search or a
+/// worker panic contained). On `aborted` or `panics_contained > 0` the
+/// caller fires nothing, keeping the instance at the last completed round.
+struct TriggerScan {
+    triggers: BTreeSet<Trigger>,
+    aborted: bool,
+    panics_contained: usize,
+}
+
 /// Below this many estimated index probes, thread spawn costs more than the
 /// round's whole trigger search.
 const PARALLEL_WORK_FLOOR: usize = 512;
@@ -253,7 +337,8 @@ fn find_triggers(
     delta: Option<&[Fact]>,
     search: TriggerSearch,
     stats: &mut ChaseStats,
-) -> BTreeSet<Trigger> {
+    token: &CancelToken,
+) -> TriggerScan {
     let workers = match search {
         TriggerSearch::Serial => 1,
         TriggerSearch::Parallel(0) => worker_count(),
@@ -276,14 +361,31 @@ fn find_triggers(
     if workers <= 1 {
         let mut out = BTreeSet::new();
         for (ti, tgd) in tgds.iter().enumerate() {
-            triggers_into(ti, tgd, index, delta, &mut out);
+            if token.is_cancelled() {
+                return TriggerScan {
+                    triggers: out,
+                    aborted: true,
+                    panics_contained: 0,
+                };
+            }
+            if !guarded_triggers_into(ti, tgd, index, delta, &mut out, token) {
+                return TriggerScan {
+                    triggers: out,
+                    aborted: true,
+                    panics_contained: 1,
+                };
+            }
         }
-        return out;
+        return TriggerScan {
+            triggers: out,
+            aborted: false,
+            panics_contained: 0,
+        };
     }
 
     stats.parallel_rounds += 1;
     let chunk = tgds.len().div_ceil(workers);
-    let locals: Vec<BTreeSet<Trigger>> = std::thread::scope(|scope| {
+    let locals: Vec<(BTreeSet<Trigger>, bool, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = tgds
             .chunks(chunk)
             .enumerate()
@@ -291,9 +393,21 @@ fn find_triggers(
                 scope.spawn(move || {
                     let mut local = BTreeSet::new();
                     for (j, tgd) in part.iter().enumerate() {
-                        triggers_into(ci * chunk + j, tgd, index, delta, &mut local);
+                        if token.is_cancelled() {
+                            return (local, true, 0);
+                        }
+                        if !guarded_triggers_into(
+                            ci * chunk + j,
+                            tgd,
+                            index,
+                            delta,
+                            &mut local,
+                            token,
+                        ) {
+                            return (local, true, 1);
+                        }
                     }
-                    local
+                    (local, false, 0)
                 })
             })
             .collect();
@@ -303,10 +417,18 @@ fn find_triggers(
             .collect()
     });
     let mut out = BTreeSet::new();
-    for local in locals {
+    let mut aborted = false;
+    let mut panics_contained = 0usize;
+    for (local, worker_aborted, worker_panics) in locals {
         out.extend(local);
+        aborted |= worker_aborted;
+        panics_contained += worker_panics;
     }
-    out
+    TriggerScan {
+        triggers: out,
+        aborted,
+        panics_contained,
+    }
 }
 
 fn chase_impl(
@@ -315,6 +437,7 @@ fn chase_impl(
     variant: ChaseVariant,
     budget: ChaseBudget,
     search: TriggerSearch,
+    token: &CancelToken,
     mut log: Option<&mut Provenance>,
 ) -> ChaseResult {
     let run_started = Instant::now();
@@ -340,6 +463,15 @@ fn chase_impl(
 
     let mut rounds = 0usize;
     let outcome = 'run: loop {
+        // Every cutoff below lands on a round boundary, so a cancelled (or
+        // fault-tripped) run's instance is exactly the state after its last
+        // completed round — the prefix property the proptests pin down.
+        if token.is_cancelled() {
+            break 'run ChaseOutcome::Cancelled;
+        }
+        if token.fault(FaultSite::BudgetTrip) {
+            break 'run ChaseOutcome::BudgetExceeded;
+        }
         if rounds >= budget.max_rounds {
             break 'run ChaseOutcome::BudgetExceeded;
         }
@@ -348,8 +480,17 @@ fn chase_impl(
         // Snapshot this round's triggers against the instance as of the
         // start of the round (fair, breadth-first scheduling).
         let search_started = Instant::now();
-        let triggers = find_triggers(tgds, &index, delta.as_deref(), search, &mut stats);
+        let scan = find_triggers(tgds, &index, delta.as_deref(), search, &mut stats, token);
         stats.trigger_search_time += search_started.elapsed();
+        if scan.aborted || scan.panics_contained > 0 {
+            // Discard the partial trigger set without firing: the aborted
+            // round never happened, and a contained panic means the set
+            // may be incomplete, so a fixpoint cannot be certified.
+            stats.panics_contained += scan.panics_contained;
+            rounds -= 1;
+            break 'run ChaseOutcome::Cancelled;
+        }
+        let triggers = scan.triggers;
         stats.triggers_found += triggers.len();
 
         let apply_started = Instant::now();
@@ -514,6 +655,9 @@ pub fn core_chase(start: &Instance, tgds: &[Tgd], budget: ChaseBudget) -> ChaseR
 pub struct EgdFailure {
     /// The two original elements that the egd tried to merge.
     pub elements: (Elem, Elem),
+    /// Counters for the chase passes completed before the failure (rounds,
+    /// triggers, timings), so callers can still account for the work done.
+    pub stats: ChaseStats,
 }
 
 impl std::fmt::Display for EgdFailure {
@@ -537,7 +681,7 @@ pub fn chase_with_egds(
     egds: &[Egd],
     variant: ChaseVariant,
     budget: ChaseBudget,
-) -> Result<ChaseResult, EgdFailure> {
+) -> Result<ChaseResult, Box<EgdFailure>> {
     let mut current = start.clone();
     let mut all_nulls: BTreeSet<Elem> = BTreeSet::new();
     let mut rounds_total = 0usize;
@@ -555,7 +699,17 @@ pub fn chase_with_egds(
                     let (keep, drop) = match (all_nulls.contains(&a), all_nulls.contains(&b)) {
                         (_, true) => (a, b),
                         (true, false) => (b, a),
-                        (false, false) => return Err(EgdFailure { elements: (a, b) }),
+                        (false, false) => {
+                            // `stats_total` already folds in the failing
+                            // pass (absorbed right after the chase above):
+                            // report it instead of discarding the counters.
+                            // Boxed: `ChaseStats` makes the failure much
+                            // larger than the `Ok` path should pay for.
+                            return Err(Box::new(EgdFailure {
+                                elements: (a, b),
+                                stats: stats_total,
+                            }));
+                        }
                     };
                     result.instance =
                         result
@@ -577,7 +731,7 @@ pub fn chase_with_egds(
                 stats: stats_total,
             });
         }
-        if result.outcome == ChaseOutcome::BudgetExceeded || rounds_total >= budget.max_rounds {
+        if result.outcome != ChaseOutcome::Terminated || rounds_total >= budget.max_rounds {
             return Ok(ChaseResult {
                 instance: result.instance,
                 outcome: ChaseOutcome::BudgetExceeded,
@@ -885,5 +1039,200 @@ mod tests {
         .unwrap_err();
         let (x, y) = err.elements;
         assert_ne!(x, y);
+        // The failure carries the stats of the work done up to it: one
+        // (trivial, zero-tgd) chase pass ran to termination first.
+        assert_eq!(err.stats.rounds, 1);
+        assert!(err.stats.total_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_round_one() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Auto,
+            &token,
+        );
+        assert!(result.cancelled());
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.instance, start);
+        assert_eq!(result.stats.triggers_fired, 0);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_divergent_chase() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::large(),
+            TriggerSearch::Auto,
+            &token,
+        );
+        assert!(result.cancelled());
+        assert!(start.is_contained_in(&result.instance));
+    }
+
+    #[test]
+    fn never_token_matches_ungoverned_chase() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let plain = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        let governed = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Auto,
+            &CancelToken::new(),
+        );
+        assert_eq!(plain.instance, governed.instance);
+        assert_eq!(plain.outcome, governed.outcome);
+        assert_eq!(plain.rounds, governed.rounds);
+    }
+
+    #[test]
+    fn injected_trigger_worker_panic_is_contained() {
+        crate::faults::silence_injected_panics();
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let token = CancelToken::with_faults(crate::faults::FaultPlan::always(
+            FaultSite::TriggerWorkerPanic,
+        ));
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Serial,
+            &token,
+        );
+        // The very first per-tgd search panics: contained, nothing fired,
+        // instance untouched, no process teardown.
+        assert!(result.cancelled());
+        assert_eq!(result.instance, start);
+        assert_eq!(result.rounds, 0);
+        assert!(result.stats.panics_contained >= 1);
+    }
+
+    #[test]
+    fn injected_parallel_worker_panic_is_contained() {
+        crate::faults::silence_injected_panics();
+        let mut s = Schema::default();
+        let tgds = parse_tgds(
+            &mut s,
+            "E(x,y), E(y,z) -> E(x,z). E(x,y) -> E(y,x). E(x,y) -> D(x,y). D(x,y) -> E(x,y).",
+        )
+        .unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let token = CancelToken::with_faults(crate::faults::FaultPlan::always(
+            FaultSite::TriggerWorkerPanic,
+        ));
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Parallel(4),
+            &token,
+        );
+        assert!(result.cancelled());
+        assert_eq!(result.instance, start);
+        assert!(result.stats.panics_contained >= 1);
+    }
+
+    #[test]
+    fn injected_budget_trip_reports_budget_exceeded() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let token =
+            CancelToken::with_faults(crate::faults::FaultPlan::always(FaultSite::BudgetTrip));
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Auto,
+            &token,
+        );
+        assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+        assert_eq!(result.instance, start);
+    }
+
+    #[test]
+    fn cancelled_instance_is_a_round_prefix() {
+        // Deterministic chase: the round-j prefix equals a run capped at
+        // max_rounds = j. An injected deadline expiry must land exactly on
+        // one of those prefixes.
+        crate::faults::silence_injected_panics();
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let mut path = Instance::new(s.clone());
+        let e = s.pred_id("E").unwrap();
+        for i in 0..8u32 {
+            path.add_fact(e, vec![Elem(i), Elem(i + 1)]);
+        }
+        let full = chase(
+            &path,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert!(full.terminated());
+        let prefixes: Vec<Instance> = (0..=full.rounds)
+            .map(|j| {
+                chase(
+                    &path,
+                    &tgds,
+                    ChaseVariant::Restricted,
+                    ChaseBudget {
+                        max_facts: usize::MAX,
+                        max_rounds: j,
+                    },
+                )
+                .instance
+            })
+            .collect();
+        for seed in 0..16u64 {
+            let token = CancelToken::with_faults(crate::faults::FaultPlan::only(
+                seed,
+                FaultSite::DeadlineExpire,
+                3,
+            ));
+            let result = chase_governed(
+                &path,
+                &tgds,
+                ChaseVariant::Restricted,
+                ChaseBudget::default(),
+                TriggerSearch::Serial,
+                &token,
+            );
+            assert!(
+                prefixes.contains(&result.instance),
+                "seed {seed}: cancelled instance is not a round prefix"
+            );
+            if result.cancelled() {
+                assert_eq!(result.instance, prefixes[result.rounds]);
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! chase-for-`Proved` + search-for-`Disproved` decides guarded entailment.
 
 use crate::entail::{freeze_body, Entailment};
+use crate::govern::CancelToken;
 use crate::satisfy::violation;
 use std::collections::BTreeSet;
 use tgdkit_hom::{Binding, Cq};
@@ -51,6 +52,7 @@ fn search(
     forbidden: &Cq,
     forbidden_fixed: &Binding,
     budget: &SearchBudget,
+    token: &CancelToken,
 ) -> Option<Instance> {
     let mut states_left = budget.max_states;
     let mut visited: BTreeSet<Vec<Fact>> = BTreeSet::new();
@@ -64,9 +66,11 @@ fn search(
         max_elem,
         &mut states_left,
         &mut visited,
+        token,
     )
 }
 
+#[allow(clippy::too_many_arguments)] // internal recursion state
 fn dfs(
     sigma: &[Tgd],
     current: Instance,
@@ -75,8 +79,15 @@ fn dfs(
     max_elem: u32,
     states_left: &mut usize,
     visited: &mut BTreeSet<Vec<Fact>>,
+    token: &CancelToken,
 ) -> Option<Instance> {
     if *states_left == 0 {
+        return None;
+    }
+    // Cooperative cancellation every 256 expanded states; abandoning the
+    // search is sound (the caller reports `Unknown`, never `Proved`).
+    if (*states_left).is_multiple_of(256) && token.is_cancelled() {
+        *states_left = 0;
         return None;
     }
     *states_left -= 1;
@@ -128,6 +139,7 @@ fn dfs(
             max_elem,
             states_left,
             visited,
+            token,
         ) {
             return Some(model);
         }
@@ -175,6 +187,18 @@ pub fn refute_by_countermodel(
     candidate: &Tgd,
     budget: &SearchBudget,
 ) -> Entailment {
+    refute_by_countermodel_governed(schema, sigma, candidate, budget, &CancelToken::new())
+}
+
+/// [`refute_by_countermodel`] under a [`CancelToken`]: the DFS checks the
+/// token periodically and abandons the search (`Unknown`) when cancelled.
+pub fn refute_by_countermodel_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: &SearchBudget,
+    token: &CancelToken,
+) -> Entailment {
     let frozen = freeze_body(schema, candidate);
     let head_cq = Cq::boolean(candidate.head().to_vec());
     let mut fixed: Binding = vec![None; candidate.var_count()];
@@ -185,7 +209,7 @@ pub fn refute_by_countermodel(
     {
         *slot = Some(Elem(v as u32));
     }
-    match search(sigma, &frozen, &head_cq, &fixed, budget) {
+    match search(sigma, &frozen, &head_cq, &fixed, budget, token) {
         Some(_) => Entailment::Disproved,
         None => Entailment::Unknown,
     }

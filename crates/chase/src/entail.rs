@@ -2,8 +2,9 @@
 //! (Maier–Mendelzon–Sagiv \[13\]; paper §9.2 uses exactly this reduction to
 //! conjunctive query answering).
 
-use crate::chase::{chase, ChaseBudget, ChaseOutcome, ChaseVariant};
-use crate::stats::ChaseStats;
+use crate::chase::{chase_governed, ChaseBudget, ChaseOutcome, ChaseVariant};
+use crate::govern::CancelToken;
+use crate::stats::{ChaseStats, TriggerSearch};
 use tgdkit_hom::{Binding, Cq};
 use tgdkit_instance::{Elem, Instance};
 use tgdkit_logic::{Edd, EddDisjunct, Egd, Schema, Tgd};
@@ -88,8 +89,30 @@ pub fn entails_with_stats(
     candidate: &Tgd,
     budget: ChaseBudget,
 ) -> (Entailment, ChaseStats) {
+    entails_with_stats_governed(schema, sigma, candidate, budget, &CancelToken::new())
+}
+
+/// [`entails_with_stats`] under a [`CancelToken`]: the inner chase stops
+/// within one round of cancellation. A cancelled chase can still settle
+/// `Proved` (the partial chase is a sound set of consequences); `Disproved`
+/// requires a terminated chase, which a cancelled run never reports — so
+/// cancellation degrades to `Unknown`, never inverts a verdict.
+pub fn entails_with_stats_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: ChaseBudget,
+    token: &CancelToken,
+) -> (Entailment, ChaseStats) {
     let frozen = freeze_body(schema, candidate);
-    let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
+    let result = chase_governed(
+        &frozen,
+        sigma,
+        ChaseVariant::Restricted,
+        budget,
+        TriggerSearch::Auto,
+        token,
+    );
     let head_cq = Cq::boolean(candidate.head().to_vec());
     let mut fixed: Binding = vec![None; candidate.var_count()];
     for (v, slot) in fixed
@@ -124,7 +147,14 @@ pub fn entails_egd(schema: &Schema, sigma: &[Tgd], egd: &Egd, budget: ChaseBudge
         let args: Vec<Elem> = atom.args.iter().map(|v| Elem(v.0)).collect();
         frozen.add_fact(atom.pred, args);
     }
-    let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
+    let result = chase_governed(
+        &frozen,
+        sigma,
+        ChaseVariant::Restricted,
+        budget,
+        TriggerSearch::Auto,
+        &CancelToken::new(),
+    );
     if result.outcome == ChaseOutcome::Terminated {
         // The chase result is a model of Σ in which the frozen body holds
         // with lhs ≠ rhs.
@@ -158,6 +188,20 @@ pub fn entails_edd_under_tgds(
     edd: &Edd,
     budget: ChaseBudget,
 ) -> Entailment {
+    entails_edd_under_tgds_governed(schema, sigma, edd, budget, &CancelToken::new())
+}
+
+/// [`entails_edd_under_tgds`] under a [`CancelToken`]: a cancelled chase
+/// still proves satisfied disjuncts soundly, and lands `Unknown` (never
+/// `Disproved`) when no disjunct holds, since the non-terminated result is
+/// not a countermodel.
+pub fn entails_edd_under_tgds_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    edd: &Edd,
+    budget: ChaseBudget,
+    token: &CancelToken,
+) -> Entailment {
     // Trivial equality disjunct ⇒ tautology.
     if edd
         .disjuncts()
@@ -170,7 +214,14 @@ pub fn entails_edd_under_tgds(
     for atom in edd.body() {
         frozen.add_fact(atom.pred, atom.args.iter().map(|v| Elem(v.0)).collect());
     }
-    let result = chase(&frozen, sigma, ChaseVariant::Restricted, budget);
+    let result = chase_governed(
+        &frozen,
+        sigma,
+        ChaseVariant::Restricted,
+        budget,
+        TriggerSearch::Auto,
+        token,
+    );
     let n = edd.universal_count();
     for disjunct in edd.disjuncts() {
         if let EddDisjunct::Exists(atoms) = disjunct {
@@ -210,20 +261,40 @@ pub fn entails_auto(
     candidate: &Tgd,
     budget: ChaseBudget,
 ) -> Entailment {
+    entails_auto_governed(schema, sigma, candidate, budget, &CancelToken::new())
+}
+
+/// [`entails_auto`] under a [`CancelToken`]: every stage (linear
+/// saturation, chase, countermodel search) observes the token and degrades
+/// to `Unknown` when cut off.
+pub fn entails_auto_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    budget: ChaseBudget,
+    token: &CancelToken,
+) -> Entailment {
     if !sigma.is_empty() && sigma.iter().all(Tgd::is_linear) {
         // Saturation cap proportional to the chase budget's appetite.
-        let verdict =
-            crate::linear::entails_linear(schema, sigma, candidate, budget.max_facts.max(10_000));
+        let verdict = crate::linear::entails_linear_governed(
+            schema,
+            sigma,
+            candidate,
+            budget.max_facts.max(10_000),
+            token,
+        );
         if verdict != Entailment::Unknown {
             return verdict;
         }
     }
-    match entails(schema, sigma, candidate, budget) {
-        Entailment::Unknown => crate::countermodel::refute_by_countermodel(
+    match entails_with_stats_governed(schema, sigma, candidate, budget, token).0 {
+        Entailment::Unknown if token.is_cancelled() => Entailment::Unknown,
+        Entailment::Unknown => crate::countermodel::refute_by_countermodel_governed(
             schema,
             sigma,
             candidate,
             &crate::countermodel::SearchBudget::default(),
+            token,
         ),
         verdict => verdict,
     }
@@ -236,9 +307,24 @@ pub fn entails_all(
     candidates: &[Tgd],
     budget: ChaseBudget,
 ) -> Entailment {
+    entails_all_governed(schema, sigma, candidates, budget, &CancelToken::new())
+}
+
+/// [`entails_all`] under a [`CancelToken`]: members not reached before
+/// cancellation contribute `Unknown` to the conjunction.
+pub fn entails_all_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    token: &CancelToken,
+) -> Entailment {
     let mut acc = Entailment::Proved;
     for c in candidates {
-        acc = acc.and(entails_auto(schema, sigma, c, budget));
+        if token.is_cancelled() {
+            return acc.and(Entailment::Unknown);
+        }
+        acc = acc.and(entails_auto_governed(schema, sigma, c, budget, token));
         if acc == Entailment::Disproved {
             return acc;
         }

@@ -1,0 +1,205 @@
+//! Cooperative cancellation for long-running chase/rewrite calls.
+//!
+//! [`ChaseBudget`](crate::ChaseBudget) caps *logical* work (facts, rounds)
+//! but gives no wall-clock guarantee: a single round over a large instance
+//! can run arbitrarily long. A [`CancelToken`] adds the missing governor —
+//! a shared cancellation flag plus an optional [`Instant`] deadline —
+//! threaded alongside the budget into every chase round loop, the parallel
+//! trigger-search workers, the work-stealing candidate evaluator, the
+//! entailment-cache batch paths, and the countermodel/locality searches.
+//!
+//! Checks are *cooperative* and placed at round and group-claim
+//! granularity, so a cancelled run stops within one chase round (resp. one
+//! candidate group) and reports [`ChaseOutcome::Cancelled`]
+//! (resp. `RewriteOutcome::Cancelled`) with coherent stats for the work
+//! actually done.
+//!
+//! ## Soundness under cancellation
+//!
+//! Cancellation can only *truncate* a chase at a round boundary, never add
+//! or corrupt facts. A truncated chase keeps the hom-universality property
+//! for the facts it did derive, so `Entailment::Proved` stays sound;
+//! `Disproved` already requires [`ChaseOutcome::Terminated`], which a
+//! cancelled run never reports. Every verdict site therefore degrades a
+//! cancelled run to `Unknown` at worst — the same discipline as a budget
+//! cutoff (see the crate-level "Soundness discipline" notes).
+//!
+//! A token may also carry a seeded [`FaultPlan`] (test/bench-only; see
+//! [`crate::faults`]) which deterministically injects worker panics, budget
+//! trips, and deadline expiries at the same cooperative check sites.
+
+use crate::faults::{FaultPlan, FaultSite};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct TokenState {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    faults: Option<FaultPlan>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+///
+/// Cloning is cheap ([`Arc`]) and every clone observes the same flag, so a
+/// caller can keep one clone and hand another to a long-running call:
+///
+/// ```
+/// use tgdkit_chase::{chase_governed, CancelToken, ChaseBudget, ChaseVariant, TriggerSearch};
+/// use tgdkit_instance::parse_instance;
+/// use tgdkit_logic::{parse_tgds, Schema};
+/// let mut schema = Schema::default();
+/// let tgds = parse_tgds(&mut schema, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+/// let start = parse_instance(&mut schema, "E(a,b)").unwrap();
+/// let token = CancelToken::new();
+/// token.cancel(); // e.g. from another thread
+/// let result = chase_governed(
+///     &start,
+///     &tgds,
+///     ChaseVariant::Restricted,
+///     ChaseBudget::default(),
+///     TriggerSearch::Auto,
+///     &token,
+/// );
+/// assert!(result.cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<TokenState>,
+}
+
+impl CancelToken {
+    /// A token that never cancels on its own (no deadline, no faults);
+    /// [`CancelToken::cancel`] can still be called explicitly. This is what
+    /// the ungoverned entry points (`chase`, `entails`, …) run with.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that cancels once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that cancels at the given instant.
+    pub fn deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+                faults: None,
+            }),
+        }
+    }
+
+    /// A token carrying a seeded [`FaultPlan`] (test/bench-only): the
+    /// governed code paths consult the plan at each cooperative check site
+    /// and inject the scheduled faults. See [`crate::faults`].
+    #[cfg(any(test, feature = "tgdkit-faults"))]
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                faults: Some(plan),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token is cancelled — explicitly, by deadline expiry,
+    /// or by an injected [`FaultSite::DeadlineExpire`]. Deadline expiry is
+    /// sticky: once observed, the flag is set so later checks are a single
+    /// atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        if self.state.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.state.deadline {
+            if Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        if self.fault(FaultSite::DeadlineExpire) {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Consults the fault plan (if any) at the given injection site. Always
+    /// `false` for tokens without a plan — the fault-free fast path is one
+    /// `Option` check.
+    pub fn fault(&self, site: FaultSite) -> bool {
+        match &self.state.faults {
+            None => false,
+            Some(plan) => plan.should_fault(site),
+        }
+    }
+
+    /// `true` when the token carries a fault plan.
+    pub fn has_faults(&self) -> bool {
+        self.state.faults.is_some()
+    }
+
+    /// `true` when results computed under this token may be degraded
+    /// (cancelled or fault-injected) and so must not be persisted into
+    /// cross-run caches keyed only by budget.
+    pub fn is_tainted(&self) -> bool {
+        self.has_faults() || self.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.has_faults());
+        assert!(!token.is_tainted());
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(clone.is_tainted());
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_cancel() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn fault_plan_marks_token_tainted() {
+        let token = CancelToken::with_faults(FaultPlan::seeded(7));
+        assert!(token.has_faults());
+        assert!(token.is_tainted());
+    }
+
+    #[test]
+    fn injected_deadline_expiry_is_sticky() {
+        let token = CancelToken::with_faults(FaultPlan::only(0, FaultSite::DeadlineExpire, 1));
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled());
+    }
+}

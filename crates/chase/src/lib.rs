@@ -28,6 +28,8 @@ pub mod certain;
 pub mod chase;
 pub mod countermodel;
 pub mod entail;
+pub mod faults;
+pub mod govern;
 pub mod linear;
 pub mod satisfy;
 pub mod stats;
@@ -35,22 +37,28 @@ pub mod termination;
 pub mod universal;
 
 pub use cache::{
-    entails_all_cached, entails_auto_cached, entails_batch, evaluate_group, group_by_body,
-    sigma_fingerprint, BodyGroup, EntailBatchStats, EntailCache,
+    entails_all_cached, entails_all_cached_governed, entails_auto_cached,
+    entails_auto_cached_governed, entails_batch, entails_batch_governed, evaluate_group,
+    group_by_body, sigma_fingerprint, BodyGroup, EntailBatchStats, EntailCache,
 };
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{
-    chase, chase_configured, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,
-    ChaseResult, ChaseVariant, DerivationStep, Provenance,
+    chase, chase_configured, chase_governed, chase_with_provenance, core_chase, ChaseBudget,
+    ChaseOutcome, ChaseResult, ChaseVariant, DerivationStep, Provenance,
 };
-pub use countermodel::{finite_model, refute_by_countermodel, SearchBudget};
+pub use countermodel::{
+    finite_model, refute_by_countermodel, refute_by_countermodel_governed, SearchBudget,
+};
 pub use entail::{
-    entails, entails_all, entails_auto, entails_edd_under_tgds, entails_with_stats, equivalent,
-    Entailment,
+    entails, entails_all, entails_all_governed, entails_auto, entails_auto_governed,
+    entails_edd_under_tgds, entails_edd_under_tgds_governed, entails_with_stats,
+    entails_with_stats_governed, equivalent, Entailment,
 };
+pub use faults::{FaultPlan, FaultSite, FAULT_SITES};
+pub use govern::CancelToken;
 pub use linear::{
     certainly_holds_by_rewriting, certainly_holds_by_rewriting_with_stats, entails_linear,
-    entails_linear_with_stats,
+    entails_linear_governed, entails_linear_with_stats,
 };
 pub use satisfy::{satisfies_edd, satisfies_egd, satisfies_tgd, satisfies_tgds, violation};
 pub use stats::{ChaseStats, TriggerSearch};

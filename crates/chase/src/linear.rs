@@ -21,6 +21,7 @@
 //! candidate sizes of Algorithms 1–2).
 
 use crate::entail::Entailment;
+use crate::govern::CancelToken;
 use crate::stats::ChaseStats;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -427,6 +428,19 @@ pub fn entails_linear(
     entails_linear_with_stats(schema, sigma, candidate, max_queries).0
 }
 
+/// [`entails_linear`] under a [`CancelToken`]: the saturation loop checks
+/// the token periodically and reports `Unknown` when cancelled (sound — the
+/// saturation was simply not finished).
+pub fn entails_linear_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    max_queries: usize,
+    token: &CancelToken,
+) -> Entailment {
+    entails_linear_with_stats_impl(schema, sigma, candidate, max_queries, token).0
+}
+
 /// As [`entails_linear`], additionally reporting saturation statistics (see
 /// [`saturate`] for how the chase vocabulary maps onto rewriting).
 pub fn entails_linear_with_stats(
@@ -434,6 +448,16 @@ pub fn entails_linear_with_stats(
     sigma: &[Tgd],
     candidate: &Tgd,
     max_queries: usize,
+) -> (Entailment, ChaseStats) {
+    entails_linear_with_stats_impl(schema, sigma, candidate, max_queries, &CancelToken::new())
+}
+
+fn entails_linear_with_stats_impl(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidate: &Tgd,
+    max_queries: usize,
+    token: &CancelToken,
 ) -> (Entailment, ChaseStats) {
     assert!(
         sigma.iter().all(Tgd::is_linear),
@@ -471,7 +495,7 @@ pub fn entails_linear_with_stats(
     .canonical();
 
     let mut stats = ChaseStats::default();
-    let verdict = match saturate(sigma, initial, &frozen, max_queries, &mut stats) {
+    let verdict = match saturate(sigma, initial, &frozen, max_queries, &mut stats, token) {
         Some(true) => Entailment::Proved,
         Some(false) => Entailment::Disproved,
         None => Entailment::Unknown,
@@ -496,6 +520,7 @@ fn saturate(
     database: &Instance,
     max_queries: usize,
     stats: &mut ChaseStats,
+    token: &CancelToken,
 ) -> Option<bool> {
     let run_started = Instant::now();
     let index = InstanceIndex::new(database);
@@ -508,6 +533,12 @@ fn saturate(
             break 'run Some(false);
         };
         stats.rounds += 1;
+        // Cooperative cancellation: every 64 popped queries (a token check
+        // is an atomic load, the modulus keeps `Instant::now` off the hot
+        // path for deadline tokens).
+        if stats.rounds.is_multiple_of(64) && token.is_cancelled() {
+            break 'run None;
+        }
         let probe_started = Instant::now();
         let matched = query.holds_in(&index);
         stats.trigger_search_time += probe_started.elapsed();
@@ -592,7 +623,14 @@ pub fn certainly_holds_by_rewriting_with_stats(
     }
     .canonical();
     let mut stats = ChaseStats::default();
-    let verdict = saturate(sigma, initial, data, max_queries, &mut stats);
+    let verdict = saturate(
+        sigma,
+        initial,
+        data,
+        max_queries,
+        &mut stats,
+        &CancelToken::new(),
+    );
     (verdict, stats)
 }
 

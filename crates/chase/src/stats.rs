@@ -39,6 +39,12 @@ pub struct ChaseStats {
     pub cache_hits: usize,
     /// Cache lookups that missed and forced a recomputation.
     pub cache_misses: usize,
+    /// Worker panics contained by `catch_unwind` (trigger-search or
+    /// evaluator workers; real or injected via [`crate::faults`]). Any
+    /// nonzero count demotes the affected run to
+    /// [`crate::ChaseOutcome::Cancelled`] — a fixpoint can no longer be
+    /// certified — but never unwinds the caller.
+    pub panics_contained: usize,
     /// Wall time spent finding triggers.
     pub trigger_search_time: Duration,
     /// Wall time spent checking/firing triggers and extending the index.
@@ -60,6 +66,7 @@ impl ChaseStats {
         self.parallel_rounds += other.parallel_rounds;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.panics_contained += other.panics_contained;
         self.trigger_search_time += other.trigger_search_time;
         self.apply_time += other.apply_time;
         self.total_time += other.total_time;
@@ -98,6 +105,7 @@ mod tests {
             parallel_rounds: 1,
             cache_hits: 5,
             cache_misses: 3,
+            panics_contained: 1,
             trigger_search_time: Duration::from_millis(5),
             apply_time: Duration::from_millis(7),
             total_time: Duration::from_millis(20),
@@ -113,6 +121,7 @@ mod tests {
         assert_eq!(a.parallel_rounds, 2);
         assert_eq!(a.cache_hits, 10);
         assert_eq!(a.cache_misses, 6);
+        assert_eq!(a.panics_contained, 2);
         assert_eq!(a.total_time, Duration::from_millis(40));
     }
 }

@@ -42,12 +42,15 @@ pub mod verdict;
 pub mod workload;
 
 pub use locality::{
-    locality_counterexample, locality_counterexample_with_stats, locally_embeddable,
-    locally_embeddable_with_stats, LocalityFlavor, LocalityOptions,
+    locality_counterexample, locality_counterexample_with_stats,
+    locality_counterexample_with_stats_governed, locally_embeddable, locally_embeddable_with_stats,
+    locally_embeddable_with_stats_governed, LocalityFlavor, LocalityOptions,
 };
 pub use ontology::{DependencyOntology, FiniteOntology, Ontology, TgdOntology};
 pub use rewrite::{
-    frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached, guarded_to_linear,
-    guarded_to_linear_cached, RewriteOptions, RewriteOutcome, RewriteStats,
+    frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached,
+    frontier_guarded_to_guarded_cached_governed, frontier_guarded_to_guarded_governed,
+    guarded_to_linear, guarded_to_linear_cached, guarded_to_linear_cached_governed,
+    guarded_to_linear_governed, PoolEval, RewriteOptions, RewriteOutcome, RewriteStats,
 };
 pub use verdict::Verdict;

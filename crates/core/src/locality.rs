@@ -33,7 +33,10 @@ use crate::verdict::Verdict;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::ControlFlow;
 use std::rc::Rc;
-use tgdkit_chase::{chase, satisfies_tgds, ChaseBudget, ChaseStats, ChaseVariant};
+use tgdkit_chase::stats::TriggerSearch;
+use tgdkit_chase::{
+    chase_governed, satisfies_tgds, CancelToken, ChaseBudget, ChaseStats, ChaseVariant,
+};
 use tgdkit_hom::find_instance_hom;
 use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::TgdSet;
@@ -209,6 +212,7 @@ fn check_case(
     cases_used: &mut usize,
     stats: &mut ChaseStats,
     memo: &mut WitnessMemo,
+    token: &CancelToken,
 ) -> CaseOutcome {
     let key: Vec<Fact> = case.k.facts().collect();
     let witness = match memo.get(&key) {
@@ -220,11 +224,15 @@ fn check_case(
             stats.cache_misses += 1;
             let mut k = case.k.clone();
             k.add_dom_elem(sentinel);
-            let result = chase(
+            // A cancelled chase is not `Terminated`, so its witness is
+            // (soundly) treated exactly like a budget-truncated one.
+            let result = chase_governed(
                 &k,
                 sigma.tgds(),
                 ChaseVariant::Restricted,
                 opts.chase_budget,
+                TriggerSearch::Auto,
+                token,
             );
             stats.absorb(&result.stats);
             let entry = result.terminated().then(|| Rc::new(result.instance));
@@ -284,6 +292,24 @@ pub fn locally_embeddable_with_stats(
     flavor: LocalityFlavor,
     opts: &LocalityOptions,
 ) -> (Verdict, ChaseStats) {
+    locally_embeddable_with_stats_governed(sigma, i, n, m, flavor, opts, &CancelToken::new())
+}
+
+/// [`locally_embeddable_with_stats`] under a [`CancelToken`]: the token is
+/// checked between cases and inside each witness chase, so cancellation
+/// stops the check within one case. A cut-short check reports
+/// [`Verdict::Unknown`] — a definitive `No` found *before* the cut is still
+/// returned (it cannot be invalidated by the unexamined cases).
+#[allow(clippy::too_many_arguments)] // governed twin of an (n, m, flavor)-parameterized check
+pub fn locally_embeddable_with_stats_governed(
+    sigma: &TgdSet,
+    i: &Instance,
+    n: usize,
+    m: usize,
+    flavor: LocalityFlavor,
+    opts: &LocalityOptions,
+    token: &CancelToken,
+) -> (Verdict, ChaseStats) {
     let mut stats = ChaseStats::default();
     let mut unknown = false;
     let mut cases_used = 0usize;
@@ -292,6 +318,9 @@ pub fn locally_embeddable_with_stats(
     // domain with a sentinel above I's maximum element.
     let sentinel = i.fresh_elem();
     for case in cases(sigma, i, n, flavor) {
+        if token.is_cancelled() {
+            return (Verdict::Unknown, stats);
+        }
         match check_case(
             sigma,
             i,
@@ -302,6 +331,7 @@ pub fn locally_embeddable_with_stats(
             &mut cases_used,
             &mut stats,
             &mut memo,
+            token,
         ) {
             CaseOutcome::Embeds => {}
             // The chase was a member of O containing K; by witness
@@ -337,6 +367,7 @@ pub fn failing_case(
     let mut cases_used = 0usize;
     let mut stats = ChaseStats::default();
     let mut memo = WitnessMemo::new();
+    let token = CancelToken::new();
     for case in cases(sigma, i, n, flavor) {
         if check_case(
             sigma,
@@ -348,6 +379,7 @@ pub fn failing_case(
             &mut cases_used,
             &mut stats,
             &mut memo,
+            &token,
         ) == CaseOutcome::Fails
         {
             return Some((case.k, case.fix));
@@ -385,10 +417,26 @@ pub fn locality_counterexample_with_stats(
     flavor: LocalityFlavor,
     opts: &LocalityOptions,
 ) -> (Verdict, ChaseStats) {
+    locality_counterexample_with_stats_governed(sigma, i, n, m, flavor, opts, &CancelToken::new())
+}
+
+/// [`locality_counterexample_with_stats`] under a [`CancelToken`]; see
+/// [`locally_embeddable_with_stats_governed`] for the cancellation
+/// semantics.
+#[allow(clippy::too_many_arguments)] // governed twin of an (n, m, flavor)-parameterized check
+pub fn locality_counterexample_with_stats_governed(
+    sigma: &TgdSet,
+    i: &Instance,
+    n: usize,
+    m: usize,
+    flavor: LocalityFlavor,
+    opts: &LocalityOptions,
+    token: &CancelToken,
+) -> (Verdict, ChaseStats) {
     if satisfies_tgds(i, sigma.tgds()) {
         return (Verdict::No, ChaseStats::default()); // I ∈ O: cannot witness non-locality
     }
-    locally_embeddable_with_stats(sigma, i, n, m, flavor, opts)
+    locally_embeddable_with_stats_governed(sigma, i, n, m, flavor, opts, token)
 }
 
 /// Samples the Lemma 3.6 direction on given instances: for each `I`, if `O`

@@ -21,10 +21,13 @@
 //! definitive [`RewriteOutcome::NotRewritable`].
 
 use crate::enumerate::{guarded_candidates, linear_candidates, EnumOptions, Enumeration};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use tgdkit_chase::faults::INJECTED_PANIC;
 use tgdkit_chase::{
-    entails_all_cached, entails_auto_cached, evaluate_group, group_by_body, sigma_fingerprint,
-    ChaseBudget, EntailBatchStats, EntailCache, Entailment,
+    entails_all_cached_governed, entails_auto_cached_governed, evaluate_group, group_by_body,
+    sigma_fingerprint, CancelToken, ChaseBudget, EntailBatchStats, EntailCache, Entailment,
+    FaultSite,
 };
 use tgdkit_logic::{Schema, Tgd, TgdSet};
 
@@ -51,6 +54,12 @@ pub enum RewriteOutcome {
     /// The search was cut short (chase budget exhausted, or atom budgets
     /// below the exhaustive bound) without finding a rewriting.
     Inconclusive,
+    /// The run was cancelled (deadline expired or [`CancelToken::cancel`]
+    /// was called) before the procedure could decide. Like
+    /// [`RewriteOutcome::Inconclusive`] this never contradicts what an
+    /// uncancelled run would answer; [`RewriteStats`] still describes the
+    /// work completed before the cut.
+    Cancelled,
 }
 
 impl RewriteOutcome {
@@ -92,6 +101,15 @@ pub struct RewriteStats {
     /// Non-zero means the dynamic scheduler absorbed skew that a
     /// fixed-chunk split would have serialized.
     pub steals: usize,
+    /// Whether the run was cancelled (mirrors
+    /// [`RewriteOutcome::Cancelled`], but also set when cancellation
+    /// arrived too late to change the outcome).
+    pub cancelled: bool,
+    /// Panics contained during candidate evaluation: each one poisoned a
+    /// single body group, whose candidates settled as `Unknown` while every
+    /// other group's verdict is untouched (includes panics the chase layer
+    /// contained, via [`tgdkit_chase::ChaseStats::panics_contained`]).
+    pub panics_contained: usize,
 }
 
 /// Algorithm 1 (paper §9.2, `G-to-L`): rewrites a set of **guarded** tgds
@@ -109,14 +127,51 @@ pub struct RewriteStats {
 /// assert!(matches!(outcome, RewriteOutcome::Rewritten(_)));
 /// ```
 pub fn guarded_to_linear(set: &TgdSet, opts: &RewriteOptions) -> RewriteOutcome {
-    rewrite(set, opts, Target::Linear).0
+    rewrite(set, opts, Target::Linear, &CancelToken::new()).0
 }
 
 /// Algorithm 2 (paper §9.2, `FG-to-G`): rewrites a set of
 /// **frontier-guarded** tgds into an equivalent set of **guarded** tgds, if
 /// one exists.
 pub fn frontier_guarded_to_guarded(set: &TgdSet, opts: &RewriteOptions) -> RewriteOutcome {
-    rewrite(set, opts, Target::Guarded).0
+    rewrite(set, opts, Target::Guarded, &CancelToken::new()).0
+}
+
+/// [`guarded_to_linear`] under a [`CancelToken`]: a deadline expiry or an
+/// explicit [`CancelToken::cancel`] stops the run cooperatively (within one
+/// chase round / one body group) and yields [`RewriteOutcome::Cancelled`]
+/// with the statistics of the work completed so far.
+///
+/// ```
+/// use std::time::Duration;
+/// use tgdkit_chase::CancelToken;
+/// use tgdkit_core::{guarded_to_linear_governed, RewriteOptions, RewriteOutcome};
+/// use tgdkit_logic::{parse_tgds, Schema, TgdSet};
+/// let mut schema = Schema::default();
+/// let tgds = parse_tgds(&mut schema, "R(x,y), R(x,x) -> T(x).").unwrap();
+/// let set = TgdSet::new(schema, tgds).unwrap();
+/// let token = CancelToken::new();
+/// token.cancel(); // already expired: the run must stop immediately
+/// let (outcome, stats) = guarded_to_linear_governed(&set, &RewriteOptions::default(), &token);
+/// assert_eq!(outcome, RewriteOutcome::Cancelled);
+/// assert!(stats.cancelled);
+/// ```
+pub fn guarded_to_linear_governed(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite(set, opts, Target::Linear, token)
+}
+
+/// [`frontier_guarded_to_guarded`] under a [`CancelToken`]; see
+/// [`guarded_to_linear_governed`].
+pub fn frontier_guarded_to_guarded_governed(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite(set, opts, Target::Guarded, token)
 }
 
 /// [`guarded_to_linear`] with run statistics.
@@ -124,7 +179,7 @@ pub fn guarded_to_linear_with_stats(
     set: &TgdSet,
     opts: &RewriteOptions,
 ) -> (RewriteOutcome, RewriteStats) {
-    rewrite(set, opts, Target::Linear)
+    rewrite(set, opts, Target::Linear, &CancelToken::new())
 }
 
 /// [`frontier_guarded_to_guarded`] with run statistics.
@@ -132,7 +187,7 @@ pub fn frontier_guarded_to_guarded_with_stats(
     set: &TgdSet,
     opts: &RewriteOptions,
 ) -> (RewriteOutcome, RewriteStats) {
-    rewrite(set, opts, Target::Guarded)
+    rewrite(set, opts, Target::Guarded, &CancelToken::new())
 }
 
 /// [`guarded_to_linear_with_stats`] against a caller-provided
@@ -143,7 +198,7 @@ pub fn guarded_to_linear_cached(
     opts: &RewriteOptions,
     cache: &EntailCache,
 ) -> (RewriteOutcome, RewriteStats) {
-    rewrite_cached(set, opts, Target::Linear, cache)
+    rewrite_cached(set, opts, Target::Linear, cache, &CancelToken::new())
 }
 
 /// [`frontier_guarded_to_guarded_with_stats`] against a caller-provided
@@ -153,7 +208,30 @@ pub fn frontier_guarded_to_guarded_cached(
     opts: &RewriteOptions,
     cache: &EntailCache,
 ) -> (RewriteOutcome, RewriteStats) {
-    rewrite_cached(set, opts, Target::Guarded, cache)
+    rewrite_cached(set, opts, Target::Guarded, cache, &CancelToken::new())
+}
+
+/// [`guarded_to_linear_cached`] under a [`CancelToken`]. Verdicts decided
+/// before the cut are cached (and sound); cancellation-induced `Unknown`s
+/// are not persisted, so a warm rerun with a fresh token re-decides them.
+pub fn guarded_to_linear_cached_governed(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite_cached(set, opts, Target::Linear, cache, token)
+}
+
+/// [`frontier_guarded_to_guarded_cached`] under a [`CancelToken`]; see
+/// [`guarded_to_linear_cached_governed`].
+pub fn frontier_guarded_to_guarded_cached_governed(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
+    rewrite_cached(set, opts, Target::Guarded, cache, token)
 }
 
 /// Filters an explicit candidate pool through the evaluator the rewriting
@@ -170,7 +248,45 @@ pub fn evaluate_pool(
     parallel: bool,
     cache: &EntailCache,
 ) -> (Vec<Entailment>, EntailBatchStats, usize) {
-    evaluate_candidates(schema, sigma, candidates, budget, parallel, cache)
+    let eval = evaluate_candidates(
+        schema,
+        sigma,
+        candidates,
+        budget,
+        parallel,
+        cache,
+        &CancelToken::new(),
+    );
+    (eval.verdicts, eval.stats, eval.steals)
+}
+
+/// [`evaluate_pool`] under a [`CancelToken`]: cancellation stops the sweep
+/// at the next group boundary (remaining candidates settle as `Unknown`),
+/// and a panic inside one group's evaluation is contained to that group.
+pub fn evaluate_pool_governed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    parallel: bool,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> PoolEval {
+    evaluate_candidates(schema, sigma, candidates, budget, parallel, cache, token)
+}
+
+/// Result of [`evaluate_pool_governed`] / the internal candidate evaluator.
+#[derive(Debug, Default)]
+pub struct PoolEval {
+    /// One verdict per candidate, in input order.
+    pub verdicts: Vec<Entailment>,
+    /// Sharing/caching counters for the sweep.
+    pub stats: EntailBatchStats,
+    /// Work-stealing imbalance (see [`RewriteStats::steals`]).
+    pub steals: usize,
+    /// Body groups whose evaluation panicked and was contained; their
+    /// candidates report `Unknown`.
+    pub panics_contained: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -192,12 +308,17 @@ fn enumerate(
     }
 }
 
-fn rewrite(set: &TgdSet, opts: &RewriteOptions, target: Target) -> (RewriteOutcome, RewriteStats) {
+fn rewrite(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    target: Target,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
     // Fresh per-run cache: within one run it still pays (minimization and
     // the Σ' ⊨ Σ check revisit filtered candidates); callers wanting
     // cross-run reuse pass their own via the `_cached` entry points.
     let cache = EntailCache::new();
-    rewrite_cached(set, opts, target, &cache)
+    rewrite_cached(set, opts, target, &cache, token)
 }
 
 fn rewrite_cached(
@@ -205,6 +326,7 @@ fn rewrite_cached(
     opts: &RewriteOptions,
     target: Target,
     cache: &EntailCache,
+    token: &CancelToken,
 ) -> (RewriteOutcome, RewriteStats) {
     let schema = set.schema();
     let (n, m) = set.profile();
@@ -216,22 +338,24 @@ fn rewrite_cached(
     };
 
     // Σ' := { σ ∈ C_{n,m} | Σ ⊨ σ }.
-    let (verdicts, batch, steals) = evaluate_candidates(
+    let eval = evaluate_candidates(
         schema,
         set.tgds(),
         &enumeration.tgds,
         opts.budget,
         opts.parallel,
         cache,
+        token,
     );
-    stats.body_groups = batch.body_groups;
-    stats.bodies_chased = batch.bodies_chased;
-    stats.heads_probed = batch.heads_probed;
-    stats.cache_hits = batch.cache_hits;
-    stats.cache_misses = batch.cache_misses;
-    stats.steals = steals;
+    stats.body_groups = eval.stats.body_groups;
+    stats.bodies_chased = eval.stats.bodies_chased;
+    stats.heads_probed = eval.stats.heads_probed;
+    stats.cache_hits = eval.stats.cache_hits;
+    stats.cache_misses = eval.stats.cache_misses;
+    stats.steals = eval.steals;
+    stats.panics_contained = eval.panics_contained + eval.stats.chase.panics_contained;
     let mut sigma_prime: Vec<Tgd> = Vec::new();
-    for (candidate, verdict) in enumeration.tgds.iter().zip(&verdicts) {
+    for (candidate, verdict) in enumeration.tgds.iter().zip(&eval.verdicts) {
         match verdict {
             Entailment::Proved => sigma_prime.push(candidate.clone()),
             Entailment::Disproved => {}
@@ -239,19 +363,34 @@ fn rewrite_cached(
         }
     }
     stats.entailed = sigma_prime.len();
+    if token.is_cancelled() {
+        stats.cancelled = true;
+        return (RewriteOutcome::Cancelled, stats);
+    }
 
     // The paper's procedure: Σ' ≠ ∅ and Σ' ⊨ Σ.
     if sigma_prime.is_empty() {
         return (negative(&stats, &enumeration), stats);
     }
-    match entails_all_cached(schema, &sigma_prime, set.tgds(), opts.budget, cache) {
+    match entails_all_cached_governed(schema, &sigma_prime, set.tgds(), opts.budget, cache, token) {
         Entailment::Proved => {
-            let minimized = minimize(schema, sigma_prime, opts.budget, cache);
+            // A cancellation inside `minimize` only stops the pruning early:
+            // the partially minimized Σ' is still a correct rewriting, so
+            // the outcome stays `Rewritten` (with `stats.cancelled` set).
+            let minimized = minimize(schema, sigma_prime, opts.budget, cache, token);
             stats.rewriting_size = minimized.len();
+            stats.cancelled = token.is_cancelled();
             (RewriteOutcome::Rewritten(minimized), stats)
         }
         Entailment::Disproved => (negative(&stats, &enumeration), stats),
-        Entailment::Unknown => (RewriteOutcome::Inconclusive, stats),
+        Entailment::Unknown => {
+            if token.is_cancelled() {
+                stats.cancelled = true;
+                (RewriteOutcome::Cancelled, stats)
+            } else {
+                (RewriteOutcome::Inconclusive, stats)
+            }
+        }
     }
 }
 
@@ -264,13 +403,24 @@ fn negative(stats: &RewriteStats, enumeration: &Enumeration) -> RewriteOutcome {
 }
 
 /// Removes candidates entailed by the remaining ones (greedy, keeping the
-/// earlier, syntactically smaller candidates).
-fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget, cache: &EntailCache) -> Vec<Tgd> {
+/// earlier, syntactically smaller candidates). Cancellation stops the
+/// pruning early; the survivors still form a correct (merely less minimal)
+/// rewriting.
+fn minimize(
+    schema: &Schema,
+    tgds: Vec<Tgd>,
+    budget: ChaseBudget,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> Vec<Tgd> {
     // Drop tautologies and redundant head atoms first.
     let mut tgds: Vec<Tgd> = tgds.iter().filter_map(tgdkit_logic::simplify_tgd).collect();
     // Try to drop from the back (larger candidates were generated later).
     let mut i = tgds.len();
     while i > 0 {
+        if token.is_cancelled() {
+            break;
+        }
         i -= 1;
         let candidate = tgds[i].clone();
         let rest: Vec<Tgd> = tgds
@@ -279,7 +429,9 @@ fn minimize(schema: &Schema, tgds: Vec<Tgd>, budget: ChaseBudget, cache: &Entail
             .filter(|&(j, _)| j != i)
             .map(|(_, t)| t.clone())
             .collect();
-        if entails_auto_cached(schema, &rest, &candidate, budget, cache) == Entailment::Proved {
+        if entails_auto_cached_governed(schema, &rest, &candidate, budget, cache, token)
+            == Entailment::Proved
+        {
             tgds.remove(i);
         }
     }
@@ -304,6 +456,40 @@ fn decode_verdict(b: u8) -> Entailment {
     }
 }
 
+/// Evaluates one body group behind a panic barrier.
+///
+/// A panic inside the group (a bug in the chase/entailment stack, or a
+/// fault injected at [`FaultSite::GroupEvalPanic`]) is caught here: the
+/// group's candidates keep their pre-initialized `Unknown` verdicts, its
+/// partial stats are discarded (a fresh local accumulator is absorbed only
+/// on success), and the caller counts one contained panic. `Unknown` is
+/// always sound, so containment can only degrade precision, never invert a
+/// verdict.
+fn evaluate_group_contained(
+    schema: &Schema,
+    sigma: &[Tgd],
+    group: &tgdkit_chase::BodyGroup,
+    budget: ChaseBudget,
+    keyed: Option<(&EntailCache, u64)>,
+    stats: &mut EntailBatchStats,
+    token: &CancelToken,
+) -> Option<Vec<(usize, Entailment)>> {
+    let mut local = EntailBatchStats::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if token.fault(FaultSite::GroupEvalPanic) {
+            panic!("{INJECTED_PANIC}: group evaluation");
+        }
+        evaluate_group(schema, sigma, group, budget, keyed, &mut local, token)
+    }));
+    match outcome {
+        Ok(verdicts) => {
+            stats.absorb(&local);
+            Some(verdicts)
+        }
+        Err(_) => None,
+    }
+}
+
 /// Filters candidates through the body-grouped, cache-aware evaluator
 /// ([`evaluate_group`]): serially, or — when `parallel` — on all available
 /// cores with **work stealing**.
@@ -316,9 +502,11 @@ fn decode_verdict(b: u8) -> Entailment {
 /// output vector — and therefore the rewriting built from it — is
 /// byte-identical to the serial evaluation regardless of claim order.
 ///
-/// Returns `(verdicts in candidate order, batch stats, steals)` where
-/// `steals` counts group claims beyond an even static split
-/// (see [`RewriteStats::steals`]).
+/// Cancellation is honored at group-claim granularity (workers stop
+/// claiming once the token trips; unevaluated candidates stay `Unknown`),
+/// and each group evaluates behind [`evaluate_group_contained`]'s panic
+/// barrier, so one poisoned group cannot take down the sweep — or the
+/// process.
 fn evaluate_candidates(
     schema: &Schema,
     sigma: &[Tgd],
@@ -326,7 +514,8 @@ fn evaluate_candidates(
     budget: ChaseBudget,
     parallel: bool,
     cache: &EntailCache,
-) -> (Vec<Entailment>, EntailBatchStats, usize) {
+    token: &CancelToken,
+) -> PoolEval {
     let groups = group_by_body(candidates);
     let fingerprint = sigma_fingerprint(sigma);
     let mut stats = EntailBatchStats {
@@ -344,19 +533,34 @@ fn evaluate_candidates(
     };
     if workers <= 1 {
         let mut verdicts = vec![Entailment::Unknown; candidates.len()];
+        let mut panics = 0usize;
         for group in &groups {
-            for (idx, v) in evaluate_group(
+            if token.is_cancelled() {
+                break;
+            }
+            match evaluate_group_contained(
                 schema,
                 sigma,
                 group,
                 budget,
                 Some((cache, fingerprint)),
                 &mut stats,
+                token,
             ) {
-                verdicts[idx] = v;
+                Some(group_verdicts) => {
+                    for (idx, v) in group_verdicts {
+                        verdicts[idx] = v;
+                    }
+                }
+                None => panics += 1,
             }
         }
-        return (verdicts, stats, 0);
+        return PoolEval {
+            verdicts,
+            stats,
+            steals: 0,
+            panics_contained: panics,
+        };
     }
 
     let next = AtomicUsize::new(0);
@@ -364,6 +568,7 @@ fn evaluate_candidates(
         .map(|_| AtomicU8::new(encode_verdict(Entailment::Unknown)))
         .collect();
     let mut claims: Vec<usize> = Vec::with_capacity(workers);
+    let mut panics = 0usize;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -371,31 +576,45 @@ fn evaluate_candidates(
                 scope.spawn(move || {
                     let mut local = EntailBatchStats::default();
                     let mut claimed = 0usize;
+                    let mut contained = 0usize;
                     loop {
+                        if token.is_cancelled() {
+                            break;
+                        }
                         let gi = next.fetch_add(1, Ordering::Relaxed);
                         if gi >= groups.len() {
                             break;
                         }
                         claimed += 1;
-                        for (idx, v) in evaluate_group(
+                        match evaluate_group_contained(
                             schema,
                             sigma,
                             &groups[gi],
                             budget,
                             Some((cache, fingerprint)),
                             &mut local,
+                            token,
                         ) {
-                            slots[idx].store(encode_verdict(v), Ordering::Release);
+                            Some(group_verdicts) => {
+                                for (idx, v) in group_verdicts {
+                                    slots[idx].store(encode_verdict(v), Ordering::Release);
+                                }
+                            }
+                            None => contained += 1,
                         }
                     }
-                    (local, claimed)
+                    (local, claimed, contained)
                 })
             })
             .collect();
         for handle in handles {
-            let (local, claimed) = handle.join().expect("entailment worker panicked");
+            // Worker bodies contain per-group panics themselves; a panic
+            // escaping here would be a bug in the scheduler shell, which is
+            // worth aborting on.
+            let (local, claimed, contained) = handle.join().expect("entailment worker panicked");
             stats.absorb(&local);
             claims.push(claimed);
+            panics += contained;
         }
     });
     // `absorb` also summed the workers' zeroed candidates/body_groups;
@@ -411,7 +630,12 @@ fn evaluate_candidates(
         .iter()
         .map(|s| decode_verdict(s.load(Ordering::Acquire)))
         .collect();
-    (verdicts, stats, steals)
+    PoolEval {
+        verdicts,
+        stats,
+        steals,
+        panics_contained: panics,
+    }
 }
 
 #[cfg(test)]

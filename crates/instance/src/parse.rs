@@ -4,9 +4,13 @@
 //! names are remembered on the instance for display. Predicates are added to
 //! the schema on first use (like the dependency parser).
 
+// Malformed input must surface as `ParseError`, never as a panic (tests may
+// still unwrap known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use crate::instance::{Elem, Instance};
 use std::collections::HashMap;
-use tgdkit_logic::{ParseError, Schema};
+use tgdkit_logic::{ParseError, PredId, Schema};
 
 /// Parses an instance literal against (and extending) `schema`.
 ///
@@ -25,7 +29,9 @@ use tgdkit_logic::{ParseError, Schema};
 pub fn parse_instance(schema: &mut Schema, text: &str) -> Result<Instance, ParseError> {
     let mut names: HashMap<String, Elem> = HashMap::new();
     // Two-pass: first collect raw facts (extending the schema), then build.
-    let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+    // Keeping the `PredId` handed out by `add_pred` (rather than re-looking
+    // the name up later) leaves no failure path in the second pass.
+    let mut raw: Vec<(PredId, Vec<String>)> = Vec::new();
 
     let mut chars = text.char_indices().peekable();
     let mut line = 1usize;
@@ -148,10 +154,10 @@ pub fn parse_instance(schema: &mut Schema, text: &str) -> Result<Instance, Parse
                         }
                     }
                 }
-                schema
+                let pred = schema
                     .add_pred(&pred_name, args.len())
                     .map_err(|e| ParseError::new(e.to_string(), pl, pc))?;
-                raw.push((pred_name, args));
+                raw.push((pred, args));
                 // Optional fact separator.
                 if matches!(toks.get(pos), Some((T::Comma, ..))) {
                     pos += 1;
@@ -162,8 +168,7 @@ pub fn parse_instance(schema: &mut Schema, text: &str) -> Result<Instance, Parse
     }
 
     let mut out = Instance::new(schema.clone());
-    for (pred_name, args) in raw {
-        let pred = schema.pred_id(&pred_name).expect("just added");
+    for (pred, args) in raw {
         let elems: Vec<Elem> = args
             .iter()
             .map(|a| {

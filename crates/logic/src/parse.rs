@@ -34,6 +34,10 @@
 //! assert!(matches!(program.dependencies[1], Dependency::Edd(_)));
 //! ```
 
+// Malformed input must surface as `ParseError`, never as a panic (tests may
+// still unwrap known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use crate::atom::{Atom, Var};
 use crate::dependency::Dependency;
 use crate::edd::{Edd, EddDisjunct};
@@ -510,9 +514,12 @@ fn build_dependency(
 
     // Classify: one disjunct -> tgd or egd; otherwise edd.
     if single {
-        match typed.pop().unwrap() {
-            EddDisjunct::Eq(a, b) => Ok(Dependency::Egd(Egd::new(body_atoms, a, b)?)),
-            EddDisjunct::Exists(atoms) => Ok(Dependency::Tgd(Tgd::new(body_atoms, atoms)?)),
+        match typed.pop() {
+            Some(EddDisjunct::Eq(a, b)) => Ok(Dependency::Egd(Egd::new(body_atoms, a, b)?)),
+            Some(EddDisjunct::Exists(atoms)) => Ok(Dependency::Tgd(Tgd::new(body_atoms, atoms)?)),
+            // `single` promises exactly one disjunct; surface a malformed
+            // dependency instead of panicking if that invariant ever breaks.
+            None => Err(LogicError::EmptyHead),
         }
     } else {
         Ok(Dependency::Edd(Edd::new(body_atoms, typed)?))

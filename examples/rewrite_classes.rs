@@ -18,6 +18,7 @@ fn show(outcome: &RewriteOutcome, schema: &Schema) {
         }
         RewriteOutcome::NotRewritable => println!("   NOT rewritable (definitive)"),
         RewriteOutcome::Inconclusive => println!("   inconclusive within budgets"),
+        RewriteOutcome::Cancelled => println!("   cancelled before a verdict"),
     }
 }
 

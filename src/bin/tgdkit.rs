@@ -183,6 +183,12 @@ fn cmd_rewrite(target: &str, rules_path: &str) -> Result<String, String> {
         RewriteOutcome::NotRewritable => {
             let _ = writeln!(out, "NOT rewritable into {target} tgds (definitive)");
         }
+        RewriteOutcome::Cancelled => {
+            let _ = writeln!(
+                out,
+                "cancelled before a verdict (deadline or cancel signal)"
+            );
+        }
         RewriteOutcome::Inconclusive => {
             // The Appendix F closure refutations often settle what the
             // budgeted candidate search could not.

@@ -45,16 +45,18 @@ pub use tgdkit_logic as logic;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use tgdkit_chase::{
-        certain_answers, certainly_holds, chase, chase_configured, entails, entails_all,
-        entails_auto, entails_auto_cached, entails_batch, entails_linear, equivalent,
-        is_weakly_acyclic, satisfies_tgd, satisfies_tgds, CertainAnswers, ChaseBudget,
-        ChaseOutcome, ChaseStats, ChaseVariant, EntailCache, Entailment, TriggerSearch,
+        certain_answers, certainly_holds, chase, chase_configured, chase_governed, entails,
+        entails_all, entails_auto, entails_auto_cached, entails_auto_governed, entails_batch,
+        entails_linear, equivalent, is_weakly_acyclic, satisfies_tgd, satisfies_tgds, CancelToken,
+        CertainAnswers, ChaseBudget, ChaseOutcome, ChaseStats, ChaseVariant, EntailCache,
+        Entailment, TriggerSearch,
     };
     pub use tgdkit_core::{
-        frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached, guarded_to_linear,
-        guarded_to_linear_cached, locality_counterexample, locally_embeddable, DependencyOntology,
-        FiniteOntology, LocalityFlavor, LocalityOptions, Ontology, RewriteOptions, RewriteOutcome,
-        RewriteStats, TgdOntology, Verdict,
+        frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached,
+        frontier_guarded_to_guarded_governed, guarded_to_linear, guarded_to_linear_cached,
+        guarded_to_linear_governed, locality_counterexample, locally_embeddable,
+        DependencyOntology, FiniteOntology, LocalityFlavor, LocalityOptions, Ontology,
+        RewriteOptions, RewriteOutcome, RewriteStats, TgdOntology, Verdict,
     };
     pub use tgdkit_hom::{are_isomorphic, core_of, embeds_fixing, find_instance_hom, Cq};
     pub use tgdkit_instance::{

@@ -105,7 +105,11 @@ proptest! {
                     "unsound rewriting for {:?}", set.tgds()
                 );
             }
-            RewriteOutcome::NotRewritable | RewriteOutcome::Inconclusive => {}
+            // `Cancelled` cannot arise here (ungoverned call), but the
+            // match must stay exhaustive.
+            RewriteOutcome::NotRewritable
+            | RewriteOutcome::Inconclusive
+            | RewriteOutcome::Cancelled => {}
         }
     }
 
@@ -134,7 +138,11 @@ proptest! {
                     Entailment::Proved
                 );
             }
-            RewriteOutcome::NotRewritable | RewriteOutcome::Inconclusive => {}
+            // `Cancelled` cannot arise here (ungoverned call), but the
+            // match must stay exhaustive.
+            RewriteOutcome::NotRewritable
+            | RewriteOutcome::Inconclusive
+            | RewriteOutcome::Cancelled => {}
         }
     }
 
@@ -167,7 +175,8 @@ proptest! {
             RewriteOutcome::NotRewritable => {
                 prop_assert!(false, "linear input declared not rewritable");
             }
-            RewriteOutcome::Inconclusive => {} // divergent chase: acceptable
+            // divergent chase: acceptable (Cancelled unreachable ungoverned)
+            RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => {}
         }
     }
 }
