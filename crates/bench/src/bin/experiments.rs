@@ -30,9 +30,9 @@ use tgdkit_core::reductions::{
     fg_entailment_to_guarded_rewritability, guarded_entailment_to_linear_rewritability,
 };
 use tgdkit_core::rewrite::{
-    evaluate_pool, frontier_guarded_to_guarded_cached, frontier_guarded_to_guarded_with_stats,
-    guarded_to_linear_cached, guarded_to_linear_governed, guarded_to_linear_with_stats,
-    RewriteOptions, RewriteOutcome,
+    evaluate_pool_keyed, frontier_guarded_to_guarded_cached,
+    frontier_guarded_to_guarded_with_stats, guarded_to_linear_cached, guarded_to_linear_governed,
+    guarded_to_linear_with_stats, RewriteOptions, RewriteOutcome,
 };
 use tgdkit_core::separations::{
     cross_check_with_rewriting, guarded_vs_frontier_guarded, linear_vs_guarded, verify,
@@ -851,7 +851,7 @@ fn branching_chain_set(levels: usize) -> TgdSet {
 ///
 /// Headline comparison: the per-candidate fixed-chunk evaluator
 /// ([`baseline_evaluate`]) vs the body-grouped, cached, work-stealing
-/// evaluator ([`evaluate_pool`]) over the same Algorithm 1 candidate pool
+/// evaluator ([`evaluate_pool_keyed`]) over the same Algorithm 1 candidate pool
 /// for a branching-chain set. Full `guarded_to_linear_cached` wall times
 /// (cold and warm) are recorded on the §9.1 gadget, whose Σ' stays small
 /// enough for minimization not to drown the evaluator signal. `smoke`
@@ -864,6 +864,7 @@ fn bench_rewrite_json(smoke: bool) {
     );
     let (levels, cap) = if smoke { (3, 1_200) } else { (5, 6_000) };
     let scenario = format!("branching chain, {levels} levels, pool cap {cap}");
+    tgdkit_hom::reset_plan_stats();
     let set = branching_chain_set(levels);
     let schema = set.schema();
     let sigma = set.tgds();
@@ -882,13 +883,13 @@ fn bench_rewrite_json(smoke: bool) {
     let (baseline, baseline_time) = timed(|| baseline_evaluate(schema, sigma, &pool.tgds, budget));
     let cache = EntailCache::new();
     let ((grouped, batch, steals), grouped_time) =
-        timed(|| evaluate_pool(schema, sigma, &pool.tgds, budget, true, &cache));
+        timed(|| evaluate_pool_keyed(schema, sigma, &pool.tgds, &pool.keys, budget, true, &cache));
     assert_eq!(
         baseline, grouped,
         "grouped evaluator diverged from baseline"
     );
     let ((_, warm_batch, _), warm_time) =
-        timed(|| evaluate_pool(schema, sigma, &pool.tgds, budget, true, &cache));
+        timed(|| evaluate_pool_keyed(schema, sigma, &pool.tgds, &pool.keys, budget, true, &cache));
 
     let (_, gadget) = named_set("R(x,y), R(x,x) -> T(x). R(x,y) -> T(x).");
     let opts = RewriteOptions {
@@ -921,6 +922,32 @@ fn bench_rewrite_json(smoke: bool) {
     let token = CancelToken::with_deadline(std::time::Duration::from_millis(deadline_ms));
     let ((deadline_outcome, deadline_stats), deadline_time) =
         timed(|| guarded_to_linear_governed(&probe_set, &deadline_opts, &token));
+    // Cooperative cancellation is checked inside trigger enumeration (every
+    // CANCEL_CHECK_STRIDE visited bindings), not only at round boundaries,
+    // so a 50 ms deadline must not overshoot past 2x.
+    assert!(
+        deadline_time.as_secs_f64() * 1e3 < 2.0 * deadline_ms as f64,
+        "deadline overshoot: {deadline_ms} ms deadline took {:.3} ms (>= 2x)",
+        deadline_time.as_secs_f64() * 1e3
+    );
+
+    // Storage telemetry for the flat tuple store: chase the branching chain
+    // from a single seed fact and measure the arena the result occupies.
+    let (store_instance, _) = {
+        let mut store_schema = set.schema().clone();
+        let seed = tgdkit_instance::parse_instance(&mut store_schema, "L0(a)")
+            .expect("seed instance parses");
+        let result = chase(
+            &seed,
+            set.tgds(),
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        (result.instance, result.rounds)
+    };
+    let tuples_stored = store_instance.fact_count();
+    let bytes_per_tuple = store_instance.payload_bytes() as f64 / tuples_stored.max(1) as f64;
+    let plan = tgdkit_hom::plan_stats();
 
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
@@ -942,7 +969,10 @@ fn bench_rewrite_json(smoke: bool) {
          \"warm_wall_time_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
          \"baseline_candidates_per_sec\": {:.0},\n  \"candidates_per_sec\": {:.0},\n  \
          \"rewrite_cold_ms\": {:.3},\n  \"rewrite_warm_ms\": {:.3},\n  \
-         \"rewrite_outcome\": \"{}\",\n  \"deadline_ms\": {},\n  \
+         \"rewrite_outcome\": \"{}\",\n  \"planner\": {{\n    \
+         \"plans_built\": {},\n    \"plans_reordered\": {},\n    \
+         \"atoms_planned\": {},\n    \"tuples_stored\": {},\n    \
+         \"bytes_per_tuple\": {:.2}\n  }},\n  \"deadline_ms\": {},\n  \
          \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
          \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
@@ -965,6 +995,11 @@ fn bench_rewrite_json(smoke: bool) {
         ms(rewrite_cold),
         ms(rewrite_warm),
         outcome_str(&outcome),
+        plan.plans_built,
+        plan.plans_reordered,
+        plan.atoms_planned,
+        tuples_stored,
+        bytes_per_tuple,
         deadline_ms,
         outcome_str(&deadline_outcome),
         ms(deadline_time),
@@ -992,6 +1027,10 @@ fn bench_rewrite_json(smoke: bool) {
         fmt_duration(deadline_time),
         deadline_stats.body_groups,
         deadline_stats.unknown_checks,
+    );
+    println!(
+        "planner: {} plans built ({} reordered) over {} atoms; store: {} tuples at {:.2} bytes/tuple",
+        plan.plans_built, plan.plans_reordered, plan.atoms_planned, tuples_stored, bytes_per_tuple,
     );
 }
 

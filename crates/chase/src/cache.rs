@@ -38,12 +38,14 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
-use tgdkit_hom::{Binding, Cq, InstanceIndex};
-use tgdkit_instance::Elem;
-use tgdkit_logic::{canonical_tgd, tgd_variant_key, Atom, Schema, Tgd, TgdVariantKey, Var};
+use tgdkit_hom::{Binding, InstanceIndex};
+use tgdkit_instance::{Elem, FxBuildHasher};
+use tgdkit_logic::{canonical_tgd_with_key, tgd_variant_key, Schema, Tgd, TgdVariantKey};
 
-/// Cache key: candidate modulo renaming, `Σ` fingerprint, chase budget.
-type Key = (TgdVariantKey, u64, ChaseBudget);
+/// Verdicts stored under one variant key: `(Σ fingerprint, budget, verdict)`
+/// triples. Nearly always one entry — a second appears only when the same
+/// candidate is decided under a different set or budget.
+type KeyedVerdicts = Vec<(u64, ChaseBudget, Entailment)>;
 
 /// A renaming-invariant fingerprint of a tgd set, for use as the `Σ`
 /// component of an [`EntailCache`] key.
@@ -71,7 +73,10 @@ pub fn sigma_fingerprint(sigma: &[Tgd]) -> u64 {
 /// per-run accounting lives in [`EntailBatchStats`].
 #[derive(Debug, Default)]
 pub struct EntailCache {
-    map: RwLock<HashMap<Key, Entailment>>,
+    // Keyed by variant key alone (the fingerprint/budget pair discriminates
+    // inside the bucket): lookups then need no key clone and no SipHash —
+    // the map uses the deterministic Fx hasher shared with the tuple store.
+    map: RwLock<HashMap<TgdVariantKey, KeyedVerdicts, FxBuildHasher>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -84,7 +89,12 @@ impl EntailCache {
 
     /// Number of memoized verdicts.
     pub fn len(&self) -> usize {
-        self.map.read().expect("entail cache poisoned").len()
+        self.map
+            .read()
+            .expect("entail cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// `true` when no verdict has been stored yet.
@@ -120,21 +130,31 @@ impl EntailCache {
         fingerprint: u64,
         budget: ChaseBudget,
     ) -> Option<Entailment> {
-        self.lookup_key(&(tgd_variant_key(candidate), fingerprint, budget))
+        self.lookup_key(&tgd_variant_key(candidate), fingerprint, budget)
     }
 
     /// Stores a verdict for `candidate` under the given fingerprint/budget.
     pub fn store(&self, candidate: &Tgd, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
-        self.store_key((tgd_variant_key(candidate), fingerprint, budget), v);
+        self.store_key(&tgd_variant_key(candidate), fingerprint, budget, v);
     }
 
-    fn lookup_key(&self, key: &Key) -> Option<Entailment> {
+    fn lookup_key(
+        &self,
+        key: &TgdVariantKey,
+        fingerprint: u64,
+        budget: ChaseBudget,
+    ) -> Option<Entailment> {
         let v = self
             .map
             .read()
             .expect("entail cache poisoned")
             .get(key)
-            .copied();
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
+                    .map(|(_, _, v)| *v)
+            });
         let counter = if v.is_some() {
             &self.hits
         } else {
@@ -144,11 +164,22 @@ impl EntailCache {
         v
     }
 
-    fn store_key(&self, key: Key, v: Entailment) {
-        self.map
-            .write()
-            .expect("entail cache poisoned")
-            .insert(key, v);
+    fn store_key(&self, key: &TgdVariantKey, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
+        let mut map = self.map.write().expect("entail cache poisoned");
+        match map.get_mut(key) {
+            Some(entries) => {
+                match entries
+                    .iter_mut()
+                    .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
+                {
+                    Some(slot) => slot.2 = v,
+                    None => entries.push((fingerprint, budget, v)),
+                }
+            }
+            None => {
+                map.insert(key.clone(), vec![(fingerprint, budget, v)]);
+            }
+        }
     }
 }
 
@@ -156,27 +187,67 @@ impl EntailCache {
 /// one chase). Produced by [`group_by_body`].
 #[derive(Debug, Clone)]
 pub struct BodyGroup {
-    /// `(index into the original slice, canonical representative)` for each
-    /// member. The canonical form is what gets evaluated; verdicts are
-    /// renaming-invariant, so they hold for the original candidate too.
-    pub members: Vec<(usize, Tgd)>,
+    /// `(index into the original slice, canonical representative, variant
+    /// key)` for each member. The canonical form is what gets evaluated;
+    /// verdicts are renaming-invariant, so they hold for the original
+    /// candidate too. The key rides along so cache lookups never repeat the
+    /// canonical ordering search.
+    pub members: Vec<(usize, Tgd, TgdVariantKey)>,
 }
 
 /// Groups candidates by the body of their canonical form
-/// ([`canonical_tgd`]), preserving first-occurrence order of both groups and
-/// members (so downstream evaluation order is deterministic).
+/// ([`tgdkit_logic::canonical_tgd`]), preserving first-occurrence order of
+/// both groups and members (so downstream evaluation order is
+/// deterministic).
 pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup> {
     let mut groups: Vec<BodyGroup> = Vec::new();
-    let mut by_body: HashMap<Vec<Atom<Var>>, usize> = HashMap::new();
+    // Grouping key: the body prefix of the variant key — equal prefixes iff
+    // equal canonical bodies, and a flat `Vec<u32>` hashes much faster than
+    // the atom vector it encodes.
+    let mut by_body: HashMap<Vec<u32>, usize, FxBuildHasher> = HashMap::default();
     for (i, c) in candidates.iter().enumerate() {
-        let canon = canonical_tgd(c);
-        let slot = *by_body.entry(canon.body().to_vec()).or_insert_with(|| {
-            groups.push(BodyGroup {
-                members: Vec::new(),
-            });
-            groups.len() - 1
-        });
-        groups[slot].members.push((i, canon));
+        let (canon, key) = canonical_tgd_with_key(c);
+        let slot = match by_body.get(key.body_prefix()) {
+            Some(&slot) => slot,
+            None => {
+                groups.push(BodyGroup {
+                    members: Vec::new(),
+                });
+                by_body.insert(key.body_prefix().to_vec(), groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        groups[slot].members.push((i, canon, key));
+    }
+    groups
+}
+
+/// [`group_by_body`] for candidates that are **already canonical** with
+/// known variant keys (parallel slices, as produced by the candidate
+/// enumerator, whose dedup computes every key anyway): grouping then skips
+/// the canonical ordering search entirely and just buckets by the keys'
+/// body prefixes. Grouping, member order, and downstream verdicts are
+/// identical to [`group_by_body`] on the same candidates.
+pub fn group_by_body_keyed(candidates: &[Tgd], keys: &[TgdVariantKey]) -> Vec<BodyGroup> {
+    assert_eq!(
+        candidates.len(),
+        keys.len(),
+        "candidates and variant keys must be parallel"
+    );
+    let mut groups: Vec<BodyGroup> = Vec::new();
+    let mut by_body: HashMap<&[u32], usize, FxBuildHasher> = HashMap::default();
+    for (i, (c, key)) in candidates.iter().zip(keys).enumerate() {
+        let slot = match by_body.get(key.body_prefix()) {
+            Some(&slot) => slot,
+            None => {
+                groups.push(BodyGroup {
+                    members: Vec::new(),
+                });
+                by_body.insert(key.body_prefix(), groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        groups[slot].members.push((i, c.clone(), key.clone()));
     }
     groups
 }
@@ -249,14 +320,15 @@ pub fn evaluate_group(
     let sigma_linear = !sigma.is_empty() && sigma.iter().all(Tgd::is_linear);
     let mut shared: Option<(InstanceIndex, ChaseOutcome)> = None;
     let mut verdicts = Vec::with_capacity(group.members.len());
-    for (idx, cand) in &group.members {
+    // One binding buffer serves every head probe in the group.
+    let mut fixed: Binding = Vec::new();
+    for (idx, cand, variant_key) in &group.members {
         if token.is_cancelled() {
             verdicts.push((*idx, Entailment::Unknown));
             continue;
         }
-        let key = cache.map(|(_, fp)| (tgd_variant_key(cand), fp, budget));
-        if let (Some((c, _)), Some(k)) = (cache, key.as_ref()) {
-            if let Some(v) = c.lookup_key(k) {
+        if let Some((c, fp)) = cache {
+            if let Some(v) = c.lookup_key(variant_key, fp, budget) {
                 stats.cache_hits += 1;
                 verdicts.push((*idx, v));
                 continue;
@@ -286,12 +358,26 @@ pub fn evaluate_group(
                 (InstanceIndex::new(&result.instance), result.outcome)
             });
             stats.heads_probed += 1;
-            let head_cq = Cq::boolean(cand.head().to_vec());
-            let mut fixed: Binding = vec![None; cand.var_count()];
+            // Inline Boolean-CQ probe over the head atoms (what
+            // `Cq::boolean(..).holds_with_indexed(..)` does, minus the
+            // per-member atom-vector and binding allocations).
+            fixed.clear();
+            fixed.resize(cand.var_count(), None);
             for (v, slot) in fixed.iter_mut().enumerate().take(cand.universal_count()) {
                 *slot = Some(Elem(v as u32));
             }
-            verdict = if head_cq.holds_with_indexed(index, &fixed) {
+            let mut head_holds = false;
+            tgdkit_hom::for_each_hom_indexed(
+                cand.head(),
+                cand.var_count(),
+                index,
+                &fixed,
+                &mut |_| {
+                    head_holds = true;
+                    std::ops::ControlFlow::Break(())
+                },
+            );
+            verdict = if head_holds {
                 Entailment::Proved
             } else if *outcome == ChaseOutcome::Terminated {
                 Entailment::Disproved
@@ -308,8 +394,8 @@ pub fn evaluate_group(
             };
         }
         let storable = verdict != Entailment::Unknown || !token.is_tainted();
-        if let (Some((c, _)), Some(k), true) = (cache, key, storable) {
-            c.store_key(k, verdict);
+        if let (Some((c, fp)), true) = (cache, storable) {
+            c.store_key(variant_key, fp, budget, verdict);
         }
         verdicts.push((*idx, verdict));
     }
@@ -393,13 +479,13 @@ pub fn entails_auto_cached_governed(
     cache: &EntailCache,
     token: &CancelToken,
 ) -> Entailment {
-    let key = (tgd_variant_key(candidate), sigma_fingerprint(sigma), budget);
-    if let Some(v) = cache.lookup_key(&key) {
+    let (key, fingerprint) = (tgd_variant_key(candidate), sigma_fingerprint(sigma));
+    if let Some(v) = cache.lookup_key(&key, fingerprint, budget) {
         return v;
     }
     let v = entails_auto_governed(schema, sigma, candidate, budget, token);
     if v != Entailment::Unknown || !token.is_tainted() {
-        cache.store_key(key, v);
+        cache.store_key(&key, fingerprint, budget, v);
     }
     v
 }

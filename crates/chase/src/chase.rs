@@ -249,21 +249,44 @@ pub fn chase_with_provenance(
 /// A trigger: tgd index and the images of its universal variables.
 type Trigger = (usize, Vec<Elem>);
 
+/// How many visited trigger bindings pass between cooperative cancellation
+/// checks inside one tgd's enumeration. Small enough that a dense body
+/// search notices an expired deadline within a fraction of a millisecond;
+/// large enough that the atomic load is invisible in the profile.
+const CANCEL_CHECK_STRIDE: u32 = 64;
+
 /// Collects `tgd`'s triggers against `index` into `out` — a full body
 /// search on the first round (`delta` = `None`), semi-naive afterwards (a
 /// new trigger must use at least one fact added in the previous round;
 /// older triggers were found — and either fired or found satisfied, both
 /// monotone — in an earlier round).
+///
+/// The cancellation token is polled every [`CANCEL_CHECK_STRIDE`] visited
+/// bindings, *inside* the enumeration — not only at round boundaries — so a
+/// deadline expiring mid-search stops the round promptly. Returns `false`
+/// when the search was cut short that way (`out` then holds a partial set;
+/// the caller discards the round, preserving the round-prefix property).
 fn triggers_into(
     ti: usize,
     tgd: &Tgd,
     index: &InstanceIndex,
     delta: Option<&[Fact]>,
     out: &mut BTreeSet<Trigger>,
-) {
+    token: &CancelToken,
+) -> bool {
     let n = tgd.universal_count();
     let fixed: Binding = vec![None; tgd.var_count()];
+    let mut since_check = 0u32;
+    let mut cancelled = false;
     let mut visit = |binding: &Binding| {
+        since_check += 1;
+        if since_check >= CANCEL_CHECK_STRIDE {
+            since_check = 0;
+            if token.is_cancelled() {
+                cancelled = true;
+                return ControlFlow::Break(());
+            }
+        }
         let universal: Vec<Elem> = (0..n)
             .map(|v| binding[v].expect("universal bound"))
             .collect();
@@ -281,12 +304,15 @@ fn triggers_into(
             &mut visit,
         ),
     }
+    !cancelled
 }
 
 /// Runs one tgd's trigger search with panic containment and the
-/// [`FaultSite::TriggerWorkerPanic`] injection point. Returns `false` when
-/// the search panicked; `out` may then hold a partial set for this tgd,
-/// which is safe because the caller discards the whole round on any panic.
+/// [`FaultSite::TriggerWorkerPanic`] injection point. Returns `None` when
+/// the search panicked and `Some(completed)` otherwise, where `completed`
+/// is `false` if cancellation cut the enumeration short; in both non-`Some(true)`
+/// cases `out` may hold a partial set for this tgd, which is safe because
+/// the caller discards the whole round.
 fn guarded_triggers_into(
     ti: usize,
     tgd: &Tgd,
@@ -294,14 +320,14 @@ fn guarded_triggers_into(
     delta: Option<&[Fact]>,
     out: &mut BTreeSet<Trigger>,
     token: &CancelToken,
-) -> bool {
+) -> Option<bool> {
     catch_unwind(AssertUnwindSafe(|| {
         if token.fault(FaultSite::TriggerWorkerPanic) {
             panic!("{INJECTED_PANIC}: trigger worker for tgd {ti}");
         }
-        triggers_into(ti, tgd, index, delta, out);
+        triggers_into(ti, tgd, index, delta, out, token)
     }))
-    .is_ok()
+    .ok()
 }
 
 /// One round's trigger search result: the merged trigger set, plus whether
@@ -368,12 +394,22 @@ fn find_triggers(
                     panics_contained: 0,
                 };
             }
-            if !guarded_triggers_into(ti, tgd, index, delta, &mut out, token) {
-                return TriggerScan {
-                    triggers: out,
-                    aborted: true,
-                    panics_contained: 1,
-                };
+            match guarded_triggers_into(ti, tgd, index, delta, &mut out, token) {
+                Some(true) => {}
+                Some(false) => {
+                    return TriggerScan {
+                        triggers: out,
+                        aborted: true,
+                        panics_contained: 0,
+                    };
+                }
+                None => {
+                    return TriggerScan {
+                        triggers: out,
+                        aborted: true,
+                        panics_contained: 1,
+                    };
+                }
             }
         }
         return TriggerScan {
@@ -396,7 +432,7 @@ fn find_triggers(
                         if token.is_cancelled() {
                             return (local, true, 0);
                         }
-                        if !guarded_triggers_into(
+                        match guarded_triggers_into(
                             ci * chunk + j,
                             tgd,
                             index,
@@ -404,7 +440,9 @@ fn find_triggers(
                             &mut local,
                             token,
                         ) {
-                            return (local, true, 1);
+                            Some(true) => {}
+                            Some(false) => return (local, true, 0),
+                            None => return (local, true, 1),
                         }
                     }
                     (local, false, 0)
@@ -633,7 +671,7 @@ pub fn core_chase(start: &Instance, tgds: &[Tgd], budget: ChaseBudget) -> ChaseR
         return result;
     }
     let frozen = start.active_domain();
-    let minimized = tgdkit_hom::core_preserving(&result.instance, &frozen);
+    let minimized = tgdkit_hom::core_preserving(&result.instance, frozen);
     let nulls: BTreeSet<Elem> = result
         .nulls
         .iter()
@@ -993,7 +1031,7 @@ mod tests {
         assert!(cored.terminated());
         for e in start.active_domain() {
             assert!(
-                cored.instance.active_domain().contains(&e),
+                cored.instance.active_domain().contains(e),
                 "input element {e:?} dropped"
             );
         }

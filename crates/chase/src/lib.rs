@@ -39,7 +39,8 @@ pub mod universal;
 pub use cache::{
     entails_all_cached, entails_all_cached_governed, entails_auto_cached,
     entails_auto_cached_governed, entails_batch, entails_batch_governed, evaluate_group,
-    group_by_body, sigma_fingerprint, BodyGroup, EntailBatchStats, EntailCache,
+    group_by_body, group_by_body_keyed, sigma_fingerprint, BodyGroup, EntailBatchStats,
+    EntailCache,
 };
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{

@@ -1,7 +1,7 @@
 //! Satisfaction of dependencies by instances (paper §2, §4.1).
 
 use std::ops::ControlFlow;
-use tgdkit_hom::{for_each_hom, Binding, Cq};
+use tgdkit_hom::{for_each_hom, for_each_hom_indexed, Binding, Cq, InstanceIndex};
 use tgdkit_instance::{Elem, Instance};
 use tgdkit_logic::{Edd, EddDisjunct, Egd, Tgd};
 
@@ -31,11 +31,14 @@ pub fn violation(instance: &Instance, tgd: &Tgd) -> Option<Vec<Elem>> {
     let head_cq = Cq::boolean(tgd.head().to_vec());
     let fixed: Binding = vec![None; tgd.var_count()];
     let mut witness: Option<Vec<Elem>> = None;
-    for_each_hom(tgd.body(), n, instance, &fixed, &mut |binding| {
+    // One index serves the body search *and* every head probe (the former
+    // `holds_with` rebuilt an index per body match).
+    let index = InstanceIndex::new(instance);
+    for_each_hom_indexed(tgd.body(), n, &index, &fixed, &mut |binding| {
         // Pin the universal variables, leave existentials free.
         let mut head_fixed: Binding = vec![None; tgd.var_count()];
         head_fixed[..n].copy_from_slice(&binding[..n]);
-        if head_cq.holds_with(instance, &head_fixed) {
+        if head_cq.holds_with_indexed(&index, &head_fixed) {
             ControlFlow::Continue(())
         } else {
             witness = Some(
@@ -96,7 +99,9 @@ pub fn satisfies_edd(instance: &Instance, edd: &Edd) -> bool {
         .max(n);
     let fixed: Binding = vec![None; n];
     let mut ok = true;
-    for_each_hom(edd.body(), n, instance, &fixed, &mut |binding| {
+    // Shared index for the body search and all disjunct probes.
+    let index = InstanceIndex::new(instance);
+    for_each_hom_indexed(edd.body(), n, &index, &fixed, &mut |binding| {
         let satisfied = edd.disjuncts().iter().zip(&cqs).any(|(d, cq)| match d {
             EddDisjunct::Eq(a, b) => binding[a.index()] == binding[b.index()],
             EddDisjunct::Exists(_) => {
@@ -104,7 +109,7 @@ pub fn satisfies_edd(instance: &Instance, edd: &Edd) -> bool {
                 head_fixed[..n].copy_from_slice(&binding[..n]);
                 cq.as_ref()
                     .expect("exists disjunct has a CQ")
-                    .holds_with(instance, &head_fixed)
+                    .holds_with_indexed(&index, &head_fixed)
             }
         });
         if satisfied {

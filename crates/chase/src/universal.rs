@@ -52,7 +52,7 @@ mod tests {
             parse_instance(&mut s, "P(a), E(a,a), Q(a)").unwrap(),
             parse_instance(&mut s, "P(a), E(a,b), Q(b), E(c,b), Q(a)").unwrap(),
         ];
-        let frozen: Vec<_> = start.active_domain().into_iter().collect();
+        let frozen: Vec<Elem> = start.active_domain().iter().copied().collect();
         for model in &models {
             assert!(satisfies_tgds(model, &sigma), "not a model: {model}");
             let hom = universal_hom_into(&result.instance, &frozen, model);
@@ -73,7 +73,7 @@ mod tests {
         );
         // An instance with P(a) but no outgoing E-edge from a.
         let non_model = parse_instance(&mut s, "P(a), E(b,b)").unwrap();
-        let frozen: Vec<_> = start.active_domain().into_iter().collect();
+        let frozen: Vec<Elem> = start.active_domain().iter().copied().collect();
         assert!(universal_hom_into(&result.instance, &frozen, &non_model).is_none());
     }
 }

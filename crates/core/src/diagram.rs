@@ -81,7 +81,7 @@ pub fn counterexample_edd(
     m: usize,
     max_gamma_atoms: usize,
 ) -> Option<Edd> {
-    let k_elems: Vec<Elem> = k.active_domain().into_iter().collect();
+    let k_elems: Vec<Elem> = k.active_domain().iter().copied().collect();
     let nk = k_elems.len();
     let var_of =
         |e: Elem| -> Var { Var(k_elems.iter().position(|&x| x == e).expect("K element") as u32) };

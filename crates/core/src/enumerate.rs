@@ -15,8 +15,14 @@
 //! distinguish definitive *not rewritable* answers from budget-limited
 //! *inconclusive* ones.
 
-use std::collections::BTreeSet;
-use tgdkit_logic::{canonical_tgd, tgd_variant_key, Atom, PredId, Schema, Tgd, TgdVariantKey, Var};
+use std::collections::{BTreeSet, HashSet};
+use tgdkit_chase::CancelToken;
+use tgdkit_instance::FxBuildHasher;
+use tgdkit_logic::{canonical_tgd_with_key, Atom, PredId, Schema, Tgd, TgdVariantKey, Var};
+
+/// How many enumerated candidates may pass between two cancellation checks
+/// inside the governed enumeration loops.
+const ENUM_CANCEL_STRIDE: usize = 512;
 
 /// Budgets for candidate enumeration.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +53,11 @@ impl Default for EnumOptions {
 pub struct Enumeration {
     /// Canonical candidates, in generation order.
     pub tgds: Vec<Tgd>,
+    /// `tgds[i]`'s [`tgd_variant_key`](tgdkit_logic::tgd_variant_key),
+    /// parallel to `tgds`. Dedup computes every key anyway; keeping them lets
+    /// downstream body-grouping and cache lookups skip the canonical
+    /// ordering search entirely.
+    pub keys: Vec<TgdVariantKey>,
     /// `true` when the atom budgets covered the full candidate space of the
     /// paper's construction (so an unsuccessful rewriting search is a
     /// definitive negative answer).
@@ -182,22 +193,59 @@ pub fn head_conjunctions(
 /// Deduplicates tgds up to renaming/reordering, keeping canonical
 /// representatives in first-seen order.
 pub fn dedup_canonical(tgds: impl IntoIterator<Item = Tgd>) -> Vec<Tgd> {
-    let mut seen: BTreeSet<TgdVariantKey> = BTreeSet::new();
+    dedup_canonical_governed(tgds, &CancelToken::new()).0
+}
+
+/// [`dedup_canonical`] under a [`CancelToken`]: once cancelled, the
+/// remaining input is dropped (callers treating cancellation as a
+/// non-exhaustive enumeration already discard the partial result). Returns
+/// the representatives together with their variant keys (parallel vectors),
+/// so enumeration callers never recompute the canonical ordering search.
+fn dedup_canonical_governed(
+    tgds: impl IntoIterator<Item = Tgd>,
+    token: &CancelToken,
+) -> (Vec<Tgd>, Vec<TgdVariantKey>) {
+    let mut seen: HashSet<TgdVariantKey, FxBuildHasher> = HashSet::default();
     let mut out = Vec::new();
-    for tgd in tgds {
-        if seen.insert(tgd_variant_key(&tgd)) {
-            out.push(canonical_tgd(&tgd));
+    let mut keys = Vec::new();
+    for (i, tgd) in tgds.into_iter().enumerate() {
+        if i % ENUM_CANCEL_STRIDE == 0 && token.is_cancelled() {
+            break;
+        }
+        let (canon, key) = canonical_tgd_with_key(&tgd);
+        if seen.insert(key.clone()) {
+            out.push(canon);
+            keys.push(key);
         }
     }
-    out
+    (out, keys)
 }
 
 /// The candidate space of Algorithm 1: canonical linear tgds over `schema`
 /// with at most `n` universal and `m` existential variables.
 pub fn linear_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions) -> Enumeration {
+    linear_candidates_governed(schema, n, m, opts, &CancelToken::new())
+}
+
+/// [`linear_candidates`] under a [`CancelToken`]: the generation and dedup
+/// loops check the token every [`ENUM_CANCEL_STRIDE`] candidates, so a
+/// deadline expiring mid-enumeration stops the sweep promptly (the result is
+/// then marked non-exhaustive; governed rewriting discards it as
+/// `Cancelled`).
+pub fn linear_candidates_governed(
+    schema: &Schema,
+    n: usize,
+    m: usize,
+    opts: &EnumOptions,
+    token: &CancelToken,
+) -> Enumeration {
     let mut tgds = Vec::new();
     let mut exhaustive = true;
     'outer: for (body_atom, distinct) in linear_bodies(schema, n) {
+        if token.is_cancelled() {
+            exhaustive = false;
+            break;
+        }
         let (heads, heads_exhaustive) = head_conjunctions(schema, distinct, m, opts.max_head_atoms);
         exhaustive &= heads_exhaustive;
         for head in heads {
@@ -205,6 +253,10 @@ pub fn linear_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions
                 tgds.push(tgd);
             }
             if tgds.len() >= opts.max_candidates {
+                exhaustive = false;
+                break 'outer;
+            }
+            if tgds.len() % ENUM_CANCEL_STRIDE == 0 && token.is_cancelled() {
                 exhaustive = false;
                 break 'outer;
             }
@@ -218,8 +270,10 @@ pub fn linear_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions
             tgds.push(tgd);
         }
     }
+    let (tgds, keys) = dedup_canonical_governed(tgds, token);
     Enumeration {
-        tgds: dedup_canonical(tgds),
+        tgds,
+        keys,
         exhaustive,
     }
 }
@@ -229,9 +283,25 @@ pub fn linear_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions
 /// is a guard atom using exactly the tgd's universal variables plus at most
 /// `max_body_atoms` side atoms over those variables.
 pub fn guarded_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions) -> Enumeration {
+    guarded_candidates_governed(schema, n, m, opts, &CancelToken::new())
+}
+
+/// [`guarded_candidates`] under a [`CancelToken`] (same check granularity
+/// as [`linear_candidates_governed`]).
+pub fn guarded_candidates_governed(
+    schema: &Schema,
+    n: usize,
+    m: usize,
+    opts: &EnumOptions,
+    token: &CancelToken,
+) -> Enumeration {
     let mut tgds = Vec::new();
     let mut exhaustive = true;
     'outer: for (guard, distinct) in linear_bodies(schema, n) {
+        if token.is_cancelled() {
+            exhaustive = false;
+            break;
+        }
         // Guardedness: every universal variable occurs in the guard, i.e.
         // the side atoms may only use the guard's variables.
         let side_universe: Vec<Atom<Var>> = atom_universe(schema, distinct)
@@ -276,6 +346,10 @@ pub fn guarded_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOption
                     exhaustive = false;
                     break 'outer;
                 }
+                if tgds.len() % ENUM_CANCEL_STRIDE == 0 && token.is_cancelled() {
+                    exhaustive = false;
+                    break 'outer;
+                }
             }
         }
     }
@@ -288,8 +362,10 @@ pub fn guarded_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOption
             tgds.push(tgd);
         }
     }
+    let (tgds, keys) = dedup_canonical_governed(tgds, token);
     Enumeration {
-        tgds: dedup_canonical(tgds),
+        tgds,
+        keys,
         exhaustive,
     }
 }
@@ -343,8 +419,10 @@ pub fn all_candidates(schema: &Schema, n: usize, m: usize, opts: &EnumOptions) -
             }
         }
     }
+    let (tgds, keys) = dedup_canonical_governed(tgds, &CancelToken::new());
     Enumeration {
-        tgds: dedup_canonical(tgds),
+        tgds,
+        keys,
         exhaustive,
     }
 }
@@ -374,6 +452,7 @@ pub fn paper_bound_guarded(schema: &Schema, n: usize, m: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tgdkit_logic::tgd_variant_key;
 
     fn schema() -> Schema {
         Schema::builder().pred("R", 2).pred("T", 1).build()

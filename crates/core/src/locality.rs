@@ -86,13 +86,13 @@ struct Case {
 
 /// Enumerates the cases demanded by the flavor's definition.
 fn cases(sigma: &TgdSet, i: &Instance, n: usize, flavor: LocalityFlavor) -> Vec<Case> {
-    let adom: Vec<Elem> = i.active_domain().into_iter().collect();
+    let adom: Vec<Elem> = i.active_domain().iter().copied().collect();
     let mut out = Vec::new();
     match flavor {
         LocalityFlavor::Plain => {
             let _ = for_each_subset_up_to(&adom, n, &mut |d| {
                 let k = i.restrict(&d.iter().copied().collect());
-                let fix = k.active_domain();
+                let fix = k.active_domain().clone();
                 out.push(Case { k, fix });
                 ControlFlow::Continue(())
             });
@@ -111,7 +111,7 @@ fn cases(sigma: &TgdSet, i: &Instance, n: usize, flavor: LocalityFlavor) -> Vec<
                 let mut k = Instance::new(sigma.schema().clone());
                 k.add_fact(fact.pred, fact.args.clone());
                 out.push(Case {
-                    fix: k.active_domain(),
+                    fix: k.active_domain().clone(),
                     k,
                 });
             }
@@ -120,7 +120,7 @@ fn cases(sigma: &TgdSet, i: &Instance, n: usize, flavor: LocalityFlavor) -> Vec<
             let _ = for_each_subset_up_to(&adom, n, &mut |d| {
                 let k = i.restrict(&d.iter().copied().collect());
                 if is_guarded_instance(&k) {
-                    let fix = k.active_domain();
+                    let fix = k.active_domain().clone();
                     out.push(Case { k, fix });
                 }
                 ControlFlow::Continue(())
@@ -136,7 +136,7 @@ fn cases(sigma: &TgdSet, i: &Instance, n: usize, flavor: LocalityFlavor) -> Vec<
             // I by construction), so they are not enumerated.
             let _ = for_each_subset_up_to(&adom, n, &mut |d| {
                 let k = i.restrict(&d.iter().copied().collect());
-                let k_adom: Vec<Elem> = k.active_domain().into_iter().collect();
+                let k_adom: Vec<Elem> = k.active_domain().iter().copied().collect();
                 let _ = for_each_subset_up_to(&k_adom, k_adom.len(), &mut |f| {
                     let fset: BTreeSet<Elem> = f.iter().copied().collect();
                     if is_relative_guarded(&k, &fset) {

@@ -157,7 +157,7 @@ pub fn check_modularity<O: Ontology>(
         if ontology.contains(i) {
             continue;
         }
-        let adom: Vec<Elem> = i.active_domain().into_iter().collect();
+        let adom: Vec<Elem> = i.active_domain().iter().copied().collect();
         let mut found = None;
         let _ = crate::neighbourhood::for_each_subset_up_to(&adom, n, &mut |d| {
             let sub = i.restrict(&d.iter().copied().collect());

@@ -20,16 +20,18 @@
 //! `Inconclusive`, while a failed search over the exhaustive space is a
 //! definitive [`RewriteOutcome::NotRewritable`].
 
-use crate::enumerate::{guarded_candidates, linear_candidates, EnumOptions, Enumeration};
+use crate::enumerate::{
+    guarded_candidates_governed, linear_candidates_governed, EnumOptions, Enumeration,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use tgdkit_chase::faults::INJECTED_PANIC;
 use tgdkit_chase::{
     entails_all_cached_governed, entails_auto_cached_governed, evaluate_group, group_by_body,
-    sigma_fingerprint, CancelToken, ChaseBudget, EntailBatchStats, EntailCache, Entailment,
-    FaultSite,
+    group_by_body_keyed, sigma_fingerprint, CancelToken, ChaseBudget, EntailBatchStats,
+    EntailCache, Entailment, FaultSite,
 };
-use tgdkit_logic::{Schema, Tgd, TgdSet};
+use tgdkit_logic::{Schema, Tgd, TgdSet, TgdVariantKey};
 
 /// Options for the rewriting procedures.
 #[derive(Debug, Clone, Copy, Default)]
@@ -252,6 +254,34 @@ pub fn evaluate_pool(
         schema,
         sigma,
         candidates,
+        None,
+        budget,
+        parallel,
+        cache,
+        &CancelToken::new(),
+    );
+    (eval.verdicts, eval.stats, eval.steals)
+}
+
+/// [`evaluate_pool`] for an enumerator-produced pool: `keys` are the
+/// candidates' variant keys (parallel to `candidates`, as in
+/// [`Enumeration::keys`](crate::enumerate::Enumeration)), so body-grouping
+/// reuses them instead of re-running the canonical ordering search per
+/// candidate. Verdicts are identical to [`evaluate_pool`].
+pub fn evaluate_pool_keyed(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    keys: &[TgdVariantKey],
+    budget: ChaseBudget,
+    parallel: bool,
+    cache: &EntailCache,
+) -> (Vec<Entailment>, EntailBatchStats, usize) {
+    let eval = evaluate_candidates(
+        schema,
+        sigma,
+        candidates,
+        Some(keys),
         budget,
         parallel,
         cache,
@@ -272,7 +302,9 @@ pub fn evaluate_pool_governed(
     cache: &EntailCache,
     token: &CancelToken,
 ) -> PoolEval {
-    evaluate_candidates(schema, sigma, candidates, budget, parallel, cache, token)
+    evaluate_candidates(
+        schema, sigma, candidates, None, budget, parallel, cache, token,
+    )
 }
 
 /// Result of [`evaluate_pool_governed`] / the internal candidate evaluator.
@@ -301,10 +333,11 @@ fn enumerate(
     m: usize,
     opts: &RewriteOptions,
     target: Target,
+    token: &CancelToken,
 ) -> Enumeration {
     match target {
-        Target::Linear => linear_candidates(schema, n, m, &opts.enumeration),
-        Target::Guarded => guarded_candidates(schema, n, m, &opts.enumeration),
+        Target::Linear => linear_candidates_governed(schema, n, m, &opts.enumeration, token),
+        Target::Guarded => guarded_candidates_governed(schema, n, m, &opts.enumeration, token),
     }
 }
 
@@ -330,7 +363,7 @@ fn rewrite_cached(
 ) -> (RewriteOutcome, RewriteStats) {
     let schema = set.schema();
     let (n, m) = set.profile();
-    let enumeration = enumerate(schema, n, m, opts, target);
+    let enumeration = enumerate(schema, n, m, opts, target, token);
     let mut stats = RewriteStats {
         candidates: enumeration.tgds.len(),
         exhaustive: enumeration.exhaustive,
@@ -342,6 +375,7 @@ fn rewrite_cached(
         schema,
         set.tgds(),
         &enumeration.tgds,
+        Some(&enumeration.keys),
         opts.budget,
         opts.parallel,
         cache,
@@ -507,16 +541,23 @@ fn evaluate_group_contained(
 /// and each group evaluates behind [`evaluate_group_contained`]'s panic
 /// barrier, so one poisoned group cannot take down the sweep — or the
 /// process.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_candidates(
     schema: &Schema,
     sigma: &[Tgd],
     candidates: &[Tgd],
+    keys: Option<&[TgdVariantKey]>,
     budget: ChaseBudget,
     parallel: bool,
     cache: &EntailCache,
     token: &CancelToken,
 ) -> PoolEval {
-    let groups = group_by_body(candidates);
+    // Enumerator-produced pools carry their variant keys (dedup computed
+    // them anyway); grouping then skips the canonical ordering search.
+    let groups = match keys {
+        Some(keys) => group_by_body_keyed(candidates, keys),
+        None => group_by_body(candidates),
+    };
     let fingerprint = sigma_fingerprint(sigma);
     let mut stats = EntailBatchStats {
         candidates: candidates.len(),

@@ -110,28 +110,37 @@ pub fn for_each_hom_seminaive(
             .filter(|&(i, _)| i != anchor)
             .map(|(_, a)| a.clone())
             .collect();
+        // The join plan depends only on which variables are bound — the
+        // fixed ones plus the anchor atom's — not on the anchoring fact,
+        // so one plan serves every delta fact at this anchor.
+        let mut bound_vars: Vec<bool> = fixed.iter().map(Option::is_some).collect();
+        bound_vars.resize(num_vars.max(fixed.len()), false);
+        for v in &atom.args {
+            bound_vars[v.index()] = true;
+        }
+        let order = crate::plan::plan_join(&rest, index, &bound_vars);
         for fact in delta {
             if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
                 continue;
             }
             // Bind the anchor atom to the delta fact.
-            let mut bound = fixed.clone();
-            bound.resize(num_vars.max(fixed.len()), None);
+            let mut binding = fixed.clone();
+            binding.resize(num_vars.max(fixed.len()), None);
             let mut ok = true;
             for (&v, &e) in atom.args.iter().zip(&fact.args) {
-                match bound[v.index()] {
+                match binding[v.index()] {
                     Some(prev) if prev != e => {
                         ok = false;
                         break;
                     }
-                    _ => bound[v.index()] = Some(e),
+                    _ => binding[v.index()] = Some(e),
                 }
             }
             if !ok {
                 continue;
             }
             let mut stop = false;
-            search(&rest, num_vars, index, &bound, &mut |binding| {
+            let _ = recurse(&rest, &order, 0, index, &mut binding, &mut |binding| {
                 let flow = visit(binding);
                 stop = flow.is_break();
                 flow
@@ -143,8 +152,9 @@ pub fn for_each_hom_seminaive(
     }
 }
 
-/// The recursive most-constrained-first search behind the public entry
-/// points.
+/// The planned recursive search behind the public entry points: compute the
+/// selectivity-guided atom order once ([`crate::plan::plan_join`]), then
+/// follow it.
 fn search(
     atoms: &[Atom<Var>],
     num_vars: usize,
@@ -154,38 +164,22 @@ fn search(
 ) {
     let mut binding: Binding = fixed.clone();
     binding.resize(num_vars.max(fixed.len()), None);
-    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-    let _ = recurse(atoms, index, &mut binding, &mut remaining, visit);
-}
-
-/// Estimated number of candidate tuples for `atom` under `binding`.
-fn candidate_count(atom: &Atom<Var>, index: &InstanceIndex, binding: &Binding) -> usize {
-    let mut best = index.count(atom.pred);
-    for (pos, &v) in atom.args.iter().enumerate() {
-        if let Some(e) = binding[v.index()] {
-            best = best.min(index.postings(atom.pred, pos, e).len());
-        }
-    }
-    best
+    let bound_vars: Vec<bool> = binding.iter().map(Option::is_some).collect();
+    let order = crate::plan::plan_join(atoms, index, &bound_vars);
+    let _ = recurse(atoms, &order, 0, index, &mut binding, visit);
 }
 
 fn recurse(
     atoms: &[Atom<Var>],
+    order: &[usize],
+    depth: usize,
     index: &InstanceIndex,
     binding: &mut Binding,
-    remaining: &mut Vec<usize>,
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
-    if remaining.is_empty() {
+    let Some(&atom_idx) = order.get(depth) else {
         return visit(binding);
-    }
-    // Most-constrained atom first.
-    let (slot, &atom_idx) = remaining
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, &i)| candidate_count(&atoms[i], index, binding))
-        .expect("remaining is non-empty");
-    remaining.swap_remove(slot);
+    };
     let atom = &atoms[atom_idx];
 
     // Choose the candidate source: the shortest posting list among bound
@@ -202,7 +196,6 @@ fn recurse(
 
     let try_tuple = |tuple: &[Elem],
                      binding: &mut Binding,
-                     remaining: &mut Vec<usize>,
                      visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>|
      -> ControlFlow<()> {
         // Unify the atom's variables with the tuple.
@@ -222,7 +215,7 @@ fn recurse(
             }
         }
         let flow = if ok {
-            recurse(atoms, index, binding, remaining, visit)
+            recurse(atoms, order, depth + 1, index, binding, visit)
         } else {
             ControlFlow::Continue(())
         };
@@ -232,12 +225,12 @@ fn recurse(
         flow
     };
 
-    let flow = match source {
+    match source {
         Some(postings) => {
             let tuples = index.tuples(atom.pred);
             let mut flow = ControlFlow::Continue(());
             for &t in postings {
-                flow = try_tuple(&tuples[t as usize], binding, remaining, visit);
+                flow = try_tuple(tuples.get(t as usize), binding, visit);
                 if flow.is_break() {
                     break;
                 }
@@ -247,16 +240,14 @@ fn recurse(
         None => {
             let mut flow = ControlFlow::Continue(());
             for tuple in index.tuples(atom.pred) {
-                flow = try_tuple(tuple, binding, remaining, visit);
+                flow = try_tuple(tuple, binding, visit);
                 if flow.is_break() {
                     break;
                 }
             }
             flow
         }
-    };
-    remaining.push(atom_idx);
-    flow
+    }
 }
 
 /// Finds a homomorphism `h : adom(src) → dom(dst)` with
@@ -273,7 +264,7 @@ pub fn find_instance_hom(
 ) -> Option<BTreeMap<Elem, Elem>> {
     // Convert src's facts to a conjunction with one variable per active
     // element.
-    let adom: Vec<Elem> = src.active_domain().into_iter().collect();
+    let adom: Vec<Elem> = src.active_domain().iter().copied().collect();
     let var_of: BTreeMap<Elem, Var> = adom
         .iter()
         .enumerate()

@@ -1,84 +1,167 @@
 //! Positional indexes over instances, accelerating homomorphism search.
 
 use std::collections::HashMap;
-use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_instance::{store, Elem, Fact, FxBuildHasher, Instance};
 use tgdkit_logic::PredId;
+
+/// Per-predicate flat tuple arena plus positional postings.
+#[derive(Debug, Default)]
+struct PredIndex {
+    arity: usize,
+    rows: usize,
+    /// Row-major tuple arena, `rows * arity` elements long, in the order the
+    /// tuples were indexed (canonical instance order for the initial build,
+    /// delta order for `extend`).
+    data: Vec<Elem>,
+    /// Position → element → rows having that element at that position.
+    postings: Vec<HashMap<Elem, Vec<u32>, FxBuildHasher>>,
+    /// Collision-safe membership: tuple hash → candidate rows.
+    seen: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl PredIndex {
+    #[inline]
+    fn row(&self, r: u32) -> &[Elem] {
+        let start = r as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    fn contains(&self, tuple: &[Elem]) -> bool {
+        if tuple.len() != self.arity {
+            return false;
+        }
+        match self.seen.get(&store::tuple_hash(tuple)) {
+            Some(rows) => rows.iter().any(|&r| self.row(r) == tuple),
+            None => false,
+        }
+    }
+
+    /// Appends `tuple` unless already present; returns `true` when added.
+    fn push(&mut self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let hash = store::tuple_hash(tuple);
+        let arity = self.arity;
+        let data = &self.data;
+        let bucket = self.seen.entry(hash).or_default();
+        if bucket
+            .iter()
+            .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+        {
+            return false;
+        }
+        let row = self.rows as u32;
+        bucket.push(row);
+        for (pos, &e) in tuple.iter().enumerate() {
+            self.postings[pos].entry(e).or_default().push(row);
+        }
+        self.data.extend_from_slice(tuple);
+        self.rows += 1;
+        true
+    }
+}
 
 /// A per-predicate, per-position index of an instance's tuples.
 ///
-/// For each predicate the tuples are materialized in a dense `Vec` (in the
-/// instance's deterministic order) and, for each argument position, a map
-/// from element to the list of tuple indices having that element at that
-/// position. Join-style candidate lookups during homomorphism search then
-/// cost a hash lookup instead of a relation scan.
+/// For each predicate the tuples are materialized in one contiguous
+/// row-major arena (in the instance's deterministic order) and, for each
+/// argument position, a map from element to the list of tuple indices having
+/// that element at that position. Join-style candidate lookups during
+/// homomorphism search then cost a hash lookup instead of a relation scan,
+/// and tuple access is a stride computation instead of a pointer chase.
 #[derive(Debug)]
 pub struct InstanceIndex {
-    tuples: Vec<Vec<Vec<Elem>>>,
-    postings: Vec<Vec<HashMap<Elem, Vec<u32>>>>,
+    preds: Vec<PredIndex>,
 }
 
 impl InstanceIndex {
     /// Builds the index for `instance`.
     pub fn new(instance: &Instance) -> InstanceIndex {
         let schema = instance.schema();
-        let mut tuples: Vec<Vec<Vec<Elem>>> = Vec::with_capacity(schema.len());
-        let mut postings: Vec<Vec<HashMap<Elem, Vec<u32>>>> = Vec::with_capacity(schema.len());
+        let mut preds: Vec<PredIndex> = Vec::with_capacity(schema.len());
         for pred in schema.preds() {
-            let rel: Vec<Vec<Elem>> = instance.relation(pred).iter().cloned().collect();
+            let rel = instance.relation(pred);
             let arity = schema.arity(pred);
-            let mut maps: Vec<HashMap<Elem, Vec<u32>>> = vec![HashMap::new(); arity];
-            for (i, tuple) in rel.iter().enumerate() {
-                for (pos, &e) in tuple.iter().enumerate() {
-                    maps[pos].entry(e).or_default().push(i as u32);
-                }
+            let mut pi = PredIndex {
+                arity,
+                rows: 0,
+                data: Vec::with_capacity(rel.len() * arity),
+                postings: vec![HashMap::default(); arity],
+                seen: HashMap::default(),
+            };
+            for tuple in rel {
+                pi.push(tuple);
             }
-            tuples.push(rel);
-            postings.push(maps);
+            preds.push(pi);
         }
-        InstanceIndex { tuples, postings }
+        InstanceIndex { preds }
     }
 
-    /// All tuples of `pred`, in deterministic order. Predicates beyond the
-    /// indexed instance's schema (e.g. added to a shared schema after the
-    /// instance was built) read as empty relations.
+    /// All tuples of `pred`, in deterministic order, as an indexable view.
+    /// Predicates beyond the indexed instance's schema (e.g. added to a
+    /// shared schema after the instance was built) read as empty relations.
     #[inline]
-    pub fn tuples(&self, pred: PredId) -> &[Vec<Elem>] {
-        self.tuples.get(pred.index()).map_or(&[], Vec::as_slice)
+    pub fn tuples(&self, pred: PredId) -> Tuples<'_> {
+        match self.preds.get(pred.index()) {
+            Some(pi) => Tuples {
+                data: &pi.data,
+                arity: pi.arity,
+                rows: pi.rows,
+            },
+            None => Tuples {
+                data: &[],
+                arity: 0,
+                rows: 0,
+            },
+        }
+    }
+
+    /// The indexed tuple `row` of `pred`.
+    ///
+    /// # Panics
+    /// Panics if the row is out of range for the predicate.
+    #[inline]
+    pub fn tuple(&self, pred: PredId, row: u32) -> &[Elem] {
+        self.preds[pred.index()].row(row)
     }
 
     /// Tuple indices of `pred` having `elem` at `position` (empty slice if
     /// none, or if the predicate/position is beyond the indexed schema).
     #[inline]
     pub fn postings(&self, pred: PredId, position: usize, elem: Elem) -> &[u32] {
-        self.postings
+        self.preds
             .get(pred.index())
-            .and_then(|positions| positions.get(position))
+            .and_then(|pi| pi.postings.get(position))
             .and_then(|map| map.get(&elem))
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct elements occurring at `position` of `pred` — the
+    /// denominator of the join planner's selectivity estimate. Zero beyond
+    /// the indexed schema.
+    #[inline]
+    pub fn distinct(&self, pred: PredId, position: usize) -> usize {
+        self.preds
+            .get(pred.index())
+            .and_then(|pi| pi.postings.get(position))
+            .map_or(0, HashMap::len)
     }
 
     /// Number of tuples of `pred` (zero beyond the indexed schema).
     #[inline]
     pub fn count(&self, pred: PredId) -> usize {
-        self.tuples.get(pred.index()).map_or(0, Vec::len)
+        self.preds.get(pred.index()).map_or(0, |pi| pi.rows)
     }
 
     /// Total number of indexed tuples across all predicates.
     pub fn total_count(&self) -> usize {
-        self.tuples.iter().map(Vec::len).sum()
+        self.preds.iter().map(|pi| pi.rows).sum()
     }
 
     /// `true` if the tuple `args` of `pred` is already indexed.
     pub fn contains(&self, pred: PredId, args: &[Elem]) -> bool {
-        match args.first() {
-            // Zero-arity predicate: present iff the (only possible) empty
-            // tuple has been indexed.
-            None => self.count(pred) > 0,
-            Some(&e) => self
-                .postings(pred, 0, e)
-                .iter()
-                .any(|&t| self.tuples[pred.index()][t as usize] == args),
-        }
+        self.preds
+            .get(pred.index())
+            .is_some_and(|pi| pi.contains(args))
     }
 
     /// Appends `delta` to the index, growing it in place.
@@ -96,24 +179,108 @@ impl InstanceIndex {
     pub fn extend(&mut self, delta: &[Fact]) {
         for fact in delta {
             let p = fact.pred.index();
-            if p >= self.tuples.len() {
-                self.tuples.resize_with(p + 1, Vec::new);
-                self.postings.resize_with(p + 1, Vec::new);
+            if p >= self.preds.len() {
+                self.preds.resize_with(p + 1, PredIndex::default);
             }
-            if self.postings[p].len() < fact.args.len() {
-                self.postings[p].resize_with(fact.args.len(), HashMap::new);
+            let pi = &mut self.preds[p];
+            if pi.rows == 0 && pi.arity != fact.args.len() {
+                // Predicate first seen through a delta (or still empty):
+                // adopt the fact's arity.
+                pi.arity = fact.args.len();
             }
-            if self.contains(fact.pred, &fact.args) {
-                continue;
+            debug_assert_eq!(pi.arity, fact.args.len(), "mixed arity in extend");
+            if pi.postings.len() < fact.args.len() {
+                pi.postings.resize_with(fact.args.len(), HashMap::default);
             }
-            let t = self.tuples[p].len() as u32;
-            for (pos, &e) in fact.args.iter().enumerate() {
-                self.postings[p][pos].entry(e).or_default().push(t);
-            }
-            self.tuples[p].push(fact.args.clone());
+            pi.push(&fact.args);
         }
     }
 }
+
+/// An indexable, iterable view of one predicate's tuples (row-major arena
+/// slices).
+#[derive(Clone, Copy)]
+pub struct Tuples<'a> {
+    data: &'a [Elem],
+    arity: usize,
+    rows: usize,
+}
+
+impl<'a> Tuples<'a> {
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when there are no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The tuple at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= len()`.
+    #[inline]
+    pub fn get(&self, row: usize) -> &'a [Elem] {
+        assert!(row < self.rows, "tuple row out of range");
+        &self.data[row * self.arity..row * self.arity + self.arity]
+    }
+
+    /// Iterates over the tuples in index order.
+    pub fn iter(&self) -> TuplesIter<'a> {
+        TuplesIter {
+            view: *self,
+            next: 0,
+        }
+    }
+
+    /// Materializes the tuples as owned vectors (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<Vec<Elem>> {
+        self.iter().map(|t| t.to_vec()).collect()
+    }
+}
+
+impl<'a> IntoIterator for Tuples<'a> {
+    type Item = &'a [Elem];
+    type IntoIter = TuplesIter<'a>;
+
+    fn into_iter(self) -> TuplesIter<'a> {
+        TuplesIter {
+            view: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a [`Tuples`] view.
+pub struct TuplesIter<'a> {
+    view: Tuples<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for TuplesIter<'a> {
+    type Item = &'a [Elem];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Elem]> {
+        if self.next >= self.view.rows {
+            return None;
+        }
+        let t = self.view.get(self.next);
+        self.next += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.view.rows - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TuplesIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -134,9 +301,12 @@ mod tests {
         let hits = idx.postings(r, 1, Elem(1));
         assert_eq!(hits.len(), 2);
         for &h in hits {
-            assert_eq!(idx.tuples(r)[h as usize][1], Elem(1));
+            assert_eq!(idx.tuple(r, h)[1], Elem(1));
         }
         assert!(idx.postings(r, 0, Elem(9)).is_empty());
+        // Distinct counts per position: {0,1,2} first, {0,1} second.
+        assert_eq!(idx.distinct(r, 0), 3);
+        assert_eq!(idx.distinct(r, 1), 2);
     }
 
     #[test]
@@ -160,8 +330,8 @@ mod tests {
         let fresh = InstanceIndex::new(&i);
         for pred in [r, p] {
             assert_eq!(idx.count(pred), fresh.count(pred));
-            let mut a: Vec<_> = idx.tuples(pred).to_vec();
-            let mut b: Vec<_> = fresh.tuples(pred).to_vec();
+            let mut a = idx.tuples(pred).to_vec();
+            let mut b = fresh.tuples(pred).to_vec();
             a.sort();
             b.sort();
             assert_eq!(a, b);
@@ -171,7 +341,7 @@ mod tests {
         // tuple, and every tuple is reachable from each of its positions.
         let hits = idx.postings(r, 0, Elem(1));
         assert_eq!(hits.len(), 1);
-        assert_eq!(idx.tuples(r)[hits[0] as usize], vec![Elem(1), Elem(2)]);
+        assert_eq!(idx.tuple(r, hits[0]), &[Elem(1), Elem(2)]);
     }
 
     #[test]
@@ -204,5 +374,6 @@ mod tests {
         assert_eq!(idx.count(ghost), 0);
         assert!(idx.tuples(ghost).is_empty());
         assert!(idx.postings(ghost, 0, Elem(0)).is_empty());
+        assert_eq!(idx.distinct(ghost, 0), 0);
     }
 }

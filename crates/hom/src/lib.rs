@@ -4,7 +4,7 @@
 //!
 //! - [`find_hom`]/[`for_each_hom`]: backtracking search for homomorphisms
 //!   from a conjunction of atoms into an instance, with positional indexes
-//!   and most-constrained-first atom ordering;
+//!   and a selectivity-guided join plan ([`plan`]) ordering the atoms;
 //! - [`find_instance_hom`]/[`embeds_fixing`]: instance-to-instance
 //!   homomorphisms, optionally pinned to be the identity on a set of
 //!   elements — the exact shape of mapping required by the paper's locality
@@ -22,6 +22,7 @@ pub mod cq;
 pub mod hom;
 pub mod index;
 pub mod iso;
+pub mod plan;
 pub mod retract;
 
 pub use cq::Cq;
@@ -31,4 +32,5 @@ pub use hom::{
 pub use hom::{find_hom_indexed, for_each_hom_seminaive};
 pub use index::InstanceIndex;
 pub use iso::are_isomorphic;
+pub use plan::{plan_join, plan_stats, reset_plan_stats, PlanStats};
 pub use retract::{core_of, core_preserving};

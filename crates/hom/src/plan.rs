@@ -1,0 +1,196 @@
+//! Selectivity-guided join planning for the homomorphism search.
+//!
+//! Before a search starts, the atoms of the conjunction are ordered once by
+//! a greedy selectivity estimate instead of being rescanned for the most
+//! constrained atom at every recursion node: repeatedly pick the unplanned
+//! atom with the smallest estimated candidate count — relation cardinality
+//! divided by the number of distinct elements at each already-bound
+//! position (a textbook independence estimate, with the distinct counts
+//! read off the index postings) — then mark its variables bound and repeat.
+//! The most constrained atom anchors the search instead of whatever the
+//! parser emitted first, and the per-node `O(n)` reselection disappears
+//! from the hot path.
+//!
+//! The plan depends only on *which* variables are bound, never on the bound
+//! values, so semi-naive enumeration can plan once per anchor and reuse the
+//! order across every delta fact.
+
+use crate::index::InstanceIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tgdkit_logic::{Atom, Var};
+
+static PLANS_BUILT: AtomicU64 = AtomicU64::new(0);
+static PLANS_REORDERED: AtomicU64 = AtomicU64::new(0);
+static ATOMS_PLANNED: AtomicU64 = AtomicU64::new(0);
+
+/// Aggregate planner counters since process start (or the last
+/// [`reset_plan_stats`]); reported by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Join plans computed.
+    pub plans_built: u64,
+    /// Plans whose chosen order differs from the syntactic atom order.
+    pub plans_reordered: u64,
+    /// Atoms placed across all plans.
+    pub atoms_planned: u64,
+}
+
+/// Snapshot of the global planner counters.
+pub fn plan_stats() -> PlanStats {
+    PlanStats {
+        plans_built: PLANS_BUILT.load(Ordering::Relaxed),
+        plans_reordered: PLANS_REORDERED.load(Ordering::Relaxed),
+        atoms_planned: ATOMS_PLANNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the global planner counters (benchmark harness scoping).
+pub fn reset_plan_stats() {
+    PLANS_BUILT.store(0, Ordering::Relaxed);
+    PLANS_REORDERED.store(0, Ordering::Relaxed);
+    ATOMS_PLANNED.store(0, Ordering::Relaxed);
+}
+
+/// Estimated number of candidate tuples for `atom` given the set of bound
+/// variables: `|R| / Π_{bound positions p} distinct(R, p)`, clamped to at
+/// least one candidate unless the relation is empty.
+fn estimate(atom: &Atom<Var>, index: &InstanceIndex, bound: &[bool]) -> f64 {
+    let card = index.count(atom.pred) as f64;
+    if card == 0.0 {
+        return 0.0;
+    }
+    let mut est = card;
+    for (pos, v) in atom.args.iter().enumerate() {
+        if bound.get(v.index()).copied().unwrap_or(false) {
+            est /= index.distinct(atom.pred, pos).max(1) as f64;
+        }
+    }
+    est.max(1.0)
+}
+
+/// Computes the greedy join order for `atoms` against `index`, starting
+/// from the variables flagged bound in `bound` (the fixed part of the
+/// binding, plus any anchor atom's variables in the semi-naive case).
+///
+/// Returns atom indices in evaluation order. Ties break on the original
+/// atom index, so the plan is deterministic.
+pub fn plan_join(atoms: &[Atom<Var>], index: &InstanceIndex, bound: &[bool]) -> Vec<usize> {
+    if atoms.len() <= 1 {
+        // Nothing to reorder; skip the estimate machinery (head probes of
+        // single-atom CQs dominate the candidate-evaluation hot path).
+        PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+        ATOMS_PLANNED.fetch_add(atoms.len() as u64, Ordering::Relaxed);
+        return (0..atoms.len()).collect();
+    }
+    let mut bound = bound.to_vec();
+    let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+    let mut placed = vec![false; atoms.len()];
+    for _ in 0..atoms.len() {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, atom) in atoms.iter().enumerate() {
+            if placed[i] {
+                continue;
+            }
+            let est = estimate(atom, index, &bound);
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, i));
+            }
+        }
+        let (_, i) = best.expect("an unplaced atom remains");
+        placed[i] = true;
+        for v in &atoms[i].args {
+            if v.index() >= bound.len() {
+                bound.resize(v.index() + 1, false);
+            }
+            bound[v.index()] = true;
+        }
+        order.push(i);
+    }
+    PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+    ATOMS_PLANNED.fetch_add(order.len() as u64, Ordering::Relaxed);
+    if order.iter().enumerate().any(|(slot, &i)| slot != i) {
+        PLANS_REORDERED.fetch_add(1, Ordering::Relaxed);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_instance::{Elem, Instance};
+    use tgdkit_logic::{PredId, Schema};
+
+    fn atom(pred: PredId, vars: &[u32]) -> Atom<Var> {
+        Atom::new(pred, vars.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn rare_relation_anchors_the_plan() {
+        let s = Schema::builder().pred("Big", 2).pred("Tiny", 2).build();
+        let big = s.pred_id("Big").unwrap();
+        let tiny = s.pred_id("Tiny").unwrap();
+        let mut i = Instance::new(s);
+        for k in 0..20 {
+            i.add_fact(big, vec![Elem(k), Elem(k + 1)]);
+        }
+        i.add_fact(tiny, vec![Elem(0), Elem(1)]);
+        let index = InstanceIndex::new(&i);
+        // Syntactic order lists Big first; the plan must flip it.
+        let atoms = [atom(big, &[0, 1]), atom(tiny, &[1, 2])];
+        let order = plan_join(&atoms, &index, &[false, false, false]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn bound_variables_raise_selectivity() {
+        let s = Schema::builder().pred("R", 2).pred("S", 2).build();
+        let r = s.pred_id("R").unwrap();
+        let sp = s.pred_id("S").unwrap();
+        let mut i = Instance::new(s);
+        // R: 6 tuples over 6 distinct first elements; S: 4 tuples with one
+        // shared first element.
+        for k in 0..6 {
+            i.add_fact(r, vec![Elem(k), Elem(50)]);
+        }
+        for k in 0..4 {
+            i.add_fact(sp, vec![Elem(99), Elem(k)]);
+        }
+        let index = InstanceIndex::new(&i);
+        // With x bound, R(x,y) estimates 6/6 = 1 candidate and beats
+        // S(z,w) at 4 despite R's larger cardinality.
+        let atoms = [atom(sp, &[2, 3]), atom(r, &[0, 1])];
+        let order = plan_join(&atoms, &index, &[true, false, false, false]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_relations_go_first() {
+        let s = Schema::builder().pred("R", 1).pred("Empty", 1).build();
+        let r = s.pred_id("R").unwrap();
+        let e = s.pred_id("Empty").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0)]);
+        let index = InstanceIndex::new(&i);
+        // The empty relation refutes the conjunction immediately; planning
+        // it first short-circuits the search.
+        let atoms = [atom(r, &[0]), atom(e, &[1])];
+        let order = plan_join(&atoms, &index, &[false, false]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn ties_keep_syntactic_order() {
+        let s = Schema::builder().pred("R", 1).build();
+        let r = s.pred_id("R").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0)]);
+        let index = InstanceIndex::new(&i);
+        let atoms = [atom(r, &[0]), atom(r, &[1]), atom(r, &[2])];
+        let before = plan_stats();
+        let order = plan_join(&atoms, &index, &[false, false, false]);
+        assert_eq!(order, vec![0, 1, 2]);
+        let after = plan_stats();
+        assert_eq!(after.plans_built, before.plans_built + 1);
+        assert_eq!(after.atoms_planned, before.atoms_planned + 3);
+    }
+}

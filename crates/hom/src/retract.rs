@@ -23,7 +23,7 @@ pub fn core_of(instance: &Instance) -> Instance {
     let mut current = instance.clone();
     current.shrink_dom_to_active();
     'outer: loop {
-        let elems: Vec<Elem> = current.active_domain().into_iter().collect();
+        let elems: Vec<Elem> = current.active_domain().iter().copied().collect();
         for i in 0..elems.len() {
             for j in (i + 1)..elems.len() {
                 if let Some(h) = merging_endomorphism(&current, elems[i], elems[j]) {
@@ -48,7 +48,7 @@ pub fn core_preserving(instance: &Instance, frozen: &BTreeSet<Elem>) -> Instance
     let mut current = instance.clone();
     current.shrink_dom_to_active();
     'outer: loop {
-        let elems: Vec<Elem> = current.active_domain().into_iter().collect();
+        let elems: Vec<Elem> = current.active_domain().iter().copied().collect();
         for i in 0..elems.len() {
             for j in (i + 1)..elems.len() {
                 // At least one side of the merge must be foldable.
@@ -82,7 +82,7 @@ fn merging_endomorphism_fixing(
     frozen: &BTreeSet<Elem>,
 ) -> Option<BTreeMap<Elem, Elem>> {
     use tgdkit_logic::{Atom, Var};
-    let adom: Vec<Elem> = instance.active_domain().into_iter().collect();
+    let adom: Vec<Elem> = instance.active_domain().iter().copied().collect();
     let mut var_of: BTreeMap<Elem, Var> = BTreeMap::new();
     let mut next = 0u32;
     for &e in &adom {
@@ -189,7 +189,7 @@ mod tests {
         let mut s = Schema::default();
         // Two parallel frozen edges would merge in the plain core.
         let i = parse_instance(&mut s, "E(a,b), E(c,d)").unwrap();
-        let frozen: BTreeSet<_> = i.active_domain();
+        let frozen: BTreeSet<_> = i.active_domain().clone();
         assert_eq!(core_of(&i).fact_count(), 1);
         let preserved = core_preserving(&i, &frozen);
         assert_eq!(preserved.fact_count(), 2);

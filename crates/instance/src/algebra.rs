@@ -90,7 +90,7 @@ pub fn intersection(i: &Instance, j: &Instance) -> Instance {
     for pred in schema.preds() {
         for tuple in i.relation(pred) {
             if j.relation(pred).contains(tuple) {
-                out.add_fact(pred, tuple.clone());
+                out.add_fact(pred, tuple.to_vec());
             }
         }
     }
@@ -241,7 +241,7 @@ mod tests {
         let (prod, back) = direct_product(&i, &j);
         let r = s.pred_id("R").unwrap();
         assert_eq!(prod.relation(r).len(), 1);
-        let tuple = prod.relation(r).iter().next().unwrap().clone();
+        let tuple = prod.relation(r).iter().next().unwrap();
         assert_eq!(back[&tuple[0]], (Elem(0), Elem(1)));
         assert_eq!(back[&tuple[1]], (Elem(0), Elem(2)));
     }

@@ -1,5 +1,6 @@
 //! Finite relational instances (paper §2).
 
+use crate::store::Relation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tgdkit_logic::{PredId, Schema};
@@ -45,8 +46,11 @@ impl Fact {
 /// normalization `dom(I) = adom(I)` used throughout §4 depend on this
 /// distinction being representable.
 ///
-/// Relations are stored as ordered sets of tuples, so iteration is
-/// deterministic.
+/// Relations are stored in flat row arenas ([`Relation`]) whose iteration is
+/// canonical (lexicographically sorted), so every enumeration stays
+/// deterministic. The active domain is maintained incrementally under
+/// insertion and removal (occurrence-counted), so [`Instance::active_domain`]
+/// is O(1) instead of a full relation scan.
 ///
 /// ```
 /// use tgdkit_logic::Schema;
@@ -63,7 +67,13 @@ impl Fact {
 pub struct Instance {
     schema: Schema,
     dom: BTreeSet<Elem>,
-    rels: Vec<BTreeSet<Vec<Elem>>>,
+    rels: Vec<Relation>,
+    /// Cached active domain, maintained incrementally by `insert_tuple` /
+    /// `remove_fact` via the occurrence counts below.
+    adom: BTreeSet<Elem>,
+    /// Occurrences of each active element across all tuples (an element is
+    /// dropped from `adom` exactly when its count reaches zero).
+    adom_counts: BTreeMap<Elem, u32>,
     /// Optional display names for elements (populated by the parser).
     names: BTreeMap<Elem, String>,
 }
@@ -71,11 +81,16 @@ pub struct Instance {
 impl Instance {
     /// Creates an empty instance over `schema`.
     pub fn new(schema: Schema) -> Instance {
-        let rels = (0..schema.len()).map(|_| BTreeSet::new()).collect();
+        let rels = schema
+            .preds()
+            .map(|p| Relation::new(schema.arity(p)))
+            .collect();
         Instance {
             schema,
             dom: BTreeSet::new(),
             rels,
+            adom: BTreeSet::new(),
+            adom_counts: BTreeMap::new(),
             names: BTreeMap::new(),
         }
     }
@@ -93,14 +108,13 @@ impl Instance {
     }
 
     /// The active domain `adom(I)`: elements occurring in at least one fact.
-    pub fn active_domain(&self) -> BTreeSet<Elem> {
-        let mut adom = BTreeSet::new();
-        for rel in &self.rels {
-            for tuple in rel {
-                adom.extend(tuple.iter().copied());
-            }
-        }
-        adom
+    ///
+    /// Maintained incrementally on insertion/removal — this is O(1), not a
+    /// relation scan (it is called per-round by locality and countermodel
+    /// searches).
+    #[inline]
+    pub fn active_domain(&self) -> &BTreeSet<Elem> {
+        &self.adom
     }
 
     /// Adds an element to the domain without adding any fact.
@@ -112,7 +126,25 @@ impl Instance {
     /// normalization used throughout paper §4, justified by domain
     /// independence).
     pub fn shrink_dom_to_active(&mut self) {
-        self.dom = self.active_domain();
+        self.dom = self.adom.clone();
+    }
+
+    /// Inserts `tuple` into relation `idx`, maintaining the domain and the
+    /// active-domain occurrence counts. All fact-adding paths (including
+    /// `restrict` and `map_elements`) funnel through here.
+    fn insert_tuple(&mut self, idx: usize, tuple: &[Elem]) -> bool {
+        self.dom.extend(tuple.iter().copied());
+        let added = self.rels[idx].insert(tuple);
+        if added {
+            for &e in tuple {
+                let count = self.adom_counts.entry(e).or_insert(0);
+                *count += 1;
+                if *count == 1 {
+                    self.adom.insert(e);
+                }
+            }
+        }
+        added
     }
 
     /// Adds the fact `pred(args)`, extending the domain with its elements.
@@ -126,8 +158,7 @@ impl Instance {
             "arity mismatch for {}",
             self.schema.name(pred)
         );
-        self.dom.extend(args.iter().copied());
-        self.rels[pred.index()].insert(args)
+        self.insert_tuple(pred.index(), &args)
     }
 
     /// Adds a [`Fact`].
@@ -135,9 +166,24 @@ impl Instance {
         self.add_fact(fact.pred, fact.args)
     }
 
-    /// Removes a fact (the domain is left unchanged).
+    /// Removes a fact (the domain is left unchanged; the active domain
+    /// shrinks if this was the last occurrence of an element).
     pub fn remove_fact(&mut self, pred: PredId, args: &[Elem]) -> bool {
-        self.rels[pred.index()].remove(args)
+        let removed = self.rels[pred.index()].remove(args);
+        if removed {
+            for &e in args {
+                let count = self
+                    .adom_counts
+                    .get_mut(&e)
+                    .expect("removed element was counted");
+                *count -= 1;
+                if *count == 0 {
+                    self.adom_counts.remove(&e);
+                    self.adom.remove(&e);
+                }
+            }
+        }
+        removed
     }
 
     /// `true` when the instance contains `pred(args)`.
@@ -146,7 +192,7 @@ impl Instance {
     }
 
     /// The relation of `pred`.
-    pub fn relation(&self, pred: PredId) -> &BTreeSet<Vec<Elem>> {
+    pub fn relation(&self, pred: PredId) -> &Relation {
         &self.rels[pred.index()]
     }
 
@@ -155,18 +201,24 @@ impl Instance {
         self.schema.preds().flat_map(move |pred| {
             self.rels[pred.index()]
                 .iter()
-                .map(move |tuple| Fact::new(pred, tuple.clone()))
+                .map(move |tuple| Fact::new(pred, tuple.to_vec()))
         })
     }
 
     /// Total number of facts.
     pub fn fact_count(&self) -> usize {
-        self.rels.iter().map(|r| r.len()).sum()
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Bytes of tuple payload across all relation arenas (reported by the
+    /// benchmark harness as storage telemetry).
+    pub fn payload_bytes(&self) -> usize {
+        self.rels.iter().map(Relation::payload_bytes).sum()
     }
 
     /// `true` when the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.rels.iter().all(|r| r.is_empty())
+        self.rels.iter().all(Relation::is_empty)
     }
 
     /// Set-inclusion of facts: `facts(self) ⊆ facts(other)` (the paper's
@@ -202,7 +254,7 @@ impl Instance {
         for (i, rel) in self.rels.iter().enumerate() {
             for tuple in rel {
                 if tuple.iter().all(|e| out.dom.contains(e)) {
-                    out.rels[i].insert(tuple.clone());
+                    out.insert_tuple(i, tuple);
                 }
             }
         }
@@ -235,11 +287,12 @@ impl Instance {
         for e in &self.dom {
             out.add_dom_elem(h(*e));
         }
+        let mut mapped: Vec<Elem> = Vec::new();
         for (i, rel) in self.rels.iter().enumerate() {
             for tuple in rel {
-                let mapped: Vec<Elem> = tuple.iter().map(|&e| h(e)).collect();
-                out.dom.extend(mapped.iter().copied());
-                out.rels[i].insert(mapped);
+                mapped.clear();
+                mapped.extend(tuple.iter().map(|&e| h(e)));
+                out.insert_tuple(i, &mapped);
             }
         }
         out
@@ -290,8 +343,7 @@ impl fmt::Display for Instance {
             write!(f, ")")?;
         }
         // Isolated elements, if any, are listed after the facts.
-        let adom = self.active_domain();
-        for e in self.dom.difference(&adom) {
+        for e in self.dom.difference(&self.adom) {
             if !first {
                 write!(f, ", ")?;
             }
@@ -351,6 +403,27 @@ mod tests {
     }
 
     #[test]
+    fn adom_is_occurrence_counted() {
+        // The incrementally maintained active domain must track *last*
+        // occurrences: removing one of two facts sharing an element keeps
+        // the element active; removing both drops it.
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        i.add_fact(r(&s), vec![Elem(1), Elem(2)]);
+        i.add_fact(t(&s), vec![Elem(1)]);
+        assert!(i.active_domain().contains(&Elem(1)));
+        i.remove_fact(t(&s), &[Elem(1)]);
+        assert!(i.active_domain().contains(&Elem(1)), "still in R(1,2)");
+        i.remove_fact(r(&s), &[Elem(1), Elem(2)]);
+        assert!(i.active_domain().is_empty());
+        // Duplicate insertion must not double-count.
+        i.add_fact(t(&s), vec![Elem(5)]);
+        i.add_fact(t(&s), vec![Elem(5)]);
+        i.remove_fact(t(&s), &[Elem(5)]);
+        assert!(i.active_domain().is_empty());
+    }
+
+    #[test]
     fn containment_vs_subinstance() {
         // The paper stresses J ≤ I implies J ⊆ I but not conversely.
         let s = schema();
@@ -385,6 +458,8 @@ mod tests {
         assert_eq!(sub.fact_count(), 2);
         assert!(sub.contains_fact(r(&s), &[Elem(1), Elem(2)]));
         assert!(sub.contains_fact(t(&s), &[Elem(2)]));
+        // The restriction's cached adom reflects only the kept tuples.
+        assert_eq!(sub.active_domain().len(), 2);
     }
 
     #[test]
@@ -396,6 +471,7 @@ mod tests {
         assert!(img.contains_fact(r(&s), &[Elem(5), Elem(5)]));
         assert_eq!(img.fact_count(), 1);
         assert_eq!(img.dom().len(), 1);
+        assert_eq!(img.active_domain().len(), 1);
     }
 
     #[test]

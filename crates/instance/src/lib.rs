@@ -27,6 +27,7 @@ pub mod duplicate;
 pub mod generator;
 pub mod instance;
 pub mod parse;
+pub mod store;
 
 pub use algebra::{direct_product, direct_product_many, disjoint_union, intersection, union};
 pub use critical::{critical_instance, is_critical};
@@ -34,3 +35,4 @@ pub use duplicate::{non_oblivious_duplicating_extension, oblivious_duplicating_e
 pub use generator::InstanceGen;
 pub use instance::{Elem, Fact, Instance};
 pub use parse::parse_instance;
+pub use store::{FxBuildHasher, Relation};

@@ -1,0 +1,390 @@
+//! Flat, arena-backed tuple storage for relations.
+//!
+//! A [`Relation`] keeps its tuples in one contiguous row-major `Vec<Elem>`
+//! (stride = arity) instead of a `BTreeSet<Vec<Elem>>`: inserting a tuple
+//! appends `arity` words to the arena instead of heap-allocating a fresh
+//! `Vec`, and membership is a hash probe instead of a `log n` tree walk.
+//! Deduplication is collision-safe — the hash map stores *candidate* row ids
+//! which are verified by slice equality — and the canonical (lexicographic)
+//! iteration order of the old representation is preserved through a lazily
+//! computed, cached sort permutation, so every observable enumeration stays
+//! byte-identical to the `BTreeSet` semantics.
+
+use crate::instance::Elem;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
+
+/// A hasher for keys that are already well-mixed 64-bit hashes (or small
+/// integers we mix ourselves): the default SipHash is measurable overhead on
+/// the hom-search hot path, and none of these tables face untrusted input.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // FxHash-style rotate-xor-multiply round.
+        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// [`BuildHasherDefault`] over [`FxHasher`] — a deterministic, fast hasher
+/// for the dedup and postings tables (no per-process random seed, so debug
+/// output and iteration order never depend on table identity).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// FNV-1a over the raw element ids, finalized with a splitmix64 round so
+/// that the low bits (used by the hash table) are well distributed. Shared
+/// with the hom index's dedup table.
+#[inline]
+pub fn tuple_hash(tuple: &[Elem]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in tuple {
+        h ^= e.0 as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 27)
+}
+
+/// A single relation stored as a fixed-stride row arena.
+///
+/// Insertion order is the physical row order; all public iteration goes
+/// through the cached canonical permutation so observers see the same
+/// lexicographically sorted sequence the previous `BTreeSet<Vec<Elem>>`
+/// representation produced.
+pub struct Relation {
+    arity: usize,
+    rows: usize,
+    /// Row-major tuple arena, `rows * arity` elements long.
+    data: Vec<Elem>,
+    /// Collision-safe dedup: tuple hash → candidate row ids (verified by
+    /// slice equality on every probe).
+    dedup: HashMap<u64, Vec<u32>, FxBuildHasher>,
+    /// Lazily computed sort permutation over rows; reset on every mutation
+    /// that changes the tuple set. `OnceLock` keeps `&self` iteration cheap
+    /// and the type `Sync`.
+    order: OnceLock<Vec<u32>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+            dedup: HashMap::default(),
+            order: OnceLock::new(),
+        }
+    }
+
+    /// The arity of the relation.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Bytes of tuple payload held in the arena (excludes index overhead).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.rows * self.arity * std::mem::size_of::<Elem>()
+    }
+
+    /// The tuple at physical row `r` (insertion order, not canonical order).
+    #[inline]
+    fn row(&self, r: u32) -> &[Elem] {
+        let start = r as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// `true` when `tuple` is present.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn contains(&self, tuple: &[Elem]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        match self.dedup.get(&tuple_hash(tuple)) {
+            Some(rows) => rows.iter().any(|&r| self.row(r) == tuple),
+            None => false,
+        }
+    }
+
+    /// Inserts `tuple`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn insert(&mut self, tuple: &[Elem]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        let hash = tuple_hash(tuple);
+        let bucket = self.dedup.entry(hash).or_default();
+        let data = &self.data;
+        let arity = self.arity;
+        if bucket
+            .iter()
+            .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+        {
+            return false;
+        }
+        bucket.push(self.rows as u32);
+        self.data.extend_from_slice(tuple);
+        self.rows += 1;
+        self.order = OnceLock::new();
+        true
+    }
+
+    /// Removes `tuple`, returning `true` if it was present. The vacated row
+    /// is back-filled by the last physical row (swap-remove), keeping the
+    /// arena dense; canonical iteration order is unaffected because it is
+    /// recomputed from the tuple set.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn remove(&mut self, tuple: &[Elem]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        let hash = tuple_hash(tuple);
+        let arity = self.arity;
+        let data = &self.data;
+        let Some(bucket) = self.dedup.get_mut(&hash) else {
+            return false;
+        };
+        let Some(slot) = bucket
+            .iter()
+            .position(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+        else {
+            return false;
+        };
+        let row = bucket.swap_remove(slot);
+        if bucket.is_empty() {
+            self.dedup.remove(&hash);
+        }
+        let last = (self.rows - 1) as u32;
+        if row != last {
+            // Move the last row into the hole and repoint its dedup entry.
+            let (head, tail) = self.data.split_at_mut(last as usize * arity);
+            head[row as usize * arity..row as usize * arity + arity]
+                .copy_from_slice(&tail[..arity]);
+            let moved_hash = tuple_hash(&self.data[row as usize * arity..][..arity]);
+            let moved = self
+                .dedup
+                .get_mut(&moved_hash)
+                .and_then(|b| b.iter_mut().find(|r| **r == last))
+                .expect("moved row is indexed");
+            *moved = row;
+        }
+        self.data.truncate(last as usize * arity);
+        self.rows -= 1;
+        self.order = OnceLock::new();
+        true
+    }
+
+    /// The canonical (lexicographically sorted) row permutation, computed on
+    /// first use after a mutation and cached.
+    fn order(&self) -> &[u32] {
+        self.order.get_or_init(|| {
+            let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+            if self.arity > 0 {
+                perm.sort_unstable_by(|&a, &b| self.row(a).cmp(self.row(b)));
+            }
+            perm
+        })
+    }
+
+    /// Iterates over tuples in canonical (lexicographic) order — the same
+    /// order a `BTreeSet<Vec<Elem>>` would produce.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            rel: self,
+            perm: self.order(),
+            next: 0,
+        }
+    }
+
+    /// Set-inclusion of tuples: every tuple of `self` occurs in `other`.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.rows <= other.rows && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        let order = OnceLock::new();
+        if let Some(perm) = self.order.get() {
+            let _ = order.set(perm.clone());
+        }
+        Relation {
+            arity: self.arity,
+            rows: self.rows,
+            data: self.data.clone(),
+            dedup: self.dedup.clone(),
+            order,
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.rows == other.rows
+            && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    /// Renders the sorted tuple set (dedup internals are elided so debug
+    /// output stays deterministic and matches the old `BTreeSet` shape).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over a [`Relation`]'s tuples in canonical order.
+pub struct Iter<'a> {
+    rel: &'a Relation,
+    perm: &'a [u32],
+    next: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a [Elem];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Elem]> {
+        let &row = self.perm.get(self.next)?;
+        self.next += 1;
+        Some(self.rel.row(row))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.perm.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Elem];
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(args: &[u32]) -> Vec<Elem> {
+        args.iter().copied().map(Elem).collect()
+    }
+
+    #[test]
+    fn insert_dedups_and_sorts() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&t(&[2, 0])));
+        assert!(r.insert(&t(&[0, 2])));
+        assert!(!r.insert(&t(&[2, 0])));
+        assert_eq!(r.len(), 2);
+        let listed: Vec<Vec<Elem>> = r.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(listed, vec![t(&[0, 2]), t(&[2, 0])]);
+        assert!(r.contains(&t(&[0, 2])));
+        assert!(!r.contains(&t(&[2, 2])));
+    }
+
+    #[test]
+    fn remove_swaps_and_reindexes() {
+        let mut r = Relation::new(1);
+        for v in 0..5 {
+            r.insert(&t(&[v]));
+        }
+        assert!(r.remove(&t(&[0]))); // not the last physical row: swap path
+        assert!(!r.remove(&t(&[0])));
+        assert_eq!(r.len(), 4);
+        for v in 1..5 {
+            assert!(r.contains(&t(&[v])), "lost {v} after swap-remove");
+        }
+        let listed: Vec<Vec<Elem>> = r.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(listed, vec![t(&[1]), t(&[2]), t(&[3]), t(&[4])]);
+    }
+
+    #[test]
+    fn zero_arity_holds_at_most_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.is_empty());
+        assert!(!r.contains(&[]));
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().count(), 1);
+        assert!(r.contains(&[]));
+        assert!(r.remove(&[]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Relation::new(2);
+        a.insert(&t(&[1, 2]));
+        a.insert(&t(&[3, 4]));
+        let mut b = Relation::new(2);
+        b.insert(&t(&[3, 4]));
+        b.insert(&t(&[1, 2]));
+        assert_eq!(a, b);
+        b.insert(&t(&[5, 6]));
+        assert_ne!(a, b);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_bytes() {
+        let mut a = Relation::new(3);
+        a.insert(&t(&[1, 2, 3]));
+        a.iter().count(); // force the order cache
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.payload_bytes(), 12);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -25,6 +25,21 @@ pub struct TgdVariantKey(Vec<u32>);
 
 const SEP: u32 = u32::MAX;
 
+impl TgdVariantKey {
+    /// The body segment of the encoded sequence (everything before the
+    /// body/head separator). The canonical body atoms are reconstructible
+    /// from this prefix, so two keys share a body prefix iff the canonical
+    /// bodies coincide — body-grouped evaluation keys its groups by it.
+    pub fn body_prefix(&self) -> &[u32] {
+        let sep = self
+            .0
+            .iter()
+            .position(|&w| w == SEP)
+            .expect("encoded key always contains the body/head separator");
+        &self.0[..sep]
+    }
+}
+
 /// State of the encoding search: atom order chosen so far and the variable
 /// renaming induced by first occurrence.
 #[derive(Clone)]
@@ -171,8 +186,75 @@ fn greedy_state(tgd: &Tgd) -> SearchState {
     st
 }
 
+/// Conjunction size up to which [`canonical_state_small`] enumerates every
+/// ordering directly (at most 6 x 6 encodings) instead of running the
+/// branch-and-bound search. The two produce the same minimal sequence; the
+/// direct loop reuses scratch buffers where the search clones its state per
+/// branch, which matters on the candidate-dedup hot path (Algorithm 1
+/// candidates rarely exceed two body atoms).
+const SMALL_LIMIT: usize = 3;
+
+fn small_perms(n: usize) -> &'static [&'static [usize]] {
+    const P0: &[&[usize]] = &[&[]];
+    const P1: &[&[usize]] = &[&[0]];
+    const P2: &[&[usize]] = &[&[0, 1], &[1, 0]];
+    const P3: &[&[usize]] = &[
+        &[0, 1, 2],
+        &[0, 2, 1],
+        &[1, 0, 2],
+        &[1, 2, 0],
+        &[2, 0, 1],
+        &[2, 1, 0],
+    ];
+    match n {
+        0 => P0,
+        1 => P1,
+        2 => P2,
+        3 => P3,
+        _ => unreachable!("small_perms called beyond SMALL_LIMIT"),
+    }
+}
+
+/// Exhaustive-by-enumeration canonical state for tiny conjunctions: encode
+/// the tgd under every (body ordering, head ordering) pair and keep the
+/// lexicographically least sequence. Equivalent to [`Canonicalizer`] (both
+/// minimize the same encoding over the same ordering space) but allocation
+/// free until a new minimum is found.
+fn canonical_state_small(tgd: &Tgd) -> SearchState {
+    let (body, head) = (tgd.body(), tgd.head());
+    let mut renaming = vec![u32::MAX; tgd.var_count()];
+    let mut seq: Vec<u32> = Vec::new();
+    let mut best: Option<SearchState> = None;
+    for &bp in small_perms(body.len()) {
+        for &hp in small_perms(head.len()) {
+            renaming.iter_mut().for_each(|slot| *slot = u32::MAX);
+            seq.clear();
+            let mut assigned = 0u32;
+            for &i in bp {
+                encode_atom(&body[i], &mut renaming, &mut assigned, &mut seq);
+            }
+            seq.push(SEP);
+            for &i in hp {
+                encode_atom(&head[i], &mut renaming, &mut assigned, &mut seq);
+            }
+            if best.as_ref().is_none_or(|b| seq < b.seq) {
+                best = Some(SearchState {
+                    renaming: renaming.clone(),
+                    assigned,
+                    seq: seq.clone(),
+                    body_order: bp.to_vec(),
+                    head_order: hp.to_vec(),
+                });
+            }
+        }
+    }
+    best.expect("at least one ordering pair")
+}
+
 fn canonical_state(tgd: &Tgd) -> SearchState {
-    if tgd.body().len() <= EXACT_LIMIT && tgd.head().len() <= EXACT_LIMIT {
+    if tgd.body().len() <= SMALL_LIMIT && tgd.head().len() <= SMALL_LIMIT {
+        canonical_state_small(tgd)
+    } else if tgd.body().len() <= EXACT_LIMIT && tgd.head().len() <= EXACT_LIMIT {
         Canonicalizer {
             body: tgd.body(),
             head: tgd.head(),
@@ -196,6 +278,14 @@ pub fn tgd_variant_key(tgd: &Tgd) -> TgdVariantKey {
 /// variable renaming and by reordering atoms within their conjunctions
 /// (exactly, up to [`EXACT_LIMIT`] atoms per conjunction).
 pub fn canonical_tgd(tgd: &Tgd) -> Tgd {
+    canonical_tgd_with_key(tgd).0
+}
+
+/// [`canonical_tgd`] and [`tgd_variant_key`] from a single canonicalization
+/// pass — both derive from the same minimal encoding, so callers needing
+/// the representative *and* the key (candidate grouping + entailment-cache
+/// keying) should not pay for the ordering search twice.
+pub fn canonical_tgd_with_key(tgd: &Tgd) -> (Tgd, TgdVariantKey) {
     let st = canonical_state(tgd);
     let rename = |atom: &Atom<Var>| -> Atom<Var> { atom.map(|v| Var(st.renaming[v.index()])) };
     let body: Vec<Atom<Var>> = st
@@ -208,7 +298,8 @@ pub fn canonical_tgd(tgd: &Tgd) -> Tgd {
         .iter()
         .map(|&i| rename(&tgd.head()[i]))
         .collect();
-    Tgd::new(body, head).expect("canonical form of a valid tgd is valid")
+    let canon = Tgd::new(body, head).expect("canonical form of a valid tgd is valid");
+    (canon, TgdVariantKey(st.seq))
 }
 
 /// Removes head atoms that already occur in the body (an

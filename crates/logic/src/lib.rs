@@ -33,7 +33,10 @@ pub mod schema;
 pub mod tgd;
 
 pub use atom::{conjunction_vars, Atom, Var};
-pub use canon::{canonical_tgd, same_up_to_renaming, simplify_tgd, tgd_variant_key, TgdVariantKey};
+pub use canon::{
+    canonical_tgd, canonical_tgd_with_key, same_up_to_renaming, simplify_tgd, tgd_variant_key,
+    TgdVariantKey,
+};
 pub use dependency::{Dependency, TgdSet};
 pub use edd::{Edd, EddDisjunct};
 pub use egd::Egd;

@@ -78,7 +78,7 @@ proptest! {
     #[test]
     fn restriction_to_adom_is_a_subinstance(a in 0u64..500, size in 0usize..5) {
         let i = instance(a, size, 0.4);
-        let r = i.restrict(&i.active_domain());
+        let r = i.restrict(i.active_domain());
         prop_assert_eq!(r.fact_count(), i.fact_count());
         prop_assert!(r.is_subinstance_of(&i));
     }

@@ -196,7 +196,7 @@ proptest! {
         let more = union(&start, &random_instance(set.schema(), extra, 3));
         let bigger = chase(&more, set.tgds(), ChaseVariant::Restricted, ChaseBudget::default());
         prop_assume!(bigger.terminated());
-        let frozen: Vec<Elem> = start.active_domain().into_iter().collect();
+        let frozen: Vec<Elem> = start.active_domain().iter().copied().collect();
         prop_assert!(
             tgdkit::chase_crate::universal_hom_into(&result.instance, &frozen, &bigger.instance)
                 .is_some(),

@@ -1,0 +1,238 @@
+//! Property-based tests for the flat tuple store and the selectivity-guided
+//! join planner: both are pure representation/ordering changes, so each is
+//! checked against a straightforward reference model — a `BTreeSet` of owned
+//! tuples for the store, and exhaustive assignment enumeration for the hom
+//! search the planner steers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use tgdkit::chase_crate::{group_by_body, group_by_body_keyed};
+use tgdkit::hom::{for_each_hom_indexed, plan_join, Binding, InstanceIndex};
+use tgdkit::instance::Relation;
+use tgdkit::logic::{canonical_tgd_with_key, Atom, PredId, TgdVariantKey};
+use tgdkit::prelude::*;
+
+/// Random tuples with heavy repetition, so inserts collide often.
+fn random_tuples(seed: u64, arity: usize, count: usize) -> Vec<Vec<Elem>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..arity)
+                .map(|_| Elem(rng.random_range(0u32..4)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// A [`Relation`] under a random insert/remove workload is
+    /// observationally equivalent to a `BTreeSet<Vec<Elem>>`: same membership
+    /// answers, same cardinality, same return values from the mutators, and
+    /// — the load-bearing invariant for chase determinism — the same
+    /// (lexicographic) iteration order.
+    #[test]
+    fn relation_matches_btreeset_model(
+        seed in 0u64..1000,
+        arity in 0usize..4,
+        ops in 1usize..80,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let tuples = random_tuples(seed, arity, ops);
+        let mut rel = Relation::new(arity);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for t in &tuples {
+            if rng.random_bool(0.7) {
+                prop_assert_eq!(rel.insert(t), model.insert(t.clone()));
+            } else {
+                prop_assert_eq!(rel.remove(t), model.remove(t));
+            }
+            prop_assert_eq!(rel.len(), model.len());
+            prop_assert_eq!(rel.is_empty(), model.is_empty());
+            // Canonical iteration order must match the tree's sorted order.
+            let flat: Vec<&[Elem]> = rel.iter().collect();
+            let tree: Vec<&[Elem]> = model.iter().map(Vec::as_slice).collect();
+            prop_assert_eq!(flat, tree);
+        }
+        for t in &tuples {
+            prop_assert_eq!(rel.contains(t), model.contains(t));
+        }
+        // Subset agrees with the model, and a clone is indistinguishable.
+        let clone = rel.clone();
+        prop_assert!(rel.is_subset(&clone) && clone.is_subset(&rel));
+        prop_assert_eq!(clone.len(), rel.len());
+        prop_assert_eq!(
+            clone.iter().collect::<Vec<_>>(),
+            rel.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// `Instance::active_domain` (incrementally occurrence-counted) always
+    /// equals the set recomputed from scratch over the current facts, across
+    /// interleaved insertions and removals.
+    #[test]
+    fn active_domain_matches_recomputation(seed in 0u64..1000, ops in 1usize..60) {
+        let schema = Schema::builder().pred("Z", 0).pred("P", 1).pred("R", 2).build();
+        let preds: Vec<PredId> = schema.preds().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = Instance::new(schema.clone());
+        for _ in 0..ops {
+            let pred = preds[rng.random_range(0..preds.len())];
+            let args: Vec<Elem> = (0..schema.arity(pred))
+                .map(|_| Elem(rng.random_range(0u32..5)))
+                .collect();
+            if rng.random_bool(0.65) {
+                inst.add_fact(pred, args);
+            } else {
+                inst.remove_fact(pred, &args);
+            }
+            let recomputed: BTreeSet<Elem> =
+                inst.facts().flat_map(|f| f.args.clone()).collect();
+            prop_assert_eq!(inst.active_domain(), &recomputed);
+        }
+    }
+
+    /// The planner-steered hom search finds exactly the homomorphisms that
+    /// exhaustive assignment enumeration finds — the plan reorders the
+    /// search, never its answer — and the answer set is invariant under
+    /// syntactic permutation of the conjunction's atoms.
+    #[test]
+    fn planned_search_matches_exhaustive_reference(
+        rule_seed in 0u64..500,
+        data_seed in 0u64..500,
+        atom_count in 1usize..4,
+        facts in 0usize..14,
+    ) {
+        let schema = Schema::builder().pred("P", 1).pred("R", 2).build();
+        let preds: Vec<PredId> = schema.preds().collect();
+        let mut rng = StdRng::seed_from_u64(rule_seed);
+        // Random conjunction with dense variable indices.
+        let raw: Vec<(PredId, Vec<u32>)> = (0..atom_count)
+            .map(|_| {
+                let pred = preds[rng.random_range(0..preds.len())];
+                let args = (0..schema.arity(pred))
+                    .map(|_| rng.random_range(0u32..3))
+                    .collect();
+                (pred, args)
+            })
+            .collect();
+        let mut used: Vec<u32> = raw.iter().flat_map(|(_, a)| a.clone()).collect();
+        used.sort_unstable();
+        used.dedup();
+        let atoms: Vec<Atom<Var>> = raw
+            .iter()
+            .map(|(pred, args)| {
+                Atom::new(
+                    *pred,
+                    args.iter()
+                        .map(|v| Var(used.binary_search(v).unwrap() as u32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let num_vars = used.len();
+
+        let mut data_rng = StdRng::seed_from_u64(data_seed);
+        let mut inst = Instance::new(schema.clone());
+        for _ in 0..facts {
+            let pred = preds[data_rng.random_range(0..preds.len())];
+            let args = (0..schema.arity(pred))
+                .map(|_| Elem(data_rng.random_range(0u32..4)))
+                .collect();
+            inst.add_fact(pred, args);
+        }
+        let index = InstanceIndex::new(&inst);
+        let domain: Vec<Elem> = inst.active_domain().iter().copied().collect();
+
+        let collect = |atoms: &[Atom<Var>]| {
+            let fixed: Binding = vec![None; num_vars];
+            let mut homs: BTreeSet<Vec<Option<Elem>>> = BTreeSet::new();
+            for_each_hom_indexed(atoms, num_vars, &index, &fixed, &mut |b| {
+                homs.insert(b.clone());
+                ControlFlow::Continue(())
+            });
+            homs
+        };
+        let found = collect(&atoms);
+
+        // Exhaustive reference: every assignment of the (dense) variables to
+        // active-domain elements that satisfies all atoms.
+        let mut expected: BTreeSet<Vec<Option<Elem>>> = BTreeSet::new();
+        let mut assignment = vec![0usize; num_vars];
+        'assignments: loop {
+            if !domain.is_empty() || num_vars == 0 {
+                let binding: Vec<Option<Elem>> =
+                    assignment.iter().map(|&i| Some(domain[i])).collect();
+                let satisfied = atoms.iter().all(|a| {
+                    let tuple: Vec<Elem> = a
+                        .args
+                        .iter()
+                        .map(|v| binding[v.index()].unwrap())
+                        .collect();
+                    inst.contains_fact(a.pred, &tuple)
+                });
+                if satisfied {
+                    expected.insert(binding);
+                }
+            }
+            let mut pos = 0;
+            loop {
+                if pos == num_vars || domain.is_empty() {
+                    break 'assignments;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < domain.len() {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+        }
+        prop_assert_eq!(&found, &expected);
+
+        // Atom order is syntax; the planner must make the answer order-free.
+        let mut permuted = atoms.clone();
+        permuted.reverse();
+        prop_assert_eq!(collect(&permuted), expected);
+
+        // The plan itself is a permutation of the atom indices.
+        let plan = plan_join(&atoms, &index, &vec![false; num_vars]);
+        let mut sorted = plan.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..atoms.len()).collect::<Vec<_>>());
+    }
+
+    /// Grouping by precomputed enumeration keys ([`group_by_body_keyed`])
+    /// yields exactly the groups of the canonicalizing path
+    /// ([`group_by_body`]) on the same canonical candidates: same group
+    /// count, same member indices, same order.
+    #[test]
+    fn keyed_grouping_matches_canonicalizing_grouping(seed in 0u64..300) {
+        let mut schema = Schema::default();
+        let text = "R(x,y) -> T(x). R(x,y) -> T(y). R(x,y) -> exists z : R(y,z). \
+                    T(x) -> exists z : R(x,z). R(x,x) -> T(x). T(x) -> T(x).";
+        let base = parse_tgds(&mut schema, text).unwrap();
+        // A shuffled, duplicated pool of canonical forms.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool: Vec<(Tgd, TgdVariantKey)> = Vec::new();
+        for _ in 0..20 {
+            let t = &base[rng.random_range(0..base.len())];
+            pool.push(canonical_tgd_with_key(t));
+        }
+        let candidates: Vec<Tgd> = pool.iter().map(|(t, _)| t.clone()).collect();
+        let keys: Vec<TgdVariantKey> = pool.iter().map(|(_, k)| k.clone()).collect();
+
+        let keyed = group_by_body_keyed(&candidates, &keys);
+        let plain = group_by_body(&candidates);
+        prop_assert_eq!(keyed.len(), plain.len());
+        for (g_keyed, g_plain) in keyed.iter().zip(&plain) {
+            let a: Vec<usize> = g_keyed.members.iter().map(|(i, _, _)| *i).collect();
+            let b: Vec<usize> = g_plain.members.iter().map(|(i, _, _)| *i).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -90,7 +90,7 @@ proptest! {
             for pos in 0..schema.arity(pred) {
                 for e in (0..6).map(Elem) {
                     for &hit in incremental.postings(pred, pos, e) {
-                        prop_assert_eq!(incremental.tuples(pred)[hit as usize][pos], e);
+                        prop_assert_eq!(incremental.tuple(pred, hit)[pos], e);
                     }
                 }
             }

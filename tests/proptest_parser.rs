@@ -134,7 +134,7 @@ proptest! {
         // Name every active element so Display output is parseable.
         let mut named = i.clone();
         named.shrink_dom_to_active();
-        for e in named.active_domain() {
+        for e in named.active_domain().clone() {
             named.set_name(e, format!("c{}", e.0));
         }
         let rendered = named.to_string();
