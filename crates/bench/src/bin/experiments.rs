@@ -31,13 +31,15 @@ use tgdkit_core::reductions::{
 };
 use tgdkit_core::rewrite::{
     evaluate_pool_keyed, frontier_guarded_to_guarded_cached,
-    frontier_guarded_to_guarded_with_stats, guarded_to_linear_cached, guarded_to_linear_governed,
+    frontier_guarded_to_guarded_with_stats, guarded_to_linear_cached,
+    guarded_to_linear_checkpointing, guarded_to_linear_governed, guarded_to_linear_resume,
     guarded_to_linear_with_stats, RewriteOptions, RewriteOutcome,
 };
 use tgdkit_core::separations::{
     cross_check_with_rewriting, guarded_vs_frontier_guarded, linear_vs_guarded, verify,
 };
 use tgdkit_core::workload::{generate_set, Family, WorkloadParams};
+use tgdkit_core::RewriteCheckpoint;
 use tgdkit_core::{TgdOntology, Verdict};
 use tgdkit_instance::InstanceGen;
 use tgdkit_logic::{parse_tgds, Schema, Tgd, TgdSet};
@@ -414,6 +416,7 @@ fn outcome_str(outcome: &RewriteOutcome) -> String {
         RewriteOutcome::NotRewritable => "not rewritable".into(),
         RewriteOutcome::Inconclusive => "inconclusive".into(),
         RewriteOutcome::Cancelled => "cancelled".into(),
+        RewriteOutcome::Suspended => "suspended".into(),
     }
 }
 
@@ -949,6 +952,68 @@ fn bench_rewrite_json(smoke: bool) {
     let bytes_per_tuple = store_instance.payload_bytes() as f64 / tuples_stored.max(1) as f64;
     let plan = tgdkit_hom::plan_stats();
 
+    // Memory probe: the same Algorithm-1 run over a branching chain, under
+    // a deliberately tight byte budget and a byte-capped entailment cache,
+    // through the checkpointing entry point. The run must *suspend* (not
+    // fail), the checkpoint must survive its binary encode/decode round
+    // trip, and resuming under the wide budget must land on exactly the
+    // untripped outcome.
+    let mem_set = branching_chain_set(3);
+    let mem_opts = RewriteOptions {
+        enumeration: EnumOptions {
+            max_candidates: 1_500,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let clean_token = CancelToken::new();
+    let probe_cache_bytes = 12 * 1024;
+    // Untripped reference run; its observed resident peak (chase arena +
+    // plateaued cache) calibrates the tight budget so the trip lands at a
+    // group boundary, never inside a member chase.
+    let mem_cache = EntailCache::with_capacity(1 << 20, probe_cache_bytes);
+    let (mem_clean, mem_clean_stats, no_cp) =
+        guarded_to_linear_checkpointing(&mem_set, &mem_opts, &mem_cache, &clean_token);
+    assert!(no_cp.is_none(), "unlimited byte budget must not suspend");
+    let tight_bytes = mem_clean_stats
+        .mem_peak_bytes
+        .saturating_sub(probe_cache_bytes / 3)
+        .max(1);
+    let tight_opts = RewriteOptions {
+        budget: ChaseBudget {
+            max_bytes: tight_bytes,
+            ..ChaseBudget::default()
+        },
+        ..mem_opts
+    };
+    let tight_cache = EntailCache::with_capacity(1 << 20, probe_cache_bytes);
+    let (mut mem_outcome, mut mem_stats, mut mem_cp) =
+        guarded_to_linear_checkpointing(&mem_set, &tight_opts, &tight_cache, &clean_token);
+    assert_eq!(
+        mem_outcome,
+        RewriteOutcome::Suspended,
+        "tight byte budget ({tight_bytes} B) did not trip"
+    );
+    let mut mem_resumes = 0usize;
+    while let Some(cp) = mem_cp {
+        let decoded = RewriteCheckpoint::decode(&cp.encode()).expect("checkpoint round-trips");
+        assert_eq!(&decoded, cp.as_ref());
+        // Resume under the wide budget: a real trip's residency is still
+        // resident, so resuming with the tight budget would re-trip.
+        let (o, s, c) =
+            guarded_to_linear_resume(&mem_set, &mem_opts, &tight_cache, &decoded, &clean_token)
+                .expect("resume context matches");
+        mem_outcome = o;
+        mem_stats = s;
+        mem_cp = c;
+        mem_resumes += 1;
+        assert!(mem_resumes <= 4, "resume chain did not converge");
+    }
+    assert_eq!(
+        mem_outcome, mem_clean,
+        "trip + resume changed the rewriting verdict"
+    );
+
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
         let total = hits + misses;
@@ -972,7 +1037,9 @@ fn bench_rewrite_json(smoke: bool) {
          \"rewrite_outcome\": \"{}\",\n  \"planner\": {{\n    \
          \"plans_built\": {},\n    \"plans_reordered\": {},\n    \
          \"atoms_planned\": {},\n    \"tuples_stored\": {},\n    \
-         \"bytes_per_tuple\": {:.2}\n  }},\n  \"deadline_ms\": {},\n  \
+         \"bytes_per_tuple\": {:.2}\n  }},\n  \"memory\": {{\n    \
+         \"peak_bytes\": {},\n    \"trips\": {},\n    \"resumes\": {},\n    \
+         \"evictions\": {}\n  }},\n  \"deadline_ms\": {},\n  \
          \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
          \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
@@ -1000,6 +1067,10 @@ fn bench_rewrite_json(smoke: bool) {
         plan.atoms_planned,
         tuples_stored,
         bytes_per_tuple,
+        mem_stats.mem_peak_bytes.max(mem_clean_stats.mem_peak_bytes),
+        mem_stats.mem_trips,
+        mem_resumes,
+        mem_stats.evictions.max(tight_cache.evictions()),
         deadline_ms,
         outcome_str(&deadline_outcome),
         ms(deadline_time),
@@ -1027,6 +1098,13 @@ fn bench_rewrite_json(smoke: bool) {
         fmt_duration(deadline_time),
         deadline_stats.body_groups,
         deadline_stats.unknown_checks,
+    );
+    println!(
+        "memory probe ({tight_bytes} B budget): {} trip(s), {} resume(s), {} eviction(s), peak {} B; verdict preserved",
+        mem_stats.mem_trips,
+        mem_resumes,
+        mem_stats.evictions.max(tight_cache.evictions()),
+        mem_stats.mem_peak_bytes.max(mem_clean_stats.mem_peak_bytes),
     );
     println!(
         "planner: {} plans built ({} reordered) over {} atoms; store: {} tuples at {:.2} bytes/tuple",

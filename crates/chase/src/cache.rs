@@ -28,13 +28,16 @@
 //! unshared, uncached path.
 
 use crate::chase::{chase_governed, ChaseBudget, ChaseOutcome, ChaseVariant};
+use crate::checkpoint::{BatchCheckpoint, CheckpointError};
 use crate::countermodel::{refute_by_countermodel_governed, SearchBudget};
 use crate::entail::{entails_auto_governed, freeze_body, Entailment};
+use crate::faults::FaultSite;
 use crate::govern::CancelToken;
 use crate::linear::entails_linear_governed;
+use crate::memory::MemoryAccountant;
 use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
@@ -46,6 +49,15 @@ use tgdkit_logic::{canonical_tgd_with_key, tgd_variant_key, Schema, Tgd, TgdVari
 /// triples. Nearly always one entry — a second appears only when the same
 /// candidate is decided under a different set or budget.
 type KeyedVerdicts = Vec<(u64, ChaseBudget, Entailment)>;
+
+/// Result of the suspendable batch entry points: per-candidate verdicts,
+/// batch stats, and the checkpoint when the run suspended on the byte
+/// budget (`None` when it ran to completion or was merely cancelled).
+pub type BatchRun = (
+    Vec<Entailment>,
+    EntailBatchStats,
+    Option<Box<BatchCheckpoint>>,
+);
 
 /// A renaming-invariant fingerprint of a tgd set, for use as the `Σ`
 /// component of an [`EntailCache`] key.
@@ -64,34 +76,107 @@ pub fn sigma_fingerprint(sigma: &[Tgd]) -> u64 {
     hasher.finish()
 }
 
-/// A concurrent memo of entailment verdicts keyed by
+/// Default key-count cap for [`EntailCache::new`]: effectively unbounded
+/// for the candidate spaces tgdkit enumerates, yet a hard backstop against
+/// pathological runs.
+pub const DEFAULT_CACHE_MAX_ENTRIES: usize = 1 << 20;
+
+/// Default resident-byte cap for [`EntailCache::new`] (256 MiB).
+pub const DEFAULT_CACHE_MAX_BYTES: usize = 256 * 1024 * 1024;
+
+/// Fixed overhead charged per cached key: one map entry, one queue slot,
+/// and the two `Vec` headers (encoded sequence + verdict bucket).
+const KEY_OVERHEAD_BYTES: usize = 96;
+
+/// Estimated resident bytes of one cached key (stored twice: map + queue).
+fn key_cost(key: &TgdVariantKey) -> usize {
+    KEY_OVERHEAD_BYTES + 2 * key.encoded_len() * std::mem::size_of::<u32>()
+}
+
+/// Estimated resident bytes of one verdict slot inside a bucket.
+const VERDICT_COST: usize = std::mem::size_of::<(u64, ChaseBudget, Entailment)>();
+
+/// The locked state of an [`EntailCache`]: the verdict map plus the
+/// eviction queue and the byte estimate, mutated together so they never
+/// drift apart.
+#[derive(Debug, Default)]
+struct CacheInner {
+    // Keyed by variant key alone (the fingerprint/budget pair discriminates
+    // inside the bucket): lookups then need no key clone and no SipHash —
+    // the map uses the deterministic Fx hasher shared with the tuple store.
+    map: HashMap<TgdVariantKey, KeyedVerdicts, FxBuildHasher>,
+    /// Keys in first-insertion order — the deterministic eviction queue.
+    queue: VecDeque<TgdVariantKey>,
+    /// Estimated resident bytes of the map and queue contents.
+    bytes: usize,
+}
+
+/// A concurrent, **bounded** memo of entailment verdicts keyed by
 /// (candidate [`tgd_variant_key`], [`sigma_fingerprint`], [`ChaseBudget`]).
 ///
 /// Shared by reference across rewriting / expressibility / characterization
 /// calls (and across worker threads within one call); all methods take
 /// `&self`. Hit/miss counters are cumulative over the cache's lifetime;
 /// per-run accounting lives in [`EntailBatchStats`].
-#[derive(Debug, Default)]
+///
+/// ## Bounds and eviction
+///
+/// The cache holds at most `max_entries` keys and an estimated
+/// `max_bytes` of resident memory ([`Self::with_capacity`]). When a store
+/// pushes past either cap, whole keys are evicted in **first-insertion
+/// (FIFO) order** — a deterministic policy, unlike recency-based ones,
+/// because it depends only on the store sequence, never on lookup timing —
+/// until the cache is back under both caps. The key being stored is never
+/// evicted by its own store, so at least the most recent entry is always
+/// retained, even under a zero cap. Evicted keys count in
+/// [`Self::evictions`].
+#[derive(Debug)]
 pub struct EntailCache {
-    // Keyed by variant key alone (the fingerprint/budget pair discriminates
-    // inside the bucket): lookups then need no key clone and no SipHash —
-    // the map uses the deterministic Fx hasher shared with the tuple store.
-    map: RwLock<HashMap<TgdVariantKey, KeyedVerdicts, FxBuildHasher>>,
+    inner: RwLock<CacheInner>,
+    max_entries: usize,
+    max_bytes: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    /// Mirror of `CacheInner::bytes`, refreshed after every store, so
+    /// memory accounting can read residency without taking the lock.
+    approx_bytes: AtomicUsize,
+}
+
+impl Default for EntailCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EntailCache {
-    /// An empty cache.
+    /// An empty cache with the default caps
+    /// ([`DEFAULT_CACHE_MAX_ENTRIES`], [`DEFAULT_CACHE_MAX_BYTES`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_BYTES)
+    }
+
+    /// An empty cache holding at most `max_entries` keys and an estimated
+    /// `max_bytes` of resident memory. The most recently stored key is
+    /// always retained, so the effective floor of both caps is one entry.
+    pub fn with_capacity(max_entries: usize, max_bytes: usize) -> Self {
+        Self {
+            inner: RwLock::default(),
+            max_entries,
+            max_bytes,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            approx_bytes: AtomicUsize::new(0),
+        }
     }
 
     /// Number of memoized verdicts.
     pub fn len(&self) -> usize {
-        self.map
+        self.inner
             .read()
             .expect("entail cache poisoned")
+            .map
             .values()
             .map(Vec::len)
             .sum()
@@ -110,6 +195,27 @@ impl EntailCache {
     /// Cumulative lookup misses.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative keys evicted by the capacity caps.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Estimated resident bytes of the cached verdicts (lock-free read of
+    /// the value maintained by the last store).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The key-count cap this cache was built with.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// The resident-byte cap this cache was built with.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
     }
 
     /// Cumulative hit rate in `[0, 1]`; `0.0` before the first lookup.
@@ -145,9 +251,10 @@ impl EntailCache {
         budget: ChaseBudget,
     ) -> Option<Entailment> {
         let v = self
-            .map
+            .inner
             .read()
             .expect("entail cache poisoned")
+            .map
             .get(key)
             .and_then(|entries| {
                 entries
@@ -165,21 +272,45 @@ impl EntailCache {
     }
 
     fn store_key(&self, key: &TgdVariantKey, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
-        let mut map = self.map.write().expect("entail cache poisoned");
-        match map.get_mut(key) {
+        let mut inner = self.inner.write().expect("entail cache poisoned");
+        match inner.map.get_mut(key) {
             Some(entries) => {
                 match entries
                     .iter_mut()
                     .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
                 {
                     Some(slot) => slot.2 = v,
-                    None => entries.push((fingerprint, budget, v)),
+                    None => {
+                        entries.push((fingerprint, budget, v));
+                        inner.bytes += VERDICT_COST;
+                    }
                 }
             }
             None => {
-                map.insert(key.clone(), vec![(fingerprint, budget, v)]);
+                inner
+                    .map
+                    .insert(key.clone(), vec![(fingerprint, budget, v)]);
+                inner.queue.push_back(key.clone());
+                inner.bytes += key_cost(key) + VERDICT_COST;
             }
         }
+        // FIFO eviction down to both caps; the key just stored is skipped
+        // (rotated to the back) so a store can never erase its own verdict.
+        while inner.map.len() > 1
+            && (inner.map.len() > self.max_entries || inner.bytes > self.max_bytes)
+        {
+            let victim = inner.queue.pop_front().expect("queue tracks map keys");
+            if victim == *key {
+                inner.queue.push_back(victim);
+                continue;
+            }
+            if let Some(entries) = inner.map.remove(&victim) {
+                let freed = key_cost(&victim) + entries.len() * VERDICT_COST;
+                inner.bytes = inner.bytes.saturating_sub(freed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.approx_bytes.store(inner.bytes, Ordering::Relaxed);
     }
 }
 
@@ -272,6 +403,9 @@ pub struct EntailBatchStats {
     pub cache_hits: usize,
     /// Lookups that missed and forced an evaluation.
     pub cache_misses: usize,
+    /// Keys evicted from the bounded [`EntailCache`] during this batch
+    /// (approximate when the cache is concurrently shared with other runs).
+    pub evictions: usize,
     /// Aggregated engine stats of the body chases.
     pub chase: ChaseStats,
 }
@@ -285,6 +419,7 @@ impl EntailBatchStats {
         self.heads_probed += other.heads_probed;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.evictions += other.evictions;
         self.chase.absorb(&other.chase);
     }
 }
@@ -317,6 +452,13 @@ pub fn evaluate_group(
     stats: &mut EntailBatchStats,
     token: &CancelToken,
 ) -> Vec<(usize, Entailment)> {
+    // Injected memory trips belong to the *suspension* sites (the batch's
+    // group boundaries), where a checkpoint can recover them. Inside the
+    // group they would degrade verdicts unrecoverably — that failure mode
+    // is `FaultSite::BudgetTrip`'s job — so the member chases run under a
+    // view of the token that masks the injection (real byte governance is
+    // untouched; it is deterministic and hits clean reruns identically).
+    let token = &token.masking_fault(FaultSite::MemBudgetTrip);
     let sigma_linear = !sigma.is_empty() && sigma.iter().all(Tgd::is_linear);
     let mut shared: Option<(InstanceIndex, ChaseOutcome)> = None;
     let mut verdicts = Vec::with_capacity(group.members.len());
@@ -427,8 +569,10 @@ pub fn entails_batch(
 
 /// [`entails_batch`] under a [`CancelToken`]: once the token reports
 /// cancellation, remaining groups are skipped and their candidates settle
-/// as `Unknown` (pre-initialized below), so the returned vector is always
-/// full-length and sound.
+/// as `Unknown` (pre-initialized in the shared loop), so the returned
+/// vector is always full-length and sound. The batch also trips on the
+/// byte budget at group boundaries (same sites as the checkpointing entry
+/// point), settling remaining candidates as `Unknown`.
 pub fn entails_batch_governed(
     schema: &Schema,
     sigma: &[Tgd],
@@ -437,23 +581,156 @@ pub fn entails_batch_governed(
     cache: Option<&EntailCache>,
     token: &CancelToken,
 ) -> (Vec<Entailment>, EntailBatchStats) {
-    let mut stats = EntailBatchStats {
-        candidates: candidates.len(),
-        ..Default::default()
-    };
+    let fp = sigma_fingerprint(sigma);
+    let (verdicts, stats, _) =
+        batch_impl(schema, sigma, candidates, budget, cache, token, None, fp);
+    (verdicts, stats)
+}
+
+/// [`entails_batch_governed`] that additionally returns a resumable
+/// [`BatchCheckpoint`] when the run suspends on the byte budget
+/// ([`ChaseBudget::max_bytes`]) or an injected
+/// [`FaultSite::MemBudgetTrip`].
+///
+/// Memory is charged at **group boundaries**: before each body group the
+/// accountant observes the cache's resident bytes plus the peak chase
+/// arena so far, and a trip suspends the batch with every already-decided
+/// verdict captured in the checkpoint (remaining candidates stay
+/// `Unknown`, which is sound). Feeding the checkpoint to
+/// [`entails_batch_resume`] — with the same budget after an injected trip,
+/// or a larger one (or a smaller cache) after a real byte trip, which
+/// would otherwise re-trip at the first boundary — completes the batch
+/// with verdicts identical to an uninterrupted run. A run that finishes
+/// (or is merely cancelled) returns no checkpoint.
+pub fn entails_batch_checkpointing(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: Option<&EntailCache>,
+    token: &CancelToken,
+) -> BatchRun {
+    let fp = sigma_fingerprint(sigma);
+    batch_impl(schema, sigma, candidates, budget, cache, token, None, fp)
+}
+
+/// Resumes a suspended [`entails_batch_checkpointing`] run.
+///
+/// `schema`, `sigma`, and `candidates` must be the ones the checkpoint was
+/// taken under; the tgd-set fingerprint, candidate count and body-group
+/// count are validated and a mismatch is a typed
+/// [`CheckpointError::ContextMismatch`], never a wrong verdict. `budget`
+/// is absolute, not incremental — resume with the suspended budget after
+/// an injected trip, or a larger `max_bytes` after a real one.
+pub fn entails_batch_resume(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: Option<&EntailCache>,
+    checkpoint: &BatchCheckpoint,
+    token: &CancelToken,
+) -> Result<BatchRun, CheckpointError> {
+    let fp = sigma_fingerprint(sigma);
+    if checkpoint.sigma_fp != fp {
+        return Err(CheckpointError::ContextMismatch("tgd set"));
+    }
+    if checkpoint.verdicts.len() != candidates.len() {
+        return Err(CheckpointError::ContextMismatch("candidate count"));
+    }
+    if checkpoint.done.len() != group_by_body(candidates).len() {
+        return Err(CheckpointError::ContextMismatch("body-group count"));
+    }
+    Ok(batch_impl(
+        schema,
+        sigma,
+        candidates,
+        budget,
+        cache,
+        token,
+        Some(checkpoint),
+        fp,
+    ))
+}
+
+/// Shared loop of the batch entry points: group, skip groups already done
+/// by a resumed checkpoint, charge memory at each group boundary, evaluate.
+#[allow(clippy::too_many_arguments)]
+fn batch_impl(
+    schema: &Schema,
+    sigma: &[Tgd],
+    candidates: &[Tgd],
+    budget: ChaseBudget,
+    cache: Option<&EntailCache>,
+    token: &CancelToken,
+    resume: Option<&BatchCheckpoint>,
+    sigma_fp: u64,
+) -> BatchRun {
     let groups = group_by_body(candidates);
-    stats.body_groups = groups.len();
-    let keyed = cache.map(|c| (c, sigma_fingerprint(sigma)));
-    let mut verdicts = vec![Entailment::Unknown; candidates.len()];
-    for group in &groups {
+    let (mut stats, mut verdicts, mut done, mut tainted) = match resume {
+        Some(cp) => {
+            let mut stats = cp.stats;
+            stats.chase.resumes += 1;
+            (
+                stats,
+                cp.verdicts.clone(),
+                cp.done.clone(),
+                cp.cache_tainted,
+            )
+        }
+        None => {
+            let stats = EntailBatchStats {
+                candidates: candidates.len(),
+                body_groups: groups.len(),
+                ..Default::default()
+            };
+            (
+                stats,
+                vec![Entailment::Unknown; candidates.len()],
+                vec![false; groups.len()],
+                false,
+            )
+        }
+    };
+    let accountant = MemoryAccountant::new(budget.max_bytes);
+    let keyed = cache.map(|c| (c, sigma_fp));
+    let evictions_before = cache.map_or(0, EntailCache::evictions);
+    let mut suspended = false;
+    for (gi, group) in groups.iter().enumerate() {
+        if done[gi] {
+            continue;
+        }
         if token.is_cancelled() {
+            break;
+        }
+        let resident = cache.map_or(0, EntailCache::approx_bytes) + stats.chase.mem_peak_bytes;
+        if accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip) {
+            stats.chase.mem_trips += 1;
+            suspended = true;
             break;
         }
         for (idx, v) in evaluate_group(schema, sigma, group, budget, keyed, &mut stats, token) {
             verdicts[idx] = v;
         }
+        done[gi] = true;
     }
-    (verdicts, stats)
+    if let Some(c) = cache {
+        stats.evictions += c.evictions().saturating_sub(evictions_before);
+    }
+    tainted = tainted || token.is_tainted();
+    let checkpoint = if suspended {
+        Some(Box::new(BatchCheckpoint {
+            sigma_fp,
+            budget,
+            done,
+            verdicts: verdicts.clone(),
+            stats,
+            cache_tainted: tainted,
+        }))
+    } else {
+        None
+    };
+    (verdicts, stats, checkpoint)
 }
 
 /// [`crate::entails_auto`] through an [`EntailCache`].
@@ -648,6 +925,215 @@ mod tests {
         let _ = entails_auto_cached(&s, &sigma, &candidate, ChaseBudget::small(), &cache);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_insertion_order() {
+        let mut s = Schema::default();
+        let keys: Vec<TgdVariantKey> = ["R(x,y) -> T(x)", "R(x,y) -> T(y)", "R(x,x) -> T(x)"]
+            .iter()
+            .map(|t| tgd_variant_key(&parse_tgd(&mut s, t).unwrap()))
+            .collect();
+        let budget = ChaseBudget::default();
+        for _ in 0..2 {
+            // Two identical passes: eviction is a function of the store
+            // sequence alone, so the outcome must repeat exactly.
+            let cache = EntailCache::with_capacity(2, usize::MAX);
+            for k in &keys {
+                cache.store_key(k, 1, budget, Entailment::Proved);
+            }
+            assert_eq!(cache.evictions(), 1);
+            assert_eq!(
+                cache.lookup_key(&keys[0], 1, budget),
+                None,
+                "oldest key is the FIFO victim"
+            );
+            assert_eq!(
+                cache.lookup_key(&keys[1], 1, budget),
+                Some(Entailment::Proved)
+            );
+            assert_eq!(
+                cache.lookup_key(&keys[2], 1, budget),
+                Some(Entailment::Proved)
+            );
+        }
+    }
+
+    #[test]
+    fn byte_cap_keeps_at_least_the_newest_entry() {
+        let mut s = Schema::default();
+        let a = tgd_variant_key(&parse_tgd(&mut s, "R(x,y) -> T(x)").unwrap());
+        let b = tgd_variant_key(&parse_tgd(&mut s, "R(x,y) -> T(y)").unwrap());
+        let budget = ChaseBudget::default();
+        let cache = EntailCache::with_capacity(usize::MAX, 1);
+        cache.store_key(&a, 1, budget, Entailment::Proved);
+        assert_eq!(
+            cache.lookup_key(&a, 1, budget),
+            Some(Entailment::Proved),
+            "a lone over-cap entry is still retained"
+        );
+        cache.store_key(&b, 1, budget, Entailment::Disproved);
+        assert_eq!(cache.lookup_key(&a, 1, budget), None);
+        assert_eq!(cache.lookup_key(&b, 1, budget), Some(Entailment::Disproved));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn injected_trip_checkpoint_resume_matches_uninterrupted() {
+        use crate::faults::FaultPlan;
+        let (s, sigma) = schema_and_sigma(
+            "E(x,y) -> E(y,x). E(x,y), E(y,z) -> E(x,z). P(x) -> exists z : E(x,z).",
+        );
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "E(x,y) -> E(x,x)").unwrap(),
+            parse_tgd(&mut s2, "E(x,y) -> P(x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> exists w : E(w,x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> E(x,x)").unwrap(),
+        ];
+        let budget = ChaseBudget::default();
+        let (plain, plain_stats) = entails_batch(&s, &sigma, &candidates, budget, None);
+        for seed in 0..6u64 {
+            let plan = if seed == 0 {
+                FaultPlan::always(FaultSite::MemBudgetTrip)
+            } else {
+                FaultPlan::only(seed, FaultSite::MemBudgetTrip, 2)
+            };
+            let token = CancelToken::with_faults(plan);
+            let (_, _, cp) =
+                entails_batch_checkpointing(&s, &sigma, &candidates, budget, None, &token);
+            let Some(cp) = cp else { continue };
+            // Round-trip through the binary frame, as a real caller would.
+            let cp = BatchCheckpoint::decode(&cp.encode()).unwrap();
+            let (resumed, resumed_stats, again) = entails_batch_resume(
+                &s,
+                &sigma,
+                &candidates,
+                budget,
+                None,
+                &cp,
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert!(again.is_none(), "fault-free resume runs to completion");
+            assert_eq!(resumed, plain, "seed {seed}");
+            assert!(resumed_stats.chase.mem_trips >= 1);
+            assert_eq!(resumed_stats.chase.resumes, 1);
+            assert_eq!(
+                resumed_stats.chase.normalized(),
+                plain_stats.chase.normalized(),
+                "seed {seed}"
+            );
+            assert_eq!(resumed_stats.bodies_chased, plain_stats.bodies_chased);
+            assert_eq!(resumed_stats.heads_probed, plain_stats.heads_probed);
+        }
+        // seed 0 (`always`) is guaranteed to suspend, so the loop body ran.
+    }
+
+    #[test]
+    fn real_byte_trip_suspends_and_larger_budget_resumes() {
+        let (s, sigma) = schema_and_sigma("R(x,y) -> T(x).");
+        let mut s2 = s.clone();
+        let candidates: Vec<Tgd> = [
+            "R(x,y) -> T(x)",
+            "R(x,y) -> T(y)",
+            "R(x,x) -> T(x)",
+            "T(x) -> exists y : R(x,y)",
+            "R(x,y), R(y,z) -> T(x)",
+            "T(x), T(y) -> R(x,y)",
+        ]
+        .iter()
+        .map(|t| parse_tgd(&mut s2, t).unwrap())
+        .collect();
+        let (plain, _) = entails_batch(&s, &sigma, &candidates, ChaseBudget::default(), None);
+        // Tight byte budget: roomy enough for each tiny body chase, tight
+        // enough that cache residency + arena peak crosses it mid-batch.
+        let tight = ChaseBudget {
+            max_bytes: 700,
+            ..ChaseBudget::default()
+        };
+        let cache = EntailCache::new();
+        let (_, stats, cp) = entails_batch_checkpointing(
+            &s,
+            &sigma,
+            &candidates,
+            tight,
+            Some(&cache),
+            &CancelToken::new(),
+        );
+        let cp = cp.expect("tight byte budget suspends the batch");
+        assert!(stats.chase.mem_trips >= 1);
+        assert!(cp.groups_done() < cp.groups_total());
+        // Same budget after a real trip re-trips immediately at the first
+        // boundary — the residency that tripped is still resident.
+        let (_, _, re) = entails_batch_resume(
+            &s,
+            &sigma,
+            &candidates,
+            tight,
+            Some(&cache),
+            &cp,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert!(
+            re.is_some(),
+            "same-budget resume after a real trip re-trips"
+        );
+        let (resumed, resumed_stats, none) = entails_batch_resume(
+            &s,
+            &sigma,
+            &candidates,
+            ChaseBudget::default(),
+            Some(&cache),
+            &cp,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert!(none.is_none());
+        assert_eq!(resumed, plain);
+        assert_eq!(resumed_stats.chase.resumes, 1);
+    }
+
+    #[test]
+    fn batch_resume_rejects_wrong_context() {
+        let (s, sigma) = schema_and_sigma("R(x,y) -> T(x).");
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "R(x,y) -> T(x)").unwrap(),
+            parse_tgd(&mut s2, "R(x,y) -> T(y)").unwrap(),
+        ];
+        let token =
+            CancelToken::with_faults(crate::faults::FaultPlan::always(FaultSite::MemBudgetTrip));
+        let budget = ChaseBudget::default();
+        let (_, _, cp) = entails_batch_checkpointing(&s, &sigma, &candidates, budget, None, &token);
+        let cp = cp.unwrap();
+        let (_, other) = schema_and_sigma("R(x,y) -> T(y).");
+        assert!(matches!(
+            entails_batch_resume(
+                &s,
+                &other,
+                &candidates,
+                budget,
+                None,
+                &cp,
+                &CancelToken::new()
+            ),
+            Err(CheckpointError::ContextMismatch("tgd set"))
+        ));
+        assert!(matches!(
+            entails_batch_resume(
+                &s,
+                &sigma,
+                &candidates[..1],
+                budget,
+                None,
+                &cp,
+                &CancelToken::new()
+            ),
+            Err(CheckpointError::ContextMismatch("candidate count"))
+        ));
     }
 
     #[test]

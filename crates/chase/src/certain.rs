@@ -132,7 +132,8 @@ mod tests {
                 &q,
                 ChaseBudget {
                     max_facts: 50,
-                    max_rounds: 8
+                    max_rounds: 8,
+                    max_bytes: usize::MAX
                 }
             ),
             Some(true)
@@ -147,7 +148,8 @@ mod tests {
                 &q2,
                 ChaseBudget {
                     max_facts: 50,
-                    max_rounds: 8
+                    max_rounds: 8,
+                    max_bytes: usize::MAX
                 }
             ),
             None

@@ -1,8 +1,10 @@
 //! The chase procedure (restricted and oblivious variants) with labeled
 //! nulls and explicit budgets.
 
+use crate::checkpoint::{tgds_fingerprint, ChaseCheckpoint, CheckpointError};
 use crate::faults::{FaultSite, INJECTED_PANIC};
 use crate::govern::CancelToken;
+use crate::memory::MemoryAccountant;
 use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -29,8 +31,21 @@ pub enum ChaseVariant {
 /// Resource budget for a chase run.
 ///
 /// The chase of tgds with existential variables may not terminate; budgets
-/// turn divergence into an explicit [`ChaseOutcome::BudgetExceeded`] result
-/// that downstream reasoning treats conservatively.
+/// turn divergence into an explicit [`ChaseOutcome::BudgetExceeded`] (or
+/// [`ChaseOutcome::MemoryExceeded`]) result that downstream reasoning
+/// treats conservatively.
+///
+/// All three limits are enforced at **round boundaries**: a run stops
+/// before a round when the previous rounds pushed it past a cap, so a
+/// single round may overshoot `max_facts`/`max_bytes` by its own
+/// production (a 4× mid-round guard bounds pathological rounds). This is
+/// what makes a tripped run a clean *round prefix* — resumable from a
+/// [`crate::ChaseCheckpoint`] byte-identically.
+///
+/// Zero values are honored, not silently bypassed: `max_rounds: 0` trips
+/// before round one with an untouched instance, and `max_facts: 0` on a
+/// nonempty start trips before any trigger search (it used to be able to
+/// report `Terminated` without ever consulting the budget).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChaseBudget {
     /// Maximum number of facts in the chased instance.
@@ -38,6 +53,27 @@ pub struct ChaseBudget {
     /// Maximum number of chase rounds (each round fires all triggers found
     /// at its start).
     pub max_rounds: usize,
+    /// Maximum heap residency of the instance arena in bytes
+    /// ([`tgdkit_instance::Instance::heap_bytes`]), charged through a
+    /// [`crate::MemoryAccountant`]; `usize::MAX` (the default) disables
+    /// the cap. `Default::default()` honors the `TGDKIT_BUDGET_MAX_BYTES`
+    /// environment variable.
+    pub max_bytes: usize,
+}
+
+/// `TGDKIT_BUDGET_MAX_BYTES` parsed once per process: a positive integer
+/// byte cap applied by `ChaseBudget::default()`; unset, unparsable, or
+/// zero means unlimited.
+fn env_max_bytes() -> usize {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| parse_max_bytes(std::env::var("TGDKIT_BUDGET_MAX_BYTES").ok().as_deref()))
+}
+
+fn parse_max_bytes(var: Option<&str>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(usize::MAX)
 }
 
 impl Default for ChaseBudget {
@@ -45,6 +81,7 @@ impl Default for ChaseBudget {
         ChaseBudget {
             max_facts: 20_000,
             max_rounds: 128,
+            max_bytes: env_max_bytes(),
         }
     }
 }
@@ -55,6 +92,7 @@ impl ChaseBudget {
         ChaseBudget {
             max_facts: 2_000,
             max_rounds: 32,
+            max_bytes: usize::MAX,
         }
     }
 
@@ -63,6 +101,7 @@ impl ChaseBudget {
         ChaseBudget {
             max_facts: 200_000,
             max_rounds: 512,
+            max_bytes: usize::MAX,
         }
     }
 }
@@ -72,9 +111,15 @@ impl ChaseBudget {
 pub enum ChaseOutcome {
     /// A fixpoint: the result satisfies every tgd of the input set.
     Terminated,
-    /// The budget ran out; the result is a *partial* chase (sound for
-    /// positive entailment, useless for refutation).
+    /// The round or fact budget ran out; the result is a *partial* chase
+    /// (sound for positive entailment, useless for refutation).
     BudgetExceeded,
+    /// The byte budget ([`ChaseBudget::max_bytes`]) tripped at a round
+    /// boundary — same soundness as [`ChaseOutcome::BudgetExceeded`], but
+    /// distinguishable so callers can shed memory (or resume from a
+    /// [`crate::ChaseCheckpoint`] with a larger budget) instead of giving
+    /// the run more rounds.
+    MemoryExceeded,
     /// The run was cut off by a [`CancelToken`] — explicit cancellation,
     /// deadline expiry, or a contained worker panic. The result is the
     /// partial chase *as of the last completed round* (the aborted round's
@@ -173,7 +218,9 @@ pub fn chase(
         TriggerSearch::Auto,
         &CancelToken::new(),
         None,
+        None,
     )
+    .0
 }
 
 /// [`chase`] with an explicit [`TriggerSearch`] policy.
@@ -200,7 +247,9 @@ pub fn chase_configured(
         search,
         &CancelToken::new(),
         None,
+        None,
     )
+    .0
 }
 
 /// [`chase_configured`] under a [`CancelToken`]: the token is checked at
@@ -221,7 +270,7 @@ pub fn chase_governed(
     search: TriggerSearch,
     token: &CancelToken,
 ) -> ChaseResult {
-    chase_impl(start, tgds, variant, budget, search, token, None)
+    chase_impl(start, tgds, variant, budget, search, token, None, None).0
 }
 
 /// [`chase`] with a derivation log: every fired trigger is recorded with
@@ -242,7 +291,9 @@ pub fn chase_with_provenance(
         TriggerSearch::Auto,
         &CancelToken::new(),
         Some(&mut provenance),
-    );
+        None,
+    )
+    .0;
     (result, provenance)
 }
 
@@ -469,6 +520,20 @@ fn find_triggers(
     }
 }
 
+/// End-of-run internals handed back by [`chase_impl`] so the
+/// checkpointing entry points can capture resumable state without
+/// re-deriving it.
+struct ChaseRunEnd {
+    next_null: u32,
+    fired: Vec<BTreeSet<Vec<Elem>>>,
+    delta: Option<Vec<Fact>>,
+    /// `false` when the run stopped mid-round (the 4× fact-overshoot
+    /// guard): the state is not on a round boundary and must not be
+    /// checkpointed.
+    resumable: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn chase_impl(
     start: &Instance,
     tgds: &[Tgd],
@@ -477,20 +542,44 @@ fn chase_impl(
     search: TriggerSearch,
     token: &CancelToken,
     mut log: Option<&mut Provenance>,
-) -> ChaseResult {
+    resume: Option<&ChaseCheckpoint>,
+) -> (ChaseResult, ChaseRunEnd) {
     let run_started = Instant::now();
-    let mut stats = ChaseStats::default();
-    let mut instance = start.clone();
-    let mut nulls: BTreeSet<Elem> = BTreeSet::new();
-    let mut next_null = instance.fresh_elem().0;
-    // For the oblivious chase: triggers already fired, per tgd.
-    let mut fired: Vec<BTreeSet<Vec<Elem>>> = vec![BTreeSet::new(); tgds.len()];
+    // Fresh run state, or the captured state of a suspended run. Budgets
+    // are absolute across trip + resume: `rounds` continues counting from
+    // the checkpoint, so resuming with the same budget that tripped stops
+    // again immediately — callers resume with a larger one.
+    let (mut instance, mut nulls, mut next_null, mut fired, mut delta, mut stats);
+    let mut rounds: usize;
+    match resume {
+        None => {
+            instance = start.clone();
+            nulls = BTreeSet::new();
+            next_null = instance.fresh_elem().0;
+            fired = vec![BTreeSet::new(); tgds.len()];
+            delta = None;
+            stats = ChaseStats::default();
+            rounds = 0;
+        }
+        Some(cp) => {
+            instance = cp.instance.clone();
+            nulls = cp.nulls.clone();
+            next_null = cp.next_null;
+            fired = if cp.fired.is_empty() {
+                vec![BTreeSet::new(); tgds.len()]
+            } else {
+                cp.fired.clone()
+            };
+            delta = cp.delta.clone();
+            stats = cp.stats;
+            stats.resumes += 1;
+            rounds = cp.rounds;
+        }
+    }
     let head_cqs: Vec<Cq> = tgds
         .iter()
         .map(|t| Cq::boolean(t.head().to_vec()))
         .collect();
-    // Facts added in the previous round (None = first round: full search).
-    let mut delta: Option<Vec<Fact>> = None;
 
     // ONE index lives across the whole run: built here, then grown with
     // O(|Δ|) `extend` calls as triggers fire, instead of the former O(|I|)
@@ -499,11 +588,18 @@ fn chase_impl(
     let mut index = InstanceIndex::new(&instance);
     stats.index_rebuilds += 1;
 
-    let mut rounds = 0usize;
+    let accountant = MemoryAccountant::new(budget.max_bytes);
+    // Mid-round emergency stop: rounds are atomic for budget purposes, but
+    // a single pathological round must not allocate unboundedly past the
+    // cap. Tripping here loses the round boundary, so no checkpoint.
+    let hard_fact_cap = budget.max_facts.saturating_mul(4);
+    let mut resumable = true;
+
     let outcome = 'run: loop {
         // Every cutoff below lands on a round boundary, so a cancelled (or
         // fault-tripped) run's instance is exactly the state after its last
-        // completed round — the prefix property the proptests pin down.
+        // completed round — the prefix property the proptests pin down,
+        // and the state a `ChaseCheckpoint` captures.
         if token.is_cancelled() {
             break 'run ChaseOutcome::Cancelled;
         }
@@ -512,6 +608,13 @@ fn chase_impl(
         }
         if rounds >= budget.max_rounds {
             break 'run ChaseOutcome::BudgetExceeded;
+        }
+        if instance.fact_count() > budget.max_facts {
+            break 'run ChaseOutcome::BudgetExceeded;
+        }
+        if accountant.charge_to(instance.heap_bytes()) || token.fault(FaultSite::MemBudgetTrip) {
+            stats.mem_trips += 1;
+            break 'run ChaseOutcome::MemoryExceeded;
         }
         rounds += 1;
 
@@ -563,8 +666,9 @@ fn chase_impl(
                     }
                     fired_this_round = true;
                     stats.triggers_fired += 1;
-                    if instance.fact_count() > budget.max_facts {
+                    if instance.fact_count() > hard_fact_cap {
                         stats.apply_time += apply_started.elapsed();
+                        resumable = false;
                         break 'run ChaseOutcome::BudgetExceeded;
                     }
                 }
@@ -625,8 +729,9 @@ fn chase_impl(
             }
             fired_this_round = true;
             stats.triggers_fired += 1;
-            if instance.fact_count() > budget.max_facts {
+            if instance.fact_count() > hard_fact_cap {
                 stats.apply_time += apply_started.elapsed();
+                resumable = false;
                 break 'run ChaseOutcome::BudgetExceeded;
             }
         }
@@ -645,15 +750,111 @@ fn chase_impl(
         delta = Some(added_this_round);
     };
 
+    // Final high-water observation (the loop's charge sites see round
+    // starts only, not the last round's growth).
+    accountant.observe(instance.heap_bytes());
+    stats.mem_peak_bytes = stats.mem_peak_bytes.max(accountant.peak_bytes());
     stats.rounds = rounds;
-    stats.total_time = run_started.elapsed();
-    ChaseResult {
-        instance,
-        outcome,
-        nulls,
-        rounds,
-        stats,
+    // `+=` not `=`: a resumed run accumulates wall time across segments.
+    stats.total_time += run_started.elapsed();
+    (
+        ChaseResult {
+            instance,
+            outcome,
+            nulls,
+            rounds,
+            stats,
+        },
+        ChaseRunEnd {
+            next_null,
+            fired,
+            delta,
+            resumable,
+        },
+    )
+}
+
+/// Builds the checkpoint for a non-terminated, round-boundary stop.
+fn capture_checkpoint(
+    result: &ChaseResult,
+    end: ChaseRunEnd,
+    variant: ChaseVariant,
+    sigma_fp: u64,
+) -> Option<Box<ChaseCheckpoint>> {
+    if result.outcome == ChaseOutcome::Terminated || !end.resumable {
+        return None;
     }
+    Some(Box::new(ChaseCheckpoint {
+        variant,
+        rounds: result.rounds,
+        next_null: end.next_null,
+        sigma_fp,
+        nulls: result.nulls.clone(),
+        // Restricted runs never consult `fired`; drop it from the capture.
+        fired: match variant {
+            ChaseVariant::Oblivious => end.fired,
+            ChaseVariant::Restricted => Vec::new(),
+        },
+        delta: end.delta,
+        stats: result.stats,
+        instance: result.instance.clone(),
+    }))
+}
+
+/// [`chase_governed`] that additionally captures a [`ChaseCheckpoint`]
+/// whenever the run stops short of a fixpoint on a resumable round
+/// boundary (budget, memory, or cancellation trip). Feed the checkpoint to
+/// [`chase_resume`] — with a larger budget, since budgets are absolute
+/// across segments — to continue the run byte-identically to one that was
+/// never interrupted.
+pub fn chase_checkpointing(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    search: TriggerSearch,
+    token: &CancelToken,
+) -> (ChaseResult, Option<Box<ChaseCheckpoint>>) {
+    let sigma_fp = tgds_fingerprint(tgds);
+    let (result, end) = chase_impl(start, tgds, variant, budget, search, token, None, None);
+    let checkpoint = capture_checkpoint(&result, end, variant, sigma_fp);
+    (result, checkpoint)
+}
+
+/// Continues a suspended chase from `checkpoint` under a (typically
+/// larger) budget. The tgd set must be the one the checkpoint was captured
+/// from — validated by an order-sensitive fingerprint, since trigger
+/// ordering is positional — and the run continues with the captured
+/// variant, frontier, null counter, and stats, so the final result is
+/// byte-identical to an uninterrupted run with the final budget. Returns a
+/// fresh checkpoint when the resumed run trips again.
+pub fn chase_resume(
+    checkpoint: &ChaseCheckpoint,
+    tgds: &[Tgd],
+    budget: ChaseBudget,
+    search: TriggerSearch,
+    token: &CancelToken,
+) -> Result<(ChaseResult, Option<Box<ChaseCheckpoint>>), CheckpointError> {
+    let sigma_fp = tgds_fingerprint(tgds);
+    if checkpoint.sigma_fp != sigma_fp {
+        return Err(CheckpointError::ContextMismatch("tgd set"));
+    }
+    if !checkpoint.fired.is_empty() && checkpoint.fired.len() != tgds.len() {
+        return Err(CheckpointError::ContextMismatch("fired-set arity"));
+    }
+    let variant = checkpoint.variant;
+    let (result, end) = chase_impl(
+        &checkpoint.instance,
+        tgds,
+        variant,
+        budget,
+        search,
+        token,
+        None,
+        Some(checkpoint),
+    );
+    let next = capture_checkpoint(&result, end, variant, sigma_fp);
+    Ok((result, next))
 }
 
 /// The **core chase**: a restricted chase followed by core minimization
@@ -770,9 +971,16 @@ pub fn chase_with_egds(
             });
         }
         if result.outcome != ChaseOutcome::Terminated || rounds_total >= budget.max_rounds {
+            // Keep the specific cutoff kind (memory vs rounds/facts) when
+            // the inner pass was itself cut off.
+            let outcome = if result.outcome == ChaseOutcome::Terminated {
+                ChaseOutcome::BudgetExceeded
+            } else {
+                result.outcome
+            };
             return Ok(ChaseResult {
                 instance: result.instance,
-                outcome: ChaseOutcome::BudgetExceeded,
+                outcome,
                 nulls: all_nulls,
                 rounds: rounds_total,
                 stats: stats_total,
@@ -888,6 +1096,7 @@ mod tests {
             ChaseBudget {
                 max_facts: 500,
                 max_rounds: 1_000,
+                max_bytes: usize::MAX,
             },
         );
         assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
@@ -1245,6 +1454,7 @@ mod tests {
                     ChaseBudget {
                         max_facts: usize::MAX,
                         max_rounds: j,
+                        max_bytes: usize::MAX,
                     },
                 )
                 .instance
@@ -1272,5 +1482,257 @@ mod tests {
                 assert_eq!(result.instance, prefixes[result.rounds]);
             }
         }
+    }
+
+    #[test]
+    fn max_bytes_env_parse_rules() {
+        assert_eq!(parse_max_bytes(None), usize::MAX);
+        assert_eq!(parse_max_bytes(Some("")), usize::MAX);
+        assert_eq!(parse_max_bytes(Some("not a number")), usize::MAX);
+        // Zero means "unset", not "trip immediately on an empty arena".
+        assert_eq!(parse_max_bytes(Some("0")), usize::MAX);
+        assert_eq!(parse_max_bytes(Some(" 4096 ")), 4096);
+    }
+
+    #[test]
+    fn zero_fact_budget_trips_before_any_trigger_search() {
+        let mut s = Schema::default();
+        // A trivially satisfied rule: nothing would ever fire, so the old
+        // mid-round check never ran and the chase reported Terminated
+        // despite the zero budget. The round-start check trips first now.
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(x,y).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget {
+                max_facts: 0,
+                max_rounds: 100,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.stats.triggers_found, 0);
+        assert_eq!(result.instance, start);
+        // An empty start under a zero budget is a genuine (empty) fixpoint.
+        let empty = parse_instance(&mut s, "").unwrap();
+        let empty_result = chase(
+            &empty,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget {
+                max_facts: 0,
+                max_rounds: 100,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(empty_result.outcome, ChaseOutcome::Terminated);
+    }
+
+    #[test]
+    fn zero_round_budget_reports_budget_exceeded_untouched() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let result = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget {
+                max_facts: 1_000,
+                max_rounds: 0,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.instance, start);
+    }
+
+    #[test]
+    fn byte_budget_trips_with_memory_exceeded() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let tight = ChaseBudget {
+            max_facts: usize::MAX,
+            max_rounds: 1_000,
+            max_bytes: start.heap_bytes() + 64,
+        };
+        let result = chase(&start, &tgds, ChaseVariant::Restricted, tight);
+        assert_eq!(result.outcome, ChaseOutcome::MemoryExceeded);
+        assert_eq!(result.stats.mem_trips, 1);
+        assert!(result.stats.mem_peak_bytes > tight.max_bytes);
+        // The trip landed on a round boundary: the instance is a round
+        // prefix of the unbounded run.
+        let unbounded = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget {
+                max_facts: usize::MAX,
+                max_rounds: result.rounds,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(result.instance, unbounded.instance);
+    }
+
+    #[test]
+    fn injected_mem_trip_reports_memory_exceeded() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b), E(b,c), E(c,d)").unwrap();
+        let token =
+            CancelToken::with_faults(crate::faults::FaultPlan::always(FaultSite::MemBudgetTrip));
+        let result = chase_governed(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Auto,
+            &token,
+        );
+        assert_eq!(result.outcome, ChaseOutcome::MemoryExceeded);
+        assert_eq!(result.instance, start);
+        assert_eq!(result.stats.mem_trips, 1);
+    }
+
+    #[test]
+    fn trip_checkpoint_resume_matches_uninterrupted() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y), E(y,z) -> E(x,z).").unwrap();
+        let mut path = Instance::new(s.clone());
+        let e = s.pred_id("E").unwrap();
+        for i in 0..8u32 {
+            path.add_fact(e, vec![Elem(i), Elem(i + 1)]);
+        }
+        let generous = ChaseBudget::default();
+        let full = chase(&path, &tgds, ChaseVariant::Restricted, generous);
+        assert!(full.terminated());
+        // Trip at every possible round boundary and resume to completion.
+        for j in 0..full.rounds {
+            let tight = ChaseBudget {
+                max_facts: 20_000,
+                max_rounds: j,
+                max_bytes: usize::MAX,
+            };
+            let (tripped, checkpoint) = chase_checkpointing(
+                &path,
+                &tgds,
+                ChaseVariant::Restricted,
+                tight,
+                TriggerSearch::Serial,
+                &CancelToken::new(),
+            );
+            assert_eq!(tripped.outcome, ChaseOutcome::BudgetExceeded);
+            let checkpoint = checkpoint.expect("tripped run is resumable");
+            // Exercise the full encode/decode path, not just the in-memory
+            // struct.
+            let decoded =
+                ChaseCheckpoint::decode(&checkpoint.encode(), &s).expect("decodes cleanly");
+            assert_eq!(decoded, *checkpoint);
+            let (resumed, next) = chase_resume(
+                &decoded,
+                &tgds,
+                generous,
+                TriggerSearch::Serial,
+                &CancelToken::new(),
+            )
+            .expect("checkpoint matches its tgd set");
+            assert!(next.is_none(), "resumed run reaches the fixpoint");
+            assert_eq!(resumed.instance, full.instance);
+            assert_eq!(resumed.nulls, full.nulls);
+            assert_eq!(resumed.rounds, full.rounds);
+            assert_eq!(resumed.stats.normalized(), full.stats.normalized());
+            assert_eq!(resumed.stats.resumes, 1);
+        }
+    }
+
+    #[test]
+    fn oblivious_resume_preserves_fired_memory() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z).").unwrap();
+        let cycle = parse_instance(&mut s, "E(a,b), E(b,a)").unwrap();
+        let full_budget = ChaseBudget {
+            max_facts: usize::MAX,
+            max_rounds: 6,
+            max_bytes: usize::MAX,
+        };
+        let full = chase(&cycle, &tgds, ChaseVariant::Oblivious, full_budget);
+        for j in 0..6 {
+            let (_, checkpoint) = chase_checkpointing(
+                &cycle,
+                &tgds,
+                ChaseVariant::Oblivious,
+                ChaseBudget {
+                    max_rounds: j,
+                    ..full_budget
+                },
+                TriggerSearch::Serial,
+                &CancelToken::new(),
+            );
+            let checkpoint = checkpoint.expect("resumable");
+            let decoded = ChaseCheckpoint::decode(&checkpoint.encode(), &s).unwrap();
+            let (resumed, _) = chase_resume(
+                &decoded,
+                &tgds,
+                full_budget,
+                TriggerSearch::Serial,
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(resumed.instance, full.instance);
+            assert_eq!(resumed.stats.normalized(), full.stats.normalized());
+        }
+    }
+
+    #[test]
+    fn resume_against_wrong_tgds_is_rejected() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> exists z : E(y,z), D(y,z).").unwrap();
+        let other = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let (_, checkpoint) = chase_checkpointing(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget {
+                max_facts: usize::MAX,
+                max_rounds: 2,
+                max_bytes: usize::MAX,
+            },
+            TriggerSearch::Serial,
+            &CancelToken::new(),
+        );
+        let checkpoint = checkpoint.expect("resumable");
+        let err = chase_resume(
+            &checkpoint,
+            &other,
+            ChaseBudget::default(),
+            TriggerSearch::Serial,
+            &CancelToken::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::ContextMismatch(_)));
+    }
+
+    #[test]
+    fn terminated_run_yields_no_checkpoint() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let (result, checkpoint) = chase_checkpointing(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+            TriggerSearch::Serial,
+            &CancelToken::new(),
+        );
+        assert!(result.terminated());
+        assert!(checkpoint.is_none());
     }
 }

@@ -1,0 +1,862 @@
+//! Versioned, checksummed checkpoints for preempted chase and batch runs.
+//!
+//! A budget trip (rounds, facts, or bytes — see
+//! [`MemoryAccountant`](crate::MemoryAccountant)) lands on a round or
+//! group boundary, so the suspended state is small and fully logical: the
+//! instance arena, the semi-naive frontier, the round counter, and the
+//! stats so far. [`ChaseCheckpoint`] and [`BatchCheckpoint`] capture that
+//! state; [`crate::chase_resume`] / [`crate::entails_batch_resume`]
+//! continue a run such that *trip → checkpoint → resume* is byte-identical
+//! to an uninterrupted run (property-tested in
+//! `tests/proptest_checkpoint.rs`).
+//!
+//! ## Encoding layout
+//!
+//! A checkpoint serializes to one self-describing frame:
+//!
+//! ```text
+//! [0..4)   magic  b"TGCK"
+//! [4..6)   format version, u16 LE (currently 1)
+//! [6]      payload kind: 1 chase, 2 batch, 3 rewrite
+//! [7..15)  payload length, u64 LE
+//! [15..N)  payload (kind-specific, little-endian, length-prefixed vectors)
+//! [N..N+8) FNV-1a-64 checksum of bytes [0..N), u64 LE
+//! ```
+//!
+//! The checksum is verified **before** any field is interpreted, and the
+//! FNV-1a step `h ← (h ⊕ b) · prime` is injective in `h` (the prime is
+//! odd, so the multiplication is invertible mod 2⁶⁴), which guarantees
+//! that any single flipped byte in a frame of unchanged length changes the
+//! digest — corruption always surfaces as a typed
+//! [`CheckpointError::ChecksumMismatch`], never as a panic or a silently
+//! wrong resume. Decoders bound-check every read and never pre-allocate
+//! from unvalidated lengths.
+//!
+//! ## Versioning policy
+//!
+//! The version field covers the whole payload layout. Readers reject
+//! unknown versions ([`CheckpointError::UnsupportedVersion`]); the format
+//! is bumped (never reinterpreted in place) whenever a captured struct
+//! gains, loses, or reorders a field. Checkpoints are short-lived
+//! suspend/resume tokens, not archival storage — cross-version migration
+//! is out of scope by design.
+
+use crate::cache::EntailBatchStats;
+use crate::chase::{ChaseBudget, ChaseVariant};
+use crate::entail::Entailment;
+use crate::govern::CancelToken;
+use crate::stats::ChaseStats;
+use std::collections::BTreeSet;
+use std::time::Duration;
+use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_logic::{tgd_variant_key, Schema, Tgd};
+
+/// Why a checkpoint could not be decoded or resumed. Every decode failure
+/// is reported through this type; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The frame is shorter than its header + checksum, or a length prefix
+    /// points past the end of the payload.
+    Truncated,
+    /// The frame does not start with the checkpoint magic.
+    BadMagic,
+    /// The frame was written by an unknown format version.
+    UnsupportedVersion(u16),
+    /// The frame holds a different checkpoint kind than the decoder
+    /// expected (e.g. a batch checkpoint handed to the chase resumer).
+    WrongKind {
+        /// The kind the decoder expected.
+        expected: u8,
+        /// The kind found in the frame.
+        found: u8,
+    },
+    /// The checksum does not match the frame content (real corruption or
+    /// injected via [`crate::FaultSite::CheckpointCorrupt`]).
+    ChecksumMismatch,
+    /// The frame is structurally invalid (bad enum tag, non-UTF-8 name,
+    /// inconsistent internal lengths).
+    Malformed(&'static str),
+    /// The checkpoint is well-formed but does not belong to the inputs it
+    /// was resumed against (different tgd set, schema, or group count).
+    ContextMismatch(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint frame truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint frame (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "wrong checkpoint kind: expected {expected}, found {found}"
+                )
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::ContextMismatch(what) => {
+                write!(f, "checkpoint does not match the resume inputs: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const MAGIC: [u8; 4] = *b"TGCK";
+const VERSION: u16 = 1;
+/// Payload kind of a [`ChaseCheckpoint`] frame.
+pub const KIND_CHASE: u8 = 1;
+/// Payload kind of a [`BatchCheckpoint`] frame.
+pub const KIND_BATCH: u8 = 2;
+/// Payload kind reserved for the rewrite checkpoint (encoded in
+/// `tgdkit_core` with the writer/reader exported here).
+pub const KIND_REWRITE: u8 = 3;
+
+/// FNV-1a-64 over `bytes`. Each step is injective in the running state, so
+/// same-length frames differing in any single byte always digest apart.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a kind-specific payload into a sealed frame (header + checksum).
+pub fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(15 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Verifies a sealed frame and returns its payload slice. The checksum is
+/// checked before any header field is interpreted.
+pub fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CheckpointError> {
+    const HEADER: usize = 15;
+    if bytes.len() < HEADER + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
+    if fnv1a(body) != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    if body[0..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_le_bytes([body[4], body[5]]);
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let kind = body[6];
+    let len = u64::from_le_bytes(body[7..15].try_into().expect("8-byte slice"));
+    if len != (body.len() - HEADER) as u64 {
+        return Err(CheckpointError::Malformed("payload length"));
+    }
+    if kind != expected_kind {
+        return Err(CheckpointError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    Ok(&body[HEADER..])
+}
+
+/// [`open`] under a [`CancelToken`]: consults
+/// [`FaultSite::CheckpointCorrupt`](crate::FaultSite::CheckpointCorrupt)
+/// first, so fault schedules can exercise the corruption path without
+/// hand-flipping bytes.
+pub fn open_governed<'a>(
+    bytes: &'a [u8],
+    expected_kind: u8,
+    token: &CancelToken,
+) -> Result<&'a [u8], CheckpointError> {
+    if token.fault(crate::FaultSite::CheckpointCorrupt) {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    open(bytes, expected_kind)
+}
+
+/// Little-endian payload writer used by all checkpoint kinds.
+#[derive(Debug, Default)]
+pub struct CheckpointWriter {
+    buf: Vec<u8>,
+}
+
+impl CheckpointWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes the payload.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn count(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.count(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian payload reader; every method fails with
+/// [`CheckpointError::Truncated`] instead of panicking on short input.
+#[derive(Debug)]
+pub struct CheckpointReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CheckpointReader<'a> {
+    /// A reader over a payload returned by [`open`].
+    pub fn new(buf: &'a [u8]) -> Self {
+        CheckpointReader { buf, pos: 0 }
+    }
+
+    /// `true` when every payload byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` count and validates it against the bytes still
+    /// available (`elem_size` payload bytes per element, 1 for
+    /// variable-size elements), so a corrupted count can never drive a
+    /// huge allocation.
+    pub fn count(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if v.saturating_mul(elem_size.max(1) as u64) > remaining {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CheckpointError::Malformed("string"))
+    }
+}
+
+/// An order-sensitive fingerprint of a tgd set (unlike the
+/// renaming-invariant cache fingerprint, trigger ordering and oblivious
+/// fired-sets are keyed by tgd *position*, so resuming against a permuted
+/// set must be rejected).
+pub fn tgds_fingerprint(tgds: &[Tgd]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tgds.len().hash(&mut h);
+    for tgd in tgds {
+        tgd_variant_key(tgd).hash(&mut h);
+    }
+    h.finish()
+}
+
+fn write_duration(w: &mut CheckpointWriter, d: Duration) {
+    w.u64(d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn read_duration(r: &mut CheckpointReader<'_>) -> Result<Duration, CheckpointError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+/// Writes a [`ChaseStats`] block (fixed layout, 13 counters + 3 timings).
+pub fn write_chase_stats(w: &mut CheckpointWriter, s: &ChaseStats) {
+    for v in [
+        s.rounds,
+        s.triggers_found,
+        s.triggers_fired,
+        s.facts_added,
+        s.index_extends,
+        s.index_rebuilds,
+        s.parallel_rounds,
+        s.cache_hits,
+        s.cache_misses,
+        s.panics_contained,
+        s.mem_peak_bytes,
+        s.mem_trips,
+        s.resumes,
+    ] {
+        w.count(v);
+    }
+    write_duration(w, s.trigger_search_time);
+    write_duration(w, s.apply_time);
+    write_duration(w, s.total_time);
+}
+
+/// Reads a [`ChaseStats`] block written by [`write_chase_stats`].
+pub fn read_chase_stats(r: &mut CheckpointReader<'_>) -> Result<ChaseStats, CheckpointError> {
+    Ok(ChaseStats {
+        rounds: r.u64()? as usize,
+        triggers_found: r.u64()? as usize,
+        triggers_fired: r.u64()? as usize,
+        facts_added: r.u64()? as usize,
+        index_extends: r.u64()? as usize,
+        index_rebuilds: r.u64()? as usize,
+        parallel_rounds: r.u64()? as usize,
+        cache_hits: r.u64()? as usize,
+        cache_misses: r.u64()? as usize,
+        panics_contained: r.u64()? as usize,
+        mem_peak_bytes: r.u64()? as usize,
+        mem_trips: r.u64()? as usize,
+        resumes: r.u64()? as usize,
+        trigger_search_time: read_duration(r)?,
+        apply_time: read_duration(r)?,
+        total_time: read_duration(r)?,
+    })
+}
+
+/// Writes an [`EntailBatchStats`] block.
+pub fn write_batch_stats(w: &mut CheckpointWriter, s: &EntailBatchStats) {
+    for v in [
+        s.candidates,
+        s.body_groups,
+        s.bodies_chased,
+        s.heads_probed,
+        s.cache_hits,
+        s.cache_misses,
+        s.evictions,
+    ] {
+        w.count(v);
+    }
+    write_chase_stats(w, &s.chase);
+}
+
+/// Reads an [`EntailBatchStats`] block written by [`write_batch_stats`].
+pub fn read_batch_stats(r: &mut CheckpointReader<'_>) -> Result<EntailBatchStats, CheckpointError> {
+    Ok(EntailBatchStats {
+        candidates: r.u64()? as usize,
+        body_groups: r.u64()? as usize,
+        bodies_chased: r.u64()? as usize,
+        heads_probed: r.u64()? as usize,
+        cache_hits: r.u64()? as usize,
+        cache_misses: r.u64()? as usize,
+        evictions: r.u64()? as usize,
+        chase: read_chase_stats(r)?,
+    })
+}
+
+/// Writes an [`Entailment`] verdict as one byte.
+pub fn write_verdict(w: &mut CheckpointWriter, v: Entailment) {
+    w.u8(match v {
+        Entailment::Proved => 0,
+        Entailment::Disproved => 1,
+        Entailment::Unknown => 2,
+    });
+}
+
+/// Reads an [`Entailment`] verdict byte.
+pub fn read_verdict(r: &mut CheckpointReader<'_>) -> Result<Entailment, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(Entailment::Proved),
+        1 => Ok(Entailment::Disproved),
+        2 => Ok(Entailment::Unknown),
+        _ => Err(CheckpointError::Malformed("verdict tag")),
+    }
+}
+
+/// Writes an instance (relations in schema order, then the domain and the
+/// element display names) so that decoding against the same schema
+/// reconstructs an [`Instance`] comparing `==` to the original.
+fn write_instance(w: &mut CheckpointWriter, instance: &Instance) {
+    let schema = instance.schema();
+    w.count(schema.preds().len());
+    for pred in schema.preds() {
+        let arity = schema.arity(pred);
+        w.u32(arity as u32);
+        let tuples: Vec<Vec<Elem>> = instance
+            .facts()
+            .filter(|f| f.pred == pred)
+            .map(|f| f.args)
+            .collect();
+        w.count(tuples.len());
+        for tuple in tuples {
+            for e in tuple {
+                w.u32(e.0);
+            }
+        }
+    }
+    w.count(instance.dom().len());
+    for e in instance.dom() {
+        w.u32(e.0);
+    }
+    let names: Vec<(Elem, String)> = instance.names().map(|(e, n)| (e, n.to_string())).collect();
+    w.count(names.len());
+    for (e, name) in names {
+        w.u32(e.0);
+        w.str(&name);
+    }
+}
+
+fn read_instance(
+    r: &mut CheckpointReader<'_>,
+    schema: &Schema,
+) -> Result<Instance, CheckpointError> {
+    let preds = r.count(4)?;
+    if preds != schema.preds().len() {
+        return Err(CheckpointError::ContextMismatch("predicate count"));
+    }
+    let mut instance = Instance::new(schema.clone());
+    for pred in schema.preds() {
+        let arity = r.u32()? as usize;
+        if arity != schema.arity(pred) {
+            return Err(CheckpointError::ContextMismatch("relation arity"));
+        }
+        let tuples = r.count(arity.max(1) * 4)?;
+        for _ in 0..tuples {
+            let mut args = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                args.push(Elem(r.u32()?));
+            }
+            instance.add_fact(pred, args);
+        }
+    }
+    let dom = r.count(4)?;
+    for _ in 0..dom {
+        instance.add_dom_elem(Elem(r.u32()?));
+    }
+    let names = r.count(5)?;
+    for _ in 0..names {
+        let e = Elem(r.u32()?);
+        let name = r.str()?;
+        instance.set_name(e, name);
+    }
+    Ok(instance)
+}
+
+fn write_facts(w: &mut CheckpointWriter, facts: &[Fact]) {
+    w.count(facts.len());
+    for fact in facts {
+        w.u32(fact.pred.0);
+        w.count(fact.args.len());
+        for e in &fact.args {
+            w.u32(e.0);
+        }
+    }
+}
+
+fn read_facts(r: &mut CheckpointReader<'_>, schema: &Schema) -> Result<Vec<Fact>, CheckpointError> {
+    let count = r.count(8)?;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let pred_raw = r.u32()? as usize;
+        if pred_raw >= schema.preds().len() {
+            return Err(CheckpointError::Malformed("predicate id"));
+        }
+        let pred = tgdkit_logic::PredId(pred_raw as u32);
+        let arity = r.count(4)?;
+        if arity != schema.arity(pred) {
+            return Err(CheckpointError::ContextMismatch("fact arity"));
+        }
+        let mut args = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            args.push(Elem(r.u32()?));
+        }
+        out.push(Fact::new(pred, args));
+    }
+    Ok(out)
+}
+
+/// A suspended chase run, captured at a round boundary. Produced by
+/// [`crate::chase_checkpointing`] / [`crate::chase_resume`] whenever a
+/// governed run stops short of a fixpoint on a resumable boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaseCheckpoint {
+    pub(crate) variant: ChaseVariant,
+    pub(crate) rounds: usize,
+    pub(crate) next_null: u32,
+    pub(crate) sigma_fp: u64,
+    pub(crate) nulls: BTreeSet<Elem>,
+    /// Oblivious-variant fired-trigger memory (empty for restricted runs).
+    pub(crate) fired: Vec<BTreeSet<Vec<Elem>>>,
+    /// The semi-naive frontier: facts added by the last completed round.
+    pub(crate) delta: Option<Vec<Fact>>,
+    pub(crate) stats: ChaseStats,
+    pub(crate) instance: Instance,
+}
+
+impl ChaseCheckpoint {
+    /// Rounds completed when the run was suspended.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The instance as of the last completed round.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The chase variant of the suspended run.
+    pub fn variant(&self) -> ChaseVariant {
+        self.variant
+    }
+
+    /// Serializes to a sealed frame (see the module docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = CheckpointWriter::new();
+        w.u8(match self.variant {
+            ChaseVariant::Restricted => 0,
+            ChaseVariant::Oblivious => 1,
+        });
+        w.count(self.rounds);
+        w.u32(self.next_null);
+        w.u64(self.sigma_fp);
+        write_chase_stats(&mut w, &self.stats);
+        w.count(self.nulls.len());
+        for e in &self.nulls {
+            w.u32(e.0);
+        }
+        w.count(self.fired.len());
+        for set in &self.fired {
+            w.count(set.len());
+            for tuple in set {
+                w.count(tuple.len());
+                for e in tuple {
+                    w.u32(e.0);
+                }
+            }
+        }
+        match &self.delta {
+            None => w.u8(0),
+            Some(facts) => {
+                w.u8(1);
+                write_facts(&mut w, facts);
+            }
+        }
+        write_instance(&mut w, &self.instance);
+        seal(KIND_CHASE, &w.into_payload())
+    }
+
+    /// Decodes a sealed frame produced by [`ChaseCheckpoint::encode`],
+    /// verifying the checksum first and validating every field against
+    /// `schema`. Never panics; every failure is a typed
+    /// [`CheckpointError`].
+    pub fn decode(bytes: &[u8], schema: &Schema) -> Result<ChaseCheckpoint, CheckpointError> {
+        Self::decode_payload(open(bytes, KIND_CHASE)?, schema)
+    }
+
+    /// [`ChaseCheckpoint::decode`] with
+    /// [`FaultSite::CheckpointCorrupt`](crate::FaultSite::CheckpointCorrupt)
+    /// injection via `token`.
+    pub fn decode_governed(
+        bytes: &[u8],
+        schema: &Schema,
+        token: &CancelToken,
+    ) -> Result<ChaseCheckpoint, CheckpointError> {
+        Self::decode_payload(open_governed(bytes, KIND_CHASE, token)?, schema)
+    }
+
+    fn decode_payload(payload: &[u8], schema: &Schema) -> Result<ChaseCheckpoint, CheckpointError> {
+        let mut r = CheckpointReader::new(payload);
+        let variant = match r.u8()? {
+            0 => ChaseVariant::Restricted,
+            1 => ChaseVariant::Oblivious,
+            _ => return Err(CheckpointError::Malformed("chase variant tag")),
+        };
+        let rounds = r.u64()? as usize;
+        let next_null = r.u32()?;
+        let sigma_fp = r.u64()?;
+        let stats = read_chase_stats(&mut r)?;
+        let null_count = r.count(4)?;
+        let mut nulls = BTreeSet::new();
+        for _ in 0..null_count {
+            nulls.insert(Elem(r.u32()?));
+        }
+        let fired_count = r.count(8)?;
+        let mut fired = Vec::with_capacity(fired_count.min(1 << 16));
+        for _ in 0..fired_count {
+            let set_count = r.count(8)?;
+            let mut set = BTreeSet::new();
+            for _ in 0..set_count {
+                let len = r.count(4)?;
+                let mut tuple = Vec::with_capacity(len);
+                for _ in 0..len {
+                    tuple.push(Elem(r.u32()?));
+                }
+                set.insert(tuple);
+            }
+            fired.push(set);
+        }
+        let delta = match r.u8()? {
+            0 => None,
+            1 => Some(read_facts(&mut r, schema)?),
+            _ => return Err(CheckpointError::Malformed("delta tag")),
+        };
+        let instance = read_instance(&mut r, schema)?;
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Malformed("trailing bytes"));
+        }
+        Ok(ChaseCheckpoint {
+            variant,
+            rounds,
+            next_null,
+            sigma_fp,
+            nulls,
+            fired,
+            delta,
+            stats,
+            instance,
+        })
+    }
+}
+
+/// A suspended [`crate::entails_batch`] run, captured at a body-group
+/// boundary: which groups are settled, the per-candidate verdict slots,
+/// the stats so far, and whether the run was taint-gated
+/// ([`CancelToken::is_tainted`]) when it suspended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCheckpoint {
+    pub(crate) sigma_fp: u64,
+    pub(crate) budget: ChaseBudget,
+    pub(crate) done: Vec<bool>,
+    pub(crate) verdicts: Vec<Entailment>,
+    pub(crate) stats: EntailBatchStats,
+    pub(crate) cache_tainted: bool,
+}
+
+impl BatchCheckpoint {
+    /// Body groups already settled when the run was suspended.
+    pub fn groups_done(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
+
+    /// Total body groups in the suspended run.
+    pub fn groups_total(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Serializes to a sealed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = CheckpointWriter::new();
+        w.u64(self.sigma_fp);
+        w.count(self.budget.max_facts);
+        w.count(self.budget.max_rounds);
+        w.count(self.budget.max_bytes);
+        w.u8(self.cache_tainted as u8);
+        w.count(self.done.len());
+        for &d in &self.done {
+            w.u8(d as u8);
+        }
+        w.count(self.verdicts.len());
+        for &v in &self.verdicts {
+            write_verdict(&mut w, v);
+        }
+        write_batch_stats(&mut w, &self.stats);
+        seal(KIND_BATCH, &w.into_payload())
+    }
+
+    /// Decodes a sealed frame produced by [`BatchCheckpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<BatchCheckpoint, CheckpointError> {
+        Self::decode_payload(open(bytes, KIND_BATCH)?)
+    }
+
+    /// [`BatchCheckpoint::decode`] with
+    /// [`FaultSite::CheckpointCorrupt`](crate::FaultSite::CheckpointCorrupt)
+    /// injection via `token`.
+    pub fn decode_governed(
+        bytes: &[u8],
+        token: &CancelToken,
+    ) -> Result<BatchCheckpoint, CheckpointError> {
+        Self::decode_payload(open_governed(bytes, KIND_BATCH, token)?)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<BatchCheckpoint, CheckpointError> {
+        let mut r = CheckpointReader::new(payload);
+        let sigma_fp = r.u64()?;
+        let budget = ChaseBudget {
+            max_facts: r.u64()? as usize,
+            max_rounds: r.u64()? as usize,
+            max_bytes: r.u64()? as usize,
+        };
+        let cache_tainted = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CheckpointError::Malformed("taint tag")),
+        };
+        let done_count = r.count(1)?;
+        let mut done = Vec::with_capacity(done_count);
+        for _ in 0..done_count {
+            done.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CheckpointError::Malformed("done tag")),
+            });
+        }
+        let verdict_count = r.count(1)?;
+        let mut verdicts = Vec::with_capacity(verdict_count);
+        for _ in 0..verdict_count {
+            verdicts.push(read_verdict(&mut r)?);
+        }
+        let stats = read_batch_stats(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Malformed("trailing bytes"));
+        }
+        Ok(BatchCheckpoint {
+            sigma_fp,
+            budget,
+            done,
+            verdicts,
+            stats,
+            cache_tainted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let frame = seal(KIND_CHASE, &payload);
+        assert_eq!(open(&frame, KIND_CHASE).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let payload: Vec<u8> = (0..40u8).collect();
+        let frame = seal(KIND_BATCH, &payload);
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    open(&bad, KIND_BATCH).is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let frame = seal(KIND_CHASE, &[9u8; 16]);
+        for cut in 0..frame.len() {
+            assert!(open(&frame[..cut], KIND_CHASE).is_err());
+        }
+        let mut longer = frame.clone();
+        longer.push(0);
+        assert!(open(&longer, KIND_CHASE).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_a_typed_error() {
+        let frame = seal(KIND_CHASE, &[1u8]);
+        assert_eq!(
+            open(&frame, KIND_BATCH),
+            Err(CheckpointError::WrongKind {
+                expected: KIND_BATCH,
+                found: KIND_CHASE
+            })
+        );
+    }
+
+    #[test]
+    fn injected_corruption_surfaces_as_checksum_mismatch() {
+        let frame = seal(KIND_CHASE, &[1u8]);
+        let token = CancelToken::with_faults(crate::faults::FaultPlan::always(
+            crate::FaultSite::CheckpointCorrupt,
+        ));
+        assert_eq!(
+            open_governed(&frame, KIND_CHASE, &token),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+        // An ungoverned open of the same frame succeeds: the frame itself
+        // is intact, only the injection said otherwise.
+        assert!(open(&frame, KIND_CHASE).is_ok());
+    }
+
+    #[test]
+    fn batch_checkpoint_round_trips() {
+        let cp = BatchCheckpoint {
+            sigma_fp: 0xDEAD_BEEF,
+            budget: ChaseBudget::default(),
+            done: vec![true, false, true],
+            verdicts: vec![
+                Entailment::Proved,
+                Entailment::Unknown,
+                Entailment::Disproved,
+            ],
+            stats: EntailBatchStats {
+                candidates: 3,
+                body_groups: 3,
+                bodies_chased: 2,
+                heads_probed: 1,
+                cache_hits: 1,
+                cache_misses: 2,
+                evictions: 1,
+                chase: ChaseStats {
+                    rounds: 7,
+                    mem_peak_bytes: 4096,
+                    ..ChaseStats::default()
+                },
+            },
+            cache_tainted: true,
+        };
+        let decoded = BatchCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(decoded, cp);
+    }
+}

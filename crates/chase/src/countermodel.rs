@@ -318,7 +318,8 @@ mod tests {
                 &candidate,
                 ChaseBudget {
                     max_facts: 200,
-                    max_rounds: 20
+                    max_rounds: 20,
+                    max_bytes: usize::MAX
                 }
             ),
             Entailment::Unknown

@@ -401,6 +401,7 @@ mod tests {
             ChaseBudget {
                 max_facts: 200,
                 max_rounds: 50,
+                max_bytes: usize::MAX,
             },
         );
         assert_eq!(verdict, Entailment::Unknown);

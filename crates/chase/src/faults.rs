@@ -44,14 +44,29 @@ pub enum FaultSite {
     /// Spurious deadline expiry at a cancellation check
     /// ([`CancelToken::is_cancelled`](crate::CancelToken::is_cancelled)).
     DeadlineExpire = 3,
+    /// Spurious memory-budget trip at a *suspension* site: a top-level
+    /// chase round start or an evaluator group boundary — where the
+    /// [`MemoryAccountant`](crate::MemoryAccountant) is consulted and a
+    /// checkpoint can be taken. The run reports
+    /// `MemoryExceeded`/`Suspended` and must be resumable, so the
+    /// evaluators mask this site for the chases *inside* a group
+    /// ([`CancelToken::masking_fault`](crate::CancelToken::masking_fault));
+    /// an unrecoverable in-chase trip is [`FaultSite::BudgetTrip`]'s job.
+    MemBudgetTrip = 4,
+    /// Simulated checkpoint corruption at decode time: the governed
+    /// decoders report a checksum mismatch as if the payload had rotted.
+    /// Exercises the typed-error path without hand-flipping bytes.
+    CheckpointCorrupt = 5,
 }
 
 /// All injection sites, in discriminant order.
-pub const FAULT_SITES: [FaultSite; 4] = [
+pub const FAULT_SITES: [FaultSite; 6] = [
     FaultSite::TriggerWorkerPanic,
     FaultSite::GroupEvalPanic,
     FaultSite::BudgetTrip,
     FaultSite::DeadlineExpire,
+    FaultSite::MemBudgetTrip,
+    FaultSite::CheckpointCorrupt,
 ];
 
 /// The panic-payload prefix used by injected panics; the containment sites
@@ -67,13 +82,13 @@ pub const INJECTED_PANIC: &str = "injected fault";
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    periods: [u64; 4],
-    counters: [AtomicU64; 4],
+    periods: [u64; 6],
+    counters: [AtomicU64; 6],
 }
 
 impl FaultPlan {
     #[cfg(any(test, feature = "tgdkit-faults"))]
-    fn with_periods(seed: u64, periods: [u64; 4]) -> Self {
+    fn with_periods(seed: u64, periods: [u64; 6]) -> Self {
         FaultPlan {
             seed,
             periods,
@@ -86,14 +101,14 @@ impl FaultPlan {
     /// trips, and expiries.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn seeded(seed: u64) -> Self {
-        Self::with_periods(seed, [5, 7, 11, 31])
+        Self::with_periods(seed, [5, 7, 11, 31, 13, 17])
     }
 
     /// A schedule faulting only at `site`, every `period`-th consultation
     /// on average (seeded); `period` 1 faults every time.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn only(seed: u64, site: FaultSite, period: u64) -> Self {
-        let mut periods = [0u64; 4];
+        let mut periods = [0u64; 6];
         periods[site as usize] = period;
         Self::with_periods(seed, periods)
     }

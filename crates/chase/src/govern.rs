@@ -67,6 +67,9 @@ struct TokenState {
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     state: Arc<TokenState>,
+    /// Per-clone bitmask of [`FaultSite`]s whose *injection* this view
+    /// suppresses (cancellation and real governance are never masked).
+    masked: u8,
 }
 
 impl CancelToken {
@@ -90,6 +93,7 @@ impl CancelToken {
                 deadline: Some(deadline),
                 faults: None,
             }),
+            masked: 0,
         }
     }
 
@@ -104,6 +108,24 @@ impl CancelToken {
                 deadline: None,
                 faults: Some(plan),
             }),
+            masked: 0,
+        }
+    }
+
+    /// A view of this token that shares its cancellation state but ignores
+    /// *injected* faults at `site`. Real governance (deadlines, budgets,
+    /// the memory accountant) is unaffected — only the test-only
+    /// [`FaultPlan`] is filtered, and only for the given site.
+    ///
+    /// The batch/rewrite evaluators use this to confine injected
+    /// [`FaultSite::MemBudgetTrip`]s to their suspension sites (the group
+    /// boundaries): a spurious trip *inside* a group's entailment chase
+    /// would degrade verdicts that no resume could recover, which is the
+    /// job of [`FaultSite::BudgetTrip`], not of the resumable-trip site.
+    pub fn masking_fault(&self, site: FaultSite) -> CancelToken {
+        CancelToken {
+            state: Arc::clone(&self.state),
+            masked: self.masked | (1 << site as u8),
         }
     }
 
@@ -137,6 +159,9 @@ impl CancelToken {
     /// `false` for tokens without a plan — the fault-free fast path is one
     /// `Option` check.
     pub fn fault(&self, site: FaultSite) -> bool {
+        if self.masked & (1 << site as u8) != 0 {
+            return false;
+        }
         match &self.state.faults {
             None => false,
             Some(plan) => plan.should_fault(site),
@@ -194,6 +219,20 @@ mod tests {
         let token = CancelToken::with_faults(FaultPlan::seeded(7));
         assert!(token.has_faults());
         assert!(token.is_tainted());
+    }
+
+    #[test]
+    fn masking_filters_one_site_and_shares_cancellation() {
+        let token = CancelToken::with_faults(FaultPlan::always(FaultSite::MemBudgetTrip));
+        let masked = token.masking_fault(FaultSite::MemBudgetTrip);
+        assert!(token.fault(FaultSite::MemBudgetTrip));
+        assert!(!masked.fault(FaultSite::MemBudgetTrip));
+        // Other sites pass through (period 0 in `always`, but the plan is
+        // still consulted), and the view stays tainted.
+        assert!(!masked.fault(FaultSite::BudgetTrip));
+        assert!(masked.has_faults() && masked.is_tainted());
+        masked.cancel();
+        assert!(token.is_cancelled(), "masked view shares the cancel flag");
     }
 
     #[test]

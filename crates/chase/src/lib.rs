@@ -26,11 +26,13 @@
 pub mod cache;
 pub mod certain;
 pub mod chase;
+pub mod checkpoint;
 pub mod countermodel;
 pub mod entail;
 pub mod faults;
 pub mod govern;
 pub mod linear;
+pub mod memory;
 pub mod satisfy;
 pub mod stats;
 pub mod termination;
@@ -38,15 +40,18 @@ pub mod universal;
 
 pub use cache::{
     entails_all_cached, entails_all_cached_governed, entails_auto_cached,
-    entails_auto_cached_governed, entails_batch, entails_batch_governed, evaluate_group,
-    group_by_body, group_by_body_keyed, sigma_fingerprint, BodyGroup, EntailBatchStats,
-    EntailCache,
+    entails_auto_cached_governed, entails_batch, entails_batch_checkpointing,
+    entails_batch_governed, entails_batch_resume, evaluate_group, group_by_body,
+    group_by_body_keyed, sigma_fingerprint, BatchRun, BodyGroup, EntailBatchStats, EntailCache,
+    DEFAULT_CACHE_MAX_BYTES, DEFAULT_CACHE_MAX_ENTRIES,
 };
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{
-    chase, chase_configured, chase_governed, chase_with_provenance, core_chase, ChaseBudget,
-    ChaseOutcome, ChaseResult, ChaseVariant, DerivationStep, Provenance,
+    chase, chase_checkpointing, chase_configured, chase_governed, chase_resume,
+    chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome, ChaseResult, ChaseVariant,
+    DerivationStep, Provenance,
 };
+pub use checkpoint::{tgds_fingerprint, BatchCheckpoint, ChaseCheckpoint, CheckpointError};
 pub use countermodel::{
     finite_model, refute_by_countermodel, refute_by_countermodel_governed, SearchBudget,
 };
@@ -61,6 +66,7 @@ pub use linear::{
     certainly_holds_by_rewriting, certainly_holds_by_rewriting_with_stats, entails_linear,
     entails_linear_governed, entails_linear_with_stats,
 };
+pub use memory::MemoryAccountant;
 pub use satisfy::{satisfies_edd, satisfies_egd, satisfies_tgd, satisfies_tgds, violation};
 pub use stats::{ChaseStats, TriggerSearch};
 pub use termination::{is_weakly_acyclic, PositionGraph};

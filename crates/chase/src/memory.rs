@@ -1,0 +1,132 @@
+//! Cooperative memory accounting for chase and rewrite runs.
+//!
+//! A [`MemoryAccountant`] turns the byte budget carried in
+//! [`ChaseBudget::max_bytes`](crate::ChaseBudget) into a *trip*: the
+//! governed loops report their resident bytes at the same cooperative
+//! sites where they consult the [`CancelToken`](crate::CancelToken) — the
+//! chase at round starts ([`Instance::heap_bytes`] of its arena), the
+//! batch evaluator and the rewrite filter at group boundaries (cache
+//! residency plus the peak of the group chases). Once the reported figure
+//! crosses the budget the accountant latches `tripped` and the caller
+//! stops at the next boundary, so a trip always lands on a resumable
+//! state (a round prefix or a group prefix), never mid-mutation.
+//!
+//! Accounting is by *reported observation*, not allocator interposition:
+//! the figures are deterministic functions of the logical state
+//! (tuple payloads and index sizes), so the same run trips at the same
+//! boundary on every replay — which is what makes the
+//! checkpoint-then-resume property testable.
+//!
+//! [`Instance::heap_bytes`]: tgdkit_instance::Instance::heap_bytes
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A byte budget with a high-water mark and a sticky trip flag.
+///
+/// Thread-safe; the chase keeps one per run, the rewrite/batch evaluators
+/// keep one per (possibly resumed) invocation. `usize::MAX` means
+/// unlimited and never trips.
+#[derive(Debug)]
+pub struct MemoryAccountant {
+    limit: usize,
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    tripped: AtomicBool,
+}
+
+impl MemoryAccountant {
+    /// An accountant enforcing `limit` bytes (`usize::MAX` = unlimited).
+    pub fn new(limit: usize) -> Self {
+        MemoryAccountant {
+            limit,
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// An accountant that never trips but still records the peak.
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Records an absolute residency observation and returns whether the
+    /// budget is (now or previously) tripped. The trip is sticky: once a
+    /// report crosses the limit the accountant stays tripped for its
+    /// lifetime, so a shrinking arena cannot un-trip a run mid-flight.
+    pub fn charge_to(&self, bytes: usize) -> bool {
+        self.current.store(bytes, Ordering::Relaxed);
+        self.peak.fetch_max(bytes, Ordering::Relaxed);
+        if bytes > self.limit {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Records a residency observation without trip semantics (used for
+    /// final high-water bookkeeping after an outcome is already decided).
+    pub fn observe(&self, bytes: usize) {
+        self.current.store(bytes, Ordering::Relaxed);
+        self.peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// The byte budget this accountant enforces.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// The most recently reported residency.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest residency ever reported.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Whether any report has crossed the limit.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips_but_tracks_peak() {
+        let acc = MemoryAccountant::unlimited();
+        assert!(!acc.charge_to(1 << 40));
+        assert!(!acc.tripped());
+        assert_eq!(acc.peak_bytes(), 1 << 40);
+    }
+
+    #[test]
+    fn trip_is_sticky_and_peak_survives_shrink() {
+        let acc = MemoryAccountant::new(100);
+        assert!(!acc.charge_to(80));
+        assert!(acc.charge_to(101));
+        // A later, smaller report does not un-trip.
+        assert!(acc.charge_to(10));
+        assert!(acc.tripped());
+        assert_eq!(acc.peak_bytes(), 101);
+        assert_eq!(acc.current(), 10);
+    }
+
+    #[test]
+    fn observe_updates_peak_without_tripping() {
+        let acc = MemoryAccountant::new(100);
+        acc.observe(500);
+        assert!(!acc.tripped());
+        assert_eq!(acc.peak_bytes(), 500);
+    }
+
+    #[test]
+    fn exact_limit_does_not_trip() {
+        let acc = MemoryAccountant::new(64);
+        assert!(!acc.charge_to(64));
+        assert!(acc.charge_to(65));
+    }
+}

@@ -45,6 +45,16 @@ pub struct ChaseStats {
     /// [`crate::ChaseOutcome::Cancelled`] — a fixpoint can no longer be
     /// certified — but never unwinds the caller.
     pub panics_contained: usize,
+    /// High-water mark of the instance arena as reported to the
+    /// [`crate::MemoryAccountant`] at round boundaries (bytes; `absorb`
+    /// takes the max, not the sum, since passes reuse the arena).
+    pub mem_peak_bytes: usize,
+    /// Memory-budget trips: rounds stopped because the arena crossed
+    /// [`crate::ChaseBudget::max_bytes`] (real or injected via
+    /// [`crate::FaultSite::MemBudgetTrip`]).
+    pub mem_trips: usize,
+    /// Times this run was resumed from a [`crate::ChaseCheckpoint`].
+    pub resumes: usize,
     /// Wall time spent finding triggers.
     pub trigger_search_time: Duration,
     /// Wall time spent checking/firing triggers and extending the index.
@@ -67,9 +77,31 @@ impl ChaseStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.panics_contained += other.panics_contained;
+        self.mem_peak_bytes = self.mem_peak_bytes.max(other.mem_peak_bytes);
+        self.mem_trips += other.mem_trips;
+        self.resumes += other.resumes;
         self.trigger_search_time += other.trigger_search_time;
         self.apply_time += other.apply_time;
         self.total_time += other.total_time;
+    }
+
+    /// A copy with the run-shape-dependent fields zeroed: wall times (never
+    /// reproducible), `index_rebuilds` (a resumed run honestly rebuilds its
+    /// index once per segment), and the trip/resume bookkeeping itself.
+    /// Everything left — rounds, trigger/fact/cache counters, memory peak —
+    /// must be identical between an uninterrupted run and any
+    /// trip→checkpoint→resume chain over it; the checkpoint proptests
+    /// compare `normalized()` stats.
+    pub fn normalized(&self) -> ChaseStats {
+        ChaseStats {
+            index_rebuilds: 0,
+            mem_trips: 0,
+            resumes: 0,
+            trigger_search_time: Duration::ZERO,
+            apply_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+            ..*self
+        }
     }
 }
 
@@ -106,6 +138,9 @@ mod tests {
             cache_hits: 5,
             cache_misses: 3,
             panics_contained: 1,
+            mem_peak_bytes: 100,
+            mem_trips: 1,
+            resumes: 1,
             trigger_search_time: Duration::from_millis(5),
             apply_time: Duration::from_millis(7),
             total_time: Duration::from_millis(20),
@@ -122,6 +157,30 @@ mod tests {
         assert_eq!(a.cache_hits, 10);
         assert_eq!(a.cache_misses, 6);
         assert_eq!(a.panics_contained, 2);
+        // Peaks take the max (arena reuse), trips/resumes accumulate.
+        assert_eq!(a.mem_peak_bytes, 100);
+        assert_eq!(a.mem_trips, 2);
+        assert_eq!(a.resumes, 2);
         assert_eq!(a.total_time, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn normalized_zeroes_only_run_shape_fields() {
+        let a = ChaseStats {
+            rounds: 3,
+            index_rebuilds: 2,
+            mem_peak_bytes: 512,
+            mem_trips: 1,
+            resumes: 1,
+            total_time: Duration::from_millis(9),
+            ..ChaseStats::default()
+        };
+        let n = a.normalized();
+        assert_eq!(n.rounds, 3);
+        assert_eq!(n.mem_peak_bytes, 512);
+        assert_eq!(n.index_rebuilds, 0);
+        assert_eq!(n.mem_trips, 0);
+        assert_eq!(n.resumes, 0);
+        assert_eq!(n.total_time, Duration::ZERO);
     }
 }

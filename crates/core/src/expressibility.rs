@@ -144,7 +144,9 @@ pub fn is_linear_expressible(set: &TgdSet, opts: &RewriteOptions, seed: u64) -> 
     match guarded_to_linear(set, opts) {
         RewriteOutcome::Rewritten(_) => Verdict::Yes,
         RewriteOutcome::NotRewritable => Verdict::No,
-        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => Verdict::Unknown,
+        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled | RewriteOutcome::Suspended => {
+            Verdict::Unknown
+        }
     }
 }
 
@@ -163,7 +165,9 @@ pub fn is_linear_expressible_cached(
     match guarded_to_linear_cached(set, opts, cache).0 {
         RewriteOutcome::Rewritten(_) => Verdict::Yes,
         RewriteOutcome::NotRewritable => Verdict::No,
-        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => Verdict::Unknown,
+        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled | RewriteOutcome::Suspended => {
+            Verdict::Unknown
+        }
     }
 }
 
@@ -176,7 +180,9 @@ pub fn is_guarded_expressible(set: &TgdSet, opts: &RewriteOptions, seed: u64) ->
     match frontier_guarded_to_guarded(set, opts) {
         RewriteOutcome::Rewritten(_) => Verdict::Yes,
         RewriteOutcome::NotRewritable => Verdict::No,
-        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => Verdict::Unknown,
+        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled | RewriteOutcome::Suspended => {
+            Verdict::Unknown
+        }
     }
 }
 
@@ -193,7 +199,9 @@ pub fn is_guarded_expressible_cached(
     match frontier_guarded_to_guarded_cached(set, opts, cache).0 {
         RewriteOutcome::Rewritten(_) => Verdict::Yes,
         RewriteOutcome::NotRewritable => Verdict::No,
-        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => Verdict::Unknown,
+        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled | RewriteOutcome::Suspended => {
+            Verdict::Unknown
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 //! - [`reductions`]: the Appendix F lower-bound constructions.
 
 pub mod characterize;
+pub mod checkpoint;
 pub mod diagram;
 pub mod enumerate;
 pub mod expressibility;
@@ -41,6 +42,7 @@ pub mod universe;
 pub mod verdict;
 pub mod workload;
 
+pub use checkpoint::{keys_fingerprint, RewriteCheckpoint};
 pub use locality::{
     locality_counterexample, locality_counterexample_with_stats,
     locality_counterexample_with_stats_governed, locally_embeddable, locally_embeddable_with_stats,
@@ -49,8 +51,10 @@ pub use locality::{
 pub use ontology::{DependencyOntology, FiniteOntology, Ontology, TgdOntology};
 pub use rewrite::{
     frontier_guarded_to_guarded, frontier_guarded_to_guarded_cached,
-    frontier_guarded_to_guarded_cached_governed, frontier_guarded_to_guarded_governed,
-    guarded_to_linear, guarded_to_linear_cached, guarded_to_linear_cached_governed,
-    guarded_to_linear_governed, PoolEval, RewriteOptions, RewriteOutcome, RewriteStats,
+    frontier_guarded_to_guarded_cached_governed, frontier_guarded_to_guarded_checkpointing,
+    frontier_guarded_to_guarded_governed, frontier_guarded_to_guarded_resume, guarded_to_linear,
+    guarded_to_linear_cached, guarded_to_linear_cached_governed, guarded_to_linear_checkpointing,
+    guarded_to_linear_governed, guarded_to_linear_resume, PoolEval, RewriteOptions, RewriteOutcome,
+    RewriteStats,
 };
 pub use verdict::Verdict;

@@ -748,6 +748,7 @@ mod tests {
             chase_budget: ChaseBudget {
                 max_facts: 50,
                 max_rounds: 10,
+                max_bytes: usize::MAX,
             },
             max_cases: 1_000_000,
         };

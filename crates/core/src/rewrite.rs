@@ -20,6 +20,7 @@
 //! `Inconclusive`, while a failed search over the exhaustive space is a
 //! definitive [`RewriteOutcome::NotRewritable`].
 
+use crate::checkpoint::{keys_fingerprint, RewriteCheckpoint};
 use crate::enumerate::{
     guarded_candidates_governed, linear_candidates_governed, EnumOptions, Enumeration,
 };
@@ -28,8 +29,8 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use tgdkit_chase::faults::INJECTED_PANIC;
 use tgdkit_chase::{
     entails_all_cached_governed, entails_auto_cached_governed, evaluate_group, group_by_body,
-    group_by_body_keyed, sigma_fingerprint, CancelToken, ChaseBudget, EntailBatchStats,
-    EntailCache, Entailment, FaultSite,
+    group_by_body_keyed, sigma_fingerprint, tgds_fingerprint, CancelToken, ChaseBudget,
+    CheckpointError, EntailBatchStats, EntailCache, Entailment, FaultSite, MemoryAccountant,
 };
 use tgdkit_logic::{Schema, Tgd, TgdSet, TgdVariantKey};
 
@@ -62,6 +63,13 @@ pub enum RewriteOutcome {
     /// uncancelled run would answer; [`RewriteStats`] still describes the
     /// work completed before the cut.
     Cancelled,
+    /// The run suspended on its memory budget
+    /// ([`ChaseBudget::max_bytes`], or an injected
+    /// [`FaultSite::MemBudgetTrip`]) at a body-group boundary. Only the
+    /// checkpointing entry points ([`guarded_to_linear_checkpointing`] /
+    /// [`frontier_guarded_to_guarded_checkpointing`]) report this; they
+    /// return the [`RewriteCheckpoint`] that resumes the run alongside.
+    Suspended,
 }
 
 impl RewriteOutcome {
@@ -112,6 +120,16 @@ pub struct RewriteStats {
     /// other group's verdict is untouched (includes panics the chase layer
     /// contained, via [`tgdkit_chase::ChaseStats::panics_contained`]).
     pub panics_contained: usize,
+    /// Peak estimated resident bytes observed by the memory accounting
+    /// (chase arenas; for the checkpointing entry points, also entailment
+    /// cache residency at group boundaries).
+    pub mem_peak_bytes: usize,
+    /// Memory-budget trips (real or injected) during the run.
+    pub mem_trips: usize,
+    /// Checkpoint resumptions folded into this run's figures.
+    pub resumes: usize,
+    /// Keys evicted from the bounded [`EntailCache`] during the run.
+    pub evictions: usize,
 }
 
 /// Algorithm 1 (paper §9.2, `G-to-L`): rewrites a set of **guarded** tgds
@@ -234,6 +252,77 @@ pub fn frontier_guarded_to_guarded_cached_governed(
     token: &CancelToken,
 ) -> (RewriteOutcome, RewriteStats) {
     rewrite_cached(set, opts, Target::Guarded, cache, token)
+}
+
+/// [`guarded_to_linear_cached_governed`] with **suspend/resume support**:
+/// the candidate filtering charges estimated resident memory (entailment
+/// cache bytes + peak chase arena) against [`ChaseBudget::max_bytes`] at
+/// every body-group boundary, and a trip — real, or injected at
+/// [`FaultSite::MemBudgetTrip`] — suspends the run as
+/// [`RewriteOutcome::Suspended`] with a [`RewriteCheckpoint`] capturing
+/// the verdict slots and group progress so far.
+///
+/// Checkpointing pins the **serial** evaluator (`opts.parallel` is
+/// ignored): group completion order must be deterministic for the done
+/// flags to mean the same thing on resume, and the serial and parallel
+/// evaluators are verdict-identical anyway. The decision tail after
+/// filtering (`Σ' ⊨ Σ`, minimization) runs without suspension points —
+/// it revisits already-cached verdicts and is cheap next to the sweep.
+///
+/// Feeding the checkpoint to [`guarded_to_linear_resume`] — with the same
+/// budget after an injected trip, or a larger `max_bytes` (or a smaller
+/// cache) after a real one — finishes the run with an outcome identical
+/// to an uninterrupted run's. A run that completes (or is merely
+/// cancelled) returns no checkpoint.
+pub fn guarded_to_linear_checkpointing(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats, Option<Box<RewriteCheckpoint>>) {
+    rewrite_checkpointed(set, opts, Target::Linear, cache, token, None)
+        .expect("fresh runs have no checkpoint to mismatch")
+}
+
+/// [`guarded_to_linear_checkpointing`] for Algorithm 2 (`FG-to-G`).
+pub fn frontier_guarded_to_guarded_checkpointing(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats, Option<Box<RewriteCheckpoint>>) {
+    rewrite_checkpointed(set, opts, Target::Guarded, cache, token, None)
+        .expect("fresh runs have no checkpoint to mismatch")
+}
+
+/// Resumes a suspended [`guarded_to_linear_checkpointing`] run.
+///
+/// `set` and `opts.enumeration` must be the ones the checkpoint was taken
+/// under — resume re-enumerates the candidate space (deterministic) and
+/// validates the input-set and enumeration fingerprints, the target
+/// class, and the slot counts; any mismatch is a typed
+/// [`CheckpointError::ContextMismatch`], never a wrong answer.
+/// `opts.budget` is absolute, not incremental.
+pub fn guarded_to_linear_resume(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    checkpoint: &RewriteCheckpoint,
+    token: &CancelToken,
+) -> Result<(RewriteOutcome, RewriteStats, Option<Box<RewriteCheckpoint>>), CheckpointError> {
+    rewrite_checkpointed(set, opts, Target::Linear, cache, token, Some(checkpoint))
+}
+
+/// Resumes a suspended [`frontier_guarded_to_guarded_checkpointing`] run;
+/// see [`guarded_to_linear_resume`].
+pub fn frontier_guarded_to_guarded_resume(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    cache: &EntailCache,
+    checkpoint: &RewriteCheckpoint,
+    token: &CancelToken,
+) -> Result<(RewriteOutcome, RewriteStats, Option<Box<RewriteCheckpoint>>), CheckpointError> {
+    rewrite_checkpointed(set, opts, Target::Guarded, cache, token, Some(checkpoint))
 }
 
 /// Filters an explicit candidate pool through the evaluator the rewriting
@@ -388,8 +477,27 @@ fn rewrite_cached(
     stats.cache_misses = eval.stats.cache_misses;
     stats.steals = eval.steals;
     stats.panics_contained = eval.panics_contained + eval.stats.chase.panics_contained;
+    stats.mem_peak_bytes = eval.stats.chase.mem_peak_bytes;
+    stats.mem_trips = eval.stats.chase.mem_trips;
+    stats.evictions = eval.stats.evictions;
+    conclude(set, opts, &enumeration, &eval.verdicts, stats, cache, token)
+}
+
+/// The decision tail shared by the plain and checkpointing procedures:
+/// builds `Σ' = {σ | Σ ⊨ σ}` from the verdict slots, then answers
+/// *rewritable with `Σ'`* iff `Σ' ⊨ Σ` (minimizing on success).
+fn conclude(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    enumeration: &Enumeration,
+    verdicts: &[Entailment],
+    mut stats: RewriteStats,
+    cache: &EntailCache,
+    token: &CancelToken,
+) -> (RewriteOutcome, RewriteStats) {
+    let schema = set.schema();
     let mut sigma_prime: Vec<Tgd> = Vec::new();
-    for (candidate, verdict) in enumeration.tgds.iter().zip(&eval.verdicts) {
+    for (candidate, verdict) in enumeration.tgds.iter().zip(verdicts) {
         match verdict {
             Entailment::Proved => sigma_prime.push(candidate.clone()),
             Entailment::Disproved => {}
@@ -404,7 +512,7 @@ fn rewrite_cached(
 
     // The paper's procedure: Σ' ≠ ∅ and Σ' ⊨ Σ.
     if sigma_prime.is_empty() {
-        return (negative(&stats, &enumeration), stats);
+        return (negative(&stats, enumeration), stats);
     }
     match entails_all_cached_governed(schema, &sigma_prime, set.tgds(), opts.budget, cache, token) {
         Entailment::Proved => {
@@ -416,7 +524,7 @@ fn rewrite_cached(
             stats.cancelled = token.is_cancelled();
             (RewriteOutcome::Rewritten(minimized), stats)
         }
-        Entailment::Disproved => (negative(&stats, &enumeration), stats),
+        Entailment::Disproved => (negative(&stats, enumeration), stats),
         Entailment::Unknown => {
             if token.is_cancelled() {
                 stats.cancelled = true;
@@ -426,6 +534,139 @@ fn rewrite_cached(
             }
         }
     }
+}
+
+fn target_tag(target: Target) -> u8 {
+    match target {
+        Target::Linear => 1,
+        Target::Guarded => 2,
+    }
+}
+
+/// The checkpointing rewrite: a serial, resumable candidate filtering
+/// sweep with memory charging at group boundaries, then the shared
+/// decision tail. `resume` restores verdict slots and group progress from
+/// a prior suspension after validating it belongs to this exact run.
+fn rewrite_checkpointed(
+    set: &TgdSet,
+    opts: &RewriteOptions,
+    target: Target,
+    cache: &EntailCache,
+    token: &CancelToken,
+    resume: Option<&RewriteCheckpoint>,
+) -> Result<(RewriteOutcome, RewriteStats, Option<Box<RewriteCheckpoint>>), CheckpointError> {
+    let schema = set.schema();
+    let (n, m) = set.profile();
+    let enumeration = enumerate(schema, n, m, opts, target, token);
+    let sigma_fp = tgds_fingerprint(set.tgds());
+    let enum_fp = keys_fingerprint(&enumeration.keys);
+    let groups = group_by_body_keyed(&enumeration.tgds, &enumeration.keys);
+    if let Some(cp) = resume {
+        if cp.target != target_tag(target) {
+            return Err(CheckpointError::ContextMismatch("rewrite target class"));
+        }
+        if cp.sigma_fp != sigma_fp {
+            return Err(CheckpointError::ContextMismatch("tgd set"));
+        }
+        if cp.enum_fp != enum_fp || cp.verdicts.len() != enumeration.tgds.len() {
+            return Err(CheckpointError::ContextMismatch("candidate enumeration"));
+        }
+        if cp.done.len() != groups.len() {
+            return Err(CheckpointError::ContextMismatch("body-group count"));
+        }
+    }
+    let mut stats = RewriteStats {
+        candidates: enumeration.tgds.len(),
+        exhaustive: enumeration.exhaustive,
+        ..Default::default()
+    };
+    let (mut batch, mut verdicts, mut done, mut panics, mut tainted) = match resume {
+        Some(cp) => {
+            let mut batch = cp.stats;
+            batch.chase.resumes += 1;
+            (
+                batch,
+                cp.verdicts.clone(),
+                cp.done.clone(),
+                cp.panics_contained,
+                cp.cache_tainted,
+            )
+        }
+        None => (
+            EntailBatchStats {
+                candidates: enumeration.tgds.len(),
+                body_groups: groups.len(),
+                ..Default::default()
+            },
+            vec![Entailment::Unknown; enumeration.tgds.len()],
+            vec![false; groups.len()],
+            0usize,
+            false,
+        ),
+    };
+    let accountant = MemoryAccountant::new(opts.budget.max_bytes);
+    let cache_fp = sigma_fingerprint(set.tgds());
+    let evictions_before = cache.evictions();
+    let mut suspended = false;
+    for (gi, group) in groups.iter().enumerate() {
+        if done[gi] {
+            continue;
+        }
+        if token.is_cancelled() {
+            break;
+        }
+        let resident = cache.approx_bytes() + batch.chase.mem_peak_bytes;
+        if accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip) {
+            batch.chase.mem_trips += 1;
+            suspended = true;
+            break;
+        }
+        match evaluate_group_contained(
+            schema,
+            set.tgds(),
+            group,
+            opts.budget,
+            Some((cache, cache_fp)),
+            &mut batch,
+            token,
+        ) {
+            Some(group_verdicts) => {
+                for (idx, v) in group_verdicts {
+                    verdicts[idx] = v;
+                }
+            }
+            None => panics += 1,
+        }
+        done[gi] = true;
+    }
+    batch.evictions += cache.evictions().saturating_sub(evictions_before);
+    tainted = tainted || token.is_tainted();
+    stats.body_groups = batch.body_groups;
+    stats.bodies_chased = batch.bodies_chased;
+    stats.heads_probed = batch.heads_probed;
+    stats.cache_hits = batch.cache_hits;
+    stats.cache_misses = batch.cache_misses;
+    stats.panics_contained = panics + batch.chase.panics_contained;
+    stats.mem_peak_bytes = batch.chase.mem_peak_bytes.max(accountant.peak_bytes());
+    stats.mem_trips = batch.chase.mem_trips;
+    stats.resumes = batch.chase.resumes;
+    stats.evictions = batch.evictions;
+    if suspended {
+        let checkpoint = Box::new(RewriteCheckpoint {
+            target: target_tag(target),
+            sigma_fp,
+            enum_fp,
+            exhaustive: enumeration.exhaustive,
+            done,
+            verdicts,
+            stats: batch,
+            panics_contained: panics,
+            cache_tainted: tainted,
+        });
+        return Ok((RewriteOutcome::Suspended, stats, Some(checkpoint)));
+    }
+    let (outcome, stats) = conclude(set, opts, &enumeration, &verdicts, stats, cache, token);
+    Ok((outcome, stats, None))
 }
 
 fn negative(stats: &RewriteStats, enumeration: &Enumeration) -> RewriteOutcome {

@@ -94,7 +94,9 @@ pub fn cross_check_with_rewriting(separation: &Separation) -> Verdict {
     match outcome {
         RewriteOutcome::NotRewritable => Verdict::Yes,
         RewriteOutcome::Rewritten(_) => Verdict::No,
-        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => Verdict::Unknown,
+        RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled | RewriteOutcome::Suspended => {
+            Verdict::Unknown
+        }
     }
 }
 

@@ -216,6 +216,13 @@ impl Instance {
         self.rels.iter().map(Relation::payload_bytes).sum()
     }
 
+    /// Deterministic heap-residency estimate across all relation arenas and
+    /// their dedup indexes (see [`Relation::heap_bytes`]); the figure the
+    /// chase reports to its memory accountant at round boundaries.
+    pub fn heap_bytes(&self) -> usize {
+        self.rels.iter().map(Relation::heap_bytes).sum()
+    }
+
     /// `true` when the instance has no facts.
     pub fn is_empty(&self) -> bool {
         self.rels.iter().all(Relation::is_empty)
@@ -306,6 +313,11 @@ impl Instance {
     /// The display name of an element, if one was assigned.
     pub fn name_of(&self, e: Elem) -> Option<&str> {
         self.names.get(&e).map(String::as_str)
+    }
+
+    /// All (element, display-name) assignments, in element order.
+    pub fn names(&self) -> impl Iterator<Item = (Elem, &str)> + '_ {
+        self.names.iter().map(|(e, n)| (*e, n.as_str()))
     }
 
     /// Looks up an element by display name.

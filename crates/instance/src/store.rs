@@ -128,6 +128,17 @@ impl Relation {
         self.rows * self.arity * std::mem::size_of::<Elem>()
     }
 
+    /// Deterministic estimate of the relation's heap residency: the tuple
+    /// arena plus the dedup index (one hash bucket and one row id per
+    /// distinct tuple). Computed from logical sizes, not `Vec` capacities,
+    /// so two relations holding the same tuple set always report the same
+    /// figure — which is what lets the memory accountant trip at the same
+    /// round on every replay of a run.
+    pub fn heap_bytes(&self) -> usize {
+        let bucket = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
+        self.payload_bytes() + self.dedup.len() * bucket + self.rows * std::mem::size_of::<u32>()
+    }
+
     /// The tuple at physical row `r` (insertion order, not canonical order).
     #[inline]
     fn row(&self, r: u32) -> &[Elem] {

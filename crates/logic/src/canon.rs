@@ -38,6 +38,12 @@ impl TgdVariantKey {
             .expect("encoded key always contains the body/head separator");
         &self.0[..sep]
     }
+
+    /// Number of `u32` words in the encoded canonical sequence. Used by the
+    /// bounded entailment cache to estimate per-key residency.
+    pub fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
 }
 
 /// State of the encoding search: atom order chosen so far and the variable

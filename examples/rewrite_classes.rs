@@ -19,6 +19,7 @@ fn show(outcome: &RewriteOutcome, schema: &Schema) {
         RewriteOutcome::NotRewritable => println!("   NOT rewritable (definitive)"),
         RewriteOutcome::Inconclusive => println!("   inconclusive within budgets"),
         RewriteOutcome::Cancelled => println!("   cancelled before a verdict"),
+        RewriteOutcome::Suspended => println!("   suspended on the memory budget"),
     }
 }
 

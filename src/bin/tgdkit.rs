@@ -189,6 +189,9 @@ fn cmd_rewrite(target: &str, rules_path: &str) -> Result<String, String> {
                 "cancelled before a verdict (deadline or cancel signal)"
             );
         }
+        RewriteOutcome::Suspended => {
+            let _ = writeln!(out, "suspended on the memory budget before a verdict");
+        }
         RewriteOutcome::Inconclusive => {
             // The Appendix F closure refutations often settle what the
             // budgeted candidate search could not.

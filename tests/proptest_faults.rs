@@ -89,7 +89,11 @@ proptest! {
     ) {
         let set = random_set(set_seed, rules, 1);
         let start = seed_instance(&set);
-        let budget = ChaseBudget { max_facts: 2_000, max_rounds: 12 };
+        let budget = ChaseBudget {
+            max_facts: 2_000,
+            max_rounds: 12,
+            max_bytes: usize::MAX,
+        };
         let full = chase(&start, set.tgds(), ChaseVariant::Restricted, budget);
         let prefixes: Vec<Instance> = (0..=full.stats.rounds)
             .map(|j| {
@@ -97,7 +101,11 @@ proptest! {
                     &start,
                     set.tgds(),
                     ChaseVariant::Restricted,
-                    ChaseBudget { max_facts: budget.max_facts, max_rounds: j },
+                    ChaseBudget {
+                        max_facts: budget.max_facts,
+                        max_rounds: j,
+                        max_bytes: usize::MAX,
+                    },
                 )
                 .instance
             })

@@ -121,7 +121,11 @@ proptest! {
         // Tight budget: divergent sets are cut off early — determinism must
         // hold on truncated runs too, and the oblivious variant explodes on
         // unrestricted sets otherwise.
-        let budget = ChaseBudget { max_facts: 400, max_rounds: 12 };
+        let budget = ChaseBudget {
+            max_facts: 400,
+            max_rounds: 12,
+            max_bytes: usize::MAX,
+        };
         for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
             let serial = chase_configured(
                 &start, set.tgds(), variant, budget, TriggerSearch::Serial,

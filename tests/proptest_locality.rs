@@ -109,7 +109,8 @@ proptest! {
             // match must stay exhaustive.
             RewriteOutcome::NotRewritable
             | RewriteOutcome::Inconclusive
-            | RewriteOutcome::Cancelled => {}
+            | RewriteOutcome::Cancelled
+            | RewriteOutcome::Suspended => {}
         }
     }
 
@@ -142,7 +143,8 @@ proptest! {
             // match must stay exhaustive.
             RewriteOutcome::NotRewritable
             | RewriteOutcome::Inconclusive
-            | RewriteOutcome::Cancelled => {}
+            | RewriteOutcome::Cancelled
+            | RewriteOutcome::Suspended => {}
         }
     }
 
@@ -176,7 +178,9 @@ proptest! {
                 prop_assert!(false, "linear input declared not rewritable");
             }
             // divergent chase: acceptable (Cancelled unreachable ungoverned)
-            RewriteOutcome::Inconclusive | RewriteOutcome::Cancelled => {}
+            RewriteOutcome::Inconclusive
+            | RewriteOutcome::Cancelled
+            | RewriteOutcome::Suspended => {}
         }
     }
 }

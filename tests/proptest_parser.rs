@@ -106,7 +106,11 @@ proptest! {
     fn simplify_preserves_equivalence(seed in 0u64..500) {
         let set = random_set(seed, 1);
         let schema = set.schema();
-        let budget = ChaseBudget { max_facts: 400, max_rounds: 12 };
+        let budget = ChaseBudget {
+            max_facts: 400,
+            max_rounds: 12,
+            max_bytes: usize::MAX,
+        };
         for tgd in set.tgds() {
             match simplify_tgd(tgd) {
                 Some(simplified) => {
