@@ -1014,6 +1014,19 @@ fn bench_rewrite_json(smoke: bool) {
         "trip + resume changed the rewriting verdict"
     );
 
+    // Service probe: the mixed scheduler workload — one pathological
+    // rewrite time-sliced by the quantum scheduler while small entailments
+    // from other tenants keep completing. `tgdkit-serve --self-test` gates
+    // the structural properties in CI; the JSON records the request count,
+    // how often the big request was preempted, and the small-request
+    // latency shape so the trajectory is trackable across PRs.
+    let serve_report = tgdkit_serve::run_smoke(&tgdkit_serve::SmokeConfig::default())
+        .expect("serve smoke workload");
+    assert!(
+        serve_report.rewrite_matches_dedicated,
+        "time-sliced rewrite diverged from the dedicated run"
+    );
+
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
         let total = hits + misses;
@@ -1039,7 +1052,9 @@ fn bench_rewrite_json(smoke: bool) {
          \"atoms_planned\": {},\n    \"tuples_stored\": {},\n    \
          \"bytes_per_tuple\": {:.2}\n  }},\n  \"memory\": {{\n    \
          \"peak_bytes\": {},\n    \"trips\": {},\n    \"resumes\": {},\n    \
-         \"evictions\": {}\n  }},\n  \"deadline_ms\": {},\n  \
+         \"evictions\": {}\n  }},\n  \"serve\": {{\n    \
+         \"requests\": {},\n    \"suspensions\": {},\n    \
+         \"p50_ms\": {},\n    \"p99_ms\": {}\n  }},\n  \"deadline_ms\": {},\n  \
          \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
          \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
@@ -1071,6 +1086,10 @@ fn bench_rewrite_json(smoke: bool) {
         mem_stats.mem_trips,
         mem_resumes,
         mem_stats.evictions.max(tight_cache.evictions()),
+        serve_report.requests,
+        serve_report.rewrite_suspensions,
+        serve_report.small_p50_ms(),
+        serve_report.small_p99_ms(),
         deadline_ms,
         outcome_str(&deadline_outcome),
         ms(deadline_time),
@@ -1109,6 +1128,14 @@ fn bench_rewrite_json(smoke: bool) {
     println!(
         "planner: {} plans built ({} reordered) over {} atoms; store: {} tuples at {:.2} bytes/tuple",
         plan.plans_built, plan.plans_reordered, plan.atoms_planned, tuples_stored, bytes_per_tuple,
+    );
+    println!(
+        "serve probe: {} requests, rewrite preempted {} times over {} quanta; small p50 {} ms / p99 {} ms",
+        serve_report.requests,
+        serve_report.rewrite_suspensions,
+        serve_report.rewrite_quanta,
+        serve_report.small_p50_ms(),
+        serve_report.small_p99_ms(),
     );
 }
 

@@ -141,6 +141,12 @@ pub struct EntailCache {
     /// Mirror of `CacheInner::bytes`, refreshed after every store, so
     /// memory accounting can read residency without taking the lock.
     approx_bytes: AtomicUsize,
+    /// Lock acquisitions that found the lock poisoned and recovered
+    /// (see [`EntailCache::poison_recoveries`]).
+    poison_recoveries: AtomicUsize,
+    /// Poison recoveries whose invariant check failed, forcing a
+    /// defensive clear (see [`EntailCache::poison_clears`]).
+    poison_clears: AtomicUsize,
 }
 
 impl Default for EntailCache {
@@ -168,18 +174,53 @@ impl EntailCache {
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
             approx_bytes: AtomicUsize::new(0),
+            poison_recoveries: AtomicUsize::new(0),
+            poison_clears: AtomicUsize::new(0),
         }
+    }
+
+    /// Acquires the verdict map for reading, recovering from poison.
+    ///
+    /// The cache is shared across worker threads whose panics PR 3
+    /// deliberately *contains* — so a panic that unwound through a lock
+    /// guard must not convert every later cached query into an abort (the
+    /// pre-fix behavior: `.expect("entail cache poisoned")` crashed the
+    /// whole process on the next request). A memo of exact, reproducible
+    /// verdicts is safe to keep serving: readers never see torn data
+    /// because writers re-validate the map/queue invariants on their own
+    /// recovery path ([`Self::write_inner`]).
+    fn read_inner(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
+        self.inner.read().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Acquires the verdict map for writing, recovering from poison. On
+    /// recovery the map/queue/bytes invariants are checked; if the
+    /// interrupted writer left them inconsistent the whole cache is
+    /// defensively cleared (counted in [`Self::poison_clears`]) — dropping
+    /// a memo is always sound, serving a torn one never is.
+    fn write_inner(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
+        self.inner.write().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut inner = poisoned.into_inner();
+            let coherent = inner.queue.len() == inner.map.len()
+                && inner.queue.iter().all(|k| inner.map.contains_key(k));
+            if !coherent {
+                inner.map.clear();
+                inner.queue.clear();
+                inner.bytes = 0;
+                self.approx_bytes.store(0, Ordering::Relaxed);
+                self.poison_clears.fetch_add(1, Ordering::Relaxed);
+            }
+            inner
+        })
     }
 
     /// Number of memoized verdicts.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .expect("entail cache poisoned")
-            .map
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.read_inner().map.values().map(Vec::len).sum()
     }
 
     /// `true` when no verdict has been stored yet.
@@ -200,6 +241,36 @@ impl EntailCache {
     /// Cumulative keys evicted by the capacity caps.
     pub fn evictions(&self) -> usize {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lock acquisitions that found the `RwLock` poisoned by a contained
+    /// panic and recovered instead of propagating (pre-fix, every one of
+    /// these was a process-crashing `.expect`).
+    pub fn poison_recoveries(&self) -> usize {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Poison recoveries that found the map/queue invariants broken and
+    /// defensively cleared the cache (a cleared memo costs speed, never
+    /// soundness).
+    pub fn poison_clears(&self) -> usize {
+        self.poison_clears.load(Ordering::Relaxed)
+    }
+
+    /// Test-only: poisons the internal lock the way a contained worker
+    /// panic would — unwinding while the write guard is held. Lets
+    /// integration tests (see `tests/cache_poison.rs`) exercise the
+    /// poison-recovery path against the public API from outside the crate.
+    #[cfg(any(test, feature = "tgdkit-faults"))]
+    pub fn poison_for_tests(&self) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.write().unwrap();
+            panic!(
+                "{}: unwound while holding the cache write lock",
+                crate::faults::INJECTED_PANIC
+            );
+        }));
+        assert!(result.is_err(), "the injected panic must unwind");
     }
 
     /// Estimated resident bytes of the cached verdicts (lock-free read of
@@ -250,18 +321,12 @@ impl EntailCache {
         fingerprint: u64,
         budget: ChaseBudget,
     ) -> Option<Entailment> {
-        let v = self
-            .inner
-            .read()
-            .expect("entail cache poisoned")
-            .map
-            .get(key)
-            .and_then(|entries| {
-                entries
-                    .iter()
-                    .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
-                    .map(|(_, _, v)| *v)
-            });
+        let v = self.read_inner().map.get(key).and_then(|entries| {
+            entries
+                .iter()
+                .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
+                .map(|(_, _, v)| *v)
+        });
         let counter = if v.is_some() {
             &self.hits
         } else {
@@ -272,7 +337,7 @@ impl EntailCache {
     }
 
     fn store_key(&self, key: &TgdVariantKey, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
-        let mut inner = self.inner.write().expect("entail cache poisoned");
+        let mut inner = self.write_inner();
         match inner.map.get_mut(key) {
             Some(entries) => {
                 match entries
@@ -692,7 +757,7 @@ fn batch_impl(
             )
         }
     };
-    let accountant = MemoryAccountant::new(budget.max_bytes);
+    let accountant = MemoryAccountant::new(budget.effective_max_bytes());
     let keyed = cache.map(|c| (c, sigma_fp));
     let evictions_before = cache.map_or(0, EntailCache::evictions);
     let mut suspended = false;
@@ -704,8 +769,14 @@ fn batch_impl(
             break;
         }
         let resident = cache.map_or(0, EntailCache::approx_bytes) + stats.chase.mem_peak_bytes;
-        if accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip) {
-            stats.chase.mem_trips += 1;
+        let tripped = accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip);
+        // A quantum expiry ([`CancelToken::should_suspend`]) lands on the
+        // same resumable boundary as a byte trip, but is not a trip: the
+        // scheduler that requested it resumes with the same budget.
+        if tripped || token.should_suspend() {
+            if tripped {
+                stats.chase.mem_trips += 1;
+            }
             suspended = true;
             break;
         }
@@ -1134,6 +1205,122 @@ mod tests {
             ),
             Err(CheckpointError::ContextMismatch("candidate count"))
         ));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_aborting() {
+        let (s, sigma) = schema_and_sigma("E(x,y) -> E(y,x).");
+        let mut s2 = s.clone();
+        let candidate = parse_tgd(&mut s2, "E(x,y) -> E(x,x)").unwrap();
+        let cache = EntailCache::new();
+        let budget = ChaseBudget::default();
+        let before = entails_auto_cached(&s, &sigma, &candidate, budget, &cache);
+        // Poison the lock the way a contained worker panic would: unwind
+        // while holding the write guard. The coherent state survives.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.inner.write().unwrap();
+            panic!("injected worker panic while holding the cache lock");
+        }));
+        assert!(result.is_err(), "the panic was raised and contained");
+        assert!(cache.inner.is_poisoned(), "the lock really was poisoned");
+        // Pre-fix, each of these calls aborted via
+        // `.expect("entail cache poisoned")`. Now they recover and the
+        // memoized verdict is still served.
+        let after = entails_auto_cached(&s, &sigma, &candidate, budget, &cache);
+        assert_eq!(before, after);
+        assert!(cache.poison_recoveries() >= 1);
+        assert_eq!(cache.poison_clears(), 0, "coherent state is kept");
+        assert_eq!(cache.len(), 1);
+        let variant = parse_tgd(&mut s2, "E(a,b) -> E(a,a)").unwrap();
+        cache.store(&variant, 7, budget, Entailment::Disproved);
+        assert_eq!(
+            cache.lookup(&variant, 7, budget),
+            Some(Entailment::Disproved)
+        );
+    }
+
+    #[test]
+    fn incoherent_poisoned_state_is_defensively_cleared() {
+        let mut s = Schema::default();
+        let key = tgd_variant_key(&parse_tgd(&mut s, "R(x,y) -> T(x)").unwrap());
+        let budget = ChaseBudget::default();
+        let cache = EntailCache::new();
+        cache.store_key(&key, 1, budget, Entailment::Proved);
+        // Poison mid-mutation: the map gains a key the queue never saw,
+        // exactly the torn state an unwinding writer could leave behind.
+        let other = tgd_variant_key(&parse_tgd(&mut s, "R(x,x) -> T(x)").unwrap());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guard = cache.inner.write().unwrap();
+            guard.map.insert(other.clone(), Vec::new());
+            panic!("unwound between map and queue updates");
+        }));
+        assert!(result.is_err());
+        // The next store detects the broken invariant and clears.
+        cache.store_key(&key, 2, budget, Entailment::Disproved);
+        assert_eq!(cache.poison_clears(), 1);
+        assert_eq!(
+            cache.lookup_key(&key, 1, budget),
+            None,
+            "pre-poison entries were dropped with the torn state"
+        );
+        assert_eq!(
+            cache.lookup_key(&key, 2, budget),
+            Some(Entailment::Disproved),
+            "the cache keeps working after the clear"
+        );
+    }
+
+    #[test]
+    fn quantum_suspension_checkpoints_and_resumes_identically() {
+        let (s, sigma) = schema_and_sigma(
+            "E(x,y) -> E(y,x). E(x,y), E(y,z) -> E(x,z). P(x) -> exists z : E(x,z).",
+        );
+        let mut s2 = s.clone();
+        let candidates = vec![
+            parse_tgd(&mut s2, "E(x,y) -> E(x,x)").unwrap(),
+            parse_tgd(&mut s2, "E(x,y) -> P(x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> exists w : E(w,x)").unwrap(),
+            parse_tgd(&mut s2, "P(x) -> E(x,x)").unwrap(),
+        ];
+        let budget = ChaseBudget::default();
+        let (plain, plain_stats) = entails_batch(&s, &sigma, &candidates, budget, None);
+        // Suspend at every group boundary in turn; each run then resumes
+        // to completion with a fresh token and must match the dedicated
+        // run exactly, with no mem trips charged.
+        for boundary in 0..4u64 {
+            let token = CancelToken::with_suspend_after_checks(boundary);
+            let (_, _, mut cp) =
+                entails_batch_checkpointing(&s, &sigma, &candidates, budget, None, &token);
+            let mut resumed = None;
+            let mut hops = 0;
+            while let Some(inner) = cp {
+                let decoded = BatchCheckpoint::decode(&inner.encode()).unwrap();
+                let (v, st, next) = entails_batch_resume(
+                    &s,
+                    &sigma,
+                    &candidates,
+                    budget,
+                    None,
+                    &decoded,
+                    &CancelToken::new(),
+                )
+                .unwrap();
+                resumed = Some((v, st));
+                cp = next;
+                hops += 1;
+                assert!(hops <= 2, "fresh-token resume runs to completion");
+            }
+            let Some((verdicts, stats)) = resumed else {
+                continue; // boundary beyond the last group: no suspension
+            };
+            assert_eq!(verdicts, plain, "boundary {boundary}");
+            assert_eq!(stats.chase.mem_trips, 0, "suspension is not a trip");
+            assert_eq!(
+                stats.chase.normalized(),
+                plain_stats.chase.normalized(),
+                "boundary {boundary}"
+            );
+        }
     }
 
     #[test]

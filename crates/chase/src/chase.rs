@@ -55,15 +55,23 @@ pub struct ChaseBudget {
     pub max_rounds: usize,
     /// Maximum heap residency of the instance arena in bytes
     /// ([`tgdkit_instance::Instance::heap_bytes`]), charged through a
-    /// [`crate::MemoryAccountant`]; `usize::MAX` (the default) disables
-    /// the cap. `Default::default()` honors the `TGDKIT_BUDGET_MAX_BYTES`
-    /// environment variable.
+    /// [`crate::MemoryAccountant`]; `usize::MAX` (the default) means
+    /// *unspecified*.
+    ///
+    /// **Precedence:** an explicit per-request value (anything other than
+    /// `usize::MAX`) always wins. Only when the field is left unspecified
+    /// does [`ChaseBudget::effective_max_bytes`] fall back to the
+    /// process-wide `TGDKIT_BUDGET_MAX_BYTES` environment override, and an
+    /// unset/unparsable/zero variable means unlimited. A multi-tenant
+    /// server therefore keeps full control of each tenant's byte cap: the
+    /// operator's env override is a default for requests that don't name a
+    /// cap, never a clamp on ones that do.
     pub max_bytes: usize,
 }
 
 /// `TGDKIT_BUDGET_MAX_BYTES` parsed once per process: a positive integer
-/// byte cap applied by `ChaseBudget::default()`; unset, unparsable, or
-/// zero means unlimited.
+/// byte cap used as the *fallback* for budgets whose `max_bytes` is left
+/// unspecified; unset, unparsable, or zero means unlimited.
 fn env_max_bytes() -> usize {
     use std::sync::OnceLock;
     static CACHE: OnceLock<usize> = OnceLock::new();
@@ -76,17 +84,42 @@ fn parse_max_bytes(var: Option<&str>) -> usize {
         .unwrap_or(usize::MAX)
 }
 
+/// The byte cap a run should actually enforce, given an explicit
+/// per-budget value and the process-wide env override. Explicit wins;
+/// `usize::MAX` (unspecified) defers to the override. Pure so the
+/// precedence is testable without mutating process environment (the env
+/// read is cached in a `OnceLock`, so a test could only observe one
+/// value per process anyway).
+#[inline]
+fn resolve_max_bytes(explicit: usize, env_override: usize) -> usize {
+    if explicit != usize::MAX {
+        explicit
+    } else {
+        env_override
+    }
+}
+
 impl Default for ChaseBudget {
     fn default() -> Self {
         ChaseBudget {
             max_facts: 20_000,
             max_rounds: 128,
-            max_bytes: env_max_bytes(),
+            max_bytes: usize::MAX,
         }
     }
 }
 
 impl ChaseBudget {
+    /// The byte cap this budget actually enforces: the explicit
+    /// [`ChaseBudget::max_bytes`] when one was set, otherwise the
+    /// `TGDKIT_BUDGET_MAX_BYTES` environment override, otherwise
+    /// unlimited. Every [`crate::MemoryAccountant`] construction funnels
+    /// through here, so per-request budgets are never silently widened or
+    /// narrowed by process-global state.
+    pub fn effective_max_bytes(&self) -> usize {
+        resolve_max_bytes(self.max_bytes, env_max_bytes())
+    }
+
     /// A small budget for quick probes.
     pub fn small() -> Self {
         ChaseBudget {
@@ -588,7 +621,7 @@ fn chase_impl(
     let mut index = InstanceIndex::new(&instance);
     stats.index_rebuilds += 1;
 
-    let accountant = MemoryAccountant::new(budget.max_bytes);
+    let accountant = MemoryAccountant::new(budget.effective_max_bytes());
     // Mid-round emergency stop: rounds are atomic for budget purposes, but
     // a single pathological round must not allocate unboundedly past the
     // cap. Tripping here loses the round boundary, so no checkpoint.
@@ -1492,6 +1525,24 @@ mod tests {
         // Zero means "unset", not "trip immediately on an empty arena".
         assert_eq!(parse_max_bytes(Some("0")), usize::MAX);
         assert_eq!(parse_max_bytes(Some(" 4096 ")), 4096);
+    }
+
+    #[test]
+    fn explicit_max_bytes_beats_env_override() {
+        // Per-request explicit caps win over the process-wide override —
+        // a tenant that asked for 1 KiB gets 1 KiB even when the operator
+        // set a wider (or tighter) env default.
+        assert_eq!(resolve_max_bytes(1024, 1 << 30), 1024);
+        assert_eq!(resolve_max_bytes(1 << 30, 1024), 1 << 30);
+        // Unspecified (usize::MAX) defers to the override...
+        assert_eq!(resolve_max_bytes(usize::MAX, 4096), 4096);
+        // ...and stays unlimited when the override is unset too.
+        assert_eq!(resolve_max_bytes(usize::MAX, usize::MAX), usize::MAX);
+        // Default budgets are env-deferring, not env-baked: the field is
+        // the sentinel, so the override is consulted at accountant
+        // construction rather than frozen into every budget value (which
+        // would leak into cache keys and checkpoint bytes).
+        assert_eq!(ChaseBudget::default().max_bytes, usize::MAX);
     }
 
     #[test]

@@ -29,15 +29,52 @@
 //! trips, and deadline expiries at the same cooperative check sites.
 
 use crate::faults::{FaultPlan, FaultSite};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-#[derive(Debug, Default)]
+/// Sentinel for a disabled suspend-check countdown.
+const SUSPEND_CHECKS_DISABLED: u64 = u64::MAX;
+
+#[derive(Debug)]
 struct TokenState {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
     faults: Option<FaultPlan>,
+    /// Latched by [`CancelToken::request_suspend`], a quantum expiry, or
+    /// the countdown below. Unlike `cancelled`, suspension is *recoverable*:
+    /// the checkpointing entry points stop at their next resumable boundary
+    /// and hand back a checkpoint instead of degrading verdicts.
+    suspend: AtomicBool,
+    /// Wall-clock quantum: once it has elapsed, `should_suspend` latches
+    /// the suspend flag. Armed *lazily* — the countdown starts at the
+    /// first `should_suspend` consultation, not at token construction —
+    /// so a scheduler slice's resume setup (checkpoint decode, candidate
+    /// re-enumeration) does not consume the quantum and every slice
+    /// passes at least its first boundary. Without this, a fixed setup
+    /// cost larger than the quantum livelocks the scheduler: each slice
+    /// suspends at its first boundary with zero work retired.
+    suspend_quantum: Option<Duration>,
+    /// The armed expiry instant for `suspend_quantum`.
+    suspend_armed: OnceLock<Instant>,
+    /// Deterministic quantum: suspend after this many `should_suspend`
+    /// consultations ([`SUSPEND_CHECKS_DISABLED`] = off). Boundary checks —
+    /// not wall time — drive it, so schedules replay identically.
+    suspend_after_checks: AtomicU64,
+}
+
+impl Default for TokenState {
+    fn default() -> Self {
+        TokenState {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            faults: None,
+            suspend: AtomicBool::new(false),
+            suspend_quantum: None,
+            suspend_armed: OnceLock::new(),
+            suspend_after_checks: AtomicU64::new(SUSPEND_CHECKS_DISABLED),
+        }
+    }
 }
 
 /// A shared cancellation flag with an optional wall-clock deadline.
@@ -89,9 +126,50 @@ impl CancelToken {
     pub fn deadline_at(deadline: Instant) -> Self {
         CancelToken {
             state: Arc::new(TokenState {
-                cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
-                faults: None,
+                ..TokenState::default()
+            }),
+            masked: 0,
+        }
+    }
+
+    /// A token carrying a scheduling *quantum*: once `quantum` has elapsed,
+    /// [`CancelToken::should_suspend`] reports `true` and the checkpointing
+    /// entry points suspend at their next resumable boundary (body group or
+    /// chase round) with a checkpoint — verdicts already decided stay exact
+    /// and the run continues via the matching `*_resume` entry point.
+    ///
+    /// Unlike [`CancelToken::with_deadline`], quantum expiry neither
+    /// cancels nor taints the token: suspension is an OS-scheduler-style
+    /// preemption, not a failure.
+    ///
+    /// The countdown is armed at the **first** [`CancelToken::should_suspend`]
+    /// consultation, not here: a resumed slice's setup (checkpoint decode,
+    /// candidate re-enumeration) runs before the first boundary and must
+    /// not consume the quantum, or a setup cost larger than the quantum
+    /// would suspend every slice at its first boundary with zero progress.
+    /// Arming at the first boundary guarantees each slice retires at
+    /// least one unit of work regardless of how small the quantum is.
+    pub fn with_quantum(quantum: Duration) -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                suspend_quantum: Some(quantum),
+                ..TokenState::default()
+            }),
+            masked: 0,
+        }
+    }
+
+    /// A token that suspends after `checks` consultations of
+    /// [`CancelToken::should_suspend`] — a *deterministic* quantum, driven
+    /// by cooperative boundary checks instead of wall time, so property
+    /// tests can place suspension at arbitrary group/round boundaries and
+    /// replay the schedule exactly. `0` suspends at the first boundary.
+    pub fn with_suspend_after_checks(checks: u64) -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                suspend_after_checks: AtomicU64::new(checks),
+                ..TokenState::default()
             }),
             masked: 0,
         }
@@ -104,9 +182,8 @@ impl CancelToken {
     pub fn with_faults(plan: FaultPlan) -> Self {
         CancelToken {
             state: Arc::new(TokenState {
-                cancelled: AtomicBool::new(false),
-                deadline: None,
                 faults: Some(plan),
+                ..TokenState::default()
             }),
             masked: 0,
         }
@@ -132,6 +209,52 @@ impl CancelToken {
     /// Requests cancellation; every clone of this token observes it.
     pub fn cancel(&self) {
         self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Requests suspension: the checkpointing entry points stop at their
+    /// next resumable boundary and return a checkpoint. Every clone of
+    /// this token observes it. A no-op for the non-checkpointing entry
+    /// points, which have no resumable boundaries to stop at.
+    pub fn request_suspend(&self) {
+        self.state.suspend.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once suspension is due — explicitly
+    /// ([`CancelToken::request_suspend`]), by quantum expiry
+    /// ([`CancelToken::with_quantum`]), or because the deterministic
+    /// check countdown ([`CancelToken::with_suspend_after_checks`]) ran
+    /// out. Sticky, like cancellation — but unlike cancellation it does
+    /// **not** taint the token: a suspended run's verdicts are exact and
+    /// its checkpoint resumes to the byte-identical uninterrupted result.
+    pub fn should_suspend(&self) -> bool {
+        if self.state.suspend.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(quantum) = self.state.suspend_quantum {
+            // Armed on first consultation (see `with_quantum`): the clock
+            // starts at the first boundary, so slice setup is free and a
+            // fresh slice always passes its first boundary check when the
+            // quantum is nonzero.
+            let deadline = *self
+                .state
+                .suspend_armed
+                .get_or_init(|| Instant::now() + quantum);
+            if Instant::now() >= deadline {
+                self.request_suspend();
+                return true;
+            }
+        }
+        let counter = &self.state.suspend_after_checks;
+        if counter.load(Ordering::Relaxed) != SUSPEND_CHECKS_DISABLED {
+            let prev = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c != SUSPEND_CHECKS_DISABLED && c > 0).then(|| c - 1)
+            });
+            if prev == Err(0) {
+                self.request_suspend();
+                return true;
+            }
+        }
+        false
     }
 
     /// `true` once the token is cancelled — explicitly, by deadline expiry,
@@ -240,5 +363,41 @@ mod tests {
         let token = CancelToken::with_faults(FaultPlan::only(0, FaultSite::DeadlineExpire, 1));
         assert!(token.is_cancelled());
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn suspend_request_is_sticky_and_shared_but_not_tainting() {
+        let token = CancelToken::new();
+        assert!(!token.should_suspend());
+        let clone = token.clone();
+        token.request_suspend();
+        assert!(clone.should_suspend());
+        assert!(token.should_suspend(), "suspension is sticky");
+        assert!(!token.is_cancelled(), "suspension is not cancellation");
+        assert!(!token.is_tainted(), "suspension does not taint verdicts");
+    }
+
+    #[test]
+    fn expired_quantum_suspends_without_cancelling() {
+        let token = CancelToken::with_quantum(Duration::ZERO);
+        assert!(token.should_suspend());
+        assert!(!token.is_cancelled());
+        let generous = CancelToken::with_quantum(Duration::from_secs(3600));
+        assert!(!generous.should_suspend());
+    }
+
+    #[test]
+    fn check_countdown_suspends_at_the_chosen_boundary() {
+        let token = CancelToken::with_suspend_after_checks(2);
+        assert!(!token.should_suspend());
+        assert!(!token.should_suspend());
+        assert!(token.should_suspend(), "third boundary suspends");
+        assert!(token.should_suspend(), "and stays suspended");
+        let immediate = CancelToken::with_suspend_after_checks(0);
+        assert!(immediate.should_suspend(), "0 suspends at first boundary");
+        let plain = CancelToken::new();
+        for _ in 0..64 {
+            assert!(!plain.should_suspend(), "disabled countdown never fires");
+        }
     }
 }

@@ -604,7 +604,7 @@ fn rewrite_checkpointed(
             false,
         ),
     };
-    let accountant = MemoryAccountant::new(opts.budget.max_bytes);
+    let accountant = MemoryAccountant::new(opts.budget.effective_max_bytes());
     let cache_fp = sigma_fingerprint(set.tgds());
     let evictions_before = cache.evictions();
     let mut suspended = false;
@@ -616,8 +616,14 @@ fn rewrite_checkpointed(
             break;
         }
         let resident = cache.approx_bytes() + batch.chase.mem_peak_bytes;
-        if accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip) {
-            batch.chase.mem_trips += 1;
+        let tripped = accountant.charge_to(resident) || token.fault(FaultSite::MemBudgetTrip);
+        // Quantum expiry suspends at the same boundary as a byte trip but
+        // does not count as one — the scheduler resumes with the same
+        // budget (see `CancelToken::should_suspend`).
+        if tripped || token.should_suspend() {
+            if tripped {
+                batch.chase.mem_trips += 1;
+            }
             suspended = true;
             break;
         }

@@ -1,6 +1,6 @@
 //! Finite relational instances (paper §2).
 
-use crate::store::Relation;
+use crate::store::{CapacityError, Relation};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tgdkit_logic::{PredId, Schema};
@@ -150,7 +150,9 @@ impl Instance {
     /// Adds the fact `pred(args)`, extending the domain with its elements.
     ///
     /// # Panics
-    /// Panics if the tuple length differs from the predicate arity.
+    /// Panics if the tuple length differs from the predicate arity, or if
+    /// the predicate's relation is at its `u32` row-id capacity (see
+    /// [`Instance::try_add_fact`] for the fallible variant).
     pub fn add_fact(&mut self, pred: PredId, args: Vec<Elem>) -> bool {
         assert_eq!(
             args.len(),
@@ -159,6 +161,36 @@ impl Instance {
             self.schema.name(pred)
         );
         self.insert_tuple(pred.index(), &args)
+    }
+
+    /// Adds the fact `pred(args)` like [`Instance::add_fact`], but reports
+    /// relation-capacity exhaustion as a typed [`CapacityError`] instead of
+    /// panicking — the variant long-lived request-parsing surfaces (the
+    /// entailment server) use so an oversized tenant payload becomes an
+    /// error response, not a process abort.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the predicate arity.
+    pub fn try_add_fact(&mut self, pred: PredId, args: Vec<Elem>) -> Result<bool, CapacityError> {
+        assert_eq!(
+            args.len(),
+            self.schema.arity(pred),
+            "arity mismatch for {}",
+            self.schema.name(pred)
+        );
+        let idx = pred.index();
+        self.dom.extend(args.iter().copied());
+        let added = self.rels[idx].try_insert(&args)?;
+        if added {
+            for &e in &args {
+                let count = self.adom_counts.entry(e).or_insert(0);
+                *count += 1;
+                if *count == 1 {
+                    self.adom.insert(e);
+                }
+            }
+        }
+        Ok(added)
     }
 
     /// Adds a [`Fact`].
@@ -523,6 +555,20 @@ mod tests {
                 Fact::new(t(&s), vec![Elem(5)]),
             ]
         );
+    }
+
+    #[test]
+    fn try_add_fact_matches_add_fact_semantics() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        assert_eq!(i.try_add_fact(r(&s), vec![Elem(0), Elem(1)]), Ok(true));
+        assert_eq!(i.try_add_fact(r(&s), vec![Elem(0), Elem(1)]), Ok(false));
+        assert!(i.contains_fact(r(&s), &[Elem(0), Elem(1)]));
+        // Domain and adom bookkeeping match the infallible path.
+        assert_eq!(i.dom().len(), 2);
+        assert_eq!(i.active_domain().len(), 2);
+        i.remove_fact(r(&s), &[Elem(0), Elem(1)]);
+        assert!(i.active_domain().is_empty());
     }
 
     #[test]

@@ -72,6 +72,44 @@ pub fn tuple_hash(tuple: &[Elem]) -> u64 {
     h ^ (h >> 27)
 }
 
+/// Maximum number of tuples one [`Relation`] can hold: row ids are `u32`
+/// (half the arena's index footprint of a `usize`), so the arena is capped
+/// at `u32::MAX` rows. Beyond it, [`Relation::try_insert`] reports a typed
+/// [`CapacityError`] — the pre-fix `self.rows as u32` silently truncated,
+/// aliasing row `2^32` with row `0` and corrupting the dedup map.
+pub const MAX_ROWS: usize = u32::MAX as usize;
+
+/// A relation grew past [`MAX_ROWS`] tuples, the largest row id the
+/// `u32`-indexed arena can address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Rows already stored when the insert was rejected.
+    pub rows: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relation is full: {} rows is the u32 row-id capacity ({MAX_ROWS})",
+            self.rows
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// The row id a tuple appended after `rows` existing rows would get, or a
+/// [`CapacityError`] when it would not fit a `u32`. Factored out so the
+/// guard is testable without inserting four billion tuples.
+#[inline]
+pub(crate) fn next_row_id(rows: usize) -> Result<u32, CapacityError> {
+    if rows >= MAX_ROWS {
+        return Err(CapacityError { rows });
+    }
+    Ok(rows as u32)
+}
+
 /// A single relation stored as a fixed-stride row arena.
 ///
 /// Insertion order is the physical row order; all public iteration goes
@@ -161,24 +199,43 @@ impl Relation {
     /// Inserts `tuple`, returning `true` if it was not already present.
     ///
     /// # Panics
-    /// Panics if the tuple length differs from the relation arity.
+    /// Panics if the tuple length differs from the relation arity, or if the
+    /// relation already holds [`MAX_ROWS`] tuples (use [`Relation::try_insert`]
+    /// to handle capacity exhaustion as a value instead).
     pub fn insert(&mut self, tuple: &[Elem]) -> bool {
+        self.try_insert(tuple)
+            .unwrap_or_else(|e| panic!("relation overflow: {e}"))
+    }
+
+    /// Inserts `tuple`, returning `Ok(true)` if it was not already present,
+    /// `Ok(false)` on a duplicate, and [`CapacityError`] when the relation
+    /// already holds [`MAX_ROWS`] tuples — row ids are `u32`, and before
+    /// this check `self.rows as u32` wrapped past 2^32 rows, silently
+    /// aliasing new tuples with row 0 in the dedup map.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn try_insert(&mut self, tuple: &[Elem]) -> Result<bool, CapacityError> {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
         let hash = tuple_hash(tuple);
-        let bucket = self.dedup.entry(hash).or_default();
         let data = &self.data;
         let arity = self.arity;
-        if bucket
-            .iter()
-            .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
-        {
-            return false;
+        if let Some(bucket) = self.dedup.get(&hash) {
+            if bucket
+                .iter()
+                .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+            {
+                return Ok(false);
+            }
         }
-        bucket.push(self.rows as u32);
+        // Check capacity only after the duplicate probe: membership queries
+        // against a full relation must keep answering, not erroring.
+        let row = next_row_id(self.rows)?;
+        self.dedup.entry(hash).or_default().push(row);
         self.data.extend_from_slice(tuple);
         self.rows += 1;
         self.order = OnceLock::new();
-        true
+        Ok(true)
     }
 
     /// Removes `tuple`, returning `true` if it was present. The vacated row
@@ -206,7 +263,10 @@ impl Relation {
         if bucket.is_empty() {
             self.dedup.remove(&hash);
         }
-        let last = (self.rows - 1) as u32;
+        // `rows <= MAX_ROWS` is an invariant enforced by `try_insert`, so the
+        // conversion cannot truncate; keep it checked anyway so a future
+        // violation fails loudly instead of corrupting the dedup map.
+        let last = u32::try_from(self.rows - 1).expect("rows bounded by MAX_ROWS");
         if row != last {
             // Move the last row into the hole and repoint its dedup entry.
             let (head, tail) = self.data.split_at_mut(last as usize * arity);
@@ -230,7 +290,8 @@ impl Relation {
     /// first use after a mutation and cached.
     fn order(&self) -> &[u32] {
         self.order.get_or_init(|| {
-            let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+            let end = u32::try_from(self.rows).expect("rows bounded by MAX_ROWS");
+            let mut perm: Vec<u32> = (0..end).collect();
             if self.arity > 0 {
                 perm.sort_unstable_by(|&a, &b| self.row(a).cmp(self.row(b)));
             }
@@ -386,6 +447,31 @@ mod tests {
         assert_ne!(a, b);
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn row_id_allocation_is_checked_at_capacity() {
+        // The guard itself, without materializing 2^32 tuples.
+        assert_eq!(next_row_id(0), Ok(0));
+        assert_eq!(next_row_id(MAX_ROWS - 1), Ok(u32::MAX - 1));
+        let err = next_row_id(MAX_ROWS).unwrap_err();
+        assert_eq!(err.rows, MAX_ROWS);
+        let err = next_row_id(MAX_ROWS + 7).unwrap_err();
+        assert_eq!(err.rows, MAX_ROWS + 7);
+        let msg = err.to_string();
+        assert!(msg.contains("u32 row-id capacity"), "unhelpful: {msg}");
+        // `rows == MAX_ROWS` itself stays addressable by the remove/order
+        // paths: the last row id handed out is u32::MAX - 1.
+        assert!(u32::try_from(MAX_ROWS).is_ok());
+    }
+
+    #[test]
+    fn try_insert_reports_duplicates_without_consuming_capacity() {
+        let mut r = Relation::new(2);
+        assert_eq!(r.try_insert(&t(&[1, 2])), Ok(true));
+        assert_eq!(r.try_insert(&t(&[1, 2])), Ok(false));
+        assert_eq!(r.try_insert(&t(&[2, 1])), Ok(true));
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Minimal blocking client for the wire protocol.
+//!
+//! One connection per request (the server's framing discipline). For
+//! concurrent requests, call [`Client::request_async`] from as many
+//! threads as you want in flight — the handles collect responses and
+//! client-side latency, which is what the smoke workload and the bench
+//! probe measure.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// A handle to a server address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&self, request: &Request) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        write_frame(&mut stream, &request.to_frame())?;
+        let frame = read_frame(&mut stream)?;
+        Response::from_frame(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one request on a fresh thread; the handle yields the response
+    /// and the wall-clock latency as measured at the client.
+    pub fn request_async(&self, request: Request) -> JoinHandle<io::Result<(Response, Duration)>> {
+        let client = *self;
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let response = client.request(&request)?;
+            Ok((response, started.elapsed()))
+        })
+    }
+}

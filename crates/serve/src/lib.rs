@@ -1,0 +1,46 @@
+//! # tgdkit-serve
+//!
+//! Entailment-as-a-service on top of the tgdkit engine: a long-lived,
+//! multi-tenant server that accepts ontologies and
+//! entailment/batch-entailment/rewrite requests over a length-prefixed
+//! wire protocol and schedules them preemptively.
+//!
+//! The procedures served here are 2EXPTIME in the worst case (the
+//! rewriting characterizations of the source paper), so a fair server
+//! cannot run requests to completion: the [`scheduler`] runs each request
+//! for a quantum, suspends long runs through the engine's
+//! checkpoint/resume entry points (`entails_batch_checkpointing`,
+//! `guarded_to_linear_checkpointing`, ...), round-robins across tenants,
+//! and resumes. Because suspension rides the same byte-exact checkpoint
+//! machinery as the PR-5 memory trips, **verdicts under time-slicing are
+//! identical to dedicated runs** — property-tested in
+//! `tests/proptest_serve.rs` and re-checked end-to-end by the
+//! [`smoke`] workload CI runs.
+//!
+//! Module map:
+//! - [`proto`]: the `TGCK`-framed wire protocol (requests, responses,
+//!   stream framing);
+//! - [`job`]: one admitted request, runnable a slice at a time;
+//! - [`tenant`]: per-tenant admission limits, entailment cache,
+//!   byte accounting, counters;
+//! - [`scheduler`]: worker threads + round-robin ring over tenants;
+//! - [`server`]: TCP accept loop, connection-per-request framing;
+//! - [`client`]: minimal blocking client;
+//! - [`smoke`]: the mixed pathological/small workload used by
+//!   `tgdkit-serve --self-test` and the bench probe.
+
+pub mod client;
+pub mod job;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+pub mod smoke;
+pub mod tenant;
+
+pub use client::Client;
+pub use job::{Job, JobOutput, JobStep, SliceLimit};
+pub use proto::{Request, Response, RewriteTarget, TenantSnapshot, WireStats};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig};
+pub use smoke::{run_smoke, SmokeConfig, SmokeReport};
+pub use tenant::{TenantConfig, TenantState};

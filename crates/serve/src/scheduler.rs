@@ -1,0 +1,532 @@
+//! Preemptive round-robin scheduler over suspendable jobs.
+//!
+//! The scheduler is deliberately OS-like: each admitted request becomes a
+//! [`Job`], each worker thread repeatedly picks the next tenant in a
+//! round-robin ring, runs that tenant's front job for one quantum
+//! ([`SliceLimit::Wall`]), and either completes it (respond), fails it
+//! (byte-budget trip → error response, nobody else affected), or re-queues
+//! it behind the tenant's other work. A 2EXPTIME rewrite therefore costs
+//! its tenant throughput, never the fleet's: small requests from other
+//! tenants are at most one quantum (plus one engine body-group overshoot)
+//! away from a worker.
+//!
+//! Fairness invariant: a tenant is in the ring exactly when it has queued
+//! jobs and is not already there; a suspended job goes to the *back* of
+//! its tenant's queue and the tenant to the *back* of the ring, so within
+//! a tenant requests interleave too (no convoy behind the pathological
+//! one).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tracing::{debug, info, info_span, warn};
+
+use crate::job::{Job, JobOutput, JobStep, SliceLimit};
+use crate::proto::{
+    Request, Response, TenantSnapshot, OUTCOME_CANCELLED, OUTCOME_INCONCLUSIVE,
+    OUTCOME_NOT_REWRITABLE, OUTCOME_REWRITTEN,
+};
+use crate::tenant::{TenantConfig, TenantState};
+use tgdkit_core::rewrite::RewriteOutcome;
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Worker threads running slices.
+    pub workers: usize,
+    /// Wall-clock quantum per slice; the engine overshoots by at most one
+    /// body group past it before suspending.
+    pub quantum: Duration,
+    /// Limits applied to every tenant.
+    pub tenant: TenantConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            quantum: Duration::from_millis(25),
+            tenant: TenantConfig::default(),
+        }
+    }
+}
+
+/// A job waiting in (or between) queues, with the channel its response
+/// goes out on.
+struct Pending {
+    tenant: String,
+    job: Job,
+    responder: Sender<Response>,
+}
+
+struct SchedState {
+    tenants: HashMap<String, TenantState>,
+    jobs: HashMap<u64, Pending>,
+    /// Tenants with queued jobs, in round-robin order.
+    ring: VecDeque<String>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+impl SchedState {
+    /// Ring maintenance: add `tenant` iff it has queued work and is absent.
+    fn ring_add(&mut self, tenant: &str) {
+        let queued = self
+            .tenants
+            .get(tenant)
+            .is_some_and(|t| !t.queue.is_empty());
+        if queued && !self.ring.iter().any(|n| n == tenant) {
+            self.ring.push_back(tenant.to_string());
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    work: Condvar,
+}
+
+/// The multi-tenant scheduler: admission, queues, and worker threads.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Starts `config.workers` worker threads.
+    pub fn new(config: SchedulerConfig) -> Arc<Scheduler> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                tenants: HashMap::new(),
+                jobs: HashMap::new(),
+                ring: VecDeque::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let scheduler = Arc::new(Scheduler {
+            shared: shared.clone(),
+            workers: Mutex::new(Vec::new()),
+            config,
+        });
+        let mut workers = scheduler.workers.lock().expect("fresh lock");
+        for i in 0..config.workers.max(1) {
+            let shared = shared.clone();
+            let quantum = config.quantum;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tgdkit-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, quantum))
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        scheduler
+    }
+
+    /// Admission control + enqueue. Always returns a receiver that will
+    /// yield exactly one [`Response`] — rejections and parse failures are
+    /// delivered through it as error responses, so the connection path has
+    /// a single shape.
+    pub fn submit(&self, request: Request) -> Receiver<Response> {
+        let span = info_span!("submit");
+        let _guard = span.enter();
+        let (tx, rx) = channel();
+        match &request {
+            Request::Stats => {
+                let _ = tx.send(Response::Stats {
+                    tenants: self.snapshot(),
+                });
+                return rx;
+            }
+            Request::Shutdown => {
+                self.shutdown();
+                let _ = tx.send(Response::Ok);
+                return rx;
+            }
+            Request::Entail { tenant, .. }
+            | Request::Batch { tenant, .. }
+            | Request::Rewrite { tenant, .. } => {
+                let tenant = tenant.clone();
+                let job = match Job::build(&request) {
+                    Ok(job) => job,
+                    Err(message) => {
+                        let mut state = self.shared.state.lock().expect("sched lock");
+                        state
+                            .tenants
+                            .entry(tenant.clone())
+                            .or_insert_with(|| TenantState::new(&tenant, &self.config.tenant))
+                            .rejected += 1;
+                        let _ = tx.send(Response::Error { message });
+                        return rx;
+                    }
+                };
+                let mut state = self.shared.state.lock().expect("sched lock");
+                if state.shutdown {
+                    let _ = tx.send(Response::Error {
+                        message: "server is shutting down".into(),
+                    });
+                    return rx;
+                }
+                let max_depth = self.config.tenant.max_queue_depth;
+                let entry = state
+                    .tenants
+                    .entry(tenant.clone())
+                    .or_insert_with(|| TenantState::new(&tenant, &self.config.tenant));
+                if entry.queue.len() >= max_depth {
+                    entry.rejected += 1;
+                    warn!("tenant {tenant}: queue full, rejecting");
+                    let _ = tx.send(Response::Error {
+                        message: format!(
+                            "admission denied: tenant queue depth {max_depth} reached"
+                        ),
+                    });
+                    return rx;
+                }
+                if entry.accountant.tripped() {
+                    entry.rejected += 1;
+                    warn!("tenant {tenant}: byte budget exhausted, rejecting");
+                    let _ = tx.send(Response::Error {
+                        message: "admission denied: tenant byte budget exhausted".into(),
+                    });
+                    return rx;
+                }
+                entry.admitted += 1;
+                let id = state.next_id;
+                state.next_id += 1;
+                state
+                    .tenants
+                    .get_mut(&tenant)
+                    .expect("tenant just touched")
+                    .queue
+                    .push_back(id);
+                state.jobs.insert(
+                    id,
+                    Pending {
+                        tenant: tenant.clone(),
+                        job,
+                        responder: tx,
+                    },
+                );
+                state.ring_add(&tenant);
+                debug!("tenant {tenant}: admitted job {id}");
+                drop(state);
+                self.shared.work.notify_one();
+            }
+        }
+        rx
+    }
+
+    /// Per-tenant counters, in tenant-name order (deterministic output).
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let state = self.shared.state.lock().expect("sched lock");
+        let mut snaps: Vec<TenantSnapshot> =
+            state.tenants.values().map(TenantState::snapshot).collect();
+        snaps.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        snaps
+    }
+
+    /// Signals shutdown and wakes every worker. Queued jobs are answered
+    /// with an error response; running slices finish their quantum.
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("sched lock");
+        if state.shutdown {
+            return;
+        }
+        state.shutdown = true;
+        for (_, pending) in state.jobs.drain() {
+            let _ = pending.responder.send(Response::Error {
+                message: "server is shutting down".into(),
+            });
+        }
+        state.ring.clear();
+        for tenant in state.tenants.values_mut() {
+            tenant.queue.clear();
+        }
+        drop(state);
+        self.shared.work.notify_all();
+        info!("scheduler shutdown requested");
+    }
+
+    /// Joins the worker threads (after [`Scheduler::shutdown`]).
+    pub fn join(&self) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker list"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The wire tag for a final rewrite outcome.
+///
+/// # Panics
+/// Panics on [`RewriteOutcome::Suspended`] — suspension is scheduler
+/// state, never a response.
+pub fn outcome_tag(outcome: &RewriteOutcome) -> u8 {
+    match outcome {
+        RewriteOutcome::Rewritten(_) => OUTCOME_REWRITTEN,
+        RewriteOutcome::NotRewritable => OUTCOME_NOT_REWRITABLE,
+        RewriteOutcome::Inconclusive => OUTCOME_INCONCLUSIVE,
+        RewriteOutcome::Cancelled => OUTCOME_CANCELLED,
+        RewriteOutcome::Suspended => panic!("suspended is not a final outcome"),
+    }
+}
+
+/// Builds the response for a finished job.
+fn respond_done(output: JobOutput, stats: crate::proto::WireStats) -> Response {
+    match output {
+        JobOutput::Verdicts(verdicts) => Response::Verdicts { verdicts, stats },
+        JobOutput::Rewrite { outcome, rewritten } => Response::Rewrite {
+            outcome: outcome_tag(&outcome),
+            rewritten,
+            stats,
+        },
+    }
+}
+
+fn worker_loop(shared: &Shared, quantum: Duration) {
+    let span = info_span!("worker");
+    let _guard = span.enter();
+    loop {
+        // Pick the next (tenant, job) under the lock.
+        let (id, mut pending, cache) = {
+            let mut state = shared.state.lock().expect("sched lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(tenant_name) = state.ring.pop_front() {
+                    let tenant = state
+                        .tenants
+                        .get_mut(&tenant_name)
+                        .expect("ring tenants exist");
+                    let id = tenant.queue.pop_front().expect("ring tenants have work");
+                    tenant.quanta += 1;
+                    let cache = tenant.cache.clone();
+                    state.ring_add(&tenant_name);
+                    let pending = state.jobs.remove(&id).expect("queued job exists");
+                    break (id, pending, cache);
+                }
+                state = shared.work.wait(state).expect("sched lock");
+            }
+        };
+
+        // Run one quantum with the lock released: other workers keep
+        // scheduling while this slice executes.
+        let step = pending.job.run_slice(&cache, SliceLimit::Wall(quantum));
+
+        let mut state = shared.state.lock().expect("sched lock");
+        if state.shutdown {
+            let _ = pending.responder.send(Response::Error {
+                message: "server is shutting down".into(),
+            });
+            return;
+        }
+        let tenant_name = pending.tenant.clone();
+        let tenant = state
+            .tenants
+            .get_mut(&tenant_name)
+            .expect("tenant outlives its jobs");
+        match step {
+            JobStep::Suspended => {
+                tenant.suspensions += 1;
+                debug!(
+                    "tenant {tenant_name}: job {id} suspended (quantum {})",
+                    pending.job.stats.quanta
+                );
+                tenant.queue.push_back(id);
+                state.jobs.insert(id, pending);
+                state.ring_add(&tenant_name);
+                drop(state);
+                shared.work.notify_one();
+            }
+            JobStep::Done(output) => {
+                tenant.completed += 1;
+                tenant
+                    .accountant
+                    .charge_to(pending.job.stats.mem_peak_bytes as usize);
+                info!(
+                    "tenant {tenant_name}: job {id} done after {} quanta / {} suspensions",
+                    pending.job.stats.quanta, pending.job.stats.suspensions
+                );
+                let stats = pending.job.stats;
+                drop(state);
+                let _ = pending.responder.send(respond_done(output, stats));
+            }
+            JobStep::MemExceeded => {
+                tenant.completed += 1;
+                tenant
+                    .accountant
+                    .charge_to(pending.job.stats.mem_peak_bytes as usize);
+                warn!("tenant {tenant_name}: job {id} tripped its byte budget");
+                let peak = pending.job.stats.mem_peak_bytes;
+                drop(state);
+                let _ = pending.responder.send(Response::Error {
+                    message: format!(
+                        "memory budget exceeded (peak {peak} bytes); resubmit with a larger max_bytes"
+                    ),
+                });
+            }
+            JobStep::Failed(message) => {
+                tenant.completed += 1;
+                warn!("tenant {tenant_name}: job {id} failed: {message}");
+                drop(state);
+                let _ = pending.responder.send(Response::Error { message });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_chase::ChaseBudget;
+    use tgdkit_chase::Entailment;
+
+    fn entail(tenant: &str, candidate: &str) -> Request {
+        Request::Entail {
+            tenant: tenant.into(),
+            budget: ChaseBudget::default(),
+            program: "R(x0, x1) -> S(x1). S(x0) -> T(x0).".into(),
+            candidate: candidate.into(),
+        }
+    }
+
+    #[test]
+    fn scheduler_answers_requests_across_tenants() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let rx_a = sched.submit(entail("a", "R(x0, x1) -> T(x1)."));
+        let rx_b = sched.submit(entail("b", "S(x0) -> R(x0, x0)."));
+        match rx_a.recv().expect("response a") {
+            Response::Verdicts { verdicts, stats } => {
+                assert_eq!(verdicts, vec![Entailment::Proved]);
+                assert!(stats.quanta >= 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match rx_b.recv().expect("response b") {
+            Response::Verdicts { verdicts, .. } => {
+                assert_eq!(verdicts, vec![Entailment::Disproved])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let snaps = sched.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps.iter().all(|s| s.admitted == 1 && s.completed == 1));
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn parse_errors_are_error_responses() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let rx = sched.submit(entail("a", "nonsense"));
+        match rx.recv().expect("response") {
+            Response::Error { message } => assert!(message.contains("parse error"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(sched.snapshot()[0].rejected, 1);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn queue_depth_admission_rejects_the_overflow() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            tenant: TenantConfig {
+                max_queue_depth: 1,
+                ..TenantConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        // Burst faster than one worker drains: at least one rejection is
+        // not guaranteed deterministically, so assert on the bookkeeping
+        // instead — every submission is either admitted or rejected.
+        let receivers: Vec<_> = (0..8)
+            .map(|_| sched.submit(entail("a", "R(x0, x1) -> T(x1).")))
+            .collect();
+        let mut errors = 0;
+        for rx in receivers {
+            if let Response::Error { message } = rx.recv().expect("response") {
+                assert!(message.contains("admission denied"), "{message}");
+                errors += 1;
+            }
+        }
+        let snap = &sched.snapshot()[0];
+        assert_eq!(snap.admitted + snap.rejected, 8);
+        assert_eq!(snap.rejected, errors);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn tenant_byte_cap_blocks_only_that_tenant() {
+        let sched = Scheduler::new(SchedulerConfig {
+            tenant: TenantConfig {
+                max_bytes: 1,
+                ..TenantConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        // A guarded Σ (two-atom body) so the chase actually runs — an
+        // all-linear Σ settles via the saturation fast path with zero
+        // observed bytes and would never charge the tenant accountant.
+        let guarded = |tenant: &str| Request::Entail {
+            tenant: tenant.into(),
+            budget: ChaseBudget::default(),
+            program: "R(x0, x1) -> S(x1). S(x0), R(x0, x1) -> T(x1).".into(),
+            candidate: "R(x0, x1) -> S(x1).".into(),
+        };
+        // First request completes and charges its peak (> 1 byte) to the
+        // tenant accountant.
+        let rx = sched.submit(guarded("greedy"));
+        match rx.recv().expect("response") {
+            Response::Verdicts { verdicts, stats } => {
+                assert_eq!(verdicts, vec![Entailment::Proved]);
+                assert!(stats.mem_peak_bytes > 1, "chase observed no memory");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The accountant is now tripped: the tenant's next request is
+        // rejected at admission...
+        let rx = sched.submit(guarded("greedy"));
+        match rx.recv().expect("response") {
+            Response::Error { message } => {
+                assert!(message.contains("byte budget exhausted"), "{message}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...while another tenant sails through with the same workload
+        // (its own accountant also trips *after* completion, but the
+        // verdict is unperturbed).
+        let rx = sched.submit(guarded("other"));
+        match rx.recv().expect("response") {
+            Response::Verdicts { verdicts, .. } => {
+                assert_eq!(verdicts, vec![Entailment::Proved])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn stats_and_shutdown_requests_answer_inline() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let rx = sched.submit(Request::Stats);
+        assert!(matches!(rx.recv().expect("stats"), Response::Stats { .. }));
+        let rx = sched.submit(Request::Shutdown);
+        assert!(matches!(rx.recv().expect("ok"), Response::Ok));
+        sched.join();
+        // Post-shutdown submissions fail cleanly.
+        let rx = sched.submit(entail("a", "R(x0, x1) -> T(x1)."));
+        assert!(matches!(rx.recv().expect("late"), Response::Error { .. }));
+    }
+}

@@ -1,0 +1,243 @@
+//! TCP front end: accept loop, connection-per-request framing.
+//!
+//! A connection carries exactly one request frame and one response frame —
+//! the simplest discipline that can never interleave responses, at the
+//! cost of a connect per in-flight request (loopback connects are
+//! microseconds; every request here runs a chase). Clients that want N
+//! requests in flight open N connections; see [`crate::client::Client`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tracing::{debug, info, info_span, warn};
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// Server tuning: scheduler config plus the bind address.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Scheduler tuning.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A running entailment server.
+pub struct Server {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the scheduler workers and the accept loop, and
+    /// returns immediately.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let scheduler = Scheduler::new(config.scheduler);
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let scheduler = scheduler.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("tgdkit-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &scheduler, &stop))?
+        };
+        info!("tgdkit-serve listening on {addr}");
+        Ok(Server {
+            addr,
+            scheduler,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler, for in-process stats scraping.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Stops accepting, shuts the scheduler down, and joins every thread.
+    /// Idempotent with the wire-level `Shutdown` request — whichever
+    /// arrives first wins, the other is a no-op.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until a wire-level `Shutdown` request stops the accept loop
+    /// (the scheduler drains as part of handling it), then joins every
+    /// thread. What `tgdkit-serve --listen` runs.
+    pub fn run_until_shutdown(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            self.scheduler.shutdown();
+            // Unblock the accept loop with a throwaway connection; the
+            // loop re-checks the stop flag before handling it.
+            let _ = TcpStream::connect(self.addr);
+        }
+        // Join unconditionally: a wire-level Shutdown may have set the
+        // flag already, but the threads are still ours to reap.
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.scheduler.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, scheduler: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                let scheduler = scheduler.clone();
+                let stop = stop.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("tgdkit-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &scheduler, &stop));
+                if let Err(e) = spawned {
+                    warn!("connection thread spawn failed: {e}");
+                }
+            }
+            Err(e) => {
+                warn!("accept error: {e}");
+            }
+        }
+    }
+}
+
+/// One request frame in, one response frame out. All failure modes answer
+/// on the wire when possible; none of them touch other connections.
+fn handle_connection(mut stream: TcpStream, scheduler: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+    let span = info_span!("conn");
+    let _guard = span.enter();
+    let frame = match read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(e) => {
+            debug!("short read: {e}");
+            return;
+        }
+    };
+    let request = match Request::from_frame(&frame) {
+        Ok(request) => request,
+        Err(e) => {
+            let resp = Response::Error {
+                message: format!("malformed request: {e}"),
+            };
+            let _ = write_frame(&mut stream, &resp.to_frame());
+            return;
+        }
+    };
+    let is_shutdown = matches!(request, Request::Shutdown);
+    let rx = scheduler.submit(request);
+    let response = rx.recv().unwrap_or_else(|_| Response::Error {
+        message: "request dropped (server shutting down)".into(),
+    });
+    if let Err(e) = write_frame(&mut stream, &response.to_frame()) {
+        debug!("response write failed: {e}");
+    }
+    if is_shutdown {
+        // Answer first, then stop the accept loop (scheduler is already
+        // draining). The throwaway self-connect unblocks `incoming()`.
+        if !stop.swap(true, Ordering::SeqCst) {
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use tgdkit_chase::{ChaseBudget, Entailment};
+
+    #[test]
+    fn end_to_end_entail_stats_shutdown() {
+        let server = Server::start(ServerConfig::default()).expect("bind");
+        let client = Client::new(server.addr());
+
+        let resp = client
+            .request(&Request::Entail {
+                tenant: "e2e".into(),
+                budget: ChaseBudget::default(),
+                program: "R(x0, x1) -> S(x1). S(x0) -> T(x0).".into(),
+                candidate: "R(x0, x1) -> T(x1).".into(),
+            })
+            .expect("entail round trip");
+        match resp {
+            Response::Verdicts { verdicts, stats } => {
+                assert_eq!(verdicts, vec![Entailment::Proved]);
+                assert!(stats.quanta >= 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match client.request(&Request::Stats).expect("stats round trip") {
+            Response::Stats { tenants } => {
+                assert_eq!(tenants.len(), 1);
+                assert_eq!(tenants[0].tenant, "e2e");
+                assert_eq!(tenants[0].completed, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert!(matches!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::Ok
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses() {
+        let server = Server::start(ServerConfig::default()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut bad = Request::Stats.to_frame();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // break the checksum
+        write_frame(&mut stream, &bad).expect("send");
+        let frame = read_frame(&mut stream).expect("error response");
+        match Response::from_frame(&frame).expect("decode") {
+            Response::Error { message } => {
+                assert!(message.contains("malformed request"), "{message}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,247 @@
+//! Mixed-workload smoke test: one pathological rewrite + small entailments.
+//!
+//! This is the CI gate for the scheduler's reason to exist: while a
+//! branching-chain rewrite (the worst-case-regime workload from the bench
+//! suite) is repeatedly suspended and resumed, small entailment requests
+//! from other tenants must keep completing with low latency. The same
+//! routine backs `tgdkit-serve --self-test` (process exit code) and the
+//! bench probe that emits `serve/*` fields into `BENCH_rewrite.json`.
+
+use std::time::{Duration, Instant};
+
+use tgdkit_chase::ChaseBudget;
+
+use crate::client::Client;
+use crate::job::{Job, JobOutput, JobStep};
+use crate::proto::{Request, Response, RewriteTarget};
+use crate::scheduler::SchedulerConfig;
+use crate::server::{Server, ServerConfig};
+use crate::tenant::TenantConfig;
+
+/// The pathological ontology: a guarded branching chain whose candidate
+/// filtering does levels-deep chase work per body group — long enough to
+/// be time-sliced many times at a small quantum, structured enough that
+/// suspension boundaries (body groups) come frequently.
+pub fn pathological_program(levels: usize) -> String {
+    let mut text = String::new();
+    for i in 1..=levels {
+        let p = i - 1;
+        text.push_str(&format!("L{p}(x) -> exists y : E{i}(x,y). "));
+        text.push_str(&format!("E{i}(x,y) -> L{i}(y). "));
+        text.push_str(&format!("L{p}(x) -> exists y : F{i}(x,y). "));
+        text.push_str(&format!("F{i}(x,y) -> L{i}(y). "));
+    }
+    text.push_str("E1(x,y), L1(y) -> D(x).");
+    text
+}
+
+/// A small entailment request for tenant `tenant`: two chase rounds, a
+/// provable candidate, single-digit milliseconds dedicated.
+pub fn small_request(tenant: &str) -> Request {
+    Request::Entail {
+        tenant: tenant.into(),
+        budget: ChaseBudget::default(),
+        program: "R(x0, x1) -> S(x1). S(x0) -> T(x0).".into(),
+        candidate: "R(x0, x1) -> T(x1).".into(),
+    }
+}
+
+/// What [`run_smoke`] measured.
+#[derive(Debug, Clone)]
+pub struct SmokeReport {
+    /// Total client requests issued (rewrite + smalls).
+    pub requests: u64,
+    /// Times the pathological rewrite was suspended and re-queued.
+    pub rewrite_suspensions: u64,
+    /// Scheduler quanta the rewrite consumed.
+    pub rewrite_quanta: u64,
+    /// Wire outcome tag of the served rewrite.
+    pub rewrite_outcome: u8,
+    /// Whether the served (time-sliced) rewrite matched a dedicated
+    /// in-process run: same outcome tag and same rewriting members.
+    pub rewrite_matches_dedicated: bool,
+    /// Client-side wall latency of the rewrite.
+    pub rewrite_ms: u64,
+    /// Sorted client-side latencies of the small requests, milliseconds.
+    pub small_latencies_ms: Vec<u64>,
+    /// Small requests that completed while the rewrite was still in
+    /// flight.
+    pub smalls_finished_before_rewrite: usize,
+    /// Small requests answered with the expected verdict.
+    pub smalls_correct: usize,
+}
+
+impl SmokeReport {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.small_latencies_ms.is_empty() {
+            return 0;
+        }
+        let rank = ((self.small_latencies_ms.len() - 1) as f64 * p).round() as usize;
+        self.small_latencies_ms[rank]
+    }
+
+    /// Median small-request latency.
+    pub fn small_p50_ms(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile small-request latency.
+    pub fn small_p99_ms(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Smoke tuning; defaults are the CI shape.
+#[derive(Debug, Clone)]
+pub struct SmokeConfig {
+    /// Branching-chain depth of the pathological rewrite.
+    pub levels: usize,
+    /// Small requests to issue while the rewrite runs.
+    pub smalls: usize,
+    /// Scheduler quantum.
+    pub quantum: Duration,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        SmokeConfig {
+            // Deep enough that the candidate-filtering loop spans several
+            // quanta (the gate wants >= 3 suspensions with margin; this
+            // shape yields ~5 on a laptop-class core, more on slower CI).
+            levels: 5,
+            smalls: 12,
+            quantum: Duration::from_millis(10),
+            workers: 2,
+        }
+    }
+}
+
+/// Runs the mixed workload against a fresh server and reports what
+/// happened. Errors are strings, ready for a process exit message.
+pub fn run_smoke(config: &SmokeConfig) -> Result<SmokeReport, String> {
+    let program = pathological_program(config.levels);
+    let rewrite_request = Request::Rewrite {
+        tenant: "heavy".into(),
+        budget: ChaseBudget::default(),
+        program: program.clone(),
+        target: RewriteTarget::Linear,
+    };
+
+    // Dedicated reference run (no server, no slicing): the equivalence arm
+    // of the acceptance criterion.
+    let mut reference_job =
+        Job::build(&rewrite_request).map_err(|e| format!("reference build: {e}"))?;
+    let reference_cache = tgdkit_chase::EntailCache::with_capacity(
+        tgdkit_chase::DEFAULT_CACHE_MAX_ENTRIES,
+        tgdkit_chase::DEFAULT_CACHE_MAX_BYTES,
+    );
+    let reference = match reference_job.run_to_completion(&reference_cache) {
+        JobStep::Done(JobOutput::Rewrite { outcome, rewritten }) => (outcome, rewritten),
+        other => return Err(format!("reference rewrite did not finish: {other:?}")),
+    };
+
+    let server = Server::start(ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: config.workers,
+            quantum: config.quantum,
+            tenant: TenantConfig::default(),
+        },
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let client = Client::new(server.addr());
+
+    let rewrite_started = Instant::now();
+    let rewrite_handle = client.request_async(rewrite_request);
+
+    // Give the scheduler a beat so the rewrite occupies a worker before
+    // the smalls arrive — the contention the smoke exists to measure.
+    std::thread::sleep(config.quantum);
+
+    let mut small_latencies_ms = Vec::with_capacity(config.smalls);
+    let mut smalls_correct = 0;
+    let mut smalls_finished_before_rewrite = 0;
+    for i in 0..config.smalls {
+        let tenant = format!("small-{}", i % 3);
+        let started = Instant::now();
+        let response = client
+            .request(&small_request(&tenant))
+            .map_err(|e| format!("small request {i}: {e}"))?;
+        small_latencies_ms.push(started.elapsed().as_millis() as u64);
+        if !rewrite_handle.is_finished() {
+            smalls_finished_before_rewrite += 1;
+        }
+        match response {
+            Response::Verdicts { verdicts, .. }
+                if verdicts == vec![tgdkit_chase::Entailment::Proved] =>
+            {
+                smalls_correct += 1;
+            }
+            other => return Err(format!("small request {i} got {other:?}")),
+        }
+    }
+
+    let (rewrite_response, _latency) = rewrite_handle
+        .join()
+        .map_err(|_| "rewrite client thread panicked".to_string())?
+        .map_err(|e| format!("rewrite request: {e}"))?;
+    let rewrite_ms = rewrite_started.elapsed().as_millis() as u64;
+    let (outcome, rewritten, stats) = match rewrite_response {
+        Response::Rewrite {
+            outcome,
+            rewritten,
+            stats,
+        } => (outcome, rewritten, stats),
+        other => return Err(format!("rewrite got {other:?}")),
+    };
+
+    server.shutdown();
+
+    let (ref_outcome, ref_rewritten) = reference;
+    let ref_tag = crate::scheduler::outcome_tag(&ref_outcome);
+    let rewrite_matches_dedicated = outcome == ref_tag && rewritten == *ref_rewritten;
+
+    small_latencies_ms.sort_unstable();
+    Ok(SmokeReport {
+        requests: 1 + config.smalls as u64,
+        rewrite_suspensions: stats.suspensions,
+        rewrite_quanta: stats.quanta,
+        rewrite_outcome: outcome,
+        rewrite_matches_dedicated,
+        rewrite_ms,
+        small_latencies_ms,
+        smalls_finished_before_rewrite,
+        smalls_correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let report = SmokeReport {
+            requests: 0,
+            rewrite_suspensions: 0,
+            rewrite_quanta: 0,
+            rewrite_outcome: 0,
+            rewrite_matches_dedicated: true,
+            rewrite_ms: 0,
+            small_latencies_ms: vec![1, 2, 3, 4, 100],
+            smalls_finished_before_rewrite: 0,
+            smalls_correct: 0,
+        };
+        assert_eq!(report.small_p50_ms(), 3);
+        assert_eq!(report.small_p99_ms(), 100);
+    }
+
+    #[test]
+    fn pathological_program_parses() {
+        let program = pathological_program(3);
+        let parsed = tgdkit_logic::parse_program(&program).expect("parses");
+        assert!(parsed.tgds().len() >= 13);
+    }
+}

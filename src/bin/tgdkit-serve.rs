@@ -1,0 +1,243 @@
+//! The tgdkit entailment server.
+//!
+//! ```text
+//! tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N]   serve requests until a Shutdown frame
+//! tgdkit-serve --self-test [--levels N] [--smalls N]            run the mixed smoke workload and gate on it
+//! ```
+//!
+//! `--listen` starts the multi-tenant scheduler (see `tgdkit-serve`'s
+//! crate docs for the wire protocol) and blocks until a client sends a
+//! `Shutdown` request. `--self-test` is the CI entry point: it runs one
+//! pathological guarded→linear rewrite next to a stream of small
+//! entailments from other tenants and fails the process unless
+//!
+//! - every small request completed with the expected verdict,
+//! - small requests kept completing while the rewrite was in flight,
+//! - the rewrite was actually time-sliced (suspended and resumed), and
+//! - its time-sliced verdict matched a dedicated (unsliced) run.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tgdkit_serve::smoke::{run_smoke, SmokeConfig};
+use tgdkit_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+tgdkit-serve — multi-tenant entailment service (tgdkit engine)
+
+USAGE:
+  tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N]
+  tgdkit-serve --self-test [--levels N] [--smalls N] [--quantum-ms N] [--workers N]
+";
+
+struct Flags {
+    listen: Option<String>,
+    self_test: bool,
+    levels: Option<usize>,
+    smalls: Option<usize>,
+    quantum_ms: Option<u64>,
+    workers: Option<usize>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        listen: None,
+        self_test: false,
+        levels: None,
+        smalls: None,
+        quantum_ms: None,
+        workers: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--self-test" => flags.self_test = true,
+            "--listen" => flags.listen = Some(value("--listen")?),
+            "--levels" => flags.levels = Some(parse_num(&value("--levels")?, "--levels")?),
+            "--smalls" => flags.smalls = Some(parse_num(&value("--smalls")?, "--smalls")?),
+            "--quantum-ms" => {
+                flags.quantum_ms = Some(parse_num(&value("--quantum-ms")?, "--quantum-ms")? as u64)
+            }
+            "--workers" => flags.workers = Some(parse_num(&value("--workers")?, "--workers")?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if flags.self_test == flags.listen.is_some() {
+        return Err(USAGE.to_string());
+    }
+    Ok(flags)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} expects a number, got {text:?}"))
+}
+
+fn self_test(flags: &Flags) -> Result<String, String> {
+    let defaults = SmokeConfig::default();
+    let config = SmokeConfig {
+        levels: flags.levels.unwrap_or(defaults.levels),
+        smalls: flags.smalls.unwrap_or(defaults.smalls),
+        quantum: flags
+            .quantum_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.quantum),
+        workers: flags.workers.unwrap_or(defaults.workers),
+    };
+    let report = run_smoke(&config)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "requests: {} (1 rewrite + {} smalls)\n",
+        report.requests, config.smalls
+    ));
+    out.push_str(&format!(
+        "rewrite: outcome tag {} in {} ms, {} quanta, {} suspensions, matches dedicated: {}\n",
+        report.rewrite_outcome,
+        report.rewrite_ms,
+        report.rewrite_quanta,
+        report.rewrite_suspensions,
+        report.rewrite_matches_dedicated
+    ));
+    out.push_str(&format!(
+        "smalls: {}/{} correct, {} finished while the rewrite was in flight, p50 {} ms, p99 {} ms\n",
+        report.smalls_correct,
+        config.smalls,
+        report.smalls_finished_before_rewrite,
+        report.small_p50_ms(),
+        report.small_p99_ms()
+    ));
+
+    // The acceptance gates. Latency gets a generous absolute bound — CI
+    // machines are slow and shared — but the structural properties
+    // (sliced ≡ dedicated, smalls made progress during the rewrite,
+    // the rewrite really was preempted) are exact.
+    let mut failures = Vec::new();
+    if report.smalls_correct != config.smalls {
+        failures.push(format!(
+            "only {}/{} small requests answered correctly",
+            report.smalls_correct, config.smalls
+        ));
+    }
+    if !report.rewrite_matches_dedicated {
+        failures.push("time-sliced rewrite diverged from the dedicated run".into());
+    }
+    if report.rewrite_suspensions < 3 {
+        failures.push(format!(
+            "rewrite was suspended only {} times (expected >= 3: it should be time-sliced repeatedly)",
+            report.rewrite_suspensions
+        ));
+    }
+    if report.smalls_finished_before_rewrite == 0 {
+        failures.push("no small request completed while the rewrite was in flight".into());
+    }
+    let latency_bound_ms = 100 * config.quantum.as_millis().max(1) as u64;
+    if report.small_p99_ms() > latency_bound_ms {
+        failures.push(format!(
+            "small p99 {} ms exceeds {} ms",
+            report.small_p99_ms(),
+            latency_bound_ms
+        ));
+    }
+    if failures.is_empty() {
+        out.push_str("self-test: PASS\n");
+        Ok(out)
+    } else {
+        Err(format!("{out}self-test: FAIL\n  {}", failures.join("\n  ")))
+    }
+}
+
+fn listen(flags: &Flags) -> Result<String, String> {
+    let defaults = ServerConfig::default();
+    let mut scheduler = defaults.scheduler;
+    if let Some(workers) = flags.workers {
+        scheduler.workers = workers;
+    }
+    if let Some(quantum_ms) = flags.quantum_ms {
+        scheduler.quantum = Duration::from_millis(quantum_ms);
+    }
+    let server = Server::start(ServerConfig {
+        addr: flags.listen.clone().expect("listen mode"),
+        scheduler,
+    })
+    .map_err(|e| format!("cannot listen: {e}"))?;
+    println!("tgdkit-serve listening on {}", server.addr());
+    // Blocks until a client sends a Shutdown request (or the process is
+    // killed); the scheduler drains queued work with error responses.
+    server.run_until_shutdown();
+    Ok("tgdkit-serve: shut down cleanly\n".into())
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    if flags.self_test {
+        self_test(&flags)
+    } else {
+        listen(&flags)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_on_bad_args() {
+        assert!(parse_flags(&[]).is_err());
+        assert!(parse_flags(&strings(&["--bogus"])).is_err());
+        // --listen and --self-test are mutually exclusive modes.
+        assert!(parse_flags(&strings(&["--listen", "127.0.0.1:0", "--self-test"])).is_err());
+        assert!(parse_flags(&strings(&["--quantum-ms", "ten", "--self-test"])).is_err());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let flags = parse_flags(&strings(&[
+            "--self-test",
+            "--levels",
+            "2",
+            "--smalls",
+            "4",
+            "--quantum-ms",
+            "10",
+            "--workers",
+            "1",
+        ]))
+        .unwrap();
+        assert!(flags.self_test);
+        assert_eq!(flags.levels, Some(2));
+        assert_eq!(flags.smalls, Some(4));
+        assert_eq!(flags.quantum_ms, Some(10));
+        assert_eq!(flags.workers, Some(1));
+    }
+
+    #[test]
+    fn self_test_passes_on_the_default_shape() {
+        let flags = parse_flags(&strings(&["--self-test"])).unwrap();
+        let out = self_test(&flags).unwrap_or_else(|e| panic!("self-test failed:\n{e}"));
+        assert!(out.contains("self-test: PASS"), "{out}");
+    }
+}

@@ -15,7 +15,9 @@
 //! - [`hom`] — homomorphisms, conjunctive queries, isomorphism, cores;
 //! - [`chase_crate`] — chase engines, termination certificates, entailment;
 //! - [`core`] — ontologies, closure properties, locality, separations,
-//!   synthesis, and the rewriting algorithms.
+//!   synthesis, and the rewriting algorithms;
+//! - [`serve`] — the multi-tenant entailment service: wire protocol,
+//!   preemptive scheduler, and the `tgdkit-serve` binary's internals.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use tgdkit_core as core;
 pub use tgdkit_hom as hom;
 pub use tgdkit_instance as instance;
 pub use tgdkit_logic as logic;
+pub use tgdkit_serve as serve;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

@@ -1,0 +1,271 @@
+//! Scheduler-equivalence property tests for the entailment service: for
+//! any quantum boundaries (arbitrary per-slice `Checks(k)` limits) and any
+//! tenant interleaving, running requests a slice at a time through
+//! [`tgdkit::serve::Job`] yields verdicts — and the deterministic parts of
+//! the stats — identical to dedicated (unsliced) runs; and a tenant that
+//! trips its byte budget never perturbs another tenant's verdict.
+//!
+//! These drive the same `Job::run_slice` the server's scheduler runs, with
+//! the deterministic check-countdown quantum instead of wall clock, so a
+//! failing schedule replays exactly.
+
+use proptest::prelude::*;
+use tgdkit::chase_crate::{
+    ChaseBudget, EntailCache, Entailment, DEFAULT_CACHE_MAX_BYTES, DEFAULT_CACHE_MAX_ENTRIES,
+};
+use tgdkit::core::workload::{generate_set, Family, WorkloadParams};
+use tgdkit::core::RewriteOutcome;
+use tgdkit::logic::TgdSet;
+use tgdkit::serve::{Job, JobOutput, JobStep, Request, RewriteTarget, SliceLimit};
+
+fn cache() -> EntailCache {
+    EntailCache::with_capacity(DEFAULT_CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_BYTES)
+}
+
+/// Renders a generated set as the program text the wire protocol carries.
+fn render(set: &TgdSet) -> String {
+    let schema = set.schema();
+    set.tgds()
+        .iter()
+        .map(|t| format!("{}. ", t.display(schema)))
+        .collect()
+}
+
+/// A batch request over generated guarded rules: Σ from `sigma_seed`,
+/// candidates from `cand_seed` over the same predicate vocabulary, so some
+/// candidates are entailed and some are not.
+fn batch_request(tenant: &str, sigma_seed: u64, cand_seed: u64, rules: usize) -> Request {
+    let params = WorkloadParams {
+        predicates: 3,
+        max_arity: 2,
+        rules,
+        body_atoms: 2,
+        head_atoms: 1,
+        universals: 2,
+        existentials: 1,
+    };
+    let sigma = generate_set(&params, Family::Guarded, sigma_seed);
+    let candidates = generate_set(&params, Family::Guarded, cand_seed);
+    Request::Batch {
+        tenant: tenant.into(),
+        budget: ChaseBudget {
+            max_facts: 2_000,
+            max_rounds: 12,
+            max_bytes: usize::MAX,
+        },
+        program: render(&sigma),
+        candidates: render(&candidates),
+    }
+}
+
+fn dedicated_verdicts(request: &Request) -> Vec<Entailment> {
+    let mut job = Job::build(request).expect("request builds");
+    match job.run_to_completion(&cache()) {
+        JobStep::Done(JobOutput::Verdicts(v)) => v,
+        other => panic!("dedicated run did not finish: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property (tentpole acceptance): interleaved time-sliced execution
+    /// of N concurrent requests — arbitrary per-slice quantum boundaries,
+    /// arbitrary tenant interleaving, one shared cache — produces exactly
+    /// the verdicts of dedicated runs, with the bookkeeping invariant
+    /// `suspensions == quanta - 1` per request.
+    #[test]
+    fn interleaved_slicing_matches_dedicated_runs(
+        seeds in proptest::collection::vec(0u64..500, 2..5),
+        schedule in proptest::collection::vec(0usize..64, 1..48),
+        quanta in proptest::collection::vec(1u64..4, 1..48),
+    ) {
+        let requests: Vec<Request> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| batch_request(&format!("tenant-{i}"), *s, s.wrapping_add(17), 1 + (*s as usize % 3)))
+            .collect();
+        let references: Vec<Vec<Entailment>> =
+            requests.iter().map(dedicated_verdicts).collect();
+
+        let shared = cache();
+        let mut jobs: Vec<Option<Job>> =
+            requests.iter().map(|r| Some(Job::build(r).expect("builds"))).collect();
+        let mut results: Vec<Option<Vec<Entailment>>> = vec![None; jobs.len()];
+        let mut step = 0usize;
+        while results.iter().any(Option::is_none) {
+            // Pick the next unfinished job per the random schedule; fall
+            // back to round-robin once the schedule vector is exhausted.
+            let pick = *schedule.get(step % schedule.len()).unwrap_or(&step) + step;
+            let open: Vec<usize> =
+                (0..jobs.len()).filter(|i| results[*i].is_none()).collect();
+            let i = open[pick % open.len()];
+            let k = quanta[step % quanta.len()];
+            let job = jobs[i].as_mut().expect("unfinished job exists");
+            match job.run_slice(&shared, SliceLimit::Checks(k)) {
+                JobStep::Suspended => prop_assert!(job.is_suspended()),
+                JobStep::Done(JobOutput::Verdicts(v)) => {
+                    prop_assert_eq!(
+                        job.stats.suspensions, job.stats.quanta - 1,
+                        "every non-final slice suspended"
+                    );
+                    results[i] = Some(v);
+                }
+                other => prop_assert!(false, "unexpected step {:?}", other),
+            }
+            step += 1;
+            prop_assert!(step < 100_000, "scheduler made no progress");
+        }
+        for (i, reference) in references.iter().enumerate() {
+            prop_assert_eq!(
+                results[i].as_ref().expect("finished"),
+                reference,
+                "sliced verdicts diverged for request {}", i
+            );
+        }
+    }
+
+    /// Property: a single request sliced at arbitrary boundaries matches
+    /// its dedicated run not just in verdicts but in the deterministic
+    /// stats — cache misses and observed memory peak — when both run
+    /// against fresh caches.
+    #[test]
+    fn sliced_stats_match_dedicated_stats(
+        seed in 0u64..500,
+        k in 1u64..5,
+    ) {
+        let request = batch_request("t", seed, seed.wrapping_add(29), 2);
+        let mut dedicated = Job::build(&request).expect("builds");
+        let reference = match dedicated.run_to_completion(&cache()) {
+            JobStep::Done(JobOutput::Verdicts(v)) => v,
+            other => panic!("dedicated run did not finish: {other:?}"),
+        };
+
+        let own = cache();
+        let mut sliced = Job::build(&request).expect("builds");
+        let verdicts = loop {
+            match sliced.run_slice(&own, SliceLimit::Checks(k)) {
+                JobStep::Suspended => continue,
+                JobStep::Done(JobOutput::Verdicts(v)) => break v,
+                other => panic!("unexpected step {other:?}"),
+            }
+        };
+        prop_assert_eq!(verdicts, reference);
+        prop_assert_eq!(sliced.stats.cache_misses, dedicated.stats.cache_misses);
+        prop_assert_eq!(sliced.stats.mem_peak_bytes, dedicated.stats.mem_peak_bytes);
+    }
+
+    /// Property: rewrite requests are slice-equivalent too — same outcome
+    /// and same rewritten members under any deterministic quantum.
+    #[test]
+    fn sliced_rewrite_matches_dedicated(
+        seed in 0u64..200,
+        k in 1u64..4,
+    ) {
+        let params = WorkloadParams {
+            predicates: 2,
+            max_arity: 2,
+            rules: 2,
+            body_atoms: 2,
+            head_atoms: 1,
+            universals: 2,
+            existentials: 1,
+        };
+        let set = generate_set(&params, Family::Guarded, seed);
+        let request = Request::Rewrite {
+            tenant: "rw".into(),
+            budget: ChaseBudget {
+                max_facts: 2_000,
+                max_rounds: 12,
+                max_bytes: usize::MAX,
+            },
+            program: render(&set),
+            target: RewriteTarget::Linear,
+        };
+
+        let mut dedicated = Job::build(&request).expect("builds");
+        let (ref_outcome, ref_rewritten) = match dedicated.run_to_completion(&cache()) {
+            JobStep::Done(JobOutput::Rewrite { outcome, rewritten }) => (outcome, rewritten),
+            other => panic!("dedicated rewrite did not finish: {other:?}"),
+        };
+
+        let own = cache();
+        let mut sliced = Job::build(&request).expect("builds");
+        let (outcome, rewritten) = loop {
+            match sliced.run_slice(&own, SliceLimit::Checks(k)) {
+                JobStep::Suspended => continue,
+                JobStep::Done(JobOutput::Rewrite { outcome, rewritten }) => {
+                    break (outcome, rewritten)
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        };
+        prop_assert_eq!(
+            std::mem::discriminant(&outcome),
+            std::mem::discriminant(&ref_outcome),
+            "outcome class diverged: {:?} vs {:?}", outcome, ref_outcome
+        );
+        if let (RewriteOutcome::Rewritten(_), RewriteOutcome::Rewritten(_)) =
+            (&outcome, &ref_outcome)
+        {
+            prop_assert_eq!(rewritten, ref_rewritten);
+        }
+    }
+
+    /// Property (tenant isolation): a request that trips its own byte
+    /// budget fails with `MemExceeded` without perturbing an interleaved
+    /// request from another tenant — whose verdicts stay byte-identical
+    /// to its dedicated run even though the two share scheduler slices.
+    #[test]
+    fn byte_tripping_request_never_perturbs_another_tenant(
+        seed in 0u64..500,
+        k in 1u64..4,
+    ) {
+        let victim_request = batch_request("victim", seed, seed.wrapping_add(41), 2);
+        let reference = dedicated_verdicts(&victim_request);
+
+        // The greedy tenant's request has a 1-byte budget over a guarded
+        // program with two body groups: the first group's chase residency
+        // trips the accountant at the second group boundary.
+        let greedy_request = Request::Batch {
+            tenant: "greedy".into(),
+            budget: ChaseBudget {
+                max_facts: 2_000,
+                max_rounds: 12,
+                max_bytes: 1,
+            },
+            program: "R(x0, x1) -> exists z0 : R(x1, z0).".into(),
+            candidates: "R(x0, x1) -> R(x1, x0). R(x0, x0) -> R(x0, x0).".into(),
+        };
+
+        let shared = cache();
+        let mut greedy = Some(Job::build(&greedy_request).expect("builds"));
+        let mut victim = Job::build(&victim_request).expect("builds");
+        let mut greedy_failed = false;
+        let verdicts = loop {
+            if let Some(job) = greedy.as_mut() {
+                match job.run_slice(&shared, SliceLimit::Checks(k)) {
+                    JobStep::MemExceeded => {
+                        greedy_failed = true;
+                        greedy = None;
+                    }
+                    JobStep::Suspended => {}
+                    JobStep::Done(_) => {
+                        greedy = None; // settled before the boundary saw the trip
+                    }
+                    other => panic!("unexpected greedy step {other:?}"),
+                }
+            }
+            match victim.run_slice(&shared, SliceLimit::Checks(k)) {
+                JobStep::Suspended => continue,
+                JobStep::Done(JobOutput::Verdicts(v)) => break v,
+                other => panic!("unexpected victim step {other:?}"),
+            }
+        };
+        if let Some(job) = greedy.as_mut() {
+            greedy_failed = matches!(job.run_to_completion(&shared), JobStep::MemExceeded);
+        }
+        prop_assert!(greedy_failed, "the 1-byte budget must trip");
+        prop_assert_eq!(verdicts, reference, "victim verdicts perturbed by the trip");
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for the `tracing` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the tracing 0.1 API that tgdkit-serve uses:
+//! [`Span`]s created by the [`span!`]/[`info_span!`] family (entered via
+//! [`Span::enter`] or [`Span::in_scope`]) and the leveled event macros
+//! ([`trace!`] through [`error!`]).
+//!
+//! Unlike upstream tracing there is no subscriber registry: events and
+//! span enter/exit lines are written to stderr, prefixed with the active
+//! span stack, and only when the `TGDKIT_TRACE` environment variable
+//! enables the event's level (`error` < `warn` < `info` < `debug` <
+//! `trace`; unset means silent). Formatting cost is only paid when
+//! emission is on, so instrumented hot paths stay cheap in production.
+//! The field syntax accepted is the `key = value` subset (plus a trailing
+//! format string) — no `%`/`?` sigils and no field recording after
+//! creation, which is all this workspace needs.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Verbosity level of a span or event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or isolation-breaking conditions.
+    ERROR,
+    /// Degraded but continuing.
+    WARN,
+    /// Request lifecycle landmarks.
+    INFO,
+    /// Scheduler decisions, cache traffic.
+    DEBUG,
+    /// Per-quantum minutiae.
+    TRACE,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::ERROR => "ERROR",
+            Level::WARN => "WARN",
+            Level::INFO => "INFO",
+            Level::DEBUG => "DEBUG",
+            Level::TRACE => "TRACE",
+        }
+    }
+}
+
+/// The maximum level `TGDKIT_TRACE` enables, parsed once per process.
+/// `None` (unset/unrecognized) disables all emission.
+fn max_level() -> Option<Level> {
+    static CACHE: OnceLock<Option<Level>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let var = std::env::var("TGDKIT_TRACE").ok()?;
+        match var.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::ERROR),
+            "warn" => Some(Level::WARN),
+            "info" | "1" | "true" => Some(Level::INFO),
+            "debug" => Some(Level::DEBUG),
+            "trace" => Some(Level::TRACE),
+            _ => None,
+        }
+    })
+}
+
+/// `true` when events at `level` should be written to stderr.
+#[doc(hidden)]
+pub fn level_enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+thread_local! {
+    /// Names of the spans currently entered on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Writes one event line: `LEVEL span.path: message`.
+#[doc(hidden)]
+pub fn emit(level: Level, args: fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    let path = SPAN_STACK.with(|s| s.borrow().join("."));
+    if path.is_empty() {
+        eprintln!("{:5} {args}", level.as_str());
+    } else {
+        eprintln!("{:5} {path}: {args}", level.as_str());
+    }
+}
+
+/// A named span. Entering pushes the name onto a thread-local stack that
+/// prefixes every event emitted while the guard lives.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// `None` for [`Span::none`] — entering is a no-op.
+    name: Option<&'static str>,
+    level: Level,
+}
+
+impl Span {
+    /// Creates a span (used by the [`span!`] macros; fields beyond the
+    /// name are rendered once at creation when emission is on).
+    #[doc(hidden)]
+    pub fn make(level: Level, name: &'static str, fields: Option<fmt::Arguments<'_>>) -> Span {
+        if level_enabled(level) {
+            if let Some(fields) = fields {
+                emit(level, format_args!("new span {name}{{{fields}}}"));
+            }
+        }
+        Span {
+            name: Some(name),
+            level,
+        }
+    }
+
+    /// A disabled span: entering it changes nothing.
+    pub fn none() -> Span {
+        Span {
+            name: None,
+            level: Level::TRACE,
+        }
+    }
+
+    /// Enters the span, returning a guard that exits it on drop.
+    pub fn enter(&self) -> Entered {
+        if let Some(name) = self.name {
+            SPAN_STACK.with(|s| s.borrow_mut().push(name));
+            Entered { active: true }
+        } else {
+            Entered { active: false }
+        }
+    }
+
+    /// Runs `f` inside the span.
+    pub fn in_scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.enter();
+        f()
+    }
+
+    /// The span's level (upstream parity; used by tests).
+    pub fn level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Guard returned by [`Span::enter`]; pops the span stack on drop.
+pub struct Entered {
+    active: bool,
+}
+
+impl Drop for Entered {
+    fn drop(&mut self) {
+        if self.active {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Creates a [`Span`]: `span!(Level::INFO, "name")` or
+/// `span!(Level::INFO, "name", key = value, ...)`.
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $name:expr) => {
+        $crate::Span::make($lvl, $name, ::core::option::Option::None)
+    };
+    ($lvl:expr, $name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::Span::make(
+            $lvl,
+            $name,
+            ::core::option::Option::Some(::core::format_args!(
+                ::core::concat!($(::core::stringify!($key), "={}", " "),+),
+                $($val),+
+            )),
+        )
+    };
+}
+
+/// `span!` at [`Level::TRACE`].
+#[macro_export]
+macro_rules! trace_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::TRACE, $($tt)*) };
+}
+
+/// `span!` at [`Level::DEBUG`].
+#[macro_export]
+macro_rules! debug_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::DEBUG, $($tt)*) };
+}
+
+/// `span!` at [`Level::INFO`].
+#[macro_export]
+macro_rules! info_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::INFO, $($tt)*) };
+}
+
+/// `span!` at [`Level::WARN`].
+#[macro_export]
+macro_rules! warn_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::WARN, $($tt)*) };
+}
+
+/// `span!` at [`Level::ERROR`].
+#[macro_export]
+macro_rules! error_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::ERROR, $($tt)*) };
+}
+
+/// Emits an event at an explicit level: `event!(Level::INFO, "fmt", ...)`.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $($arg:tt)+) => {
+        if $crate::level_enabled($lvl) {
+            $crate::emit($lvl, ::core::format_args!($($arg)+));
+        }
+    };
+}
+
+/// Emits a [`Level::TRACE`] event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// Emits a [`Level::DEBUG`] event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// Emits a [`Level::INFO`] event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+/// Emits a [`Level::WARN`] event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+/// Emits a [`Level::ERROR`] event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_from_severe_to_verbose() {
+        assert!(Level::ERROR < Level::WARN);
+        assert!(Level::WARN < Level::INFO);
+        assert!(Level::INFO < Level::DEBUG);
+        assert!(Level::DEBUG < Level::TRACE);
+    }
+
+    #[test]
+    fn span_stack_nests_and_unwinds() {
+        let outer = span!(Level::INFO, "outer");
+        let inner = debug_span!("inner", tenant = 3);
+        {
+            let _o = outer.enter();
+            let depth_inside = {
+                let _i = inner.enter();
+                SPAN_STACK.with(|s| s.borrow().clone())
+            };
+            assert_eq!(depth_inside, vec!["outer", "inner"]);
+            assert_eq!(SPAN_STACK.with(|s| s.borrow().clone()), vec!["outer"]);
+        }
+        assert!(SPAN_STACK.with(|s| s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn none_span_is_inert() {
+        let s = Span::none();
+        let _g = s.enter();
+        assert!(SPAN_STACK.with(|s| s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn in_scope_returns_value() {
+        let s = info_span!("scope");
+        assert_eq!(s.in_scope(|| 41 + 1), 42);
+        assert!(SPAN_STACK.with(|s| s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn macros_compile_with_fields_and_format_args() {
+        // Emission is off (TGDKIT_TRACE unset in tests), so these only
+        // exercise the macro expansions.
+        trace!("t {}", 1);
+        debug!("d");
+        info!("request {} done", "r1");
+        warn!("w");
+        error!("e");
+        event!(Level::INFO, "explicit {}", 2);
+        let _s = warn_span!("w");
+        let _s = error_span!("e", code = 7);
+        let _s = trace_span!("t");
+    }
+}
