@@ -36,11 +36,12 @@ use crate::govern::CancelToken;
 use crate::linear::entails_linear_governed;
 use crate::memory::MemoryAccountant;
 use crate::stats::{ChaseStats, TriggerSearch};
+use std::borrow::Cow;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use tgdkit_hom::{Binding, InstanceIndex};
 use tgdkit_instance::{Elem, FxBuildHasher};
 use tgdkit_logic::{canonical_tgd_with_key, tgd_variant_key, Schema, Tgd, TgdVariantKey};
@@ -104,9 +105,12 @@ struct CacheInner {
     // Keyed by variant key alone (the fingerprint/budget pair discriminates
     // inside the bucket): lookups then need no key clone and no SipHash —
     // the map uses the deterministic Fx hasher shared with the tuple store.
-    map: HashMap<TgdVariantKey, KeyedVerdicts, FxBuildHasher>,
+    // The key is `Arc`-shared with the eviction queue so a fresh store
+    // clones the encoded key once, not once per structure (`Borrow` lets
+    // lookups still probe with a plain `&TgdVariantKey`).
+    map: HashMap<Arc<TgdVariantKey>, KeyedVerdicts, FxBuildHasher>,
     /// Keys in first-insertion order — the deterministic eviction queue.
-    queue: VecDeque<TgdVariantKey>,
+    queue: VecDeque<Arc<TgdVariantKey>>,
     /// Estimated resident bytes of the map and queue contents.
     bytes: usize,
 }
@@ -336,8 +340,66 @@ impl EntailCache {
         v
     }
 
+    /// [`Self::lookup_key`] over a whole sequence of keys under **one**
+    /// read-lock acquisition, returning one slot per key in order. The
+    /// grouped evaluator resolves every member this way before its member
+    /// loop starts — per-member lookups made the shared lock word (and the
+    /// hit/miss counters) the hottest cache lines of the parallel sweep.
+    fn lookup_keys<'k>(
+        &self,
+        keys: impl Iterator<Item = &'k TgdVariantKey>,
+        fingerprint: u64,
+        budget: ChaseBudget,
+    ) -> Vec<Option<Entailment>> {
+        let inner = self.read_inner();
+        let out: Vec<Option<Entailment>> = keys
+            .map(|key| {
+                inner.map.get(key).and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|(fp, b, _)| *fp == fingerprint && *b == budget)
+                        .map(|(_, _, v)| *v)
+                })
+            })
+            .collect();
+        drop(inner);
+        let hits = out.iter().filter(|v| v.is_some()).count();
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(out.len() - hits, Ordering::Relaxed);
+        out
+    }
+
+    /// [`Self::store_key`] over a batch under **one** write-lock
+    /// acquisition. Stores land in iteration order, so the FIFO eviction
+    /// sequence is identical to storing one by one; `approx_bytes` is
+    /// refreshed once after the batch.
+    fn store_keys<'k>(
+        &self,
+        items: impl Iterator<Item = (&'k TgdVariantKey, Entailment)>,
+        fingerprint: u64,
+        budget: ChaseBudget,
+    ) {
+        let mut inner = self.write_inner();
+        for (key, v) in items {
+            self.store_locked(&mut inner, key, fingerprint, budget, v);
+        }
+        self.approx_bytes.store(inner.bytes, Ordering::Relaxed);
+    }
+
     fn store_key(&self, key: &TgdVariantKey, fingerprint: u64, budget: ChaseBudget, v: Entailment) {
         let mut inner = self.write_inner();
+        self.store_locked(&mut inner, key, fingerprint, budget, v);
+        self.approx_bytes.store(inner.bytes, Ordering::Relaxed);
+    }
+
+    fn store_locked(
+        &self,
+        inner: &mut CacheInner,
+        key: &TgdVariantKey,
+        fingerprint: u64,
+        budget: ChaseBudget,
+        v: Entailment,
+    ) {
         match inner.map.get_mut(key) {
             Some(entries) => {
                 match entries
@@ -352,10 +414,11 @@ impl EntailCache {
                 }
             }
             None => {
+                let shared = Arc::new(key.clone());
                 inner
                     .map
-                    .insert(key.clone(), vec![(fingerprint, budget, v)]);
-                inner.queue.push_back(key.clone());
+                    .insert(Arc::clone(&shared), vec![(fingerprint, budget, v)]);
+                inner.queue.push_back(shared);
                 inner.bytes += key_cost(key) + VERDICT_COST;
             }
         }
@@ -365,7 +428,7 @@ impl EntailCache {
             && (inner.map.len() > self.max_entries || inner.bytes > self.max_bytes)
         {
             let victim = inner.queue.pop_front().expect("queue tracks map keys");
-            if victim == *key {
+            if *victim == *key {
                 inner.queue.push_back(victim);
                 continue;
             }
@@ -375,28 +438,32 @@ impl EntailCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.approx_bytes.store(inner.bytes, Ordering::Relaxed);
     }
 }
 
 /// Candidates sharing one canonical body (hence one frozen instance, hence
 /// one chase). Produced by [`group_by_body`].
 #[derive(Debug, Clone)]
-pub struct BodyGroup {
+pub struct BodyGroup<'a> {
     /// `(index into the original slice, canonical representative, variant
     /// key)` for each member. The canonical form is what gets evaluated;
     /// verdicts are renaming-invariant, so they hold for the original
     /// candidate too. The key rides along so cache lookups never repeat the
     /// canonical ordering search.
-    pub members: Vec<(usize, Tgd, TgdVariantKey)>,
+    ///
+    /// Members borrow from the candidate pool when it is already canonical
+    /// ([`group_by_body_keyed`]) — cloning thousands of `Tgd`s just to
+    /// group them was a measurable slice of the evaluator's serial prelude
+    /// — and own freshly canonicalized forms otherwise ([`group_by_body`]).
+    pub members: Vec<(usize, Cow<'a, Tgd>, Cow<'a, TgdVariantKey>)>,
 }
 
 /// Groups candidates by the body of their canonical form
 /// ([`tgdkit_logic::canonical_tgd`]), preserving first-occurrence order of
 /// both groups and members (so downstream evaluation order is
 /// deterministic).
-pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup> {
-    let mut groups: Vec<BodyGroup> = Vec::new();
+pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup<'static>> {
+    let mut groups: Vec<BodyGroup<'static>> = Vec::new();
     // Grouping key: the body prefix of the variant key — equal prefixes iff
     // equal canonical bodies, and a flat `Vec<u32>` hashes much faster than
     // the atom vector it encodes.
@@ -413,7 +480,9 @@ pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup> {
                 groups.len() - 1
             }
         };
-        groups[slot].members.push((i, canon, key));
+        groups[slot]
+            .members
+            .push((i, Cow::Owned(canon), Cow::Owned(key)));
     }
     groups
 }
@@ -424,13 +493,16 @@ pub fn group_by_body(candidates: &[Tgd]) -> Vec<BodyGroup> {
 /// the canonical ordering search entirely and just buckets by the keys'
 /// body prefixes. Grouping, member order, and downstream verdicts are
 /// identical to [`group_by_body`] on the same candidates.
-pub fn group_by_body_keyed(candidates: &[Tgd], keys: &[TgdVariantKey]) -> Vec<BodyGroup> {
+pub fn group_by_body_keyed<'a>(
+    candidates: &'a [Tgd],
+    keys: &'a [TgdVariantKey],
+) -> Vec<BodyGroup<'a>> {
     assert_eq!(
         candidates.len(),
         keys.len(),
         "candidates and variant keys must be parallel"
     );
-    let mut groups: Vec<BodyGroup> = Vec::new();
+    let mut groups: Vec<BodyGroup<'a>> = Vec::new();
     let mut by_body: HashMap<&[u32], usize, FxBuildHasher> = HashMap::default();
     for (i, (c, key)) in candidates.iter().zip(keys).enumerate() {
         let slot = match by_body.get(key.body_prefix()) {
@@ -443,7 +515,9 @@ pub fn group_by_body_keyed(candidates: &[Tgd], keys: &[TgdVariantKey]) -> Vec<Bo
                 groups.len() - 1
             }
         };
-        groups[slot].members.push((i, c.clone(), key.clone()));
+        groups[slot]
+            .members
+            .push((i, Cow::Borrowed(c), Cow::Borrowed(key)));
     }
     groups
 }
@@ -527,15 +601,24 @@ pub fn evaluate_group(
     let sigma_linear = !sigma.is_empty() && sigma.iter().all(Tgd::is_linear);
     let mut shared: Option<(InstanceIndex, ChaseOutcome)> = None;
     let mut verdicts = Vec::with_capacity(group.members.len());
+    // Resolve the whole group against the cache under one read-lock
+    // acquisition, and defer stores to one write-lock acquisition after the
+    // member loop: with per-member lookup/store the shared `RwLock` was the
+    // hottest line of the parallel sweep. Deferring a store only delays when
+    // a concurrent worker could reuse the verdict (and drops it if the group
+    // panics) — both cost speed, never soundness.
+    let cached: Option<Vec<Option<Entailment>>> =
+        cache.map(|(c, fp)| c.lookup_keys(group.members.iter().map(|(_, _, k)| &**k), fp, budget));
+    let mut to_store: Vec<(usize, Entailment)> = Vec::new();
     // One binding buffer serves every head probe in the group.
     let mut fixed: Binding = Vec::new();
-    for (idx, cand, variant_key) in &group.members {
+    for (mi, (idx, cand, _)) in group.members.iter().enumerate() {
         if token.is_cancelled() {
             verdicts.push((*idx, Entailment::Unknown));
             continue;
         }
-        if let Some((c, fp)) = cache {
-            if let Some(v) = c.lookup_key(variant_key, fp, budget) {
+        if let Some(cached) = &cached {
+            if let Some(v) = cached[mi] {
                 stats.cache_hits += 1;
                 verdicts.push((*idx, v));
                 continue;
@@ -550,7 +633,7 @@ pub fn evaluate_group(
                 entails_linear_governed(schema, sigma, cand, budget.max_facts.max(10_000), token);
         }
         if verdict == Entailment::Unknown && !token.is_cancelled() {
-            let (index, outcome) = shared.get_or_insert_with(|| {
+            if shared.is_none() {
                 let frozen = freeze_body(schema, cand);
                 let result = chase_governed(
                     &frozen,
@@ -562,8 +645,17 @@ pub fn evaluate_group(
                 );
                 stats.bodies_chased += 1;
                 stats.chase.absorb(&result.stats);
-                (InstanceIndex::new(&result.instance), result.outcome)
-            });
+                // A cancelled chase yields a round-prefix, not the model the
+                // head probe needs: every member's verdict is `Unknown`
+                // regardless, so indexing the partial instance (milliseconds
+                // on a large chase) would be pure post-deadline work.
+                if result.outcome == ChaseOutcome::Cancelled {
+                    verdicts.push((*idx, Entailment::Unknown));
+                    continue;
+                }
+                shared = Some((InstanceIndex::new(&result.instance), result.outcome));
+            }
+            let (index, outcome) = shared.as_ref().expect("chase result shared above");
             stats.heads_probed += 1;
             // Inline Boolean-CQ probe over the head atoms (what
             // `Cq::boolean(..).holds_with_indexed(..)` does, minus the
@@ -574,11 +666,11 @@ pub fn evaluate_group(
                 *slot = Some(Elem(v as u32));
             }
             let mut head_holds = false;
-            tgdkit_hom::for_each_hom_indexed(
+            tgdkit_hom::for_each_hom_reusing(
                 cand.head(),
                 cand.var_count(),
                 index,
-                &fixed,
+                &mut fixed,
                 &mut |_| {
                     head_holds = true;
                     std::ops::ControlFlow::Break(())
@@ -601,10 +693,17 @@ pub fn evaluate_group(
             };
         }
         let storable = verdict != Entailment::Unknown || !token.is_tainted();
-        if let (Some((c, fp)), true) = (cache, storable) {
-            c.store_key(variant_key, fp, budget, verdict);
+        if cache.is_some() && storable {
+            to_store.push((mi, verdict));
         }
         verdicts.push((*idx, verdict));
+    }
+    if let (Some((c, fp)), false) = (cache, to_store.is_empty()) {
+        c.store_keys(
+            to_store.iter().map(|&(mi, v)| (&*group.members[mi].2, v)),
+            fp,
+            budget,
+        );
     }
     verdicts
 }
@@ -1251,7 +1350,7 @@ mod tests {
         let other = tgd_variant_key(&parse_tgd(&mut s, "R(x,x) -> T(x)").unwrap());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut guard = cache.inner.write().unwrap();
-            guard.map.insert(other.clone(), Vec::new());
+            guard.map.insert(Arc::new(other.clone()), Vec::new());
             panic!("unwound between map and queue updates");
         }));
         assert!(result.is_err());

@@ -339,6 +339,16 @@ type Trigger = (usize, Vec<Elem>);
 /// large enough that the atomic load is invisible in the profile.
 const CANCEL_CHECK_STRIDE: u32 = 64;
 
+/// How many triggers the apply loop fires between cooperative cancellation
+/// checks. A round's trigger set can run to thousands of entries, each with
+/// a satisfaction probe under the restricted variant, so an unpolled apply
+/// loop was the last multi-millisecond blind spot between a deadline
+/// expiring and the chase noticing (the deadline-overshoot probe in the
+/// bench caught it at 10–15 ms). A mid-apply cancellation **rolls the
+/// half-applied round back** to its boundary, preserving the round-prefix
+/// property the fault proptests pin down.
+const APPLY_CANCEL_STRIDE: u32 = 64;
+
 /// Collects `tgd`'s triggers against `index` into `out` — a full body
 /// search on the first round (`delta` = `None`), semi-naive afterwards (a
 /// new trigger must use at least one fact added in the previous round;
@@ -629,10 +639,11 @@ fn chase_impl(
     let mut resumable = true;
 
     let outcome = 'run: loop {
-        // Every cutoff below lands on a round boundary, so a cancelled (or
-        // fault-tripped) run's instance is exactly the state after its last
-        // completed round — the prefix property the proptests pin down,
-        // and the state a `ChaseCheckpoint` captures.
+        // Every cutoff below lands on a round boundary (the mid-apply
+        // cancellation poll rolls its half-applied round back to one), so a
+        // cancelled (or fault-tripped) run's instance is exactly the state
+        // after its last completed round — the prefix property the
+        // proptests pin down, and the state a `ChaseCheckpoint` captures.
         if token.is_cancelled() {
             break 'run ChaseOutcome::Cancelled;
         }
@@ -672,7 +683,41 @@ fn chase_impl(
         // Prefix of `added_this_round` already folded into the index.
         let mut folded = 0usize;
         let mut fired_this_round = false;
+        // Round-boundary watermarks: everything a mid-apply cancellation
+        // must undo to land the run back on the boundary (the index is not
+        // rolled back — it is local to this run and dead after the break).
+        let null_watermark = next_null;
+        let log_watermark = log.as_deref().map_or(0, |p| p.steps.len());
+        let fired_watermark = stats.triggers_fired;
+        let mut oblivious_undo: Vec<(usize, Vec<Elem>)> = Vec::new();
+        let mut since_apply_check = 0u32;
         for (ti, universal) in triggers {
+            since_apply_check += 1;
+            if since_apply_check >= APPLY_CANCEL_STRIDE {
+                since_apply_check = 0;
+                if token.is_cancelled() {
+                    // Roll the half-applied round back to its boundary:
+                    // the cancelled instance must be exactly the state
+                    // after the last *completed* round.
+                    for fact in &added_this_round {
+                        instance.remove_fact(fact.pred, &fact.args);
+                    }
+                    for (oti, ouni) in oblivious_undo.drain(..) {
+                        fired[oti].remove(&ouni);
+                    }
+                    if let Some(prov) = log.as_deref_mut() {
+                        prov.steps.truncate(log_watermark);
+                    }
+                    for e in null_watermark..next_null {
+                        nulls.remove(&Elem(e));
+                    }
+                    next_null = null_watermark;
+                    stats.triggers_fired = fired_watermark;
+                    rounds -= 1;
+                    stats.apply_time += apply_started.elapsed();
+                    break 'run ChaseOutcome::Cancelled;
+                }
+            }
             let tgd = &tgds[ti];
             if tgd.is_full() {
                 // Full tgds invent no nulls: firing is an idempotent set
@@ -730,6 +775,7 @@ fn chase_impl(
                     if !fired[ti].insert(universal.clone()) {
                         continue;
                     }
+                    oblivious_undo.push((ti, universal.clone()));
                 }
             }
             // Fire: fresh nulls for the existential variables.

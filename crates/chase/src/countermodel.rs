@@ -84,9 +84,11 @@ fn dfs(
     if *states_left == 0 {
         return None;
     }
-    // Cooperative cancellation every 256 expanded states; abandoning the
-    // search is sound (the caller reports `Unknown`, never `Proved`).
-    if (*states_left).is_multiple_of(256) && token.is_cancelled() {
+    // Cooperative cancellation every 32 expanded states — each expansion
+    // runs a violation search over the whole tgd set, so a coarser stride
+    // lets a tight deadline overshoot; abandoning the search is sound (the
+    // caller reports `Unknown`, never `Proved`).
+    if (*states_left).is_multiple_of(32) && token.is_cancelled() {
         *states_left = 0;
         return None;
     }

@@ -20,9 +20,13 @@ use tgdkit_chase::CancelToken;
 use tgdkit_instance::FxBuildHasher;
 use tgdkit_logic::{canonical_tgd_with_key, Atom, PredId, Schema, Tgd, TgdVariantKey, Var};
 
-/// How many enumerated candidates may pass between two cancellation checks
-/// inside the governed enumeration loops.
-const ENUM_CANCEL_STRIDE: usize = 512;
+/// How many enumeration-loop iterations may pass between two cancellation
+/// checks inside the governed enumeration loops. Strides are counted on a
+/// dedicated iteration counter, never on `tgds.len()`: rejected or deduped
+/// candidates leave the length unchanged, so a length-keyed stride either
+/// polls every iteration (parked on a multiple) or never again (parked off
+/// one) — exactly the deadline-overshoot failure mode.
+const ENUM_CANCEL_STRIDE: usize = 256;
 
 /// Budgets for candidate enumeration.
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +245,7 @@ pub fn linear_candidates_governed(
 ) -> Enumeration {
     let mut tgds = Vec::new();
     let mut exhaustive = true;
+    let mut since_check = 0usize;
     'outer: for (body_atom, distinct) in linear_bodies(schema, n) {
         if token.is_cancelled() {
             exhaustive = false;
@@ -256,9 +261,13 @@ pub fn linear_candidates_governed(
                 exhaustive = false;
                 break 'outer;
             }
-            if tgds.len() % ENUM_CANCEL_STRIDE == 0 && token.is_cancelled() {
-                exhaustive = false;
-                break 'outer;
+            since_check += 1;
+            if since_check >= ENUM_CANCEL_STRIDE {
+                since_check = 0;
+                if token.is_cancelled() {
+                    exhaustive = false;
+                    break 'outer;
+                }
             }
         }
     }
@@ -297,6 +306,7 @@ pub fn guarded_candidates_governed(
 ) -> Enumeration {
     let mut tgds = Vec::new();
     let mut exhaustive = true;
+    let mut since_check = 0usize;
     'outer: for (guard, distinct) in linear_bodies(schema, n) {
         if token.is_cancelled() {
             exhaustive = false;
@@ -346,9 +356,13 @@ pub fn guarded_candidates_governed(
                     exhaustive = false;
                     break 'outer;
                 }
-                if tgds.len() % ENUM_CANCEL_STRIDE == 0 && token.is_cancelled() {
-                    exhaustive = false;
-                    break 'outer;
+                since_check += 1;
+                if since_check >= ENUM_CANCEL_STRIDE {
+                    since_check = 0;
+                    if token.is_cancelled() {
+                        exhaustive = false;
+                        break 'outer;
+                    }
                 }
             }
         }

@@ -799,6 +799,21 @@ fn evaluate_candidates(
     cache: &EntailCache,
     token: &CancelToken,
 ) -> PoolEval {
+    // A token that tripped during enumeration must not pay for grouping:
+    // non-keyed grouping canonicalizes every candidate (~1µs each), which
+    // on a 20k pool is tens of milliseconds of post-deadline work. All
+    // candidates settle as `Unknown`, same as an immediate break below.
+    if token.is_cancelled() {
+        return PoolEval {
+            verdicts: vec![Entailment::Unknown; candidates.len()],
+            stats: EntailBatchStats {
+                candidates: candidates.len(),
+                ..Default::default()
+            },
+            steals: 0,
+            panics_contained: 0,
+        };
+    }
     // Enumerator-produced pools carry their variant keys (dedup computed
     // them anyway); grouping then skips the canonical ordering search.
     let groups = match keys {

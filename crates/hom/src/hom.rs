@@ -1,9 +1,21 @@
 //! Backtracking homomorphism search.
+//!
+//! Execution follows a compiled [`JoinPlan`](crate::plan::JoinPlan): each
+//! step carries the set of argument positions statically known to be bound,
+//! and the executor picks a join algorithm per step — a fully-bound
+//! containment probe, a multi-position hash join against a cached
+//! [`JoinTable`](crate::index), an indexed nested loop over the shortest
+//! postings list, or a (chunked, columnar) relation scan. Unification is
+//! always re-verified element-wise against the binding, so the algorithm
+//! choice affects speed, never the visited set.
 
-use crate::index::InstanceIndex;
+use crate::index::{InstanceIndex, Tuples};
+use crate::plan::{
+    plan_join_cached, record_join_counters, record_trivial_plan, step_for, PlanStep,
+};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
-use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_instance::{store, Elem, Fact, Instance};
 use tgdkit_logic::{Atom, Var};
 
 /// A partial assignment of variables to elements (`None` = unassigned).
@@ -63,6 +75,22 @@ pub fn for_each_hom_indexed(
     search(atoms, num_vars, index, fixed, visit);
 }
 
+/// [`for_each_hom_indexed`] with a caller-owned binding buffer: `binding`
+/// plays the role of the fixed partial assignment and serves in place as
+/// the search's working state (grown to `num_vars` slots if shorter, and
+/// restored to exactly its entry assignments on return). Hot probe loops
+/// reuse one buffer across thousands of calls instead of cloning a fresh
+/// `Binding` per probe.
+pub fn for_each_hom_reusing(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    binding: &mut Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) {
+    search_in(atoms, num_vars, index, binding, visit);
+}
+
 /// Enumerates homomorphisms from `atoms` into `target`, invoking `visit` for
 /// each; the callback can stop the enumeration early by returning
 /// [`ControlFlow::Break`].
@@ -101,6 +129,7 @@ pub fn for_each_hom_seminaive(
     fixed: &Binding,
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) {
+    let mut anchor_undo: Vec<u32> = Vec::new();
     for (anchor, atom) in atoms.iter().enumerate() {
         // The non-anchor conjunction is the same for every delta fact at
         // this anchor; build it once instead of once per fact.
@@ -112,20 +141,42 @@ pub fn for_each_hom_seminaive(
             .collect();
         // The join plan depends only on which variables are bound — the
         // fixed ones plus the anchor atom's — not on the anchoring fact,
-        // so one plan serves every delta fact at this anchor.
+        // so one plan serves every delta fact at this anchor (and, through
+        // the plan cache, every round requesting the same shape).
         let mut bound_vars: Vec<bool> = fixed.iter().map(Option::is_some).collect();
         bound_vars.resize(num_vars.max(fixed.len()), false);
         for v in &atom.args {
             bound_vars[v.index()] = true;
         }
-        let order = crate::plan::plan_join(&rest, index, &bound_vars);
+        let one_step;
+        let cached;
+        let steps: &[PlanStep] = match rest.len() {
+            0 => &[],
+            1 => {
+                // One remaining atom needs no planning or cache traffic.
+                record_trivial_plan();
+                one_step = [step_for(0, &rest[0], |vi| {
+                    bound_vars.get(vi).copied().unwrap_or(false)
+                })];
+                &one_step
+            }
+            _ => {
+                cached = plan_join_cached(&rest, index, &bound_vars);
+                &cached.steps
+            }
+        };
+        let mut exec = Exec::new(&rest, steps, index);
+        // One binding buffer per anchor, reset between facts by undoing the
+        // anchor's own assignments (the executor restores everything else).
+        let mut binding = fixed.clone();
+        binding.resize(num_vars.max(fixed.len()), None);
+        let mut stop = false;
         for fact in delta {
             if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
                 continue;
             }
             // Bind the anchor atom to the delta fact.
-            let mut binding = fixed.clone();
-            binding.resize(num_vars.max(fixed.len()), None);
+            anchor_undo.clear();
             let mut ok = true;
             for (&v, &e) in atom.args.iter().zip(&fact.args) {
                 match binding[v.index()] {
@@ -133,28 +184,37 @@ pub fn for_each_hom_seminaive(
                         ok = false;
                         break;
                     }
-                    _ => binding[v.index()] = Some(e),
+                    Some(_) => {}
+                    None => {
+                        binding[v.index()] = Some(e);
+                        anchor_undo.push(v.index() as u32);
+                    }
                 }
             }
-            if !ok {
-                continue;
+            if ok {
+                let _ = exec.run(0, &mut binding, &mut |binding| {
+                    let flow = visit(binding);
+                    stop = flow.is_break();
+                    flow
+                });
             }
-            let mut stop = false;
-            let _ = recurse(&rest, &order, 0, index, &mut binding, &mut |binding| {
-                let flow = visit(binding);
-                stop = flow.is_break();
-                flow
-            });
+            for &vi in &anchor_undo {
+                binding[vi as usize] = None;
+            }
             if stop {
-                return;
+                break;
             }
+        }
+        exec.flush();
+        if stop {
+            return;
         }
     }
 }
 
-/// The planned recursive search behind the public entry points: compute the
-/// selectivity-guided atom order once ([`crate::plan::plan_join`]), then
-/// follow it.
+/// The planned recursive search behind the public entry points: fetch the
+/// compiled join plan once (inline for ≤1 atom, memoized otherwise), then
+/// execute it.
 fn search(
     atoms: &[Atom<Var>],
     num_vars: usize,
@@ -163,90 +223,287 @@ fn search(
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) {
     let mut binding: Binding = fixed.clone();
-    binding.resize(num_vars.max(fixed.len()), None);
-    let bound_vars: Vec<bool> = binding.iter().map(Option::is_some).collect();
-    let order = crate::plan::plan_join(atoms, index, &bound_vars);
-    let _ = recurse(atoms, &order, 0, index, &mut binding, visit);
+    search_in(atoms, num_vars, index, &mut binding, visit);
 }
 
-fn recurse(
+/// [`search`] on a caller-owned working binding (the allocation-free core).
+fn search_in(
     atoms: &[Atom<Var>],
-    order: &[usize],
-    depth: usize,
+    num_vars: usize,
     index: &InstanceIndex,
     binding: &mut Binding,
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
-) -> ControlFlow<()> {
-    let Some(&atom_idx) = order.get(depth) else {
-        return visit(binding);
+) {
+    if binding.len() < num_vars {
+        binding.resize(num_vars, None);
+    }
+    // ≤1-atom conjunctions bypass the shared plan cache: a single atom has
+    // exactly one evaluation order, and recomputing its step is cheaper
+    // than a key hash plus a lock acquisition. Most probe traffic (linear
+    // bodies, small CQ heads) lands here.
+    let one_step;
+    let cached;
+    let steps: &[PlanStep] = match atoms.len() {
+        0 => &[],
+        1 => {
+            record_trivial_plan();
+            one_step = [step_for(0, &atoms[0], |vi| {
+                binding.get(vi).is_some_and(|b| b.is_some())
+            })];
+            &one_step
+        }
+        _ => {
+            let bound_vars: Vec<bool> = binding.iter().map(Option::is_some).collect();
+            cached = plan_join_cached(atoms, index, &bound_vars);
+            &cached.steps
+        }
     };
-    let atom = &atoms[atom_idx];
+    let mut exec = Exec::new(atoms, steps, index);
+    let _ = exec.run(0, binding, visit);
+    exec.flush();
+}
 
-    // Choose the candidate source: the shortest posting list among bound
-    // positions, or the full relation.
-    let mut source: Option<&[u32]> = None;
-    for (pos, &v) in atom.args.iter().enumerate() {
-        if let Some(e) = binding[v.index()] {
-            let postings = index.postings(atom.pred, pos, e);
-            if source.is_none_or(|s| postings.len() < s.len()) {
-                source = Some(postings);
-            }
+/// Relations smaller than this stay on the nested-loop path even when a
+/// multi-position hash join is possible — building a table over a handful
+/// of rows costs more than scanning them.
+const HASH_MIN_ROWS: usize = 16;
+
+/// Locally accumulated join telemetry, flushed to the global counters once
+/// per search so the hot loop touches no atomics.
+#[derive(Default)]
+struct JoinCounters {
+    hash_joins: u64,
+    nested_loop_joins: u64,
+    build_rows: u64,
+    probe_rows: u64,
+}
+
+/// One planned search over a fixed conjunction: the plan's step slice, the
+/// index, and the per-search scratch state (a shared undo stack instead of
+/// a per-tuple `Vec` of newly bound variables, and a reusable key buffer
+/// for fully-bound probes).
+struct Exec<'a> {
+    atoms: &'a [Atom<Var>],
+    steps: &'a [PlanStep],
+    index: &'a InstanceIndex,
+    undo: Vec<Var>,
+    key_buf: Vec<Elem>,
+    counters: JoinCounters,
+}
+
+std::thread_local! {
+    /// Parked scratch buffers handed to the next [`Exec`] on this thread.
+    /// Probe-heavy callers run millions of one-atom searches; without the
+    /// pool each search pays a malloc/free for its first `undo`/`key_buf`
+    /// push. A nested search (a visit callback starting its own) finds the
+    /// slot empty and allocates fresh — correct, just unpooled.
+    static EXEC_SCRATCH: std::cell::Cell<Option<(Vec<Var>, Vec<Elem>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl<'a> Exec<'a> {
+    fn new(atoms: &'a [Atom<Var>], steps: &'a [PlanStep], index: &'a InstanceIndex) -> Exec<'a> {
+        let (undo, key_buf) = EXEC_SCRATCH.take().unwrap_or_default();
+        Exec {
+            atoms,
+            steps,
+            index,
+            undo,
+            key_buf,
+            counters: JoinCounters::default(),
         }
     }
 
-    let try_tuple = |tuple: &[Elem],
-                     binding: &mut Binding,
-                     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>|
-     -> ControlFlow<()> {
-        // Unify the atom's variables with the tuple.
-        let mut newly_bound: Vec<Var> = Vec::new();
+    /// Publishes the locally accumulated telemetry. Call once per search
+    /// (re-running after a flush keeps accumulating from zero).
+    fn flush(&mut self) {
+        let c = std::mem::take(&mut self.counters);
+        record_join_counters(
+            c.hash_joins,
+            c.nested_loop_joins,
+            c.build_rows,
+            c.probe_rows,
+        );
+    }
+
+    /// Unifies the atom of step `depth` with row `row` of `tuples`,
+    /// recursing on success; the binding is restored either way.
+    fn try_row(
+        &mut self,
+        depth: usize,
+        atom: &Atom<Var>,
+        tuples: Tuples<'a>,
+        row: usize,
+        binding: &mut Binding,
+        visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let mark = self.undo.len();
         let mut ok = true;
         for (pos, &v) in atom.args.iter().enumerate() {
+            let e = tuples.at(row, pos);
             match binding[v.index()] {
-                Some(e) if e == tuple[pos] => {}
+                Some(prev) if prev == e => {}
                 Some(_) => {
                     ok = false;
                     break;
                 }
                 None => {
-                    binding[v.index()] = Some(tuple[pos]);
-                    newly_bound.push(v);
+                    binding[v.index()] = Some(e);
+                    self.undo.push(v);
                 }
             }
         }
         let flow = if ok {
-            recurse(atoms, order, depth + 1, index, binding, visit)
+            self.run(depth + 1, binding, visit)
         } else {
             ControlFlow::Continue(())
         };
-        for v in newly_bound {
+        for v in self.undo.drain(mark..) {
             binding[v.index()] = None;
         }
         flow
-    };
+    }
 
-    match source {
-        Some(postings) => {
-            let tuples = index.tuples(atom.pred);
+    /// Executes plan steps from `depth` on, visiting every extension of
+    /// `binding` that matches the remaining atoms.
+    fn run(
+        &mut self,
+        depth: usize,
+        binding: &mut Binding,
+        visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let Some(step) = self.steps.get(depth) else {
+            return visit(binding);
+        };
+        let step = *step;
+        let atoms = self.atoms;
+        let index = self.index;
+        let atom = &atoms[step.atom as usize];
+        let arity = atom.args.len();
+        let tuples = index.tuples(atom.pred);
+        let rows = tuples.len();
+        if rows == 0 {
+            return ControlFlow::Continue(());
+        }
+        let n_bound = step.n_bound as usize;
+
+        // Fully bound atom: a single containment probe against the index's
+        // collision-safe membership table decides the step.
+        if arity > 0 && n_bound == arity && arity <= 64 {
+            self.counters.hash_joins += 1;
+            self.counters.probe_rows += 1;
+            let mut key_buf = std::mem::take(&mut self.key_buf);
+            key_buf.clear();
+            key_buf.extend(
+                atom.args
+                    .iter()
+                    .map(|v| binding[v.index()].expect("planned-bound var is bound")),
+            );
+            let present = index.contains(atom.pred, &key_buf);
+            self.key_buf = key_buf;
+            if !present {
+                return ControlFlow::Continue(());
+            }
+            return self.run(depth + 1, binding, visit);
+        }
+
+        // Two or more bound positions over a non-tiny relation: hash join.
+        // Probe the cached join table with the joint key of the bound
+        // values; candidates are verified by unification, so collisions and
+        // unbound-position constraints are handled uniformly.
+        if n_bound >= 2 && rows >= HASH_MIN_ROWS {
+            if let Some((table, built)) = index.join_table(atom.pred, step.bound_mask) {
+                self.counters.build_rows += built;
+                self.counters.hash_joins += 1;
+                let key = store::tuple_hash_iter(
+                    atom.args
+                        .iter()
+                        .enumerate()
+                        .filter(|&(pos, _)| pos < 64 && step.bound_mask >> pos & 1 == 1)
+                        .map(|(_, v)| binding[v.index()].expect("planned-bound var is bound")),
+                );
+                let candidates = table.probe(key);
+                self.counters.probe_rows += candidates.len() as u64;
+                let mut flow = ControlFlow::Continue(());
+                for &r in candidates {
+                    flow = self.try_row(depth, atom, tuples, r as usize, binding, visit);
+                    if flow.is_break() {
+                        break;
+                    }
+                }
+                return flow;
+            }
+        }
+
+        // At least one bound position: indexed nested loop over the
+        // shortest postings list among the bound positions.
+        if n_bound >= 1 {
+            self.counters.nested_loop_joins += 1;
+            let mut source: Option<&[u32]> = None;
+            for (pos, &v) in atom.args.iter().enumerate() {
+                if pos < 64 && step.bound_mask >> pos & 1 == 1 {
+                    let e = binding[v.index()].expect("planned-bound var is bound");
+                    let postings = index.postings(atom.pred, pos, e);
+                    if source.is_none_or(|s| postings.len() < s.len()) {
+                        source = Some(postings);
+                    }
+                }
+            }
             let mut flow = ControlFlow::Continue(());
-            for &t in postings {
-                flow = try_tuple(tuples.get(t as usize), binding, visit);
+            for &r in source.unwrap_or(&[]) {
+                flow = self.try_row(depth, atom, tuples, r as usize, binding, visit);
                 if flow.is_break() {
                     break;
                 }
             }
-            flow
+            return flow;
         }
-        None => {
-            let mut flow = ControlFlow::Continue(());
-            for tuple in index.tuples(atom.pred) {
-                flow = try_tuple(tuple, binding, visit);
-                if flow.is_break() {
-                    break;
+
+        // Nothing bound. With a repeated variable in the atom, filter rows
+        // by a chunked equality scan over the two contiguous column slices
+        // (64 rows per bitmask word — branch-free and SIMD-friendly) before
+        // unifying; otherwise scan every row.
+        self.counters.nested_loop_joins += 1;
+        if let Some((p, q)) = step.rep_pair {
+            let ca = tuples.col(p as usize);
+            let cb = tuples.col(q as usize);
+            let mut base = 0usize;
+            while base < rows {
+                let end = (base + 64).min(rows);
+                let mut mask = 0u64;
+                for i in base..end {
+                    mask |= ((ca[i] == cb[i]) as u64) << (i - base);
                 }
+                while mask != 0 {
+                    let r = base + mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let flow = self.try_row(depth, atom, tuples, r, binding, visit);
+                    if flow.is_break() {
+                        return flow;
+                    }
+                }
+                base = end;
             }
-            flow
+            return ControlFlow::Continue(());
         }
+        let mut flow = ControlFlow::Continue(());
+        for r in 0..rows {
+            flow = self.try_row(depth, atom, tuples, r, binding, visit);
+            if flow.is_break() {
+                break;
+            }
+        }
+        flow
+    }
+}
+
+impl Drop for Exec<'_> {
+    fn drop(&mut self) {
+        self.undo.clear();
+        EXEC_SCRATCH.set(Some((
+            std::mem::take(&mut self.undo),
+            std::mem::take(&mut self.key_buf),
+        )));
     }
 }
 

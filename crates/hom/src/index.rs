@@ -1,29 +1,42 @@
 //! Positional indexes over instances, accelerating homomorphism search.
+//!
+//! Tuples are stored column-major (struct-of-arrays, mirroring the
+//! [`tgdkit_instance::Relation`] layout): one contiguous `Vec<Elem>` per
+//! argument position. Single-position lookups go through hash postings,
+//! multi-position lookups through lazily built [`JoinTable`]s (hash maps
+//! keyed by the joint value of a *set* of positions — the build side of the
+//! executor's hash joins), and batched filters read whole column slices.
 
 use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
 use tgdkit_instance::{store, Elem, Fact, FxBuildHasher, Instance};
-use tgdkit_logic::PredId;
+use tgdkit_logic::{PredId, Schema};
 
-/// Per-predicate flat tuple arena plus positional postings.
+/// Per-predicate columnar tuple store plus positional postings and lazy
+/// multi-column join tables.
 #[derive(Debug, Default)]
 struct PredIndex {
     arity: usize,
     rows: usize,
-    /// Row-major tuple arena, `rows * arity` elements long, in the order the
-    /// tuples were indexed (canonical instance order for the initial build,
-    /// delta order for `extend`).
-    data: Vec<Elem>,
+    /// One column per argument position, `rows` elements long, in the order
+    /// the tuples were indexed (canonical instance order for the initial
+    /// build, delta order for `extend`).
+    cols: Vec<Vec<Elem>>,
     /// Position → element → rows having that element at that position.
     postings: Vec<HashMap<Elem, Vec<u32>, FxBuildHasher>>,
     /// Collision-safe membership: tuple hash → candidate rows.
     seen: HashMap<u64, Vec<u32>, FxBuildHasher>,
+    /// Lazily built hash-join tables, keyed by the bound-position bitmask
+    /// they index. Built on first probe (the executor decides per plan step
+    /// whether a hash join pays), shared across concurrent searches, and
+    /// invalidated wholesale when the predicate grows.
+    tables: RwLock<HashMap<u64, Arc<JoinTable>, FxBuildHasher>>,
 }
 
 impl PredIndex {
     #[inline]
-    fn row(&self, r: u32) -> &[Elem] {
-        let start = r as usize * self.arity;
-        &self.data[start..start + self.arity]
+    fn at(&self, row: u32, pos: usize) -> Elem {
+        self.cols[pos][row as usize]
     }
 
     fn contains(&self, tuple: &[Elem]) -> bool {
@@ -31,7 +44,12 @@ impl PredIndex {
             return false;
         }
         match self.seen.get(&store::tuple_hash(tuple)) {
-            Some(rows) => rows.iter().any(|&r| self.row(r) == tuple),
+            Some(rows) => rows.iter().any(|&r| {
+                self.cols
+                    .iter()
+                    .zip(tuple)
+                    .all(|(col, &e)| col[r as usize] == e)
+            }),
             None => false,
         }
     }
@@ -40,37 +58,110 @@ impl PredIndex {
     fn push(&mut self, tuple: &[Elem]) -> bool {
         debug_assert_eq!(tuple.len(), self.arity);
         let hash = store::tuple_hash(tuple);
-        let arity = self.arity;
-        let data = &self.data;
+        let cols = &self.cols;
         let bucket = self.seen.entry(hash).or_default();
         if bucket
             .iter()
-            .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+            .any(|&r| cols.iter().zip(tuple).all(|(col, &e)| col[r as usize] == e))
         {
             return false;
         }
         let row = self.rows as u32;
         bucket.push(row);
-        for (pos, &e) in tuple.iter().enumerate() {
+        for (pos, (col, &e)) in self.cols.iter_mut().zip(tuple).enumerate() {
+            col.push(e);
             self.postings[pos].entry(e).or_default().push(row);
         }
-        self.data.extend_from_slice(tuple);
         self.rows += 1;
+        // The predicate changed shape: any cached join table is stale.
+        let tables = self
+            .tables
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !tables.is_empty() {
+            tables.clear();
+        }
         true
+    }
+
+    /// The join table over the positions in `mask`, building (and caching)
+    /// it on first use. Returns the rows scanned by a fresh build (0 on a
+    /// cache hit) alongside the table, for the `build_rows` telemetry.
+    fn join_table(&self, mask: u64) -> (Arc<JoinTable>, u64) {
+        {
+            let tables = self.tables.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(t) = tables.get(&mask) {
+                return (Arc::clone(t), 0);
+            }
+        }
+        let built = Arc::new(JoinTable::build(&self.cols, self.rows, mask));
+        let mut tables = self.tables.write().unwrap_or_else(PoisonError::into_inner);
+        // Another thread may have built it between the locks; first build
+        // wins so all probers share one table.
+        let entry = tables.entry(mask).or_insert_with(|| Arc::clone(&built));
+        let fresh = Arc::ptr_eq(entry, &built);
+        (Arc::clone(entry), if fresh { self.rows as u64 } else { 0 })
+    }
+}
+
+/// The build side of a hash join: rows of one predicate keyed by the joint
+/// hash of the elements at a fixed set of positions (the step's bound-position
+/// bitmask). Probes return *candidate* rows; the executor verifies each
+/// candidate column-wise, so hash collisions cannot produce wrong matches.
+#[derive(Debug)]
+pub(crate) struct JoinTable {
+    map: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl JoinTable {
+    fn build(cols: &[Vec<Elem>], rows: usize, mask: u64) -> JoinTable {
+        let mut map: HashMap<u64, Vec<u32>, FxBuildHasher> = HashMap::default();
+        for row in 0..rows {
+            let key = store::tuple_hash_iter(
+                cols.iter()
+                    .enumerate()
+                    .filter(|&(pos, _)| pos < 64 && mask >> pos & 1 == 1)
+                    .map(|(_, col)| col[row]),
+            );
+            map.entry(key).or_default().push(row as u32);
+        }
+        JoinTable { map }
+    }
+
+    /// Candidate rows whose masked positions hash to `key` (positions taken
+    /// in ascending order, hashed with [`store::tuple_hash_iter`]).
+    #[inline]
+    pub(crate) fn probe(&self, key: u64) -> &[u32] {
+        self.map.get(&key).map_or(&[], Vec::as_slice)
     }
 }
 
 /// A per-predicate, per-position index of an instance's tuples.
 ///
-/// For each predicate the tuples are materialized in one contiguous
-/// row-major arena (in the instance's deterministic order) and, for each
-/// argument position, a map from element to the list of tuple indices having
-/// that element at that position. Join-style candidate lookups during
-/// homomorphism search then cost a hash lookup instead of a relation scan,
-/// and tuple access is a stride computation instead of a pointer chase.
+/// For each predicate the tuples are materialized column-major (in the
+/// instance's deterministic order) and, for each argument position, a map
+/// from element to the list of tuple indices having that element at that
+/// position. Join-style candidate lookups during homomorphism search then
+/// cost a hash lookup instead of a relation scan, equality filters run over
+/// contiguous column slices, and multi-position probes hit cached hash-join
+/// tables.
 #[derive(Debug)]
 pub struct InstanceIndex {
     preds: Vec<PredIndex>,
+    /// Hash of the indexed schema (predicate names and arities) — part of
+    /// the planner's cross-run plan-cache key, so plans cached against one
+    /// schema are never replayed against another.
+    fingerprint: u64,
+}
+
+fn schema_fingerprint(schema: &Schema) -> u64 {
+    use std::hash::Hasher;
+    let mut h = store::FxHasher::default();
+    for pred in schema.preds() {
+        h.write(schema.name(pred).as_bytes());
+        h.write_usize(schema.arity(pred));
+    }
+    h.finish()
 }
 
 impl InstanceIndex {
@@ -78,50 +169,63 @@ impl InstanceIndex {
     pub fn new(instance: &Instance) -> InstanceIndex {
         let schema = instance.schema();
         let mut preds: Vec<PredIndex> = Vec::with_capacity(schema.len());
+        let mut scratch: Vec<Elem> = Vec::new();
         for pred in schema.preds() {
             let rel = instance.relation(pred);
             let arity = schema.arity(pred);
             let mut pi = PredIndex {
                 arity,
                 rows: 0,
-                data: Vec::with_capacity(rel.len() * arity),
+                cols: (0..arity).map(|_| Vec::with_capacity(rel.len())).collect(),
                 postings: vec![HashMap::default(); arity],
                 seen: HashMap::default(),
+                tables: RwLock::default(),
             };
             for tuple in rel {
-                pi.push(tuple);
+                tuple.copy_into(&mut scratch);
+                pi.push(&scratch);
             }
             preds.push(pi);
         }
-        InstanceIndex { preds }
+        InstanceIndex {
+            preds,
+            fingerprint: schema_fingerprint(schema),
+        }
     }
 
-    /// All tuples of `pred`, in deterministic order, as an indexable view.
+    /// Hash of the indexed schema, scoping cached join plans (see
+    /// [`crate::plan`]).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// All tuples of `pred`, in deterministic order, as a columnar view.
     /// Predicates beyond the indexed instance's schema (e.g. added to a
     /// shared schema after the instance was built) read as empty relations.
     #[inline]
     pub fn tuples(&self, pred: PredId) -> Tuples<'_> {
         match self.preds.get(pred.index()) {
             Some(pi) => Tuples {
-                data: &pi.data,
+                cols: &pi.cols,
                 arity: pi.arity,
                 rows: pi.rows,
             },
             None => Tuples {
-                data: &[],
+                cols: &[],
                 arity: 0,
                 rows: 0,
             },
         }
     }
 
-    /// The indexed tuple `row` of `pred`.
+    /// The element at position `pos` of indexed tuple `row` of `pred`.
     ///
     /// # Panics
-    /// Panics if the row is out of range for the predicate.
+    /// Panics if the row or position is out of range for the predicate.
     #[inline]
-    pub fn tuple(&self, pred: PredId, row: u32) -> &[Elem] {
-        self.preds[pred.index()].row(row)
+    pub fn at(&self, pred: PredId, row: u32, pos: usize) -> Elem {
+        self.preds[pred.index()].at(row, pos)
     }
 
     /// Tuple indices of `pred` having `elem` at `position` (empty slice if
@@ -133,6 +237,15 @@ impl InstanceIndex {
             .and_then(|pi| pi.postings.get(position))
             .and_then(|map| map.get(&elem))
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// The hash-join table of `pred` over the positions in `mask`, built on
+    /// first use and cached until the predicate grows. `None` beyond the
+    /// indexed schema. The second component is the number of rows a fresh
+    /// build scanned (0 on a cache hit).
+    #[inline]
+    pub(crate) fn join_table(&self, pred: PredId, mask: u64) -> Option<(Arc<JoinTable>, u64)> {
+        self.preds.get(pred.index()).map(|pi| pi.join_table(mask))
     }
 
     /// Number of distinct elements occurring at `position` of `pred` — the
@@ -175,7 +288,8 @@ impl InstanceIndex {
     /// original schema grow the index as needed, so repeated `extend`s from
     /// any source converge to the same fact set. Cost is O(|delta|) amortized
     /// — this is what keeps multi-round chases from paying a full O(|I|)
-    /// rebuild per round.
+    /// rebuild per round. Cached join tables of the touched predicates are
+    /// invalidated (rebuilt lazily on the next probe).
     pub fn extend(&mut self, delta: &[Fact]) {
         for fact in delta {
             let p = fact.pred.index();
@@ -189,7 +303,8 @@ impl InstanceIndex {
                 pi.arity = fact.args.len();
             }
             debug_assert_eq!(pi.arity, fact.args.len(), "mixed arity in extend");
-            if pi.postings.len() < fact.args.len() {
+            if pi.cols.len() < fact.args.len() {
+                pi.cols.resize_with(fact.args.len(), Vec::new);
                 pi.postings.resize_with(fact.args.len(), HashMap::default);
             }
             pi.push(&fact.args);
@@ -197,11 +312,12 @@ impl InstanceIndex {
     }
 }
 
-/// An indexable, iterable view of one predicate's tuples (row-major arena
-/// slices).
+/// A columnar view of one predicate's indexed tuples: per-position element
+/// access plus whole-column slices for batched scans. Copy-cheap (three
+/// words).
 #[derive(Clone, Copy)]
 pub struct Tuples<'a> {
-    data: &'a [Elem],
+    cols: &'a [Vec<Elem>],
     arity: usize,
     rows: usize,
 }
@@ -219,68 +335,40 @@ impl<'a> Tuples<'a> {
         self.rows == 0
     }
 
-    /// The tuple at `row`.
+    /// The arity of the viewed predicate.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The element at position `pos` of tuple `row`.
     ///
     /// # Panics
-    /// Panics if `row >= len()`.
+    /// Panics if `row >= len()` or `pos >= arity()`.
     #[inline]
-    pub fn get(&self, row: usize) -> &'a [Elem] {
-        assert!(row < self.rows, "tuple row out of range");
-        &self.data[row * self.arity..row * self.arity + self.arity]
+    pub fn at(&self, row: usize, pos: usize) -> Elem {
+        self.cols[pos][row]
     }
 
-    /// Iterates over the tuples in index order.
-    pub fn iter(&self) -> TuplesIter<'a> {
-        TuplesIter {
-            view: *self,
-            next: 0,
-        }
+    /// The contiguous column of elements at position `pos` (one per tuple,
+    /// in index order) — the slice chunked equality filters scan.
+    ///
+    /// # Panics
+    /// Panics if `pos >= arity()`.
+    #[inline]
+    pub fn col(&self, pos: usize) -> &'a [Elem] {
+        &self.cols[pos]
     }
 
-    /// Materializes the tuples as owned vectors (test/diagnostic helper).
+    /// Materializes the tuples as owned vectors. Test/diagnostic helper
+    /// only — hot paths read columns ([`Tuples::col`]) or elements
+    /// ([`Tuples::at`]) in place.
     pub fn to_vec(&self) -> Vec<Vec<Elem>> {
-        self.iter().map(|t| t.to_vec()).collect()
+        (0..self.rows)
+            .map(|row| (0..self.arity).map(|pos| self.at(row, pos)).collect())
+            .collect()
     }
 }
-
-impl<'a> IntoIterator for Tuples<'a> {
-    type Item = &'a [Elem];
-    type IntoIter = TuplesIter<'a>;
-
-    fn into_iter(self) -> TuplesIter<'a> {
-        TuplesIter {
-            view: self,
-            next: 0,
-        }
-    }
-}
-
-/// Iterator over a [`Tuples`] view.
-pub struct TuplesIter<'a> {
-    view: Tuples<'a>,
-    next: usize,
-}
-
-impl<'a> Iterator for TuplesIter<'a> {
-    type Item = &'a [Elem];
-
-    #[inline]
-    fn next(&mut self) -> Option<&'a [Elem]> {
-        if self.next >= self.view.rows {
-            return None;
-        }
-        let t = self.view.get(self.next);
-        self.next += 1;
-        Some(t)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = self.view.rows - self.next;
-        (left, Some(left))
-    }
-}
-
-impl ExactSizeIterator for TuplesIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -301,12 +389,17 @@ mod tests {
         let hits = idx.postings(r, 1, Elem(1));
         assert_eq!(hits.len(), 2);
         for &h in hits {
-            assert_eq!(idx.tuple(r, h)[1], Elem(1));
+            assert_eq!(idx.at(r, h, 1), Elem(1));
         }
         assert!(idx.postings(r, 0, Elem(9)).is_empty());
         // Distinct counts per position: {0,1,2} first, {0,1} second.
         assert_eq!(idx.distinct(r, 0), 3);
         assert_eq!(idx.distinct(r, 1), 2);
+        // Column slices expose the same data position-wise.
+        let t = idx.tuples(r);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.col(0), &[Elem(0), Elem(1), Elem(2)]);
+        assert_eq!(t.col(1), &[Elem(1), Elem(1), Elem(0)]);
     }
 
     #[test]
@@ -341,7 +434,8 @@ mod tests {
         // tuple, and every tuple is reachable from each of its positions.
         let hits = idx.postings(r, 0, Elem(1));
         assert_eq!(hits.len(), 1);
-        assert_eq!(idx.tuple(r, hits[0]), &[Elem(1), Elem(2)]);
+        assert_eq!(idx.at(r, hits[0], 0), Elem(1));
+        assert_eq!(idx.at(r, hits[0], 1), Elem(2));
     }
 
     #[test]
@@ -375,5 +469,70 @@ mod tests {
         assert!(idx.tuples(ghost).is_empty());
         assert!(idx.postings(ghost, 0, Elem(0)).is_empty());
         assert_eq!(idx.distinct(ghost, 0), 0);
+    }
+
+    #[test]
+    fn join_tables_return_exact_candidates_after_verify() {
+        let s = Schema::builder().pred("R", 3).build();
+        let r = s.pred_id("R").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0), Elem(1), Elem(2)]);
+        i.add_fact(r, vec![Elem(0), Elem(1), Elem(3)]);
+        i.add_fact(r, vec![Elem(0), Elem(2), Elem(2)]);
+        let idx = InstanceIndex::new(&i);
+        // Key on positions {0, 1}.
+        let mask = 0b011u64;
+        let (table, built) = idx.join_table(r, mask).unwrap();
+        assert_eq!(built, 3, "first build scans every row");
+        let key = store::tuple_hash_iter([Elem(0), Elem(1)].into_iter());
+        let hits = table.probe(key);
+        // Both (0,1,_) rows, after column-wise verification.
+        let verified: Vec<u32> = hits
+            .iter()
+            .copied()
+            .filter(|&row| idx.at(r, row, 0) == Elem(0) && idx.at(r, row, 1) == Elem(1))
+            .collect();
+        assert_eq!(verified.len(), 2);
+        // Second request hits the cache (no rebuild).
+        let (_, rebuilt) = idx.join_table(r, mask).unwrap();
+        assert_eq!(rebuilt, 0);
+        // Absent keys probe empty.
+        let miss = store::tuple_hash_iter([Elem(7), Elem(7)].into_iter());
+        assert!(table.probe(miss).is_empty());
+    }
+
+    #[test]
+    fn extend_invalidates_join_tables() {
+        let s = Schema::builder().pred("R", 2).build();
+        let r = s.pred_id("R").unwrap();
+        let mut i = Instance::new(s);
+        i.add_fact(r, vec![Elem(0), Elem(1)]);
+        let mut idx = InstanceIndex::new(&i);
+        let mask = 0b11u64;
+        let (stale, _) = idx.join_table(r, mask).unwrap();
+        idx.extend(&[Fact::new(r, vec![Elem(2), Elem(3)])]);
+        let (fresh, built) = idx.join_table(r, mask).unwrap();
+        assert_eq!(built, 2, "table rebuilt over the grown predicate");
+        let key = store::tuple_hash_iter([Elem(2), Elem(3)].into_iter());
+        assert!(stale.probe(key).is_empty(), "old Arc unchanged");
+        assert_eq!(fresh.probe(key).len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_schema_not_contents() {
+        let s = Schema::builder().pred("R", 2).build();
+        let mut a = Instance::new(s.clone());
+        let r = s.pred_id("R").unwrap();
+        a.add_fact(r, vec![Elem(0), Elem(1)]);
+        let b = Instance::new(s);
+        assert_eq!(
+            InstanceIndex::new(&a).fingerprint(),
+            InstanceIndex::new(&b).fingerprint()
+        );
+        let other = Schema::builder().pred("R", 3).build();
+        assert_ne!(
+            InstanceIndex::new(&a).fingerprint(),
+            InstanceIndex::new(&Instance::new(other)).fingerprint()
+        );
     }
 }

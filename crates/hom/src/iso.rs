@@ -11,11 +11,14 @@ fn profile(instance: &Instance, e: Elem) -> Vec<usize> {
     let mut out = Vec::new();
     for pred in schema.preds() {
         for pos in 0..schema.arity(pred) {
+            // Columnar layout: occurrence counting is a contiguous scan of
+            // one position's column.
             out.push(
                 instance
                     .relation(pred)
+                    .column(pos)
                     .iter()
-                    .filter(|t| t[pos] == e)
+                    .filter(|&&x| x == e)
                     .count(),
             );
         }

@@ -27,10 +27,14 @@ pub mod retract;
 
 pub use cq::Cq;
 pub use hom::{
-    embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed, Binding,
+    embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed,
+    for_each_hom_reusing, Binding,
 };
 pub use hom::{find_hom_indexed, for_each_hom_seminaive};
-pub use index::InstanceIndex;
+pub use index::{InstanceIndex, Tuples};
 pub use iso::are_isomorphic;
-pub use plan::{plan_join, plan_stats, reset_plan_stats, PlanStats};
+pub use plan::{
+    join_stats, plan_join, plan_join_cached, plan_stats, reset_join_stats, reset_plan_stats,
+    JoinPlan, JoinStats, PlanStats, PlanStep,
+};
 pub use retract::{core_of, core_preserving};

@@ -56,7 +56,7 @@ pub fn direct_product(i: &Instance, j: &Instance) -> (Instance, BTreeMap<Elem, (
                 let tuple: Vec<Elem> = ta
                     .iter()
                     .zip(tb.iter())
-                    .map(|(&a, &b)| pair_to_elem[&(a, b)])
+                    .map(|(a, b)| pair_to_elem[&(a, b)])
                     .collect();
                 out.add_fact(pred, tuple);
             }
@@ -89,7 +89,7 @@ pub fn intersection(i: &Instance, j: &Instance) -> Instance {
     }
     for pred in schema.preds() {
         for tuple in i.relation(pred) {
-            if j.relation(pred).contains(tuple) {
+            if j.relation(pred).contains_row(tuple) {
                 out.add_fact(pred, tuple.to_vec());
             }
         }

@@ -65,7 +65,7 @@ pub fn is_critical(instance: &Instance) -> bool {
             && instance
                 .relation(pred)
                 .iter()
-                .all(|t| t.iter().all(|e| instance.dom().contains(e)))
+                .all(|t| t.iter().all(|e| instance.dom().contains(&e)))
     })
 }
 

@@ -46,9 +46,9 @@ impl Fact {
 /// normalization `dom(I) = adom(I)` used throughout §4 depend on this
 /// distinction being representable.
 ///
-/// Relations are stored in flat row arenas ([`Relation`]) whose iteration is
-/// canonical (lexicographically sorted), so every enumeration stays
-/// deterministic. The active domain is maintained incrementally under
+/// Relations are stored in columnar (struct-of-arrays) arenas ([`Relation`])
+/// whose iteration is canonical (lexicographically sorted), so every
+/// enumeration stays deterministic. The active domain is maintained incrementally under
 /// insertion and removal (occurrence-counted), so [`Instance::active_domain`]
 /// is O(1) instead of a full relation scan.
 ///
@@ -278,10 +278,10 @@ impl Instance {
         }
         self.rels.iter().zip(&other.rels).all(|(a, b)| {
             // a must equal { t ∈ b | t ⊆ dom(self) }.
-            a.iter().all(|t| b.contains(t))
+            a.iter().all(|t| b.contains_row(t))
                 && b.iter()
-                    .filter(|t| t.iter().all(|e| self.dom.contains(e)))
-                    .all(|t| a.contains(t))
+                    .filter(|t| t.iter().all(|e| self.dom.contains(&e)))
+                    .all(|t| a.contains_row(t))
         })
     }
 
@@ -290,10 +290,12 @@ impl Instance {
     pub fn restrict(&self, d: &BTreeSet<Elem>) -> Instance {
         let mut out = Instance::new(self.schema.clone());
         out.dom = self.dom.intersection(d).copied().collect();
+        let mut buf: Vec<Elem> = Vec::new();
         for (i, rel) in self.rels.iter().enumerate() {
             for tuple in rel {
-                if tuple.iter().all(|e| out.dom.contains(e)) {
-                    out.insert_tuple(i, tuple);
+                if tuple.iter().all(|e| out.dom.contains(&e)) {
+                    tuple.copy_into(&mut buf);
+                    out.insert_tuple(i, &buf);
                 }
             }
         }
@@ -330,7 +332,7 @@ impl Instance {
         for (i, rel) in self.rels.iter().enumerate() {
             for tuple in rel {
                 mapped.clear();
-                mapped.extend(tuple.iter().map(|&e| h(e)));
+                mapped.extend(tuple.iter().map(&mut h));
                 out.insert_tuple(i, &mapped);
             }
         }

@@ -1,14 +1,23 @@
-//! Flat, arena-backed tuple storage for relations.
+//! Columnar (struct-of-arrays) tuple storage for relations.
 //!
-//! A [`Relation`] keeps its tuples in one contiguous row-major `Vec<Elem>`
-//! (stride = arity) instead of a `BTreeSet<Vec<Elem>>`: inserting a tuple
-//! appends `arity` words to the arena instead of heap-allocating a fresh
-//! `Vec`, and membership is a hash probe instead of a `log n` tree walk.
-//! Deduplication is collision-safe — the hash map stores *candidate* row ids
-//! which are verified by slice equality — and the canonical (lexicographic)
-//! iteration order of the old representation is preserved through a lazily
-//! computed, cached sort permutation, so every observable enumeration stays
-//! byte-identical to the `BTreeSet` semantics.
+//! A [`Relation`] keeps its tuples in one `Vec<Elem>` **per argument
+//! position** (struct-of-arrays) instead of a row-major arena or a
+//! `BTreeSet<Vec<Elem>>`: inserting a tuple appends one word to each column,
+//! membership is a hash probe verified column-wise, and — the point of the
+//! layout — equality and filter checks over one position run over a
+//! contiguous `&[Elem]` slice ([`Relation::column`]), which is what the
+//! hom-search executor's batched scans and hash-join builds consume.
+//! Deduplication is collision-safe (the hash map stores *candidate* row ids
+//! verified by column-wise equality), and the canonical (lexicographic)
+//! iteration order of the original `BTreeSet` representation is preserved
+//! through a lazily computed, cached sort permutation, so every observable
+//! enumeration stays byte-identical to the set semantics.
+//!
+//! Rows no longer exist contiguously in memory, so iteration yields
+//! [`RowRef`] views (cheap `(relation, row)` handles with positional
+//! accessors) instead of `&[Elem]` slices; [`RowRef::copy_into`] fills a
+//! caller-owned scratch buffer for the call sites that need a materialized
+//! tuple, so hot paths stay allocation-free.
 
 use crate::instance::Elem;
 use std::collections::HashMap;
@@ -62,8 +71,15 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// with the hom index's dedup table.
 #[inline]
 pub fn tuple_hash(tuple: &[Elem]) -> u64 {
+    tuple_hash_iter(tuple.iter().copied())
+}
+
+/// [`tuple_hash`] over any element sequence (same fold, same finalizer), so
+/// columnar storage can hash a row without materializing it first.
+#[inline]
+pub fn tuple_hash_iter(elems: impl Iterator<Item = Elem>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for e in tuple {
+    for e in elems {
         h ^= e.0 as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -73,14 +89,14 @@ pub fn tuple_hash(tuple: &[Elem]) -> u64 {
 }
 
 /// Maximum number of tuples one [`Relation`] can hold: row ids are `u32`
-/// (half the arena's index footprint of a `usize`), so the arena is capped
-/// at `u32::MAX` rows. Beyond it, [`Relation::try_insert`] reports a typed
+/// (half the index footprint of a `usize`), so the columns are capped at
+/// `u32::MAX` rows. Beyond it, [`Relation::try_insert`] reports a typed
 /// [`CapacityError`] — the pre-fix `self.rows as u32` silently truncated,
 /// aliasing row `2^32` with row `0` and corrupting the dedup map.
 pub const MAX_ROWS: usize = u32::MAX as usize;
 
 /// A relation grew past [`MAX_ROWS`] tuples, the largest row id the
-/// `u32`-indexed arena can address.
+/// `u32`-indexed columns can address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CapacityError {
     /// Rows already stored when the insert was rejected.
@@ -110,19 +126,19 @@ pub(crate) fn next_row_id(rows: usize) -> Result<u32, CapacityError> {
     Ok(rows as u32)
 }
 
-/// A single relation stored as a fixed-stride row arena.
+/// A single relation stored as struct-of-arrays columns.
 ///
 /// Insertion order is the physical row order; all public iteration goes
 /// through the cached canonical permutation so observers see the same
-/// lexicographically sorted sequence the previous `BTreeSet<Vec<Elem>>`
+/// lexicographically sorted sequence the original `BTreeSet<Vec<Elem>>`
 /// representation produced.
 pub struct Relation {
     arity: usize,
     rows: usize,
-    /// Row-major tuple arena, `rows * arity` elements long.
-    data: Vec<Elem>,
+    /// One column per argument position, each `rows` elements long.
+    cols: Vec<Vec<Elem>>,
     /// Collision-safe dedup: tuple hash → candidate row ids (verified by
-    /// slice equality on every probe).
+    /// column-wise equality on every probe).
     dedup: HashMap<u64, Vec<u32>, FxBuildHasher>,
     /// Lazily computed sort permutation over rows; reset on every mutation
     /// that changes the tuple set. `OnceLock` keeps `&self` iteration cheap
@@ -136,7 +152,7 @@ impl Relation {
         Relation {
             arity,
             rows: 0,
-            data: Vec::new(),
+            cols: vec![Vec::new(); arity],
             dedup: HashMap::default(),
             order: OnceLock::new(),
         }
@@ -160,28 +176,82 @@ impl Relation {
         self.rows == 0
     }
 
-    /// Bytes of tuple payload held in the arena (excludes index overhead).
+    /// The contiguous column of elements at argument position `pos` (one
+    /// entry per row, in physical row order) — the slice batched equality
+    /// scans and hash-join builds read.
+    ///
+    /// # Panics
+    /// Panics if `pos >= arity`.
     #[inline]
-    pub fn payload_bytes(&self) -> usize {
-        self.rows * self.arity * std::mem::size_of::<Elem>()
+    pub fn column(&self, pos: usize) -> &[Elem] {
+        &self.cols[pos]
     }
 
-    /// Deterministic estimate of the relation's heap residency: the tuple
-    /// arena plus the dedup index (one hash bucket and one row id per
+    /// Bytes of tuple payload held across all columns (excludes index
+    /// overhead). Computed from logical column lengths, not capacities.
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<Elem>())
+            .sum()
+    }
+
+    /// Deterministic estimate of the relation's heap residency under the
+    /// columnar layout: the per-column payloads plus one `Vec` header per
+    /// column, plus the dedup index (one hash bucket and one row id per
     /// distinct tuple). Computed from logical sizes, not `Vec` capacities,
     /// so two relations holding the same tuple set always report the same
     /// figure — which is what lets the memory accountant trip at the same
-    /// round on every replay of a run.
+    /// round on every replay of a run, and keeps checkpoint resume (which
+    /// re-inserts tuples in a different physical order) byte-identical.
     pub fn heap_bytes(&self) -> usize {
         let bucket = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
-        self.payload_bytes() + self.dedup.len() * bucket + self.rows * std::mem::size_of::<u32>()
+        self.payload_bytes()
+            + self.cols.len() * std::mem::size_of::<Vec<Elem>>()
+            + self.dedup.len() * bucket
+            + self.rows * std::mem::size_of::<u32>()
     }
 
-    /// The tuple at physical row `r` (insertion order, not canonical order).
+    /// The element at physical row `row`, position `pos`.
     #[inline]
-    fn row(&self, r: u32) -> &[Elem] {
-        let start = r as usize * self.arity;
-        &self.data[start..start + self.arity]
+    fn elem(&self, row: u32, pos: usize) -> Elem {
+        self.cols[pos][row as usize]
+    }
+
+    /// A [`RowRef`] view of physical row `r` (insertion order, not
+    /// canonical order).
+    #[inline]
+    fn row(&self, r: u32) -> RowRef<'_> {
+        RowRef { rel: self, row: r }
+    }
+
+    /// `true` when physical row `row` equals `tuple` (column-wise compare).
+    #[inline]
+    fn row_eq_slice(&self, row: u32, tuple: &[Elem]) -> bool {
+        self.cols
+            .iter()
+            .zip(tuple)
+            .all(|(col, &e)| col[row as usize] == e)
+    }
+
+    /// Lexicographic comparison of two physical rows.
+    #[inline]
+    fn cmp_rows(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        for col in &self.cols {
+            match col[a as usize].cmp(&col[b as usize]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// The hash of physical row `row` (same value [`tuple_hash`] gives the
+    /// materialized tuple).
+    #[inline]
+    fn hash_row(&self, row: u32) -> u64 {
+        tuple_hash_iter(self.cols.iter().map(|c| c[row as usize]))
     }
 
     /// `true` when `tuple` is present.
@@ -191,7 +261,23 @@ impl Relation {
     pub fn contains(&self, tuple: &[Elem]) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
         match self.dedup.get(&tuple_hash(tuple)) {
-            Some(rows) => rows.iter().any(|&r| self.row(r) == tuple),
+            Some(rows) => rows.iter().any(|&r| self.row_eq_slice(r, tuple)),
+            None => false,
+        }
+    }
+
+    /// `true` when the tuple viewed by `row` (possibly of *another*
+    /// relation) is present — column-wise, without materializing the tuple.
+    /// Rows of a different arity are simply absent.
+    pub fn contains_row(&self, row: RowRef<'_>) -> bool {
+        if row.len() != self.arity {
+            return false;
+        }
+        let hash = row.rel.hash_row(row.row);
+        match self.dedup.get(&hash) {
+            Some(rows) => rows.iter().any(|&r| {
+                (0..self.arity).all(|pos| self.elem(r, pos) == row.rel.elem(row.row, pos))
+            }),
             None => false,
         }
     }
@@ -209,8 +295,8 @@ impl Relation {
 
     /// Inserts `tuple`, returning `Ok(true)` if it was not already present,
     /// `Ok(false)` on a duplicate, and [`CapacityError`] when the relation
-    /// already holds [`MAX_ROWS`] tuples — row ids are `u32`, and before
-    /// this check `self.rows as u32` wrapped past 2^32 rows, silently
+    /// already holds [`MAX_ROWS`] tuples — row ids are `u32`, and without
+    /// this check `self.rows as u32` would wrap past 2^32 rows, silently
     /// aliasing new tuples with row 0 in the dedup map.
     ///
     /// # Panics
@@ -218,12 +304,11 @@ impl Relation {
     pub fn try_insert(&mut self, tuple: &[Elem]) -> Result<bool, CapacityError> {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
         let hash = tuple_hash(tuple);
-        let data = &self.data;
-        let arity = self.arity;
         if let Some(bucket) = self.dedup.get(&hash) {
+            let cols = &self.cols;
             if bucket
                 .iter()
-                .any(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+                .any(|&r| cols.iter().zip(tuple).all(|(col, &e)| col[r as usize] == e))
             {
                 return Ok(false);
             }
@@ -232,30 +317,31 @@ impl Relation {
         // against a full relation must keep answering, not erroring.
         let row = next_row_id(self.rows)?;
         self.dedup.entry(hash).or_default().push(row);
-        self.data.extend_from_slice(tuple);
+        for (col, &e) in self.cols.iter_mut().zip(tuple) {
+            col.push(e);
+        }
         self.rows += 1;
         self.order = OnceLock::new();
         Ok(true)
     }
 
     /// Removes `tuple`, returning `true` if it was present. The vacated row
-    /// is back-filled by the last physical row (swap-remove), keeping the
-    /// arena dense; canonical iteration order is unaffected because it is
-    /// recomputed from the tuple set.
+    /// is back-filled by the last physical row in every column
+    /// (swap-remove), keeping the columns dense; canonical iteration order
+    /// is unaffected because it is recomputed from the tuple set.
     ///
     /// # Panics
     /// Panics if the tuple length differs from the relation arity.
     pub fn remove(&mut self, tuple: &[Elem]) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
         let hash = tuple_hash(tuple);
-        let arity = self.arity;
-        let data = &self.data;
+        let cols = &self.cols;
         let Some(bucket) = self.dedup.get_mut(&hash) else {
             return false;
         };
         let Some(slot) = bucket
             .iter()
-            .position(|&r| &data[r as usize * arity..r as usize * arity + arity] == tuple)
+            .position(|&r| cols.iter().zip(tuple).all(|(col, &e)| col[r as usize] == e))
         else {
             return false;
         };
@@ -267,12 +353,12 @@ impl Relation {
         // conversion cannot truncate; keep it checked anyway so a future
         // violation fails loudly instead of corrupting the dedup map.
         let last = u32::try_from(self.rows - 1).expect("rows bounded by MAX_ROWS");
+        for col in &mut self.cols {
+            col.swap_remove(row as usize);
+        }
         if row != last {
-            // Move the last row into the hole and repoint its dedup entry.
-            let (head, tail) = self.data.split_at_mut(last as usize * arity);
-            head[row as usize * arity..row as usize * arity + arity]
-                .copy_from_slice(&tail[..arity]);
-            let moved_hash = tuple_hash(&self.data[row as usize * arity..][..arity]);
+            // The last row moved into the hole; repoint its dedup entry.
+            let moved_hash = self.hash_row(row);
             let moved = self
                 .dedup
                 .get_mut(&moved_hash)
@@ -280,7 +366,6 @@ impl Relation {
                 .expect("moved row is indexed");
             *moved = row;
         }
-        self.data.truncate(last as usize * arity);
         self.rows -= 1;
         self.order = OnceLock::new();
         true
@@ -293,14 +378,14 @@ impl Relation {
             let end = u32::try_from(self.rows).expect("rows bounded by MAX_ROWS");
             let mut perm: Vec<u32> = (0..end).collect();
             if self.arity > 0 {
-                perm.sort_unstable_by(|&a, &b| self.row(a).cmp(self.row(b)));
+                perm.sort_unstable_by(|&a, &b| self.cmp_rows(a, b));
             }
             perm
         })
     }
 
     /// Iterates over tuples in canonical (lexicographic) order — the same
-    /// order a `BTreeSet<Vec<Elem>>` would produce.
+    /// order a `BTreeSet<Vec<Elem>>` would produce — as [`RowRef`] views.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
             rel: self,
@@ -311,7 +396,7 @@ impl Relation {
 
     /// Set-inclusion of tuples: every tuple of `self` occurs in `other`.
     pub fn is_subset(&self, other: &Relation) -> bool {
-        self.rows <= other.rows && self.iter().all(|t| other.contains(t))
+        self.rows <= other.rows && self.iter().all(|t| other.contains_row(t))
     }
 }
 
@@ -324,7 +409,7 @@ impl Clone for Relation {
         Relation {
             arity: self.arity,
             rows: self.rows,
-            data: self.data.clone(),
+            cols: self.cols.clone(),
             dedup: self.dedup.clone(),
             order,
         }
@@ -335,7 +420,7 @@ impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.arity == other.arity
             && self.rows == other.rows
-            && self.iter().all(|t| other.contains(t))
+            && self.iter().all(|t| other.contains_row(t))
     }
 }
 
@@ -349,6 +434,113 @@ impl fmt::Debug for Relation {
     }
 }
 
+/// A borrowed view of one tuple of a columnar [`Relation`]: a cheap
+/// `(relation, row)` handle with positional accessors. Comparison operators
+/// are lexicographic over the tuple's elements, so sorting and equality
+/// behave exactly as they did on `&[Elem]` rows.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    rel: &'a Relation,
+    row: u32,
+}
+
+impl<'a> RowRef<'a> {
+    /// The element at position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len()`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> Elem {
+        self.rel.elem(self.row, pos)
+    }
+
+    /// The tuple's arity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rel.arity
+    }
+
+    /// `true` for zero-arity tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rel.arity == 0
+    }
+
+    /// Iterates the tuple's elements by value, in position order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = Elem> + 'a {
+        let rel = self.rel;
+        let row = self.row;
+        (0..rel.arity).map(move |pos| rel.elem(row, pos))
+    }
+
+    /// Materializes the tuple (allocates; prefer [`RowRef::copy_into`] on
+    /// hot paths).
+    pub fn to_vec(&self) -> Vec<Elem> {
+        self.iter().collect()
+    }
+
+    /// Copies the tuple into a caller-owned scratch buffer (cleared first),
+    /// so repeated materialization reuses one allocation.
+    pub fn copy_into(&self, out: &mut Vec<Elem>) {
+        out.clear();
+        out.extend(self.iter());
+    }
+}
+
+impl std::ops::Index<usize> for RowRef<'_> {
+    type Output = Elem;
+
+    #[inline]
+    fn index(&self, pos: usize) -> &Elem {
+        &self.rel.cols[pos][self.row as usize]
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialOrd for RowRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RowRef<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl PartialEq<[Elem]> for RowRef<'_> {
+    fn eq(&self, other: &[Elem]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[Elem]> for RowRef<'_> {
+    fn eq(&self, other: &&[Elem]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<Elem>> for RowRef<'_> {
+    fn eq(&self, other: &Vec<Elem>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// Iterator over a [`Relation`]'s tuples in canonical order.
 pub struct Iter<'a> {
     rel: &'a Relation,
@@ -357,10 +549,10 @@ pub struct Iter<'a> {
 }
 
 impl<'a> Iterator for Iter<'a> {
-    type Item = &'a [Elem];
+    type Item = RowRef<'a>;
 
     #[inline]
-    fn next(&mut self) -> Option<&'a [Elem]> {
+    fn next(&mut self) -> Option<RowRef<'a>> {
         let &row = self.perm.get(self.next)?;
         self.next += 1;
         Some(self.rel.row(row))
@@ -375,7 +567,7 @@ impl<'a> Iterator for Iter<'a> {
 impl ExactSizeIterator for Iter<'_> {}
 
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a [Elem];
+    type Item = RowRef<'a>;
     type IntoIter = Iter<'a>;
 
     fn into_iter(self) -> Iter<'a> {
@@ -402,6 +594,19 @@ mod tests {
         assert_eq!(listed, vec![t(&[0, 2]), t(&[2, 0])]);
         assert!(r.contains(&t(&[0, 2])));
         assert!(!r.contains(&t(&[2, 2])));
+    }
+
+    #[test]
+    fn columns_track_positions() {
+        let mut r = Relation::new(2);
+        r.insert(&t(&[1, 10]));
+        r.insert(&t(&[2, 20]));
+        r.insert(&t(&[3, 30]));
+        assert_eq!(r.column(0), &[Elem(1), Elem(2), Elem(3)]);
+        assert_eq!(r.column(1), &[Elem(10), Elem(20), Elem(30)]);
+        r.remove(&t(&[1, 10])); // swap-remove backfills from the last row
+        assert_eq!(r.column(0), &[Elem(3), Elem(2)]);
+        assert_eq!(r.column(1), &[Elem(30), Elem(20)]);
     }
 
     #[test]
@@ -450,6 +655,20 @@ mod tests {
     }
 
     #[test]
+    fn contains_row_crosses_relations() {
+        let mut a = Relation::new(2);
+        a.insert(&t(&[1, 2]));
+        a.insert(&t(&[3, 4]));
+        let mut b = Relation::new(2);
+        b.insert(&t(&[3, 4]));
+        let row = b.iter().next().unwrap();
+        assert!(a.contains_row(row));
+        let mut c = Relation::new(1);
+        c.insert(&t(&[3]));
+        assert!(!a.contains_row(c.iter().next().unwrap()), "arity mismatch");
+    }
+
+    #[test]
     fn row_id_allocation_is_checked_at_capacity() {
         // The guard itself, without materializing 2^32 tuples.
         assert_eq!(next_row_id(0), Ok(0));
@@ -483,5 +702,22 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b.payload_bytes(), 12);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn heap_bytes_is_construction_order_invariant() {
+        // The accountant-facing figure must depend only on the tuple set,
+        // never on insertion order or intermediate removals (checkpoint
+        // resume re-inserts in sorted order).
+        let mut a = Relation::new(2);
+        a.insert(&t(&[1, 2]));
+        a.insert(&t(&[3, 4]));
+        let mut b = Relation::new(2);
+        b.insert(&t(&[9, 9]));
+        b.insert(&t(&[3, 4]));
+        b.insert(&t(&[1, 2]));
+        b.remove(&t(&[9, 9]));
+        assert_eq!(a.heap_bytes(), b.heap_bytes());
+        assert_eq!(a.payload_bytes(), b.payload_bytes());
     }
 }

@@ -1,8 +1,12 @@
-//! Property-based tests for the flat tuple store and the selectivity-guided
-//! join planner: both are pure representation/ordering changes, so each is
-//! checked against a straightforward reference model — a `BTreeSet` of owned
-//! tuples for the store, and exhaustive assignment enumeration for the hom
-//! search the planner steers.
+//! Property-based tests for the columnar tuple store and the join
+//! planner/executor: both are pure representation/ordering changes, so each
+//! is checked against a straightforward reference model — a `BTreeSet` of
+//! owned tuples for the store, and exhaustive assignment enumeration for
+//! the hom search. The executor picks join algorithms (containment probe,
+//! hash join, indexed nested loop, columnar scan) per plan step, so the
+//! search properties are exercised both with nothing bound (scan/nested
+//! loop heavy) and with partially pinned bindings over larger relations
+//! (hash-join and containment-probe heavy).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -10,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use tgdkit::chase_crate::{group_by_body, group_by_body_keyed};
-use tgdkit::hom::{for_each_hom_indexed, plan_join, Binding, InstanceIndex};
+use tgdkit::hom::{for_each_hom_indexed, plan_join, plan_join_cached, Binding, InstanceIndex};
 use tgdkit::instance::Relation;
 use tgdkit::logic::{canonical_tgd_with_key, Atom, PredId, TgdVariantKey};
 use tgdkit::prelude::*;
@@ -54,20 +58,76 @@ proptest! {
             prop_assert_eq!(rel.len(), model.len());
             prop_assert_eq!(rel.is_empty(), model.is_empty());
             // Canonical iteration order must match the tree's sorted order.
-            let flat: Vec<&[Elem]> = rel.iter().collect();
-            let tree: Vec<&[Elem]> = model.iter().map(Vec::as_slice).collect();
+            let flat: Vec<Vec<Elem>> = rel.iter().map(|t| t.to_vec()).collect();
+            let tree: Vec<Vec<Elem>> = model.iter().cloned().collect();
             prop_assert_eq!(flat, tree);
         }
         for t in &tuples {
             prop_assert_eq!(rel.contains(t), model.contains(t));
         }
+        // The columns are the positional transpose of the sorted-row view
+        // read back in physical order: same multiset per position, and
+        // row-consistent under RowRef access.
+        for t in rel.iter() {
+            prop_assert_eq!(t.len(), arity);
+            for pos in 0..arity {
+                prop_assert_eq!(t.get(pos), t[pos]);
+            }
+        }
+        let mut col_multiset: Vec<Vec<Elem>> = (0..arity)
+            .map(|pos| rel.column(pos).to_vec())
+            .collect();
+        let mut model_multiset: Vec<Vec<Elem>> = (0..arity)
+            .map(|pos| model.iter().map(|t| t[pos]).collect())
+            .collect();
+        for (a, b) in col_multiset.iter_mut().zip(model_multiset.iter_mut()) {
+            a.sort_unstable();
+            b.sort_unstable();
+        }
+        prop_assert_eq!(col_multiset, model_multiset);
         // Subset agrees with the model, and a clone is indistinguishable.
         let clone = rel.clone();
         prop_assert!(rel.is_subset(&clone) && clone.is_subset(&rel));
         prop_assert_eq!(clone.len(), rel.len());
         prop_assert_eq!(
-            clone.iter().collect::<Vec<_>>(),
-            rel.iter().collect::<Vec<_>>()
+            clone.iter().map(|t| t.to_vec()).collect::<Vec<_>>(),
+            rel.iter().map(|t| t.to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The accountant-facing byte figures of the columnar layout depend only
+    /// on the stored tuple *set* — never on insertion order, intermediate
+    /// removals, or `Vec` growth history. This is what keeps
+    /// `MemoryAccountant` trips and `memory/peak_bytes` deterministic across
+    /// checkpoint trip→resume replays (resume re-inserts in sorted order).
+    #[test]
+    fn heap_accounting_is_construction_order_invariant(
+        seed in 0u64..500,
+        arity in 0usize..4,
+        ops in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab);
+        let tuples = random_tuples(seed, arity, ops);
+        let mut rel = Relation::new(arity);
+        for t in &tuples {
+            if rng.random_bool(0.7) {
+                rel.insert(t);
+            } else {
+                rel.remove(t);
+            }
+        }
+        // Rebuild from the canonical listing, insert-only.
+        let mut rebuilt = Relation::new(arity);
+        for t in rel.iter().map(|t| t.to_vec()).collect::<Vec<_>>() {
+            rebuilt.insert(&t);
+        }
+        prop_assert_eq!(rebuilt.len(), rel.len());
+        prop_assert_eq!(rebuilt.payload_bytes(), rel.payload_bytes());
+        prop_assert_eq!(rebuilt.heap_bytes(), rel.heap_bytes());
+        // Payload is exactly the logical element count.
+        prop_assert_eq!(
+            rel.payload_bytes(),
+            rel.len() * arity * std::mem::size_of::<Elem>()
         );
     }
 
@@ -204,6 +264,155 @@ proptest! {
         let mut sorted = plan.clone();
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..atoms.len()).collect::<Vec<_>>());
+    }
+
+    /// Every join-algorithm tier of the executor agrees with exhaustive
+    /// assignment enumeration. Relations here grow past the hash-join row
+    /// threshold and a random subset of variables is pinned up front, so the
+    /// executor is pushed through its containment-probe and build/probe
+    /// hash-join tiers; the unpinned runs cover indexed nested loop and the
+    /// columnar repeated-variable scan. A zero-arity predicate and empty
+    /// relations ride along as edge cases. Re-asking the identical query
+    /// must hit the cross-run plan cache (same `Arc` plan), stay a valid
+    /// permutation, and return the identical answer set.
+    #[test]
+    fn join_algorithms_agree_with_reference(
+        rule_seed in 0u64..400,
+        data_seed in 0u64..400,
+        atom_count in 1usize..4,
+        facts in 0usize..80,
+        pin_bits in 0u32..64,
+    ) {
+        let schema = Schema::builder()
+            .pred("Z", 0)
+            .pred("P", 1)
+            .pred("R", 2)
+            .pred("S", 3)
+            .build();
+        let preds: Vec<PredId> = schema.preds().collect();
+        let mut rng = StdRng::seed_from_u64(rule_seed);
+        let raw: Vec<(PredId, Vec<u32>)> = (0..atom_count)
+            .map(|_| {
+                let pred = preds[rng.random_range(0..preds.len())];
+                let args = (0..schema.arity(pred))
+                    .map(|_| rng.random_range(0u32..4))
+                    .collect();
+                (pred, args)
+            })
+            .collect();
+        let mut used: Vec<u32> = raw.iter().flat_map(|(_, a)| a.clone()).collect();
+        used.sort_unstable();
+        used.dedup();
+        let atoms: Vec<Atom<Var>> = raw
+            .iter()
+            .map(|(pred, args)| {
+                Atom::new(
+                    *pred,
+                    args.iter()
+                        .map(|v| Var(used.binary_search(v).unwrap() as u32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let num_vars = used.len();
+
+        let mut data_rng = StdRng::seed_from_u64(data_seed);
+        let mut inst = Instance::new(schema.clone());
+        for _ in 0..facts {
+            let pred = preds[data_rng.random_range(0..preds.len())];
+            let args = (0..schema.arity(pred))
+                .map(|_| Elem(data_rng.random_range(0u32..4)))
+                .collect();
+            inst.add_fact(pred, args);
+        }
+        let index = InstanceIndex::new(&inst);
+        let domain: Vec<Elem> = inst.active_domain().iter().copied().collect();
+
+        // Pin a subset of variables to concrete elements — occasionally one
+        // outside the active domain, which must simply produce no answers
+        // from any atom mentioning it.
+        let fixed: Binding = (0..num_vars)
+            .map(|v| {
+                if pin_bits >> (v % 6) & 1 == 1 {
+                    Some(Elem(rng.random_range(0u32..5)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let collect = |atoms: &[Atom<Var>]| {
+            let mut homs: BTreeSet<Vec<Option<Elem>>> = BTreeSet::new();
+            for_each_hom_indexed(atoms, num_vars, &index, &fixed, &mut |b| {
+                homs.insert(b.clone());
+                ControlFlow::Continue(())
+            });
+            homs
+        };
+        let found = collect(&atoms);
+
+        // Exhaustive reference: unpinned variables range over the active
+        // domain, pinned ones over their single value.
+        let choices: Vec<Vec<Elem>> = fixed
+            .iter()
+            .map(|b| match b {
+                Some(e) => vec![*e],
+                None => domain.clone(),
+            })
+            .collect();
+        let mut expected: BTreeSet<Vec<Option<Elem>>> = BTreeSet::new();
+        let mut assignment = vec![0usize; num_vars];
+        'assignments: loop {
+            if choices.iter().all(|c| !c.is_empty()) {
+                let binding: Vec<Option<Elem>> = assignment
+                    .iter()
+                    .zip(&choices)
+                    .map(|(&i, c)| Some(c[i]))
+                    .collect();
+                let satisfied = atoms.iter().all(|a| {
+                    let tuple: Vec<Elem> = a
+                        .args
+                        .iter()
+                        .map(|v| binding[v.index()].unwrap())
+                        .collect();
+                    inst.contains_fact(a.pred, &tuple)
+                });
+                if satisfied {
+                    expected.insert(binding);
+                }
+            }
+            let mut pos = 0;
+            loop {
+                if pos == num_vars || choices[pos].is_empty() {
+                    break 'assignments;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < choices[pos].len() {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+        }
+        prop_assert_eq!(&found, &expected);
+
+        // Atom order is syntax: permuting the conjunction must not change
+        // the answer set, whatever mix of algorithms the permuted plan uses.
+        let mut permuted = atoms.clone();
+        permuted.reverse();
+        prop_assert_eq!(collect(&permuted), expected.clone());
+
+        // Identical query again: the cross-run plan cache must hand back the
+        // very same plan object, the plan must still be a permutation of the
+        // atom indices, and the answers must be unchanged.
+        let bound: Vec<bool> = fixed.iter().map(|b| b.is_some()).collect();
+        let first = plan_join_cached(&atoms, &index, &bound);
+        let second = plan_join_cached(&atoms, &index, &bound);
+        prop_assert!(std::sync::Arc::ptr_eq(&first, &second));
+        let mut order = first.order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..atoms.len()).collect::<Vec<_>>());
+        prop_assert_eq!(collect(&atoms), expected);
     }
 
     /// Grouping by precomputed enumeration keys ([`group_by_body_keyed`])

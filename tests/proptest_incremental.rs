@@ -76,27 +76,29 @@ proptest! {
             a.sort();
             b.sort();
             prop_assert_eq!(a, b, "tuple sets differ on {:?}", pred);
-            // Postings consistency: every tuple is reachable through each of
-            // its positions, and every posting hit dereferences to a tuple
-            // carrying the probed element.
-            for (t, tuple) in incremental.tuples(pred).iter().enumerate() {
-                for (pos, &e) in tuple.iter().enumerate() {
+            // Postings consistency: every row is reachable through each of
+            // its positions, and every posting hit dereferences to a row
+            // carrying the probed element (read through the columns).
+            let tuples = incremental.tuples(pred);
+            for t in 0..tuples.len() {
+                for pos in 0..tuples.arity() {
+                    let e = tuples.at(t, pos);
                     prop_assert!(
                         incremental.postings(pred, pos, e).contains(&(t as u32)),
-                        "tuple {:?} not reachable via position {}", tuple, pos
+                        "row {} not reachable via position {}", t, pos
                     );
                 }
             }
             for pos in 0..schema.arity(pred) {
                 for e in (0..6).map(Elem) {
                     for &hit in incremental.postings(pred, pos, e) {
-                        prop_assert_eq!(incremental.tuple(pred, hit)[pos], e);
+                        prop_assert_eq!(incremental.at(pred, hit, pos), e);
                     }
                 }
             }
             // Membership agrees with the fresh build.
-            for tuple in fresh.tuples(pred) {
-                prop_assert!(incremental.contains(pred, tuple));
+            for tuple in fresh.tuples(pred).to_vec() {
+                prop_assert!(incremental.contains(pred, &tuple));
             }
         }
         // Predicates beyond the indexed schema read as empty, never panic.
