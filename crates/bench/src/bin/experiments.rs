@@ -43,6 +43,7 @@ use tgdkit_core::RewriteCheckpoint;
 use tgdkit_core::{TgdOntology, Verdict};
 use tgdkit_instance::InstanceGen;
 use tgdkit_logic::{parse_tgds, Schema, Tgd, TgdSet};
+use tgdkit_store::{DurableKb, KbConfig};
 
 fn section(id: &str, title: &str, claim: &str) {
     println!("\n## {id}: {title}");
@@ -1041,6 +1042,81 @@ fn bench_rewrite_json(smoke: bool) {
         "time-sliced rewrite diverged from the dedicated run"
     );
 
+    // Durability probe: a transitive-closure KB absorbs a chain of edge
+    // batches through the WAL (with a threshold low enough to force
+    // compactions), the process "crashes" leaving a torn frame at the log
+    // tail, and recovery must come back with every acknowledged batch and
+    // the damage truncated away. The JSON records the append/compaction/
+    // recovery counts so the durable path's shape is trackable across PRs.
+    let durable_batches = if smoke { 24u32 } else { 96u32 };
+    let durable_dir =
+        std::env::temp_dir().join(format!("tgdkit-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let (_, kb_set) = named_set("E(x,y), E(y,z) -> E(x,z).");
+    let edge = kb_set.schema().pred_id("E").expect("E exists");
+    let kb_config = KbConfig {
+        compact_wal_bytes: 512,
+        ..KbConfig::default()
+    };
+    let (durable_stats, durable_gen, append_time) = {
+        let (mut kb, _) =
+            DurableKb::open(&durable_dir, &kb_set, kb_config).expect("fresh durable store opens");
+        let (_, t) = timed(|| {
+            for i in 0..durable_batches {
+                let fact = tgdkit_instance::Fact::new(
+                    edge,
+                    vec![tgdkit_instance::Elem(i), tgdkit_instance::Elem(i + 1)],
+                );
+                kb.apply(&[fact], &[]).expect("batch acknowledged");
+            }
+        });
+        (kb.stats(), kb.generation(), t)
+    };
+    // Tear the log tail: a crash mid-append leaves a partial frame.
+    let torn_wal = durable_dir.join(format!("wal-{durable_gen:06}.tgkw"));
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&torn_wal)
+            .expect("open wal for tearing");
+        f.write_all(b"TGCK\x01\x31partial").expect("torn tail");
+    }
+    let ((kb_recovered, durable_recovery), recover_time) = timed(|| {
+        DurableKb::open(&durable_dir, &kb_set, kb_config).expect("recovery after a torn tail")
+    });
+    assert_eq!(
+        kb_recovered.seq(),
+        durable_batches as u64,
+        "recovery lost acknowledged batches"
+    );
+    assert!(
+        kb_recovered.holds(
+            edge,
+            &[
+                tgdkit_instance::Elem(0),
+                tgdkit_instance::Elem(durable_batches)
+            ]
+        ),
+        "recovered closure lost E(0, {durable_batches})"
+    );
+    assert!(
+        durable_recovery.truncated_frames >= 1,
+        "the torn tail went undetected"
+    );
+    let durable_recoveries = kb_recovered.stats().recoveries;
+    drop(kb_recovered);
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    println!(
+        "durable probe: {} appends ({} compactions) in {}; torn-tail recovery replayed {} batches in {}",
+        durable_stats.wal_appends,
+        durable_stats.compactions,
+        fmt_duration(append_time),
+        durable_recovery.replayed_batches,
+        fmt_duration(recover_time),
+    );
+
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
         let total = hits + misses;
@@ -1071,7 +1147,11 @@ fn bench_rewrite_json(smoke: bool) {
          \"peak_bytes\": {},\n    \"trips\": {},\n    \"resumes\": {},\n    \
          \"evictions\": {}\n  }},\n  \"serve\": {{\n    \
          \"requests\": {},\n    \"suspensions\": {},\n    \
-         \"p50_ms\": {},\n    \"p99_ms\": {}\n  }},\n  \"deadline_ms\": {},\n  \
+         \"p50_ms\": {},\n    \"p99_ms\": {}\n  }},\n  \"durable\": {{\n    \
+         \"wal_appends\": {},\n    \"compactions\": {},\n    \
+         \"recoveries\": {},\n    \"replayed_batches\": {},\n    \
+         \"truncated_frames\": {},\n    \"append_ms\": {:.3},\n    \
+         \"recover_ms\": {:.3}\n  }},\n  \"deadline_ms\": {},\n  \
          \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
          \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
@@ -1112,6 +1192,13 @@ fn bench_rewrite_json(smoke: bool) {
         serve_report.rewrite_suspensions,
         serve_report.small_p50_ms(),
         serve_report.small_p99_ms(),
+        durable_stats.wal_appends,
+        durable_stats.compactions,
+        durable_recoveries,
+        durable_recovery.replayed_batches,
+        durable_recovery.truncated_frames,
+        ms(append_time),
+        ms(recover_time),
         deadline_ms,
         outcome_str(&deadline_outcome),
         ms(deadline_time),

@@ -936,6 +936,114 @@ pub fn chase_resume(
     Ok((result, next))
 }
 
+/// **Incremental fold**: extends an already-chased *fixpoint* with a batch
+/// of new facts and chases only the consequences of the batch, never
+/// re-deriving the base.
+///
+/// `base` must be a fixpoint of `tgds` under `variant` (e.g. the instance
+/// of a `Terminated` [`ChaseResult`]), and `base_nulls` its labeled-null
+/// set. The batch is inserted, the facts that were *actually* new become
+/// the semi-naive delta frontier, and the run proceeds exactly like a
+/// [`chase_resume`] from a round boundary: only triggers touching at least
+/// one delta fact are searched, which is sound because at a fixpoint every
+/// all-old trigger is already satisfied. Folding a batch into a fixpoint
+/// is therefore byte-identical to chasing `base ∪ batch` from scratch with
+/// the same variant — the property the durable-store layer's
+/// `restart ≡ uninterrupted` guarantee rests on — at delta cost instead of
+/// from-scratch cost.
+///
+/// An empty (or fully duplicate) batch returns the base unchanged as
+/// `Terminated` without searching a single trigger. Budgets count from
+/// zero for each fold, not cumulatively across folds. Like
+/// [`chase_checkpointing`], a budget/memory/cancellation trip on a round
+/// boundary yields a resumable checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn chase_extend_governed(
+    base: &Instance,
+    base_nulls: &BTreeSet<Elem>,
+    batch: &[Fact],
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    search: TriggerSearch,
+    token: &CancelToken,
+) -> (ChaseResult, Option<Box<ChaseCheckpoint>>) {
+    let sigma_fp = tgds_fingerprint(tgds);
+    let mut instance = base.clone();
+    let mut delta: Vec<Fact> = Vec::new();
+    for fact in batch {
+        if instance.add_fact(fact.pred, fact.args.clone()) {
+            delta.push(fact.clone());
+        }
+    }
+    if delta.is_empty() {
+        return (
+            ChaseResult {
+                instance,
+                outcome: ChaseOutcome::Terminated,
+                nulls: base_nulls.clone(),
+                rounds: 0,
+                stats: ChaseStats::default(),
+            },
+            None,
+        );
+    }
+    // A synthesized round-boundary checkpoint: the base fixpoint plus the
+    // inserted batch as the pending delta. `next_null` is re-derived from
+    // the extended instance so nulls allocated by the fold can never
+    // collide with batch constants. `fired` stays empty — the oblivious
+    // resume path re-seeds it fresh, which only matters for triggers
+    // touching the delta (all-old triggers are never searched again).
+    let cp = ChaseCheckpoint {
+        variant,
+        rounds: 0,
+        next_null: instance.fresh_elem().0,
+        sigma_fp,
+        nulls: base_nulls.clone(),
+        fired: Vec::new(),
+        delta: Some(delta),
+        stats: ChaseStats::default(),
+        instance,
+    };
+    let (mut result, end) = chase_impl(
+        &cp.instance,
+        tgds,
+        variant,
+        budget,
+        search,
+        token,
+        None,
+        Some(&cp),
+    );
+    // The resume path counts itself as a resumption; a fold is not one.
+    result.stats.resumes = result.stats.resumes.saturating_sub(1);
+    let next = capture_checkpoint(&result, end, variant, sigma_fp);
+    (result, next)
+}
+
+/// [`chase_extend_governed`] with a fresh token — the plain entry point
+/// for callers without cancellation or fault plumbing.
+pub fn chase_extend(
+    base: &Instance,
+    base_nulls: &BTreeSet<Elem>,
+    batch: &[Fact],
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+) -> ChaseResult {
+    chase_extend_governed(
+        base,
+        base_nulls,
+        batch,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Auto,
+        &CancelToken::new(),
+    )
+    .0
+}
+
 /// The **core chase**: a restricted chase followed by core minimization
 /// relative to the input's elements, yielding the *minimal* universal model
 /// containing `start` (when the chase terminates).
@@ -1179,6 +1287,95 @@ mod tests {
             },
         );
         assert_eq!(result.outcome, ChaseOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn extend_fold_matches_from_scratch_chase() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(
+            &mut s,
+            "E(x,y), E(y,z) -> E(x,z). P(x) -> exists w : E(x,w).",
+        )
+        .unwrap();
+        let e = s.pred_id("E").unwrap();
+        let p = s.pred_id("P").unwrap();
+        let base_start = parse_instance(&mut s, "E(a,b), E(b,c)").unwrap();
+        let base = chase(
+            &base_start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert!(base.terminated());
+        // Fold in a batch touching both rules: a new edge closing into the
+        // old component plus a P-fact demanding a fresh null.
+        let c = base_start.elem_by_name("c").unwrap();
+        let a = base_start.elem_by_name("a").unwrap();
+        let fresh = base.instance.fresh_elem();
+        let batch = vec![Fact::new(e, vec![c, fresh]), Fact::new(p, vec![a])];
+        let folded = chase_extend(
+            &base.instance,
+            &base.nulls,
+            &batch,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert!(folded.terminated());
+        // Reference: chase base ∪ batch from scratch. Nulls there are
+        // allocated from the *start* instance's fresh_elem, so compare by
+        // hom-equivalence-free structure: same fact count and the fold's
+        // instance satisfies the tgds while containing base ∪ batch.
+        let mut scratch_start = base.instance.clone();
+        for f in &batch {
+            scratch_start.add_fact(f.pred, f.args.clone());
+        }
+        let scratch = chase(
+            &scratch_start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert!(scratch.terminated());
+        assert_eq!(folded.instance, scratch.instance);
+        assert_eq!(
+            folded.nulls,
+            scratch.nulls.union(&base.nulls).copied().collect()
+        );
+        assert!(satisfies_tgds(&folded.instance, &tgds));
+        assert!(base.instance.is_contained_in(&folded.instance));
+        assert_eq!(folded.stats.resumes, 0);
+    }
+
+    #[test]
+    fn extend_with_duplicate_batch_is_a_noop() {
+        let mut s = Schema::default();
+        let tgds = parse_tgds(&mut s, "E(x,y) -> E(y,x).").unwrap();
+        let start = parse_instance(&mut s, "E(a,b)").unwrap();
+        let e = s.pred_id("E").unwrap();
+        let base = chase(
+            &start,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        let a = start.elem_by_name("a").unwrap();
+        let b = start.elem_by_name("b").unwrap();
+        // Both batch facts are already in the fixpoint: zero rounds, zero
+        // trigger searches, unchanged instance.
+        let batch = vec![Fact::new(e, vec![a, b]), Fact::new(e, vec![b, a])];
+        let folded = chase_extend(
+            &base.instance,
+            &base.nulls,
+            &batch,
+            &tgds,
+            ChaseVariant::Restricted,
+            ChaseBudget::default(),
+        );
+        assert!(folded.terminated());
+        assert_eq!(folded.rounds, 0);
+        assert_eq!(folded.stats.triggers_found, 0);
+        assert_eq!(folded.instance, base.instance);
     }
 
     #[test]

@@ -71,8 +71,19 @@ pub enum CheckpointError {
         found: u8,
     },
     /// The checksum does not match the frame content (real corruption or
-    /// injected via [`crate::FaultSite::CheckpointCorrupt`]).
-    ChecksumMismatch,
+    /// injected via [`crate::FaultSite::CheckpointCorrupt`]). Carries the
+    /// byte position of the frame within its container (0 for a
+    /// stand-alone frame; segment scanners pass the frame's file offset
+    /// through [`open_at`]) and the frame's *header* kind byte — read
+    /// before verification, so it is advisory triage data, not a trusted
+    /// field — because "a checksum failed somewhere" is useless to
+    /// recovery triage without the offending byte position.
+    ChecksumMismatch {
+        /// Byte offset of the frame start within its container file.
+        offset: u64,
+        /// The kind byte the (unverified) frame header claims.
+        kind: u8,
+    },
     /// The frame is structurally invalid (bad enum tag, non-UTF-8 name,
     /// inconsistent internal lengths).
     Malformed(&'static str),
@@ -95,7 +106,10 @@ impl std::fmt::Display for CheckpointError {
                     "wrong checkpoint kind: expected {expected}, found {found}"
                 )
             }
-            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::ChecksumMismatch { offset, kind } => write!(
+                f,
+                "checksum mismatch in frame at byte offset {offset} (header kind 0x{kind:02x})"
+            ),
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
             CheckpointError::ContextMismatch(what) => {
                 write!(f, "checkpoint does not match the resume inputs: {what}")
@@ -142,6 +156,18 @@ pub fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
 /// Verifies a sealed frame and returns its payload slice. The checksum is
 /// checked before any header field is interpreted.
 pub fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CheckpointError> {
+    open_at(bytes, expected_kind, 0)
+}
+
+/// [`open`] for a frame that lives at `base_offset` within a larger
+/// container (a segment file): a checksum mismatch reports that offset so
+/// recovery triage can name the damaged byte range instead of just "some
+/// frame, somewhere".
+pub fn open_at(
+    bytes: &[u8],
+    expected_kind: u8,
+    base_offset: u64,
+) -> Result<&[u8], CheckpointError> {
     const HEADER: usize = 15;
     if bytes.len() < HEADER + 8 {
         return Err(CheckpointError::Truncated);
@@ -149,7 +175,10 @@ pub fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CheckpointError> {
     let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
     if fnv1a(body) != stored {
-        return Err(CheckpointError::ChecksumMismatch);
+        return Err(CheckpointError::ChecksumMismatch {
+            offset: base_offset,
+            kind: body[6],
+        });
     }
     if body[0..4] != MAGIC {
         return Err(CheckpointError::BadMagic);
@@ -182,7 +211,10 @@ pub fn open_governed<'a>(
     token: &CancelToken,
 ) -> Result<&'a [u8], CheckpointError> {
     if token.fault(crate::FaultSite::CheckpointCorrupt) {
-        return Err(CheckpointError::ChecksumMismatch);
+        return Err(CheckpointError::ChecksumMismatch {
+            offset: 0,
+            kind: bytes.get(6).copied().unwrap_or(0),
+        });
     }
     open(bytes, expected_kind)
 }
@@ -419,8 +451,10 @@ pub fn read_verdict(r: &mut CheckpointReader<'_>) -> Result<Entailment, Checkpoi
 
 /// Writes an instance (relations in schema order, then the domain and the
 /// element display names) so that decoding against the same schema
-/// reconstructs an [`Instance`] comparing `==` to the original.
-fn write_instance(w: &mut CheckpointWriter, instance: &Instance) {
+/// reconstructs an [`Instance`] comparing `==` to the original. Shared
+/// with the durable-store snapshot codec (`tgdkit-store`), which must
+/// round-trip instances under exactly the checkpoint discipline.
+pub fn write_instance(w: &mut CheckpointWriter, instance: &Instance) {
     let schema = instance.schema();
     w.count(schema.preds().len());
     for pred in schema.preds() {
@@ -450,7 +484,9 @@ fn write_instance(w: &mut CheckpointWriter, instance: &Instance) {
     }
 }
 
-fn read_instance(
+/// Reads an instance written by [`write_instance`], validating every
+/// predicate and arity against `schema`.
+pub fn read_instance(
     r: &mut CheckpointReader<'_>,
     schema: &Schema,
 ) -> Result<Instance, CheckpointError> {
@@ -486,7 +522,9 @@ fn read_instance(
     Ok(instance)
 }
 
-fn write_facts(w: &mut CheckpointWriter, facts: &[Fact]) {
+/// Writes a length-prefixed fact list (shared with the WAL-batch codec in
+/// `tgdkit-store`).
+pub fn write_facts(w: &mut CheckpointWriter, facts: &[Fact]) {
     w.count(facts.len());
     for fact in facts {
         w.u32(fact.pred.0);
@@ -497,7 +535,12 @@ fn write_facts(w: &mut CheckpointWriter, facts: &[Fact]) {
     }
 }
 
-fn read_facts(r: &mut CheckpointReader<'_>, schema: &Schema) -> Result<Vec<Fact>, CheckpointError> {
+/// Reads a fact list written by [`write_facts`], validating predicate ids
+/// and arities against `schema`.
+pub fn read_facts(
+    r: &mut CheckpointReader<'_>,
+    schema: &Schema,
+) -> Result<Vec<Fact>, CheckpointError> {
     let count = r.count(8)?;
     let mut out = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
@@ -803,6 +846,33 @@ mod tests {
     }
 
     #[test]
+    fn checksum_mismatch_reports_offset_and_kind() {
+        let mut frame = seal(KIND_BATCH, &[7u8; 16]);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        // A stand-alone open anchors the frame at offset 0; a segment
+        // scanner passes the real file offset through `open_at`.
+        assert_eq!(
+            open(&frame, KIND_BATCH),
+            Err(CheckpointError::ChecksumMismatch {
+                offset: 0,
+                kind: KIND_BATCH
+            })
+        );
+        let err = open_at(&frame, KIND_BATCH, 4096).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::ChecksumMismatch {
+                offset: 4096,
+                kind: KIND_BATCH
+            }
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("4096"), "{shown}");
+        assert!(shown.contains("0x02"), "{shown}");
+    }
+
+    #[test]
     fn wrong_kind_is_a_typed_error() {
         let frame = seal(KIND_CHASE, &[1u8]);
         assert_eq!(
@@ -822,7 +892,10 @@ mod tests {
         ));
         assert_eq!(
             open_governed(&frame, KIND_CHASE, &token),
-            Err(CheckpointError::ChecksumMismatch)
+            Err(CheckpointError::ChecksumMismatch {
+                offset: 0,
+                kind: KIND_CHASE
+            })
         );
         // An ungoverned open of the same frame succeeds: the frame itself
         // is intact, only the injection said otherwise.

@@ -57,16 +57,33 @@ pub enum FaultSite {
     /// decoders report a checksum mismatch as if the payload had rotted.
     /// Exercises the typed-error path without hand-flipping bytes.
     CheckpointCorrupt = 5,
+    /// Torn write at a durable-store WAL append (`tgdkit-store`): only a
+    /// prefix of the sealed frame reaches the file — exactly what a crash
+    /// mid-`write` leaves behind — and the append reports a typed error.
+    /// Recovery must truncate at the torn frame and keep the prefix.
+    WalTornWrite = 6,
+    /// Simulated segment-file corruption at frame *read* time: the
+    /// governed segment scanner reports a checksum mismatch for a frame
+    /// whose bytes are actually intact (the on-disk analogue of
+    /// [`FaultSite::CheckpointCorrupt`]).
+    SegmentCorrupt = 7,
+    /// `fsync` failure at a durable-store flush point. The store must
+    /// refuse to acknowledge the un-synced write (rolling its file back)
+    /// rather than pretend the bytes are durable.
+    FsyncFail = 8,
 }
 
 /// All injection sites, in discriminant order.
-pub const FAULT_SITES: [FaultSite; 6] = [
+pub const FAULT_SITES: [FaultSite; 9] = [
     FaultSite::TriggerWorkerPanic,
     FaultSite::GroupEvalPanic,
     FaultSite::BudgetTrip,
     FaultSite::DeadlineExpire,
     FaultSite::MemBudgetTrip,
     FaultSite::CheckpointCorrupt,
+    FaultSite::WalTornWrite,
+    FaultSite::SegmentCorrupt,
+    FaultSite::FsyncFail,
 ];
 
 /// The panic-payload prefix used by injected panics; the containment sites
@@ -82,13 +99,13 @@ pub const INJECTED_PANIC: &str = "injected fault";
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    periods: [u64; 6],
-    counters: [AtomicU64; 6],
+    periods: [u64; 9],
+    counters: [AtomicU64; 9],
 }
 
 impl FaultPlan {
     #[cfg(any(test, feature = "tgdkit-faults"))]
-    fn with_periods(seed: u64, periods: [u64; 6]) -> Self {
+    fn with_periods(seed: u64, periods: [u64; 9]) -> Self {
         FaultPlan {
             seed,
             periods,
@@ -101,14 +118,14 @@ impl FaultPlan {
     /// trips, and expiries.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn seeded(seed: u64) -> Self {
-        Self::with_periods(seed, [5, 7, 11, 31, 13, 17])
+        Self::with_periods(seed, [5, 7, 11, 31, 13, 17, 19, 23, 29])
     }
 
     /// A schedule faulting only at `site`, every `period`-th consultation
     /// on average (seeded); `period` 1 faults every time.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn only(seed: u64, site: FaultSite, period: u64) -> Self {
-        let mut periods = [0u64; 6];
+        let mut periods = [0u64; 9];
         periods[site as usize] = period;
         Self::with_periods(seed, periods)
     }

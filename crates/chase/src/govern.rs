@@ -106,7 +106,7 @@ pub struct CancelToken {
     state: Arc<TokenState>,
     /// Per-clone bitmask of [`FaultSite`]s whose *injection* this view
     /// suppresses (cancellation and real governance are never masked).
-    masked: u8,
+    masked: u16,
 }
 
 impl CancelToken {
@@ -202,7 +202,7 @@ impl CancelToken {
     pub fn masking_fault(&self, site: FaultSite) -> CancelToken {
         CancelToken {
             state: Arc::clone(&self.state),
-            masked: self.masked | (1 << site as u8),
+            masked: self.masked | (1u16 << site as u8),
         }
     }
 
@@ -282,7 +282,7 @@ impl CancelToken {
     /// `false` for tokens without a plan — the fault-free fast path is one
     /// `Option` check.
     pub fn fault(&self, site: FaultSite) -> bool {
-        if self.masked & (1 << site as u8) != 0 {
+        if self.masked & (1u16 << site as u8) != 0 {
             return false;
         }
         match &self.state.faults {

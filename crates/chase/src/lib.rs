@@ -47,9 +47,9 @@ pub use cache::{
 };
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{
-    chase, chase_checkpointing, chase_configured, chase_governed, chase_resume,
-    chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome, ChaseResult, ChaseVariant,
-    DerivationStep, Provenance,
+    chase, chase_checkpointing, chase_configured, chase_extend, chase_extend_governed,
+    chase_governed, chase_resume, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,
+    ChaseResult, ChaseVariant, DerivationStep, Provenance,
 };
 pub use checkpoint::{tgds_fingerprint, BatchCheckpoint, ChaseCheckpoint, CheckpointError};
 pub use countermodel::{

@@ -161,8 +161,11 @@ impl Job {
                     stats: WireStats::default(),
                 })
             }
-            Request::Stats | Request::Shutdown => {
-                Err("control requests are not schedulable jobs".into())
+            Request::Stats
+            | Request::Shutdown
+            | Request::KbApply { .. }
+            | Request::KbQuery { .. } => {
+                Err("control and knowledge-base requests are not schedulable jobs".into())
             }
         }
     }

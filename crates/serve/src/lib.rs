@@ -17,12 +17,18 @@
 //! `tests/proptest_serve.rs` and re-checked end-to-end by the
 //! [`smoke`] workload CI runs.
 //!
+//! Tenants with a server `--data-dir` additionally get a **durable
+//! knowledge base** (`KbApply`/`KbQuery` frames): per-tenant
+//! [`tgdkit_store::DurableKb`] stores whose acknowledged batches survive
+//! crashes and restarts, and whose WALs are flushed by the graceful
+//! shutdown path ([`Scheduler::shutdown_graceful`]).
+//!
 //! Module map:
 //! - [`proto`]: the `TGCK`-framed wire protocol (requests, responses,
 //!   stream framing);
 //! - [`job`]: one admitted request, runnable a slice at a time;
 //! - [`tenant`]: per-tenant admission limits, entailment cache,
-//!   byte accounting, counters;
+//!   byte accounting, counters, durable knowledge-base slot;
 //! - [`scheduler`]: worker threads + round-robin ring over tenants;
 //! - [`server`]: TCP accept loop, connection-per-request framing;
 //! - [`client`]: minimal blocking client;
@@ -39,8 +45,8 @@ pub mod tenant;
 
 pub use client::Client;
 pub use job::{Job, JobOutput, JobStep, SliceLimit};
-pub use proto::{Request, Response, RewriteTarget, TenantSnapshot, WireStats};
-pub use scheduler::{Scheduler, SchedulerConfig};
+pub use proto::{Request, Response, RewriteTarget, TenantSnapshot, WireFact, WireStats};
+pub use scheduler::{DrainReport, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig};
 pub use smoke::{run_smoke, SmokeConfig, SmokeReport};
-pub use tenant::{TenantConfig, TenantState};
+pub use tenant::{KbSlot, TenantConfig, TenantState};

@@ -27,6 +27,10 @@ pub const REQ_ENTAIL: u8 = 0x10;
 pub const REQ_BATCH: u8 = 0x11;
 /// Request frame kind: rewriting (Algorithm 1 / Algorithm 2).
 pub const REQ_REWRITE: u8 = 0x12;
+/// Request frame kind: durable knowledge-base batch (inserts/retracts).
+pub const REQ_KB_APPLY: u8 = 0x13;
+/// Request frame kind: durable knowledge-base point queries.
+pub const REQ_KB_QUERY: u8 = 0x14;
 /// Request frame kind: server/tenant stats snapshot.
 pub const REQ_STATS: u8 = 0x18;
 /// Request frame kind: orderly shutdown.
@@ -37,6 +41,8 @@ pub const RESP_VERDICTS: u8 = 0x20;
 pub const RESP_REWRITE: u8 = 0x21;
 /// Response frame kind: request-level failure.
 pub const RESP_ERROR: u8 = 0x22;
+/// Response frame kind: knowledge-base acknowledgement / answers.
+pub const RESP_KB: u8 = 0x23;
 /// Response frame kind: stats snapshot.
 pub const RESP_STATS: u8 = 0x28;
 /// Response frame kind: bare acknowledgement.
@@ -66,6 +72,56 @@ impl RewriteTarget {
             _ => Err(CheckpointError::Malformed("rewrite target")),
         }
     }
+}
+
+/// A ground fact on the wire: predicate by name, arguments as raw element
+/// ids. Element ids share one flat space with the chase's invented nulls
+/// (the store allocates nulls above the current domain maximum), so
+/// clients that stick to a stable id range below their first null never
+/// collide; the encoding is deterministic either way, which is what the
+/// durable store's replay guarantee needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFact {
+    /// Predicate name, resolved against the knowledge base's schema.
+    pub pred: String,
+    /// Argument element ids.
+    pub args: Vec<u32>,
+}
+
+impl WireFact {
+    fn encode(&self, w: &mut CheckpointWriter) {
+        w.str(&self.pred);
+        w.count(self.args.len());
+        for &a in &self.args {
+            w.u32(a);
+        }
+    }
+
+    fn decode(r: &mut CheckpointReader<'_>) -> Result<Self, CheckpointError> {
+        let pred = r.str()?;
+        let n = r.count(4)?;
+        let mut args = Vec::with_capacity(n);
+        for _ in 0..n {
+            args.push(r.u32()?);
+        }
+        Ok(WireFact { pred, args })
+    }
+}
+
+fn encode_facts(w: &mut CheckpointWriter, facts: &[WireFact]) {
+    w.count(facts.len());
+    for f in facts {
+        f.encode(w);
+    }
+}
+
+fn decode_facts(r: &mut CheckpointReader<'_>) -> Result<Vec<WireFact>, CheckpointError> {
+    let n = r.count(1)?;
+    let mut facts = Vec::with_capacity(n);
+    for _ in 0..n {
+        facts.push(WireFact::decode(r)?);
+    }
+    Ok(facts)
 }
 
 /// A client request, decoded from one frame.
@@ -106,9 +162,34 @@ pub enum Request {
         /// Target class.
         target: RewriteTarget,
     },
+    /// Apply one batch of fact insertions/retractions to the tenant's
+    /// durable knowledge base (created on first use under the server's
+    /// data directory). The batch is acknowledged only once its WAL frame
+    /// is fsynced, so an acknowledged batch survives any crash.
+    KbApply {
+        /// Tenant whose knowledge base is addressed.
+        tenant: String,
+        /// Ontology as program text; must match the tgd set the tenant's
+        /// store was created with (fingerprint-checked server-side).
+        program: String,
+        /// Facts added to the base instance.
+        inserts: Vec<WireFact>,
+        /// Facts removed from the base instance.
+        retracts: Vec<WireFact>,
+    },
+    /// Point queries against the tenant's chased fixpoint.
+    KbQuery {
+        /// Tenant whose knowledge base is addressed.
+        tenant: String,
+        /// Ontology as program text (same matching rule as `KbApply`).
+        program: String,
+        /// Facts to test for membership in the chased fixpoint.
+        facts: Vec<WireFact>,
+    },
     /// Server-wide stats snapshot.
     Stats,
-    /// Orderly shutdown.
+    /// Orderly shutdown: drains in-flight jobs within the server's drain
+    /// deadline and flushes every tenant WAL before stopping.
     Shutdown,
 }
 
@@ -251,6 +332,25 @@ pub enum Response {
         /// Per-tenant counters.
         tenants: Vec<TenantSnapshot>,
     },
+    /// Knowledge-base acknowledgement (for applies) or answers (for
+    /// queries).
+    Kb {
+        /// Batches acknowledged over the store's lifetime, after this
+        /// request.
+        seq: u64,
+        /// Current snapshot generation.
+        generation: u64,
+        /// Facts in the chased fixpoint.
+        fact_count: u64,
+        /// `true` when the apply retracted base facts and re-chased.
+        rechased: bool,
+        /// `true` when the apply tipped the WAL over the compaction
+        /// threshold.
+        compacted: bool,
+        /// For queries: membership of each requested fact in the chased
+        /// fixpoint, in request order (empty for applies).
+        holds: Vec<bool>,
+    },
     /// Bare acknowledgement (shutdown).
     Ok,
 }
@@ -283,6 +383,14 @@ fn verdict_to_wire(v: Entailment) -> u8 {
         Entailment::Proved => 0,
         Entailment::Disproved => 1,
         Entailment::Unknown => 2,
+    }
+}
+
+fn decode_bool(v: u8) -> Result<bool, CheckpointError> {
+    match v {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Malformed("bool")),
     }
 }
 
@@ -336,6 +444,28 @@ impl Request {
                 w.u8(target.to_wire());
                 REQ_REWRITE
             }
+            Request::KbApply {
+                tenant,
+                program,
+                inserts,
+                retracts,
+            } => {
+                w.str(tenant);
+                w.str(program);
+                encode_facts(&mut w, inserts);
+                encode_facts(&mut w, retracts);
+                REQ_KB_APPLY
+            }
+            Request::KbQuery {
+                tenant,
+                program,
+                facts,
+            } => {
+                w.str(tenant);
+                w.str(program);
+                encode_facts(&mut w, facts);
+                REQ_KB_QUERY
+            }
             Request::Stats => REQ_STATS,
             Request::Shutdown => REQ_SHUTDOWN,
         };
@@ -366,6 +496,17 @@ impl Request {
                 budget: decode_budget(&mut r)?,
                 program: r.str()?,
                 target: RewriteTarget::from_wire(r.u8()?)?,
+            },
+            REQ_KB_APPLY => Request::KbApply {
+                tenant: r.str()?,
+                program: r.str()?,
+                inserts: decode_facts(&mut r)?,
+                retracts: decode_facts(&mut r)?,
+            },
+            REQ_KB_QUERY => Request::KbQuery {
+                tenant: r.str()?,
+                program: r.str()?,
+                facts: decode_facts(&mut r)?,
             },
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
@@ -415,6 +556,25 @@ impl Response {
                 }
                 RESP_STATS
             }
+            Response::Kb {
+                seq,
+                generation,
+                fact_count,
+                rechased,
+                compacted,
+                holds,
+            } => {
+                w.u64(*seq);
+                w.u64(*generation);
+                w.u64(*fact_count);
+                w.u8(u8::from(*rechased));
+                w.u8(u8::from(*compacted));
+                w.count(holds.len());
+                for &h in holds {
+                    w.u8(u8::from(h));
+                }
+                RESP_KB
+            }
             Response::Ok => RESP_OK,
         };
         seal(kind, &w.into_payload())
@@ -461,6 +621,26 @@ impl Response {
                     tenants.push(TenantSnapshot::decode(&mut r)?);
                 }
                 Response::Stats { tenants }
+            }
+            RESP_KB => {
+                let seq = r.u64()?;
+                let generation = r.u64()?;
+                let fact_count = r.u64()?;
+                let rechased = decode_bool(r.u8()?)?;
+                let compacted = decode_bool(r.u8()?)?;
+                let n = r.count(1)?;
+                let mut holds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    holds.push(decode_bool(r.u8()?)?);
+                }
+                Response::Kb {
+                    seq,
+                    generation,
+                    fact_count,
+                    rechased,
+                    compacted,
+                    holds,
+                }
             }
             RESP_OK => Response::Ok,
             _ => return Err(CheckpointError::Malformed("response kind")),
@@ -550,6 +730,32 @@ mod tests {
                 program: "R(x0, x1) -> exists z0 : R(x1, z0).".into(),
                 target: RewriteTarget::Guarded,
             },
+            Request::KbApply {
+                tenant: "kb".into(),
+                program: "E(x,y), E(y,z) -> E(x,z).".into(),
+                inserts: vec![
+                    WireFact {
+                        pred: "E".into(),
+                        args: vec![0, 1],
+                    },
+                    WireFact {
+                        pred: "E".into(),
+                        args: vec![1, 2],
+                    },
+                ],
+                retracts: vec![WireFact {
+                    pred: "E".into(),
+                    args: vec![7, 7],
+                }],
+            },
+            Request::KbQuery {
+                tenant: "kb".into(),
+                program: "E(x,y), E(y,z) -> E(x,z).".into(),
+                facts: vec![WireFact {
+                    pred: "E".into(),
+                    args: vec![0, 2],
+                }],
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -594,6 +800,14 @@ mod tests {
                     suspensions: 12,
                     ..TenantSnapshot::default()
                 }],
+            },
+            Response::Kb {
+                seq: 12,
+                generation: 3,
+                fact_count: 78,
+                rechased: true,
+                compacted: false,
+                holds: vec![true, false, true],
             },
             Response::Ok,
         ];

@@ -17,23 +17,27 @@
 //! one).
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tracing::{debug, info, info_span, warn};
 
 use crate::job::{Job, JobOutput, JobStep, SliceLimit};
 use crate::proto::{
-    Request, Response, TenantSnapshot, OUTCOME_CANCELLED, OUTCOME_INCONCLUSIVE,
+    Request, Response, TenantSnapshot, WireFact, OUTCOME_CANCELLED, OUTCOME_INCONCLUSIVE,
     OUTCOME_NOT_REWRITABLE, OUTCOME_REWRITTEN,
 };
-use crate::tenant::{TenantConfig, TenantState};
+use crate::tenant::{KbSlot, TenantConfig, TenantState};
 use tgdkit_core::rewrite::RewriteOutcome;
+use tgdkit_instance::{Elem, Fact};
+use tgdkit_logic::{parse_program, Schema, TgdSet};
+use tgdkit_store::{DurableKb, KbConfig};
 
 /// Scheduler tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     /// Worker threads running slices.
     pub workers: usize,
@@ -42,6 +46,16 @@ pub struct SchedulerConfig {
     pub quantum: Duration,
     /// Limits applied to every tenant.
     pub tenant: TenantConfig,
+    /// Directory holding per-tenant durable knowledge bases. `None` (the
+    /// default) disables KB requests — they answer with an error — so
+    /// purely computational deployments never touch the filesystem.
+    pub data_dir: Option<PathBuf>,
+    /// Tuning applied to every tenant knowledge base.
+    pub kb: KbConfig,
+    /// Graceful-shutdown bound: how long a wire-level `Shutdown` waits
+    /// for in-flight jobs to drain before abandoning them with error
+    /// responses. Tenant WALs are flushed either way.
+    pub drain: Duration,
 }
 
 impl Default for SchedulerConfig {
@@ -50,8 +64,22 @@ impl Default for SchedulerConfig {
             workers: 2,
             quantum: Duration::from_millis(25),
             tenant: TenantConfig::default(),
+            data_dir: None,
+            kb: KbConfig::default(),
+            drain: Duration::from_secs(2),
         }
     }
+}
+
+/// What [`Scheduler::shutdown_graceful`] accomplished before stopping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// `true` when every in-flight job completed within the deadline.
+    pub drained: bool,
+    /// Jobs still in flight at the deadline (answered with errors).
+    pub abandoned_jobs: usize,
+    /// Open tenant WALs that were fsynced.
+    pub flushed_wals: usize,
 }
 
 /// A job waiting in (or between) queues, with the channel its response
@@ -68,6 +96,9 @@ struct SchedState {
     /// Tenants with queued jobs, in round-robin order.
     ring: VecDeque<String>,
     next_id: u64,
+    /// Draining: admission rejects, but workers keep running in-flight
+    /// jobs to completion (the graceful-shutdown window).
+    draining: bool,
     shutdown: bool,
 }
 
@@ -105,19 +136,21 @@ impl Scheduler {
                 jobs: HashMap::new(),
                 ring: VecDeque::new(),
                 next_id: 0,
+                draining: false,
                 shutdown: false,
             }),
             work: Condvar::new(),
         });
+        let worker_count = config.workers.max(1);
+        let quantum = config.quantum;
         let scheduler = Arc::new(Scheduler {
             shared: shared.clone(),
             workers: Mutex::new(Vec::new()),
             config,
         });
         let mut workers = scheduler.workers.lock().expect("fresh lock");
-        for i in 0..config.workers.max(1) {
+        for i in 0..worker_count {
             let shared = shared.clone();
-            let quantum = config.quantum;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("tgdkit-serve-worker-{i}"))
@@ -145,8 +178,16 @@ impl Scheduler {
                 return rx;
             }
             Request::Shutdown => {
-                self.shutdown();
+                let report = self.shutdown_graceful(self.config.drain);
+                info!(
+                    "graceful shutdown: drained={} abandoned={} wals_flushed={}",
+                    report.drained, report.abandoned_jobs, report.flushed_wals
+                );
                 let _ = tx.send(Response::Ok);
+                return rx;
+            }
+            Request::KbApply { .. } | Request::KbQuery { .. } => {
+                let _ = tx.send(self.handle_kb(&request));
                 return rx;
             }
             Request::Entail { tenant, .. }
@@ -167,7 +208,7 @@ impl Scheduler {
                     }
                 };
                 let mut state = self.shared.state.lock().expect("sched lock");
-                if state.shutdown {
+                if state.shutdown || state.draining {
                     let _ = tx.send(Response::Error {
                         message: "server is shutting down".into(),
                     });
@@ -231,6 +272,198 @@ impl Scheduler {
         snaps
     }
 
+    /// Handles a KB request on the caller's thread (the per-connection
+    /// thread, not a worker): KB operations are budget-bounded folds, not
+    /// sliceable chases, and serializing them on the tenant's KB mutex
+    /// gives each tenant a single durable timeline without occupying a
+    /// scheduler worker.
+    fn handle_kb(&self, request: &Request) -> Response {
+        let (tenant_name, program) = match request {
+            Request::KbApply {
+                tenant, program, ..
+            }
+            | Request::KbQuery {
+                tenant, program, ..
+            } => (tenant.as_str(), program.as_str()),
+            _ => unreachable!("handle_kb is only called for KB requests"),
+        };
+        let Some(data_dir) = self.config.data_dir.clone() else {
+            return self.kb_reject(
+                tenant_name,
+                "knowledge-base requests are disabled (server has no data dir)".into(),
+            );
+        };
+        let set = match parse_kb_program(program) {
+            Ok(set) => set,
+            Err(message) => return self.kb_reject(tenant_name, message),
+        };
+        let slot: KbSlot = {
+            let mut state = self.shared.state.lock().expect("sched lock");
+            if state.shutdown || state.draining {
+                return Response::Error {
+                    message: "server is shutting down".into(),
+                };
+            }
+            let entry = state
+                .tenants
+                .entry(tenant_name.to_string())
+                .or_insert_with(|| TenantState::new(tenant_name, &self.config.tenant));
+            entry.admitted += 1;
+            entry.kb.clone()
+        };
+        // KB mutations are transactional (memory commits only after the
+        // WAL frame is durable), so a poisoned slot holds consistent
+        // state: heal it rather than wedging the tenant forever.
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            let dir = data_dir.join(tenant_dir_name(tenant_name));
+            match DurableKb::open(&dir, &set, self.config.kb) {
+                Ok((kb, report)) => {
+                    info!(
+                        "tenant {tenant_name}: kb opened (gen {} seq {} replayed {} truncated {} fresh {})",
+                        report.generation,
+                        report.seq,
+                        report.replayed_batches,
+                        report.truncated_frames,
+                        report.fresh
+                    );
+                    *guard = Some(kb);
+                }
+                Err(e) => {
+                    return self.kb_fail(tenant_name, format!("knowledge-base open failed: {e}"))
+                }
+            }
+        }
+        let kb = guard.as_mut().expect("slot filled above");
+        if kb.sigma_fingerprint() != tgdkit_chase::checkpoint::tgds_fingerprint(set.tgds()) {
+            return self.kb_fail(
+                tenant_name,
+                "ontology does not match the tenant's knowledge base".into(),
+            );
+        }
+        let response = match request {
+            Request::KbApply {
+                inserts, retracts, ..
+            } => {
+                let (inserts, retracts) = match (
+                    resolve_facts(kb.schema(), inserts),
+                    resolve_facts(kb.schema(), retracts),
+                ) {
+                    (Ok(i), Ok(r)) => (i, r),
+                    (Err(message), _) | (_, Err(message)) => {
+                        return self.kb_fail(tenant_name, message)
+                    }
+                };
+                match kb.apply(&inserts, &retracts) {
+                    Ok(report) => Response::Kb {
+                        seq: kb.seq(),
+                        generation: kb.generation(),
+                        fact_count: report.fact_count as u64,
+                        rechased: report.rechased,
+                        compacted: report.compacted,
+                        holds: Vec::new(),
+                    },
+                    Err(e) => {
+                        return self
+                            .kb_fail(tenant_name, format!("knowledge-base apply failed: {e}"))
+                    }
+                }
+            }
+            Request::KbQuery { facts, .. } => {
+                let facts = match resolve_facts(kb.schema(), facts) {
+                    Ok(f) => f,
+                    Err(message) => return self.kb_fail(tenant_name, message),
+                };
+                Response::Kb {
+                    seq: kb.seq(),
+                    generation: kb.generation(),
+                    fact_count: kb.chased().fact_count() as u64,
+                    rechased: false,
+                    compacted: false,
+                    holds: facts.iter().map(|f| kb.holds(f.pred, &f.args)).collect(),
+                }
+            }
+            _ => unreachable!("handle_kb is only called for KB requests"),
+        };
+        drop(guard);
+        self.bump(tenant_name, |t| t.completed += 1);
+        response
+    }
+
+    /// Counts a KB request rejected before touching the store.
+    fn kb_reject(&self, tenant: &str, message: String) -> Response {
+        self.bump(tenant, |t| t.rejected += 1);
+        Response::Error { message }
+    }
+
+    /// Counts a KB request that was admitted but failed.
+    fn kb_fail(&self, tenant: &str, message: String) -> Response {
+        warn!("tenant {tenant}: kb request failed: {message}");
+        self.bump(tenant, |t| t.completed += 1);
+        Response::Error { message }
+    }
+
+    fn bump(&self, tenant: &str, update: impl FnOnce(&mut TenantState)) {
+        let mut state = self.shared.state.lock().expect("sched lock");
+        let entry = state
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState::new(tenant, &self.config.tenant));
+        update(entry);
+    }
+
+    /// Graceful shutdown: stop admitting, let in-flight jobs run to
+    /// completion for up to `deadline`, fsync every open tenant WAL, then
+    /// hard-stop (jobs still in flight get error responses). Durable
+    /// acknowledgements are never at risk either way — the WAL syncs per
+    /// append — so the flush is a belt-and-braces barrier and the drain
+    /// is purely about answering in-flight work instead of erroring it.
+    pub fn shutdown_graceful(&self, deadline: Duration) -> DrainReport {
+        let started = Instant::now();
+        {
+            let mut state = self.shared.state.lock().expect("sched lock");
+            if state.shutdown {
+                return DrainReport {
+                    drained: true,
+                    abandoned_jobs: 0,
+                    flushed_wals: 0,
+                };
+            }
+            state.draining = true;
+        }
+        self.shared.work.notify_all();
+        let abandoned_jobs = loop {
+            let state = self.shared.state.lock().expect("sched lock");
+            if state.jobs.is_empty() {
+                break 0;
+            }
+            if started.elapsed() >= deadline {
+                break state.jobs.len();
+            }
+            drop(state);
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let slots: Vec<KbSlot> = {
+            let state = self.shared.state.lock().expect("sched lock");
+            state.tenants.values().map(|t| t.kb.clone()).collect()
+        };
+        let mut flushed_wals = 0;
+        for slot in slots {
+            let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(kb) = guard.as_mut() {
+                if kb.flush().is_ok() {
+                    flushed_wals += 1;
+                }
+            }
+        }
+        self.shutdown();
+        DrainReport {
+            drained: abandoned_jobs == 0,
+            abandoned_jobs,
+            flushed_wals,
+        }
+    }
+
     /// Signals shutdown and wakes every worker. Queued jobs are answered
     /// with an error response; running slices finish their quantum.
     pub fn shutdown(&self) {
@@ -261,6 +494,65 @@ impl Scheduler {
             let _ = h.join();
         }
     }
+}
+
+/// Parses and validates a KB request's ontology text.
+fn parse_kb_program(program: &str) -> Result<TgdSet, String> {
+    let parsed = parse_program(program).map_err(|e| format!("ontology parse error: {e}"))?;
+    let tgds = parsed.tgds();
+    if tgds.is_empty() {
+        return Err("ontology has no tgds".into());
+    }
+    TgdSet::new(parsed.schema, tgds).map_err(|e| format!("invalid ontology: {e}"))
+}
+
+/// Resolves wire facts against the knowledge base's schema, validating
+/// predicate names and arities (the instance layer asserts arity, so this
+/// is the boundary where a hostile frame must be caught).
+fn resolve_facts(schema: &Schema, facts: &[WireFact]) -> Result<Vec<Fact>, String> {
+    facts
+        .iter()
+        .map(|f| {
+            let pred = schema
+                .pred_id(&f.pred)
+                .ok_or_else(|| format!("unknown predicate {:?}", f.pred))?;
+            let arity = schema.arity(pred);
+            if f.args.len() != arity {
+                return Err(format!(
+                    "predicate {:?} has arity {arity}, got {} arguments",
+                    f.pred,
+                    f.args.len()
+                ));
+            }
+            Ok(Fact::new(pred, f.args.iter().map(|&a| Elem(a)).collect()))
+        })
+        .collect()
+}
+
+/// A filesystem-safe directory name for a tenant: a sanitized prefix for
+/// readability plus an FNV-1a hash of the raw name so distinct tenants
+/// never collide after sanitization.
+fn tenant_dir_name(tenant: &str) -> String {
+    let mut safe: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(40)
+        .collect();
+    if safe.is_empty() {
+        safe.push('t');
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{safe}-{h:016x}")
 }
 
 /// The wire tag for a final rewrite outcome.

@@ -1,11 +1,20 @@
 //! Per-tenant state: admission limits, cache, accountant, counters.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tgdkit_chase::{EntailCache, MemoryAccountant, DEFAULT_CACHE_MAX_BYTES};
+use tgdkit_store::DurableKb;
 
 use crate::proto::TenantSnapshot;
+
+/// A tenant's durable knowledge base slot: `None` until the tenant's
+/// first KB request opens (or recovers) the store. The mutex serializes
+/// KB operations per tenant — folds are budget-bounded by the server's
+/// [`KbConfig`](tgdkit_store::KbConfig), so holding it across one apply
+/// is bounded work — and is shared with the shutdown path, which flushes
+/// every open WAL through it.
+pub type KbSlot = Arc<Mutex<Option<DurableKb>>>;
 
 /// Admission and isolation limits applied to every tenant (tenants are
 /// created on first use; a per-tenant config registry can layer on later
@@ -63,6 +72,8 @@ pub struct TenantState {
     pub quanta: u64,
     /// Suspensions across all requests.
     pub suspensions: u64,
+    /// The tenant's durable knowledge base, if one has been opened.
+    pub kb: KbSlot,
 }
 
 impl TenantState {
@@ -81,6 +92,7 @@ impl TenantState {
             completed: 0,
             quanta: 0,
             suspensions: 0,
+            kb: Arc::new(Mutex::new(None)),
         }
     }
 

@@ -1,0 +1,49 @@
+//! # tgdkit-store
+//!
+//! The durability layer: a knowledge base (a chased fixpoint plus its
+//! un-chased *base* facts) persisted as append-only, checksummed segment
+//! files, updated through a write-ahead log, and recovered
+//! crash-consistently on open.
+//!
+//! ## Layout on disk
+//!
+//! A store directory holds one *generation* of state (plus, transiently,
+//! the previous one during compaction):
+//!
+//! ```text
+//! kb-dir/
+//!   snapshot-000042.tgks   one sealed TGCK frame (kind 0x30): sigma
+//!                          fingerprint, sequence number, base instance,
+//!                          chased instance, labeled nulls
+//!   wal-000042.tgkw        zero or more sealed TGCK frames (kind 0x31),
+//!                          one per acknowledged batch of insertions and
+//!                          retractions, in sequence order
+//! ```
+//!
+//! Both files reuse the checkpoint frame discipline of `tgdkit-chase`
+//! (magic · version · kind · length · payload · FNV-1a-64 checksum, with
+//! the checksum verified before any header field is trusted); the store
+//! claims the kind range `0x30..=0x3F`, disjoint from the checkpoint kinds
+//! (1–3) and the wire kinds (`0x10..=0x2F`).
+//!
+//! ## Crash consistency
+//!
+//! An update batch is *acknowledged* only after its WAL frame is fully
+//! written and fsynced; the in-memory fold commits at the same moment.
+//! Recovery ([`DurableKb::open`]) scans the newest valid snapshot, then
+//! replays the WAL prefix that verifies, truncating the file at the first
+//! torn or corrupt frame — so the durable state is exactly the
+//! acknowledged state, and `restart ≡ uninterrupted` (byte-identical
+//! instances, identical verdicts). The I/O fault sites `WalTornWrite`,
+//! `SegmentCorrupt`, and `FsyncFail` inject exactly these failures under
+//! seeded schedules (see `tgdkit_chase::FaultSite`).
+
+pub mod kb;
+pub mod segment;
+pub mod wal;
+
+pub use kb::{DurableKb, KbConfig, KbStats, RecoveryReport};
+pub use segment::{
+    scan_frames, FrameScan, SegmentWriter, StoreError, KIND_SNAPSHOT, KIND_WAL_BATCH,
+};
+pub use wal::WalBatch;

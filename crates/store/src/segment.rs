@@ -1,0 +1,476 @@
+//! Segment-file primitives: sealed-frame scanning with
+//! truncate-at-first-damage semantics, fsynced appends with injectable
+//! I/O faults, and atomic whole-file replacement for snapshots.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tgdkit_chase::checkpoint::{open_at, CheckpointError};
+use tgdkit_chase::{CancelToken, ChaseOutcome, FaultSite};
+
+/// Sealed-frame kind of a knowledge-base snapshot (store kind range
+/// `0x30..=0x3F`, disjoint from checkpoint kinds 1–3 and wire kinds
+/// `0x10..=0x2F`).
+pub const KIND_SNAPSHOT: u8 = 0x30;
+/// Sealed-frame kind of one WAL batch (insertions + retractions).
+pub const KIND_WAL_BATCH: u8 = 0x31;
+
+/// Frame header size (magic + version + kind + payload length); the
+/// checksum adds 8 trailing bytes, so the smallest whole frame is
+/// `FRAME_HEADER + 8` bytes.
+pub const FRAME_HEADER: usize = 15;
+
+/// Why a store operation failed. Every failure is typed — the store never
+/// panics on damaged input — and `PartialEq` so tests can pin exact
+/// failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O failure, tagged with the operation and path.
+    Io {
+        /// What the store was doing (`"create"`, `"append"`, `"rename"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// A frame failed to verify or decode (checksum, truncation, bad
+    /// structure) — carries the typed checkpoint error with its offset.
+    Frame(CheckpointError),
+    /// The store on disk was written against a different tgd set or schema
+    /// than the one it is being opened with.
+    ContextMismatch(&'static str),
+    /// A WAL append wrote only a prefix of its frame (injected
+    /// [`FaultSite::WalTornWrite`] or a short write): the batch is NOT
+    /// durable, the file tail is garbage, and the handle is wedged until
+    /// reopened — recovery will truncate at `offset`.
+    TornWrite {
+        /// File offset of the torn frame's first byte.
+        offset: u64,
+    },
+    /// An fsync failed (injected [`FaultSite::FsyncFail`] or real): the
+    /// write was rolled back and the batch is not acknowledged.
+    FsyncFailed {
+        /// The file whose sync failed.
+        path: String,
+    },
+    /// The handle saw a torn write earlier and refuses further appends;
+    /// reopen the store to recover.
+    Wedged,
+    /// A fold or re-chase did not reach a fixpoint under the configured
+    /// budget, so the batch cannot be committed.
+    ChaseDidNotTerminate(ChaseOutcome),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, kind } => {
+                write!(f, "store i/o failure during {op} on {path}: {kind}")
+            }
+            StoreError::Frame(e) => write!(f, "store frame invalid: {e}"),
+            StoreError::ContextMismatch(what) => {
+                write!(f, "store does not match the open inputs: {what}")
+            }
+            StoreError::TornWrite { offset } => {
+                write!(
+                    f,
+                    "torn WAL write at byte offset {offset}: batch not durable"
+                )
+            }
+            StoreError::FsyncFailed { path } => {
+                write!(
+                    f,
+                    "fsync failed on {path}: write rolled back, batch not durable"
+                )
+            }
+            StoreError::Wedged => {
+                write!(
+                    f,
+                    "store handle wedged by an earlier torn write; reopen to recover"
+                )
+            }
+            StoreError::ChaseDidNotTerminate(outcome) => {
+                write!(
+                    f,
+                    "fold did not reach a fixpoint under the budget ({outcome:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CheckpointError> for StoreError {
+    fn from(e: CheckpointError) -> Self {
+        StoreError::Frame(e)
+    }
+}
+
+pub(crate) fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.display().to_string(),
+        kind: e.kind(),
+    }
+}
+
+/// The result of scanning a segment file for sealed frames.
+#[derive(Debug)]
+pub struct FrameScan<'a> {
+    /// Verified frames in file order: `(frame offset, payload slice)`.
+    pub frames: Vec<(u64, &'a [u8])>,
+    /// Length of the valid prefix — the file offset at which the first
+    /// damaged or torn frame starts (equals the file length when the whole
+    /// file verified).
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did: a checksum mismatch at the
+    /// reported offset, or a torn tail ([`CheckpointError::Truncated`]).
+    pub damage: Option<CheckpointError>,
+}
+
+/// Scans `bytes` as a sequence of sealed frames of `expected_kind`,
+/// verifying every checksum, and stops at the first frame that does not
+/// verify — torn tail, flipped byte, wrong kind, or an injected
+/// [`FaultSite::SegmentCorrupt`] — reporting the valid prefix length so
+/// the caller can truncate the file there. Never panics and never
+/// allocates from unverified lengths (payloads are borrowed slices).
+pub fn scan_frames<'a>(bytes: &'a [u8], expected_kind: u8, token: &CancelToken) -> FrameScan<'a> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let mut damage = None;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER + 8 {
+            damage = Some(CheckpointError::Truncated);
+            break;
+        }
+        // The declared length is unverified until the checksum passes; it
+        // is only used to bound the candidate slice, and both failure modes
+        // (points past EOF → torn tail; wrong but in-bounds → checksum
+        // mismatch over the wrong span) truncate here.
+        let len = u64::from_le_bytes(rest[7..15].try_into().expect("8-byte slice"));
+        let total = (FRAME_HEADER as u64).saturating_add(len).saturating_add(8);
+        if total > rest.len() as u64 {
+            damage = Some(CheckpointError::Truncated);
+            break;
+        }
+        let frame = &rest[..total as usize];
+        if token.fault(FaultSite::SegmentCorrupt) {
+            damage = Some(CheckpointError::ChecksumMismatch {
+                offset: pos as u64,
+                kind: frame[6],
+            });
+            break;
+        }
+        match open_at(frame, expected_kind, pos as u64) {
+            Ok(payload) => {
+                frames.push((pos as u64, payload));
+                pos += total as usize;
+            }
+            Err(e) => {
+                damage = Some(e);
+                break;
+            }
+        }
+    }
+    FrameScan {
+        frames,
+        valid_len: pos as u64,
+        damage,
+    }
+}
+
+/// Fsyncs `file`, consulting [`FaultSite::FsyncFail`] first so seeded
+/// schedules can exercise the not-durable path.
+fn sync_file(file: &File, path: &Path, token: &CancelToken) -> Result<(), StoreError> {
+    if token.fault(FaultSite::FsyncFail) {
+        return Err(StoreError::FsyncFailed {
+            path: path.display().to_string(),
+        });
+    }
+    file.sync_all().map_err(|e| io_err("fsync", path, e))
+}
+
+/// Best-effort directory fsync after a rename/create, so the new directory
+/// entry itself is durable. Failures are swallowed: the data file is
+/// already synced, and a lost dirent reproduces an older-but-consistent
+/// state that recovery handles.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Writes `bytes` to `dir/name` atomically: temp file → write → fsync →
+/// rename → directory fsync. On any failure the temp file is removed and
+/// the previous `dir/name` (if any) is untouched.
+pub fn write_atomic(
+    dir: &Path,
+    name: &str,
+    bytes: &[u8],
+    token: &CancelToken,
+) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    let result = (|| {
+        let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+        sync_file(&f, &tmp, token)?;
+        drop(f);
+        std::fs::rename(&tmp, &target).map_err(|e| io_err("rename", &target, e))?;
+        sync_dir(dir);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// An append-only handle on a WAL segment file. Appends are all-or-nothing
+/// from the caller's view: a frame is either fully written **and** fsynced
+/// (acknowledged), or the file is rolled back to its pre-append length —
+/// except for a torn write, which leaves the torn bytes on disk (as a
+/// crash would) and wedges the handle.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    wedged: bool,
+}
+
+impl SegmentWriter {
+    /// Opens `path` for appending, creating it if missing, positioned at
+    /// `len` (the verified prefix length — the caller truncates damage
+    /// before opening).
+    pub fn open_append(path: &Path, len: u64) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        Ok(SegmentWriter {
+            file,
+            path: path.to_path_buf(),
+            len,
+            wedged: false,
+        })
+    }
+
+    /// Bytes currently acknowledged in the file.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the file holds no acknowledged frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `true` after a torn write: the tail is garbage and only a reopen
+    /// (which truncates it) can continue.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Re-fsyncs the file (appends already sync per frame), consulting
+    /// [`FaultSite::FsyncFail`].
+    pub fn sync(&mut self, token: &CancelToken) -> Result<(), StoreError> {
+        if self.wedged {
+            return Err(StoreError::Wedged);
+        }
+        sync_file(&self.file, &self.path, token)
+    }
+
+    /// Appends one sealed frame and fsyncs it, returning the frame's file
+    /// offset. Consults [`FaultSite::WalTornWrite`] (write a prefix, leave
+    /// it on disk, wedge the handle) and [`FaultSite::FsyncFail`] (roll
+    /// the file back to the pre-append length).
+    pub fn append_frame(&mut self, frame: &[u8], token: &CancelToken) -> Result<u64, StoreError> {
+        if self.wedged {
+            return Err(StoreError::Wedged);
+        }
+        let offset = self.len;
+        if token.fault(FaultSite::WalTornWrite) {
+            // Simulate a crash mid-write: half the frame reaches the disk
+            // and stays there. The handle is wedged — appending past
+            // garbage would bury valid-looking frames behind an invalid
+            // one, which recovery (correctly) drops.
+            let torn = &frame[..frame.len() / 2];
+            let _ = self.file.write_all(torn);
+            let _ = self.file.sync_all();
+            self.wedged = true;
+            return Err(StoreError::TornWrite { offset });
+        }
+        if let Err(e) = self.file.write_all(frame) {
+            let _ = self.file.set_len(offset);
+            return Err(io_err("append", &self.path, e));
+        }
+        if token.fault(FaultSite::FsyncFail) {
+            // The bytes may or may not have reached the platter; roll the
+            // file back so durable state equals acknowledged state.
+            let _ = self.file.set_len(offset);
+            return Err(StoreError::FsyncFailed {
+                path: self.path.display().to_string(),
+            });
+        }
+        if let Err(e) = self.file.sync_all() {
+            let _ = self.file.set_len(offset);
+            return Err(io_err("fsync", &self.path, e));
+        }
+        self.len = offset + frame.len() as u64;
+        Ok(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_chase::checkpoint::seal;
+    use tgdkit_chase::FaultPlan;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tgdkit-store-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scan_accepts_clean_frames_and_reports_full_length() {
+        let mut bytes = Vec::new();
+        for payload in [&b"alpha"[..], &b"beta"[..], &b""[..]] {
+            bytes.extend_from_slice(&seal(KIND_WAL_BATCH, payload));
+        }
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &CancelToken::new());
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(scan.damage.is_none());
+        assert_eq!(scan.frames[0].1, b"alpha");
+        assert_eq!(scan.frames[2].1, b"");
+    }
+
+    #[test]
+    fn scan_truncates_at_torn_tail() {
+        let mut bytes = seal(KIND_WAL_BATCH, b"whole");
+        let first = bytes.len() as u64;
+        let second = seal(KIND_WAL_BATCH, b"torn-away");
+        bytes.extend_from_slice(&second[..second.len() - 3]);
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &CancelToken::new());
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.valid_len, first);
+        assert_eq!(scan.damage, Some(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn scan_truncates_at_flipped_byte_with_offset() {
+        let mut bytes = seal(KIND_WAL_BATCH, b"first");
+        let first = bytes.len() as u64;
+        bytes.extend_from_slice(&seal(KIND_WAL_BATCH, b"second"));
+        let flip = first as usize + FRAME_HEADER + 2;
+        bytes[flip] ^= 0x40;
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &CancelToken::new());
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.valid_len, first);
+        match scan.damage {
+            Some(CheckpointError::ChecksumMismatch { offset, kind }) => {
+                assert_eq!(offset, first);
+                assert_eq!(kind, KIND_WAL_BATCH);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_segment_corruption_truncates() {
+        let bytes = seal(KIND_WAL_BATCH, b"payload");
+        let token = CancelToken::with_faults(FaultPlan::always(FaultSite::SegmentCorrupt));
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &token);
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(matches!(
+            scan.damage,
+            Some(CheckpointError::ChecksumMismatch { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn append_fsync_failure_rolls_the_file_back() {
+        let dir = tmpdir("fsync");
+        let path = dir.join("wal-test.tgkw");
+        let mut w = SegmentWriter::open_append(&path, 0).unwrap();
+        let clean = CancelToken::new();
+        w.append_frame(&seal(KIND_WAL_BATCH, b"ok"), &clean)
+            .unwrap();
+        let before = w.len();
+        let failing = CancelToken::with_faults(FaultPlan::always(FaultSite::FsyncFail));
+        let err = w
+            .append_frame(&seal(KIND_WAL_BATCH, b"lost"), &failing)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::FsyncFailed { .. }));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+        assert!(!w.is_wedged(), "fsync failure is retryable");
+        w.append_frame(&seal(KIND_WAL_BATCH, b"after"), &clean)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &clean);
+        assert_eq!(
+            scan.frames.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
+            vec![&b"ok"[..], &b"after"[..]]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_wedges() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal-test.tgkw");
+        let mut w = SegmentWriter::open_append(&path, 0).unwrap();
+        let clean = CancelToken::new();
+        w.append_frame(&seal(KIND_WAL_BATCH, b"kept"), &clean)
+            .unwrap();
+        let acked = w.len();
+        let tearing = CancelToken::with_faults(FaultPlan::always(FaultSite::WalTornWrite));
+        let err = w
+            .append_frame(&seal(KIND_WAL_BATCH, b"torn-batch"), &tearing)
+            .unwrap_err();
+        assert_eq!(err, StoreError::TornWrite { offset: acked });
+        assert!(w.is_wedged());
+        assert_eq!(
+            w.append_frame(&seal(KIND_WAL_BATCH, b"no"), &clean)
+                .unwrap_err(),
+            StoreError::Wedged
+        );
+        // On disk: the acked frame, then garbage. Recovery keeps the prefix.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() as u64 > acked, "torn bytes are on disk");
+        let scan = scan_frames(&bytes, KIND_WAL_BATCH, &clean);
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.valid_len, acked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_survives_fsync_fault() {
+        let dir = tmpdir("atomic");
+        let clean = CancelToken::new();
+        write_atomic(&dir, "snap.tgks", b"v1", &clean).unwrap();
+        assert_eq!(std::fs::read(dir.join("snap.tgks")).unwrap(), b"v1");
+        let failing = CancelToken::with_faults(FaultPlan::always(FaultSite::FsyncFail));
+        let err = write_atomic(&dir, "snap.tgks", b"v2", &failing).unwrap_err();
+        assert!(matches!(err, StoreError::FsyncFailed { .. }));
+        // The old file is intact and the temp file is gone.
+        assert_eq!(std::fs::read(dir.join("snap.tgks")).unwrap(), b"v1");
+        assert!(!dir.join("snap.tgks.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

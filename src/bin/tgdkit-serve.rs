@@ -1,52 +1,76 @@
 //! The tgdkit entailment server.
 //!
 //! ```text
-//! tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N]   serve requests until a Shutdown frame
-//! tgdkit-serve --self-test [--levels N] [--smalls N]            run the mixed smoke workload and gate on it
+//! tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N] [--data-dir DIR] [--drain-ms N]
+//! tgdkit-serve --self-test [--levels N] [--smalls N]
+//! tgdkit-serve --kb-drive <addr> [--batches N] [--tenant NAME]
+//! tgdkit-serve --kb-verify <addr> [--batches N] [--tenant NAME]
 //! ```
 //!
 //! `--listen` starts the multi-tenant scheduler (see `tgdkit-serve`'s
 //! crate docs for the wire protocol) and blocks until a client sends a
-//! `Shutdown` request. `--self-test` is the CI entry point: it runs one
-//! pathological guarded→linear rewrite next to a stream of small
+//! `Shutdown` request; with `--data-dir`, tenants additionally get
+//! durable knowledge bases under that directory, recovered
+//! crash-consistently on restart. `--self-test` is the CI entry point: it
+//! runs one pathological guarded→linear rewrite next to a stream of small
 //! entailments from other tenants and fails the process unless
 //!
 //! - every small request completed with the expected verdict,
 //! - small requests kept completing while the rewrite was in flight,
 //! - the rewrite was actually time-sliced (suspended and resumed), and
 //! - its time-sliced verdict matched a dedicated (unsliced) run.
+//!
+//! `--kb-drive`/`--kb-verify` are the client halves of the CI
+//! kill-and-recover smoke: drive applies chain-edge batches one
+//! acknowledged request at a time (the server is SIGKILLed somewhere in
+//! the loop), verify checks a restarted server's recovered state against
+//! the closed form the acknowledged prefix implies.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tgdkit_serve::smoke::{run_smoke, SmokeConfig};
+use tgdkit_serve::smoke::{run_kb_drive, run_kb_verify, run_smoke, SmokeConfig};
 use tgdkit_serve::{Server, ServerConfig};
 
 const USAGE: &str = "\
 tgdkit-serve — multi-tenant entailment service (tgdkit engine)
 
 USAGE:
-  tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N]
+  tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N] [--data-dir DIR] [--drain-ms N]
   tgdkit-serve --self-test [--levels N] [--smalls N] [--quantum-ms N] [--workers N]
+  tgdkit-serve --kb-drive <addr> [--batches N] [--tenant NAME]
+  tgdkit-serve --kb-verify <addr> [--batches N] [--tenant NAME]
 ";
 
 struct Flags {
     listen: Option<String>,
     self_test: bool,
+    kb_drive: Option<String>,
+    kb_verify: Option<String>,
     levels: Option<usize>,
     smalls: Option<usize>,
     quantum_ms: Option<u64>,
     workers: Option<usize>,
+    data_dir: Option<String>,
+    drain_ms: Option<u64>,
+    batches: Option<usize>,
+    tenant: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags {
         listen: None,
         self_test: false,
+        kb_drive: None,
+        kb_verify: None,
         levels: None,
         smalls: None,
         quantum_ms: None,
         workers: None,
+        data_dir: None,
+        drain_ms: None,
+        batches: None,
+        tenant: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,16 +82,28 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         match arg.as_str() {
             "--self-test" => flags.self_test = true,
             "--listen" => flags.listen = Some(value("--listen")?),
+            "--kb-drive" => flags.kb_drive = Some(value("--kb-drive")?),
+            "--kb-verify" => flags.kb_verify = Some(value("--kb-verify")?),
             "--levels" => flags.levels = Some(parse_num(&value("--levels")?, "--levels")?),
             "--smalls" => flags.smalls = Some(parse_num(&value("--smalls")?, "--smalls")?),
             "--quantum-ms" => {
                 flags.quantum_ms = Some(parse_num(&value("--quantum-ms")?, "--quantum-ms")? as u64)
             }
             "--workers" => flags.workers = Some(parse_num(&value("--workers")?, "--workers")?),
+            "--data-dir" => flags.data_dir = Some(value("--data-dir")?),
+            "--drain-ms" => {
+                flags.drain_ms = Some(parse_num(&value("--drain-ms")?, "--drain-ms")? as u64)
+            }
+            "--batches" => flags.batches = Some(parse_num(&value("--batches")?, "--batches")?),
+            "--tenant" => flags.tenant = Some(value("--tenant")?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if flags.self_test == flags.listen.is_some() {
+    let modes = usize::from(flags.self_test)
+        + usize::from(flags.listen.is_some())
+        + usize::from(flags.kb_drive.is_some())
+        + usize::from(flags.kb_verify.is_some());
+    if modes != 1 {
         return Err(USAGE.to_string());
     }
     Ok(flags)
@@ -161,6 +197,12 @@ fn listen(flags: &Flags) -> Result<String, String> {
     if let Some(quantum_ms) = flags.quantum_ms {
         scheduler.quantum = Duration::from_millis(quantum_ms);
     }
+    if let Some(data_dir) = &flags.data_dir {
+        scheduler.data_dir = Some(data_dir.into());
+    }
+    if let Some(drain_ms) = flags.drain_ms {
+        scheduler.drain = Duration::from_millis(drain_ms);
+    }
     let server = Server::start(ServerConfig {
         addr: flags.listen.clone().expect("listen mode"),
         scheduler,
@@ -175,8 +217,14 @@ fn listen(flags: &Flags) -> Result<String, String> {
 
 fn run(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
+    let tenant = flags.tenant.as_deref().unwrap_or("kb-smoke");
+    let batches = flags.batches.unwrap_or(24) as u32;
     if flags.self_test {
         self_test(&flags)
+    } else if let Some(addr) = &flags.kb_drive {
+        run_kb_drive(addr, tenant, batches)
+    } else if let Some(addr) = &flags.kb_verify {
+        run_kb_verify(addr, tenant, batches)
     } else {
         listen(&flags)
     }
@@ -232,6 +280,41 @@ mod tests {
         assert_eq!(flags.smalls, Some(4));
         assert_eq!(flags.quantum_ms, Some(10));
         assert_eq!(flags.workers, Some(1));
+    }
+
+    #[test]
+    fn kb_flags_parse() {
+        let flags = parse_flags(&strings(&[
+            "--kb-drive",
+            "127.0.0.1:7777",
+            "--batches",
+            "12",
+            "--tenant",
+            "acme",
+        ]))
+        .unwrap();
+        assert_eq!(flags.kb_drive.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(flags.batches, Some(12));
+        assert_eq!(flags.tenant.as_deref(), Some("acme"));
+        // Exactly one mode at a time.
+        assert!(parse_flags(&strings(&[
+            "--kb-drive",
+            "127.0.0.1:7777",
+            "--kb-verify",
+            "127.0.0.1:7777",
+        ]))
+        .is_err());
+        let flags = parse_flags(&strings(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--data-dir",
+            "/tmp/kb",
+            "--drain-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(flags.data_dir.as_deref(), Some("/tmp/kb"));
+        assert_eq!(flags.drain_ms, Some(500));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! - [`chase_crate`] — chase engines, termination certificates, entailment;
 //! - [`core`] — ontologies, closure properties, locality, separations,
 //!   synthesis, and the rewriting algorithms;
+//! - [`store`] — the durable knowledge-base store: checksummed snapshot +
+//!   WAL segments over the incremental chase, crash-consistent recovery;
 //! - [`serve`] — the multi-tenant entailment service: wire protocol,
 //!   preemptive scheduler, and the `tgdkit-serve` binary's internals.
 //!
@@ -44,6 +46,7 @@ pub use tgdkit_hom as hom;
 pub use tgdkit_instance as instance;
 pub use tgdkit_logic as logic;
 pub use tgdkit_serve as serve;
+pub use tgdkit_store as store;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

@@ -1,0 +1,290 @@
+//! Durable-store property tests: for ANY batch sequence and ANY crash
+//! point, reopening the store reconstructs exactly the acknowledged
+//! prefix — byte-identical instances, identical sequence numbers — and
+//! arbitrary on-disk damage (truncation at any byte, any single-bit flip)
+//! is contained by recovery: the verified prefix survives, the damage is
+//! truncated away, and a store whose every snapshot is corrupt surfaces a
+//! typed error instead of silently re-initializing (which would invert
+//! verdicts).
+//!
+//! CI runs this file under the same `TGDKIT_FAULTS_SEED` matrix as
+//! `proptest_faults`, so the injected torn-write/fsync-failure schedules
+//! vary across matrix legs.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use tgdkit::chase_crate::faults::{env_seed, FaultPlan, FaultSite};
+use tgdkit::chase_crate::CancelToken;
+use tgdkit::instance::{Elem, Fact, Instance};
+use tgdkit::logic::{parse_tgds, Schema, TgdSet};
+use tgdkit::store::{DurableKb, KbConfig, StoreError};
+
+fn test_set() -> TgdSet {
+    let mut schema = Schema::default();
+    let tgds = parse_tgds(
+        &mut schema,
+        "E(x,y), E(y,z) -> E(x,z). P(x) -> exists w : E(x,w).",
+    )
+    .unwrap();
+    TgdSet::new(schema, tgds).unwrap()
+}
+
+/// A unique scratch directory per case (tests run concurrently).
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tgdkit-proptest-durable-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Deterministic insert/retract batches over a six-constant domain. Every
+/// batch carries at least one insert so each WAL frame is nonempty work;
+/// retracts are drawn from the same space (retracting an absent fact is a
+/// legal no-op, retracting a present one forces the re-chase path).
+fn gen_batches(set: &TgdSet, seed: u64, n: usize) -> Vec<(Vec<Fact>, Vec<Fact>)> {
+    let e = set.schema().pred_id("E").unwrap();
+    let p = set.schema().pred_id("P").unwrap();
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let fact = |state: &mut u64| {
+        if lcg(state).is_multiple_of(3) {
+            Fact::new(p, vec![Elem((lcg(state) % 6) as u32)])
+        } else {
+            Fact::new(
+                e,
+                vec![Elem((lcg(state) % 6) as u32), Elem((lcg(state) % 6) as u32)],
+            )
+        }
+    };
+    (0..n)
+        .map(|_| {
+            let inserts = (0..1 + (lcg(&mut state) % 3) as usize)
+                .map(|_| fact(&mut state))
+                .collect();
+            let retracts = (0..(lcg(&mut state) % 2) as usize)
+                .map(|_| fact(&mut state))
+                .collect();
+            (inserts, retracts)
+        })
+        .collect()
+}
+
+/// No auto-compaction: these properties reason about WAL byte offsets, so
+/// the log must stay in one generation-0 file.
+fn no_compact_config() -> KbConfig {
+    KbConfig {
+        compact_wal_bytes: u64::MAX,
+        ..KbConfig::default()
+    }
+}
+
+/// The expected state ladder: `states[i]` is `(base, chased, seq)` after
+/// the first `i` batches, and `offsets[i]` is the WAL length once batch
+/// `i` is acknowledged (`offsets[0] == 0`).
+struct Ladder {
+    offsets: Vec<u64>,
+    states: Vec<(Instance, Instance, u64)>,
+}
+
+fn build_store(dir: &Path, set: &TgdSet, batches: &[(Vec<Fact>, Vec<Fact>)]) -> Ladder {
+    let (mut kb, report) = DurableKb::open(dir, set, no_compact_config()).unwrap();
+    assert!(report.fresh);
+    let mut offsets = vec![0u64];
+    let mut states = vec![(kb.base().clone(), kb.chased().clone(), 0u64)];
+    for (inserts, retracts) in batches {
+        kb.apply(inserts, retracts).unwrap();
+        offsets.push(kb.wal_bytes());
+        states.push((kb.base().clone(), kb.chased().clone(), kb.seq()));
+    }
+    Ladder { offsets, states }
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal-000000.tgkw")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 1 (crash anywhere): truncating the WAL at ANY byte — the
+    /// on-disk effect of a crash mid-append — recovers exactly the state
+    /// after the last batch whose frame survived whole, counts one
+    /// damage event iff the cut straddles a frame, and a second reopen is
+    /// a clean no-damage replay of the same state.
+    #[test]
+    fn crash_at_any_byte_recovers_the_acknowledged_prefix(
+        seed in 0u64..200,
+        n_batches in 1usize..7,
+        cut_pos in 0usize..100_000,
+    ) {
+        let set = test_set();
+        let dir = tmpdir("crash");
+        let batches = gen_batches(&set, seed, n_batches);
+        let ladder = build_store(&dir, &set, &batches);
+
+        let total = *ladder.offsets.last().unwrap();
+        let cut = (cut_pos as u64) % (total + 1);
+        let wal = wal_path(&dir);
+        let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        // The last batch whose frame lies entirely below the cut.
+        let j = ladder.offsets.iter().rposition(|&o| o <= cut).unwrap();
+        let at_boundary = ladder.offsets[j] == cut;
+        let (expect_base, expect_chased, expect_seq) = &ladder.states[j];
+
+        let (kb, report) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        prop_assert_eq!(kb.seq(), *expect_seq, "cut {} recovered the wrong prefix", cut);
+        prop_assert_eq!(kb.base(), expect_base);
+        prop_assert_eq!(kb.chased(), expect_chased, "restart ≢ uninterrupted at cut {}", cut);
+        prop_assert_eq!(report.replayed_batches, j as u64);
+        prop_assert_eq!(report.truncated_frames, u64::from(!at_boundary));
+        drop(kb);
+
+        // Recovery is idempotent: the damage is physically gone.
+        let (kb, report) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        prop_assert_eq!(report.truncated_frames, 0);
+        prop_assert_eq!(kb.chased(), expect_chased);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Property 2 (bit rot): flipping ANY single bit of the WAL never
+    /// panics and never invents state — recovery lands exactly on the
+    /// state before the damaged frame, truncating it and everything
+    /// after (a later frame cannot be trusted once its predecessor is
+    /// gone: sequence numbers would no longer chain).
+    #[test]
+    fn any_single_bit_flip_truncates_at_the_damaged_frame(
+        seed in 0u64..200,
+        n_batches in 1usize..7,
+        flip_pos in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let set = test_set();
+        let dir = tmpdir("flip");
+        let batches = gen_batches(&set, seed, n_batches);
+        let ladder = build_store(&dir, &set, &batches);
+
+        let total = *ladder.offsets.last().unwrap();
+        let i = (flip_pos as u64) % total;
+        let wal = wal_path(&dir);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[i as usize] ^= 1 << flip_bit;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        // The frame containing byte i starts at offsets[j]; state j is
+        // what must survive.
+        let j = ladder.offsets.iter().rposition(|&o| o <= i).unwrap();
+        let (expect_base, expect_chased, expect_seq) = &ladder.states[j];
+
+        let (kb, report) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        prop_assert_eq!(kb.seq(), *expect_seq, "flip at byte {} bit {}", i, flip_bit);
+        prop_assert_eq!(kb.base(), expect_base);
+        prop_assert_eq!(kb.chased(), expect_chased);
+        prop_assert_eq!(report.truncated_frames, 1, "the flip must be seen as damage");
+        prop_assert_eq!(report.replayed_batches, j as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Property 3 (no silent re-init): when the store's ONLY snapshot is
+    /// corrupted — any single-bit flip — open refuses with a typed frame
+    /// error. Silently starting over would change verdicts, the one thing
+    /// the store may never do.
+    #[test]
+    fn a_corrupt_sole_snapshot_is_a_typed_error_not_a_reinit(
+        seed in 0u64..100,
+        flip_pos in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let set = test_set();
+        let dir = tmpdir("snap");
+        let batches = gen_batches(&set, seed, 3);
+        let _ = build_store(&dir, &set, &batches);
+        // Fold the WAL into generation 1, so all state lives in one
+        // snapshot and an empty WAL.
+        let (mut kb, _) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        kb.compact().unwrap();
+        prop_assert_eq!(kb.generation(), 1);
+        drop(kb);
+
+        let snap = dir.join("snapshot-000001.tgks");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let i = flip_pos % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        match DurableKb::open(&dir, &set, no_compact_config()) {
+            Err(StoreError::Frame(_)) => {}
+            Err(other) => prop_assert!(false, "expected a frame error, got {other}"),
+            Ok((kb, report)) => prop_assert!(
+                false,
+                "corrupt snapshot opened anyway (flip at byte {i} bit {flip_bit}): \
+                 seq {} fresh {}", kb.seq(), report.fresh
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Property 4 (injected faults): under a seeded schedule of torn
+    /// writes and fsync failures, exactly the *acknowledged* applies
+    /// survive a reopen — a failed apply is never partially visible, and
+    /// a shadow store fed only the acknowledged batches reaches the
+    /// byte-identical state.
+    #[test]
+    fn faulty_appends_leave_exactly_the_acknowledged_state(
+        seed in 0u64..100,
+        schedule in 0u64..6,
+    ) {
+        let set = test_set();
+        let dir = tmpdir("fault");
+        let shadow_dir = tmpdir("fault-shadow");
+        let batches = gen_batches(&set, seed, 6);
+
+        let site = if schedule % 2 == 0 {
+            FaultSite::WalTornWrite
+        } else {
+            FaultSite::FsyncFail
+        };
+        let plan_seed = env_seed().wrapping_mul(1000) + schedule;
+        let token = CancelToken::with_faults(FaultPlan::only(plan_seed, site, 3));
+
+        let (mut kb, _) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        let mut acknowledged = Vec::new();
+        for (inserts, retracts) in &batches {
+            match kb.apply_governed(inserts, retracts, &token) {
+                Ok(_) => acknowledged.push((inserts.clone(), retracts.clone())),
+                Err(StoreError::TornWrite { .. }) => prop_assert!(kb.is_wedged()),
+                Err(StoreError::Wedged) | Err(StoreError::FsyncFailed { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected apply error: {other}"),
+            }
+        }
+        prop_assert_eq!(kb.seq(), acknowledged.len() as u64);
+        drop(kb);
+
+        let (recovered, _) = DurableKb::open(&dir, &set, no_compact_config()).unwrap();
+        let (mut shadow, _) = DurableKb::open(&shadow_dir, &set, no_compact_config()).unwrap();
+        for (inserts, retracts) in &acknowledged {
+            shadow.apply(inserts, retracts).unwrap();
+        }
+        prop_assert_eq!(recovered.seq(), shadow.seq());
+        prop_assert_eq!(recovered.base(), shadow.base());
+        prop_assert_eq!(
+            recovered.chased(),
+            shadow.chased(),
+            "recovered state diverged from the acknowledged prefix"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&shadow_dir);
+    }
+}
