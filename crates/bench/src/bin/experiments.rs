@@ -12,8 +12,9 @@
 
 use tgdkit_bench::{fmt_count, fmt_duration, timed, Table};
 use tgdkit_chase::{
-    chase, entails, entails_auto, is_weakly_acyclic, satisfies_tgds, CancelToken, ChaseBudget,
-    ChaseVariant, EntailCache, Entailment,
+    chase, chase_configured, chase_sharded, entails, entails_auto, is_weakly_acyclic,
+    satisfies_tgds, shard_stats, shards_from_env, CancelToken, ChaseBudget, ChaseResult,
+    ChaseVariant, EntailCache, Entailment, TriggerSearch,
 };
 use tgdkit_core::characterize::recover_tgds;
 use tgdkit_core::enumerate::{
@@ -529,6 +530,59 @@ fn e10_synthesis() {
     print!("{}", table.render());
 }
 
+/// The shard-scaling workload: transitive closure over a pseudo-random
+/// graph with `degree` out-edges per node. Dense enough that the closure
+/// dwarfs the seed (the regime the sharded engine targets), deterministic
+/// so every run — legacy or sharded, any shard count — chases the same
+/// instance.
+fn tc_workload(nodes: u32, degree: u64) -> (Vec<Tgd>, tgdkit_instance::Instance) {
+    let mut schema = Schema::default();
+    let tgds = parse_tgds(&mut schema, "E(x,y), E(y,z) -> E(x,z).").expect("TC parses");
+    let pred = schema.pred_id("E").expect("E exists");
+    let mut inst = tgdkit_instance::Instance::new(schema);
+    let mut s: u64 = 0x9e37_79b9_7f4a_7c15;
+    for u in 0..nodes {
+        for _ in 0..degree {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((s >> 33) % nodes as u64) as u32;
+            inst.add_fact(
+                pred,
+                vec![tgdkit_instance::Elem(u), tgdkit_instance::Elem(v)],
+            );
+        }
+    }
+    (tgds, inst)
+}
+
+fn tc_budget() -> ChaseBudget {
+    ChaseBudget {
+        max_facts: 2_000_000,
+        max_rounds: 64,
+        max_bytes: usize::MAX,
+    }
+}
+
+/// Asserts the sharded run reproduced the legacy run bit-for-bit: same
+/// instance, outcome, round count, nulls, and trigger tally.
+fn assert_shard_identical(legacy: &ChaseResult, sharded: &ChaseResult, shards: usize) {
+    assert_eq!(
+        sharded.instance, legacy.instance,
+        "sharded chase ({shards} shards) diverged from unsharded"
+    );
+    assert_eq!(
+        sharded.outcome, legacy.outcome,
+        "outcome at {shards} shards"
+    );
+    assert_eq!(sharded.rounds, legacy.rounds, "rounds at {shards} shards");
+    assert_eq!(sharded.nulls, legacy.nulls, "nulls at {shards} shards");
+    assert_eq!(
+        sharded.stats.triggers_found, legacy.stats.triggers_found,
+        "trigger tally at {shards} shards"
+    );
+}
+
 /// E11: chase substrate scaling.
 fn e11_chase_scaling() {
     section(
@@ -615,6 +669,66 @@ fn e11_chase_scaling() {
     }
     print!("{}", micro.render());
     let _ = Entailment::Proved;
+
+    // Shard-scaling block: the hash-partitioned engine against the legacy
+    // serial engine on a closure-dominated workload. Output is asserted
+    // byte-identical at every shard count, so the only thing that moves
+    // is wall time.
+    println!("\nsharded chase scaling (transitive closure, output asserted identical):");
+    let (tc_tgds, tc_inst) = tc_workload(160, 3);
+    let (legacy, legacy_time) = timed(|| {
+        chase_configured(
+            &tc_inst,
+            &tc_tgds,
+            ChaseVariant::Restricted,
+            tc_budget(),
+            TriggerSearch::Serial,
+        )
+    });
+    let mut shard_table = Table::new(&[
+        "engine",
+        "shards",
+        "chase facts",
+        "exchanged",
+        "skew",
+        "time",
+        "speedup",
+    ]);
+    shard_table.row(&[
+        "legacy".into(),
+        "-".into(),
+        fmt_count(legacy.instance.fact_count() as f64),
+        "-".into(),
+        "-".into(),
+        fmt_duration(legacy_time),
+        "1.00x".into(),
+    ]);
+    for shards in [1usize, 2, 4] {
+        let (result, time) = timed(|| {
+            chase_sharded(
+                &tc_inst,
+                &tc_tgds,
+                ChaseVariant::Restricted,
+                tc_budget(),
+                shards,
+            )
+        });
+        assert_shard_identical(&legacy, &result, shards);
+        let stats = shard_stats();
+        shard_table.row(&[
+            "sharded".into(),
+            shards.to_string(),
+            fmt_count(result.instance.fact_count() as f64),
+            fmt_count(stats.exchanged_tuples as f64),
+            format!("{:.3}", stats.skew_max_over_min),
+            fmt_duration(time),
+            format!(
+                "{:.2}x",
+                legacy_time.as_secs_f64() / time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    print!("{}", shard_table.render());
 }
 
 /// E12: Algorithm 1 over generated guarded workloads — outcome mix and
@@ -1117,6 +1231,56 @@ fn bench_rewrite_json(smoke: bool) {
         fmt_duration(recover_time),
     );
 
+    // Shard probe: the hash-partitioned chase against the legacy engine on
+    // a closure-dominated workload, asserted byte-identical. The shard
+    // count honors TGDKIT_SHARDS (the CI matrix sets 1/2/4); an unset or
+    // =1 environment still probes at 4 shards so the recorded speedup
+    // always measures the sharded engine at scale against the baseline.
+    let env_shards = shards_from_env();
+    let probe_shards = if env_shards > 1 { env_shards } else { 4 };
+    let (tc_tgds, tc_inst) = tc_workload(if smoke { 140 } else { 200 }, 3);
+    // Each engine is timed as the fastest of three *interleaved* reps
+    // (legacy, sharded, legacy, sharded, ...) — the same min-of-reps
+    // discipline the candidates_per_sec floor uses, interleaved so both
+    // engines sample the same allocator/cache conditions and the ratio
+    // gates the engines, not scheduler noise. Shard telemetry is reset
+    // per sharded rep, so the recorded counters cover exactly one run —
+    // they are deterministic, so every rep reports the same figures.
+    let mut shard_legacy_time = std::time::Duration::MAX;
+    let mut shard_legacy = None;
+    let mut shard_time = std::time::Duration::MAX;
+    let mut shard_result = None;
+    for _ in 0..3 {
+        let (result, time) = timed(|| {
+            chase_configured(
+                &tc_inst,
+                &tc_tgds,
+                ChaseVariant::Restricted,
+                tc_budget(),
+                TriggerSearch::Serial,
+            )
+        });
+        shard_legacy_time = shard_legacy_time.min(time);
+        shard_legacy = Some(result);
+        tgdkit_chase::reset_shard_stats();
+        let (result, time) = timed(|| {
+            chase_sharded(
+                &tc_inst,
+                &tc_tgds,
+                ChaseVariant::Restricted,
+                tc_budget(),
+                probe_shards,
+            )
+        });
+        shard_time = shard_time.min(time);
+        shard_result = Some(result);
+    }
+    let shard_legacy = shard_legacy.expect("legacy probe ran");
+    let shard_result = shard_result.expect("sharded probe ran");
+    assert_shard_identical(&shard_legacy, &shard_result, probe_shards);
+    let shard_probe = shard_stats();
+    let shard_speedup = shard_legacy_time.as_secs_f64() / shard_time.as_secs_f64().max(1e-9);
+
     let rate = |n: usize, t: std::time::Duration| n as f64 / t.as_secs_f64().max(1e-9);
     let hit_rate = |hits: usize, misses: usize| {
         let total = hits + misses;
@@ -1143,11 +1307,15 @@ fn bench_rewrite_json(smoke: bool) {
          \"bytes_per_tuple\": {:.2}\n  }},\n  \"joins\": {{\n    \
          \"hash_joins\": {},\n    \"nested_loop_joins\": {},\n    \
          \"build_rows\": {},\n    \"probe_rows\": {},\n    \
-         \"plan_cache_hits\": {}\n  }},\n  \"memory\": {{\n    \
+         \"plan_cache_hits\": {}\n  }},\n  \"shards\": {{\n    \
+         \"shard_count\": {},\n    \"exchanged_tuples\": {},\n    \
+         \"broadcasts\": {},\n    \"rekeyed_probes\": {},\n    \
+         \"skew_max_over_min\": {:.4},\n    \"speedup\": {:.2}\n  }},\n  \
+         \"memory\": {{\n    \
          \"peak_bytes\": {},\n    \"trips\": {},\n    \"resumes\": {},\n    \
          \"evictions\": {}\n  }},\n  \"serve\": {{\n    \
          \"requests\": {},\n    \"suspensions\": {},\n    \
-         \"p50_ms\": {},\n    \"p99_ms\": {}\n  }},\n  \"durable\": {{\n    \
+         \"p50_us\": {},\n    \"p99_us\": {}\n  }},\n  \"durable\": {{\n    \
          \"wal_appends\": {},\n    \"compactions\": {},\n    \
          \"recoveries\": {},\n    \"replayed_batches\": {},\n    \
          \"truncated_frames\": {},\n    \"append_ms\": {:.3},\n    \
@@ -1184,14 +1352,20 @@ fn bench_rewrite_json(smoke: bool) {
         joins.build_rows,
         joins.probe_rows,
         joins.plan_cache_hits,
+        shard_probe.shard_count,
+        shard_probe.exchanged_tuples,
+        shard_probe.broadcasts,
+        shard_probe.rekeyed_probes,
+        shard_probe.skew_max_over_min,
+        shard_speedup,
         mem_stats.mem_peak_bytes.max(mem_clean_stats.mem_peak_bytes),
         mem_stats.mem_trips,
         mem_resumes,
         mem_stats.evictions.max(tight_cache.evictions()),
         serve_report.requests,
         serve_report.rewrite_suspensions,
-        serve_report.small_p50_ms(),
-        serve_report.small_p99_ms(),
+        serve_report.small_p50_us(),
+        serve_report.small_p99_us(),
         durable_stats.wal_appends,
         durable_stats.compactions,
         durable_recoveries,
@@ -1248,12 +1422,22 @@ fn bench_rewrite_json(smoke: bool) {
         joins.hash_joins, joins.build_rows, joins.probe_rows, joins.nested_loop_joins,
     );
     println!(
-        "serve probe: {} requests, rewrite preempted {} times over {} quanta; small p50 {} ms / p99 {} ms",
+        "serve probe: {} requests, rewrite preempted {} times over {} quanta; small p50 {} us / p99 {} us",
         serve_report.requests,
         serve_report.rewrite_suspensions,
         serve_report.rewrite_quanta,
-        serve_report.small_p50_ms(),
-        serve_report.small_p99_ms(),
+        serve_report.small_p50_us(),
+        serve_report.small_p99_us(),
+    );
+    println!(
+        "shard probe ({} shards over {} facts): {:.2}x vs legacy; {} tuples exchanged, {} broadcasts, {} rekeyed probes, skew {:.3}; output byte-identical",
+        shard_probe.shard_count,
+        shard_result.instance.fact_count(),
+        shard_speedup,
+        shard_probe.exchanged_tuples,
+        shard_probe.broadcasts,
+        shard_probe.rekeyed_probes,
+        shard_probe.skew_max_over_min,
     );
 }
 

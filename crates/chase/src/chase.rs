@@ -5,6 +5,7 @@ use crate::checkpoint::{tgds_fingerprint, ChaseCheckpoint, CheckpointError};
 use crate::faults::{FaultSite, INJECTED_PANIC};
 use crate::govern::CancelToken;
 use crate::memory::MemoryAccountant;
+use crate::shard::{find_triggers_sharded, record_run_shape, TriggerRun, TriggerRunIter};
 use crate::stats::{ChaseStats, TriggerSearch};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -13,7 +14,7 @@ use std::time::Instant;
 use tgdkit_hom::{
     for_each_hom, for_each_hom_indexed, for_each_hom_seminaive, Binding, Cq, InstanceIndex,
 };
-use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_instance::{Elem, Fact, Instance, ShardedInstance};
 use tgdkit_logic::{Egd, Tgd};
 
 /// Which chase variant to run.
@@ -249,6 +250,7 @@ pub fn chase(
         variant,
         budget,
         TriggerSearch::Auto,
+        None,
         &CancelToken::new(),
         None,
         None,
@@ -278,11 +280,99 @@ pub fn chase_configured(
         variant,
         budget,
         search,
+        None,
         &CancelToken::new(),
         None,
         None,
     )
     .0
+}
+
+/// [`chase`] on the **sharded engine**: the instance is hash-partitioned
+/// across `shards` shards, the semi-naive trigger search runs shard-local
+/// with a deterministic cross-shard exchange phase
+/// ([`crate::shard`]), and per-round trigger runs merge with the canonical
+/// ordering discipline — so the result is **bit-for-bit equal** to the
+/// unsharded [`chase`] at any shard count (instance, nulls, null
+/// numbering, outcome, rounds).
+///
+/// `shards` is clamped to at least 1; `shards == 1` still exercises the
+/// sharded engine (flat trigger runs instead of an ordered set), which is
+/// what the shard-count-equality property tests rely on. Use
+/// [`crate::shards_from_env`] to honor `TGDKIT_SHARDS`.
+pub fn chase_sharded(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    shards: usize,
+) -> ChaseResult {
+    chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Serial,
+        Some(shards),
+        &CancelToken::new(),
+        None,
+        None,
+    )
+    .0
+}
+
+/// [`chase_sharded`] under a [`CancelToken`] — the sharded counterpart of
+/// [`chase_governed`], with the same cancellation/round-prefix guarantees
+/// (the token is polled inside every shard's enumeration).
+pub fn chase_sharded_governed(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    shards: usize,
+    token: &CancelToken,
+) -> ChaseResult {
+    chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Serial,
+        Some(shards),
+        token,
+        None,
+        None,
+    )
+    .0
+}
+
+/// [`chase_sharded_governed`] that additionally captures a
+/// [`ChaseCheckpoint`] on a resumable stop, exactly like
+/// [`chase_checkpointing`]. The checkpoint records the shard count, so
+/// [`chase_resume`] re-partitions the captured instance (partitioning is a
+/// pure function of the facts) and continues on the same engine.
+pub fn chase_sharded_checkpointing(
+    start: &Instance,
+    tgds: &[Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    shards: usize,
+    token: &CancelToken,
+) -> (ChaseResult, Option<Box<ChaseCheckpoint>>) {
+    let sigma_fp = tgds_fingerprint(tgds);
+    let (result, end) = chase_impl(
+        start,
+        tgds,
+        variant,
+        budget,
+        TriggerSearch::Serial,
+        Some(shards),
+        token,
+        None,
+        None,
+    );
+    let checkpoint = capture_checkpoint(&result, end, variant, sigma_fp, shards.max(1) as u32);
+    (result, checkpoint)
 }
 
 /// [`chase_configured`] under a [`CancelToken`]: the token is checked at
@@ -303,7 +393,10 @@ pub fn chase_governed(
     search: TriggerSearch,
     token: &CancelToken,
 ) -> ChaseResult {
-    chase_impl(start, tgds, variant, budget, search, token, None, None).0
+    chase_impl(
+        start, tgds, variant, budget, search, None, token, None, None,
+    )
+    .0
 }
 
 /// [`chase`] with a derivation log: every fired trigger is recorded with
@@ -322,6 +415,7 @@ pub fn chase_with_provenance(
         variant,
         budget,
         TriggerSearch::Auto,
+        None,
         &CancelToken::new(),
         Some(&mut provenance),
         None,
@@ -337,7 +431,7 @@ type Trigger = (usize, Vec<Elem>);
 /// checks inside one tgd's enumeration. Small enough that a dense body
 /// search notices an expired deadline within a fraction of a millisecond;
 /// large enough that the atomic load is invisible in the profile.
-const CANCEL_CHECK_STRIDE: u32 = 64;
+pub(crate) const CANCEL_CHECK_STRIDE: u32 = 64;
 
 /// How many triggers the apply loop fires between cooperative cancellation
 /// checks. A round's trigger set can run to thousands of entries, each with
@@ -576,6 +670,100 @@ struct ChaseRunEnd {
     resumable: bool,
 }
 
+/// The run's fact store: the classic single arena, or the hash-partitioned
+/// store of the sharded engine. Both variants answer the same calls, so
+/// every piece of governance in [`chase_impl`] — budget checks, mid-apply
+/// rollback, checkpoint capture — is shared by construction rather than
+/// duplicated per engine.
+enum Store {
+    Plain(Instance),
+    Sharded(ShardedInstance),
+}
+
+impl Store {
+    fn add_fact(&mut self, pred: tgdkit_logic::PredId, args: Vec<Elem>) -> bool {
+        match self {
+            Store::Plain(i) => i.add_fact(pred, args),
+            Store::Sharded(s) => s.add_fact(pred, args),
+        }
+    }
+
+    fn remove_fact(&mut self, pred: tgdkit_logic::PredId, args: &[Elem]) -> bool {
+        match self {
+            Store::Plain(i) => i.remove_fact(pred, args),
+            Store::Sharded(s) => s.remove_fact(pred, args),
+        }
+    }
+
+    fn fact_count(&self) -> usize {
+        match self {
+            Store::Plain(i) => i.fact_count(),
+            Store::Sharded(s) => s.fact_count(),
+        }
+    }
+
+    /// Deterministic heap residency charged to the memory budget. The
+    /// sharded figure sums the shards (each carries its own dedup maps),
+    /// honestly accounting the partitioned layout's real footprint.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Store::Plain(i) => i.heap_bytes(),
+            Store::Sharded(s) => s.heap_bytes(),
+        }
+    }
+
+    /// The logical instance: identity for the plain store, shard merge for
+    /// the sharded one (content-equal to the plain store's instance after
+    /// the same fact sequence).
+    fn into_instance(self) -> Instance {
+        match self {
+            Store::Plain(i) => i,
+            Store::Sharded(s) => s.merge(),
+        }
+    }
+}
+
+/// One round's deduplicated trigger set, in canonical `(tgd, universal)`
+/// order — as an ordered set (unsharded search) or a sorted flat run
+/// (sharded search). The apply loop iterates either identically, which is
+/// what pins the two engines to byte-identical firing.
+enum RoundTriggers {
+    Tree(BTreeSet<Trigger>),
+    Runs(TriggerRun),
+}
+
+impl RoundTriggers {
+    fn len(&self) -> usize {
+        match self {
+            RoundTriggers::Tree(t) => t.len(),
+            RoundTriggers::Runs(r) => r.len(),
+        }
+    }
+
+    fn iter(&self) -> RoundTriggerIter<'_> {
+        match self {
+            RoundTriggers::Tree(t) => RoundTriggerIter::Tree(t.iter()),
+            RoundTriggers::Runs(r) => RoundTriggerIter::Runs(r.iter()),
+        }
+    }
+}
+
+enum RoundTriggerIter<'a> {
+    Tree(std::collections::btree_set::Iter<'a, Trigger>),
+    Runs(TriggerRunIter<'a>),
+}
+
+impl<'a> Iterator for RoundTriggerIter<'a> {
+    type Item = (usize, &'a [Elem]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RoundTriggerIter::Tree(it) => it.next().map(|(ti, u)| (*ti, u.as_slice())),
+            RoundTriggerIter::Runs(it) => it.next(),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn chase_impl(
     start: &Instance,
@@ -583,6 +771,7 @@ fn chase_impl(
     variant: ChaseVariant,
     budget: ChaseBudget,
     search: TriggerSearch,
+    shards: Option<usize>,
     token: &CancelToken,
     mut log: Option<&mut Provenance>,
     resume: Option<&ChaseCheckpoint>,
@@ -592,7 +781,7 @@ fn chase_impl(
     // are absolute across trip + resume: `rounds` continues counting from
     // the checkpoint, so resuming with the same budget that tripped stops
     // again immediately — callers resume with a larger one.
-    let (mut instance, mut nulls, mut next_null, mut fired, mut delta, mut stats);
+    let (instance, mut nulls, mut next_null, mut fired, mut delta, mut stats);
     let mut rounds: usize;
     match resume {
         None => {
@@ -627,9 +816,16 @@ fn chase_impl(
     // ONE index lives across the whole run: built here, then grown with
     // O(|Δ|) `extend` calls as triggers fire, instead of the former O(|I|)
     // rebuild per round (quadratic over a run). At every head check and at
-    // every round start the index covers exactly the current instance.
+    // every round start the index covers exactly the current instance. The
+    // sharded engine keeps this same *union* index (fed the same extend
+    // sequence) for head-satisfaction checks and broadcast joins, next to
+    // the partitioned store that owner-routed probes consult.
     let mut index = InstanceIndex::new(&instance);
     stats.index_rebuilds += 1;
+    let mut store = match shards {
+        None => Store::Plain(instance),
+        Some(n) => Store::Sharded(ShardedInstance::partition(&instance, n.max(1))),
+    };
 
     let accountant = MemoryAccountant::new(budget.effective_max_bytes());
     // Mid-round emergency stop: rounds are atomic for budget purposes, but
@@ -653,29 +849,47 @@ fn chase_impl(
         if rounds >= budget.max_rounds {
             break 'run ChaseOutcome::BudgetExceeded;
         }
-        if instance.fact_count() > budget.max_facts {
+        if store.fact_count() > budget.max_facts {
             break 'run ChaseOutcome::BudgetExceeded;
         }
-        if accountant.charge_to(instance.heap_bytes()) || token.fault(FaultSite::MemBudgetTrip) {
+        if accountant.charge_to(store.heap_bytes()) || token.fault(FaultSite::MemBudgetTrip) {
             stats.mem_trips += 1;
             break 'run ChaseOutcome::MemoryExceeded;
         }
         rounds += 1;
 
         // Snapshot this round's triggers against the instance as of the
-        // start of the round (fair, breadth-first scheduling).
+        // start of the round (fair, breadth-first scheduling). Both engines
+        // produce the same deduplicated set in the same canonical order —
+        // the sharded search merges per-shard runs with one sort.
         let search_started = Instant::now();
-        let scan = find_triggers(tgds, &index, delta.as_deref(), search, &mut stats, token);
+        let (triggers, aborted, scan_panics) = match &store {
+            Store::Plain(_) => {
+                let scan = find_triggers(tgds, &index, delta.as_deref(), search, &mut stats, token);
+                (
+                    RoundTriggers::Tree(scan.triggers),
+                    scan.aborted,
+                    scan.panics_contained,
+                )
+            }
+            Store::Sharded(sharded) => {
+                let scan = find_triggers_sharded(tgds, &index, sharded, delta.as_deref(), token);
+                (
+                    RoundTriggers::Runs(scan.triggers),
+                    scan.aborted,
+                    scan.panics_contained,
+                )
+            }
+        };
         stats.trigger_search_time += search_started.elapsed();
-        if scan.aborted || scan.panics_contained > 0 {
+        if aborted || scan_panics > 0 {
             // Discard the partial trigger set without firing: the aborted
             // round never happened, and a contained panic means the set
             // may be incomplete, so a fixpoint cannot be certified.
-            stats.panics_contained += scan.panics_contained;
+            stats.panics_contained += scan_panics;
             rounds -= 1;
             break 'run ChaseOutcome::Cancelled;
         }
-        let triggers = scan.triggers;
         stats.triggers_found += triggers.len();
 
         let apply_started = Instant::now();
@@ -691,7 +905,7 @@ fn chase_impl(
         let fired_watermark = stats.triggers_fired;
         let mut oblivious_undo: Vec<(usize, Vec<Elem>)> = Vec::new();
         let mut since_apply_check = 0u32;
-        for (ti, universal) in triggers {
+        for (ti, universal) in triggers.iter() {
             since_apply_check += 1;
             if since_apply_check >= APPLY_CANCEL_STRIDE {
                 since_apply_check = 0;
@@ -700,7 +914,7 @@ fn chase_impl(
                     // the cancelled instance must be exactly the state
                     // after the last *completed* round.
                     for fact in &added_this_round {
-                        instance.remove_fact(fact.pred, &fact.args);
+                        store.remove_fact(fact.pred, &fact.args);
                     }
                     for (oti, ouni) in oblivious_undo.drain(..) {
                         fired[oti].remove(&ouni);
@@ -726,7 +940,7 @@ fn chase_impl(
                 let mut step_added: Vec<Fact> = Vec::new();
                 for atom in tgd.head() {
                     let args: Vec<Elem> = atom.args.iter().map(|v| universal[v.index()]).collect();
-                    if instance.add_fact(atom.pred, args.clone()) {
+                    if store.add_fact(atom.pred, args.clone()) {
                         let fact = Fact::new(atom.pred, args);
                         added_this_round.push(fact.clone());
                         step_added.push(fact);
@@ -737,14 +951,14 @@ fn chase_impl(
                     if let Some(prov) = log.as_deref_mut() {
                         prov.steps.push(DerivationStep {
                             tgd_index: ti,
-                            universal: universal.clone(),
+                            universal: universal.to_vec(),
                             witnesses: Vec::new(),
                             added: step_added,
                         });
                     }
                     fired_this_round = true;
                     stats.triggers_fired += 1;
-                    if instance.fact_count() > hard_fact_cap {
+                    if store.fact_count() > hard_fact_cap {
                         stats.apply_time += apply_started.elapsed();
                         resumable = false;
                         break 'run ChaseOutcome::BudgetExceeded;
@@ -772,10 +986,10 @@ fn chase_impl(
                     }
                 }
                 ChaseVariant::Oblivious => {
-                    if !fired[ti].insert(universal.clone()) {
+                    if !fired[ti].insert(universal.to_vec()) {
                         continue;
                     }
-                    oblivious_undo.push((ti, universal.clone()));
+                    oblivious_undo.push((ti, universal.to_vec()));
                 }
             }
             // Fire: fresh nulls for the existential variables.
@@ -792,7 +1006,7 @@ fn chase_impl(
             let mut step_added: Vec<Fact> = Vec::new();
             for atom in tgd.head() {
                 let args: Vec<Elem> = atom.args.iter().map(|v| assignment[v.index()]).collect();
-                if instance.add_fact(atom.pred, args.clone()) {
+                if store.add_fact(atom.pred, args.clone()) {
                     let fact = Fact::new(atom.pred, args);
                     added_this_round.push(fact.clone());
                     step_added.push(fact);
@@ -801,14 +1015,14 @@ fn chase_impl(
             if let Some(prov) = log.as_deref_mut() {
                 prov.steps.push(DerivationStep {
                     tgd_index: ti,
-                    universal: universal.clone(),
+                    universal: universal.to_vec(),
                     witnesses,
                     added: step_added,
                 });
             }
             fired_this_round = true;
             stats.triggers_fired += 1;
-            if instance.fact_count() > hard_fact_cap {
+            if store.fact_count() > hard_fact_cap {
                 stats.apply_time += apply_started.elapsed();
                 resumable = false;
                 break 'run ChaseOutcome::BudgetExceeded;
@@ -831,8 +1045,12 @@ fn chase_impl(
 
     // Final high-water observation (the loop's charge sites see round
     // starts only, not the last round's growth).
-    accountant.observe(instance.heap_bytes());
+    accountant.observe(store.heap_bytes());
     stats.mem_peak_bytes = stats.mem_peak_bytes.max(accountant.peak_bytes());
+    if let Store::Sharded(sharded) = &store {
+        record_run_shape(sharded);
+    }
+    let instance = store.into_instance();
     stats.rounds = rounds;
     // `+=` not `=`: a resumed run accumulates wall time across segments.
     stats.total_time += run_started.elapsed();
@@ -854,11 +1072,15 @@ fn chase_impl(
 }
 
 /// Builds the checkpoint for a non-terminated, round-boundary stop.
+/// `shards` is the engine's shard count (1 = the unsharded engine);
+/// partitioning is a pure function of the facts, so the capture stores the
+/// merged instance and the resume re-partitions it identically.
 fn capture_checkpoint(
     result: &ChaseResult,
     end: ChaseRunEnd,
     variant: ChaseVariant,
     sigma_fp: u64,
+    shards: u32,
 ) -> Option<Box<ChaseCheckpoint>> {
     if result.outcome == ChaseOutcome::Terminated || !end.resumable {
         return None;
@@ -867,6 +1089,7 @@ fn capture_checkpoint(
         variant,
         rounds: result.rounds,
         next_null: end.next_null,
+        shards,
         sigma_fp,
         nulls: result.nulls.clone(),
         // Restricted runs never consult `fired`; drop it from the capture.
@@ -895,8 +1118,10 @@ pub fn chase_checkpointing(
     token: &CancelToken,
 ) -> (ChaseResult, Option<Box<ChaseCheckpoint>>) {
     let sigma_fp = tgds_fingerprint(tgds);
-    let (result, end) = chase_impl(start, tgds, variant, budget, search, token, None, None);
-    let checkpoint = capture_checkpoint(&result, end, variant, sigma_fp);
+    let (result, end) = chase_impl(
+        start, tgds, variant, budget, search, None, token, None, None,
+    );
+    let checkpoint = capture_checkpoint(&result, end, variant, sigma_fp, 1);
     (result, checkpoint)
 }
 
@@ -922,17 +1147,27 @@ pub fn chase_resume(
         return Err(CheckpointError::ContextMismatch("fired-set arity"));
     }
     let variant = checkpoint.variant;
+    // The shard dimension picks the engine to continue on: counts above 1
+    // resume sharded (the captured instance is re-partitioned by the pure
+    // routing hash), 0/1 resume on the unsharded engine. Either way the
+    // continuation is byte-identical to an uninterrupted run.
+    let shards = if checkpoint.shards > 1 {
+        Some(checkpoint.shards as usize)
+    } else {
+        None
+    };
     let (result, end) = chase_impl(
         &checkpoint.instance,
         tgds,
         variant,
         budget,
         search,
+        shards,
         token,
         None,
         Some(checkpoint),
     );
-    let next = capture_checkpoint(&result, end, variant, sigma_fp);
+    let next = capture_checkpoint(&result, end, variant, sigma_fp, checkpoint.shards.max(1));
     Ok((result, next))
 }
 
@@ -998,6 +1233,7 @@ pub fn chase_extend_governed(
         variant,
         rounds: 0,
         next_null: instance.fresh_elem().0,
+        shards: 1,
         sigma_fp,
         nulls: base_nulls.clone(),
         fired: Vec::new(),
@@ -1011,13 +1247,14 @@ pub fn chase_extend_governed(
         variant,
         budget,
         search,
+        None,
         token,
         None,
         Some(&cp),
     );
     // The resume path counts itself as a resumption; a fold is not one.
     result.stats.resumes = result.stats.resumes.saturating_sub(1);
-    let next = capture_checkpoint(&result, end, variant, sigma_fp);
+    let next = capture_checkpoint(&result, end, variant, sigma_fp, 1);
     (result, next)
 }
 

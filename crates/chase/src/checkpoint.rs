@@ -121,7 +121,7 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 const MAGIC: [u8; 4] = *b"TGCK";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 /// Payload kind of a [`ChaseCheckpoint`] frame.
 pub const KIND_CHASE: u8 = 1;
 /// Payload kind of a [`BatchCheckpoint`] frame.
@@ -570,6 +570,10 @@ pub struct ChaseCheckpoint {
     pub(crate) variant: ChaseVariant,
     pub(crate) rounds: usize,
     pub(crate) next_null: u32,
+    /// Shard count of the captured run (1 = the unsharded engine). Resume
+    /// re-partitions the decoded instance with the same count, so the
+    /// frame pins the engine, not the partition contents.
+    pub(crate) shards: u32,
     pub(crate) sigma_fp: u64,
     pub(crate) nulls: BTreeSet<Elem>,
     /// Oblivious-variant fired-trigger memory (empty for restricted runs).
@@ -605,6 +609,7 @@ impl ChaseCheckpoint {
         });
         w.count(self.rounds);
         w.u32(self.next_null);
+        w.u32(self.shards);
         w.u64(self.sigma_fp);
         write_chase_stats(&mut w, &self.stats);
         w.count(self.nulls.len());
@@ -660,6 +665,10 @@ impl ChaseCheckpoint {
         };
         let rounds = r.u64()? as usize;
         let next_null = r.u32()?;
+        let shards = r.u32()?;
+        if shards == 0 {
+            return Err(CheckpointError::Malformed("zero shard count"));
+        }
         let sigma_fp = r.u64()?;
         let stats = read_chase_stats(&mut r)?;
         let null_count = r.count(4)?;
@@ -695,6 +704,7 @@ impl ChaseCheckpoint {
             variant,
             rounds,
             next_null,
+            shards,
             sigma_fp,
             nulls,
             fired,

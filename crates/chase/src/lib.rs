@@ -34,6 +34,7 @@ pub mod govern;
 pub mod linear;
 pub mod memory;
 pub mod satisfy;
+pub mod shard;
 pub mod stats;
 pub mod termination;
 pub mod universal;
@@ -48,7 +49,8 @@ pub use cache::{
 pub use certain::{certain_answers, certainly_holds, CertainAnswers};
 pub use chase::{
     chase, chase_checkpointing, chase_configured, chase_extend, chase_extend_governed,
-    chase_governed, chase_resume, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,
+    chase_governed, chase_resume, chase_sharded, chase_sharded_checkpointing,
+    chase_sharded_governed, chase_with_provenance, core_chase, ChaseBudget, ChaseOutcome,
     ChaseResult, ChaseVariant, DerivationStep, Provenance,
 };
 pub use checkpoint::{tgds_fingerprint, BatchCheckpoint, ChaseCheckpoint, CheckpointError};
@@ -68,6 +70,7 @@ pub use linear::{
 };
 pub use memory::MemoryAccountant;
 pub use satisfy::{satisfies_edd, satisfies_egd, satisfies_tgd, satisfies_tgds, violation};
+pub use shard::{reset_shard_stats, shard_stats, shards_from_env, ShardStats};
 pub use stats::{ChaseStats, TriggerSearch};
 pub use termination::{is_weakly_acyclic, PositionGraph};
 pub use universal::universal_hom_into;

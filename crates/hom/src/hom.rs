@@ -129,86 +129,111 @@ pub fn for_each_hom_seminaive(
     fixed: &Binding,
     visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) {
-    let mut anchor_undo: Vec<u32> = Vec::new();
-    for (anchor, atom) in atoms.iter().enumerate() {
-        // The non-anchor conjunction is the same for every delta fact at
-        // this anchor; build it once instead of once per fact.
-        let rest: Vec<Atom<Var>> = atoms
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != anchor)
-            .map(|(_, a)| a.clone())
-            .collect();
-        // The join plan depends only on which variables are bound — the
-        // fixed ones plus the anchor atom's — not on the anchoring fact,
-        // so one plan serves every delta fact at this anchor (and, through
-        // the plan cache, every round requesting the same shape).
-        let mut bound_vars: Vec<bool> = fixed.iter().map(Option::is_some).collect();
-        bound_vars.resize(num_vars.max(fixed.len()), false);
-        for v in &atom.args {
-            bound_vars[v.index()] = true;
-        }
-        let one_step;
-        let cached;
-        let steps: &[PlanStep] = match rest.len() {
-            0 => &[],
-            1 => {
-                // One remaining atom needs no planning or cache traffic.
-                record_trivial_plan();
-                one_step = [step_for(0, &rest[0], |vi| {
-                    bound_vars.get(vi).copied().unwrap_or(false)
-                })];
-                &one_step
-            }
-            _ => {
-                cached = plan_join_cached(&rest, index, &bound_vars);
-                &cached.steps
-            }
-        };
-        let mut exec = Exec::new(&rest, steps, index);
-        // One binding buffer per anchor, reset between facts by undoing the
-        // anchor's own assignments (the executor restores everything else).
-        let mut binding = fixed.clone();
-        binding.resize(num_vars.max(fixed.len()), None);
-        let mut stop = false;
-        for fact in delta {
-            if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
-                continue;
-            }
-            // Bind the anchor atom to the delta fact.
-            anchor_undo.clear();
-            let mut ok = true;
-            for (&v, &e) in atom.args.iter().zip(&fact.args) {
-                match binding[v.index()] {
-                    Some(prev) if prev != e => {
-                        ok = false;
-                        break;
-                    }
-                    Some(_) => {}
-                    None => {
-                        binding[v.index()] = Some(e);
-                        anchor_undo.push(v.index() as u32);
-                    }
-                }
-            }
-            if ok {
-                let _ = exec.run(0, &mut binding, &mut |binding| {
-                    let flow = visit(binding);
-                    stop = flow.is_break();
-                    flow
-                });
-            }
-            for &vi in &anchor_undo {
-                binding[vi as usize] = None;
-            }
-            if stop {
-                break;
-            }
-        }
-        exec.flush();
-        if stop {
+    for anchor in 0..atoms.len() {
+        if for_each_hom_anchored(atoms, num_vars, index, anchor, delta, fixed, visit).is_break() {
             return;
         }
+    }
+}
+
+/// One anchor's worth of [`for_each_hom_seminaive`]: binds atom `anchor` to
+/// each `delta` fact in turn and searches the remaining atoms against the
+/// full index. The sharded chase drives this directly — each shard supplies
+/// its own delta slice per anchor, so the anchor loop lives with the caller
+/// rather than here.
+///
+/// Returns [`ControlFlow::Break`] iff `visit` broke (so a caller looping
+/// over anchors can stop early, exactly as the seminaive driver does).
+pub fn for_each_hom_anchored(
+    atoms: &[Atom<Var>],
+    num_vars: usize,
+    index: &InstanceIndex,
+    anchor: usize,
+    delta: &[Fact],
+    fixed: &Binding,
+    visit: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut anchor_undo: Vec<u32> = Vec::new();
+    let atom = &atoms[anchor];
+    // The non-anchor conjunction is the same for every delta fact at
+    // this anchor; build it once instead of once per fact.
+    let rest: Vec<Atom<Var>> = atoms
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != anchor)
+        .map(|(_, a)| a.clone())
+        .collect();
+    // The join plan depends only on which variables are bound — the
+    // fixed ones plus the anchor atom's — not on the anchoring fact,
+    // so one plan serves every delta fact at this anchor (and, through
+    // the plan cache, every round requesting the same shape).
+    let mut bound_vars: Vec<bool> = fixed.iter().map(Option::is_some).collect();
+    bound_vars.resize(num_vars.max(fixed.len()), false);
+    for v in &atom.args {
+        bound_vars[v.index()] = true;
+    }
+    let one_step;
+    let cached;
+    let steps: &[PlanStep] = match rest.len() {
+        0 => &[],
+        1 => {
+            // One remaining atom needs no planning or cache traffic.
+            record_trivial_plan();
+            one_step = [step_for(0, &rest[0], |vi| {
+                bound_vars.get(vi).copied().unwrap_or(false)
+            })];
+            &one_step
+        }
+        _ => {
+            cached = plan_join_cached(&rest, index, &bound_vars);
+            &cached.steps
+        }
+    };
+    let mut exec = Exec::new(&rest, steps, index);
+    // One binding buffer per anchor, reset between facts by undoing the
+    // anchor's own assignments (the executor restores everything else).
+    let mut binding = fixed.clone();
+    binding.resize(num_vars.max(fixed.len()), None);
+    let mut stop = false;
+    for fact in delta {
+        if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
+            continue;
+        }
+        // Bind the anchor atom to the delta fact.
+        anchor_undo.clear();
+        let mut ok = true;
+        for (&v, &e) in atom.args.iter().zip(&fact.args) {
+            match binding[v.index()] {
+                Some(prev) if prev != e => {
+                    ok = false;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    binding[v.index()] = Some(e);
+                    anchor_undo.push(v.index() as u32);
+                }
+            }
+        }
+        if ok {
+            let _ = exec.run(0, &mut binding, &mut |binding| {
+                let flow = visit(binding);
+                stop = flow.is_break();
+                flow
+            });
+        }
+        for &vi in &anchor_undo {
+            binding[vi as usize] = None;
+        }
+        if stop {
+            break;
+        }
+    }
+    exec.flush();
+    if stop {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
     }
 }
 

@@ -181,10 +181,12 @@ impl InstanceIndex {
                 seen: HashMap::default(),
                 tables: RwLock::default(),
             };
+            let mut built: u64 = 0;
             for tuple in rel {
                 tuple.copy_into(&mut scratch);
-                pi.push(&scratch);
+                built += pi.push(&scratch) as u64;
             }
+            crate::plan::record_build_rows(built);
             preds.push(pi);
         }
         InstanceIndex {
@@ -291,6 +293,7 @@ impl InstanceIndex {
     /// rebuild per round. Cached join tables of the touched predicates are
     /// invalidated (rebuilt lazily on the next probe).
     pub fn extend(&mut self, delta: &[Fact]) {
+        let mut built: u64 = 0;
         for fact in delta {
             let p = fact.pred.index();
             if p >= self.preds.len() {
@@ -307,8 +310,9 @@ impl InstanceIndex {
                 pi.cols.resize_with(fact.args.len(), Vec::new);
                 pi.postings.resize_with(fact.args.len(), HashMap::default);
             }
-            pi.push(&fact.args);
+            built += pi.push(&fact.args) as u64;
         }
+        crate::plan::record_build_rows(built);
     }
 }
 

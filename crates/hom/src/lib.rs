@@ -19,6 +19,7 @@
 //! them.
 
 pub mod cq;
+pub mod exchange;
 pub mod hom;
 pub mod index;
 pub mod iso;
@@ -26,11 +27,12 @@ pub mod plan;
 pub mod retract;
 
 pub use cq::Cq;
+pub use exchange::{classify_exchange, ExchangeChoice};
 pub use hom::{
     embeds_fixing, find_hom, find_instance_hom, for_each_hom, for_each_hom_indexed,
     for_each_hom_reusing, Binding,
 };
-pub use hom::{find_hom_indexed, for_each_hom_seminaive};
+pub use hom::{find_hom_indexed, for_each_hom_anchored, for_each_hom_seminaive};
 pub use index::{InstanceIndex, Tuples};
 pub use iso::are_isomorphic;
 pub use plan::{

@@ -113,8 +113,9 @@ pub struct JoinStats {
     /// Plan steps executed as indexed nested loops (single-position postings
     /// drives) or columnar scans.
     pub nested_loop_joins: u64,
-    /// Rows scanned building hash-join tables (0 when every probe hit a
-    /// cached table).
+    /// Build-side rows ingested: tuples pushed into the positional index
+    /// (initial build plus delta folds) and rows scanned constructing
+    /// hash-join tables. Nonzero whenever any indexed search ran.
     pub build_rows: u64,
     /// Candidate rows returned by hash-join probes (before column-wise
     /// verification).
@@ -158,6 +159,20 @@ pub(crate) fn record_join_counters(hash: u64, nested: u64, build: u64, probe: u6
     }
     if probe != 0 {
         PROBE_ROWS.add(probe);
+    }
+}
+
+/// Charges `n` rows to the build side of the join telemetry. Index
+/// construction calls this for every tuple it ingests ([`InstanceIndex`]
+/// builds and delta folds feed every later probe, so they are build work in
+/// the hash-join sense), alongside the executor's own accounting of
+/// join-table construction scans.
+///
+/// [`InstanceIndex`]: crate::index::InstanceIndex
+#[inline]
+pub(crate) fn record_build_rows(n: u64) {
+    if n != 0 {
+        BUILD_ROWS.add(n);
     }
 }
 
@@ -209,7 +224,7 @@ impl JoinPlan {
 /// Estimated number of candidate tuples for `atom` given the set of bound
 /// variables: `|R| / Π_{bound positions p} distinct(R, p)`, clamped to at
 /// least one candidate unless the relation is empty.
-fn estimate(atom: &Atom<Var>, index: &InstanceIndex, bound: &[bool]) -> f64 {
+pub(crate) fn estimate(atom: &Atom<Var>, index: &InstanceIndex, bound: &[bool]) -> f64 {
     let card = index.count(atom.pred) as f64;
     if card == 0.0 {
         return 0.0;

@@ -317,7 +317,13 @@ impl Scheduler {
         let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
         if guard.is_none() {
             let dir = data_dir.join(tenant_dir_name(tenant_name));
-            match DurableKb::open(&dir, &set, self.config.kb) {
+            // The tenant shard knob and the KB config's own both apply;
+            // whichever asks for more shards wins (both default to 1).
+            let kb_config = KbConfig {
+                shards: self.config.kb.shards.max(self.config.tenant.shards).max(1),
+                ..self.config.kb
+            };
+            match DurableKb::open(&dir, &set, kb_config) {
                 Ok((kb, report)) => {
                     info!(
                         "tenant {tenant_name}: kb opened (gen {} seq {} replayed {} truncated {} fresh {})",

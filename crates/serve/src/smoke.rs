@@ -62,8 +62,11 @@ pub struct SmokeReport {
     pub rewrite_matches_dedicated: bool,
     /// Client-side wall latency of the rewrite.
     pub rewrite_ms: u64,
-    /// Sorted client-side latencies of the small requests, milliseconds.
-    pub small_latencies_ms: Vec<u64>,
+    /// Sorted client-side latencies of the small requests, microseconds.
+    /// Millisecond buckets flattened the whole distribution to 0–3 at a
+    /// 10 ms quantum; microsecond resolution is what makes p50 ≠ p99
+    /// visible at all.
+    pub small_latencies_us: Vec<u64>,
     /// Small requests that completed while the rewrite was still in
     /// flight.
     pub smalls_finished_before_rewrite: usize,
@@ -73,20 +76,20 @@ pub struct SmokeReport {
 
 impl SmokeReport {
     fn percentile(&self, p: f64) -> u64 {
-        if self.small_latencies_ms.is_empty() {
+        if self.small_latencies_us.is_empty() {
             return 0;
         }
-        let rank = ((self.small_latencies_ms.len() - 1) as f64 * p).round() as usize;
-        self.small_latencies_ms[rank]
+        let rank = ((self.small_latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.small_latencies_us[rank]
     }
 
-    /// Median small-request latency.
-    pub fn small_p50_ms(&self) -> u64 {
+    /// Median small-request latency, microseconds.
+    pub fn small_p50_us(&self) -> u64 {
         self.percentile(0.50)
     }
 
-    /// 99th-percentile small-request latency.
-    pub fn small_p99_ms(&self) -> u64 {
+    /// 99th-percentile small-request latency, microseconds.
+    pub fn small_p99_us(&self) -> u64 {
         self.percentile(0.99)
     }
 }
@@ -161,7 +164,7 @@ pub fn run_smoke(config: &SmokeConfig) -> Result<SmokeReport, String> {
     // the smalls arrive — the contention the smoke exists to measure.
     std::thread::sleep(config.quantum);
 
-    let mut small_latencies_ms = Vec::with_capacity(config.smalls);
+    let mut small_latencies_us = Vec::with_capacity(config.smalls);
     let mut smalls_correct = 0;
     let mut smalls_finished_before_rewrite = 0;
     for i in 0..config.smalls {
@@ -170,7 +173,7 @@ pub fn run_smoke(config: &SmokeConfig) -> Result<SmokeReport, String> {
         let response = client
             .request(&small_request(&tenant))
             .map_err(|e| format!("small request {i}: {e}"))?;
-        small_latencies_ms.push(started.elapsed().as_millis() as u64);
+        small_latencies_us.push(started.elapsed().as_micros() as u64);
         if !rewrite_handle.is_finished() {
             smalls_finished_before_rewrite += 1;
         }
@@ -204,7 +207,7 @@ pub fn run_smoke(config: &SmokeConfig) -> Result<SmokeReport, String> {
     let ref_tag = crate::scheduler::outcome_tag(&ref_outcome);
     let rewrite_matches_dedicated = outcome == ref_tag && rewritten == *ref_rewritten;
 
-    small_latencies_ms.sort_unstable();
+    small_latencies_us.sort_unstable();
     Ok(SmokeReport {
         requests: 1 + config.smalls as u64,
         rewrite_suspensions: stats.suspensions,
@@ -212,7 +215,7 @@ pub fn run_smoke(config: &SmokeConfig) -> Result<SmokeReport, String> {
         rewrite_outcome: outcome,
         rewrite_matches_dedicated,
         rewrite_ms,
-        small_latencies_ms,
+        small_latencies_us,
         smalls_finished_before_rewrite,
         smalls_correct,
     })
@@ -321,12 +324,12 @@ mod tests {
             rewrite_outcome: 0,
             rewrite_matches_dedicated: true,
             rewrite_ms: 0,
-            small_latencies_ms: vec![1, 2, 3, 4, 100],
+            small_latencies_us: vec![1, 2, 3, 4, 100],
             smalls_finished_before_rewrite: 0,
             smalls_correct: 0,
         };
-        assert_eq!(report.small_p50_ms(), 3);
-        assert_eq!(report.small_p99_ms(), 100);
+        assert_eq!(report.small_p50_us(), 3);
+        assert_eq!(report.small_p99_us(), 100);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct TenantConfig {
     pub cache_max_entries: usize,
     /// Entailment-cache byte bound per tenant.
     pub cache_max_bytes: usize,
+    /// Shard count for the tenant's full KB re-chases (see
+    /// [`KbConfig::shards`](tgdkit_store::KbConfig)). Defaults to
+    /// `TGDKIT_SHARDS` via [`tgdkit_chase::shards_from_env`]; `1` keeps
+    /// the unsharded engine. Results are byte-identical at any count, so
+    /// this only moves throughput, never answers.
+    pub shards: usize,
 }
 
 impl Default for TenantConfig {
@@ -42,6 +48,7 @@ impl Default for TenantConfig {
             max_bytes: usize::MAX,
             cache_max_entries: 4096,
             cache_max_bytes: DEFAULT_CACHE_MAX_BYTES,
+            shards: tgdkit_chase::shards_from_env(),
         }
     }
 }

@@ -13,8 +13,8 @@ use tgdkit_chase::checkpoint::{
     CheckpointWriter,
 };
 use tgdkit_chase::{
-    chase_extend_governed, chase_governed, CancelToken, ChaseBudget, ChaseOutcome, ChaseVariant,
-    TriggerSearch,
+    chase_extend_governed, chase_governed, chase_sharded_governed, CancelToken, ChaseBudget,
+    ChaseOutcome, ChaseResult, ChaseVariant, TriggerSearch,
 };
 use tgdkit_instance::{Elem, Fact, Instance};
 use tgdkit_logic::{PredId, Schema, Tgd, TgdSet};
@@ -31,6 +31,13 @@ pub struct KbConfig {
     pub variant: ChaseVariant,
     /// Trigger-search strategy for folds and re-chases.
     pub search: TriggerSearch,
+    /// Shard count for *full* re-chases (the fresh-open chase and the
+    /// retraction path). `1` keeps the unsharded engine; above that,
+    /// [`tgdkit_chase::chase_sharded_governed`] runs the hash-partitioned
+    /// engine — the result is byte-identical either way, so this is purely
+    /// a throughput knob. Incremental folds stay on the semi-naive extend
+    /// path regardless (their deltas are batch-sized, not instance-sized).
+    pub shards: usize,
     /// Once the WAL grows past this many bytes, the next acknowledged
     /// batch folds the log into a fresh snapshot generation.
     pub compact_wal_bytes: u64,
@@ -42,8 +49,38 @@ impl Default for KbConfig {
             budget: ChaseBudget::default(),
             variant: ChaseVariant::Restricted,
             search: TriggerSearch::Auto,
+            shards: 1,
             compact_wal_bytes: 1 << 20,
         }
+    }
+}
+
+/// A full chase from `base` under `config`: the sharded engine when the
+/// config asks for more than one shard, the legacy engine otherwise.
+fn full_chase(
+    base: &Instance,
+    tgds: &[Tgd],
+    config: &KbConfig,
+    token: &CancelToken,
+) -> ChaseResult {
+    if config.shards > 1 {
+        chase_sharded_governed(
+            base,
+            tgds,
+            config.variant,
+            config.budget,
+            config.shards,
+            token,
+        )
+    } else {
+        chase_governed(
+            base,
+            tgds,
+            config.variant,
+            config.budget,
+            config.search,
+            token,
+        )
     }
 }
 
@@ -205,14 +242,7 @@ fn fold_batch(
         new_base.add_fact(f.pred, f.args.clone());
     }
     if retracted_any {
-        let result = chase_governed(
-            &new_base,
-            tgds,
-            config.variant,
-            config.budget,
-            config.search,
-            token,
-        );
+        let result = full_chase(&new_base, tgds, config, token);
         if result.outcome != ChaseOutcome::Terminated {
             return Err(StoreError::ChaseDidNotTerminate(result.outcome));
         }
@@ -348,14 +378,7 @@ impl DurableKb {
             }
             None if fresh => {
                 let empty = Instance::new(schema.clone());
-                let result = chase_governed(
-                    &empty,
-                    &tgds,
-                    config.variant,
-                    config.budget,
-                    config.search,
-                    token,
-                );
+                let result = full_chase(&empty, &tgds, &config, token);
                 if result.outcome != ChaseOutcome::Terminated {
                     return Err(StoreError::ChaseDidNotTerminate(result.outcome));
                 }
@@ -810,6 +833,39 @@ mod tests {
             StoreError::ContextMismatch("tgd set")
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_rechase_matches_unsharded() {
+        // Same batches through a shards=4 config and a shards=1 config:
+        // the retraction path re-chases through different engines, but the
+        // acknowledged fixpoints must be identical.
+        let set = test_set();
+        let mut kbs = Vec::new();
+        for shards in [1usize, 4] {
+            let dir = tmpdir(&format!("shards{shards}"));
+            let config = KbConfig {
+                shards,
+                ..KbConfig::default()
+            };
+            let (mut kb, _) = DurableKb::open(&dir, &set, config).unwrap();
+            kb.apply(
+                &[e_fact(&set, 0, 1), e_fact(&set, 1, 2), e_fact(&set, 2, 3)],
+                &[],
+            )
+            .unwrap();
+            let report = kb.apply(&[p_fact(&set, 3)], &[e_fact(&set, 1, 2)]).unwrap();
+            assert!(report.rechased);
+            kbs.push((dir, kb));
+        }
+        let (plain, sharded) = (&kbs[0].1, &kbs[1].1);
+        assert_eq!(plain.chased(), sharded.chased());
+        assert_eq!(plain.base(), sharded.base());
+        assert_eq!(plain.nulls(), sharded.nulls());
+        for (dir, kb) in kbs {
+            drop(kb);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]
