@@ -44,7 +44,7 @@ use tgdkit_core::RewriteCheckpoint;
 use tgdkit_core::{TgdOntology, Verdict};
 use tgdkit_instance::InstanceGen;
 use tgdkit_logic::{parse_tgds, Schema, Tgd, TgdSet};
-use tgdkit_store::{DurableKb, KbConfig};
+use tgdkit_store::{DurableKb, KbConfig, ReplicatedKb};
 
 fn section(id: &str, title: &str, claim: &str) {
     println!("\n## {id}: {title}");
@@ -1231,6 +1231,92 @@ fn bench_rewrite_json(smoke: bool) {
         fmt_duration(recover_time),
     );
 
+    // Replication probe: the same chain workload behind a 3-replica /
+    // quorum-2 ReplicatedKb. One replica is killed mid-drive — quorum
+    // writes must keep flowing — then repaired back to byte-identity;
+    // finally the primary's directory is deleted outright and a reopen
+    // must fail over to a surviving replica and serve the same closure.
+    // The JSON records the quorum counters so the replicated path's shape
+    // is trackable across PRs (and CI grep-gates them).
+    let repl_batches = if smoke { 12u32 } else { 48u32 };
+    let repl_root = std::env::temp_dir().join(format!("tgdkit-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&repl_root);
+    let repl_config = KbConfig {
+        replicas: 3,
+        quorum: 2,
+        ..KbConfig::default()
+    };
+    let (repl_stats, repl_drive_time) = {
+        let (mut kb, _) =
+            ReplicatedKb::open(&repl_root, &kb_set, repl_config).expect("fresh replicated store");
+        let (_, t) = timed(|| {
+            for i in 0..repl_batches {
+                if i == repl_batches / 2 {
+                    kb.kill_replica(2);
+                }
+                let fact = tgdkit_instance::Fact::new(
+                    edge,
+                    vec![tgdkit_instance::Elem(i), tgdkit_instance::Elem(i + 1)],
+                );
+                kb.apply(&[fact], &[])
+                    .expect("quorum writes continue with a replica down");
+            }
+        });
+        assert_eq!(
+            kb.seq(),
+            repl_batches as u64,
+            "an acknowledged batch was lost"
+        );
+        assert!(
+            kb.repair() >= 1 || kb.healthy_count() == 3,
+            "repair re-admits"
+        );
+        assert_eq!(kb.healthy_count(), 3, "killed replica rejoined");
+        let stats = kb.stats();
+        assert!(
+            stats.acks >= repl_batches as u64,
+            "every batch acknowledged"
+        );
+        assert!(
+            stats.quorum_waits >= 1,
+            "the kill degraded at least one ack"
+        );
+        assert!(stats.repairs >= 1, "repair never ran");
+        assert_eq!(stats.lag_bytes, 0, "repair left a backlog");
+        (stats, t)
+    };
+    // The primary's disk dies; reopening must elect a surviving replica.
+    std::fs::remove_dir_all(repl_root.join("replica-00")).expect("kill the primary dir");
+    let ((repl_kb, repl_report), repl_failover_time) = timed(|| {
+        ReplicatedKb::open(&repl_root, &kb_set, repl_config).expect("failover after primary loss")
+    });
+    assert!(
+        repl_report.failover,
+        "primary loss must count as a failover"
+    );
+    assert_eq!(repl_kb.seq(), repl_batches as u64, "failover lost batches");
+    assert!(
+        repl_kb.holds(
+            edge,
+            &[
+                tgdkit_instance::Elem(0),
+                tgdkit_instance::Elem(repl_batches)
+            ]
+        ),
+        "failover closure lost E(0, {repl_batches})"
+    );
+    let repl_failovers = repl_kb.stats().failovers;
+    drop(repl_kb);
+    let _ = std::fs::remove_dir_all(&repl_root);
+    println!(
+        "repl probe: {} acks at quorum 2/3 in {} ({} quorum waits, {} repairs); failover reopen in {}",
+        repl_stats.acks,
+        fmt_duration(repl_drive_time),
+        repl_stats.quorum_waits,
+        repl_stats.repairs,
+        fmt_duration(repl_failover_time),
+    );
+
     // Shard probe: the hash-partitioned chase against the legacy engine on
     // a closure-dominated workload, asserted byte-identical. The shard
     // count honors TGDKIT_SHARDS (the CI matrix sets 1/2/4); an unset or
@@ -1319,7 +1405,12 @@ fn bench_rewrite_json(smoke: bool) {
          \"wal_appends\": {},\n    \"compactions\": {},\n    \
          \"recoveries\": {},\n    \"replayed_batches\": {},\n    \
          \"truncated_frames\": {},\n    \"append_ms\": {:.3},\n    \
-         \"recover_ms\": {:.3}\n  }},\n  \"deadline_ms\": {},\n  \
+         \"recover_ms\": {:.3}\n  }},\n  \"repl\": {{\n    \
+         \"replicas\": 3,\n    \"quorum\": 2,\n    \
+         \"acks\": {},\n    \"quorum_waits\": {},\n    \
+         \"retries\": {},\n    \"repairs\": {},\n    \
+         \"failovers\": {},\n    \"lag_bytes\": {},\n    \
+         \"drive_ms\": {:.3},\n    \"failover_ms\": {:.3}\n  }},\n  \"deadline_ms\": {},\n  \
          \"deadline_outcome\": \"{}\",\n  \"deadline_wall_time_ms\": {:.3},\n  \
          \"cancelled\": {},\n  \"panics_contained\": {}\n}}\n",
         scenario,
@@ -1373,6 +1464,14 @@ fn bench_rewrite_json(smoke: bool) {
         durable_recovery.truncated_frames,
         ms(append_time),
         ms(recover_time),
+        repl_stats.acks,
+        repl_stats.quorum_waits,
+        repl_stats.retries,
+        repl_stats.repairs,
+        repl_failovers,
+        repl_stats.lag_bytes,
+        ms(repl_drive_time),
+        ms(repl_failover_time),
         deadline_ms,
         outcome_str(&deadline_outcome),
         ms(deadline_time),

@@ -71,10 +71,25 @@ pub enum FaultSite {
     /// refuse to acknowledge the un-synced write (rolling its file back)
     /// rather than pretend the bytes are durable.
     FsyncFail = 8,
+    /// Transient append failure on one *replica* of a replicated store
+    /// (`tgdkit-store`'s `ReplicatedKb`): the frame does not reach that
+    /// replica's WAL on this attempt. Retryable — the replicated append
+    /// path retries with jittered backoff before demoting the replica to
+    /// `Lagging`.
+    ReplicaAppendFail = 9,
+    /// A replica silently misses an append deadline (the slow-disk /
+    /// congested-peer failure): the frame is skipped without an error and
+    /// the replica is demoted to `Lagging` with its lag accounted, to be
+    /// healed by catch-up repair.
+    ReplicaLag = 10,
+    /// A replica dies mid-drive (the SIGKILL analogue): its handle is
+    /// wedged and every subsequent append to it fails until repair
+    /// re-ships the segment files and re-admits it.
+    ReplicaKill = 11,
 }
 
 /// All injection sites, in discriminant order.
-pub const FAULT_SITES: [FaultSite; 9] = [
+pub const FAULT_SITES: [FaultSite; 12] = [
     FaultSite::TriggerWorkerPanic,
     FaultSite::GroupEvalPanic,
     FaultSite::BudgetTrip,
@@ -84,6 +99,9 @@ pub const FAULT_SITES: [FaultSite; 9] = [
     FaultSite::WalTornWrite,
     FaultSite::SegmentCorrupt,
     FaultSite::FsyncFail,
+    FaultSite::ReplicaAppendFail,
+    FaultSite::ReplicaLag,
+    FaultSite::ReplicaKill,
 ];
 
 /// The panic-payload prefix used by injected panics; the containment sites
@@ -99,13 +117,13 @@ pub const INJECTED_PANIC: &str = "injected fault";
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    periods: [u64; 9],
-    counters: [AtomicU64; 9],
+    periods: [u64; 12],
+    counters: [AtomicU64; 12],
 }
 
 impl FaultPlan {
     #[cfg(any(test, feature = "tgdkit-faults"))]
-    fn with_periods(seed: u64, periods: [u64; 9]) -> Self {
+    fn with_periods(seed: u64, periods: [u64; 12]) -> Self {
         FaultPlan {
             seed,
             periods,
@@ -118,14 +136,14 @@ impl FaultPlan {
     /// trips, and expiries.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn seeded(seed: u64) -> Self {
-        Self::with_periods(seed, [5, 7, 11, 31, 13, 17, 19, 23, 29])
+        Self::with_periods(seed, [5, 7, 11, 31, 13, 17, 19, 23, 29, 37, 41, 43])
     }
 
     /// A schedule faulting only at `site`, every `period`-th consultation
     /// on average (seeded); `period` 1 faults every time.
     #[cfg(any(test, feature = "tgdkit-faults"))]
     pub fn only(seed: u64, site: FaultSite, period: u64) -> Self {
-        let mut periods = [0u64; 9];
+        let mut periods = [0u64; 12];
         periods[site as usize] = period;
         Self::with_periods(seed, periods)
     }

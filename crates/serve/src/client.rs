@@ -5,6 +5,15 @@
 //! threads as you want in flight — the handles collect responses and
 //! client-side latency, which is what the smoke workload and the bench
 //! probe measure.
+//!
+//! Every socket carries connect/read/write timeouts so a hung server
+//! cannot strand a client thread forever, and *idempotent* request kinds
+//! (`Entail`, `Stats`, `KbQuery` — pure reads whose re-execution cannot
+//! change server state) are retried a bounded number of times with
+//! jittered backoff on transport failure. `KbApply` is never retried: a
+//! transport error after the frame left the client is indistinguishable
+//! from a lost acknowledgement, and blindly re-sending would double-apply
+//! the batch.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -13,21 +22,88 @@ use std::time::{Duration, Instant};
 
 use crate::proto::{read_frame, write_frame, Request, Response};
 
+/// Socket and retry tuning for a [`Client`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read and write timeout on the established socket.
+    pub io_timeout: Duration,
+    /// Transport-failure retries for idempotent request kinds (0 disables;
+    /// non-idempotent kinds never retry regardless).
+    pub retries: u32,
+    /// Base backoff between retries; the actual sleep is jittered to
+    /// 50–150% of `retry_backoff << attempt`.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            retries: 2,
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
 /// A handle to a server address.
 #[derive(Debug, Clone, Copy)]
 pub struct Client {
     addr: SocketAddr,
+    config: ClientConfig,
+}
+
+/// `true` for request kinds whose re-execution cannot change server
+/// state. `KbApply` mutates; `Shutdown` stops the server; `Batch` and
+/// `Rewrite` are pure but long — re-running one on a transport blip
+/// doubles the bill, so they are left to the caller's judgment.
+fn idempotent(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Entail { .. } | Request::Stats | Request::KbQuery { .. }
+    )
 }
 
 impl Client {
-    /// A client for the server at `addr`.
+    /// A client for the server at `addr`, with default timeouts/retries.
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr }
+        Client {
+            addr,
+            config: ClientConfig::default(),
+        }
     }
 
-    /// Sends one request and blocks for its response.
+    /// A client with explicit socket/retry tuning.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Client {
+        Client { addr, config }
+    }
+
+    /// Sends one request and blocks for its response. Idempotent kinds
+    /// are retried on transport failure per [`ClientConfig`].
     pub fn request(&self, request: &Request) -> io::Result<Response> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(request) {
+                Ok(response) => return Ok(response),
+                Err(e)
+                    if attempt < self.config.retries
+                        && idempotent(request)
+                        && e.kind() != io::ErrorKind::InvalidData =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(jittered(self.config.retry_backoff, attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn request_once(&self, request: &Request) -> io::Result<Response> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
         write_frame(&mut stream, &request.to_frame())?;
         let frame = read_frame(&mut stream)?;
         Response::from_frame(&frame)
@@ -43,5 +119,97 @@ impl Client {
             let response = client.request(&request)?;
             Ok((response, started.elapsed()))
         })
+    }
+}
+
+/// 50–150% of `base << attempt` (attempt capped at 6), jittered by a
+/// cheap per-call hash so a burst of failing clients does not retry in
+/// lockstep.
+fn jittered(base: Duration, attempt: u32) -> Duration {
+    let ceiling = base.as_millis() as u64;
+    let ceiling = ceiling.saturating_mul(1u64 << attempt.min(6)).max(1);
+    let mut x = Instant::now().elapsed().subsec_nanos() as u64
+        ^ ((attempt as u64) << 32)
+        ^ (std::process::id() as u64) << 16;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    Duration::from_millis(ceiling / 2 + x % ceiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A listener that drops its first `drops` connections cold (EOF
+    /// before any response byte), then answers every later request with
+    /// an empty Stats response. Returns (addr, accepted-counter).
+    fn flaky_server(drops: usize) -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let counter = accepted.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let n = counter.fetch_add(1, Ordering::SeqCst);
+                if n < drops {
+                    drop(stream); // cold drop: the client sees EOF
+                    continue;
+                }
+                if read_frame(&mut stream).is_ok() {
+                    let frame = Response::Stats { tenants: vec![] }.to_frame();
+                    let _ = write_frame(&mut stream, &frame);
+                }
+            }
+        });
+        (addr, accepted)
+    }
+
+    fn fast_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn idempotent_request_retries_through_transport_failure() {
+        let (addr, accepted) = flaky_server(1);
+        let client = Client::with_config(addr, fast_config());
+        let response = client.request(&Request::Stats).unwrap();
+        assert!(matches!(response, Response::Stats { .. }));
+        assert_eq!(accepted.load(Ordering::SeqCst), 2, "one retry taken");
+    }
+
+    #[test]
+    fn kb_apply_is_never_retried() {
+        let (addr, accepted) = flaky_server(usize::MAX);
+        let client = Client::with_config(addr, fast_config());
+        let request = Request::KbApply {
+            tenant: "acme".into(),
+            program: "E(x,y) -> E(y,x).".into(),
+            inserts: vec![],
+            retracts: vec![],
+        };
+        assert!(client.request(&request).is_err());
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            1,
+            "a mutating request must reach the wire exactly once"
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let (addr, accepted) = flaky_server(usize::MAX);
+        let client = Client::with_config(addr, fast_config());
+        assert!(client.request(&Request::Stats).is_err());
+        assert_eq!(accepted.load(Ordering::SeqCst), 3, "1 try + 2 retries");
     }
 }

@@ -43,7 +43,7 @@ pub mod server;
 pub mod smoke;
 pub mod tenant;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use job::{Job, JobOutput, JobStep, SliceLimit};
 pub use proto::{Request, Response, RewriteTarget, TenantSnapshot, WireFact, WireStats};
 pub use scheduler::{DrainReport, Scheduler, SchedulerConfig};

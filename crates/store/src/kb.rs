@@ -3,7 +3,8 @@
 //! semi-naive incremental chase and recovered crash-consistently on open.
 
 use crate::segment::{
-    io_err, scan_frames, write_atomic, SegmentWriter, StoreError, KIND_SNAPSHOT, KIND_WAL_BATCH,
+    backoff_sleep, io_err, scan_frames, write_atomic, SegmentWriter, StoreError, KIND_SNAPSHOT,
+    KIND_WAL_BATCH,
 };
 use crate::wal::WalBatch;
 use std::collections::BTreeSet;
@@ -41,6 +42,24 @@ pub struct KbConfig {
     /// Once the WAL grows past this many bytes, the next acknowledged
     /// batch folds the log into a fresh snapshot generation.
     pub compact_wal_bytes: u64,
+    /// Replica directories for the store ([`crate::ReplicatedKb`]); `1`
+    /// (or `0`) keeps the single-directory [`DurableKb`] layout.
+    pub replicas: usize,
+    /// Write quorum: an apply is acknowledged only once this many replicas
+    /// have the batch durable. Clamped into `1..=replicas`.
+    pub quorum: usize,
+    /// Bounded retry attempts per replica for transient append faults
+    /// (injected [`tgdkit_chase::FaultSite::ReplicaAppendFail`], real
+    /// transient I/O, fsync failures) before the replica is demoted.
+    pub replica_retries: u32,
+    /// Base backoff in milliseconds between replica retries and un-wedge
+    /// attempts; the actual sleep is jittered deterministically from the
+    /// attempt ordinal. `0` disables sleeping (tests).
+    pub retry_backoff_ms: u64,
+    /// Bounded reopen-and-recover attempts a wedged [`DurableKb`] handle
+    /// makes on the next apply before giving up with
+    /// [`StoreError::Wedged`].
+    pub unwedge_retries: u32,
 }
 
 impl Default for KbConfig {
@@ -51,13 +70,18 @@ impl Default for KbConfig {
             search: TriggerSearch::Auto,
             shards: 1,
             compact_wal_bytes: 1 << 20,
+            replicas: 1,
+            quorum: 1,
+            replica_retries: 2,
+            retry_backoff_ms: 2,
+            unwedge_retries: 2,
         }
     }
 }
 
 /// A full chase from `base` under `config`: the sharded engine when the
 /// config asks for more than one shard, the legacy engine otherwise.
-fn full_chase(
+pub(crate) fn full_chase(
     base: &Instance,
     tgds: &[Tgd],
     config: &KbConfig,
@@ -109,6 +133,9 @@ pub struct KbStats {
     /// Snapshot generations skipped during recovery because they failed
     /// verification.
     pub snapshot_fallbacks: u64,
+    /// Wedged handles brought back in place by the bounded
+    /// reopen-and-recover retry on a subsequent apply (no process restart).
+    pub unwedge_recoveries: u64,
 }
 
 /// What [`DurableKb::open`] found and did.
@@ -144,24 +171,30 @@ pub struct ApplyReport {
     pub fact_count: usize,
 }
 
-fn snapshot_name(generation: u64) -> String {
+pub(crate) fn snapshot_name(generation: u64) -> String {
     format!("snapshot-{generation:06}.tgks")
 }
 
-fn wal_name(generation: u64) -> String {
+pub(crate) fn wal_name(generation: u64) -> String {
     format!("wal-{generation:06}.tgkw")
 }
 
+/// Marker file written when a store directory is initialized; its presence
+/// distinguishes "this directory once held a store whose files were lost"
+/// (a typed recovery error — silently re-initializing would change
+/// verdicts) from "this directory is genuinely fresh".
+pub(crate) const MARKER_NAME: &str = "store.tgkm";
+
 /// The decoded payload of a snapshot frame.
-struct Snapshot {
-    sigma_fp: u64,
-    seq: u64,
-    nulls: BTreeSet<Elem>,
-    base: Instance,
-    chased: Instance,
+pub(crate) struct Snapshot {
+    pub(crate) sigma_fp: u64,
+    pub(crate) seq: u64,
+    pub(crate) nulls: BTreeSet<Elem>,
+    pub(crate) base: Instance,
+    pub(crate) chased: Instance,
 }
 
-fn encode_snapshot(
+pub(crate) fn encode_snapshot(
     sigma_fp: u64,
     seq: u64,
     base: &Instance,
@@ -180,7 +213,10 @@ fn encode_snapshot(
     seal(KIND_SNAPSHOT, &w.into_payload())
 }
 
-fn decode_snapshot(payload: &[u8], schema: &Schema) -> Result<Snapshot, CheckpointError> {
+pub(crate) fn decode_snapshot(
+    payload: &[u8],
+    schema: &Schema,
+) -> Result<Snapshot, CheckpointError> {
     let mut r = CheckpointReader::new(payload);
     let sigma_fp = r.u64()?;
     let seq = r.u64()?;
@@ -204,11 +240,11 @@ fn decode_snapshot(payload: &[u8], schema: &Schema) -> Result<Snapshot, Checkpoi
 }
 
 /// The next knowledge-base state after a batch, before it is made durable.
-struct FoldedState {
-    base: Instance,
-    chased: Instance,
-    nulls: BTreeSet<Elem>,
-    rechased: bool,
+pub(crate) struct FoldedState {
+    pub(crate) base: Instance,
+    pub(crate) chased: Instance,
+    pub(crate) nulls: BTreeSet<Elem>,
+    pub(crate) rechased: bool,
 }
 
 /// Applies a batch to `(base, chased, nulls)` *logically*, without
@@ -221,7 +257,7 @@ struct FoldedState {
 /// deterministic, which is what lets recovery replay reproduce the
 /// uninterrupted state byte-for-byte.
 #[allow(clippy::too_many_arguments)] // internal helper threading the full store state
-fn fold_batch(
+pub(crate) fn fold_batch(
     base: &Instance,
     chased: &Instance,
     nulls: &BTreeSet<Elem>,
@@ -339,7 +375,17 @@ impl DurableKb {
         // generations are monotone and snapshots are self-validating.
         let mut generations = discover_generations(dir)?;
         generations.sort_unstable_by(|a, b| b.cmp(a));
-        let fresh = generations.is_empty();
+        // A directory is fresh only if it holds no snapshot, no WAL file,
+        // and no init marker. A WAL without any snapshot, or a marker with
+        // neither, means store files were deleted out from under us —
+        // re-initializing would silently drop acknowledged facts.
+        let fresh =
+            generations.is_empty() && !dir.join(MARKER_NAME).exists() && !has_wal_files(dir)?;
+        if generations.is_empty() && !fresh {
+            return Err(StoreError::Frame(CheckpointError::Malformed(
+                "store directory lost every snapshot (marker or WAL present)",
+            )));
+        }
         let mut chosen: Option<(u64, Snapshot)> = None;
         let mut last_error = CheckpointError::Truncated;
         for generation in generations {
@@ -430,11 +476,17 @@ impl DurableKb {
         }
         if fresh {
             // Initialize generation 0 durably before acknowledging
-            // anything: an empty WAL and the empty-chase snapshot.
+            // anything: an empty WAL, the empty-chase snapshot, and the
+            // init marker that makes later file loss detectable.
             let snap = encode_snapshot(sigma_fp, seq, &base, &chased, &nulls);
             write_atomic(dir, &snapshot_name(0), &snap, token)?;
+            write_atomic(dir, MARKER_NAME, b"tgdkit-store-v1\n", token)?;
             truncate_file(&wal_path, 0)?;
             valid_len = 0;
+        } else if !dir.join(MARKER_NAME).exists() {
+            // Pre-marker store layout: adopt the marker best-effort so the
+            // orphan-damage check covers this directory from now on.
+            let _ = write_atomic(dir, MARKER_NAME, b"tgdkit-store-v1\n", token);
         }
         let wal = SegmentWriter::open_append(&wal_path, valid_len)?;
 
@@ -478,7 +530,7 @@ impl DurableKb {
         token: &CancelToken,
     ) -> Result<ApplyReport, StoreError> {
         if self.wal.is_wedged() {
-            return Err(StoreError::Wedged);
+            self.unwedge(token)?;
         }
         let folded = fold_batch(
             &self.base,
@@ -528,6 +580,30 @@ impl DurableKb {
         retracts: &[Fact],
     ) -> Result<ApplyReport, StoreError> {
         self.apply_governed(inserts, retracts, &CancelToken::new())
+    }
+
+    /// Bounded reopen-and-recover for a wedged handle: the invariant that
+    /// memory always equals the acknowledged durable prefix means recovery
+    /// is truncating the torn tail and reopening the WAL in place — no
+    /// re-chase, no process restart. Retries `unwedge_retries` times with
+    /// jittered backoff for transient I/O; exhausting them reports
+    /// [`StoreError::Wedged`] (the pre-existing contract).
+    fn unwedge(&mut self, token: &CancelToken) -> Result<(), StoreError> {
+        let acked = self.wal.len();
+        let mut attempt = 0u32;
+        loop {
+            match self.wal.truncate_to(acked, token) {
+                Ok(()) => {
+                    self.stats.unwedge_recoveries += 1;
+                    return Ok(());
+                }
+                Err(_) if attempt < self.config.unwedge_retries => {
+                    attempt += 1;
+                    backoff_sleep(self.config.retry_backoff_ms, attempt, self.seq);
+                }
+                Err(_) => return Err(StoreError::Wedged),
+            }
+        }
     }
 
     /// Folds the WAL into a fresh snapshot generation: write
@@ -629,9 +705,22 @@ impl DurableKb {
     pub fn stats(&self) -> KbStats {
         self.stats
     }
+
+    /// Consumes the handle, releasing the recovered state for a caller
+    /// (the replicated store's failover path) that continues the timeline
+    /// under its own writers: `(generation, seq, base, chased, nulls)`.
+    pub(crate) fn into_state(self) -> (u64, u64, Instance, Instance, BTreeSet<Elem>) {
+        (
+            self.generation,
+            self.seq,
+            self.base,
+            self.chased,
+            self.nulls,
+        )
+    }
 }
 
-fn discover_generations(dir: &Path) -> Result<Vec<u64>, StoreError> {
+pub(crate) fn discover_generations(dir: &Path) -> Result<Vec<u64>, StoreError> {
     let mut generations = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| io_err("read-dir", dir, e))?;
     for entry in entries {
@@ -650,7 +739,21 @@ fn discover_generations(dir: &Path) -> Result<Vec<u64>, StoreError> {
     Ok(generations)
 }
 
-fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+/// `true` when the directory holds any `wal-*.tgkw` file.
+pub(crate) fn has_wal_files(dir: &Path) -> Result<bool, StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read-dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read-dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("wal-") && name.ends_with(".tgkw") {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+pub(crate) fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
     let file = std::fs::OpenOptions::new()
         .create(true)
         .write(true)
@@ -785,15 +888,60 @@ mod tests {
         assert!(matches!(err, StoreError::TornWrite { .. }));
         assert!(kb.is_wedged());
         assert_eq!(kb.chased(), &acked, "unacknowledged batch not committed");
-        assert!(matches!(
-            kb.apply(&[e_fact(&set, 2, 3)], &[]),
-            Err(StoreError::Wedged)
-        ));
         drop(kb);
         let (recovered, report) = DurableKb::open(&dir, &set, KbConfig::default()).unwrap();
         assert_eq!(report.truncated_frames, 1);
         assert_eq!(report.replayed_batches, 1);
         assert_eq!(recovered.chased(), &acked, "recovery = acknowledged prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wedged_handle_unwedges_on_next_apply() {
+        let dir = tmpdir("unwedge");
+        let set = test_set();
+        let config = KbConfig {
+            retry_backoff_ms: 0,
+            ..KbConfig::default()
+        };
+        let (mut kb, _) = DurableKb::open(&dir, &set, config).unwrap();
+        kb.apply(&[e_fact(&set, 0, 1)], &[]).unwrap();
+        let tearing = CancelToken::with_faults(FaultPlan::always(FaultSite::WalTornWrite));
+        kb.apply_governed(&[e_fact(&set, 1, 2)], &[], &tearing)
+            .unwrap_err();
+        assert!(kb.is_wedged());
+        // The next apply reopens-and-recovers in place: the torn tail is
+        // truncated, the handle un-wedges, and the batch goes through.
+        let report = kb.apply(&[e_fact(&set, 1, 2)], &[]).unwrap();
+        assert_eq!(report.seq, 1);
+        assert!(!kb.is_wedged());
+        assert_eq!(kb.stats().unwedge_recoveries, 1);
+        let e = set.schema().pred_id("E").unwrap();
+        assert!(kb.holds(e, &[Elem(0), Elem(2)]));
+        // Disk agrees: a reopen replays both acknowledged batches cleanly.
+        let (reopened, report) = DurableKb::open(&dir, &set, config).unwrap();
+        assert_eq!(report.truncated_frames, 0);
+        assert_eq!(report.replayed_batches, 2);
+        assert_eq!(reopened.chased(), kb.chased());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleting_every_snapshot_is_a_typed_error_not_a_reinit() {
+        let dir = tmpdir("orphan");
+        let set = test_set();
+        let (mut kb, _) = DurableKb::open(&dir, &set, KbConfig::default()).unwrap();
+        kb.apply(&[e_fact(&set, 0, 1)], &[]).unwrap();
+        drop(kb);
+        // Losing the whole generation (snapshot + WAL) must not silently
+        // re-initialize: the marker records that a store lived here.
+        std::fs::remove_file(dir.join(snapshot_name(0))).unwrap();
+        std::fs::remove_file(dir.join(wal_name(0))).unwrap();
+        let err = DurableKb::open(&dir, &set, KbConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Frame(CheckpointError::Malformed(_))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -37,12 +37,28 @@
 //! instances, identical verdicts). The I/O fault sites `WalTornWrite`,
 //! `SegmentCorrupt`, and `FsyncFail` inject exactly these failures under
 //! seeded schedules (see `tgdkit_chase::FaultSite`).
+//!
+//! ## Replication
+//!
+//! [`ReplicatedKb`] ([`repl`]) lifts the same layout to N byte-identical
+//! replica directories with quorum-acknowledged appends: a batch is
+//! acknowledged only once its sealed WAL frame is durable on at least
+//! `quorum` replicas, so losing any `quorum - 1` disks cannot lose an
+//! acknowledged fact. On open, the replica with the longest *verified*
+//! acknowledged prefix is elected and recovered through the ordinary
+//! [`DurableKb`] path; the rest are repaired to byte-identity. Below
+//! quorum the store degrades to read-only with typed
+//! [`StoreError::QuorumLost`] errors. The replica-scoped fault sites
+//! `ReplicaAppendFail`, `ReplicaLag`, and `ReplicaKill` drive the chaos
+//! and property tests.
 
 pub mod kb;
+pub mod repl;
 pub mod segment;
 pub mod wal;
 
 pub use kb::{DurableKb, KbConfig, KbStats, RecoveryReport};
+pub use repl::{ReplRecoveryReport, ReplStats, ReplicaHealth, ReplicatedKb, TenantKb};
 pub use segment::{
     scan_frames, FrameScan, SegmentWriter, StoreError, KIND_SNAPSHOT, KIND_WAL_BATCH,
 };

@@ -1,0 +1,1180 @@
+//! Quorum-acknowledged segment replication with verified failover.
+//!
+//! A [`ReplicatedKb`] keeps N byte-identical copies of a [`DurableKb`]
+//! directory layout under one root:
+//!
+//! ```text
+//! kb-root/
+//!   replica-00/   snapshot-NNNNNN.tgks · wal-NNNNNN.tgkw · store.tgkm
+//!   replica-01/   (same files, same bytes)
+//!   replica-02/   …
+//! ```
+//!
+//! The fold runs **once** in memory; the resulting WAL frame (the same
+//! sealed TGCK frame a [`DurableKb`] writes) fans out to every healthy
+//! replica with the fsync-before-acknowledge discipline of
+//! [`SegmentWriter::append_frame`]. The batch is acknowledged — committed
+//! to memory and reported to the caller — only once at least `quorum`
+//! replicas hold it durably. Because an acknowledged frame lives on ≥
+//! `quorum` disks, losing any `quorum - 1` replicas can never lose an
+//! acknowledged fact.
+//!
+//! ## Health, retry, repair
+//!
+//! Each replica is `Healthy` (holds exactly the acknowledged timeline and
+//! takes appends), `Lagging` (missed at least one frame — it must NOT take
+//! further appends, or recovery would truncate at the sequence gap), or
+//! `Wedged` (its handle died: torn write that retries could not clear, an
+//! injected [`FaultSite::ReplicaKill`], or [`ReplicatedKb::kill_replica`]).
+//! Transient append faults (injected [`FaultSite::ReplicaAppendFail`],
+//! fsync failures, torn writes, real I/O errors) are retried a bounded
+//! number of times with deterministically jittered backoff before the
+//! replica is demoted. Demoted replicas are healed by catch-up repair —
+//! re-shipping the current generation's files byte-for-byte from a healthy
+//! peer — piggybacked on subsequent applies with exponential skip-backoff,
+//! or on demand via [`ReplicatedKb::repair`].
+//!
+//! ## Quorum loss and failover
+//!
+//! When fewer than `quorum` replicas can take a write, the store degrades
+//! to read-only: applies fail with the typed
+//! [`StoreError::QuorumLost`] (never a panic, never a silent drop) while
+//! reads keep serving the in-memory closure. If a batch reaches some
+//! replicas but not `quorum`, the successful replicas are rolled back
+//! (WAL truncated to the pre-append length) so that no replica ever holds
+//! a frame the caller was told failed — recovery can then never resurrect
+//! an unacknowledged batch.
+//!
+//! On open, each replica directory is probed for its *verified
+//! acknowledged prefix* (newest verifying snapshot + the WAL prefix that
+//! checksums and sequence-chains); the replica with the longest prefix is
+//! elected, recovered through the ordinary [`DurableKb`] recovery path
+//! (re-chasing exactly as a single store would), and every other replica
+//! is repaired to byte-identity with it. Electing any replica other than
+//! `replica-00` counts as a failover in [`ReplStats`].
+
+use crate::kb::{
+    decode_snapshot, discover_generations, encode_snapshot, fold_batch, has_wal_files,
+    snapshot_name, truncate_file, wal_name, ApplyReport, DurableKb, KbConfig, RecoveryReport,
+    MARKER_NAME,
+};
+use crate::segment::{
+    backoff_sleep, io_err, scan_frames, write_atomic, SegmentWriter, StoreError, KIND_SNAPSHOT,
+    KIND_WAL_BATCH,
+};
+use crate::wal::WalBatch;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use tgdkit_chase::checkpoint::{tgds_fingerprint, CheckpointError};
+use tgdkit_chase::{CancelToken, FaultSite};
+use tgdkit_instance::{Elem, Fact, Instance};
+use tgdkit_logic::{PredId, Schema, Tgd, TgdSet};
+
+/// Applies a killed replica sits out before opportunistic catch-up repair
+/// may re-admit it (an explicit [`ReplicatedKb::repair`] ignores this).
+pub const KILL_REPAIR_SKIP: u64 = 2;
+
+/// One replica's availability state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Holds exactly the acknowledged timeline; takes appends.
+    Healthy,
+    /// Missed at least one acknowledged frame (or a failed compaction /
+    /// rollback); excluded from appends until catch-up repair re-ships the
+    /// current generation.
+    Lagging,
+    /// The replica's handle is gone (killed, or a torn write that bounded
+    /// retries could not clear); excluded from appends until repair.
+    Wedged,
+}
+
+/// Cumulative counters for one [`ReplicatedKb`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Batches acknowledged at quorum.
+    pub acks: u64,
+    /// Acknowledged batches that reached quorum but not every replica —
+    /// the write "waited" only for the quorum and left stragglers to
+    /// catch-up repair.
+    pub quorum_waits: u64,
+    /// Per-replica append retries taken for transient faults.
+    pub retries: u64,
+    /// Replicas repaired back to byte-identity (catch-up or failover).
+    pub repairs: u64,
+    /// Opens that elected a replica other than `replica-00`.
+    pub failovers: u64,
+    /// Applies refused with [`StoreError::QuorumLost`].
+    pub quorum_losses: u64,
+    /// Current bytes of acknowledged WAL the non-healthy replicas are
+    /// missing (drops to 0 as repairs land).
+    pub lag_bytes: u64,
+}
+
+/// What [`ReplicatedKb::open`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplRecoveryReport {
+    /// Index of the replica with the longest verified acknowledged
+    /// prefix, whose timeline the store continues.
+    pub elected: usize,
+    /// `true` when the elected replica was not `replica-00`.
+    pub failover: bool,
+    /// Replicas repaired to byte-identity with the elected one.
+    pub repaired: usize,
+    /// The elected replica's recovery report.
+    pub report: RecoveryReport,
+}
+
+#[derive(Debug)]
+struct Replica {
+    dir: PathBuf,
+    health: ReplicaHealth,
+    /// Open WAL writer; `None` while not `Healthy`.
+    wal: Option<SegmentWriter>,
+    /// Acknowledged WAL bytes this replica is missing.
+    lag_bytes: u64,
+    /// Consecutive failed repair attempts (drives the skip backoff).
+    repair_attempts: u32,
+    /// Applies to skip before the next opportunistic repair attempt.
+    repair_skip: u64,
+}
+
+/// What a replica directory held when probed, without chasing anything.
+enum Probe {
+    /// No store files at all: safe to initialize.
+    Fresh,
+    /// Store files exist but nothing verifies (or the files were deleted
+    /// out from under a marker): a candidate for repair, never for
+    /// election or silent re-initialization.
+    Damaged,
+    /// The newest verifying snapshot plus its sequence-chained WAL prefix.
+    /// Equal `(generation, seq)` implies byte-identical verified prefixes,
+    /// because WAL frames are a deterministic encoding of the batch
+    /// sequence.
+    Verified { generation: u64, seq: u64 },
+}
+
+/// A knowledge base whose acknowledged timeline survives the loss of any
+/// `quorum - 1` of its N replica directories. See the module docs.
+#[derive(Debug)]
+pub struct ReplicatedKb {
+    root: PathBuf,
+    schema: Schema,
+    tgds: Vec<Tgd>,
+    sigma_fp: u64,
+    config: KbConfig,
+    quorum: usize,
+    generation: u64,
+    seq: u64,
+    base: Instance,
+    chased: Instance,
+    nulls: BTreeSet<Elem>,
+    replicas: Vec<Replica>,
+    stats: ReplStats,
+}
+
+impl ReplicatedKb {
+    /// Opens (or initializes) the replicated store under `root`. See
+    /// [`ReplicatedKb::open_governed`].
+    pub fn open(
+        root: &Path,
+        set: &TgdSet,
+        config: KbConfig,
+    ) -> Result<(Self, ReplRecoveryReport), StoreError> {
+        Self::open_governed(root, set, config, &CancelToken::new())
+    }
+
+    /// Opens the replicated store: probe every replica's verified
+    /// acknowledged prefix, elect the longest (ties to the lowest index),
+    /// recover it through the [`DurableKb`] recovery path — re-chase and
+    /// all — and repair every other replica to byte-identity with it.
+    ///
+    /// A root where some replica holds damaged store files but none
+    /// verifies is an error, not a re-initialization; a root with no
+    /// store files anywhere initializes generation 0 on every replica.
+    pub fn open_governed(
+        root: &Path,
+        set: &TgdSet,
+        config: KbConfig,
+        token: &CancelToken,
+    ) -> Result<(Self, ReplRecoveryReport), StoreError> {
+        let n = config.replicas.max(1);
+        let quorum = config.quorum.clamp(1, n);
+        std::fs::create_dir_all(root).map_err(|e| io_err("create-dir", root, e))?;
+        let schema = set.schema().clone();
+        let sigma_fp = tgds_fingerprint(set.tgds());
+        let dirs: Vec<PathBuf> = (0..n)
+            .map(|i| root.join(format!("replica-{i:02}")))
+            .collect();
+
+        let mut probes = Vec::with_capacity(n);
+        for dir in &dirs {
+            probes.push(probe_dir(dir, &schema, sigma_fp, token)?);
+        }
+        let elected = probes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Probe::Verified { seq, .. } => Some((i, *seq)),
+                _ => None,
+            })
+            .max_by(|(ia, sa), (ib, sb)| sa.cmp(sb).then(ib.cmp(ia)))
+            .map(|(i, _)| i);
+        let elected = match elected {
+            Some(i) => i,
+            None if probes.iter().all(|p| matches!(p, Probe::Fresh)) => 0,
+            None => {
+                return Err(StoreError::Frame(CheckpointError::Malformed(
+                    "no replica holds a verifying store (files damaged or deleted)",
+                )))
+            }
+        };
+
+        // Recover the elected replica exactly as a single store would:
+        // newest verifying snapshot, sequence-chained WAL replay with the
+        // re-chase discipline of the fold, damage truncated in place.
+        let (kb, report) = DurableKb::open_governed(&dirs[elected], set, config, token)?;
+        let wal_len = kb.wal_bytes();
+        let (generation, seq, base, chased, nulls) = kb.into_state();
+
+        let mut stats = ReplStats::default();
+        let failover = elected != 0;
+        if failover {
+            stats.failovers += 1;
+        }
+
+        // Bring every other replica to byte-identity with the elected one.
+        let tgds = set.tgds().to_vec();
+        let mut replicas = Vec::with_capacity(n);
+        let mut repaired = 0usize;
+        for (i, dir) in dirs.iter().enumerate() {
+            let identical = i == elected
+                || matches!(
+                    probes[i],
+                    Probe::Verified { generation: g, seq: s, .. }
+                        if g == generation && s == seq
+                );
+            let readied = if identical {
+                // Same verified prefix: drop any torn tail / stale files
+                // in place instead of copying what is already there.
+                trim_to_generation(dir, generation, wal_len, token)
+            } else {
+                copy_store_files(&dirs[elected], dir, generation, wal_len, token).map(|()| {
+                    // Seeding a brand-new store's empty replicas is not a
+                    // repair; re-shipping to a replica that fell behind is.
+                    if !report.fresh {
+                        repaired += 1;
+                        stats.repairs += 1;
+                    }
+                })
+            };
+            let wal_path = dir.join(wal_name(generation));
+            let replica =
+                match readied.and_then(|()| SegmentWriter::open_append(&wal_path, wal_len)) {
+                    Ok(wal) => Replica {
+                        dir: dir.clone(),
+                        health: ReplicaHealth::Healthy,
+                        wal: Some(wal),
+                        lag_bytes: 0,
+                        repair_attempts: 0,
+                        repair_skip: 0,
+                    },
+                    // A replica that cannot be readied does not block the
+                    // open (quorum may still hold); it stays lagging until a
+                    // later repair succeeds.
+                    Err(_) => Replica {
+                        dir: dir.clone(),
+                        health: ReplicaHealth::Lagging,
+                        wal: None,
+                        lag_bytes: wal_len,
+                        repair_attempts: 1,
+                        repair_skip: 1,
+                    },
+                };
+            replicas.push(replica);
+        }
+
+        let repl = ReplicatedKb {
+            root: root.to_path_buf(),
+            schema,
+            tgds,
+            sigma_fp,
+            config,
+            quorum,
+            generation,
+            seq,
+            base,
+            chased,
+            nulls,
+            replicas,
+            stats,
+        };
+        let repl_report = ReplRecoveryReport {
+            elected,
+            failover,
+            repaired,
+            report,
+        };
+        Ok((repl, repl_report))
+    }
+
+    /// Applies one batch at quorum: fold once in memory, fan the sealed
+    /// WAL frame to every healthy replica (bounded jittered retries for
+    /// transient faults), and acknowledge — commit to memory — only once
+    /// `quorum` replicas hold the frame durably. Short of quorum, every
+    /// replica that did take the frame is rolled back and the typed
+    /// [`StoreError::QuorumLost`] is returned; reads keep working.
+    pub fn apply_governed(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+        token: &CancelToken,
+    ) -> Result<ApplyReport, StoreError> {
+        // Piggybacked catch-up: lagging/wedged replicas get a repair
+        // attempt (under skip backoff) before the quorum check, so a
+        // degraded store heals itself back over quorum when the disks do.
+        self.opportunistic_repair(token);
+        let healthy = self.healthy_count();
+        if healthy < self.quorum {
+            self.stats.quorum_losses += 1;
+            return Err(StoreError::QuorumLost {
+                healthy,
+                quorum: self.quorum,
+            });
+        }
+        let folded = fold_batch(
+            &self.base,
+            &self.chased,
+            &self.nulls,
+            inserts,
+            retracts,
+            &self.tgds,
+            &self.config,
+            token,
+        )?;
+        let frame = WalBatch {
+            seq: self.seq,
+            inserts: inserts.to_vec(),
+            retracts: retracts.to_vec(),
+        }
+        .encode();
+
+        let mut appended: Vec<(usize, u64)> = Vec::with_capacity(self.replicas.len());
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].health != ReplicaHealth::Healthy {
+                self.replicas[i].lag_bytes += frame.len() as u64;
+                continue;
+            }
+            let pre_len = self.replicas[i].wal.as_ref().map_or(0, SegmentWriter::len);
+            if self.append_to_replica(i, &frame, token) {
+                appended.push((i, pre_len));
+            }
+        }
+
+        if appended.len() < self.quorum {
+            // Quorum failed: the batch is NOT acknowledged, so the
+            // replicas that did write it must forget it — otherwise a
+            // failover could serve a fact the client was told was lost.
+            for &(i, pre_len) in &appended {
+                let rolled_back = match self.replicas[i].wal.as_mut() {
+                    Some(wal) => wal.truncate_to(pre_len, token).is_ok(),
+                    None => false,
+                };
+                if !rolled_back {
+                    self.replicas[i].health = ReplicaHealth::Wedged;
+                    self.replicas[i].wal = None;
+                    self.replicas[i].lag_bytes += frame.len() as u64;
+                }
+            }
+            self.stats.quorum_losses += 1;
+            return Err(StoreError::QuorumLost {
+                healthy: appended.len(),
+                quorum: self.quorum,
+            });
+        }
+
+        // Acknowledged: commit memory in the same step.
+        self.base = folded.base;
+        self.chased = folded.chased;
+        self.nulls = folded.nulls;
+        self.seq += 1;
+        self.stats.acks += 1;
+        if appended.len() < self.replicas.len() {
+            self.stats.quorum_waits += 1;
+        }
+        let wal_bytes = self
+            .replicas
+            .iter()
+            .find(|r| r.health == ReplicaHealth::Healthy)
+            .and_then(|r| r.wal.as_ref())
+            .map_or(0, SegmentWriter::len);
+        let mut compacted = false;
+        if wal_bytes >= self.config.compact_wal_bytes {
+            compacted = self.compact_governed(token).is_ok();
+        }
+        Ok(ApplyReport {
+            seq: self.seq - 1,
+            rechased: folded.rechased,
+            compacted,
+            fact_count: self.chased.fact_count(),
+        })
+    }
+
+    /// [`ReplicatedKb::apply_governed`] with a fresh token.
+    pub fn apply(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+    ) -> Result<ApplyReport, StoreError> {
+        self.apply_governed(inserts, retracts, &CancelToken::new())
+    }
+
+    /// Appends `frame` to replica `i` with bounded, jittered retries for
+    /// transient faults. On failure the replica is demoted (`Lagging` for
+    /// a missed frame, `Wedged` for a dead handle) and its lag accounted.
+    fn append_to_replica(&mut self, i: usize, frame: &[u8], token: &CancelToken) -> bool {
+        // An injected kill takes the whole replica down mid-append — the
+        // SIGKILL analogue. Not retryable; repair must re-admit it, and
+        // not before the kill's skip backoff elapses (a killed node is
+        // not back on the next write).
+        if token.fault(FaultSite::ReplicaKill) {
+            self.replicas[i].health = ReplicaHealth::Wedged;
+            self.replicas[i].wal = None;
+            self.replicas[i].lag_bytes += frame.len() as u64;
+            self.replicas[i].repair_skip = self.replicas[i].repair_skip.max(KILL_REPAIR_SKIP);
+            return false;
+        }
+        // An injected lag silently misses the frame (slow disk, congested
+        // peer): no error surfaces, the replica just falls behind.
+        if token.fault(FaultSite::ReplicaLag) {
+            self.replicas[i].health = ReplicaHealth::Lagging;
+            self.replicas[i].lag_bytes += frame.len() as u64;
+            return false;
+        }
+        let pre_len = self.replicas[i].wal.as_ref().map_or(0, SegmentWriter::len);
+        let mut attempt = 0u32;
+        loop {
+            let result = if token.fault(FaultSite::ReplicaAppendFail) {
+                Err(StoreError::Io {
+                    op: "replica-append",
+                    path: self.replicas[i].dir.display().to_string(),
+                    kind: std::io::ErrorKind::Interrupted,
+                })
+            } else {
+                match self.replicas[i].wal.as_mut() {
+                    Some(wal) => wal.append_frame(frame, token).map(|_| ()),
+                    None => Err(StoreError::Wedged),
+                }
+            };
+            match result {
+                Ok(()) => return true,
+                Err(e) if attempt < self.config.replica_retries => {
+                    // A torn write leaves garbage on this replica's disk;
+                    // truncating it back to the acknowledged prefix makes
+                    // the fault retryable like any other.
+                    if matches!(e, StoreError::TornWrite { .. }) {
+                        if let Some(wal) = self.replicas[i].wal.as_mut() {
+                            if wal.truncate_to(pre_len, token).is_err() {
+                                self.replicas[i].health = ReplicaHealth::Wedged;
+                                self.replicas[i].wal = None;
+                                self.replicas[i].lag_bytes += frame.len() as u64;
+                                return false;
+                            }
+                        }
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    backoff_sleep(
+                        self.config.retry_backoff_ms,
+                        attempt,
+                        self.seq ^ ((i as u64) << 48),
+                    );
+                }
+                Err(e) => {
+                    let wedged = matches!(e, StoreError::Wedged | StoreError::TornWrite { .. });
+                    self.replicas[i].health = if wedged {
+                        ReplicaHealth::Wedged
+                    } else {
+                        ReplicaHealth::Lagging
+                    };
+                    if wedged {
+                        self.replicas[i].wal = None;
+                    }
+                    self.replicas[i].lag_bytes += frame.len() as u64;
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Catch-up repair under exponential skip backoff, run at the top of
+    /// every apply: each non-healthy replica is re-shipped the current
+    /// generation's files from a healthy peer (or reseeded from memory at
+    /// a fresh generation when no healthy peer remains).
+    fn opportunistic_repair(&mut self, token: &CancelToken) {
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].health == ReplicaHealth::Healthy {
+                continue;
+            }
+            if self.replicas[i].repair_skip > 0 {
+                self.replicas[i].repair_skip -= 1;
+                continue;
+            }
+            if self.repair_replica(i, token).is_err() {
+                let attempts = self.replicas[i].repair_attempts.saturating_add(1);
+                self.replicas[i].repair_attempts = attempts;
+                self.replicas[i].repair_skip = 1u64 << attempts.min(10);
+            }
+        }
+    }
+
+    /// Repairs every non-healthy replica now (no skip backoff), returning
+    /// how many came back. The operational "re-admit the node" hook — the
+    /// chaos harness calls this after resurrecting a killed replica.
+    pub fn repair_governed(&mut self, token: &CancelToken) -> usize {
+        let mut recovered = 0;
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].health == ReplicaHealth::Healthy {
+                continue;
+            }
+            if self.repair_replica(i, token).is_ok() {
+                recovered += 1;
+            }
+        }
+        recovered
+    }
+
+    /// [`ReplicatedKb::repair_governed`] with a fresh token.
+    pub fn repair(&mut self) -> usize {
+        self.repair_governed(&CancelToken::new())
+    }
+
+    /// Re-ships the current generation to replica `i` byte-for-byte from
+    /// the first healthy peer; with no healthy peer left, reseeds the
+    /// replica from the in-memory state at a fresh generation (memory is
+    /// authoritative: it equals the last quorum-acknowledged state).
+    fn repair_replica(&mut self, i: usize, token: &CancelToken) -> Result<(), StoreError> {
+        let source = self
+            .replicas
+            .iter()
+            .position(|r| r.health == ReplicaHealth::Healthy);
+        let (generation, wal_len) = match source {
+            Some(j) => {
+                let src_dir = self.replicas[j].dir.clone();
+                let wal_len = self.replicas[j].wal.as_ref().map_or(0, SegmentWriter::len);
+                let dst_dir = self.replicas[i].dir.clone();
+                copy_store_files(&src_dir, &dst_dir, self.generation, wal_len, token)?;
+                (self.generation, wal_len)
+            }
+            None => {
+                let next = self.generation + 1;
+                let snap = encode_snapshot(
+                    self.sigma_fp,
+                    self.seq,
+                    &self.base,
+                    &self.chased,
+                    &self.nulls,
+                );
+                let dst_dir = self.replicas[i].dir.clone();
+                std::fs::create_dir_all(&dst_dir).map_err(|e| io_err("create-dir", &dst_dir, e))?;
+                write_atomic(&dst_dir, &snapshot_name(next), &snap, token)?;
+                write_atomic(&dst_dir, MARKER_NAME, b"tgdkit-store-v1\n", token)?;
+                truncate_file(&dst_dir.join(wal_name(next)), 0)?;
+                remove_stale_files(&dst_dir, next)?;
+                self.generation = next;
+                (next, 0)
+            }
+        };
+        let wal_path = self.replicas[i].dir.join(wal_name(generation));
+        let wal = SegmentWriter::open_append(&wal_path, wal_len)?;
+        let r = &mut self.replicas[i];
+        r.wal = Some(wal);
+        r.health = ReplicaHealth::Healthy;
+        r.lag_bytes = 0;
+        r.repair_attempts = 0;
+        r.repair_skip = 0;
+        self.stats.repairs += 1;
+        Ok(())
+    }
+
+    /// Folds the WAL into a fresh snapshot generation on every healthy
+    /// replica. A replica whose compaction fails is demoted to `Lagging`
+    /// (its previous generation is still a complete acknowledged state);
+    /// the generation advances as long as at least one replica compacted.
+    pub fn compact_governed(&mut self, token: &CancelToken) -> Result<(), StoreError> {
+        let next = self.generation + 1;
+        let snap = encode_snapshot(
+            self.sigma_fp,
+            self.seq,
+            &self.base,
+            &self.chased,
+            &self.nulls,
+        );
+        let mut successes = 0usize;
+        let mut first_err = None;
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].health != ReplicaHealth::Healthy {
+                continue;
+            }
+            let dir = self.replicas[i].dir.clone();
+            let result = write_atomic(&dir, &snapshot_name(next), &snap, token)
+                .and_then(|()| truncate_file(&dir.join(wal_name(next)), 0))
+                .and_then(|()| SegmentWriter::open_append(&dir.join(wal_name(next)), 0));
+            match result {
+                Ok(wal) => {
+                    self.replicas[i].wal = Some(wal);
+                    let _ = std::fs::remove_file(dir.join(snapshot_name(self.generation)));
+                    let _ = std::fs::remove_file(dir.join(wal_name(self.generation)));
+                    successes += 1;
+                }
+                Err(e) => {
+                    self.replicas[i].health = ReplicaHealth::Lagging;
+                    self.replicas[i].wal = None;
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if successes == 0 {
+            return Err(first_err.unwrap_or(StoreError::QuorumLost {
+                healthy: 0,
+                quorum: self.quorum,
+            }));
+        }
+        self.generation = next;
+        Ok(())
+    }
+
+    /// Marks replica `i` dead (handle dropped, health `Wedged`) — the
+    /// in-process stand-in for SIGKILLing a replica node. Acknowledged
+    /// data is untouched on its disk. The replica stays out for at least
+    /// [`KILL_REPAIR_SKIP`] applies (opportunistic repair honors the skip
+    /// backoff — a killed node is not back on the next write);
+    /// [`ReplicatedKb::repair`] re-admits it immediately.
+    pub fn kill_replica(&mut self, i: usize) {
+        if let Some(r) = self.replicas.get_mut(i) {
+            r.health = ReplicaHealth::Wedged;
+            r.wal = None;
+            r.repair_skip = r.repair_skip.max(KILL_REPAIR_SKIP);
+        }
+    }
+
+    /// Re-fsyncs every healthy replica's WAL.
+    pub fn flush_governed(&mut self, token: &CancelToken) -> Result<(), StoreError> {
+        for r in &mut self.replicas {
+            if let Some(wal) = r.wal.as_mut() {
+                wal.sync(token)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ReplicatedKb::flush_governed`] with a fresh token.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.flush_governed(&CancelToken::new())
+    }
+
+    /// Replicas currently healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.health == ReplicaHealth::Healthy)
+            .count()
+    }
+
+    /// `true` when the store is below its write quorum (applies fail
+    /// with [`StoreError::QuorumLost`]; reads still work).
+    pub fn read_only(&self) -> bool {
+        self.healthy_count() < self.quorum
+    }
+
+    /// Health of replica `i`.
+    pub fn replica_health(&self, i: usize) -> Option<ReplicaHealth> {
+        self.replicas.get(i).map(|r| r.health)
+    }
+
+    /// The replica directories, in index order.
+    pub fn replica_dirs(&self) -> Vec<PathBuf> {
+        self.replicas.iter().map(|r| r.dir.clone()).collect()
+    }
+
+    /// The root directory holding the replica directories.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured write quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Counters for this handle; `lag_bytes` is the live backlog.
+    pub fn stats(&self) -> ReplStats {
+        ReplStats {
+            lag_bytes: self.replicas.iter().map(|r| r.lag_bytes).sum(),
+            ..self.stats
+        }
+    }
+
+    /// Fingerprint of the tgd set the store is bound to.
+    pub fn sigma_fingerprint(&self) -> u64 {
+        self.sigma_fp
+    }
+
+    /// The chased fixpoint (base ∪ everything derivable from it).
+    pub fn chased(&self) -> &Instance {
+        &self.chased
+    }
+
+    /// The base instance (acknowledged inserts minus retracts).
+    pub fn base(&self) -> &Instance {
+        &self.base
+    }
+
+    /// Labeled nulls of the chased fixpoint.
+    pub fn nulls(&self) -> &BTreeSet<Elem> {
+        &self.nulls
+    }
+
+    /// `true` iff the exact tuple is in the chased fixpoint.
+    pub fn holds(&self, pred: PredId, args: &[Elem]) -> bool {
+        self.chased.contains_fact(pred, args)
+    }
+
+    /// The schema the store is bound to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Batches acknowledged over the store's lifetime.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Bytes acknowledged in a healthy replica's WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.replicas
+            .iter()
+            .find(|r| r.health == ReplicaHealth::Healthy)
+            .and_then(|r| r.wal.as_ref())
+            .map_or(0, SegmentWriter::len)
+    }
+}
+
+/// Probes a replica directory for its verified acknowledged prefix
+/// without folding or chasing anything: newest verifying snapshot, then
+/// the WAL prefix whose frames checksum and sequence-chain.
+fn probe_dir(
+    dir: &Path,
+    schema: &Schema,
+    sigma_fp: u64,
+    token: &CancelToken,
+) -> Result<Probe, StoreError> {
+    if !dir.is_dir() {
+        return Ok(Probe::Fresh);
+    }
+    let mut generations = discover_generations(dir)?;
+    generations.sort_unstable_by(|a, b| b.cmp(a));
+    if generations.is_empty() {
+        let orphaned = dir.join(MARKER_NAME).exists() || has_wal_files(dir)?;
+        return Ok(if orphaned {
+            Probe::Damaged
+        } else {
+            Probe::Fresh
+        });
+    }
+    for generation in generations {
+        let path = dir.join(snapshot_name(generation));
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => continue,
+        };
+        let scan = scan_frames(&bytes, KIND_SNAPSHOT, token);
+        let snap = match (scan.frames.as_slice(), scan.damage) {
+            ([(_, payload)], None) => match decode_snapshot(payload, schema) {
+                Ok(snap) => snap,
+                Err(_) => continue,
+            },
+            _ => continue,
+        };
+        if snap.sigma_fp != sigma_fp {
+            return Err(StoreError::ContextMismatch("tgd set"));
+        }
+        let wal_path = dir.join(wal_name(generation));
+        let wal_bytes = match std::fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read", &wal_path, e)),
+        };
+        let wscan = scan_frames(&wal_bytes, KIND_WAL_BATCH, token);
+        let mut seq = snap.seq;
+        for (_, payload) in wscan.frames {
+            match WalBatch::decode_payload(payload, schema) {
+                Ok(batch) if batch.seq == seq => seq += 1,
+                _ => break,
+            }
+        }
+        return Ok(Probe::Verified { generation, seq });
+    }
+    Ok(Probe::Damaged)
+}
+
+/// Copies generation `generation` (snapshot, marker, and the first
+/// `wal_len` WAL bytes) from `src` to `dst` atomically, then removes
+/// every other file in `dst` so the directories are byte-identical.
+fn copy_store_files(
+    src: &Path,
+    dst: &Path,
+    generation: u64,
+    wal_len: u64,
+    token: &CancelToken,
+) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dst).map_err(|e| io_err("create-dir", dst, e))?;
+    let snap_path = src.join(snapshot_name(generation));
+    let snap = std::fs::read(&snap_path).map_err(|e| io_err("read", &snap_path, e))?;
+    write_atomic(dst, &snapshot_name(generation), &snap, token)?;
+    write_atomic(dst, MARKER_NAME, b"tgdkit-store-v1\n", token)?;
+    let wal_path = src.join(wal_name(generation));
+    let wal = match std::fs::read(&wal_path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("read", &wal_path, e)),
+    };
+    let take = (wal_len as usize).min(wal.len());
+    write_atomic(dst, &wal_name(generation), &wal[..take], token)?;
+    remove_stale_files(dst, generation)
+}
+
+/// Trims a replica directory that already holds the right verified prefix:
+/// truncate its WAL at `wal_len` (dropping any torn tail) and remove
+/// every file that is not the current generation's pair or the marker.
+fn trim_to_generation(
+    dir: &Path,
+    generation: u64,
+    wal_len: u64,
+    token: &CancelToken,
+) -> Result<(), StoreError> {
+    truncate_file(&dir.join(wal_name(generation)), wal_len)?;
+    if !dir.join(MARKER_NAME).exists() {
+        write_atomic(dir, MARKER_NAME, b"tgdkit-store-v1\n", token)?;
+    }
+    remove_stale_files(dir, generation)
+}
+
+/// Removes every file in `dir` except the kept generation's snapshot/WAL
+/// pair and the marker (stale generations, temp files, forged frames).
+fn remove_stale_files(dir: &Path, keep: u64) -> Result<(), StoreError> {
+    let keep_snap = snapshot_name(keep);
+    let keep_wal = wal_name(keep);
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read-dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read-dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == keep_snap || name == keep_wal || name == MARKER_NAME {
+            continue;
+        }
+        let path = entry.path();
+        std::fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+    }
+    Ok(())
+}
+
+/// A tenant's knowledge base behind one dispatch point: the flat
+/// single-directory [`DurableKb`] when `replicas <= 1` (the pre-existing
+/// layout, untouched), or a [`ReplicatedKb`] root when the server is run
+/// with `--replicas N` for N ≥ 2.
+#[derive(Debug)]
+pub enum TenantKb {
+    /// One directory, one timeline (no replication).
+    Single(DurableKb),
+    /// N replica directories under the tenant root, quorum-acknowledged.
+    Replicated(ReplicatedKb),
+}
+
+impl TenantKb {
+    /// Opens the right store shape for `config.replicas`.
+    pub fn open(
+        dir: &Path,
+        set: &TgdSet,
+        config: KbConfig,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        if config.replicas > 1 {
+            let (kb, report) = ReplicatedKb::open(dir, set, config)?;
+            Ok((TenantKb::Replicated(kb), report.report))
+        } else {
+            let (kb, report) = DurableKb::open(dir, set, config)?;
+            Ok((TenantKb::Single(kb), report))
+        }
+    }
+
+    /// Applies one batch (see [`DurableKb::apply`] /
+    /// [`ReplicatedKb::apply`]).
+    pub fn apply(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+    ) -> Result<ApplyReport, StoreError> {
+        match self {
+            TenantKb::Single(kb) => kb.apply(inserts, retracts),
+            TenantKb::Replicated(kb) => kb.apply(inserts, retracts),
+        }
+    }
+
+    /// Re-fsyncs the WAL(s).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        match self {
+            TenantKb::Single(kb) => kb.flush(),
+            TenantKb::Replicated(kb) => kb.flush(),
+        }
+    }
+
+    /// Fingerprint of the tgd set the store is bound to.
+    pub fn sigma_fingerprint(&self) -> u64 {
+        match self {
+            TenantKb::Single(kb) => kb.sigma_fingerprint(),
+            TenantKb::Replicated(kb) => kb.sigma_fingerprint(),
+        }
+    }
+
+    /// The schema the store is bound to.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            TenantKb::Single(kb) => kb.schema(),
+            TenantKb::Replicated(kb) => kb.schema(),
+        }
+    }
+
+    /// The chased fixpoint.
+    pub fn chased(&self) -> &Instance {
+        match self {
+            TenantKb::Single(kb) => kb.chased(),
+            TenantKb::Replicated(kb) => kb.chased(),
+        }
+    }
+
+    /// `true` iff the exact tuple is in the chased fixpoint.
+    pub fn holds(&self, pred: PredId, args: &[Elem]) -> bool {
+        match self {
+            TenantKb::Single(kb) => kb.holds(pred, args),
+            TenantKb::Replicated(kb) => kb.holds(pred, args),
+        }
+    }
+
+    /// Batches acknowledged over the store's lifetime.
+    pub fn seq(&self) -> u64 {
+        match self {
+            TenantKb::Single(kb) => kb.seq(),
+            TenantKb::Replicated(kb) => kb.seq(),
+        }
+    }
+
+    /// Current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        match self {
+            TenantKb::Single(kb) => kb.generation(),
+            TenantKb::Replicated(kb) => kb.generation(),
+        }
+    }
+
+    /// Replication counters, when this tenant's store is replicated.
+    pub fn repl_stats(&self) -> Option<ReplStats> {
+        match self {
+            TenantKb::Single(_) => None,
+            TenantKb::Replicated(kb) => Some(kb.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgdkit_chase::FaultPlan;
+    use tgdkit_logic::parse_tgds;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tgdkit-store-repl-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_set() -> TgdSet {
+        let mut schema = Schema::default();
+        let tgds = parse_tgds(
+            &mut schema,
+            "E(x,y), E(y,z) -> E(x,z). P(x) -> exists w : E(x,w).",
+        )
+        .unwrap();
+        TgdSet::new(schema, tgds).unwrap()
+    }
+
+    fn e_fact(set: &TgdSet, x: u32, y: u32) -> Fact {
+        Fact::new(set.schema().pred_id("E").unwrap(), vec![Elem(x), Elem(y)])
+    }
+
+    fn repl_config(replicas: usize, quorum: usize) -> KbConfig {
+        KbConfig {
+            replicas,
+            quorum,
+            retry_backoff_ms: 0,
+            compact_wal_bytes: u64::MAX,
+            ..KbConfig::default()
+        }
+    }
+
+    fn dir_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn replicas_are_byte_identical_after_applies() {
+        let root = tmpdir("identical");
+        let set = test_set();
+        let (mut kb, report) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        assert_eq!(report.elected, 0);
+        assert!(!report.failover);
+        kb.apply(&[e_fact(&set, 0, 1), e_fact(&set, 1, 2)], &[])
+            .unwrap();
+        kb.apply(&[e_fact(&set, 2, 3)], &[]).unwrap();
+        assert_eq!(kb.stats().acks, 2);
+        assert_eq!(kb.healthy_count(), 3);
+        let dirs = kb.replica_dirs();
+        let first = dir_files(&dirs[0]);
+        for dir in &dirs[1..] {
+            assert_eq!(dir_files(dir), first, "replicas diverged");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn killing_below_quorum_keeps_writes_flowing() {
+        let root = tmpdir("kill-one");
+        let set = test_set();
+        let (mut kb, _) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        kb.apply(&[e_fact(&set, 0, 1)], &[]).unwrap();
+        kb.kill_replica(2);
+        assert_eq!(kb.replica_health(2), Some(ReplicaHealth::Wedged));
+        // Quorum (2 of 3) still holds: the next applies are acknowledged.
+        kb.apply(&[e_fact(&set, 1, 2)], &[]).unwrap();
+        assert!(kb.stats().quorum_waits >= 1);
+        assert!(kb.stats().lag_bytes > 0);
+        // Repair re-admits the replica to byte-identity.
+        assert!(kb.repair() >= 1);
+        assert_eq!(kb.replica_health(2), Some(ReplicaHealth::Healthy));
+        assert_eq!(kb.stats().lag_bytes, 0);
+        let dirs = kb.replica_dirs();
+        assert_eq!(dir_files(&dirs[2]), dir_files(&dirs[0]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn below_quorum_degrades_to_typed_read_only() {
+        let root = tmpdir("quorum-lost");
+        let set = test_set();
+        let (mut kb, _) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        kb.apply(&[e_fact(&set, 0, 1)], &[]).unwrap();
+        let acked = kb.chased().clone();
+        // Kill every replica and pin each disk dead — replace the replica
+        // directory with a plain file so even reseed repair cannot
+        // recreate it.
+        let dirs = kb.replica_dirs();
+        for (i, dir) in dirs.iter().enumerate() {
+            kb.kill_replica(i);
+            std::fs::remove_dir_all(dir).unwrap();
+            std::fs::write(dir, b"dead disk").unwrap();
+        }
+        for k in 0..4u32 {
+            let err = kb.apply(&[e_fact(&set, k + 1, k + 2)], &[]).unwrap_err();
+            assert!(matches!(err, StoreError::QuorumLost { .. }), "{err}");
+        }
+        assert!(kb.read_only());
+        assert!(kb.stats().quorum_losses >= 4);
+        // Reads keep serving the acknowledged closure.
+        assert_eq!(kb.chased(), &acked);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failover_elects_longest_prefix_after_primary_loss() {
+        let root = tmpdir("failover");
+        let set = test_set();
+        let (mut kb, _) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        kb.apply(&[e_fact(&set, 0, 1), e_fact(&set, 1, 2)], &[])
+            .unwrap();
+        let state = kb.chased().clone();
+        let seq = kb.seq();
+        let dirs = kb.replica_dirs();
+        drop(kb);
+        // The primary's disk dies entirely.
+        std::fs::remove_dir_all(&dirs[0]).unwrap();
+        let (kb, report) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        assert!(report.failover);
+        assert_ne!(report.elected, 0);
+        assert!(report.repaired >= 1, "replica-00 re-shipped");
+        assert_eq!(kb.seq(), seq);
+        assert_eq!(kb.chased(), &state, "failover serves the same closure");
+        assert_eq!(kb.stats().failovers, 1);
+        // The reborn replica-00 is byte-identical to the elected one.
+        assert_eq!(dir_files(&dirs[0]), dir_files(&dirs[report.elected]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_replica_faults_never_lose_acknowledged_facts() {
+        let root = tmpdir("faults");
+        let set = test_set();
+        let plan = FaultPlan::only(7, FaultSite::ReplicaAppendFail, 3);
+        let token = CancelToken::with_faults(plan);
+        let (mut kb, _) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        let mut acked = 0u64;
+        for k in 0..12u32 {
+            if kb
+                .apply_governed(&[e_fact(&set, k, k + 1)], &[], &token)
+                .is_ok()
+            {
+                acked += 1;
+            }
+        }
+        assert_eq!(kb.seq(), acked);
+        assert!(kb.stats().retries > 0, "schedule exercised the retry path");
+        let state = kb.chased().clone();
+        drop(kb);
+        let (kb, _) = ReplicatedKb::open(&root, &set, repl_config(3, 2)).unwrap();
+        assert_eq!(kb.seq(), acked, "every acknowledged batch recovered");
+        assert_eq!(kb.chased(), &state);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tenant_kb_dispatches_by_replica_count() {
+        let set = test_set();
+        let flat = tmpdir("tenant-flat");
+        let (kb, _) = TenantKb::open(&flat, &set, repl_config(1, 1)).unwrap();
+        assert!(matches!(kb, TenantKb::Single(_)));
+        assert!(kb.repl_stats().is_none());
+        assert!(flat.join(snapshot_name(0)).exists(), "flat layout kept");
+        let root = tmpdir("tenant-repl");
+        let (mut kb, _) = TenantKb::open(&root, &set, repl_config(2, 2)).unwrap();
+        assert!(kb.repl_stats().is_some());
+        kb.apply(&[e_fact(&set, 0, 1)], &[]).unwrap();
+        assert_eq!(kb.repl_stats().unwrap().acks, 1);
+        assert!(root.join("replica-01").join(snapshot_name(0)).exists());
+        let _ = std::fs::remove_dir_all(&flat);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -57,6 +57,16 @@ pub enum StoreError {
     /// The handle saw a torn write earlier and refuses further appends;
     /// reopen the store to recover.
     Wedged,
+    /// A replicated append could not reach its write quorum: fewer than
+    /// `quorum` replicas are healthy, so the store degrades to read-only
+    /// instead of acknowledging a write that a single further failure
+    /// could lose. Reads keep serving the in-memory closure.
+    QuorumLost {
+        /// Replicas currently healthy (able to take acknowledged appends).
+        healthy: usize,
+        /// The configured write quorum.
+        quorum: usize,
+    },
     /// A fold or re-chase did not reach a fixpoint under the configured
     /// budget, so the batch cannot be committed.
     ChaseDidNotTerminate(ChaseOutcome),
@@ -90,6 +100,13 @@ impl std::fmt::Display for StoreError {
                     "store handle wedged by an earlier torn write; reopen to recover"
                 )
             }
+            StoreError::QuorumLost { healthy, quorum } => {
+                write!(
+                    f,
+                    "write quorum lost: {healthy} healthy replica(s) below quorum {quorum}; \
+                     store is read-only until repair"
+                )
+            }
             StoreError::ChaseDidNotTerminate(outcome) => {
                 write!(
                     f,
@@ -106,6 +123,24 @@ impl From<CheckpointError> for StoreError {
     fn from(e: CheckpointError) -> Self {
         StoreError::Frame(e)
     }
+}
+
+/// Sleeps for a deterministically jittered backoff: `base_ms` doubled per
+/// attempt, scaled by a hash of `(salt, attempt)` into 50–150%. `base_ms`
+/// 0 disables sleeping entirely (tests and tight benchmark loops).
+pub(crate) fn backoff_sleep(base_ms: u64, attempt: u32, salt: u64) {
+    if base_ms == 0 {
+        return;
+    }
+    let ceiling = base_ms.saturating_mul(1u64 << attempt.min(6));
+    // SplitMix64 finalizer over (salt, attempt): cheap, seeded jitter with
+    // no RNG object to thread.
+    let mut x = salt ^ ((attempt as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jittered = ceiling / 2 + x % ceiling.max(1);
+    std::thread::sleep(std::time::Duration::from_millis(jittered));
 }
 
 pub(crate) fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
@@ -288,6 +323,26 @@ impl SegmentWriter {
             return Err(StoreError::Wedged);
         }
         sync_file(&self.file, &self.path, token)
+    }
+
+    /// Rolls the file back to `len` bytes (fsynced), undoing appends that
+    /// were durable on *this* replica but whose batch failed to reach its
+    /// write quorum — the un-acknowledged suffix must not survive into
+    /// recovery, or a failover could resurrect a batch the client was told
+    /// failed. Also un-wedges a torn handle (the torn tail is file bytes
+    /// past the acknowledged `len`, so truncation removes exactly it).
+    /// No-op when the file is already at (or below) `len` and not wedged.
+    pub fn truncate_to(&mut self, len: u64, token: &CancelToken) -> Result<(), StoreError> {
+        if self.len <= len && !self.wedged {
+            return Ok(());
+        }
+        self.file
+            .set_len(len)
+            .map_err(|e| io_err("truncate", &self.path, e))?;
+        sync_file(&self.file, &self.path, token)?;
+        self.len = len;
+        self.wedged = false;
+        Ok(())
     }
 
     /// Appends one sealed frame and fsyncs it, returning the frame's file

@@ -1,7 +1,7 @@
 //! The tgdkit entailment server.
 //!
 //! ```text
-//! tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N] [--data-dir DIR] [--drain-ms N] [--shards N]
+//! tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N] [--data-dir DIR] [--drain-ms N] [--shards N] [--replicas N] [--quorum N]
 //! tgdkit-serve --self-test [--levels N] [--smalls N]
 //! tgdkit-serve --kb-drive <addr> [--batches N] [--tenant NAME]
 //! tgdkit-serve --kb-verify <addr> [--batches N] [--tenant NAME]
@@ -37,6 +37,7 @@ tgdkit-serve — multi-tenant entailment service (tgdkit engine)
 
 USAGE:
   tgdkit-serve --listen <addr> [--workers N] [--quantum-ms N] [--data-dir DIR] [--drain-ms N] [--shards N]
+                [--replicas N] [--quorum N]
   tgdkit-serve --self-test [--levels N] [--smalls N] [--quantum-ms N] [--workers N]
   tgdkit-serve --kb-drive <addr> [--batches N] [--tenant NAME]
   tgdkit-serve --kb-verify <addr> [--batches N] [--tenant NAME]
@@ -56,6 +57,8 @@ struct Flags {
     batches: Option<usize>,
     tenant: Option<String>,
     shards: Option<usize>,
+    replicas: Option<usize>,
+    quorum: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -73,6 +76,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         batches: None,
         tenant: None,
         shards: None,
+        replicas: None,
+        quorum: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,6 +104,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--batches" => flags.batches = Some(parse_num(&value("--batches")?, "--batches")?),
             "--tenant" => flags.tenant = Some(value("--tenant")?),
             "--shards" => flags.shards = Some(parse_num(&value("--shards")?, "--shards")?),
+            "--replicas" => flags.replicas = Some(parse_num(&value("--replicas")?, "--replicas")?),
+            "--quorum" => flags.quorum = Some(parse_num(&value("--quorum")?, "--quorum")?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -211,6 +218,23 @@ fn listen(flags: &Flags) -> Result<String, String> {
         // mirrors it so the knob survives either merge direction.
         scheduler.tenant.shards = shards.max(1);
         scheduler.kb.shards = shards.max(1);
+    }
+    let replicas = flags.replicas.unwrap_or(1).max(1);
+    if flags.replicas.is_some() {
+        // N >= 2 gives every tenant a quorum-acknowledged replicated
+        // store (N byte-identical replica directories under its data
+        // directory); mirrored like --shards.
+        scheduler.tenant.replicas = replicas;
+        scheduler.kb.replicas = replicas;
+    }
+    if let Some(quorum) = flags.quorum {
+        if quorum < 1 || quorum > replicas {
+            return Err(format!(
+                "--quorum must be between 1 and --replicas ({replicas}), got {quorum}"
+            ));
+        }
+        scheduler.tenant.quorum = quorum;
+        scheduler.kb.quorum = quorum;
     }
     let server = Server::start(ServerConfig {
         addr: flags.listen.clone().expect("listen mode"),
@@ -327,6 +351,36 @@ mod tests {
         assert_eq!(flags.data_dir.as_deref(), Some("/tmp/kb"));
         assert_eq!(flags.drain_ms, Some(500));
         assert_eq!(flags.shards, Some(4));
+    }
+
+    #[test]
+    fn replication_flags_parse_and_validate() {
+        let flags = parse_flags(&strings(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--data-dir",
+            "/tmp/kb",
+            "--replicas",
+            "3",
+            "--quorum",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(flags.replicas, Some(3));
+        assert_eq!(flags.quorum, Some(2));
+        // A quorum larger than the replica count can never be met; listen
+        // rejects it before binding.
+        let flags = parse_flags(&strings(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--replicas",
+            "2",
+            "--quorum",
+            "3",
+        ]))
+        .unwrap();
+        let err = listen(&flags).unwrap_err();
+        assert!(err.contains("--quorum"), "{err}");
     }
 
     #[test]
